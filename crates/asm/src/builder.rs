@@ -1,0 +1,425 @@
+//! A typed program builder: construct programs instruction by
+//! instruction with labels and forward references, without going through
+//! assembly text.
+//!
+//! The text assembler ([`crate::assemble`]) is the right tool for
+//! hand-written kernels; this builder is for *generated* code (like the
+//! scalar Keccak baseline) where the host program computes the
+//! instruction stream.
+//!
+//! # Example
+//!
+//! ```
+//! use krv_asm::ProgramBuilder;
+//! use krv_isa::{OpKind, XReg};
+//!
+//! let mut b = ProgramBuilder::new();
+//! let loop_top = b.label("loop");
+//! b.li(XReg::X5, 3);
+//! b.bind(loop_top)?;
+//! b.op(OpKind::Add, XReg::X10, XReg::X10, XReg::X5);
+//! b.addi(XReg::X5, XReg::X5, -1);
+//! b.bnez(XReg::X5, loop_top);
+//! b.ecall();
+//! let program = b.finish()?;
+//! assert!(program.instructions().len() >= 5);
+//! # Ok::<(), krv_asm::BuildError>(())
+//! ```
+
+use crate::program::Program;
+use core::fmt;
+use krv_isa::{
+    BranchKind, CustomOp, Instruction, LoadKind, OpImmKind, OpKind, StoreKind, VArithOp, VReg,
+    VSource, Vtype, XReg,
+};
+use std::collections::BTreeMap;
+
+/// A label handle returned by [`ProgramBuilder::label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Error from [`ProgramBuilder::finish`] or [`ProgramBuilder::bind`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A label was referenced but never bound to a position.
+    UnboundLabel {
+        /// The label's name.
+        name: String,
+    },
+    /// A label was bound twice.
+    Rebound {
+        /// The label's name.
+        name: String,
+    },
+    /// A resolved branch offset exceeds the B-type range (±4 KiB).
+    BranchOutOfRange {
+        /// The label's name.
+        name: String,
+        /// The resolved byte offset.
+        offset: i64,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnboundLabel { name } => write!(f, "label `{name}` was never bound"),
+            BuildError::Rebound { name } => write!(f, "label `{name}` bound twice"),
+            BuildError::BranchOutOfRange { name, offset } => {
+                write!(f, "branch to `{name}` out of range (offset {offset})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+enum Pending {
+    Branch {
+        kind: BranchKind,
+        rs1: XReg,
+        rs2: XReg,
+        target: Label,
+    },
+    Jal {
+        rd: XReg,
+        target: Label,
+    },
+}
+
+/// Incrementally builds a [`Program`].
+#[derive(Default)]
+pub struct ProgramBuilder {
+    instructions: Vec<Instruction>,
+    /// Instruction slots whose offset is fixed up at finish.
+    fixups: Vec<(usize, Pending)>,
+    labels: Vec<(String, Option<usize>)>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a label (bind it later with [`Self::bind`]).
+    pub fn label(&mut self, name: impl Into<String>) -> Label {
+        self.labels.push((name.into(), None));
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::Rebound`] if already bound.
+    pub fn bind(&mut self, label: Label) -> Result<(), BuildError> {
+        let (name, slot) = &mut self.labels[label.0];
+        if slot.is_some() {
+            return Err(BuildError::Rebound { name: name.clone() });
+        }
+        *slot = Some(self.instructions.len());
+        Ok(())
+    }
+
+    /// Current position in instructions (for size accounting).
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether no instructions have been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Emits a raw instruction.
+    pub fn push(&mut self, instr: Instruction) -> &mut Self {
+        self.instructions.push(instr);
+        self
+    }
+
+    /// `li rd, imm` (expands to `lui`+`addi` when needed).
+    pub fn li(&mut self, rd: XReg, imm: i32) -> &mut Self {
+        if (-2048..=2047).contains(&imm) {
+            self.push(Instruction::addi(rd, XReg::X0, imm))
+        } else {
+            let hi = imm.wrapping_add(0x800) & !0xFFF;
+            let lo = imm.wrapping_sub(hi);
+            self.push(Instruction::Lui { rd, imm: hi });
+            self.push(Instruction::addi(rd, rd, lo))
+        }
+    }
+
+    /// `addi rd, rs1, imm`.
+    pub fn addi(&mut self, rd: XReg, rs1: XReg, imm: i32) -> &mut Self {
+        self.push(Instruction::addi(rd, rs1, imm))
+    }
+
+    /// A register-register ALU operation.
+    pub fn op(&mut self, kind: OpKind, rd: XReg, rs1: XReg, rs2: XReg) -> &mut Self {
+        self.push(Instruction::Op { kind, rd, rs1, rs2 })
+    }
+
+    /// A register-immediate ALU operation.
+    pub fn op_imm(&mut self, kind: OpImmKind, rd: XReg, rs1: XReg, imm: i32) -> &mut Self {
+        self.push(Instruction::OpImm { kind, rd, rs1, imm })
+    }
+
+    /// A scalar load.
+    pub fn load(&mut self, kind: LoadKind, rd: XReg, rs1: XReg, offset: i32) -> &mut Self {
+        self.push(Instruction::Load {
+            kind,
+            rd,
+            rs1,
+            offset,
+        })
+    }
+
+    /// A scalar store.
+    pub fn store(&mut self, kind: StoreKind, rs2: XReg, rs1: XReg, offset: i32) -> &mut Self {
+        self.push(Instruction::Store {
+            kind,
+            rs2,
+            rs1,
+            offset,
+        })
+    }
+
+    /// A conditional branch to a label.
+    pub fn branch(&mut self, kind: BranchKind, rs1: XReg, rs2: XReg, target: Label) -> &mut Self {
+        self.fixups.push((
+            self.instructions.len(),
+            Pending::Branch {
+                kind,
+                rs1,
+                rs2,
+                target,
+            },
+        ));
+        // Placeholder; patched in finish().
+        self.push(Instruction::Branch {
+            kind,
+            rs1,
+            rs2,
+            offset: 0,
+        })
+    }
+
+    /// `bnez rs, target`.
+    pub fn bnez(&mut self, rs: XReg, target: Label) -> &mut Self {
+        self.branch(BranchKind::Bne, rs, XReg::X0, target)
+    }
+
+    /// `beqz rs, target`.
+    pub fn beqz(&mut self, rs: XReg, target: Label) -> &mut Self {
+        self.branch(BranchKind::Beq, rs, XReg::X0, target)
+    }
+
+    /// `blt rs1, rs2, target`.
+    pub fn blt(&mut self, rs1: XReg, rs2: XReg, target: Label) -> &mut Self {
+        self.branch(BranchKind::Blt, rs1, rs2, target)
+    }
+
+    /// `jal rd, target` (use `XReg::X0` for a plain jump).
+    pub fn jal(&mut self, rd: XReg, target: Label) -> &mut Self {
+        self.fixups
+            .push((self.instructions.len(), Pending::Jal { rd, target }));
+        self.push(Instruction::Jal { rd, offset: 0 })
+    }
+
+    /// `vsetvli rd, rs1, vtype`.
+    pub fn vsetvli(&mut self, rd: XReg, rs1: XReg, vtype: Vtype) -> &mut Self {
+        self.push(Instruction::Vsetvli { rd, rs1, vtype })
+    }
+
+    /// Unmasked vector arithmetic.
+    pub fn varith(&mut self, op: VArithOp, vd: VReg, vs2: VReg, src: VSource) -> &mut Self {
+        self.push(Instruction::varith(op, vd, vs2, src))
+    }
+
+    /// A custom Keccak instruction.
+    pub fn custom(&mut self, op: CustomOp) -> &mut Self {
+        self.push(Instruction::Custom(op))
+    }
+
+    /// `ecall`.
+    pub fn ecall(&mut self) -> &mut Self {
+        self.push(Instruction::Ecall)
+    }
+
+    /// Resolves labels and returns the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] for unbound labels or out-of-range
+    /// branches.
+    pub fn finish(mut self) -> Result<Program, BuildError> {
+        let resolve =
+            |labels: &[(String, Option<usize>)], label: Label| -> Result<usize, BuildError> {
+                let (name, slot) = &labels[label.0];
+                slot.ok_or_else(|| BuildError::UnboundLabel { name: name.clone() })
+            };
+        for (index, pending) in &self.fixups {
+            match pending {
+                Pending::Branch {
+                    kind,
+                    rs1,
+                    rs2,
+                    target,
+                } => {
+                    let dest = resolve(&self.labels, *target)?;
+                    let offset = (dest as i64 - *index as i64) * 4;
+                    if !(-4096..=4094).contains(&offset) {
+                        return Err(BuildError::BranchOutOfRange {
+                            name: self.labels[target.0].0.clone(),
+                            offset,
+                        });
+                    }
+                    self.instructions[*index] = Instruction::Branch {
+                        kind: *kind,
+                        rs1: *rs1,
+                        rs2: *rs2,
+                        offset: offset as i32,
+                    };
+                }
+                Pending::Jal { rd, target } => {
+                    let dest = resolve(&self.labels, *target)?;
+                    let offset = (dest as i64 - *index as i64) * 4;
+                    self.instructions[*index] = Instruction::Jal {
+                        rd: *rd,
+                        offset: offset as i32,
+                    };
+                }
+            }
+        }
+        let mut symbols = BTreeMap::new();
+        for (name, slot) in self.labels {
+            if let Some(index) = slot {
+                symbols.insert(name, (index * 4) as u32);
+            }
+        }
+        Ok(Program::new(self.instructions, symbols))
+    }
+}
+
+impl fmt::Debug for ProgramBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProgramBuilder")
+            .field("instructions", &self.instructions.len())
+            .field("labels", &self.labels.len())
+            .field("pending_fixups", &self.fixups.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_loop_with_backward_branch() {
+        let mut b = ProgramBuilder::new();
+        b.li(XReg::X5, 4);
+        let top = b.label("top");
+        b.bind(top).unwrap();
+        b.addi(XReg::X10, XReg::X10, 2);
+        b.addi(XReg::X5, XReg::X5, -1);
+        b.bnez(XReg::X5, top);
+        b.ecall();
+        let program = b.finish().unwrap();
+        assert_eq!(program.symbol("top"), Some(4));
+        // The branch at index 3 targets index 1: offset −8.
+        assert_eq!(
+            program.instructions()[3],
+            Instruction::Branch {
+                kind: BranchKind::Bne,
+                rs1: XReg::X5,
+                rs2: XReg::X0,
+                offset: -8
+            }
+        );
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let mut b = ProgramBuilder::new();
+        let end = b.label("end");
+        b.beqz(XReg::X10, end);
+        b.li(XReg::X11, 1);
+        b.bind(end).unwrap();
+        b.ecall();
+        let program = b.finish().unwrap();
+        assert_eq!(
+            program.instructions()[0],
+            Instruction::Branch {
+                kind: BranchKind::Beq,
+                rs1: XReg::X10,
+                rs2: XReg::X0,
+                offset: 8
+            }
+        );
+    }
+
+    #[test]
+    fn unbound_label_errors() {
+        let mut b = ProgramBuilder::new();
+        let nowhere = b.label("nowhere");
+        b.jal(XReg::X0, nowhere);
+        assert_eq!(
+            b.finish().unwrap_err(),
+            BuildError::UnboundLabel {
+                name: "nowhere".into()
+            }
+        );
+    }
+
+    #[test]
+    fn double_bind_errors() {
+        let mut b = ProgramBuilder::new();
+        let label = b.label("x");
+        b.bind(label).unwrap();
+        b.ecall();
+        assert_eq!(b.bind(label), Err(BuildError::Rebound { name: "x".into() }));
+    }
+
+    #[test]
+    fn branch_range_enforced() {
+        let mut b = ProgramBuilder::new();
+        let top = b.label("top");
+        b.bind(top).unwrap();
+        for _ in 0..1100 {
+            b.push(Instruction::nop());
+        }
+        b.bnez(XReg::X5, top);
+        assert!(matches!(
+            b.finish(),
+            Err(BuildError::BranchOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn built_program_executes_like_text_assembly() {
+        use crate::assemble;
+        let text = assemble("li t0, 4\ntop:\naddi a0, a0, 2\naddi t0, t0, -1\nbnez t0, top\necall")
+            .unwrap();
+        let mut b = ProgramBuilder::new();
+        b.li(XReg::X5, 4);
+        let top = b.label("top");
+        b.bind(top).unwrap();
+        b.addi(XReg::X10, XReg::X10, 2);
+        b.addi(XReg::X5, XReg::X5, -1);
+        b.bnez(XReg::X5, top);
+        b.ecall();
+        let built = b.finish().unwrap();
+        assert_eq!(built.instructions(), text.instructions());
+    }
+
+    #[test]
+    fn li_expansion_matches_parser() {
+        let mut b = ProgramBuilder::new();
+        b.li(XReg::X6, 0x12345);
+        let built = b.finish().unwrap();
+        let parsed = crate::assemble("li t1, 0x12345").unwrap();
+        assert_eq!(built.instructions(), parsed.instructions());
+    }
+}

@@ -1,0 +1,73 @@
+//! Disassembly: machine words back to assembly text.
+
+use krv_isa::{DecodeError, Instruction};
+
+/// Renders a sequence of instructions as assembly text, one per line.
+pub fn disassemble(instructions: &[Instruction]) -> String {
+    let mut text = String::new();
+    for instr in instructions {
+        text.push_str(&instr.to_string());
+        text.push('\n');
+    }
+    text
+}
+
+/// Decodes and renders machine words, annotating each line with its
+/// address and encoding.
+///
+/// # Errors
+///
+/// Returns the index and [`DecodeError`] of the first undecodable word.
+pub fn disassemble_words(words: &[u32]) -> Result<String, (usize, DecodeError)> {
+    let mut text = String::new();
+    for (i, &word) in words.iter().enumerate() {
+        let instr = Instruction::decode(word).map_err(|e| (i, e))?;
+        text.push_str(&format!("{:6x}: {word:08x}    {instr}\n", i * 4));
+    }
+    Ok(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble;
+
+    #[test]
+    fn disassembly_reassembles_to_same_code() {
+        let source = r"
+            li s1, 16
+            li s2, -1
+        loop:
+            vsetvli x0, s1, e64, m1, tu, mu
+            vle64.v v0, (a0)
+            vxor.vv v5, v3, v4
+            vslidedownm.vi v7, v5, 1
+            vrotup.vi v7, v7, 1
+            v64rho.vi v1, v1, 1
+            vpi.vi v5, v2, 2
+            viota.vx v0, v0, s3
+            vse64.v v0, (a0)
+            addi s3, s3, 1
+            blt s3, s4, loop
+            ecall
+        ";
+        let program = assemble(source).expect("assembles");
+        let text = disassemble(program.instructions());
+        let reassembled = assemble(&text).expect("disassembly reassembles");
+        assert_eq!(program.instructions(), reassembled.instructions());
+    }
+
+    #[test]
+    fn words_disassembly_includes_addresses() {
+        let words = vec![0x0000_0013, 0x0000_0073];
+        let text = disassemble_words(&words).unwrap();
+        assert!(text.contains("00000013"));
+        assert!(text.contains("ecall"));
+    }
+
+    #[test]
+    fn bad_word_reports_index() {
+        let err = disassemble_words(&[0x0000_0013, 0xFFFF_FFFF]).unwrap_err();
+        assert_eq!(err.0, 1);
+    }
+}

@@ -1,0 +1,57 @@
+//! Two-pass assembler and disassembler for the `krv-isa` instruction set.
+//!
+//! The paper implements its Keccak kernels as assembly programs compiled
+//! with the RISC-V GNU toolchain (§4.1). This crate plays that role for
+//! the simulated processor: it turns textual assembly — base RV32IM, the
+//! RVV subset and the ten custom Keccak extensions — into machine words
+//! for the instruction memory of `krv-vproc`, and back.
+//!
+//! Supported syntax:
+//!
+//! * one instruction per line; comments start with `#` or `//`
+//! * labels (`loop:`), usable as branch/jump targets
+//! * pseudo-instructions: `nop`, `li`, `mv`, `not`, `j`, `ret`, `beqz`,
+//!   `bnez`
+//! * the optional `, v0.t` mask suffix on maskable vector instructions
+//!
+//! # Example
+//!
+//! ```
+//! use krv_asm::assemble;
+//!
+//! let program = assemble(r"
+//!     li      s3, 0
+//!     li      s4, 24
+//! permutation:
+//!     vxor.vv v5, v3, v4
+//!     v64rho.vi v0, v0, -1
+//!     addi    s3, s3, 1
+//!     blt     s3, s4, permutation
+//!     ecall
+//! ")?;
+//! assert_eq!(program.instructions().len(), 7);
+//! # Ok::<(), krv_asm::AsmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+mod disasm;
+mod parser;
+mod program;
+
+pub use builder::{BuildError, Label, ProgramBuilder};
+pub use disasm::{disassemble, disassemble_words};
+pub use parser::AsmError;
+pub use program::Program;
+
+/// Assembles source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with the line number for syntax errors, unknown
+/// mnemonics/registers, out-of-range immediates and undefined labels.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    parser::assemble(source)
+}

@@ -1,0 +1,1070 @@
+//! The two-pass assembler.
+
+use crate::program::Program;
+use core::fmt;
+use krv_isa::{
+    BranchKind, CustomOp, Eew, Instruction, Lmul, LoadKind, MemMode, OpImmKind, OpKind, RhoRow,
+    Sew, StoreKind, VArithOp, VReg, VSource, Vtype, XReg,
+};
+use std::collections::BTreeMap;
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    line: usize,
+    message: String,
+}
+
+impl AsmError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// The 1-based source line the error occurred on.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// The error description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+struct Item<'a> {
+    line: usize,
+    mnemonic: &'a str,
+    operands: Vec<&'a str>,
+    /// Instruction index (not byte address) this item starts at.
+    index: usize,
+    /// Number of instructions this item expands to.
+    size: usize,
+}
+
+fn strip_comment(line: &str) -> &str {
+    let end = line
+        .find('#')
+        .into_iter()
+        .chain(line.find("//"))
+        .min()
+        .unwrap_or(line.len());
+    &line[..end]
+}
+
+fn split_operands(text: &str) -> Vec<&str> {
+    let mut operands = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, ch) in text.char_indices() {
+        match ch {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                operands.push(text[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let last = text[start..].trim();
+    if !last.is_empty() {
+        operands.push(last);
+    }
+    operands.retain(|op| !op.is_empty());
+    operands
+}
+
+fn parse_imm(text: &str, line: usize) -> Result<i64, AsmError> {
+    let text = text.trim();
+    let (neg, body) = match text.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, text),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else if let Some(bin) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
+        i64::from_str_radix(bin, 2)
+    } else {
+        body.parse()
+    }
+    .map_err(|_| AsmError::new(line, format!("invalid immediate `{text}`")))?;
+    Ok(if neg { -value } else { value })
+}
+
+fn parse_xreg(text: &str, line: usize) -> Result<XReg, AsmError> {
+    text.trim()
+        .parse()
+        .map_err(|_| AsmError::new(line, format!("invalid scalar register `{text}`")))
+}
+
+fn parse_vreg(text: &str, line: usize) -> Result<VReg, AsmError> {
+    text.trim()
+        .parse()
+        .map_err(|_| AsmError::new(line, format!("invalid vector register `{text}`")))
+}
+
+/// Parses `offset(reg)` or `(reg)`, returning `(offset, reg)`.
+fn parse_mem_operand(text: &str, line: usize) -> Result<(i64, XReg), AsmError> {
+    let text = text.trim();
+    let open = text
+        .find('(')
+        .ok_or_else(|| AsmError::new(line, format!("expected `offset(reg)`, got `{text}`")))?;
+    let close = text
+        .rfind(')')
+        .ok_or_else(|| AsmError::new(line, format!("missing `)` in `{text}`")))?;
+    let offset_text = text[..open].trim();
+    let offset = if offset_text.is_empty() {
+        0
+    } else {
+        parse_imm(offset_text, line)?
+    };
+    let reg = parse_xreg(&text[open + 1..close], line)?;
+    Ok((offset, reg))
+}
+
+/// Strips a trailing `v0.t` mask operand; returns `(operands, vm)`.
+fn take_mask<'a>(mut operands: Vec<&'a str>) -> (Vec<&'a str>, bool) {
+    if operands.last().map(|s| s.trim()) == Some("v0.t") {
+        operands.pop();
+        (operands, false)
+    } else {
+        (operands, true)
+    }
+}
+
+fn expect_operands(
+    item_line: usize,
+    operands: &[&str],
+    n: usize,
+    usage: &str,
+) -> Result<(), AsmError> {
+    if operands.len() == n {
+        Ok(())
+    } else {
+        Err(AsmError::new(
+            item_line,
+            format!("expected {n} operands ({usage}), got {}", operands.len()),
+        ))
+    }
+}
+
+fn check_range(line: usize, value: i64, lo: i64, hi: i64, what: &str) -> Result<i32, AsmError> {
+    if (lo..=hi).contains(&value) {
+        Ok(value as i32)
+    } else {
+        Err(AsmError::new(
+            line,
+            format!("{what} {value} out of range [{lo}, {hi}]"),
+        ))
+    }
+}
+
+/// Size (in instructions) of the `li` pseudo-instruction for `imm`.
+fn li_size(imm: i64) -> usize {
+    if (-2048..=2047).contains(&imm) {
+        1
+    } else {
+        2
+    }
+}
+
+fn is_label_def(token: &str) -> Option<&str> {
+    token.strip_suffix(':').filter(|name| {
+        !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+    })
+}
+
+pub(crate) fn assemble(source: &str) -> Result<Program, AsmError> {
+    // Pass 1: labels and item sizing.
+    let mut items: Vec<Item> = Vec::new();
+    let mut symbols: BTreeMap<String, u32> = BTreeMap::new();
+    let mut index = 0usize;
+    for (line_idx, raw_line) in source.lines().enumerate() {
+        let line_no = line_idx + 1;
+        let mut text = strip_comment(raw_line).trim();
+        // A line may carry several labels followed by one instruction.
+        while let Some(colon) = text.find(':') {
+            let candidate = &text[..=colon];
+            match is_label_def(candidate.trim()) {
+                Some(name) => {
+                    if symbols
+                        .insert(name.to_owned(), (index * 4) as u32)
+                        .is_some()
+                    {
+                        return Err(AsmError::new(line_no, format!("duplicate label `{name}`")));
+                    }
+                    text = text[colon + 1..].trim();
+                }
+                None => break,
+            }
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let (mnemonic, rest) = match text.find(char::is_whitespace) {
+            Some(pos) => (&text[..pos], &text[pos..]),
+            None => (text, ""),
+        };
+        let operands = split_operands(rest.trim());
+        let size = match mnemonic {
+            "li" => {
+                if operands.len() != 2 {
+                    return Err(AsmError::new(line_no, "li expects `li rd, imm`"));
+                }
+                li_size(parse_imm(operands[1], line_no)?)
+            }
+            _ => 1,
+        };
+        items.push(Item {
+            line: line_no,
+            mnemonic,
+            operands,
+            index,
+            size,
+        });
+        index += size;
+    }
+
+    // Pass 2: emit instructions.
+    let mut instructions = Vec::with_capacity(index);
+    for item in &items {
+        let before = instructions.len();
+        emit(item, &symbols, &mut instructions)?;
+        debug_assert_eq!(
+            instructions.len() - before,
+            item.size,
+            "pass-1 sizing mismatch for `{}`",
+            item.mnemonic
+        );
+    }
+    Ok(Program::new(instructions, symbols))
+}
+
+/// Resolves a branch/jump target (label or literal offset) relative to the
+/// instruction at `index`.
+fn resolve_target(
+    text: &str,
+    line: usize,
+    index: usize,
+    symbols: &BTreeMap<String, u32>,
+) -> Result<i32, AsmError> {
+    let text = text.trim();
+    if let Some(&addr) = symbols.get(text) {
+        return Ok(addr as i32 - (index as i32 * 4));
+    }
+    if text
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_digit() || c == '-')
+    {
+        return Ok(parse_imm(text, line)? as i32);
+    }
+    Err(AsmError::new(line, format!("undefined label `{text}`")))
+}
+
+fn emit(
+    item: &Item,
+    symbols: &BTreeMap<String, u32>,
+    out: &mut Vec<Instruction>,
+) -> Result<(), AsmError> {
+    let line = item.line;
+    let ops = &item.operands;
+    let m = item.mnemonic;
+
+    // Scalar register-register ops.
+    let op_kind = |name: &str| -> Option<OpKind> {
+        Some(match name {
+            "add" => OpKind::Add,
+            "sub" => OpKind::Sub,
+            "sll" => OpKind::Sll,
+            "slt" => OpKind::Slt,
+            "sltu" => OpKind::Sltu,
+            "xor" => OpKind::Xor,
+            "srl" => OpKind::Srl,
+            "sra" => OpKind::Sra,
+            "or" => OpKind::Or,
+            "and" => OpKind::And,
+            "mul" => OpKind::Mul,
+            "mulh" => OpKind::Mulh,
+            "mulhsu" => OpKind::Mulhsu,
+            "mulhu" => OpKind::Mulhu,
+            "div" => OpKind::Div,
+            "divu" => OpKind::Divu,
+            "rem" => OpKind::Rem,
+            "remu" => OpKind::Remu,
+            _ => return None,
+        })
+    };
+    let op_imm_kind = |name: &str| -> Option<OpImmKind> {
+        Some(match name {
+            "addi" => OpImmKind::Addi,
+            "slti" => OpImmKind::Slti,
+            "sltiu" => OpImmKind::Sltiu,
+            "xori" => OpImmKind::Xori,
+            "ori" => OpImmKind::Ori,
+            "andi" => OpImmKind::Andi,
+            "slli" => OpImmKind::Slli,
+            "srli" => OpImmKind::Srli,
+            "srai" => OpImmKind::Srai,
+            _ => return None,
+        })
+    };
+    let branch_kind = |name: &str| -> Option<BranchKind> {
+        Some(match name {
+            "beq" => BranchKind::Beq,
+            "bne" => BranchKind::Bne,
+            "blt" => BranchKind::Blt,
+            "bge" => BranchKind::Bge,
+            "bltu" => BranchKind::Bltu,
+            "bgeu" => BranchKind::Bgeu,
+            _ => return None,
+        })
+    };
+    let load_kind = |name: &str| -> Option<LoadKind> {
+        Some(match name {
+            "lb" => LoadKind::Lb,
+            "lh" => LoadKind::Lh,
+            "lw" => LoadKind::Lw,
+            "lbu" => LoadKind::Lbu,
+            "lhu" => LoadKind::Lhu,
+            _ => return None,
+        })
+    };
+    let store_kind = |name: &str| -> Option<StoreKind> {
+        Some(match name {
+            "sb" => StoreKind::Sb,
+            "sh" => StoreKind::Sh,
+            "sw" => StoreKind::Sw,
+            _ => return None,
+        })
+    };
+
+    if let Some(kind) = op_kind(m) {
+        expect_operands(line, ops, 3, "rd, rs1, rs2")?;
+        out.push(Instruction::Op {
+            kind,
+            rd: parse_xreg(ops[0], line)?,
+            rs1: parse_xreg(ops[1], line)?,
+            rs2: parse_xreg(ops[2], line)?,
+        });
+        return Ok(());
+    }
+    if let Some(kind) = op_imm_kind(m) {
+        expect_operands(line, ops, 3, "rd, rs1, imm")?;
+        let imm = parse_imm(ops[2], line)?;
+        let imm = if kind.is_shift() {
+            check_range(line, imm, 0, 31, "shift amount")?
+        } else {
+            check_range(line, imm, -2048, 2047, "immediate")?
+        };
+        out.push(Instruction::OpImm {
+            kind,
+            rd: parse_xreg(ops[0], line)?,
+            rs1: parse_xreg(ops[1], line)?,
+            imm,
+        });
+        return Ok(());
+    }
+    if let Some(kind) = branch_kind(m) {
+        expect_operands(line, ops, 3, "rs1, rs2, target")?;
+        let offset = resolve_target(ops[2], line, item.index, symbols)?;
+        check_range(line, offset as i64, -4096, 4094, "branch offset")?;
+        out.push(Instruction::Branch {
+            kind,
+            rs1: parse_xreg(ops[0], line)?,
+            rs2: parse_xreg(ops[1], line)?,
+            offset,
+        });
+        return Ok(());
+    }
+    if let Some(kind) = load_kind(m) {
+        expect_operands(line, ops, 2, "rd, offset(rs1)")?;
+        let (offset, rs1) = parse_mem_operand(ops[1], line)?;
+        out.push(Instruction::Load {
+            kind,
+            rd: parse_xreg(ops[0], line)?,
+            rs1,
+            offset: check_range(line, offset, -2048, 2047, "load offset")?,
+        });
+        return Ok(());
+    }
+    if let Some(kind) = store_kind(m) {
+        expect_operands(line, ops, 2, "rs2, offset(rs1)")?;
+        let (offset, rs1) = parse_mem_operand(ops[1], line)?;
+        out.push(Instruction::Store {
+            kind,
+            rs2: parse_xreg(ops[0], line)?,
+            rs1,
+            offset: check_range(line, offset, -2048, 2047, "store offset")?,
+        });
+        return Ok(());
+    }
+
+    match m {
+        // --- scalar pseudo-instructions and remaining formats ---
+        "nop" => out.push(Instruction::nop()),
+        "li" => {
+            expect_operands(line, ops, 2, "rd, imm")?;
+            let rd = parse_xreg(ops[0], line)?;
+            let imm = parse_imm(ops[1], line)?;
+            check_range(line, imm, i32::MIN as i64, u32::MAX as i64, "li immediate")?;
+            let imm = imm as i32;
+            if li_size(imm as i64) == 1 {
+                out.push(Instruction::addi(rd, XReg::X0, imm));
+            } else {
+                let hi = imm.wrapping_add(0x800) & !0xFFF;
+                let lo = imm.wrapping_sub(hi);
+                out.push(Instruction::Lui { rd, imm: hi });
+                out.push(Instruction::addi(rd, rd, lo));
+            }
+        }
+        "mv" => {
+            expect_operands(line, ops, 2, "rd, rs")?;
+            out.push(Instruction::addi(
+                parse_xreg(ops[0], line)?,
+                parse_xreg(ops[1], line)?,
+                0,
+            ));
+        }
+        "not" => {
+            expect_operands(line, ops, 2, "rd, rs")?;
+            out.push(Instruction::OpImm {
+                kind: OpImmKind::Xori,
+                rd: parse_xreg(ops[0], line)?,
+                rs1: parse_xreg(ops[1], line)?,
+                imm: -1,
+            });
+        }
+        "beqz" | "bnez" => {
+            expect_operands(line, ops, 2, "rs, target")?;
+            let offset = resolve_target(ops[1], line, item.index, symbols)?;
+            out.push(Instruction::Branch {
+                kind: if m == "beqz" {
+                    BranchKind::Beq
+                } else {
+                    BranchKind::Bne
+                },
+                rs1: parse_xreg(ops[0], line)?,
+                rs2: XReg::X0,
+                offset,
+            });
+        }
+        "j" => {
+            expect_operands(line, ops, 1, "target")?;
+            let offset = resolve_target(ops[0], line, item.index, symbols)?;
+            out.push(Instruction::Jal {
+                rd: XReg::X0,
+                offset,
+            });
+        }
+        "jal" => {
+            // `jal target` or `jal rd, target`.
+            let (rd, target) = match ops.len() {
+                1 => (XReg::X1, ops[0]),
+                2 => (parse_xreg(ops[0], line)?, ops[1]),
+                n => {
+                    return Err(AsmError::new(
+                        line,
+                        format!("jal expects 1 or 2 operands, got {n}"),
+                    ))
+                }
+            };
+            let offset = resolve_target(target, line, item.index, symbols)?;
+            out.push(Instruction::Jal { rd, offset });
+        }
+        "jalr" => {
+            expect_operands(line, ops, 3, "rd, rs1, offset")?;
+            out.push(Instruction::Jalr {
+                rd: parse_xreg(ops[0], line)?,
+                rs1: parse_xreg(ops[1], line)?,
+                offset: check_range(line, parse_imm(ops[2], line)?, -2048, 2047, "offset")?,
+            });
+        }
+        "ret" => out.push(Instruction::Jalr {
+            rd: XReg::X0,
+            rs1: XReg::X1,
+            offset: 0,
+        }),
+        "lui" | "auipc" => {
+            expect_operands(line, ops, 2, "rd, imm20")?;
+            let rd = parse_xreg(ops[0], line)?;
+            let imm20 = check_range(line, parse_imm(ops[1], line)?, -524288, 1048575, "imm20")?;
+            let imm = (imm20 << 12) as i32;
+            out.push(if m == "lui" {
+                Instruction::Lui { rd, imm }
+            } else {
+                Instruction::Auipc { rd, imm }
+            });
+        }
+        "csrr" => {
+            expect_operands(line, ops, 2, "rd, csr")?;
+            let csr = match ops[1].trim() {
+                "vl" => krv_isa::Csr::Vl,
+                "vtype" => krv_isa::Csr::Vtype,
+                "vlenb" => krv_isa::Csr::Vlenb,
+                "cycle" => krv_isa::Csr::Cycle,
+                "instret" => krv_isa::Csr::Instret,
+                other => return Err(AsmError::new(line, format!("unknown CSR `{other}`"))),
+            };
+            out.push(Instruction::Csrr {
+                rd: parse_xreg(ops[0], line)?,
+                csr,
+            });
+        }
+        "ecall" => out.push(Instruction::Ecall),
+        "ebreak" => out.push(Instruction::Ebreak),
+
+        // --- vector configuration ---
+        "vsetvli" => {
+            if ops.len() < 4 {
+                return Err(AsmError::new(
+                    line,
+                    "vsetvli rd, rs1, eN, mN[, tu|ta, mu|ma]",
+                ));
+            }
+            let rd = parse_xreg(ops[0], line)?;
+            let rs1 = parse_xreg(ops[1], line)?;
+            let sew = match ops[2].trim() {
+                "e8" => Sew::E8,
+                "e16" => Sew::E16,
+                "e32" => Sew::E32,
+                "e64" => Sew::E64,
+                other => return Err(AsmError::new(line, format!("invalid SEW `{other}`"))),
+            };
+            let lmul = match ops[3].trim() {
+                "m1" => Lmul::M1,
+                "m2" => Lmul::M2,
+                "m4" => Lmul::M4,
+                "m8" => Lmul::M8,
+                other => return Err(AsmError::new(line, format!("invalid LMUL `{other}`"))),
+            };
+            let mut vtype = Vtype::new(sew, lmul);
+            for flag in &ops[4..] {
+                match flag.trim() {
+                    "tu" => vtype = vtype.tail_undisturbed(),
+                    "ta" => {}
+                    "mu" => vtype = vtype.mask_undisturbed(),
+                    "ma" => {}
+                    other => {
+                        return Err(AsmError::new(line, format!("invalid vtype flag `{other}`")))
+                    }
+                }
+            }
+            out.push(Instruction::Vsetvli { rd, rs1, vtype });
+        }
+
+        // --- everything else: vector memory, arithmetic, custom ---
+        _ => out.push(parse_vector(m, ops.clone(), line, symbols)?),
+    }
+    Ok(())
+}
+
+fn eew_of(digits: &str, line: usize) -> Result<Eew, AsmError> {
+    match digits {
+        "8" => Ok(Sew::E8),
+        "16" => Ok(Sew::E16),
+        "32" => Ok(Sew::E32),
+        "64" => Ok(Sew::E64),
+        other => Err(AsmError::new(
+            line,
+            format!("invalid element width `{other}`"),
+        )),
+    }
+}
+
+fn parse_vector(
+    m: &str,
+    operands: Vec<&str>,
+    line: usize,
+    _symbols: &BTreeMap<String, u32>,
+) -> Result<Instruction, AsmError> {
+    let (ops, vm) = take_mask(operands);
+
+    // Vector memory: vle64.v / vse64.v / vlse*/vsse* / vluxei*/vsuxei*.
+    for (prefix, is_load, mode_kind) in [
+        ("vle", true, 'u'),
+        ("vse", false, 'u'),
+        ("vlse", true, 's'),
+        ("vsse", false, 's'),
+        ("vluxei", true, 'i'),
+        ("vsuxei", false, 'i'),
+    ] {
+        if let Some(rest) = m.strip_prefix(prefix) {
+            if let Some(width) = rest.strip_suffix(".v") {
+                // Guard against vle matching vlse/vluxei's tails.
+                if !width.chars().all(|c| c.is_ascii_digit()) {
+                    continue;
+                }
+                let eew = eew_of(width, line)?;
+                let expected = if mode_kind == 'u' { 2 } else { 3 };
+                expect_operands(line, &ops, expected, "vreg, (rs1)[, stride/index]")?;
+                let vreg = parse_vreg(ops[0], line)?;
+                let (offset, rs1) = parse_mem_operand(ops[1], line)?;
+                if offset != 0 {
+                    return Err(AsmError::new(line, "vector memory offset must be 0"));
+                }
+                let mode = match mode_kind {
+                    'u' => MemMode::UnitStride,
+                    's' => MemMode::Strided(parse_xreg(ops[2], line)?),
+                    _ => MemMode::Indexed(parse_vreg(ops[2], line)?),
+                };
+                return Ok(if is_load {
+                    Instruction::VLoad {
+                        eew,
+                        vd: vreg,
+                        rs1,
+                        mode,
+                        vm,
+                    }
+                } else {
+                    Instruction::VStore {
+                        eew,
+                        vs3: vreg,
+                        rs1,
+                        mode,
+                        vm,
+                    }
+                });
+            }
+        }
+    }
+
+    // Special moves and vid.
+    match m {
+        "vmv.x.s" => {
+            expect_operands(line, &ops, 2, "rd, vs2")?;
+            return Ok(Instruction::VmvXs {
+                rd: parse_xreg(ops[0], line)?,
+                vs2: parse_vreg(ops[1], line)?,
+            });
+        }
+        "vmv.s.x" => {
+            expect_operands(line, &ops, 2, "vd, rs1")?;
+            return Ok(Instruction::VmvSx {
+                vd: parse_vreg(ops[0], line)?,
+                rs1: parse_xreg(ops[1], line)?,
+            });
+        }
+        "vid.v" => {
+            expect_operands(line, &ops, 1, "vd")?;
+            return Ok(Instruction::Vid {
+                vd: parse_vreg(ops[0], line)?,
+                vm,
+            });
+        }
+        "vmv.v.v" | "vmv.v.x" | "vmv.v.i" => {
+            expect_operands(line, &ops, 2, "vd, src")?;
+            let vd = parse_vreg(ops[0], line)?;
+            let src = match m {
+                "vmv.v.v" => VSource::Vector(parse_vreg(ops[1], line)?),
+                "vmv.v.x" => VSource::Scalar(parse_xreg(ops[1], line)?),
+                _ => VSource::Imm(check_range(
+                    line,
+                    parse_imm(ops[1], line)?,
+                    -16,
+                    15,
+                    "immediate",
+                )?),
+            };
+            return Ok(Instruction::VArith {
+                op: VArithOp::Mv,
+                vd,
+                vs2: VReg::V0,
+                src,
+                vm,
+            });
+        }
+        _ => {}
+    }
+
+    // Custom Keccak extensions.
+    if let Some(instr) = parse_custom(m, &ops, line, vm)? {
+        return Ok(instr);
+    }
+
+    // Generic vector arithmetic: name.{vv,vx,vi}.
+    let (name, form) = m
+        .rsplit_once('.')
+        .ok_or_else(|| AsmError::new(line, format!("unknown mnemonic `{m}`")))?;
+    let op = match name {
+        "vadd" => VArithOp::Add,
+        "vsub" => VArithOp::Sub,
+        "vrsub" => VArithOp::Rsub,
+        "vand" => VArithOp::And,
+        "vor" => VArithOp::Or,
+        "vxor" => VArithOp::Xor,
+        "vsll" => VArithOp::Sll,
+        "vsrl" => VArithOp::Srl,
+        "vsra" => VArithOp::Sra,
+        "vmseq" => VArithOp::Mseq,
+        "vmsne" => VArithOp::Msne,
+        "vmsltu" => VArithOp::Msltu,
+        "vslideup" => VArithOp::Slideup,
+        "vslidedown" => VArithOp::Slidedown,
+        _ => return Err(AsmError::new(line, format!("unknown mnemonic `{m}`"))),
+    };
+    expect_operands(line, &ops, 3, "vd, vs2, src")?;
+    let vd = parse_vreg(ops[0], line)?;
+    let vs2 = parse_vreg(ops[1], line)?;
+    let src = match form {
+        "vv" => VSource::Vector(parse_vreg(ops[2], line)?),
+        "vx" => VSource::Scalar(parse_xreg(ops[2], line)?),
+        "vi" => VSource::Imm(check_range(
+            line,
+            parse_imm(ops[2], line)?,
+            -16,
+            15,
+            "immediate",
+        )?),
+        other => {
+            return Err(AsmError::new(
+                line,
+                format!("unknown operand form `.{other}` on `{name}`"),
+            ))
+        }
+    };
+    let form_ok = match src {
+        VSource::Vector(_) => op.supports_vv(),
+        VSource::Scalar(_) => true,
+        VSource::Imm(_) => op.supports_vi(),
+    };
+    if !form_ok {
+        return Err(AsmError::new(
+            line,
+            format!("`{name}` does not support the `.{form}` form"),
+        ));
+    }
+    Ok(Instruction::VArith {
+        op,
+        vd,
+        vs2,
+        src,
+        vm,
+    })
+}
+
+fn parse_custom(
+    m: &str,
+    ops: &[&str],
+    line: usize,
+    vm: bool,
+) -> Result<Option<Instruction>, AsmError> {
+    // Accept both suffixed (paper style: `vslidedownm.vi`) and bare names.
+    let base = m
+        .strip_suffix(".vi")
+        .or_else(|| m.strip_suffix(".vv"))
+        .or_else(|| m.strip_suffix(".vx"))
+        .unwrap_or(m);
+    let parse_uimm = |text: &str| -> Result<u8, AsmError> {
+        Ok(check_range(line, parse_imm(text, line)?, 0, 31, "unsigned immediate")? as u8)
+    };
+    let parse_row = |text: &str| -> Result<RhoRow, AsmError> {
+        let simm = check_range(line, parse_imm(text, line)?, -1, 4, "row selector")?;
+        RhoRow::from_simm(simm)
+            .ok_or_else(|| AsmError::new(line, format!("invalid row selector {simm}")))
+    };
+    let op = match base {
+        "vslidedownm" => {
+            expect_operands(line, ops, 3, "vd, vs2, uimm")?;
+            CustomOp::Vslidedownm {
+                vd: parse_vreg(ops[0], line)?,
+                vs2: parse_vreg(ops[1], line)?,
+                uimm: parse_uimm(ops[2])?,
+                vm,
+            }
+        }
+        "vslideupm" => {
+            expect_operands(line, ops, 3, "vd, vs2, uimm")?;
+            CustomOp::Vslideupm {
+                vd: parse_vreg(ops[0], line)?,
+                vs2: parse_vreg(ops[1], line)?,
+                uimm: parse_uimm(ops[2])?,
+                vm,
+            }
+        }
+        "vrotup" => {
+            expect_operands(line, ops, 3, "vd, vs2, uimm")?;
+            CustomOp::Vrotup {
+                vd: parse_vreg(ops[0], line)?,
+                vs2: parse_vreg(ops[1], line)?,
+                uimm: parse_uimm(ops[2])?,
+                vm,
+            }
+        }
+        "v32lrotup" | "v32hrotup" | "v32lrho" | "v32hrho" => {
+            expect_operands(line, ops, 3, "vd, vs2, vs1")?;
+            let vd = parse_vreg(ops[0], line)?;
+            let vs2 = parse_vreg(ops[1], line)?;
+            let vs1 = parse_vreg(ops[2], line)?;
+            match base {
+                "v32lrotup" => CustomOp::V32lrotup { vd, vs2, vs1, vm },
+                "v32hrotup" => CustomOp::V32hrotup { vd, vs2, vs1, vm },
+                "v32lrho" => CustomOp::V32lrho { vd, vs2, vs1, vm },
+                _ => CustomOp::V32hrho { vd, vs2, vs1, vm },
+            }
+        }
+        "v64rho" => {
+            expect_operands(line, ops, 3, "vd, vs2, simm")?;
+            CustomOp::V64rho {
+                vd: parse_vreg(ops[0], line)?,
+                vs2: parse_vreg(ops[1], line)?,
+                row: parse_row(ops[2])?,
+                vm,
+            }
+        }
+        "vpi" => {
+            expect_operands(line, ops, 3, "vd, vs2, simm")?;
+            CustomOp::Vpi {
+                vd: parse_vreg(ops[0], line)?,
+                vs2: parse_vreg(ops[1], line)?,
+                row: parse_row(ops[2])?,
+                vm,
+            }
+        }
+        "vrhopi" => {
+            expect_operands(line, ops, 3, "vd, vs2, simm")?;
+            CustomOp::Vrhopi {
+                vd: parse_vreg(ops[0], line)?,
+                vs2: parse_vreg(ops[1], line)?,
+                row: parse_row(ops[2])?,
+                vm,
+            }
+        }
+        "viota" => {
+            expect_operands(line, ops, 3, "vd, vs2, rs1")?;
+            CustomOp::Viota {
+                vd: parse_vreg(ops[0], line)?,
+                vs2: parse_vreg(ops[1], line)?,
+                rs1: parse_xreg(ops[2], line)?,
+                vm,
+            }
+        }
+        _ => return Ok(None),
+    };
+    Ok(Some(Instruction::Custom(op)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(source: &str) -> Instruction {
+        let program = assemble(source).expect("assembles");
+        assert_eq!(program.instructions().len(), 1, "{source}");
+        program.instructions()[0]
+    }
+
+    #[test]
+    fn scalar_instructions_parse() {
+        assert_eq!(
+            one("addi s3, s3, 1"),
+            Instruction::addi(XReg::X19, XReg::X19, 1)
+        );
+        assert_eq!(
+            one("add a0, a1, a2"),
+            Instruction::Op {
+                kind: OpKind::Add,
+                rd: XReg::X10,
+                rs1: XReg::X11,
+                rs2: XReg::X12
+            }
+        );
+        assert_eq!(
+            one("lw a0, -4(sp)"),
+            Instruction::Load {
+                kind: LoadKind::Lw,
+                rd: XReg::X10,
+                rs1: XReg::X2,
+                offset: -4
+            }
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let program = assemble("# full comment\n\n  nop // trailing\n").unwrap();
+        assert_eq!(program.instructions(), &[Instruction::nop()]);
+    }
+
+    #[test]
+    fn labels_resolve_backwards_and_forwards() {
+        let program =
+            assemble("start:\n  nop\n  j end\n  nop\nend:\n  beq zero, zero, start\n").unwrap();
+        let instrs = program.instructions();
+        assert_eq!(
+            instrs[1],
+            Instruction::Jal {
+                rd: XReg::X0,
+                offset: 8
+            }
+        );
+        assert_eq!(
+            instrs[3],
+            Instruction::Branch {
+                kind: BranchKind::Beq,
+                rs1: XReg::X0,
+                rs2: XReg::X0,
+                offset: -12
+            }
+        );
+        assert_eq!(program.symbol("start"), Some(0));
+        assert_eq!(program.symbol("end"), Some(12));
+    }
+
+    #[test]
+    fn li_expands_by_size() {
+        let small = assemble("li s1, 30").unwrap();
+        assert_eq!(small.instructions().len(), 1);
+        let big = assemble("li s1, 0x12345").unwrap();
+        assert_eq!(big.instructions().len(), 2);
+        // Verify the expansion computes the right value: lui+addi.
+        if let [Instruction::Lui { imm: hi, .. }, Instruction::OpImm { imm: lo, .. }] =
+            big.instructions()
+        {
+            assert_eq!(hi.wrapping_add(*lo), 0x12345);
+        } else {
+            panic!("expected lui+addi: {:?}", big.instructions());
+        }
+    }
+
+    #[test]
+    fn li_negative_values() {
+        assert_eq!(one("li s2, -1"), Instruction::addi(XReg::X18, XReg::X0, -1));
+        let big = assemble("li t0, -100000").unwrap();
+        if let [Instruction::Lui { imm: hi, .. }, Instruction::OpImm { imm: lo, .. }] =
+            big.instructions()
+        {
+            assert_eq!(hi.wrapping_add(*lo), -100000);
+        } else {
+            panic!("expected lui+addi");
+        }
+    }
+
+    #[test]
+    fn paper_algorithm2_snippet_parses() {
+        let program = assemble(
+            r"
+            vsetvli x0, s1, e64, m1, tu, mu
+        permutation:
+            vxor.vv v5, v3, v4
+            vslideupm.vi v6, v5, 1
+            vslidedownm.vi v7, v5, 1
+            vrotup.vi v7, v7, 1
+            vxor.vv v5, v6, v7
+            v64rho.vi v0, v0, 0
+            vpi.vi v5, v0, 0
+            vxor.vx v10, v10, s2
+            vand.vv v10, v10, v15
+            viota.vx v0, v0, s3
+            addi s3, s3, 1
+            blt s3, s4, permutation
+        ",
+        )
+        .unwrap();
+        assert_eq!(program.instructions().len(), 13);
+        // The backward branch at index 12 targets index 1 (byte 4).
+        assert_eq!(
+            program.instructions()[12],
+            Instruction::Branch {
+                kind: BranchKind::Blt,
+                rs1: XReg::X19,
+                rs2: XReg::X20,
+                offset: 4 - 12 * 4
+            }
+        );
+    }
+
+    #[test]
+    fn masked_vector_instruction_parses() {
+        assert_eq!(
+            one("vadd.vv v1, v2, v3, v0.t"),
+            Instruction::VArith {
+                op: VArithOp::Add,
+                vd: VReg::V1,
+                vs2: VReg::V2,
+                src: VSource::Vector(VReg::V3),
+                vm: false
+            }
+        );
+    }
+
+    #[test]
+    fn vector_memory_parses() {
+        assert_eq!(
+            one("vle64.v v0, (a0)"),
+            Instruction::VLoad {
+                eew: Sew::E64,
+                vd: VReg::V0,
+                rs1: XReg::X10,
+                mode: MemMode::UnitStride,
+                vm: true
+            }
+        );
+        assert_eq!(
+            one("vsse32.v v3, (a1), t0"),
+            Instruction::VStore {
+                eew: Sew::E32,
+                vs3: VReg::V3,
+                rs1: XReg::X11,
+                mode: MemMode::Strided(XReg::X5),
+                vm: true
+            }
+        );
+        assert_eq!(
+            one("vluxei64.v v2, (a0), v8"),
+            Instruction::VLoad {
+                eew: Sew::E64,
+                vd: VReg::V2,
+                rs1: XReg::X10,
+                mode: MemMode::Indexed(VReg::V8),
+                vm: true
+            }
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = assemble("nop\nbogus x1, x2\n").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn undefined_label_errors() {
+        let err = assemble("j nowhere").unwrap_err();
+        assert!(err.message().contains("undefined label"));
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let err = assemble("a:\nnop\na:\nnop").unwrap_err();
+        assert!(err.message().contains("duplicate label"));
+    }
+
+    #[test]
+    fn out_of_range_immediate_errors() {
+        assert!(assemble("addi x1, x1, 5000").is_err());
+        assert!(assemble("vadd.vi v1, v2, 99").is_err());
+        assert!(assemble("v64rho.vi v0, v0, 7").is_err());
+    }
+
+    #[test]
+    fn sub_vi_rejected() {
+        let err = assemble("vsub.vi v1, v2, 3").unwrap_err();
+        assert!(err.message().contains("does not support"));
+    }
+}

@@ -1,0 +1,72 @@
+//! The assembled-program container.
+
+use krv_isa::Instruction;
+use std::collections::BTreeMap;
+
+/// An assembled program: instructions plus the label/symbol table.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    instructions: Vec<Instruction>,
+    symbols: BTreeMap<String, u32>,
+}
+
+impl Program {
+    /// Creates a program from raw parts.
+    pub fn new(instructions: Vec<Instruction>, symbols: BTreeMap<String, u32>) -> Self {
+        Self {
+            instructions,
+            symbols,
+        }
+    }
+
+    /// The instruction sequence, in address order starting at 0.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// The label table: name → byte address.
+    pub fn symbols(&self) -> &BTreeMap<String, u32> {
+        &self.symbols
+    }
+
+    /// The byte address of a label, if defined.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Encodes every instruction into its machine word.
+    pub fn machine_code(&self) -> Vec<u32> {
+        self.instructions.iter().map(Instruction::encode).collect()
+    }
+
+    /// Program size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.instructions.len() * 4
+    }
+
+    /// Consumes the program, returning the instruction sequence.
+    pub fn into_instructions(self) -> Vec<Instruction> {
+        self.instructions
+    }
+}
+
+impl From<Vec<Instruction>> for Program {
+    fn from(instructions: Vec<Instruction>) -> Self {
+        Self {
+            instructions,
+            symbols: BTreeMap::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_code_matches_encode() {
+        let program = Program::from(vec![Instruction::nop(), Instruction::Ecall]);
+        assert_eq!(program.machine_code(), vec![0x0000_0013, 0x0000_0073]);
+        assert_eq!(program.size_bytes(), 8);
+    }
+}

@@ -1,0 +1,68 @@
+//! Robustness: the assembler must never panic, whatever the input.
+
+use krv_asm::assemble;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3000))]
+
+    /// Arbitrary text: parse errors are fine, panics are not.
+    #[test]
+    fn arbitrary_text_never_panics(source in ".*") {
+        let _ = assemble(&source);
+    }
+
+    /// Text biased toward assembly-looking tokens, to reach deeper into
+    /// the operand parsers than pure noise would.
+    #[test]
+    fn assembly_shaped_text_never_panics(
+        lines in proptest::collection::vec(
+            prop_oneof![
+                // plausible mnemonics with mangled operands
+                "(addi|vxor\\.vv|vle64\\.v|v64rho\\.vi|vpi\\.vi|viota\\.vx|blt|li|csrr|vsetvli) [a-z0-9 ,().$#-]{0,30}",
+                // labels and label-like junk
+                "[a-z_.]{1,12}:",
+                // immediates at the edges
+                "addi x1, x1, (-?[0-9]{1,10}|0x[0-9a-fA-F]{1,10})",
+                // mask suffix in odd places
+                "vadd\\.vv v1, v2, v3(, v0\\.t)?",
+            ],
+            0..12,
+        )
+    ) {
+        let source = lines.join("\n");
+        let _ = assemble(&source);
+    }
+
+    /// Every error carries a plausible line number.
+    #[test]
+    fn errors_point_into_the_source(
+        garbage in "[a-z]{3,10} [a-z0-9, ]{0,20}",
+        padding in 0usize..5,
+    ) {
+        let mut source = "nop\n".repeat(padding);
+        source.push_str(&garbage);
+        if let Err(error) = assemble(&source) {
+            prop_assert!(error.line() >= 1);
+            prop_assert!(error.line() <= padding + 1);
+        }
+    }
+}
+
+#[test]
+fn pathological_inputs() {
+    // Long label chains, deep parens, lone separators, unicode.
+    for source in [
+        "a: b: c: d: nop",
+        "lw a0, ((((((a1))))))",
+        ",,,,",
+        "vxor.vv , ,",
+        "li x1, 99999999999999999999999999",
+        "addi x1, x1, \u{1F600}",
+        ": : :",
+        "nop nop nop",
+        "vle64.v v0, (a0), v0.t, v0.t",
+    ] {
+        let _ = assemble(source);
+    }
+}

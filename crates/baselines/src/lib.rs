@@ -1,0 +1,22 @@
+//! Baselines the paper compares against (§2.3, §4.2).
+//!
+//! Two kinds:
+//!
+//! * [`scalar`] — a software-only Keccak-f\[1600\] for the scalar Ibex
+//!   core, generated as RV32IM assembly and executed on the same
+//!   simulator, standing in for the paper's "Ibex core (C-code)" row
+//!   (the PQ-M4 C implementation compiled with the RISC-V GNU
+//!   toolchain, which is unavailable in this environment; see
+//!   DESIGN.md §3).
+//! * [`reference_designs`] — the published figures of the five prior
+//!   designs the paper cites in Tables 7 and 8 (LEON3 ISE, the two MIPS
+//!   ISEs, OASIP, DASIP, and the Rawat–Schaumont vector extensions).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod reference_designs;
+pub mod scalar;
+
+pub use reference_designs::{paper_rows, ReferenceDesign};
+pub use scalar::{ScalarKeccak, ScalarMetrics};

@@ -1,0 +1,65 @@
+//! Criterion benches for the SHA-3 layer: single-message hashing, XOF
+//! squeezing, and the batch API the paper motivates with Kyber.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use krv_sha3::{BatchSponge, ReferenceBackend, Sha3_256, Shake128, SpongeParams, Xof};
+use std::hint::black_box;
+
+fn bench_sha3_digest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha3_256");
+    for size in [64usize, 1024, 65536] {
+        let message = vec![0xA5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &message, |b, msg| {
+            b.iter(|| Sha3_256::digest(black_box(msg)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_shake_squeeze(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shake128_squeeze");
+    for out_len in [168usize, 1344] {
+        group.throughput(Throughput::Bytes(out_len as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(out_len), &out_len, |b, &len| {
+            b.iter(|| {
+                let mut xof = Shake128::new();
+                xof.update(b"seed material");
+                black_box(xof.squeeze(len))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Batch lockstep hashing vs hashing the members one by one — the code
+/// path a multi-state hardware backend accelerates.
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_vs_sequential");
+    let inputs: Vec<Vec<u8>> = (0..6u8).map(|i| vec![i; 136]).collect();
+    group.throughput(Throughput::Bytes(6 * 136));
+    group.bench_function("batch6", |b| {
+        b.iter(|| {
+            let refs: Vec<&[u8]> = inputs.iter().map(|v| v.as_slice()).collect();
+            let mut batch = BatchSponge::new(SpongeParams::shake(128), ReferenceBackend::new(), 6);
+            batch.absorb(black_box(&refs));
+            black_box(batch.squeeze(168))
+        });
+    });
+    group.bench_function("sequential6", |b| {
+        b.iter(|| {
+            inputs
+                .iter()
+                .map(|input| {
+                    let mut xof = Shake128::new();
+                    xof.update(black_box(input));
+                    xof.squeeze(168)
+                })
+                .collect::<Vec<_>>()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sha3_digest, bench_shake_squeeze, bench_batch);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion benches for the Keccak permutation across backends: the
+//! software reference, the three simulated vector kernels (Tables 7/8
+//! configurations) and the scalar Ibex baseline.
+//!
+//! These measure *host* wall-time of the simulation; the paper's cycle
+//! metrics come from the `table7`/`table8` binaries, which read the
+//! simulator's cycle counters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use krv_baselines::ScalarKeccak;
+use krv_core::{KernelKind, VectorKeccakEngine};
+use krv_keccak::{keccak_f1600, KeccakState};
+use std::hint::black_box;
+
+fn sample_states(n: usize) -> Vec<KeccakState> {
+    (0..n)
+        .map(|s| {
+            let mut lanes = [0u64; 25];
+            for (i, lane) in lanes.iter_mut().enumerate() {
+                *lane = (s as u64) << 32 | i as u64;
+            }
+            KeccakState::from_lanes(lanes)
+        })
+        .collect()
+}
+
+fn bench_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reference");
+    group.throughput(Throughput::Bytes(200));
+    group.bench_function("keccak_f1600", |b| {
+        let mut state = sample_states(1)[0];
+        b.iter(|| {
+            keccak_f1600(black_box(&mut state));
+        });
+    });
+    group.finish();
+}
+
+fn bench_vector_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulated_kernel");
+    for kind in KernelKind::ALL {
+        for states in [1usize, 6] {
+            group.throughput(Throughput::Bytes(200 * states as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind}"), states),
+                &states,
+                |b, &states| {
+                    let mut engine = VectorKeccakEngine::new(kind, states);
+                    let mut data = sample_states(states);
+                    b.iter(|| {
+                        engine
+                            .permute_slice(black_box(&mut data))
+                            .expect("kernel runs");
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_scalar_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulated_scalar");
+    group.throughput(Throughput::Bytes(200));
+    group.sample_size(10);
+    group.bench_function("ibex_baseline", |b| {
+        let mut baseline = ScalarKeccak::new();
+        let mut state = sample_states(1)[0];
+        b.iter(|| {
+            baseline
+                .permute_state(black_box(&mut state))
+                .expect("baseline runs");
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reference,
+    bench_vector_kernels,
+    bench_scalar_baseline
+);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates the comparison ratios quoted in paper §4.2.
+fn main() {
+    print!("{}", krv_bench::render_comparisons());
+}

@@ -1,0 +1,128 @@
+//! ASCII renders of paper Figures 5–8, driven by the real layout code
+//! and the simulator (not hand-drawn): `figures [fig5|fig6|fig7|fig8]`.
+
+use krv_asm::assemble;
+use krv_core::layout::{render_layout_32, render_layout_64};
+use krv_isa::{VReg, XReg};
+use krv_vproc::{Processor, ProcessorConfig};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    match which.as_str() {
+        "fig5" => print!("{}", fig5()),
+        "fig6" => print!("{}", fig6()),
+        "fig7" => print!("{}", fig7()),
+        "fig8" => print!("{}", fig8()),
+        _ => print!("{}\n{}\n{}\n{}", fig5(), fig6(), fig7(), fig8()),
+    }
+}
+
+fn fig5() -> String {
+    format!(
+        "=== Figure 5: memory/register allocation, 64-bit architecture ===\n{}",
+        render_layout_64(15)
+    )
+}
+
+fn fig6() -> String {
+    format!(
+        "=== Figure 6: high/low split allocation, 32-bit architecture ===\n{}",
+        render_layout_32(15)
+    )
+}
+
+/// Figure 7: the modulo-5 slide instructions, executed on the simulator.
+fn fig7() -> String {
+    let mut text = String::from("=== Figure 7: vector slide modulo-five instructions ===\n");
+    let program = assemble(
+        "li s1, 15\n\
+         vsetvli x0, s1, e64, m1, tu, mu\n\
+         vslidedownm.vi v1, v0, 1\n\
+         vslideupm.vi v2, v0, 1\n\
+         ecall",
+    )
+    .expect("figure program assembles");
+    let mut cpu = Processor::new(ProcessorConfig::elen64(15));
+    cpu.load_program(program.instructions());
+    // Three states, lane tags sXY encoded as 10*x + y… use x index.
+    {
+        let vu = cpu.vector_unit_mut();
+        use krv_isa::{Lmul, Sew, Vtype};
+        vu.set_config(15, Vtype::new(Sew::E64, Lmul::M1).tail_undisturbed())
+            .expect("config");
+        for state in 0..3usize {
+            for x in 0..5usize {
+                vu.write_elem_sew(VReg::V0, 5 * state + x, Sew::E64, (10 * x + state) as u64);
+            }
+        }
+    }
+    cpu.run(1_000).expect("figure program runs");
+    let show = |cpu: &Processor, reg: VReg, name: &str| {
+        let values: Vec<String> = (0..15)
+            .map(|i| {
+                let v = cpu.vector_unit().read_elem_sew(reg, i, krv_isa::Sew::E64);
+                format!("s{}{}", v / 10, ["0", "1", "2"][(v % 10) as usize])
+            })
+            .collect();
+        format!("{name:<24} {}\n", values.join(" "))
+    };
+    text.push_str(&show(&cpu, VReg::V0, "source (3 states):"));
+    text.push_str(&show(&cpu, VReg::V1, "vslidedownm offset 1:"));
+    text.push_str(&show(&cpu, VReg::V2, "vslideupm offset 1:"));
+    let _ = cpu.xreg(XReg::X0);
+    text
+}
+
+/// Figure 8: the π column-mode rearrangement, executed on the simulator.
+fn fig8() -> String {
+    let mut text = String::from("=== Figure 8: vpi column-mode rearrangement ===\n");
+    let program = assemble(
+        "li s1, 5\n\
+         vsetvli x0, s1, e64, m1, tu, mu\n\
+         vpi.vi v16, v0, 0\n\
+         vpi.vi v16, v1, 1\n\
+         vpi.vi v16, v2, 2\n\
+         vpi.vi v16, v3, 3\n\
+         vpi.vi v16, v4, 4\n\
+         ecall",
+    )
+    .expect("figure program assembles");
+    let mut cpu = Processor::new(ProcessorConfig::elen64(5));
+    cpu.load_program(program.instructions());
+    {
+        let vu = cpu.vector_unit_mut();
+        use krv_isa::{Lmul, Sew, Vtype};
+        vu.set_config(5, Vtype::new(Sew::E64, Lmul::M1).tail_undisturbed())
+            .expect("config");
+        for y in 0..5usize {
+            for x in 0..5usize {
+                vu.write_elem_sew(VReg::from_index(y), x, Sew::E64, (10 * x + y) as u64);
+            }
+        }
+    }
+    cpu.run(1_000).expect("figure program runs");
+    let show = |cpu: &Processor, base: usize, name: &str| {
+        let mut block = format!("{name}\n");
+        for y in (0..5usize).rev() {
+            let values: Vec<String> = (0..5)
+                .map(|x| {
+                    let v = cpu.vector_unit().read_elem_sew(
+                        VReg::from_index(base + y),
+                        x,
+                        krv_isa::Sew::E64,
+                    );
+                    format!("s{}{}", v / 10, v % 10)
+                })
+                .collect();
+            block.push_str(&format!("  v{:<2} {}\n", base + y, values.join(" ")));
+        }
+        block
+    };
+    text.push_str(&show(&cpu, 0, "source rows E[x,y] (v0-v4):"));
+    text.push_str(&show(
+        &cpu,
+        16,
+        "after vpi, F[x,y] = E[(x+3y)%5, x] (v16-v20):",
+    ));
+    text
+}

@@ -1,0 +1,45 @@
+//! EleNum scaling sweep — the paper's §4.2 observation extended: as
+//! `EleNum` grows, latency stays constant and throughput grows linearly
+//! while the modelled area grows with the lanes and register file.
+//!
+//! Prints throughput/area efficiency per configuration, beyond the
+//! paper's three evaluated points (5, 15, 30).
+
+use krv_area::{slices, AreaArch};
+use krv_core::{KernelKind, VectorKeccakEngine};
+
+fn main() {
+    println!("EleNum scaling sweep (64-bit LMUL=8 and 32-bit LMUL=8 kernels)\n");
+    println!(
+        "{:>7} {:>7} {:>12} {:>15} {:>10} {:>18}",
+        "EleNum", "states", "perm cycles", "tput (mb/cc)", "slices*", "tput/kslice"
+    );
+    for kind in [KernelKind::E64Lmul8, KernelKind::E32Lmul8] {
+        println!("--- {} ---", kind.label());
+        let arch = match kind {
+            KernelKind::E32Lmul8 => AreaArch::Simd32,
+            _ => AreaArch::Simd64,
+        };
+        for states in [1usize, 2, 3, 4, 6, 8, 12] {
+            let elenum = 5 * states;
+            let mut engine = VectorKeccakEngine::new(kind, states);
+            let metrics = engine.measure().expect("kernel runs");
+            let area = slices(arch, elenum);
+            let tput = metrics.throughput_millibits_per_cycle();
+            println!(
+                "{:>7} {:>7} {:>12} {:>15.2} {:>10.0} {:>18.2}",
+                elenum,
+                states,
+                metrics.permutation_cycles,
+                tput,
+                area,
+                tput / (area / 1000.0),
+            );
+        }
+    }
+    println!();
+    println!("* slices from the anchored area model; values beyond EleNum=30 are");
+    println!("  linear extrapolation of the paper's measured segment (see krv-area).");
+    println!("throughput/area efficiency is roughly flat: the design scales out");
+    println!("by replicating lanes, as the paper's Tables 7-8 already suggest.");
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Table 7 (64-bit architectures).
+fn main() {
+    print!("{}", krv_bench::render_table7());
+}

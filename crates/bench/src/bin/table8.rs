@@ -1,0 +1,4 @@
+//! Regenerates paper Table 8 (32-bit architectures).
+fn main() {
+    print!("{}", krv_bench::render_table8());
+}

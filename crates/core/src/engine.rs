@@ -1,0 +1,403 @@
+//! The multi-state vector Keccak engine.
+
+use crate::layout;
+use crate::metrics::KernelMetrics;
+use crate::programs::{
+    kernel_e32_lmul8, kernel_e64_fused, kernel_e64_lmul1, kernel_e64_lmul4_1, kernel_e64_lmul8,
+    KernelProgram, STATE_BASE, STATE_BASE_HI,
+};
+use krv_keccak::KeccakState;
+use krv_sha3::PermutationBackend;
+use krv_vproc::{Processor, ProcessorConfig, Trap};
+use std::fmt;
+
+/// Which architecture/kernel combination the engine runs
+/// (the three rows families of paper Tables 7 and 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// 64-bit architecture, LMUL = 1 (paper Algorithm 2).
+    E64Lmul1,
+    /// 64-bit architecture, LMUL = 8 (paper Algorithm 3).
+    E64Lmul8,
+    /// 32-bit architecture, LMUL = 8 (paper §3.2/§4.1).
+    E32Lmul8,
+    /// 64-bit architecture, the LMUL=4+1 grouping the paper considers
+    /// and rejects in §4.1 (ablation; slower than LMUL=8).
+    E64Lmul41,
+    /// 64-bit architecture with the fused ρ+π `vrhopi` instruction —
+    /// an extension realizing the paper's §5 future work.
+    E64Fused,
+}
+
+impl KernelKind {
+    /// The paper's three evaluated kernels, in presentation order.
+    pub const ALL: [KernelKind; 3] = [
+        KernelKind::E64Lmul1,
+        KernelKind::E64Lmul8,
+        KernelKind::E32Lmul8,
+    ];
+
+    /// Every kernel including the ablation and the fused extension.
+    pub const WITH_EXTENSIONS: [KernelKind; 5] = [
+        KernelKind::E64Lmul1,
+        KernelKind::E64Lmul8,
+        KernelKind::E32Lmul8,
+        KernelKind::E64Lmul41,
+        KernelKind::E64Fused,
+    ];
+
+    /// A short human-readable label matching the paper's table rows.
+    pub const fn label(self) -> &'static str {
+        match self {
+            KernelKind::E64Lmul1 => "64-bit with LMUL=1",
+            KernelKind::E64Lmul8 => "64-bit with LMUL=8",
+            KernelKind::E32Lmul8 => "32-bit with LMUL=8",
+            KernelKind::E64Lmul41 => "64-bit with LMUL=4+1 (ablation)",
+            KernelKind::E64Fused => "64-bit with fused vrhopi (extension)",
+        }
+    }
+
+    /// The paper's reported cycles/round, `None` for the kernels the
+    /// paper did not evaluate (the ablation and the fused extension).
+    pub const fn paper_cycles_per_round(self) -> Option<u64> {
+        match self {
+            KernelKind::E64Lmul1 => Some(103),
+            KernelKind::E64Lmul8 => Some(75),
+            KernelKind::E32Lmul8 => Some(147),
+            KernelKind::E64Lmul41 | KernelKind::E64Fused => None,
+        }
+    }
+
+    /// The paper's reported whole-permutation latency in cycles, `None`
+    /// for the non-paper kernels.
+    pub const fn paper_permutation_cycles(self) -> Option<u64> {
+        match self {
+            KernelKind::E64Lmul1 => Some(2564),
+            KernelKind::E64Lmul8 => Some(1892),
+            KernelKind::E32Lmul8 => Some(3620),
+            KernelKind::E64Lmul41 | KernelKind::E64Fused => None,
+        }
+    }
+
+    fn generate(self, elenum: usize) -> KernelProgram {
+        match self {
+            KernelKind::E64Lmul1 => kernel_e64_lmul1(elenum),
+            KernelKind::E64Lmul8 => kernel_e64_lmul8(elenum),
+            KernelKind::E32Lmul8 => kernel_e32_lmul8(elenum),
+            KernelKind::E64Lmul41 => kernel_e64_lmul4_1(elenum),
+            KernelKind::E64Fused => kernel_e64_fused(elenum),
+        }
+    }
+
+    fn processor_config(self, elenum: usize) -> ProcessorConfig {
+        match self {
+            KernelKind::E32Lmul8 => ProcessorConfig::elen32(elenum),
+            _ => ProcessorConfig::elen64(elenum),
+        }
+    }
+}
+
+impl fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Runs the Keccak-f\[1600\] permutation on up to `SN` states in parallel
+/// on the simulated SIMD processor.
+///
+/// Construct with the kernel kind and the number of parallel states; the
+/// engine sizes the processor (`EleNum = 5 × SN`), generates and loads
+/// the kernel, and presets the plane base-address registers. Each
+/// [`VectorKeccakEngine::permute_slice`] call writes the states into data
+/// memory in the paper's layout, executes the full 24-round program, and
+/// reads the permuted states back.
+///
+/// The engine also implements [`PermutationBackend`], so `krv-sha3`
+/// hash functions can run directly on the simulated hardware.
+#[derive(Debug, Clone)]
+pub struct VectorKeccakEngine {
+    kind: KernelKind,
+    states: usize,
+    cpu: Processor,
+    kernel: KernelProgram,
+    last_metrics: Option<KernelMetrics>,
+    permutations: u64,
+}
+
+impl VectorKeccakEngine {
+    /// Creates an engine holding `sn` parallel states (`EleNum = 5·sn`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sn` is zero.
+    pub fn new(kind: KernelKind, sn: usize) -> Self {
+        assert!(sn > 0, "the engine needs at least one state slot");
+        let elenum = 5 * sn;
+        let kernel = kind.generate(elenum);
+        let mut cpu = Processor::new(kind.processor_config(elenum));
+        cpu.load_program(kernel.program.instructions());
+        Self {
+            kind,
+            states: sn,
+            cpu,
+            kernel,
+            last_metrics: None,
+            permutations: 0,
+        }
+    }
+
+    /// The kernel kind.
+    pub fn kind(&self) -> KernelKind {
+        self.kind
+    }
+
+    /// Maximum states permuted per hardware pass (`SN`).
+    pub fn capacity(&self) -> usize {
+        self.states
+    }
+
+    /// The generated kernel (assembly source, program, markers).
+    pub fn kernel(&self) -> &KernelProgram {
+        &self.kernel
+    }
+
+    /// Metrics of the most recent hardware pass.
+    pub fn last_metrics(&self) -> Option<KernelMetrics> {
+        self.last_metrics
+    }
+
+    /// Total hardware permutation passes executed.
+    pub fn permutations(&self) -> u64 {
+        self.permutations
+    }
+
+    /// Read access to the underlying processor (diagnostics).
+    pub fn processor(&self) -> &Processor {
+        &self.cpu
+    }
+
+    /// Permutes every state in `states`, in chunks of [`Self::capacity`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] if the kernel faults (which indicates an engine
+    /// bug — the generated kernels are validated against the reference
+    /// permutation).
+    pub fn permute_slice(&mut self, states: &mut [KeccakState]) -> Result<(), Trap> {
+        for chunk in states.chunks_mut(self.states) {
+            self.run_pass(chunk)?;
+        }
+        Ok(())
+    }
+
+    /// Runs one measured hardware pass on an all-zero state set and
+    /// returns its metrics (used by the bench harness; the cycle counts
+    /// are data-independent).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] if the kernel faults.
+    pub fn measure(&mut self) -> Result<KernelMetrics, Trap> {
+        let mut states = vec![KeccakState::new(); self.states];
+        self.run_pass(&mut states)?;
+        Ok(self.last_metrics.expect("run_pass records metrics"))
+    }
+
+    fn run_pass(&mut self, states: &mut [KeccakState]) -> Result<(), Trap> {
+        debug_assert!(states.len() <= self.states);
+        let elenum = self.kernel.elenum;
+        // Stage the states in data memory (paper Figures 5/6).
+        match self.kind {
+            KernelKind::E32Lmul8 => {
+                layout::write_states_32(
+                    self.cpu.dmem_mut(),
+                    STATE_BASE,
+                    STATE_BASE_HI,
+                    elenum,
+                    states,
+                )?;
+            }
+            _ => {
+                layout::write_states_64(self.cpu.dmem_mut(), STATE_BASE, elenum, states)?;
+            }
+        }
+        // Preset the plane base-address registers and enter the kernel.
+        for &(reg, addr) in &self.kernel.presets {
+            self.cpu.set_xreg(reg, addr);
+        }
+        self.cpu.set_pc(0);
+        self.cpu.reset_counters();
+        // Phase-accurate cycle accounting via the program markers.
+        self.cpu
+            .run_until_pc(self.kernel.markers.loop_start, 1_000_000)?;
+        let prologue_end = self.cpu.cycles();
+        let prologue_retired = self.cpu.retired();
+        self.cpu
+            .run_until_pc(self.kernel.markers.loop_control, 1_000_000)?;
+        let first_round = self.cpu.cycles() - prologue_end;
+        let round_instructions = self.cpu.retired() - prologue_retired;
+        self.cpu
+            .run_until_pc(self.kernel.markers.after_loop, 10_000_000)?;
+        let permutation_cycles = self.cpu.cycles();
+        self.cpu.run(permutation_cycles + 100_000)?;
+        let total_cycles = self.cpu.cycles();
+        self.last_metrics = Some(KernelMetrics {
+            cycles_per_round: first_round,
+            permutation_cycles,
+            total_cycles,
+            states: self.states,
+            instructions_per_round: round_instructions,
+        });
+        self.permutations += 1;
+        // Read the permuted states back.
+        let results = match self.kind {
+            KernelKind::E32Lmul8 => layout::read_states_32(
+                self.cpu.dmem(),
+                STATE_BASE,
+                STATE_BASE_HI,
+                elenum,
+                states.len(),
+            )?,
+            _ => layout::read_states_64(self.cpu.dmem(), STATE_BASE, elenum, states.len())?,
+        };
+        states.copy_from_slice(&results);
+        Ok(())
+    }
+}
+
+impl PermutationBackend for VectorKeccakEngine {
+    /// Permutes all states on the simulated processor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel traps — the generated kernels are validated,
+    /// so a trap indicates an internal bug, not a caller error.
+    fn permute_all(&mut self, states: &mut [KeccakState]) {
+        self.permute_slice(states)
+            .expect("validated kernel must not trap");
+    }
+
+    fn parallel_states(&self) -> usize {
+        self.states
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krv_keccak::keccak_f1600;
+
+    fn distinct_states(n: usize) -> Vec<KeccakState> {
+        (0..n)
+            .map(|s| {
+                let mut lanes = [0u64; 25];
+                for (i, lane) in lanes.iter_mut().enumerate() {
+                    *lane = (s as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i as u64) << 17;
+                }
+                KeccakState::from_lanes(lanes)
+            })
+            .collect()
+    }
+
+    fn check_kernel(kind: KernelKind, sn: usize) {
+        let mut engine = VectorKeccakEngine::new(kind, sn);
+        let mut states = distinct_states(sn);
+        let mut expected = states.clone();
+        engine.permute_slice(&mut states).expect("kernel runs");
+        for state in &mut expected {
+            keccak_f1600(state);
+        }
+        assert_eq!(states, expected, "{kind} with {sn} states");
+    }
+
+    #[test]
+    fn e64_lmul1_matches_reference() {
+        check_kernel(KernelKind::E64Lmul1, 1);
+        check_kernel(KernelKind::E64Lmul1, 3);
+    }
+
+    #[test]
+    fn e64_lmul8_matches_reference() {
+        check_kernel(KernelKind::E64Lmul8, 1);
+        check_kernel(KernelKind::E64Lmul8, 6);
+    }
+
+    #[test]
+    fn e32_lmul8_matches_reference() {
+        check_kernel(KernelKind::E32Lmul8, 1);
+        check_kernel(KernelKind::E32Lmul8, 3);
+    }
+
+    #[test]
+    fn lmul41_ablation_matches_reference() {
+        check_kernel(KernelKind::E64Lmul41, 1);
+        check_kernel(KernelKind::E64Lmul41, 3);
+    }
+
+    #[test]
+    fn fused_extension_matches_reference() {
+        check_kernel(KernelKind::E64Fused, 1);
+        check_kernel(KernelKind::E64Fused, 6);
+    }
+
+    #[test]
+    fn extension_kernel_round_costs() {
+        let mut ablation = VectorKeccakEngine::new(KernelKind::E64Lmul41, 1);
+        assert_eq!(ablation.measure().unwrap().cycles_per_round, 91);
+        let mut fused = VectorKeccakEngine::new(KernelKind::E64Fused, 1);
+        assert_eq!(fused.measure().unwrap().cycles_per_round, 69);
+    }
+
+    #[test]
+    fn cycles_per_round_match_paper() {
+        for (kind, expected) in [
+            (KernelKind::E64Lmul1, 103),
+            (KernelKind::E64Lmul8, 75),
+            (KernelKind::E32Lmul8, 147),
+        ] {
+            let mut engine = VectorKeccakEngine::new(kind, 1);
+            let metrics = engine.measure().unwrap();
+            assert_eq!(metrics.cycles_per_round, expected, "{kind} cycles/round");
+        }
+    }
+
+    #[test]
+    fn latency_is_independent_of_state_count() {
+        // Paper §4.2: "The latency is the same no matter how many Keccak
+        // states there are in the system simultaneously."
+        for kind in KernelKind::ALL {
+            let mut one = VectorKeccakEngine::new(kind, 1);
+            let mut six = VectorKeccakEngine::new(kind, 6);
+            let m1 = one.measure().unwrap();
+            let m6 = six.measure().unwrap();
+            assert_eq!(m1.permutation_cycles, m6.permutation_cycles, "{kind}");
+            assert_eq!(m6.states, 6);
+        }
+    }
+
+    #[test]
+    fn oversized_slice_is_chunked() {
+        let mut engine = VectorKeccakEngine::new(KernelKind::E64Lmul8, 2);
+        let mut states = distinct_states(5);
+        let mut expected = states.clone();
+        engine.permute_slice(&mut states).unwrap();
+        for state in &mut expected {
+            keccak_f1600(state);
+        }
+        assert_eq!(states, expected);
+        assert_eq!(engine.permutations(), 3, "ceil(5/2) hardware passes");
+    }
+
+    #[test]
+    fn repeated_permutation_composes() {
+        let mut engine = VectorKeccakEngine::new(KernelKind::E64Lmul1, 1);
+        let mut state = vec![KeccakState::new()];
+        engine.permute_slice(&mut state).unwrap();
+        engine.permute_slice(&mut state).unwrap();
+        let mut expected = KeccakState::new();
+        keccak_f1600(&mut expected);
+        keccak_f1600(&mut expected);
+        assert_eq!(state[0], expected);
+    }
+}

@@ -1,0 +1,248 @@
+//! Memory and register-file layouts for parallel Keccak states
+//! (paper Figures 5 and 6).
+//!
+//! The kernels load one *plane* (five lanes sharing a row) per vector
+//! register, with `SN` states side by side: element `5·s + x` of register
+//! `y` holds lane (x, y) of state `s`. Data memory mirrors that layout so
+//! unit-stride loads fill whole registers:
+//!
+//! * **64-bit architecture** (Figure 5): plane `y` of all states occupies
+//!   `EleNum` consecutive 64-bit words at `base + y · 8 · EleNum`.
+//! * **32-bit architecture** (Figure 6): the least-significant lane
+//!   halves live in one region and the most-significant halves in a
+//!   second region, each organized like the 64-bit layout but with 32-bit
+//!   words.
+
+use krv_keccak::interleave::{join_lane, split_lane};
+use krv_keccak::KeccakState;
+use krv_vproc::{DataMemory, Trap};
+
+/// Writes `states` into memory in the 64-bit layout of paper Figure 5.
+///
+/// `elenum` is the per-register element count; slots for states beyond
+/// `states.len()` are zero-filled.
+///
+/// # Errors
+///
+/// Traps if the region `[base, base + 5·8·elenum)` exceeds the memory.
+pub fn write_states_64(
+    mem: &mut DataMemory,
+    base: u32,
+    elenum: usize,
+    states: &[KeccakState],
+) -> Result<(), Trap> {
+    assert!(states.len() * 5 <= elenum, "too many states for EleNum");
+    for y in 0..5 {
+        for slot in 0..elenum / 5 {
+            for x in 0..5 {
+                let lane = states.get(slot).map_or(0, |s| s.lane(x, y));
+                let addr = base + 8 * (y * elenum + 5 * slot + x) as u32;
+                mem.write(addr, 8, lane)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads `count` states back from the 64-bit layout.
+///
+/// # Errors
+///
+/// Traps if the region exceeds the memory.
+pub fn read_states_64(
+    mem: &DataMemory,
+    base: u32,
+    elenum: usize,
+    count: usize,
+) -> Result<Vec<KeccakState>, Trap> {
+    assert!(count * 5 <= elenum, "too many states for EleNum");
+    let mut states = vec![KeccakState::new(); count];
+    for y in 0..5 {
+        for (slot, state) in states.iter_mut().enumerate() {
+            for x in 0..5 {
+                let addr = base + 8 * (y * elenum + 5 * slot + x) as u32;
+                state.set_lane(x, y, mem.read(addr, 8)?);
+            }
+        }
+    }
+    Ok(states)
+}
+
+/// Writes `states` into memory in the 32-bit high/low-split layout of
+/// paper Figure 6: low halves at `base_lo`, high halves at `base_hi`.
+///
+/// # Errors
+///
+/// Traps if either region exceeds the memory.
+pub fn write_states_32(
+    mem: &mut DataMemory,
+    base_lo: u32,
+    base_hi: u32,
+    elenum: usize,
+    states: &[KeccakState],
+) -> Result<(), Trap> {
+    assert!(states.len() * 5 <= elenum, "too many states for EleNum");
+    for y in 0..5 {
+        for slot in 0..elenum / 5 {
+            for x in 0..5 {
+                let lane = states.get(slot).map_or(0, |s| s.lane(x, y));
+                let (lo, hi) = split_lane(lane);
+                let offset = 4 * (y * elenum + 5 * slot + x) as u32;
+                mem.write(base_lo + offset, 4, lo as u64)?;
+                mem.write(base_hi + offset, 4, hi as u64)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads `count` states back from the 32-bit split layout.
+///
+/// # Errors
+///
+/// Traps if either region exceeds the memory.
+pub fn read_states_32(
+    mem: &DataMemory,
+    base_lo: u32,
+    base_hi: u32,
+    elenum: usize,
+    count: usize,
+) -> Result<Vec<KeccakState>, Trap> {
+    assert!(count * 5 <= elenum, "too many states for EleNum");
+    let mut states = vec![KeccakState::new(); count];
+    for y in 0..5 {
+        for (slot, state) in states.iter_mut().enumerate() {
+            for x in 0..5 {
+                let offset = 4 * (y * elenum + 5 * slot + x) as u32;
+                let lo = mem.read(base_lo + offset, 4)? as u32;
+                let hi = mem.read(base_hi + offset, 4)? as u32;
+                state.set_lane(x, y, join_lane(lo, hi));
+            }
+        }
+    }
+    Ok(states)
+}
+
+/// Renders the 64-bit register-file occupancy as ASCII art in the style
+/// of paper Figure 5 (used by the `figures` binary).
+pub fn render_layout_64(elenum: usize) -> String {
+    let states = elenum / 5;
+    let mut text = String::new();
+    text.push_str(&format!(
+        "64-bit layout: EleNum = {elenum}, {states} Keccak state(s)\n"
+    ));
+    for y in (0..5).rev() {
+        text.push_str(&format!("v{y}: "));
+        for slot in 0..states {
+            for x in 0..5 {
+                text.push_str(&format!("s{x}{y}.A{slot} "));
+            }
+            text.push('|');
+        }
+        text.push('\n');
+    }
+    text
+}
+
+/// Renders the 32-bit split layout in the style of paper Figure 6.
+pub fn render_layout_32(elenum: usize) -> String {
+    let states = elenum / 5;
+    let mut text = String::new();
+    text.push_str(&format!(
+        "32-bit layout: EleNum = {elenum}, {states} Keccak state(s)\n"
+    ));
+    for (region, prefix) in [(16, "sh"), (0, "sl")] {
+        for y in (0..5).rev() {
+            text.push_str(&format!("v{:2}: ", region + y));
+            for slot in 0..states {
+                for x in 0..5 {
+                    text.push_str(&format!("{prefix}{x}{y}.A{slot} "));
+                }
+                text.push('|');
+            }
+            text.push('\n');
+        }
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_states(n: usize) -> Vec<KeccakState> {
+        (0..n)
+            .map(|s| {
+                let mut lanes = [0u64; 25];
+                for (i, lane) in lanes.iter_mut().enumerate() {
+                    *lane = ((s as u64) << 32) | i as u64;
+                }
+                KeccakState::from_lanes(lanes)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn layout64_round_trip() {
+        let mut mem = DataMemory::new(1 << 16);
+        let states = sample_states(3);
+        write_states_64(&mut mem, 64, 15, &states).unwrap();
+        assert_eq!(read_states_64(&mem, 64, 15, 3).unwrap(), states);
+    }
+
+    #[test]
+    fn layout64_plane_major_order() {
+        let mut mem = DataMemory::new(1 << 16);
+        let states = sample_states(1);
+        write_states_64(&mut mem, 0, 5, &states).unwrap();
+        // First word is lane (0,0); word at plane-1 offset is lane (0,1).
+        assert_eq!(mem.read(0, 8).unwrap(), states[0].lane(0, 0));
+        assert_eq!(mem.read(8 * 5, 8).unwrap(), states[0].lane(0, 1));
+        assert_eq!(mem.read(8 * 3, 8).unwrap(), states[0].lane(3, 0));
+    }
+
+    #[test]
+    fn layout32_round_trip() {
+        let mut mem = DataMemory::new(1 << 16);
+        let states = sample_states(6);
+        write_states_32(&mut mem, 0, 4096, 30, &states).unwrap();
+        assert_eq!(read_states_32(&mem, 0, 4096, 30, 6).unwrap(), states);
+    }
+
+    #[test]
+    fn layout32_splits_halves() {
+        let mut mem = DataMemory::new(1 << 16);
+        let mut state = KeccakState::new();
+        state.set_lane(0, 0, 0xAAAA_BBBB_CCCC_DDDD);
+        write_states_32(&mut mem, 0, 4096, 5, &[state]).unwrap();
+        assert_eq!(mem.read(0, 4).unwrap(), 0xCCCC_DDDD);
+        assert_eq!(mem.read(4096, 4).unwrap(), 0xAAAA_BBBB);
+    }
+
+    #[test]
+    fn unused_slots_are_zeroed() {
+        let mut mem = DataMemory::new(1 << 16);
+        // Pre-fill with garbage.
+        for addr in (0..1200u32).step_by(8) {
+            mem.write(addr, 8, u64::MAX).unwrap();
+        }
+        let states = sample_states(1);
+        write_states_64(&mut mem, 0, 15, &states).unwrap();
+        // Slot 1 of plane 0 must be zero.
+        assert_eq!(mem.read(8 * 5, 8).unwrap(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many states")]
+    fn capacity_checked() {
+        let mut mem = DataMemory::new(1 << 16);
+        let states = sample_states(2);
+        let _ = write_states_64(&mut mem, 0, 5, &states);
+    }
+
+    #[test]
+    fn renders_are_nonempty() {
+        assert!(render_layout_64(15).contains("s00.A2"));
+        assert!(render_layout_32(10).contains("sh44.A1"));
+    }
+}

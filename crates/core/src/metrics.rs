@@ -1,0 +1,86 @@
+//! Cycle metrics in the paper's units (Tables 7 and 8).
+
+use krv_keccak::constants::STATE_BYTES;
+
+/// Measured cycle counts of one kernel execution, expressed in the
+/// paper's reporting units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelMetrics {
+    /// Cycles of one round body (θρπχι, excluding loop control) — the
+    /// paper's "cycles/round" column.
+    pub cycles_per_round: u64,
+    /// Cycles from kernel entry to loop exit: the whole 24-round
+    /// permutation including prologue and loop overhead — the quantity
+    /// behind the paper's 2564 / 1892 / 3620 figures.
+    pub permutation_cycles: u64,
+    /// Cycles of the complete program including the state store epilogue.
+    pub total_cycles: u64,
+    /// Number of Keccak states processed in parallel (`SN`).
+    pub states: usize,
+    /// Instructions retired in one round body (the paper's comparison
+    /// point against Rawat et al.'s 66 instructions/round).
+    pub instructions_per_round: u64,
+}
+
+impl KernelMetrics {
+    /// Cycles per message byte for one state: `permutation_cycles / 200`
+    /// (the paper's "cycles/byte" column).
+    pub fn cycles_per_byte(&self) -> f64 {
+        self.permutation_cycles as f64 / STATE_BYTES as f64
+    }
+
+    /// Throughput in bits per cycle across all parallel states (the
+    /// paper's "(bits/cycle) × 10⁻³" column is this × 1000).
+    pub fn throughput_bits_per_cycle(&self) -> f64 {
+        (1600.0 * self.states as f64) / self.permutation_cycles as f64
+    }
+
+    /// Throughput in the paper's display unit, `(bits/cycle) × 10⁻³`.
+    pub fn throughput_millibits_per_cycle(&self) -> f64 {
+        self.throughput_bits_per_cycle() * 1000.0
+    }
+
+    /// Throughput in bits per second at a clock frequency in MHz (the
+    /// paper implements the processor at 100 MHz).
+    pub fn throughput_bits_per_second(&self, clock_mhz: f64) -> f64 {
+        self.throughput_bits_per_cycle() * clock_mhz * 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_units_reproduce_table7_rows() {
+        // 64-bit LMUL=1, 1 state: 2564 cycles → 12.8 c/B, 624 mb/cc.
+        let metrics = KernelMetrics {
+            cycles_per_round: 103,
+            permutation_cycles: 2564,
+            total_cycles: 2600,
+            states: 1,
+            instructions_per_round: 49,
+        };
+        assert!((metrics.cycles_per_byte() - 12.82).abs() < 0.01);
+        assert!((metrics.throughput_millibits_per_cycle() - 624.02).abs() < 0.01);
+        // 6 states: ×6 throughput.
+        let six = KernelMetrics {
+            states: 6,
+            ..metrics
+        };
+        assert!((six.throughput_millibits_per_cycle() - 3744.15).abs() < 0.01);
+    }
+
+    #[test]
+    fn throughput_scales_with_clock() {
+        let metrics = KernelMetrics {
+            cycles_per_round: 75,
+            permutation_cycles: 1892,
+            total_cycles: 1930,
+            states: 1,
+            instructions_per_round: 23,
+        };
+        let at_100mhz = metrics.throughput_bits_per_second(100.0);
+        assert!((at_100mhz - 0.8457 * 100e6).abs() / at_100mhz < 0.01);
+    }
+}

@@ -1,0 +1,654 @@
+//! Kernel program generators: the paper's assembly listings.
+//!
+//! Each generator emits assembly text for a complete 24-round
+//! Keccak-f\[1600\] program — prologue (scalar setup + `vsetvli` + vector
+//! loads), the round loop, and an epilogue that stores the states back
+//! and halts — then assembles it with [`krv_asm`].
+//!
+//! The generated instruction streams follow the paper verbatim where it
+//! gives them (Algorithm 2 for the 64-bit LMUL=1 kernel, Algorithm 3 for
+//! the LMUL=8 ρ/π/χ/ι rewrite) and §4.1's description for the 32-bit
+//! kernel. Their per-round cycle counts on the calibrated simulator are
+//! exactly the paper's 103, 75 and 147 cycles.
+
+use krv_asm::{assemble, Program};
+use krv_isa::XReg;
+use std::fmt::Write as _;
+
+/// Byte addresses of the kernel's phases within the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgramMarkers {
+    /// First instruction of the round body (`permutation:` label).
+    pub loop_start: u32,
+    /// First loop-control instruction (the round-counter `addi`).
+    pub loop_control: u32,
+    /// First instruction after the loop (the store section).
+    pub after_loop: u32,
+}
+
+/// A generated, assembled kernel with its metadata.
+#[derive(Debug, Clone)]
+pub struct KernelProgram {
+    /// The assembly source text.
+    pub source: String,
+    /// The assembled program.
+    pub program: Program,
+    /// Phase addresses for cycle accounting.
+    pub markers: ProgramMarkers,
+    /// Scalar registers the caller must preset (base addresses of the
+    /// vector-load regions) before running.
+    pub presets: Vec<(XReg, u32)>,
+    /// The `EleNum` the kernel was generated for.
+    pub elenum: usize,
+}
+
+impl KernelProgram {
+    fn from_source(source: String, presets: Vec<(XReg, u32)>, elenum: usize) -> Self {
+        let program = assemble(&source).expect("generated kernel must assemble");
+        let markers = ProgramMarkers {
+            loop_start: program.symbol("permutation").expect("loop label"),
+            loop_control: program.symbol("loopctl").expect("loop-control label"),
+            after_loop: program.symbol("done").expect("store label"),
+        };
+        Self {
+            source,
+            program,
+            markers,
+            presets,
+            elenum,
+        }
+    }
+}
+
+/// Base address of the (low-half) state region in data memory.
+pub const STATE_BASE: u32 = 0;
+/// Base address of the high-half state region (32-bit kernel only).
+pub const STATE_BASE_HI: u32 = 0x4000;
+
+/// The five θ-step instructions shared by every kernel's 64-bit variant
+/// (paper Algorithm 2 lines 4–16).
+fn theta_64(asm: &mut String) {
+    asm.push_str(
+        "step_theta:\n\
+         \x20   # theta step (26 cc)\n\
+         \x20   vxor.vv v5, v3, v4\n\
+         \x20   vxor.vv v6, v1, v2\n\
+         \x20   vxor.vv v7, v0, v6\n\
+         \x20   vxor.vv v5, v5, v7\n\
+         \x20   vslideupm.vi v6, v5, 1\n\
+         \x20   vslidedownm.vi v7, v5, 1\n\
+         \x20   vrotup.vi v7, v7, 1\n\
+         \x20   vxor.vv v5, v6, v7\n\
+         \x20   vxor.vv v0, v0, v5\n\
+         \x20   vxor.vv v1, v1, v5\n\
+         \x20   vxor.vv v2, v2, v5\n\
+         \x20   vxor.vv v3, v3, v5\n\
+         \x20   vxor.vv v4, v4, v5\n",
+    );
+}
+
+/// Generates the 64-bit LMUL=1 kernel (paper Algorithm 2, 103 cc/round).
+///
+/// # Panics
+///
+/// Panics if `elenum` is not a positive multiple of 5.
+pub fn kernel_e64_lmul1(elenum: usize) -> KernelProgram {
+    assert!(elenum > 0 && elenum % 5 == 0, "EleNum must be 5 × SN");
+    let mut asm = String::new();
+    let _ = writeln!(asm, "    li s1, {elenum}");
+    asm.push_str(
+        "    li s2, -1\n\
+         \x20   li s3, 0\n\
+         \x20   li s4, 24\n\
+         \x20   vsetvli x0, s1, e64, m1, tu, mu\n\
+         \x20   vle64.v v0, (a0)\n\
+         \x20   vle64.v v1, (a1)\n\
+         \x20   vle64.v v2, (a2)\n\
+         \x20   vle64.v v3, (a3)\n\
+         \x20   vle64.v v4, (a4)\n\
+         permutation:\n",
+    );
+    theta_64(&mut asm);
+    asm.push_str(
+        "step_rho:\n\
+         \x20   # rho step (10 cc)\n\
+         \x20   v64rho.vi v0, v0, 0\n\
+         \x20   v64rho.vi v1, v1, 1\n\
+         \x20   v64rho.vi v2, v2, 2\n\
+         \x20   v64rho.vi v3, v3, 3\n\
+         \x20   v64rho.vi v4, v4, 4\n\
+         step_pi:\n\
+         \x20   # pi step (15 cc)\n\
+         \x20   vpi.vi v5, v0, 0\n\
+         \x20   vpi.vi v5, v1, 1\n\
+         \x20   vpi.vi v5, v2, 2\n\
+         \x20   vpi.vi v5, v3, 3\n\
+         \x20   vpi.vi v5, v4, 4\n\
+         step_chi:\n\
+         \x20   # chi step (50 cc)\n\
+         \x20   vslidedownm.vi v10, v5, 1\n\
+         \x20   vslidedownm.vi v11, v6, 1\n\
+         \x20   vslidedownm.vi v12, v7, 1\n\
+         \x20   vslidedownm.vi v13, v8, 1\n\
+         \x20   vslidedownm.vi v14, v9, 1\n\
+         \x20   vxor.vx v10, v10, s2\n\
+         \x20   vxor.vx v11, v11, s2\n\
+         \x20   vxor.vx v12, v12, s2\n\
+         \x20   vxor.vx v13, v13, s2\n\
+         \x20   vxor.vx v14, v14, s2\n\
+         \x20   vslidedownm.vi v15, v5, 2\n\
+         \x20   vslidedownm.vi v16, v6, 2\n\
+         \x20   vslidedownm.vi v17, v7, 2\n\
+         \x20   vslidedownm.vi v18, v8, 2\n\
+         \x20   vslidedownm.vi v19, v9, 2\n\
+         \x20   vand.vv v10, v10, v15\n\
+         \x20   vand.vv v11, v11, v16\n\
+         \x20   vand.vv v12, v12, v17\n\
+         \x20   vand.vv v13, v13, v18\n\
+         \x20   vand.vv v14, v14, v19\n\
+         \x20   vxor.vv v0, v5, v10\n\
+         \x20   vxor.vv v1, v6, v11\n\
+         \x20   vxor.vv v2, v7, v12\n\
+         \x20   vxor.vv v3, v8, v13\n\
+         \x20   vxor.vv v4, v9, v14\n\
+         step_iota:\n\
+         \x20   # iota step (2 cc)\n\
+         \x20   viota.vx v0, v0, s3\n\
+         loopctl:\n\
+         \x20   addi s3, s3, 1\n\
+         \x20   blt s3, s4, permutation\n\
+         done:\n\
+         \x20   vse64.v v0, (a0)\n\
+         \x20   vse64.v v1, (a1)\n\
+         \x20   vse64.v v2, (a2)\n\
+         \x20   vse64.v v3, (a3)\n\
+         \x20   vse64.v v4, (a4)\n\
+         \x20   ecall\n",
+    );
+    KernelProgram::from_source(asm, presets_64(elenum), elenum)
+}
+
+/// Generates the 64-bit LMUL=8 kernel (paper Algorithm 3, 75 cc/round).
+///
+/// # Panics
+///
+/// Panics if `elenum` is not a positive multiple of 5.
+pub fn kernel_e64_lmul8(elenum: usize) -> KernelProgram {
+    assert!(elenum > 0 && elenum % 5 == 0, "EleNum must be 5 × SN");
+    let mut asm = String::new();
+    let _ = writeln!(asm, "    li s1, {elenum}");
+    let _ = writeln!(asm, "    li s5, {}", 5 * elenum);
+    asm.push_str(
+        "    li s2, -1\n\
+         \x20   li s3, 0\n\
+         \x20   li s4, 24\n\
+         \x20   vsetvli x0, s1, e64, m1, tu, mu\n\
+         \x20   vle64.v v0, (a0)\n\
+         \x20   vle64.v v1, (a1)\n\
+         \x20   vle64.v v2, (a2)\n\
+         \x20   vle64.v v3, (a3)\n\
+         \x20   vle64.v v4, (a4)\n\
+         permutation:\n",
+    );
+    theta_64(&mut asm);
+    asm.push_str(
+        "step_rho:\n\
+         \x20   # rho step, LMUL=8 (8 cc)\n\
+         \x20   vsetvli x0, s5, e64, m8, tu, mu\n\
+         \x20   v64rho.vi v0, v0, -1\n\
+         step_pi:\n\
+         \x20   # pi step (7 cc)\n\
+         \x20   vpi.vi v8, v0, -1\n\
+         step_chi:\n\
+         \x20   # chi step (30 cc)\n\
+         \x20   vslidedownm.vi v16, v8, 1\n\
+         \x20   vxor.vx v16, v16, s2\n\
+         \x20   vslidedownm.vi v24, v8, 2\n\
+         \x20   vand.vv v16, v16, v24\n\
+         \x20   vxor.vv v0, v8, v16\n\
+         step_iota:\n\
+         \x20   # iota step (4 cc)\n\
+         \x20   vsetvli x0, s1, e64, m1, tu, mu\n\
+         \x20   viota.vx v0, v0, s3\n\
+         loopctl:\n\
+         \x20   addi s3, s3, 1\n\
+         \x20   blt s3, s4, permutation\n\
+         done:\n\
+         \x20   vse64.v v0, (a0)\n\
+         \x20   vse64.v v1, (a1)\n\
+         \x20   vse64.v v2, (a2)\n\
+         \x20   vse64.v v3, (a3)\n\
+         \x20   vse64.v v4, (a4)\n\
+         \x20   ecall\n",
+    );
+    KernelProgram::from_source(asm, presets_64(elenum), elenum)
+}
+
+/// Generates the 32-bit LMUL=8 kernel (paper §3.2 and §4.1,
+/// 147 cc/round).
+///
+/// Low lane halves live in registers `v0`–`v4`, high halves in
+/// `v16`–`v20` (paper Figure 6). The ρ rotation uses the split
+/// `v32lrho`/`v32hrho` pair and θ's rotate-by-one uses
+/// `v32lrotup`/`v32hrotup`; `viota` runs twice per round with the
+/// low-word index `s3` and high-word index `s3 + 24`.
+///
+/// # Panics
+///
+/// Panics if `elenum` is not a positive multiple of 5.
+pub fn kernel_e32_lmul8(elenum: usize) -> KernelProgram {
+    assert!(elenum > 0 && elenum % 5 == 0, "EleNum must be 5 × SN");
+    let mut asm = String::new();
+    let _ = writeln!(asm, "    li s1, {elenum}");
+    let _ = writeln!(asm, "    li s5, {}", 5 * elenum);
+    asm.push_str(
+        "    li s2, -1\n\
+         \x20   li s3, 0\n\
+         \x20   li s4, 24\n\
+         \x20   vsetvli x0, s1, e32, m1, tu, mu\n\
+         \x20   vle32.v v0, (a0)\n\
+         \x20   vle32.v v1, (a1)\n\
+         \x20   vle32.v v2, (a2)\n\
+         \x20   vle32.v v3, (a3)\n\
+         \x20   vle32.v v4, (a4)\n\
+         \x20   vle32.v v16, (s7)\n\
+         \x20   vle32.v v17, (s8)\n\
+         \x20   vle32.v v18, (s9)\n\
+         \x20   vle32.v v19, (s10)\n\
+         \x20   vle32.v v20, (s11)\n\
+         permutation:\n\
+         step_theta:\n\
+         \x20   # theta step (52 cc)\n\
+         \x20   vxor.vv v5, v3, v4\n\
+         \x20   vxor.vv v6, v1, v2\n\
+         \x20   vxor.vv v7, v0, v6\n\
+         \x20   vxor.vv v5, v5, v7\n\
+         \x20   vxor.vv v13, v19, v20\n\
+         \x20   vxor.vv v14, v17, v18\n\
+         \x20   vxor.vv v15, v16, v14\n\
+         \x20   vxor.vv v13, v13, v15\n\
+         \x20   vslideupm.vi v6, v5, 1\n\
+         \x20   vslideupm.vi v14, v13, 1\n\
+         \x20   vslidedownm.vi v7, v5, 1\n\
+         \x20   vslidedownm.vi v15, v13, 1\n\
+         \x20   v32lrotup.vv v21, v15, v7\n\
+         \x20   v32hrotup.vv v22, v15, v7\n\
+         \x20   vxor.vv v5, v6, v21\n\
+         \x20   vxor.vv v13, v14, v22\n\
+         \x20   vxor.vv v0, v0, v5\n\
+         \x20   vxor.vv v1, v1, v5\n\
+         \x20   vxor.vv v2, v2, v5\n\
+         \x20   vxor.vv v3, v3, v5\n\
+         \x20   vxor.vv v4, v4, v5\n\
+         \x20   vxor.vv v16, v16, v13\n\
+         \x20   vxor.vv v17, v17, v13\n\
+         \x20   vxor.vv v18, v18, v13\n\
+         \x20   vxor.vv v19, v19, v13\n\
+         \x20   vxor.vv v20, v20, v13\n\
+         step_rho:\n\
+         \x20   # rho step, LMUL=8 (14 cc)\n\
+         \x20   vsetvli x0, s5, e32, m8, tu, mu\n\
+         \x20   v32lrho.vv v8, v16, v0\n\
+         \x20   v32hrho.vv v24, v16, v0\n\
+         step_pi:\n\
+         \x20   # pi step (14 cc)\n\
+         \x20   vpi.vi v0, v8, -1\n\
+         \x20   vpi.vi v16, v24, -1\n\
+         step_chi:\n\
+         \x20   # chi step (60 cc)\n\
+         \x20   vslidedownm.vi v8, v0, 1\n\
+         \x20   vxor.vx v8, v8, s2\n\
+         \x20   vslidedownm.vi v24, v0, 2\n\
+         \x20   vand.vv v8, v8, v24\n\
+         \x20   vxor.vv v0, v0, v8\n\
+         \x20   vslidedownm.vi v8, v16, 1\n\
+         \x20   vxor.vx v8, v8, s2\n\
+         \x20   vslidedownm.vi v24, v16, 2\n\
+         \x20   vand.vv v8, v8, v24\n\
+         \x20   vxor.vv v16, v16, v8\n\
+         step_iota:\n\
+         \x20   # iota step (7 cc)\n\
+         \x20   vsetvli x0, s1, e32, m1, tu, mu\n\
+         \x20   viota.vx v0, v0, s3\n\
+         \x20   addi s6, s3, 24\n\
+         \x20   viota.vx v16, v16, s6\n\
+         loopctl:\n\
+         \x20   addi s3, s3, 1\n\
+         \x20   blt s3, s4, permutation\n\
+         done:\n\
+         \x20   vse32.v v0, (a0)\n\
+         \x20   vse32.v v1, (a1)\n\
+         \x20   vse32.v v2, (a2)\n\
+         \x20   vse32.v v3, (a3)\n\
+         \x20   vse32.v v4, (a4)\n\
+         \x20   vse32.v v16, (s7)\n\
+         \x20   vse32.v v17, (s8)\n\
+         \x20   vse32.v v18, (s9)\n\
+         \x20   vse32.v v19, (s10)\n\
+         \x20   vse32.v v20, (s11)\n\
+         \x20   ecall\n",
+    );
+    KernelProgram::from_source(asm, presets_32(elenum), elenum)
+}
+
+/// Generates the **LMUL=4+1 ablation kernel** (64-bit): the alternative
+/// grouping the paper considers and rejects in §4.1 — "choosing LMUL to
+/// be 4 and 1 … we would need to configure the LMUL value in an
+/// alternating way, which would consume more time".
+///
+/// Rows 0–3 are processed as an LMUL=4 group and row 4 separately at
+/// LMUL=1, with the extra `vsetvli` reconfigurations this forces. On the
+/// calibrated timing model this costs 91 cycles/round versus the
+/// LMUL=8 kernel's 75, quantifying the paper's argument.
+///
+/// # Panics
+///
+/// Panics if `elenum` is not a positive multiple of 5.
+pub fn kernel_e64_lmul4_1(elenum: usize) -> KernelProgram {
+    assert!(elenum > 0 && elenum % 5 == 0, "EleNum must be 5 × SN");
+    let mut asm = String::new();
+    let _ = writeln!(asm, "    li s1, {elenum}");
+    let _ = writeln!(asm, "    li s6, {}", 4 * elenum);
+    asm.push_str(
+        "    li s2, -1\n\
+         \x20   li s3, 0\n\
+         \x20   li s4, 24\n\
+         \x20   vsetvli x0, s1, e64, m1, tu, mu\n\
+         \x20   vle64.v v0, (a0)\n\
+         \x20   vle64.v v1, (a1)\n\
+         \x20   vle64.v v2, (a2)\n\
+         \x20   vle64.v v3, (a3)\n\
+         \x20   vle64.v v4, (a4)\n\
+         permutation:\n",
+    );
+    theta_64(&mut asm);
+    asm.push_str(
+        "step_rho:\n\
+         \x20   # rho step, rows 0-3 at LMUL=4 then row 4 at LMUL=1 (11 cc)\n\
+         \x20   vsetvli x0, s6, e64, m4, tu, mu\n\
+         \x20   v64rho.vi v0, v0, -1\n\
+         \x20   vsetvli x0, s1, e64, m1, tu, mu\n\
+         \x20   v64rho.vi v4, v4, 4\n\
+         step_pi:\n\
+         \x20   # pi step, split the same way (13 cc)\n\
+         \x20   vsetvli x0, s6, e64, m4, tu, mu\n\
+         \x20   vpi.vi v8, v0, -1\n\
+         \x20   vsetvli x0, s1, e64, m1, tu, mu\n\
+         \x20   vpi.vi v8, v4, 4\n\
+         step_chi:\n\
+         \x20   # chi step, split the same way (39 cc)\n\
+         \x20   vsetvli x0, s6, e64, m4, tu, mu\n\
+         \x20   vslidedownm.vi v16, v8, 1\n\
+         \x20   vxor.vx v16, v16, s2\n\
+         \x20   vslidedownm.vi v24, v8, 2\n\
+         \x20   vand.vv v16, v16, v24\n\
+         \x20   vxor.vv v0, v8, v16\n\
+         \x20   vsetvli x0, s1, e64, m1, tu, mu\n\
+         \x20   vslidedownm.vi v13, v12, 1\n\
+         \x20   vxor.vx v13, v13, s2\n\
+         \x20   vslidedownm.vi v14, v12, 2\n\
+         \x20   vand.vv v13, v13, v14\n\
+         \x20   vxor.vv v4, v12, v13\n\
+         step_iota:\n\
+         \x20   # iota step (2 cc)\n\
+         \x20   viota.vx v0, v0, s3\n\
+         loopctl:\n\
+         \x20   addi s3, s3, 1\n\
+         \x20   blt s3, s4, permutation\n\
+         done:\n\
+         \x20   vse64.v v0, (a0)\n\
+         \x20   vse64.v v1, (a1)\n\
+         \x20   vse64.v v2, (a2)\n\
+         \x20   vse64.v v3, (a3)\n\
+         \x20   vse64.v v4, (a4)\n\
+         \x20   ecall\n",
+    );
+    KernelProgram::from_source(asm, presets_64(elenum), elenum)
+}
+
+/// Generates the **fused ρ+π extension kernel** (64-bit, LMUL=8):
+/// realizes the paper's §5 outlook — "the two architectures' performance
+/// will improve more if we increase the granularity or combine some
+/// adjacent operations" — with the `vrhopi` instruction, which rotates
+/// each lane by its ρ offset and scatters it through the π column-write
+/// port in a single operation.
+///
+/// Replacing `vsetvli + v64rho + vpi` (2 + 6 + 7 cc) by
+/// `vsetvli + vrhopi` (2 + 7 cc) brings the round from 75 to 69 cycles.
+/// This kernel goes beyond the paper's evaluated design and is reported
+/// separately by the `ablations` binary.
+///
+/// # Panics
+///
+/// Panics if `elenum` is not a positive multiple of 5.
+pub fn kernel_e64_fused(elenum: usize) -> KernelProgram {
+    assert!(elenum > 0 && elenum % 5 == 0, "EleNum must be 5 × SN");
+    let mut asm = String::new();
+    let _ = writeln!(asm, "    li s1, {elenum}");
+    let _ = writeln!(asm, "    li s5, {}", 5 * elenum);
+    asm.push_str(
+        "    li s2, -1\n\
+         \x20   li s3, 0\n\
+         \x20   li s4, 24\n\
+         \x20   vsetvli x0, s1, e64, m1, tu, mu\n\
+         \x20   vle64.v v0, (a0)\n\
+         \x20   vle64.v v1, (a1)\n\
+         \x20   vle64.v v2, (a2)\n\
+         \x20   vle64.v v3, (a3)\n\
+         \x20   vle64.v v4, (a4)\n\
+         permutation:\n",
+    );
+    theta_64(&mut asm);
+    asm.push_str(
+        "step_rho:\n\
+         step_pi:\n\
+         \x20   # fused rho+pi step, LMUL=8 (9 cc)\n\
+         \x20   vsetvli x0, s5, e64, m8, tu, mu\n\
+         \x20   vrhopi.vi v8, v0, -1\n\
+         step_chi:\n\
+         \x20   # chi step (30 cc)\n\
+         \x20   vslidedownm.vi v16, v8, 1\n\
+         \x20   vxor.vx v16, v16, s2\n\
+         \x20   vslidedownm.vi v24, v8, 2\n\
+         \x20   vand.vv v16, v16, v24\n\
+         \x20   vxor.vv v0, v8, v16\n\
+         step_iota:\n\
+         \x20   # iota step (4 cc)\n\
+         \x20   vsetvli x0, s1, e64, m1, tu, mu\n\
+         \x20   viota.vx v0, v0, s3\n\
+         loopctl:\n\
+         \x20   addi s3, s3, 1\n\
+         \x20   blt s3, s4, permutation\n\
+         done:\n\
+         \x20   vse64.v v0, (a0)\n\
+         \x20   vse64.v v1, (a1)\n\
+         \x20   vse64.v v2, (a2)\n\
+         \x20   vse64.v v3, (a3)\n\
+         \x20   vse64.v v4, (a4)\n\
+         \x20   ecall\n",
+    );
+    KernelProgram::from_source(asm, presets_64(elenum), elenum)
+}
+
+/// Generates the **device-absorb kernel** (64-bit, LMUL=8 rounds): like
+/// [`kernel_e64_lmul8`], but before entering the round loop the program
+/// optionally XORs a rate-sized message block into the resident states
+/// **with vector instructions** (5 × `vle64` + 5 × `vxor.vv`, 25 cycles)
+/// — the sponge absorbing phase of paper Figure 1 executed on the
+/// device. Scalar `s7` selects the mode at run time: non-zero = absorb
+/// then permute; zero = permute only (squeeze continuation).
+///
+/// Block plane bases are preset in `t0`–`t4`
+/// (see [`absorb_presets_64`]); the block region mirrors the state
+/// layout of Figure 5 with unused lanes zeroed (XOR identity).
+///
+/// # Panics
+///
+/// Panics if `elenum` is not a positive multiple of 5.
+pub fn kernel_e64_absorb(elenum: usize) -> KernelProgram {
+    assert!(elenum > 0 && elenum % 5 == 0, "EleNum must be 5 × SN");
+    let mut asm = String::new();
+    let _ = writeln!(asm, "    li s1, {elenum}");
+    let _ = writeln!(asm, "    li s5, {}", 5 * elenum);
+    asm.push_str(
+        "    li s2, -1\n\
+         \x20   li s3, 0\n\
+         \x20   li s4, 24\n\
+         \x20   vsetvli x0, s1, e64, m1, tu, mu\n\
+         \x20   vle64.v v0, (a0)\n\
+         \x20   vle64.v v1, (a1)\n\
+         \x20   vle64.v v2, (a2)\n\
+         \x20   vle64.v v3, (a3)\n\
+         \x20   vle64.v v4, (a4)\n\
+         \x20   beqz s7, permutation\n\
+         \x20   # device-side absorb: XOR the message block (25 cc)\n\
+         \x20   vle64.v v8, (t0)\n\
+         \x20   vle64.v v9, (t1)\n\
+         \x20   vle64.v v10, (t2)\n\
+         \x20   vle64.v v11, (t3)\n\
+         \x20   vle64.v v12, (t4)\n\
+         \x20   vxor.vv v0, v0, v8\n\
+         \x20   vxor.vv v1, v1, v9\n\
+         \x20   vxor.vv v2, v2, v10\n\
+         \x20   vxor.vv v3, v3, v11\n\
+         \x20   vxor.vv v4, v4, v12\n\
+         permutation:\n",
+    );
+    theta_64(&mut asm);
+    asm.push_str(
+        "step_rho:\n\
+         \x20   vsetvli x0, s5, e64, m8, tu, mu\n\
+         \x20   v64rho.vi v0, v0, -1\n\
+         step_pi:\n\
+         \x20   vpi.vi v8, v0, -1\n\
+         step_chi:\n\
+         \x20   vslidedownm.vi v16, v8, 1\n\
+         \x20   vxor.vx v16, v16, s2\n\
+         \x20   vslidedownm.vi v24, v8, 2\n\
+         \x20   vand.vv v16, v16, v24\n\
+         \x20   vxor.vv v0, v8, v16\n\
+         step_iota:\n\
+         \x20   vsetvli x0, s1, e64, m1, tu, mu\n\
+         \x20   viota.vx v0, v0, s3\n\
+         loopctl:\n\
+         \x20   addi s3, s3, 1\n\
+         \x20   blt s3, s4, permutation\n\
+         done:\n\
+         \x20   vse64.v v0, (a0)\n\
+         \x20   vse64.v v1, (a1)\n\
+         \x20   vse64.v v2, (a2)\n\
+         \x20   vse64.v v3, (a3)\n\
+         \x20   vse64.v v4, (a4)\n\
+         \x20   ecall\n",
+    );
+    KernelProgram::from_source(asm, absorb_presets_64(elenum), elenum)
+}
+
+/// Base address of the message-block region for the absorb kernel.
+pub const BLOCK_BASE: u32 = 0x8000;
+
+/// Presets for [`kernel_e64_absorb`]: `a0`–`a4` state planes,
+/// `t0`–`t4` block planes.
+pub fn absorb_presets_64(elenum: usize) -> Vec<(XReg, u32)> {
+    let mut presets = presets_64(elenum);
+    let t_regs = [5usize, 6, 7, 28, 29]; // t0, t1, t2, t3, t4
+    presets.extend(
+        t_regs
+            .iter()
+            .enumerate()
+            .map(|(y, &reg)| (XReg::from_index(reg), BLOCK_BASE + (y * 8 * elenum) as u32)),
+    );
+    presets
+}
+
+/// Base-address presets for the 64-bit layout: `a0`–`a4` point at the
+/// five plane regions.
+fn presets_64(elenum: usize) -> Vec<(XReg, u32)> {
+    (0..5)
+        .map(|y| {
+            (
+                XReg::from_index(10 + y), // a0..a4
+                STATE_BASE + (y * 8 * elenum) as u32,
+            )
+        })
+        .collect()
+}
+
+/// Base-address presets for the 32-bit split layout: `a0`–`a4` for the
+/// low halves, `s7`–`s11` for the high halves.
+fn presets_32(elenum: usize) -> Vec<(XReg, u32)> {
+    let mut presets: Vec<(XReg, u32)> = (0..5)
+        .map(|y| {
+            (
+                XReg::from_index(10 + y),
+                STATE_BASE + (y * 4 * elenum) as u32,
+            )
+        })
+        .collect();
+    presets.extend((0..5).map(|y| {
+        (
+            XReg::from_index(23 + y), // s7..s11
+            STATE_BASE_HI + (y * 4 * elenum) as u32,
+        )
+    }));
+    presets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_assemble_with_markers() {
+        for kernel in [
+            kernel_e64_lmul1(10),
+            kernel_e64_lmul8(10),
+            kernel_e32_lmul8(10),
+        ] {
+            assert!(kernel.markers.loop_start > 0);
+            assert!(kernel.markers.loop_control > kernel.markers.loop_start);
+            assert!(kernel.markers.after_loop > kernel.markers.loop_control);
+            assert!(!kernel.program.instructions().is_empty());
+        }
+    }
+
+    #[test]
+    fn lmul1_round_body_has_49_instructions() {
+        // 13 (θ) + 5 (ρ) + 5 (π) + 25 (χ) + 1 (ι) = 49 instructions.
+        let kernel = kernel_e64_lmul1(5);
+        let body = (kernel.markers.loop_control - kernel.markers.loop_start) / 4;
+        assert_eq!(body, 49);
+    }
+
+    #[test]
+    fn lmul8_round_body_has_23_instructions() {
+        // 13 (θ) + 2 (ρ incl. vsetvli) + 1 (π) + 5 (χ) + 2 (ι incl.
+        // vsetvli) = 23 instructions.
+        let kernel = kernel_e64_lmul8(5);
+        let body = (kernel.markers.loop_control - kernel.markers.loop_start) / 4;
+        assert_eq!(body, 23);
+    }
+
+    #[test]
+    fn e32_round_body_has_45_instructions() {
+        // 26 (θ) + 3 (ρ) + 2 (π) + 10 (χ) + 4 (ι) = 45 instructions.
+        let kernel = kernel_e32_lmul8(5);
+        let body = (kernel.markers.loop_control - kernel.markers.loop_start) / 4;
+        assert_eq!(body, 45);
+    }
+
+    #[test]
+    #[should_panic(expected = "EleNum must be 5")]
+    fn non_multiple_of_five_rejected() {
+        let _ = kernel_e64_lmul1(7);
+    }
+
+    #[test]
+    fn presets_cover_distinct_regions() {
+        let kernel = kernel_e32_lmul8(30);
+        let mut addrs: Vec<u32> = kernel.presets.iter().map(|&(_, a)| a).collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(addrs.len(), 10, "all ten plane regions distinct");
+    }
+}

@@ -1,0 +1,477 @@
+//! The ten custom Keccak vector extensions (paper §3.3).
+//!
+//! # Encoding
+//!
+//! The paper specifies the semantics of the extensions (Tables 1, 3, 4, 5)
+//! but not their binary encodings. We place them in the RISC-V `custom-1`
+//! major opcode space (`0101011`, 0x2B) — one of the opcode ranges the
+//! base spec reserves for vendor extensions — with the same field layout
+//! as OP-V vector arithmetic instructions:
+//!
+//! ```text
+//! 31      26 25 24   20 19     15 14  12 11   7 6      0
+//! [ funct6 ][vm][ vs2  ][vs1/imm5][funct3][  vd ][custom-1]
+//! ```
+//!
+//! `funct3` distinguishes the operand form exactly as RVV does:
+//! `0b000` = `.vv` (vector-vector), `0b011` = `.vi` (vector-immediate),
+//! `0b100` = `.vx` (vector-scalar). `funct6` selects the operation.
+//!
+//! Note: the paper's Table 3 writes `.vi` mnemonic suffixes for
+//! `v32lrotup`/`v32hrotup`/`v32lrho`/`v32hrho` although their operands are
+//! two vector registers; we follow the operand lists and treat them as
+//! `.vv`-form instructions.
+
+use crate::reg::{VReg, XReg};
+use core::fmt;
+
+/// `funct6` values assigned to the custom extensions within `custom-1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+#[repr(u32)]
+pub enum CustomFunct6 {
+    Vslidedownm = 0b000000,
+    Vslideupm = 0b000001,
+    Vrotup = 0b000010,
+    V32lrotup = 0b000011,
+    V32hrotup = 0b000100,
+    V64rho = 0b000101,
+    V32lrho = 0b000110,
+    V32hrho = 0b000111,
+    Vpi = 0b001000,
+    Viota = 0b001001,
+    /// Extension beyond the paper (its §5 future work): fused ρ+π.
+    Vrhopi = 0b001010,
+}
+
+/// Row selector for the table-driven instructions `v64rho` and `vpi`.
+///
+/// The paper encodes this as a 5-bit signed immediate: `0..=4` selects a
+/// single plane (LMUL=1 programs), `-1` means "iterate all five rows",
+/// driven in hardware by the `lmul_cnt` counter (LMUL=8 programs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RhoRow {
+    /// Process a single plane with the given row index (0–4).
+    Row(u8),
+    /// Process all five planes in sequence (`simm = -1`, LMUL > 1).
+    All,
+}
+
+impl RhoRow {
+    /// The signed 5-bit immediate this selector encodes to.
+    pub const fn simm(self) -> i32 {
+        match self {
+            RhoRow::Row(row) => row as i32,
+            RhoRow::All => -1,
+        }
+    }
+
+    /// Decodes a signed immediate. Valid values are `-1` and `0..=4`.
+    pub const fn from_simm(simm: i32) -> Option<Self> {
+        match simm {
+            -1 => Some(RhoRow::All),
+            0..=4 => Some(RhoRow::Row(simm as u8)),
+            _ => None,
+        }
+    }
+
+    /// Creates a single-row selector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row > 4`.
+    pub fn row(row: u8) -> Self {
+        assert!(row <= 4, "Keccak plane rows are 0..=4, got {row}");
+        RhoRow::Row(row)
+    }
+}
+
+impl fmt::Display for RhoRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.simm())
+    }
+}
+
+/// One of the ten custom Keccak vector instructions.
+///
+/// Operand names follow the paper: `vd` destination, `vs2`/`vs1` vector
+/// sources, `uimm` unsigned immediate, `rs1` scalar source, `vm` the
+/// mask-enable bit (`true` = unmasked, as in RVV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CustomOp {
+    /// `vslidedownm.vi vd, vs2, uimm` — modulo-5 slide down
+    /// (paper Table 1): `vd[5i+j] = vs2[5i + (j+uimm) mod 5]`.
+    Vslidedownm {
+        /// Destination vector register.
+        vd: VReg,
+        /// Source vector register.
+        vs2: VReg,
+        /// Slide offset (taken modulo 5).
+        uimm: u8,
+        /// Mask enable (`true` = unmasked).
+        vm: bool,
+    },
+    /// `vslideupm.vi vd, vs2, uimm` — modulo-5 slide up (paper Table 1):
+    /// `vd[5i+j] = vs2[5i + (j-uimm) mod 5]`.
+    Vslideupm {
+        /// Destination vector register.
+        vd: VReg,
+        /// Source vector register.
+        vs2: VReg,
+        /// Slide offset (taken modulo 5).
+        uimm: u8,
+        /// Mask enable.
+        vm: bool,
+    },
+    /// `vrotup.vi vd, vs2, uimm` — 64-bit rotate-left by `uimm`
+    /// (paper Table 3; 64-bit architecture only).
+    Vrotup {
+        /// Destination vector register.
+        vd: VReg,
+        /// Source vector register.
+        vs2: VReg,
+        /// Rotate amount in bits.
+        uimm: u8,
+        /// Mask enable.
+        vm: bool,
+    },
+    /// `v32lrotup.vv vd, vs2, vs1` — rotate `(vs2‖vs1)` left by 1, low
+    /// 32 bits (paper Table 3; 32-bit architecture only).
+    V32lrotup {
+        /// Destination vector register.
+        vd: VReg,
+        /// High-word source.
+        vs2: VReg,
+        /// Low-word source.
+        vs1: VReg,
+        /// Mask enable.
+        vm: bool,
+    },
+    /// `v32hrotup.vv vd, vs2, vs1` — rotate `(vs2‖vs1)` left by 1, high
+    /// 32 bits (paper Table 3).
+    V32hrotup {
+        /// Destination vector register.
+        vd: VReg,
+        /// High-word source.
+        vs2: VReg,
+        /// Low-word source.
+        vs1: VReg,
+        /// Mask enable.
+        vm: bool,
+    },
+    /// `v64rho.vi vd, vs2, simm` — per-lane ρ rotation via the offset
+    /// lookup table (paper Tables 2, 3; 64-bit architecture only).
+    V64rho {
+        /// Destination vector register.
+        vd: VReg,
+        /// Source vector register.
+        vs2: VReg,
+        /// Row selector (0–4 or all rows).
+        row: RhoRow,
+        /// Mask enable.
+        vm: bool,
+    },
+    /// `v32lrho.vv vd, vs2, vs1` — 32-bit split ρ rotation, low words;
+    /// row indexed by the hardware `lmul_cnt` counter (paper Table 3).
+    V32lrho {
+        /// Destination vector register.
+        vd: VReg,
+        /// High-word source.
+        vs2: VReg,
+        /// Low-word source.
+        vs1: VReg,
+        /// Mask enable.
+        vm: bool,
+    },
+    /// `v32hrho.vv vd, vs2, vs1` — 32-bit split ρ rotation, high words.
+    V32hrho {
+        /// Destination vector register.
+        vd: VReg,
+        /// High-word source.
+        vs2: VReg,
+        /// Low-word source.
+        vs1: VReg,
+        /// Mask enable.
+        vm: bool,
+    },
+    /// `vpi.vi vd, vs2, simm` — π lane scramble with column-mode
+    /// register-file writes (paper Table 4, Figure 8).
+    Vpi {
+        /// Base destination register of the 5-register column group.
+        vd: VReg,
+        /// Source vector register.
+        vs2: VReg,
+        /// Row selector (0–4 or all rows).
+        row: RhoRow,
+        /// Mask enable.
+        vm: bool,
+    },
+    /// `vrhopi.vi vd, vs2, simm` — **extension beyond the paper**
+    /// (realizing its §5 future work of fusing adjacent operations):
+    /// ρ-rotate each lane, then scatter it with the π column-mode write
+    /// in the same instruction. Semantics = `v64rho` followed by `vpi`.
+    Vrhopi {
+        /// Base destination register of the 5-register column group.
+        vd: VReg,
+        /// Source vector register.
+        vs2: VReg,
+        /// Row selector (0–4 or all rows).
+        row: RhoRow,
+        /// Mask enable.
+        vm: bool,
+    },
+    /// `viota.vx vd, vs2, rs1` — XOR the round constant `RC[rs1]` into
+    /// lane 0 of every state (paper Table 5).
+    Viota {
+        /// Destination vector register.
+        vd: VReg,
+        /// Source vector register.
+        vs2: VReg,
+        /// Scalar register holding the round-constant index.
+        rs1: XReg,
+        /// Mask enable.
+        vm: bool,
+    },
+}
+
+impl CustomOp {
+    /// The instruction's `funct6` selector.
+    pub const fn funct6(&self) -> CustomFunct6 {
+        match self {
+            CustomOp::Vslidedownm { .. } => CustomFunct6::Vslidedownm,
+            CustomOp::Vslideupm { .. } => CustomFunct6::Vslideupm,
+            CustomOp::Vrotup { .. } => CustomFunct6::Vrotup,
+            CustomOp::V32lrotup { .. } => CustomFunct6::V32lrotup,
+            CustomOp::V32hrotup { .. } => CustomFunct6::V32hrotup,
+            CustomOp::V64rho { .. } => CustomFunct6::V64rho,
+            CustomOp::V32lrho { .. } => CustomFunct6::V32lrho,
+            CustomOp::V32hrho { .. } => CustomFunct6::V32hrho,
+            CustomOp::Vpi { .. } => CustomFunct6::Vpi,
+            CustomOp::Vrhopi { .. } => CustomFunct6::Vrhopi,
+            CustomOp::Viota { .. } => CustomFunct6::Viota,
+        }
+    }
+
+    /// The instruction mnemonic including its operand-form suffix.
+    pub const fn mnemonic(&self) -> &'static str {
+        match self {
+            CustomOp::Vslidedownm { .. } => "vslidedownm.vi",
+            CustomOp::Vslideupm { .. } => "vslideupm.vi",
+            CustomOp::Vrotup { .. } => "vrotup.vi",
+            CustomOp::V32lrotup { .. } => "v32lrotup.vv",
+            CustomOp::V32hrotup { .. } => "v32hrotup.vv",
+            CustomOp::V64rho { .. } => "v64rho.vi",
+            CustomOp::V32lrho { .. } => "v32lrho.vv",
+            CustomOp::V32hrho { .. } => "v32hrho.vv",
+            CustomOp::Vpi { .. } => "vpi.vi",
+            CustomOp::Vrhopi { .. } => "vrhopi.vi",
+            CustomOp::Viota { .. } => "viota.vx",
+        }
+    }
+
+    /// Whether the instruction is defined for the 64-bit architecture
+    /// (ELEN = 64), per the paper's Tables 1–5 availability columns.
+    pub const fn supports_elen64(&self) -> bool {
+        !matches!(
+            self,
+            CustomOp::V32lrotup { .. }
+                | CustomOp::V32hrotup { .. }
+                | CustomOp::V32lrho { .. }
+                | CustomOp::V32hrho { .. }
+        )
+    }
+
+    /// Whether the instruction is defined for the 32-bit architecture
+    /// (ELEN = 32).
+    pub const fn supports_elen32(&self) -> bool {
+        !matches!(
+            self,
+            CustomOp::Vrotup { .. } | CustomOp::V64rho { .. } | CustomOp::Vrhopi { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rho_row_simm_round_trip() {
+        assert_eq!(RhoRow::from_simm(-1), Some(RhoRow::All));
+        for row in 0..5u8 {
+            assert_eq!(RhoRow::from_simm(row as i32), Some(RhoRow::Row(row)));
+            assert_eq!(RhoRow::Row(row).simm(), row as i32);
+        }
+        assert_eq!(RhoRow::from_simm(5), None);
+        assert_eq!(RhoRow::from_simm(-2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows are 0..=4")]
+    fn rho_row_constructor_validates() {
+        let _ = RhoRow::row(5);
+    }
+
+    #[test]
+    fn architecture_availability_matches_paper_tables() {
+        let v = VReg::V0;
+        let both = [
+            CustomOp::Vslidedownm {
+                vd: v,
+                vs2: v,
+                uimm: 1,
+                vm: true,
+            },
+            CustomOp::Vslideupm {
+                vd: v,
+                vs2: v,
+                uimm: 1,
+                vm: true,
+            },
+            CustomOp::Vpi {
+                vd: v,
+                vs2: v,
+                row: RhoRow::All,
+                vm: true,
+            },
+            CustomOp::Viota {
+                vd: v,
+                vs2: v,
+                rs1: XReg::X10,
+                vm: true,
+            },
+        ];
+        for op in both {
+            assert!(op.supports_elen64() && op.supports_elen32(), "{op:?}");
+        }
+        let only64 = [
+            CustomOp::Vrotup {
+                vd: v,
+                vs2: v,
+                uimm: 1,
+                vm: true,
+            },
+            CustomOp::V64rho {
+                vd: v,
+                vs2: v,
+                row: RhoRow::All,
+                vm: true,
+            },
+            CustomOp::Vrhopi {
+                vd: v,
+                vs2: v,
+                row: RhoRow::All,
+                vm: true,
+            },
+        ];
+        for op in only64 {
+            assert!(op.supports_elen64() && !op.supports_elen32(), "{op:?}");
+        }
+        let only32 = [
+            CustomOp::V32lrotup {
+                vd: v,
+                vs2: v,
+                vs1: v,
+                vm: true,
+            },
+            CustomOp::V32hrotup {
+                vd: v,
+                vs2: v,
+                vs1: v,
+                vm: true,
+            },
+            CustomOp::V32lrho {
+                vd: v,
+                vs2: v,
+                vs1: v,
+                vm: true,
+            },
+            CustomOp::V32hrho {
+                vd: v,
+                vs2: v,
+                vs1: v,
+                vm: true,
+            },
+        ];
+        for op in only32 {
+            assert!(!op.supports_elen64() && op.supports_elen32(), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn funct6_values_are_distinct() {
+        let v = VReg::V1;
+        let ops = [
+            CustomOp::Vslidedownm {
+                vd: v,
+                vs2: v,
+                uimm: 0,
+                vm: true,
+            },
+            CustomOp::Vslideupm {
+                vd: v,
+                vs2: v,
+                uimm: 0,
+                vm: true,
+            },
+            CustomOp::Vrotup {
+                vd: v,
+                vs2: v,
+                uimm: 0,
+                vm: true,
+            },
+            CustomOp::V32lrotup {
+                vd: v,
+                vs2: v,
+                vs1: v,
+                vm: true,
+            },
+            CustomOp::V32hrotup {
+                vd: v,
+                vs2: v,
+                vs1: v,
+                vm: true,
+            },
+            CustomOp::V64rho {
+                vd: v,
+                vs2: v,
+                row: RhoRow::All,
+                vm: true,
+            },
+            CustomOp::V32lrho {
+                vd: v,
+                vs2: v,
+                vs1: v,
+                vm: true,
+            },
+            CustomOp::V32hrho {
+                vd: v,
+                vs2: v,
+                vs1: v,
+                vm: true,
+            },
+            CustomOp::Vpi {
+                vd: v,
+                vs2: v,
+                row: RhoRow::All,
+                vm: true,
+            },
+            CustomOp::Vrhopi {
+                vd: v,
+                vs2: v,
+                row: RhoRow::All,
+                vm: true,
+            },
+            CustomOp::Viota {
+                vd: v,
+                vs2: v,
+                rs1: XReg::X0,
+                vm: true,
+            },
+        ];
+        let mut seen: Vec<u32> = ops.iter().map(|op| op.funct6() as u32).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 11, "funct6 collision among custom ops");
+    }
+}

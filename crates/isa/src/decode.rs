@@ -1,0 +1,530 @@
+//! Binary decoding of 32-bit machine words into instructions.
+
+use crate::custom::{CustomFunct6, CustomOp, RhoRow};
+use crate::encode::{eew_from_width_bits, funct3, opcode};
+use crate::instr::{
+    BranchKind, Instruction, LoadKind, MemMode, OpImmKind, OpKind, StoreKind, VArithOp, VSource,
+};
+use crate::reg::{VReg, XReg};
+use crate::vtype::Vtype;
+use core::fmt;
+
+/// Error returned when a machine word is not a recognized instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The major opcode is outside the supported subset.
+    UnknownOpcode {
+        /// The offending machine word.
+        word: u32,
+    },
+    /// The opcode is known but a function/width field holds a value this
+    /// subset does not define.
+    ReservedEncoding {
+        /// The offending machine word.
+        word: u32,
+        /// Which field was invalid.
+        detail: &'static str,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode { word } => {
+                write!(f, "unknown opcode in instruction word {word:#010X}")
+            }
+            DecodeError::ReservedEncoding { word, detail } => {
+                write!(f, "reserved encoding in {word:#010X}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn xreg(bits: u32) -> XReg {
+    XReg::from_index(bits as usize)
+}
+
+fn vreg(bits: u32) -> VReg {
+    VReg::from_index(bits as usize)
+}
+
+fn sign_extend(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+fn i_imm(word: u32) -> i32 {
+    sign_extend(word >> 20, 12)
+}
+
+fn s_imm(word: u32) -> i32 {
+    sign_extend(((word >> 25) << 5) | ((word >> 7) & 0x1F), 12)
+}
+
+fn b_imm(word: u32) -> i32 {
+    let imm = ((word >> 31) << 12)
+        | (((word >> 7) & 1) << 11)
+        | (((word >> 25) & 0x3F) << 5)
+        | (((word >> 8) & 0xF) << 1);
+    sign_extend(imm, 13)
+}
+
+fn j_imm(word: u32) -> i32 {
+    let imm = ((word >> 31) << 20)
+        | (((word >> 12) & 0xFF) << 12)
+        | (((word >> 20) & 1) << 11)
+        | (((word >> 21) & 0x3FF) << 1);
+    sign_extend(imm, 21)
+}
+
+struct Fields {
+    word: u32,
+    rd: u32,
+    funct3: u32,
+    rs1: u32,
+    rs2: u32,
+    funct7: u32,
+}
+
+impl Fields {
+    fn new(word: u32) -> Self {
+        Self {
+            word,
+            rd: (word >> 7) & 0x1F,
+            funct3: (word >> 12) & 0b111,
+            rs1: (word >> 15) & 0x1F,
+            rs2: (word >> 20) & 0x1F,
+            funct7: word >> 25,
+        }
+    }
+
+    fn vm(&self) -> bool {
+        (self.word >> 25) & 1 == 1
+    }
+
+    fn funct6(&self) -> u32 {
+        self.word >> 26
+    }
+
+    fn reserved(&self, detail: &'static str) -> DecodeError {
+        DecodeError::ReservedEncoding {
+            word: self.word,
+            detail,
+        }
+    }
+}
+
+impl Instruction {
+    /// Decodes a 32-bit machine word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the word is not an instruction in the
+    /// supported subset (unknown opcode or reserved field value).
+    pub fn decode(word: u32) -> Result<Self, DecodeError> {
+        let f = Fields::new(word);
+        match word & 0x7F {
+            opcode::LUI => Ok(Instruction::Lui {
+                rd: xreg(f.rd),
+                imm: (word & 0xFFFF_F000) as i32,
+            }),
+            opcode::AUIPC => Ok(Instruction::Auipc {
+                rd: xreg(f.rd),
+                imm: (word & 0xFFFF_F000) as i32,
+            }),
+            opcode::JAL => Ok(Instruction::Jal {
+                rd: xreg(f.rd),
+                offset: j_imm(word),
+            }),
+            opcode::JALR => {
+                if f.funct3 != 0 {
+                    return Err(f.reserved("jalr funct3"));
+                }
+                Ok(Instruction::Jalr {
+                    rd: xreg(f.rd),
+                    rs1: xreg(f.rs1),
+                    offset: i_imm(word),
+                })
+            }
+            opcode::BRANCH => {
+                let kind = match f.funct3 {
+                    0b000 => BranchKind::Beq,
+                    0b001 => BranchKind::Bne,
+                    0b100 => BranchKind::Blt,
+                    0b101 => BranchKind::Bge,
+                    0b110 => BranchKind::Bltu,
+                    0b111 => BranchKind::Bgeu,
+                    _ => return Err(f.reserved("branch funct3")),
+                };
+                Ok(Instruction::Branch {
+                    kind,
+                    rs1: xreg(f.rs1),
+                    rs2: xreg(f.rs2),
+                    offset: b_imm(word),
+                })
+            }
+            opcode::LOAD => {
+                let kind = match f.funct3 {
+                    0b000 => LoadKind::Lb,
+                    0b001 => LoadKind::Lh,
+                    0b010 => LoadKind::Lw,
+                    0b100 => LoadKind::Lbu,
+                    0b101 => LoadKind::Lhu,
+                    _ => return Err(f.reserved("load funct3")),
+                };
+                Ok(Instruction::Load {
+                    kind,
+                    rd: xreg(f.rd),
+                    rs1: xreg(f.rs1),
+                    offset: i_imm(word),
+                })
+            }
+            opcode::STORE => {
+                let kind = match f.funct3 {
+                    0b000 => StoreKind::Sb,
+                    0b001 => StoreKind::Sh,
+                    0b010 => StoreKind::Sw,
+                    _ => return Err(f.reserved("store funct3")),
+                };
+                Ok(Instruction::Store {
+                    kind,
+                    rs2: xreg(f.rs2),
+                    rs1: xreg(f.rs1),
+                    offset: s_imm(word),
+                })
+            }
+            opcode::OP_IMM => {
+                let kind = match f.funct3 {
+                    0b000 => OpImmKind::Addi,
+                    0b010 => OpImmKind::Slti,
+                    0b011 => OpImmKind::Sltiu,
+                    0b100 => OpImmKind::Xori,
+                    0b110 => OpImmKind::Ori,
+                    0b111 => OpImmKind::Andi,
+                    0b001 => OpImmKind::Slli,
+                    0b101 => {
+                        if f.funct7 == 0b0100000 {
+                            OpImmKind::Srai
+                        } else if f.funct7 == 0 {
+                            OpImmKind::Srli
+                        } else {
+                            return Err(f.reserved("shift funct7"));
+                        }
+                    }
+                    _ => unreachable!("funct3 is 3 bits"),
+                };
+                let imm = if kind.is_shift() {
+                    (f.rs2) as i32
+                } else {
+                    i_imm(word)
+                };
+                if kind == OpImmKind::Slli && f.funct7 != 0 {
+                    return Err(f.reserved("slli funct7"));
+                }
+                Ok(Instruction::OpImm {
+                    kind,
+                    rd: xreg(f.rd),
+                    rs1: xreg(f.rs1),
+                    imm,
+                })
+            }
+            opcode::OP => {
+                let kind = match (f.funct7, f.funct3) {
+                    (0b0000000, 0b000) => OpKind::Add,
+                    (0b0100000, 0b000) => OpKind::Sub,
+                    (0b0000000, 0b001) => OpKind::Sll,
+                    (0b0000000, 0b010) => OpKind::Slt,
+                    (0b0000000, 0b011) => OpKind::Sltu,
+                    (0b0000000, 0b100) => OpKind::Xor,
+                    (0b0000000, 0b101) => OpKind::Srl,
+                    (0b0100000, 0b101) => OpKind::Sra,
+                    (0b0000000, 0b110) => OpKind::Or,
+                    (0b0000000, 0b111) => OpKind::And,
+                    (0b0000001, 0b000) => OpKind::Mul,
+                    (0b0000001, 0b001) => OpKind::Mulh,
+                    (0b0000001, 0b010) => OpKind::Mulhsu,
+                    (0b0000001, 0b011) => OpKind::Mulhu,
+                    (0b0000001, 0b100) => OpKind::Div,
+                    (0b0000001, 0b101) => OpKind::Divu,
+                    (0b0000001, 0b110) => OpKind::Rem,
+                    (0b0000001, 0b111) => OpKind::Remu,
+                    _ => return Err(f.reserved("OP funct7/funct3")),
+                };
+                Ok(Instruction::Op {
+                    kind,
+                    rd: xreg(f.rd),
+                    rs1: xreg(f.rs1),
+                    rs2: xreg(f.rs2),
+                })
+            }
+            opcode::SYSTEM => match word {
+                0x0000_0073 => Ok(Instruction::Ecall),
+                0x0010_0073 => Ok(Instruction::Ebreak),
+                _ => {
+                    // csrrs rd, csr, x0 — the only CSR form supported.
+                    if f.funct3 == 0b010 && f.rs1 == 0 {
+                        if let Some(csr) = crate::instr::Csr::from_address(word >> 20) {
+                            return Ok(Instruction::Csrr {
+                                rd: xreg(f.rd),
+                                csr,
+                            });
+                        }
+                    }
+                    Err(f.reserved("system function"))
+                }
+            },
+            opcode::LOAD_FP => decode_vmem(&f, true),
+            opcode::STORE_FP => decode_vmem(&f, false),
+            opcode::OP_V => decode_opv(&f),
+            opcode::CUSTOM_1 => decode_custom(&f),
+            _ => Err(DecodeError::UnknownOpcode { word }),
+        }
+    }
+}
+
+fn decode_vmem(f: &Fields, is_load: bool) -> Result<Instruction, DecodeError> {
+    let word = f.word;
+    if word >> 29 != 0 {
+        return Err(f.reserved("vector memory nf field"));
+    }
+    if (word >> 28) & 1 != 0 {
+        return Err(f.reserved("vector memory mew field"));
+    }
+    let eew = eew_from_width_bits(f.funct3).ok_or_else(|| f.reserved("vector memory width"))?;
+    let mop = (word >> 26) & 0b11;
+    let mode = match mop {
+        0b00 => {
+            if f.rs2 != 0 {
+                return Err(f.reserved("unit-stride lumop"));
+            }
+            MemMode::UnitStride
+        }
+        0b10 => MemMode::Strided(xreg(f.rs2)),
+        0b01 => MemMode::Indexed(vreg(f.rs2)),
+        0b11 => return Err(f.reserved("ordered-indexed addressing not supported")),
+        _ => unreachable!("mop is 2 bits"),
+    };
+    Ok(if is_load {
+        Instruction::VLoad {
+            eew,
+            vd: vreg(f.rd),
+            rs1: xreg(f.rs1),
+            mode,
+            vm: f.vm(),
+        }
+    } else {
+        Instruction::VStore {
+            eew,
+            vs3: vreg(f.rd),
+            rs1: xreg(f.rs1),
+            mode,
+            vm: f.vm(),
+        }
+    })
+}
+
+fn decode_opv(f: &Fields) -> Result<Instruction, DecodeError> {
+    let word = f.word;
+    if f.funct3 == funct3::OPCFG {
+        if word >> 31 != 0 {
+            return Err(f.reserved("vsetvl/vsetivli not supported"));
+        }
+        let vtype =
+            Vtype::from_zimm((word >> 20) & 0x7FF).ok_or_else(|| f.reserved("vtype encoding"))?;
+        return Ok(Instruction::Vsetvli {
+            rd: xreg(f.rd),
+            rs1: xreg(f.rs1),
+            vtype,
+        });
+    }
+    // Special OPM forms first.
+    if f.funct3 == funct3::OPMVV && f.funct6() == 0b010000 && f.rs1 == 0 && f.vm() {
+        return Ok(Instruction::VmvXs {
+            rd: xreg(f.rd),
+            vs2: vreg(f.rs2),
+        });
+    }
+    if f.funct3 == funct3::OPMVX && f.funct6() == 0b010000 && f.rs2 == 0 && f.vm() {
+        return Ok(Instruction::VmvSx {
+            vd: vreg(f.rd),
+            rs1: xreg(f.rs1),
+        });
+    }
+    if f.funct3 == funct3::OPMVV && f.funct6() == 0b010100 && f.rs1 == 0b10001 && f.rs2 == 0 {
+        return Ok(Instruction::Vid {
+            vd: vreg(f.rd),
+            vm: f.vm(),
+        });
+    }
+    let src = match f.funct3 {
+        funct3::OPIVV => VSource::Vector(vreg(f.rs1)),
+        funct3::OPIVX => VSource::Scalar(xreg(f.rs1)),
+        funct3::OPIVI => VSource::Imm(sign_extend(f.rs1, 5)),
+        _ => return Err(f.reserved("OP-V funct3")),
+    };
+    let op = match f.funct6() {
+        0b000000 => VArithOp::Add,
+        0b000010 => VArithOp::Sub,
+        0b000011 => VArithOp::Rsub,
+        0b001001 => VArithOp::And,
+        0b001010 => VArithOp::Or,
+        0b001011 => VArithOp::Xor,
+        0b100101 => VArithOp::Sll,
+        0b101000 => VArithOp::Srl,
+        0b101001 => VArithOp::Sra,
+        0b011000 => VArithOp::Mseq,
+        0b011001 => VArithOp::Msne,
+        0b011010 => VArithOp::Msltu,
+        0b001110 => VArithOp::Slideup,
+        0b001111 => VArithOp::Slidedown,
+        0b010111 => VArithOp::Mv,
+        _ => return Err(f.reserved("OP-V funct6")),
+    };
+    let form_ok = match src {
+        VSource::Vector(_) => op.supports_vv(),
+        VSource::Scalar(_) => true,
+        VSource::Imm(_) => op.supports_vi(),
+    };
+    if !form_ok {
+        return Err(f.reserved("operand form not defined for operation"));
+    }
+    Ok(Instruction::VArith {
+        op,
+        vd: vreg(f.rd),
+        vs2: vreg(f.rs2),
+        src,
+        vm: f.vm(),
+    })
+}
+
+fn decode_custom(f: &Fields) -> Result<Instruction, DecodeError> {
+    let vd = vreg(f.rd);
+    let vs2 = vreg(f.rs2);
+    let vm = f.vm();
+    let uimm = f.rs1 as u8;
+    let simm = sign_extend(f.rs1, 5);
+    let op = match (f.funct6(), f.funct3) {
+        (x, funct3::OPIVI) if x == CustomFunct6::Vslidedownm as u32 => {
+            CustomOp::Vslidedownm { vd, vs2, uimm, vm }
+        }
+        (x, funct3::OPIVI) if x == CustomFunct6::Vslideupm as u32 => {
+            CustomOp::Vslideupm { vd, vs2, uimm, vm }
+        }
+        (x, funct3::OPIVI) if x == CustomFunct6::Vrotup as u32 => {
+            CustomOp::Vrotup { vd, vs2, uimm, vm }
+        }
+        (x, funct3::OPIVV) if x == CustomFunct6::V32lrotup as u32 => CustomOp::V32lrotup {
+            vd,
+            vs2,
+            vs1: vreg(f.rs1),
+            vm,
+        },
+        (x, funct3::OPIVV) if x == CustomFunct6::V32hrotup as u32 => CustomOp::V32hrotup {
+            vd,
+            vs2,
+            vs1: vreg(f.rs1),
+            vm,
+        },
+        (x, funct3::OPIVI) if x == CustomFunct6::V64rho as u32 => CustomOp::V64rho {
+            vd,
+            vs2,
+            row: RhoRow::from_simm(simm).ok_or_else(|| f.reserved("v64rho row"))?,
+            vm,
+        },
+        (x, funct3::OPIVV) if x == CustomFunct6::V32lrho as u32 => CustomOp::V32lrho {
+            vd,
+            vs2,
+            vs1: vreg(f.rs1),
+            vm,
+        },
+        (x, funct3::OPIVV) if x == CustomFunct6::V32hrho as u32 => CustomOp::V32hrho {
+            vd,
+            vs2,
+            vs1: vreg(f.rs1),
+            vm,
+        },
+        (x, funct3::OPIVI) if x == CustomFunct6::Vpi as u32 => CustomOp::Vpi {
+            vd,
+            vs2,
+            row: RhoRow::from_simm(simm).ok_or_else(|| f.reserved("vpi row"))?,
+            vm,
+        },
+        (x, funct3::OPIVI) if x == CustomFunct6::Vrhopi as u32 => CustomOp::Vrhopi {
+            vd,
+            vs2,
+            row: RhoRow::from_simm(simm).ok_or_else(|| f.reserved("vrhopi row"))?,
+            vm,
+        },
+        (x, funct3::OPIVX) if x == CustomFunct6::Viota as u32 => CustomOp::Viota {
+            vd,
+            vs2,
+            rs1: xreg(f.rs1),
+            vm,
+        },
+        _ => return Err(f.reserved("custom-1 funct6/funct3")),
+    };
+    Ok(Instruction::Custom(op))
+}
+
+/// Decodes a sequence of machine words.
+///
+/// # Errors
+///
+/// Returns the first [`DecodeError`] with its word index.
+pub fn decode_all(words: &[u32]) -> Result<Vec<Instruction>, (usize, DecodeError)> {
+    words
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| Instruction::decode(w).map_err(|e| (i, e)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_nop_decodes() {
+        assert_eq!(
+            Instruction::decode(0x0000_0013).unwrap(),
+            Instruction::nop()
+        );
+    }
+
+    #[test]
+    fn unknown_opcode_errors() {
+        assert_eq!(
+            Instruction::decode(0x0000_007F),
+            Err(DecodeError::UnknownOpcode { word: 0x0000_007F })
+        );
+    }
+
+    #[test]
+    fn reserved_vtype_errors() {
+        // vsetvli with fractional LMUL (vlmul=111).
+        let word = (0b111u32 << 20) | (funct3::OPCFG << 12) | opcode::OP_V;
+        assert!(matches!(
+            Instruction::decode(word),
+            Err(DecodeError::ReservedEncoding { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_branch_offset_round_trip() {
+        let branch = Instruction::Branch {
+            kind: BranchKind::Blt,
+            rs1: XReg::X19,
+            rs2: XReg::X20,
+            offset: -212,
+        };
+        assert_eq!(Instruction::decode(branch.encode()).unwrap(), branch);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = Instruction::decode(0xFFFF_FFFF).unwrap_err();
+        assert!(err.to_string().contains("0x"));
+    }
+}

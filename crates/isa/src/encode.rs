@@ -1,0 +1,486 @@
+//! Binary encoding of instructions into 32-bit words.
+
+use crate::custom::CustomOp;
+use crate::instr::{Instruction, MemMode, VSource};
+use crate::reg::XReg;
+use crate::vtype::Eew;
+
+/// RISC-V major opcodes used by this ISA subset.
+pub mod opcode {
+    /// Scalar loads.
+    pub const LOAD: u32 = 0b000_0011;
+    /// Vector loads (LOAD-FP space).
+    pub const LOAD_FP: u32 = 0b000_0111;
+    /// Register-immediate ALU.
+    pub const OP_IMM: u32 = 0b001_0011;
+    /// `auipc`.
+    pub const AUIPC: u32 = 0b001_0111;
+    /// Scalar stores.
+    pub const STORE: u32 = 0b010_0011;
+    /// Vector stores (STORE-FP space).
+    pub const STORE_FP: u32 = 0b010_0111;
+    /// Custom-1: the ten Keccak vector extensions.
+    pub const CUSTOM_1: u32 = 0b010_1011;
+    /// Register-register ALU.
+    pub const OP: u32 = 0b011_0011;
+    /// `lui`.
+    pub const LUI: u32 = 0b011_0111;
+    /// OP-V: RVV arithmetic and configuration.
+    pub const OP_V: u32 = 0b101_0111;
+    /// Conditional branches.
+    pub const BRANCH: u32 = 0b110_0011;
+    /// `jalr`.
+    pub const JALR: u32 = 0b110_0111;
+    /// `jal`.
+    pub const JAL: u32 = 0b110_1111;
+    /// `ecall` / `ebreak`.
+    pub const SYSTEM: u32 = 0b111_0011;
+}
+
+/// OP-V / custom-1 `funct3` values selecting the operand form.
+pub mod funct3 {
+    /// Vector-vector integer form.
+    pub const OPIVV: u32 = 0b000;
+    /// Vector-immediate integer form.
+    pub const OPIVI: u32 = 0b011;
+    /// Vector-scalar integer form.
+    pub const OPIVX: u32 = 0b100;
+    /// Vector-vector mask/move form.
+    pub const OPMVV: u32 = 0b010;
+    /// Vector-scalar mask/move form.
+    pub const OPMVX: u32 = 0b110;
+    /// `vsetvli` and friends.
+    pub const OPCFG: u32 = 0b111;
+}
+
+/// Width field values for vector memory instructions.
+pub(crate) const fn eew_width_bits(eew: Eew) -> u32 {
+    match eew {
+        Eew::E8 => 0b000,
+        Eew::E16 => 0b101,
+        Eew::E32 => 0b110,
+        Eew::E64 => 0b111,
+    }
+}
+
+pub(crate) const fn eew_from_width_bits(bits: u32) -> Option<Eew> {
+    match bits {
+        0b000 => Some(Eew::E8),
+        0b101 => Some(Eew::E16),
+        0b110 => Some(Eew::E32),
+        0b111 => Some(Eew::E64),
+        _ => None,
+    }
+}
+
+fn r_type(funct7: u32, rs2: u32, rs1: u32, f3: u32, rd: u32, op: u32) -> u32 {
+    (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | op
+}
+
+fn i_type(imm: i32, rs1: XReg, f3: u32, rd: XReg, op: u32) -> u32 {
+    assert!(
+        (-2048..=2047).contains(&imm),
+        "I-type immediate {imm} out of range"
+    );
+    ((imm as u32) << 20) | (rs1.bits() << 15) | (f3 << 12) | (rd.bits() << 7) | op
+}
+
+fn s_type(imm: i32, rs2: XReg, rs1: XReg, f3: u32, op: u32) -> u32 {
+    assert!(
+        (-2048..=2047).contains(&imm),
+        "S-type immediate {imm} out of range"
+    );
+    let imm = imm as u32;
+    ((imm >> 5 & 0x7F) << 25)
+        | (rs2.bits() << 20)
+        | (rs1.bits() << 15)
+        | (f3 << 12)
+        | ((imm & 0x1F) << 7)
+        | op
+}
+
+fn b_type(offset: i32, rs2: XReg, rs1: XReg, f3: u32, op: u32) -> u32 {
+    assert!(
+        offset % 2 == 0 && (-4096..=4094).contains(&offset),
+        "branch offset {offset} invalid"
+    );
+    let imm = offset as u32;
+    ((imm >> 12 & 1) << 31)
+        | ((imm >> 5 & 0x3F) << 25)
+        | (rs2.bits() << 20)
+        | (rs1.bits() << 15)
+        | (f3 << 12)
+        | ((imm >> 1 & 0xF) << 8)
+        | ((imm >> 11 & 1) << 7)
+        | op
+}
+
+fn u_type(imm: i32, rd: XReg, op: u32) -> u32 {
+    assert!(imm & 0xFFF == 0, "U-type immediate must have zero low bits");
+    (imm as u32) | (rd.bits() << 7) | op
+}
+
+fn j_type(offset: i32, rd: XReg, op: u32) -> u32 {
+    assert!(
+        offset % 2 == 0 && (-(1 << 20)..(1 << 20)).contains(&offset),
+        "jump offset {offset} invalid"
+    );
+    let imm = offset as u32;
+    ((imm >> 20 & 1) << 31)
+        | ((imm >> 1 & 0x3FF) << 21)
+        | ((imm >> 11 & 1) << 20)
+        | ((imm >> 12 & 0xFF) << 12)
+        | (rd.bits() << 7)
+        | op
+}
+
+fn v_arith(funct6: u32, vm: bool, vs2: u32, field: u32, f3: u32, vd: u32, op: u32) -> u32 {
+    (funct6 << 26) | ((vm as u32) << 25) | (vs2 << 20) | (field << 15) | (f3 << 12) | (vd << 7) | op
+}
+
+fn imm5_field(imm: i32) -> u32 {
+    assert!(
+        (-16..=15).contains(&imm),
+        "5-bit vector immediate {imm} out of range"
+    );
+    (imm as u32) & 0x1F
+}
+
+fn v_mem(mode: MemMode, vm: bool, eew: Eew, reg: u32, rs1: XReg, op: u32) -> u32 {
+    let (mop, field) = match mode {
+        MemMode::UnitStride => (0b00, 0),
+        MemMode::Strided(rs2) => (0b10, rs2.bits()),
+        MemMode::Indexed(vs2) => (0b01, vs2.bits()),
+    };
+    (mop << 26)
+        | ((vm as u32) << 25)
+        | (field << 20)
+        | (rs1.bits() << 15)
+        | (eew_width_bits(eew) << 12)
+        | (reg << 7)
+        | op
+}
+
+impl Instruction {
+    /// Encodes the instruction into its 32-bit machine word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an immediate or offset is out of range for its encoding
+    /// (e.g. a branch offset beyond ±4 KiB). The assembler validates
+    /// ranges before calling this.
+    pub fn encode(&self) -> u32 {
+        use opcode::*;
+        match *self {
+            Instruction::Lui { rd, imm } => u_type(imm, rd, LUI),
+            Instruction::Auipc { rd, imm } => u_type(imm, rd, AUIPC),
+            Instruction::Jal { rd, offset } => j_type(offset, rd, JAL),
+            Instruction::Jalr { rd, rs1, offset } => i_type(offset, rs1, 0b000, rd, JALR),
+            Instruction::Branch {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            } => b_type(offset, rs2, rs1, kind.funct3(), BRANCH),
+            Instruction::Load {
+                kind,
+                rd,
+                rs1,
+                offset,
+            } => i_type(offset, rs1, kind.funct3(), rd, LOAD),
+            Instruction::Store {
+                kind,
+                rs2,
+                rs1,
+                offset,
+            } => s_type(offset, rs2, rs1, kind.funct3(), STORE),
+            Instruction::OpImm { kind, rd, rs1, imm } => {
+                if kind.is_shift() {
+                    assert!((0..32).contains(&imm), "shift amount {imm} out of range");
+                    let funct7 = if kind == crate::instr::OpImmKind::Srai {
+                        0b0100000
+                    } else {
+                        0
+                    };
+                    r_type(
+                        funct7,
+                        imm as u32,
+                        rs1.bits(),
+                        kind.funct3(),
+                        rd.bits(),
+                        OP_IMM,
+                    )
+                } else {
+                    i_type(imm, rs1, kind.funct3(), rd, OP_IMM)
+                }
+            }
+            Instruction::Op { kind, rd, rs1, rs2 } => {
+                let (funct7, f3) = kind.functs();
+                r_type(funct7, rs2.bits(), rs1.bits(), f3, rd.bits(), OP)
+            }
+            Instruction::Csrr { rd, csr } => {
+                // csrrs rd, csr, x0: funct3 = 010.
+                (csr.address() << 20) | (0b010 << 12) | (rd.bits() << 7) | SYSTEM
+            }
+            Instruction::Ecall => 0x0000_0073,
+            Instruction::Ebreak => 0x0010_0073,
+            Instruction::Vsetvli { rd, rs1, vtype } => {
+                (vtype.zimm() << 20)
+                    | (rs1.bits() << 15)
+                    | (funct3::OPCFG << 12)
+                    | (rd.bits() << 7)
+                    | OP_V
+            }
+            Instruction::VLoad {
+                eew,
+                vd,
+                rs1,
+                mode,
+                vm,
+            } => v_mem(mode, vm, eew, vd.bits(), rs1, LOAD_FP),
+            Instruction::VStore {
+                eew,
+                vs3,
+                rs1,
+                mode,
+                vm,
+            } => v_mem(mode, vm, eew, vs3.bits(), rs1, STORE_FP),
+            Instruction::VArith {
+                op,
+                vd,
+                vs2,
+                src,
+                vm,
+            } => {
+                let (f3, field) = match src {
+                    VSource::Vector(vs1) => (funct3::OPIVV, vs1.bits()),
+                    VSource::Scalar(rs1) => (funct3::OPIVX, rs1.bits()),
+                    VSource::Imm(imm) => (funct3::OPIVI, imm5_field(imm)),
+                };
+                v_arith(op.funct6(), vm, vs2.bits(), field, f3, vd.bits(), OP_V)
+            }
+            Instruction::VmvXs { rd, vs2 } => v_arith(
+                0b010000,
+                true,
+                vs2.bits(),
+                0,
+                funct3::OPMVV,
+                rd.bits(),
+                OP_V,
+            ),
+            Instruction::VmvSx { vd, rs1 } => v_arith(
+                0b010000,
+                true,
+                0,
+                rs1.bits(),
+                funct3::OPMVX,
+                vd.bits(),
+                OP_V,
+            ),
+            Instruction::Vid { vd, vm } => {
+                v_arith(0b010100, vm, 0, 0b10001, funct3::OPMVV, vd.bits(), OP_V)
+            }
+            Instruction::Custom(op) => encode_custom(op),
+        }
+    }
+}
+
+fn encode_custom(op: CustomOp) -> u32 {
+    use opcode::CUSTOM_1;
+    let funct6 = op.funct6() as u32;
+    match op {
+        CustomOp::Vslidedownm { vd, vs2, uimm, vm } | CustomOp::Vslideupm { vd, vs2, uimm, vm } => {
+            assert!(uimm < 32, "slide offset {uimm} out of 5-bit range");
+            v_arith(
+                funct6,
+                vm,
+                vs2.bits(),
+                uimm as u32,
+                funct3::OPIVI,
+                vd.bits(),
+                CUSTOM_1,
+            )
+        }
+        CustomOp::Vrotup { vd, vs2, uimm, vm } => {
+            assert!(uimm < 32, "rotate amount {uimm} out of 5-bit range");
+            v_arith(
+                funct6,
+                vm,
+                vs2.bits(),
+                uimm as u32,
+                funct3::OPIVI,
+                vd.bits(),
+                CUSTOM_1,
+            )
+        }
+        CustomOp::V32lrotup { vd, vs2, vs1, vm }
+        | CustomOp::V32hrotup { vd, vs2, vs1, vm }
+        | CustomOp::V32lrho { vd, vs2, vs1, vm }
+        | CustomOp::V32hrho { vd, vs2, vs1, vm } => v_arith(
+            funct6,
+            vm,
+            vs2.bits(),
+            vs1.bits(),
+            funct3::OPIVV,
+            vd.bits(),
+            CUSTOM_1,
+        ),
+        CustomOp::V64rho { vd, vs2, row, vm }
+        | CustomOp::Vpi { vd, vs2, row, vm }
+        | CustomOp::Vrhopi { vd, vs2, row, vm } => v_arith(
+            funct6,
+            vm,
+            vs2.bits(),
+            imm5_field(row.simm()),
+            funct3::OPIVI,
+            vd.bits(),
+            CUSTOM_1,
+        ),
+        CustomOp::Viota { vd, vs2, rs1, vm } => v_arith(
+            funct6,
+            vm,
+            vs2.bits(),
+            rs1.bits(),
+            funct3::OPIVX,
+            vd.bits(),
+            CUSTOM_1,
+        ),
+    }
+}
+
+/// Encodes a sequence of instructions into machine words.
+pub fn encode_all(instructions: &[Instruction]) -> Vec<u32> {
+    instructions.iter().map(Instruction::encode).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::OpImmKind;
+    use crate::reg::VReg;
+
+    #[test]
+    fn canonical_encodings() {
+        // Cross-checked against the RISC-V spec examples.
+        // addi x0, x0, 0 == canonical NOP == 0x00000013.
+        assert_eq!(Instruction::nop().encode(), 0x0000_0013);
+        // ecall / ebreak.
+        assert_eq!(Instruction::Ecall.encode(), 0x0000_0073);
+        assert_eq!(Instruction::Ebreak.encode(), 0x0010_0073);
+        // lui a0, 0x12345000 => 0x12345537.
+        assert_eq!(
+            Instruction::Lui {
+                rd: XReg::X10,
+                imm: 0x12345 << 12
+            }
+            .encode(),
+            0x1234_5537
+        );
+        // add a0, a1, a2 => 0x00C58533.
+        assert_eq!(
+            Instruction::Op {
+                kind: crate::instr::OpKind::Add,
+                rd: XReg::X10,
+                rs1: XReg::X11,
+                rs2: XReg::X12
+            }
+            .encode(),
+            0x00C5_8533
+        );
+    }
+
+    #[test]
+    fn negative_immediates_encode() {
+        // addi s2, zero, -1 => imm field all ones.
+        let word = Instruction::addi(XReg::X18, XReg::X0, -1).encode();
+        assert_eq!(word >> 20, 0xFFF);
+    }
+
+    #[test]
+    fn srai_sets_funct7() {
+        let word = Instruction::OpImm {
+            kind: OpImmKind::Srai,
+            rd: XReg::X1,
+            rs1: XReg::X2,
+            imm: 3,
+        }
+        .encode();
+        assert_eq!(word >> 25, 0b0100000);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_i_immediate_panics() {
+        let _ = Instruction::addi(XReg::X1, XReg::X1, 4096).encode();
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn odd_branch_offset_panics() {
+        let _ = Instruction::Branch {
+            kind: crate::instr::BranchKind::Beq,
+            rs1: XReg::X0,
+            rs2: XReg::X0,
+            offset: 3,
+        }
+        .encode();
+    }
+
+    #[test]
+    fn vector_memory_width_fields() {
+        let vle64 = Instruction::VLoad {
+            eew: Eew::E64,
+            vd: VReg::V3,
+            rs1: XReg::X10,
+            mode: MemMode::UnitStride,
+            vm: true,
+        }
+        .encode();
+        assert_eq!((vle64 >> 12) & 0b111, 0b111);
+        assert_eq!(vle64 & 0x7F, opcode::LOAD_FP);
+    }
+
+    #[test]
+    fn custom_ops_use_custom1_opcode() {
+        use crate::custom::RhoRow;
+        let ops: Vec<Instruction> = vec![
+            CustomOp::Vslidedownm {
+                vd: VReg::V10,
+                vs2: VReg::V5,
+                uimm: 1,
+                vm: true,
+            }
+            .into(),
+            CustomOp::V64rho {
+                vd: VReg::V0,
+                vs2: VReg::V0,
+                row: RhoRow::All,
+                vm: true,
+            }
+            .into(),
+            CustomOp::Viota {
+                vd: VReg::V0,
+                vs2: VReg::V0,
+                rs1: XReg::X18,
+                vm: true,
+            }
+            .into(),
+        ];
+        for instr in ops {
+            assert_eq!(instr.encode() & 0x7F, opcode::CUSTOM_1, "{instr:?}");
+        }
+    }
+
+    #[test]
+    fn v64rho_all_rows_encodes_minus_one() {
+        use crate::custom::RhoRow;
+        let word = Instruction::from(CustomOp::V64rho {
+            vd: VReg::V0,
+            vs2: VReg::V0,
+            row: RhoRow::All,
+            vm: true,
+        })
+        .encode();
+        assert_eq!((word >> 15) & 0x1F, 0x1F); // simm5 = -1
+    }
+}

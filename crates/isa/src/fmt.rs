@@ -1,0 +1,322 @@
+//! Assembly-text rendering of instructions (the disassembler's output
+//! format, re-parsable by `krv-asm`).
+
+use crate::custom::CustomOp;
+use crate::instr::{Instruction, MemMode, VArithOp, VSource};
+use core::fmt;
+
+fn mask_suffix(vm: bool) -> &'static str {
+    if vm {
+        ""
+    } else {
+        ", v0.t"
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instruction::Lui { rd, imm } => {
+                write!(f, "lui {rd}, {:#x}", (imm as u32) >> 12)
+            }
+            Instruction::Auipc { rd, imm } => {
+                write!(f, "auipc {rd}, {:#x}", (imm as u32) >> 12)
+            }
+            Instruction::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
+            Instruction::Jalr { rd, rs1, offset } => write!(f, "jalr {rd}, {rs1}, {offset}"),
+            Instruction::Branch {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            } => write!(f, "{} {rs1}, {rs2}, {offset}", kind.mnemonic()),
+            Instruction::Load {
+                kind,
+                rd,
+                rs1,
+                offset,
+            } => write!(f, "{} {rd}, {offset}({rs1})", kind.mnemonic()),
+            Instruction::Store {
+                kind,
+                rs2,
+                rs1,
+                offset,
+            } => write!(f, "{} {rs2}, {offset}({rs1})", kind.mnemonic()),
+            Instruction::OpImm { kind, rd, rs1, imm } => {
+                write!(f, "{} {rd}, {rs1}, {imm}", kind.mnemonic())
+            }
+            Instruction::Op { kind, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", kind.mnemonic())
+            }
+            Instruction::Csrr { rd, csr } => write!(f, "csrr {rd}, {}", csr.name()),
+            Instruction::Ecall => f.write_str("ecall"),
+            Instruction::Ebreak => f.write_str("ebreak"),
+            Instruction::Vsetvli { rd, rs1, vtype } => {
+                write!(f, "vsetvli {rd}, {rs1}, {vtype}")
+            }
+            Instruction::VLoad {
+                eew,
+                vd,
+                rs1,
+                mode,
+                vm,
+            } => {
+                let bits = eew.bits();
+                match mode {
+                    MemMode::UnitStride => {
+                        write!(f, "vle{bits}.v {vd}, ({rs1}){}", mask_suffix(vm))
+                    }
+                    MemMode::Strided(rs2) => {
+                        write!(f, "vlse{bits}.v {vd}, ({rs1}), {rs2}{}", mask_suffix(vm))
+                    }
+                    MemMode::Indexed(vs2) => {
+                        write!(f, "vluxei{bits}.v {vd}, ({rs1}), {vs2}{}", mask_suffix(vm))
+                    }
+                }
+            }
+            Instruction::VStore {
+                eew,
+                vs3,
+                rs1,
+                mode,
+                vm,
+            } => {
+                let bits = eew.bits();
+                match mode {
+                    MemMode::UnitStride => {
+                        write!(f, "vse{bits}.v {vs3}, ({rs1}){}", mask_suffix(vm))
+                    }
+                    MemMode::Strided(rs2) => {
+                        write!(f, "vsse{bits}.v {vs3}, ({rs1}), {rs2}{}", mask_suffix(vm))
+                    }
+                    MemMode::Indexed(vs2) => {
+                        write!(f, "vsuxei{bits}.v {vs3}, ({rs1}), {vs2}{}", mask_suffix(vm))
+                    }
+                }
+            }
+            Instruction::VArith {
+                op,
+                vd,
+                vs2,
+                src,
+                vm,
+            } => {
+                let name = op.mnemonic();
+                if op == VArithOp::Mv {
+                    // vmv.v.* has a single source operand.
+                    return match src {
+                        VSource::Vector(vs1) => {
+                            write!(f, "vmv.v.v {vd}, {vs1}{}", mask_suffix(vm))
+                        }
+                        VSource::Scalar(rs1) => {
+                            write!(f, "vmv.v.x {vd}, {rs1}{}", mask_suffix(vm))
+                        }
+                        VSource::Imm(imm) => {
+                            write!(f, "vmv.v.i {vd}, {imm}{}", mask_suffix(vm))
+                        }
+                    };
+                }
+                match src {
+                    VSource::Vector(vs1) => {
+                        write!(f, "{name}.vv {vd}, {vs2}, {vs1}{}", mask_suffix(vm))
+                    }
+                    VSource::Scalar(rs1) => {
+                        write!(f, "{name}.vx {vd}, {vs2}, {rs1}{}", mask_suffix(vm))
+                    }
+                    VSource::Imm(imm) => {
+                        write!(f, "{name}.vi {vd}, {vs2}, {imm}{}", mask_suffix(vm))
+                    }
+                }
+            }
+            Instruction::VmvXs { rd, vs2 } => write!(f, "vmv.x.s {rd}, {vs2}"),
+            Instruction::VmvSx { vd, rs1 } => write!(f, "vmv.s.x {vd}, {rs1}"),
+            Instruction::Vid { vd, vm } => write!(f, "vid.v {vd}{}", mask_suffix(vm)),
+            Instruction::Custom(op) => write!(f, "{op}"),
+        }
+    }
+}
+
+impl fmt::Display for CustomOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = self.mnemonic();
+        match *self {
+            CustomOp::Vslidedownm { vd, vs2, uimm, vm }
+            | CustomOp::Vslideupm { vd, vs2, uimm, vm }
+            | CustomOp::Vrotup { vd, vs2, uimm, vm } => {
+                write!(f, "{name} {vd}, {vs2}, {uimm}{}", mask_suffix(vm))
+            }
+            CustomOp::V32lrotup { vd, vs2, vs1, vm }
+            | CustomOp::V32hrotup { vd, vs2, vs1, vm }
+            | CustomOp::V32lrho { vd, vs2, vs1, vm }
+            | CustomOp::V32hrho { vd, vs2, vs1, vm } => {
+                write!(f, "{name} {vd}, {vs2}, {vs1}{}", mask_suffix(vm))
+            }
+            CustomOp::V64rho { vd, vs2, row, vm }
+            | CustomOp::Vpi { vd, vs2, row, vm }
+            | CustomOp::Vrhopi { vd, vs2, row, vm } => {
+                write!(f, "{name} {vd}, {vs2}, {row}{}", mask_suffix(vm))
+            }
+            CustomOp::Viota { vd, vs2, rs1, vm } => {
+                write!(f, "{name} {vd}, {vs2}, {rs1}{}", mask_suffix(vm))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::custom::RhoRow;
+    use crate::instr::{BranchKind, LoadKind, OpKind, StoreKind};
+    use crate::reg::{VReg, XReg};
+    use crate::vtype::{Lmul, Sew, Vtype};
+
+    #[test]
+    fn scalar_rendering() {
+        assert_eq!(Instruction::nop().to_string(), "addi zero, zero, 0");
+        assert_eq!(
+            Instruction::Op {
+                kind: OpKind::Add,
+                rd: XReg::X10,
+                rs1: XReg::X11,
+                rs2: XReg::X12
+            }
+            .to_string(),
+            "add a0, a1, a2"
+        );
+        assert_eq!(
+            Instruction::Load {
+                kind: LoadKind::Lw,
+                rd: XReg::X10,
+                rs1: XReg::X2,
+                offset: -4
+            }
+            .to_string(),
+            "lw a0, -4(sp)"
+        );
+        assert_eq!(
+            Instruction::Store {
+                kind: StoreKind::Sw,
+                rs2: XReg::X10,
+                rs1: XReg::X2,
+                offset: 8
+            }
+            .to_string(),
+            "sw a0, 8(sp)"
+        );
+        assert_eq!(
+            Instruction::Branch {
+                kind: BranchKind::Blt,
+                rs1: XReg::X19,
+                rs2: XReg::X20,
+                offset: -212
+            }
+            .to_string(),
+            "blt s3, s4, -212"
+        );
+    }
+
+    #[test]
+    fn vector_rendering_matches_paper_listings() {
+        // Paper Algorithm 2 line 1 (modulo x0/zero spelling).
+        let vsetvli = Instruction::Vsetvli {
+            rd: XReg::X0,
+            rs1: XReg::X9,
+            vtype: Vtype::new(Sew::E64, Lmul::M1)
+                .tail_undisturbed()
+                .mask_undisturbed(),
+        };
+        assert_eq!(vsetvli.to_string(), "vsetvli zero, s1, e64, m1, tu, mu");
+        // Line 4: vxor.vv v5, v3, v4.
+        let vxor =
+            Instruction::varith(VArithOp::Xor, VReg::V5, VReg::V3, VSource::Vector(VReg::V4));
+        assert_eq!(vxor.to_string(), "vxor.vv v5, v3, v4");
+        // Line 35: vxor.vx v10, v10, s2.
+        let vxorx = Instruction::varith(
+            VArithOp::Xor,
+            VReg::V10,
+            VReg::V10,
+            VSource::Scalar(XReg::X18),
+        );
+        assert_eq!(vxorx.to_string(), "vxor.vx v10, v10, s2");
+    }
+
+    #[test]
+    fn custom_rendering_matches_paper_listings() {
+        // Algorithm 2 line 18: v64rho.vi v0, v0, 0.
+        let rho = Instruction::from(CustomOp::V64rho {
+            vd: VReg::V0,
+            vs2: VReg::V0,
+            row: RhoRow::Row(0),
+            vm: true,
+        });
+        assert_eq!(rho.to_string(), "v64rho.vi v0, v0, 0");
+        // Algorithm 3 line 3: v64rho.vi v0, v0, -1.
+        let rho_all = Instruction::from(CustomOp::V64rho {
+            vd: VReg::V0,
+            vs2: VReg::V0,
+            row: RhoRow::All,
+            vm: true,
+        });
+        assert_eq!(rho_all.to_string(), "v64rho.vi v0, v0, -1");
+        // Algorithm 2 line 56: viota.vx v0, v0, s3.
+        let viota = Instruction::from(CustomOp::Viota {
+            vd: VReg::V0,
+            vs2: VReg::V0,
+            rs1: XReg::X19,
+            vm: true,
+        });
+        assert_eq!(viota.to_string(), "viota.vx v0, v0, s3");
+    }
+
+    #[test]
+    fn masked_instructions_show_mask_operand() {
+        let masked = Instruction::VArith {
+            op: VArithOp::Add,
+            vd: VReg::V1,
+            vs2: VReg::V2,
+            src: VSource::Vector(VReg::V3),
+            vm: false,
+        };
+        assert_eq!(masked.to_string(), "vadd.vv v1, v2, v3, v0.t");
+    }
+
+    #[test]
+    fn memory_rendering() {
+        let vle = Instruction::VLoad {
+            eew: Sew::E64,
+            vd: VReg::V0,
+            rs1: XReg::X10,
+            mode: crate::instr::MemMode::UnitStride,
+            vm: true,
+        };
+        assert_eq!(vle.to_string(), "vle64.v v0, (a0)");
+        let vlse = Instruction::VLoad {
+            eew: Sew::E32,
+            vd: VReg::V0,
+            rs1: XReg::X10,
+            mode: crate::instr::MemMode::Strided(XReg::X5),
+            vm: true,
+        };
+        assert_eq!(vlse.to_string(), "vlse32.v v0, (a0), t0");
+        let vlux = Instruction::VLoad {
+            eew: Sew::E32,
+            vd: VReg::V0,
+            rs1: XReg::X10,
+            mode: crate::instr::MemMode::Indexed(VReg::V8),
+            vm: true,
+        };
+        assert_eq!(vlux.to_string(), "vluxei32.v v0, (a0), v8");
+    }
+
+    #[test]
+    fn mv_forms_render() {
+        let mv_v = Instruction::varith(VArithOp::Mv, VReg::V1, VReg::V0, VSource::Vector(VReg::V2));
+        assert_eq!(mv_v.to_string(), "vmv.v.v v1, v2");
+        let mv_x = Instruction::VmvXs {
+            rd: XReg::X10,
+            vs2: VReg::V3,
+        };
+        assert_eq!(mv_x.to_string(), "vmv.x.s a0, v3");
+    }
+}

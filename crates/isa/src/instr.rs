@@ -1,0 +1,697 @@
+//! The instruction enumeration: scalar RV32IM, RVV subset, custom ops.
+
+use crate::custom::CustomOp;
+use crate::reg::{VReg, XReg};
+use crate::vtype::{Eew, Vtype};
+
+/// Conditional branch comparison kind (RV32I B-type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchKind {
+    /// Branch if equal.
+    Beq,
+    /// Branch if not equal.
+    Bne,
+    /// Branch if less than (signed).
+    Blt,
+    /// Branch if greater or equal (signed).
+    Bge,
+    /// Branch if less than (unsigned).
+    Bltu,
+    /// Branch if greater or equal (unsigned).
+    Bgeu,
+}
+
+impl BranchKind {
+    /// The `funct3` field.
+    pub const fn funct3(self) -> u32 {
+        match self {
+            BranchKind::Beq => 0b000,
+            BranchKind::Bne => 0b001,
+            BranchKind::Blt => 0b100,
+            BranchKind::Bge => 0b101,
+            BranchKind::Bltu => 0b110,
+            BranchKind::Bgeu => 0b111,
+        }
+    }
+
+    /// The assembly mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            BranchKind::Beq => "beq",
+            BranchKind::Bne => "bne",
+            BranchKind::Blt => "blt",
+            BranchKind::Bge => "bge",
+            BranchKind::Bltu => "bltu",
+            BranchKind::Bgeu => "bgeu",
+        }
+    }
+}
+
+/// Scalar load width/sign kind (RV32I I-type loads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoadKind {
+    /// Load byte, sign-extended.
+    Lb,
+    /// Load halfword, sign-extended.
+    Lh,
+    /// Load word.
+    Lw,
+    /// Load byte, zero-extended.
+    Lbu,
+    /// Load halfword, zero-extended.
+    Lhu,
+}
+
+impl LoadKind {
+    /// The `funct3` field.
+    pub const fn funct3(self) -> u32 {
+        match self {
+            LoadKind::Lb => 0b000,
+            LoadKind::Lh => 0b001,
+            LoadKind::Lw => 0b010,
+            LoadKind::Lbu => 0b100,
+            LoadKind::Lhu => 0b101,
+        }
+    }
+
+    /// The assembly mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            LoadKind::Lb => "lb",
+            LoadKind::Lh => "lh",
+            LoadKind::Lw => "lw",
+            LoadKind::Lbu => "lbu",
+            LoadKind::Lhu => "lhu",
+        }
+    }
+}
+
+/// Scalar store width kind (RV32I S-type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreKind {
+    /// Store byte.
+    Sb,
+    /// Store halfword.
+    Sh,
+    /// Store word.
+    Sw,
+}
+
+impl StoreKind {
+    /// The `funct3` field.
+    pub const fn funct3(self) -> u32 {
+        match self {
+            StoreKind::Sb => 0b000,
+            StoreKind::Sh => 0b001,
+            StoreKind::Sw => 0b010,
+        }
+    }
+
+    /// The assembly mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            StoreKind::Sb => "sb",
+            StoreKind::Sh => "sh",
+            StoreKind::Sw => "sw",
+        }
+    }
+}
+
+/// Register-immediate ALU operation kind (RV32I OP-IMM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpImmKind {
+    /// Add immediate.
+    Addi,
+    /// Set if less than immediate (signed).
+    Slti,
+    /// Set if less than immediate (unsigned).
+    Sltiu,
+    /// XOR immediate.
+    Xori,
+    /// OR immediate.
+    Ori,
+    /// AND immediate.
+    Andi,
+    /// Shift left logical by immediate.
+    Slli,
+    /// Shift right logical by immediate.
+    Srli,
+    /// Shift right arithmetic by immediate.
+    Srai,
+}
+
+impl OpImmKind {
+    /// The `funct3` field.
+    pub const fn funct3(self) -> u32 {
+        match self {
+            OpImmKind::Addi => 0b000,
+            OpImmKind::Slti => 0b010,
+            OpImmKind::Sltiu => 0b011,
+            OpImmKind::Xori => 0b100,
+            OpImmKind::Ori => 0b110,
+            OpImmKind::Andi => 0b111,
+            OpImmKind::Slli => 0b001,
+            OpImmKind::Srli | OpImmKind::Srai => 0b101,
+        }
+    }
+
+    /// The assembly mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            OpImmKind::Addi => "addi",
+            OpImmKind::Slti => "slti",
+            OpImmKind::Sltiu => "sltiu",
+            OpImmKind::Xori => "xori",
+            OpImmKind::Ori => "ori",
+            OpImmKind::Andi => "andi",
+            OpImmKind::Slli => "slli",
+            OpImmKind::Srli => "srli",
+            OpImmKind::Srai => "srai",
+        }
+    }
+
+    /// Whether this is a shift (immediate restricted to 0–31).
+    pub const fn is_shift(self) -> bool {
+        matches!(self, OpImmKind::Slli | OpImmKind::Srli | OpImmKind::Srai)
+    }
+}
+
+/// Register-register ALU operation kind (RV32I OP + RV32M).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Shift left logical.
+    Sll,
+    /// Set if less than (signed).
+    Slt,
+    /// Set if less than (unsigned).
+    Sltu,
+    /// Exclusive OR.
+    Xor,
+    /// Shift right logical.
+    Srl,
+    /// Shift right arithmetic.
+    Sra,
+    /// Inclusive OR.
+    Or,
+    /// AND.
+    And,
+    /// Multiply (low 32 bits).
+    Mul,
+    /// Multiply high, signed × signed.
+    Mulh,
+    /// Multiply high, signed × unsigned.
+    Mulhsu,
+    /// Multiply high, unsigned × unsigned.
+    Mulhu,
+    /// Divide (signed).
+    Div,
+    /// Divide (unsigned).
+    Divu,
+    /// Remainder (signed).
+    Rem,
+    /// Remainder (unsigned).
+    Remu,
+}
+
+impl OpKind {
+    /// `(funct7, funct3)` for the OP encoding.
+    pub const fn functs(self) -> (u32, u32) {
+        match self {
+            OpKind::Add => (0b0000000, 0b000),
+            OpKind::Sub => (0b0100000, 0b000),
+            OpKind::Sll => (0b0000000, 0b001),
+            OpKind::Slt => (0b0000000, 0b010),
+            OpKind::Sltu => (0b0000000, 0b011),
+            OpKind::Xor => (0b0000000, 0b100),
+            OpKind::Srl => (0b0000000, 0b101),
+            OpKind::Sra => (0b0100000, 0b101),
+            OpKind::Or => (0b0000000, 0b110),
+            OpKind::And => (0b0000000, 0b111),
+            OpKind::Mul => (0b0000001, 0b000),
+            OpKind::Mulh => (0b0000001, 0b001),
+            OpKind::Mulhsu => (0b0000001, 0b010),
+            OpKind::Mulhu => (0b0000001, 0b011),
+            OpKind::Div => (0b0000001, 0b100),
+            OpKind::Divu => (0b0000001, 0b101),
+            OpKind::Rem => (0b0000001, 0b110),
+            OpKind::Remu => (0b0000001, 0b111),
+        }
+    }
+
+    /// The assembly mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            OpKind::Add => "add",
+            OpKind::Sub => "sub",
+            OpKind::Sll => "sll",
+            OpKind::Slt => "slt",
+            OpKind::Sltu => "sltu",
+            OpKind::Xor => "xor",
+            OpKind::Srl => "srl",
+            OpKind::Sra => "sra",
+            OpKind::Or => "or",
+            OpKind::And => "and",
+            OpKind::Mul => "mul",
+            OpKind::Mulh => "mulh",
+            OpKind::Mulhsu => "mulhsu",
+            OpKind::Mulhu => "mulhu",
+            OpKind::Div => "div",
+            OpKind::Divu => "divu",
+            OpKind::Rem => "rem",
+            OpKind::Remu => "remu",
+        }
+    }
+}
+
+/// A control-and-status register readable with `csrr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Csr {
+    /// `vl` (0xC20): the current vector length.
+    Vl,
+    /// `vtype` (0xC21): the current vector configuration.
+    Vtype,
+    /// `vlenb` (0xC22): vector register length in bytes.
+    Vlenb,
+    /// `cycle` (0xC00): the cycle counter (low 32 bits).
+    Cycle,
+    /// `instret` (0xC02): retired-instruction counter (low 32 bits).
+    Instret,
+}
+
+impl Csr {
+    /// The 12-bit CSR address.
+    pub const fn address(self) -> u32 {
+        match self {
+            Csr::Cycle => 0xC00,
+            Csr::Instret => 0xC02,
+            Csr::Vl => 0xC20,
+            Csr::Vtype => 0xC21,
+            Csr::Vlenb => 0xC22,
+        }
+    }
+
+    /// Decodes a 12-bit CSR address.
+    pub const fn from_address(address: u32) -> Option<Self> {
+        match address {
+            0xC00 => Some(Csr::Cycle),
+            0xC02 => Some(Csr::Instret),
+            0xC20 => Some(Csr::Vl),
+            0xC21 => Some(Csr::Vtype),
+            0xC22 => Some(Csr::Vlenb),
+            _ => None,
+        }
+    }
+
+    /// The assembly name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Csr::Vl => "vl",
+            Csr::Vtype => "vtype",
+            Csr::Vlenb => "vlenb",
+            Csr::Cycle => "cycle",
+            Csr::Instret => "instret",
+        }
+    }
+}
+
+/// Addressing mode of a vector memory instruction (paper §2.2 item 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemMode {
+    /// Consecutive elements starting at `rs1`.
+    UnitStride,
+    /// Elements separated by the byte stride in `rs2`.
+    Strided(XReg),
+    /// Element addresses are `rs1 + vs2[i]` (unordered indexed).
+    Indexed(VReg),
+}
+
+/// Second operand of a vector arithmetic instruction: the RVV `.vv`,
+/// `.vx` and `.vi` forms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VSource {
+    /// `.vv` — vector register `vs1`.
+    Vector(VReg),
+    /// `.vx` — scalar register `rs1` (sign-extended to SEW).
+    Scalar(XReg),
+    /// `.vi` — 5-bit signed immediate.
+    Imm(i32),
+}
+
+/// Vector integer arithmetic operation (RVV 1.0 subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VArithOp {
+    /// `vadd` — addition.
+    Add,
+    /// `vsub` — subtraction (`.vv`/`.vx` only).
+    Sub,
+    /// `vrsub` — reverse subtraction (`.vx`/`.vi` only).
+    Rsub,
+    /// `vand` — bitwise AND.
+    And,
+    /// `vor` — bitwise OR.
+    Or,
+    /// `vxor` — bitwise XOR.
+    Xor,
+    /// `vsll` — shift left logical.
+    Sll,
+    /// `vsrl` — shift right logical.
+    Srl,
+    /// `vsra` — shift right arithmetic.
+    Sra,
+    /// `vmseq` — mask set if equal.
+    Mseq,
+    /// `vmsne` — mask set if not equal.
+    Msne,
+    /// `vmsltu` — mask set if less than (unsigned, `.vv`/`.vx`).
+    Msltu,
+    /// `vslideup` — standard RVV slide up (`.vx`/`.vi`).
+    Slideup,
+    /// `vslidedown` — standard RVV slide down (`.vx`/`.vi`).
+    Slidedown,
+    /// `vmv.v.*` — vector move/splat.
+    Mv,
+}
+
+impl VArithOp {
+    /// The RVV `funct6` field.
+    pub const fn funct6(self) -> u32 {
+        match self {
+            VArithOp::Add => 0b000000,
+            VArithOp::Sub => 0b000010,
+            VArithOp::Rsub => 0b000011,
+            VArithOp::And => 0b001001,
+            VArithOp::Or => 0b001010,
+            VArithOp::Xor => 0b001011,
+            VArithOp::Sll => 0b100101,
+            VArithOp::Srl => 0b101000,
+            VArithOp::Sra => 0b101001,
+            VArithOp::Mseq => 0b011000,
+            VArithOp::Msne => 0b011001,
+            VArithOp::Msltu => 0b011010,
+            VArithOp::Slideup => 0b001110,
+            VArithOp::Slidedown => 0b001111,
+            VArithOp::Mv => 0b010111,
+        }
+    }
+
+    /// The base mnemonic without the operand-form suffix.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            VArithOp::Add => "vadd",
+            VArithOp::Sub => "vsub",
+            VArithOp::Rsub => "vrsub",
+            VArithOp::And => "vand",
+            VArithOp::Or => "vor",
+            VArithOp::Xor => "vxor",
+            VArithOp::Sll => "vsll",
+            VArithOp::Srl => "vsrl",
+            VArithOp::Sra => "vsra",
+            VArithOp::Mseq => "vmseq",
+            VArithOp::Msne => "vmsne",
+            VArithOp::Msltu => "vmsltu",
+            VArithOp::Slideup => "vslideup",
+            VArithOp::Slidedown => "vslidedown",
+            VArithOp::Mv => "vmv",
+        }
+    }
+
+    /// Whether the `.vv` form exists in RVV 1.0.
+    pub const fn supports_vv(self) -> bool {
+        !matches!(
+            self,
+            VArithOp::Rsub | VArithOp::Slideup | VArithOp::Slidedown
+        )
+    }
+
+    /// Whether the `.vi` form exists in RVV 1.0.
+    pub const fn supports_vi(self) -> bool {
+        !matches!(self, VArithOp::Sub | VArithOp::Msltu)
+    }
+}
+
+/// A decoded instruction.
+///
+/// Variants group the major families; operand layouts mirror the RISC-V
+/// encoding formats so that encode/decode are straightforward and total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instruction {
+    /// `lui rd, imm` — load upper immediate (`imm` is the value already
+    /// shifted into bits 31:12).
+    Lui {
+        /// Destination.
+        rd: XReg,
+        /// Upper immediate (low 12 bits must be zero).
+        imm: i32,
+    },
+    /// `auipc rd, imm` — add upper immediate to PC.
+    Auipc {
+        /// Destination.
+        rd: XReg,
+        /// Upper immediate (low 12 bits must be zero).
+        imm: i32,
+    },
+    /// `jal rd, offset` — jump and link.
+    Jal {
+        /// Link register.
+        rd: XReg,
+        /// Signed byte offset from this instruction.
+        offset: i32,
+    },
+    /// `jalr rd, rs1, offset` — indirect jump and link.
+    Jalr {
+        /// Link register.
+        rd: XReg,
+        /// Base register.
+        rs1: XReg,
+        /// Signed byte offset.
+        offset: i32,
+    },
+    /// Conditional branch.
+    Branch {
+        /// Comparison kind.
+        kind: BranchKind,
+        /// First comparand.
+        rs1: XReg,
+        /// Second comparand.
+        rs2: XReg,
+        /// Signed byte offset from this instruction.
+        offset: i32,
+    },
+    /// Scalar load.
+    Load {
+        /// Width/sign kind.
+        kind: LoadKind,
+        /// Destination.
+        rd: XReg,
+        /// Base register.
+        rs1: XReg,
+        /// Signed byte offset.
+        offset: i32,
+    },
+    /// Scalar store.
+    Store {
+        /// Width kind.
+        kind: StoreKind,
+        /// Source register.
+        rs2: XReg,
+        /// Base register.
+        rs1: XReg,
+        /// Signed byte offset.
+        offset: i32,
+    },
+    /// Register-immediate ALU operation.
+    OpImm {
+        /// Operation kind.
+        kind: OpImmKind,
+        /// Destination.
+        rd: XReg,
+        /// Source.
+        rs1: XReg,
+        /// Immediate (12-bit signed; 5-bit unsigned for shifts).
+        imm: i32,
+    },
+    /// Register-register ALU operation.
+    Op {
+        /// Operation kind.
+        kind: OpKind,
+        /// Destination.
+        rd: XReg,
+        /// First source.
+        rs1: XReg,
+        /// Second source.
+        rs2: XReg,
+    },
+    /// `csrr rd, csr` — read a control-and-status register
+    /// (`csrrs rd, csr, x0`).
+    Csrr {
+        /// Destination.
+        rd: XReg,
+        /// The register to read.
+        csr: Csr,
+    },
+    /// `ecall` — environment call (halts the simulator).
+    Ecall,
+    /// `ebreak` — breakpoint (halts the simulator).
+    Ebreak,
+    /// `vsetvli rd, rs1, vtype` — vector configuration.
+    Vsetvli {
+        /// Destination for the granted VL.
+        rd: XReg,
+        /// Requested AVL (x0 keeps the current VL when rd is also x0).
+        rs1: XReg,
+        /// Requested configuration.
+        vtype: Vtype,
+    },
+    /// Vector load (`vle{8,16,32,64}.v`, `vlse*.v`, `vluxei*.v`).
+    VLoad {
+        /// Effective element width of the memory access.
+        eew: Eew,
+        /// Destination vector register.
+        vd: VReg,
+        /// Base address register.
+        rs1: XReg,
+        /// Addressing mode.
+        mode: MemMode,
+        /// Mask enable (`true` = unmasked).
+        vm: bool,
+    },
+    /// Vector store (`vse*.v`, `vsse*.v`, `vsuxei*.v`).
+    VStore {
+        /// Effective element width of the memory access.
+        eew: Eew,
+        /// Data vector register.
+        vs3: VReg,
+        /// Base address register.
+        rs1: XReg,
+        /// Addressing mode.
+        mode: MemMode,
+        /// Mask enable.
+        vm: bool,
+    },
+    /// Vector integer arithmetic (`.vv` / `.vx` / `.vi` forms).
+    VArith {
+        /// Operation.
+        op: VArithOp,
+        /// Destination vector register.
+        vd: VReg,
+        /// First vector source (`vs2`).
+        vs2: VReg,
+        /// Second source: vector, scalar or immediate.
+        src: VSource,
+        /// Mask enable.
+        vm: bool,
+    },
+    /// `vmv.x.s rd, vs2` — copy element 0 to a scalar register.
+    VmvXs {
+        /// Destination scalar register.
+        rd: XReg,
+        /// Source vector register.
+        vs2: VReg,
+    },
+    /// `vmv.s.x vd, rs1` — copy a scalar into element 0.
+    VmvSx {
+        /// Destination vector register.
+        vd: VReg,
+        /// Source scalar register.
+        rs1: XReg,
+    },
+    /// `vid.v vd` — write element indices 0, 1, 2, … into `vd`.
+    Vid {
+        /// Destination vector register.
+        vd: VReg,
+        /// Mask enable.
+        vm: bool,
+    },
+    /// One of the ten custom Keccak extensions.
+    Custom(CustomOp),
+}
+
+impl Instruction {
+    /// Convenience constructor for unmasked vector arithmetic.
+    pub const fn varith(op: VArithOp, vd: VReg, vs2: VReg, src: VSource) -> Self {
+        Instruction::VArith {
+            op,
+            vd,
+            vs2,
+            src,
+            vm: true,
+        }
+    }
+
+    /// Convenience constructor: `addi rd, rs1, imm`.
+    pub const fn addi(rd: XReg, rs1: XReg, imm: i32) -> Self {
+        Instruction::OpImm {
+            kind: OpImmKind::Addi,
+            rd,
+            rs1,
+            imm,
+        }
+    }
+
+    /// Convenience constructor: the canonical `nop` (`addi x0, x0, 0`).
+    pub const fn nop() -> Self {
+        Self::addi(XReg::X0, XReg::X0, 0)
+    }
+
+    /// Whether this instruction executes on the vector unit.
+    pub const fn is_vector(&self) -> bool {
+        matches!(
+            self,
+            Instruction::Vsetvli { .. }
+                | Instruction::VLoad { .. }
+                | Instruction::VStore { .. }
+                | Instruction::VArith { .. }
+                | Instruction::VmvXs { .. }
+                | Instruction::VmvSx { .. }
+                | Instruction::Vid { .. }
+                | Instruction::Custom(_)
+        )
+    }
+}
+
+impl From<CustomOp> for Instruction {
+    fn from(op: CustomOp) -> Self {
+        Instruction::Custom(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nop_is_addi_zero() {
+        assert_eq!(
+            Instruction::nop(),
+            Instruction::OpImm {
+                kind: OpImmKind::Addi,
+                rd: XReg::X0,
+                rs1: XReg::X0,
+                imm: 0
+            }
+        );
+    }
+
+    #[test]
+    fn vector_classification() {
+        assert!(
+            Instruction::varith(VArithOp::Xor, VReg::V1, VReg::V2, VSource::Vector(VReg::V3))
+                .is_vector()
+        );
+        assert!(!Instruction::nop().is_vector());
+        assert!(!Instruction::Ecall.is_vector());
+    }
+
+    #[test]
+    fn varith_form_support_matches_rvv() {
+        assert!(VArithOp::Add.supports_vv() && VArithOp::Add.supports_vi());
+        assert!(!VArithOp::Rsub.supports_vv());
+        assert!(!VArithOp::Sub.supports_vi());
+        assert!(!VArithOp::Slideup.supports_vv());
+        assert!(VArithOp::Slideup.supports_vi());
+    }
+}

@@ -1,0 +1,51 @@
+//! RISC-V instruction model for the `keccak-rvv` workspace.
+//!
+//! Covers the three instruction families the paper's SIMD processor
+//! executes (§2.2, §3.3):
+//!
+//! 1. **Scalar RV32IM** — the Ibex core's base integer instructions plus
+//!    multiply/divide.
+//! 2. **RVV 1.0 subset** — configuration-setting (`vsetvli`), vector
+//!    memory (unit-stride / strided / indexed loads and stores) and vector
+//!    integer arithmetic/logic with `.vv`, `.vx`, `.vi` operand forms and
+//!    masking.
+//! 3. **The ten custom Keccak vector extensions** — `vslidedownm`,
+//!    `vslideupm`, `vrotup`, `v32lrotup`, `v32hrotup`, `v64rho`,
+//!    `v32lrho`, `v32hrho`, `vpi` and `viota` (paper Tables 1, 3, 4, 5),
+//!    encoded in the `custom-1` major opcode space.
+//!
+//! Every instruction has a bit-exact 32-bit encoding ([`Instruction::encode`])
+//! and decoding ([`Instruction::decode`]), plus an assembly rendering via
+//! [`core::fmt::Display`] that the `krv-asm` crate parses back.
+//!
+//! # Example
+//!
+//! ```
+//! use krv_isa::{Instruction, VArithOp, VSource, VReg};
+//!
+//! let vxor = Instruction::varith(VArithOp::Xor, VReg::V5, VReg::V3, VSource::Vector(VReg::V4));
+//! let word = vxor.encode();
+//! assert_eq!(Instruction::decode(word)?, vxor);
+//! assert_eq!(vxor.to_string(), "vxor.vv v5, v3, v4");
+//! # Ok::<(), krv_isa::DecodeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod custom;
+pub mod decode;
+pub mod encode;
+pub mod fmt;
+pub mod instr;
+pub mod reg;
+pub mod vtype;
+
+pub use custom::{CustomOp, RhoRow};
+pub use decode::DecodeError;
+pub use instr::{
+    BranchKind, Csr, Instruction, LoadKind, MemMode, OpImmKind, OpKind, StoreKind, VArithOp,
+    VSource,
+};
+pub use reg::{RegParseError, VReg, XReg};
+pub use vtype::{Eew, Lmul, Sew, Vtype};

@@ -1,0 +1,257 @@
+//! Scalar (`x0`–`x31`) and vector (`v0`–`v31`) register names.
+
+use core::fmt;
+use core::str::FromStr;
+
+/// Error returned when a register name cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegParseError {
+    text: String,
+}
+
+impl RegParseError {
+    fn new(text: &str) -> Self {
+        Self {
+            text: text.to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for RegParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown register name `{}`", self.text)
+    }
+}
+
+impl std::error::Error for RegParseError {}
+
+/// A scalar integer register `x0`–`x31`.
+///
+/// `x0` is hard-wired to zero. Parsing accepts both numeric (`x10`) and
+/// ABI (`a0`, `s1`, `ra`, …) names; `Display` prints ABI names, matching
+/// the paper's listings (`s1`, `s2`, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+#[repr(u8)]
+pub enum XReg {
+    X0 = 0,
+    X1,
+    X2,
+    X3,
+    X4,
+    X5,
+    X6,
+    X7,
+    X8,
+    X9,
+    X10,
+    X11,
+    X12,
+    X13,
+    X14,
+    X15,
+    X16,
+    X17,
+    X18,
+    X19,
+    X20,
+    X21,
+    X22,
+    X23,
+    X24,
+    X25,
+    X26,
+    X27,
+    X28,
+    X29,
+    X30,
+    X31,
+}
+
+/// A vector register `v0`–`v31`.
+///
+/// `v0` doubles as the mask register for masked vector instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+#[repr(u8)]
+pub enum VReg {
+    V0 = 0,
+    V1,
+    V2,
+    V3,
+    V4,
+    V5,
+    V6,
+    V7,
+    V8,
+    V9,
+    V10,
+    V11,
+    V12,
+    V13,
+    V14,
+    V15,
+    V16,
+    V17,
+    V18,
+    V19,
+    V20,
+    V21,
+    V22,
+    V23,
+    V24,
+    V25,
+    V26,
+    V27,
+    V28,
+    V29,
+    V30,
+    V31,
+}
+
+macro_rules! reg_common {
+    ($name:ident, [$($variant:ident),*]) => {
+        impl $name {
+            /// All 32 registers in index order.
+            pub const ALL: [$name; 32] = [$($name::$variant),*];
+
+            /// The register's index, 0–31.
+            pub const fn index(self) -> usize {
+                self as usize
+            }
+
+            /// The register with index `index & 31`.
+            pub const fn from_index(index: usize) -> Self {
+                Self::ALL[index & 31]
+            }
+
+            /// The 5-bit encoding field.
+            pub const fn bits(self) -> u32 {
+                self as u32
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(reg: $name) -> usize {
+                reg.index()
+            }
+        }
+    };
+}
+
+reg_common!(
+    XReg,
+    [
+        X0, X1, X2, X3, X4, X5, X6, X7, X8, X9, X10, X11, X12, X13, X14, X15, X16, X17, X18, X19,
+        X20, X21, X22, X23, X24, X25, X26, X27, X28, X29, X30, X31
+    ]
+);
+reg_common!(
+    VReg,
+    [
+        V0, V1, V2, V3, V4, V5, V6, V7, V8, V9, V10, V11, V12, V13, V14, V15, V16, V17, V18, V19,
+        V20, V21, V22, V23, V24, V25, V26, V27, V28, V29, V30, V31
+    ]
+);
+
+/// ABI names for the scalar registers, indexed by register number.
+pub const XREG_ABI_NAMES: [&str; 32] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+    "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+    "t5", "t6",
+];
+
+impl fmt::Display for XReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(XREG_ABI_NAMES[self.index()])
+    }
+}
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.index())
+    }
+}
+
+fn parse_numeric(text: &str, prefix: char) -> Option<usize> {
+    let rest = text.strip_prefix(prefix)?;
+    if rest.is_empty() || !rest.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let index: usize = rest.parse().ok()?;
+    (index < 32).then_some(index)
+}
+
+impl FromStr for XReg {
+    type Err = RegParseError;
+
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        if let Some(index) = parse_numeric(text, 'x') {
+            return Ok(XReg::from_index(index));
+        }
+        if text == "fp" {
+            return Ok(XReg::X8); // fp is an alias for s0/x8
+        }
+        XREG_ABI_NAMES
+            .iter()
+            .position(|&name| name == text)
+            .map(XReg::from_index)
+            .ok_or_else(|| RegParseError::new(text))
+    }
+}
+
+impl FromStr for VReg {
+    type Err = RegParseError;
+
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        parse_numeric(text, 'v')
+            .map(VReg::from_index)
+            .ok_or_else(|| RegParseError::new(text))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xreg_abi_round_trip() {
+        for reg in XReg::ALL {
+            let name = reg.to_string();
+            assert_eq!(name.parse::<XReg>().unwrap(), reg);
+        }
+    }
+
+    #[test]
+    fn xreg_numeric_names_parse() {
+        assert_eq!("x0".parse::<XReg>().unwrap(), XReg::X0);
+        assert_eq!("x18".parse::<XReg>().unwrap(), XReg::X18);
+        assert_eq!("s2".parse::<XReg>().unwrap(), XReg::X18);
+        assert_eq!("fp".parse::<XReg>().unwrap(), XReg::X8);
+    }
+
+    #[test]
+    fn vreg_round_trip() {
+        for reg in VReg::ALL {
+            assert_eq!(reg.to_string().parse::<VReg>().unwrap(), reg);
+        }
+    }
+
+    #[test]
+    fn bad_names_rejected() {
+        assert!("x32".parse::<XReg>().is_err());
+        assert!("v32".parse::<VReg>().is_err());
+        assert!("w3".parse::<XReg>().is_err());
+        assert!("".parse::<VReg>().is_err());
+        assert!("v-1".parse::<VReg>().is_err());
+        assert!("x1x".parse::<XReg>().is_err());
+    }
+
+    #[test]
+    fn index_round_trip() {
+        for i in 0..32 {
+            assert_eq!(XReg::from_index(i).index(), i);
+            assert_eq!(VReg::from_index(i).index(), i);
+        }
+    }
+}

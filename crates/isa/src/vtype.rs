@@ -1,0 +1,307 @@
+//! RVV 1.0 `vtype` configuration: element width, register grouping.
+
+use core::fmt;
+
+/// Selected element width (SEW) — the `ELEN`-bounded operand size.
+///
+/// The paper's 64-bit architecture configures `e64`, the 32-bit
+/// architecture `e32` (paper §3.1, §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Sew {
+    /// 8-bit elements.
+    E8,
+    /// 16-bit elements.
+    E16,
+    /// 32-bit elements.
+    E32,
+    /// 64-bit elements.
+    E64,
+}
+
+impl Sew {
+    /// Element width in bits.
+    pub const fn bits(self) -> u32 {
+        match self {
+            Sew::E8 => 8,
+            Sew::E16 => 16,
+            Sew::E32 => 32,
+            Sew::E64 => 64,
+        }
+    }
+
+    /// Element width in bytes.
+    pub const fn bytes(self) -> u32 {
+        self.bits() / 8
+    }
+
+    /// The 3-bit `vsew` encoding field.
+    pub const fn encoding(self) -> u32 {
+        match self {
+            Sew::E8 => 0b000,
+            Sew::E16 => 0b001,
+            Sew::E32 => 0b010,
+            Sew::E64 => 0b011,
+        }
+    }
+
+    /// Decodes a 3-bit `vsew` field.
+    pub const fn from_encoding(bits: u32) -> Option<Self> {
+        match bits {
+            0b000 => Some(Sew::E8),
+            0b001 => Some(Sew::E16),
+            0b010 => Some(Sew::E32),
+            0b011 => Some(Sew::E64),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Sew {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.bits())
+    }
+}
+
+/// Vector register group multiplier (LMUL).
+///
+/// The paper uses `m1` (one register per operand, Algorithm 2) and `m8`
+/// (eight registers grouped, Algorithm 3). Fractional LMUL is not used by
+/// any Keccak kernel and is not modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Lmul {
+    /// One vector register per operand.
+    M1,
+    /// Groups of two registers.
+    M2,
+    /// Groups of four registers.
+    M4,
+    /// Groups of eight registers.
+    M8,
+}
+
+impl Lmul {
+    /// Number of registers in a group.
+    pub const fn registers(self) -> u32 {
+        match self {
+            Lmul::M1 => 1,
+            Lmul::M2 => 2,
+            Lmul::M4 => 4,
+            Lmul::M8 => 8,
+        }
+    }
+
+    /// The 3-bit `vlmul` encoding field.
+    pub const fn encoding(self) -> u32 {
+        match self {
+            Lmul::M1 => 0b000,
+            Lmul::M2 => 0b001,
+            Lmul::M4 => 0b010,
+            Lmul::M8 => 0b011,
+        }
+    }
+
+    /// Decodes a 3-bit `vlmul` field (integer multipliers only).
+    pub const fn from_encoding(bits: u32) -> Option<Self> {
+        match bits {
+            0b000 => Some(Lmul::M1),
+            0b001 => Some(Lmul::M2),
+            0b010 => Some(Lmul::M4),
+            0b011 => Some(Lmul::M8),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Lmul {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.registers())
+    }
+}
+
+/// Effective element width of a vector memory instruction.
+///
+/// Vector loads and stores carry their own width field, independent of the
+/// configured SEW (paper §2.2 item 9).
+pub type Eew = Sew;
+
+/// The full `vtype` CSR value set by `vsetvli`.
+///
+/// # Example
+///
+/// ```
+/// use krv_isa::{Vtype, Sew, Lmul};
+///
+/// let vtype = Vtype::new(Sew::E64, Lmul::M1).tail_undisturbed().mask_undisturbed();
+/// assert_eq!(vtype.to_string(), "e64, m1, tu, mu");
+/// assert_eq!(Vtype::from_zimm(vtype.zimm()), Some(vtype));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Vtype {
+    sew: Sew,
+    lmul: Lmul,
+    /// Tail-agnostic flag (`ta` when true, `tu` when false).
+    ta: bool,
+    /// Mask-agnostic flag (`ma` when true, `mu` when false).
+    ma: bool,
+}
+
+impl Vtype {
+    /// Creates a vtype with tail-agnostic and mask-agnostic policies.
+    pub const fn new(sew: Sew, lmul: Lmul) -> Self {
+        Self {
+            sew,
+            lmul,
+            ta: true,
+            ma: true,
+        }
+    }
+
+    /// Returns a copy with the tail-undisturbed (`tu`) policy.
+    ///
+    /// The Keccak kernels rely on `tu`: elements beyond `5 × SN` must keep
+    /// their values across custom instructions (paper §3.3).
+    pub const fn tail_undisturbed(mut self) -> Self {
+        self.ta = false;
+        self
+    }
+
+    /// Returns a copy with the mask-undisturbed (`mu`) policy.
+    pub const fn mask_undisturbed(mut self) -> Self {
+        self.ma = false;
+        self
+    }
+
+    /// The selected element width.
+    pub const fn sew(self) -> Sew {
+        self.sew
+    }
+
+    /// The register group multiplier.
+    pub const fn lmul(self) -> Lmul {
+        self.lmul
+    }
+
+    /// Whether the tail policy is agnostic.
+    pub const fn tail_agnostic(self) -> bool {
+        self.ta
+    }
+
+    /// Whether the mask policy is agnostic.
+    pub const fn mask_agnostic(self) -> bool {
+        self.ma
+    }
+
+    /// Encodes into the 11-bit `zimm` field of `vsetvli`.
+    pub const fn zimm(self) -> u32 {
+        ((self.ma as u32) << 7)
+            | ((self.ta as u32) << 6)
+            | (self.sew.encoding() << 3)
+            | self.lmul.encoding()
+    }
+
+    /// Decodes an 11-bit `zimm` field. Returns `None` for reserved
+    /// encodings (fractional LMUL, SEW > 64, non-zero upper bits).
+    pub const fn from_zimm(zimm: u32) -> Option<Self> {
+        if zimm >> 8 != 0 {
+            return None;
+        }
+        let sew = match Sew::from_encoding((zimm >> 3) & 0b111) {
+            Some(sew) => sew,
+            None => return None,
+        };
+        let lmul = match Lmul::from_encoding(zimm & 0b111) {
+            Some(lmul) => lmul,
+            None => return None,
+        };
+        Some(Self {
+            sew,
+            lmul,
+            ta: (zimm >> 6) & 1 == 1,
+            ma: (zimm >> 7) & 1 == 1,
+        })
+    }
+
+    /// VLMAX for a register file with `elenum` elements of ELEN bits per
+    /// register: the maximum number of SEW-wide elements one instruction
+    /// can touch.
+    ///
+    /// `elenum` counts ELEN-wide elements (the paper's `EleNum`); when SEW
+    /// is narrower than `elen` the per-register element count scales up.
+    pub const fn vlmax(self, elenum: u32, elen: u32) -> u32 {
+        let vlen_bits = elenum * elen;
+        (vlen_bits / self.sew.bits()) * self.lmul.registers()
+    }
+}
+
+impl fmt::Display for Vtype {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}, {}, {}, {}",
+            self.sew,
+            self.lmul,
+            if self.ta { "ta" } else { "tu" },
+            if self.ma { "ma" } else { "mu" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zimm_round_trip_all_combinations() {
+        for sew in [Sew::E8, Sew::E16, Sew::E32, Sew::E64] {
+            for lmul in [Lmul::M1, Lmul::M2, Lmul::M4, Lmul::M8] {
+                for (ta, ma) in [(true, true), (true, false), (false, true), (false, false)] {
+                    let mut vtype = Vtype::new(sew, lmul);
+                    if !ta {
+                        vtype = vtype.tail_undisturbed();
+                    }
+                    if !ma {
+                        vtype = vtype.mask_undisturbed();
+                    }
+                    assert_eq!(Vtype::from_zimm(vtype.zimm()), Some(vtype));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reserved_zimm_rejected() {
+        assert_eq!(Vtype::from_zimm(0b111), None); // fractional LMUL
+        assert_eq!(Vtype::from_zimm(0b100_000), None); // SEW reserved
+        assert_eq!(Vtype::from_zimm(1 << 8), None); // upper bits set
+    }
+
+    #[test]
+    fn paper_configurations_encode() {
+        // Algorithm 2 line 1: vsetvli x0, s1, e64, m1, tu, mu.
+        let cfg64 = Vtype::new(Sew::E64, Lmul::M1)
+            .tail_undisturbed()
+            .mask_undisturbed();
+        assert_eq!(cfg64.zimm(), 0b000_011_000);
+        // Algorithm 3 line 2: e64, m8.
+        let cfg64m8 = Vtype::new(Sew::E64, Lmul::M8)
+            .tail_undisturbed()
+            .mask_undisturbed();
+        assert_eq!(cfg64m8.zimm(), 0b000_011_011);
+    }
+
+    #[test]
+    fn vlmax_scales_with_lmul_and_sew() {
+        let v = Vtype::new(Sew::E64, Lmul::M1);
+        assert_eq!(v.vlmax(16, 64), 16);
+        let v8 = Vtype::new(Sew::E64, Lmul::M8);
+        assert_eq!(v8.vlmax(16, 64), 128);
+        let v32 = Vtype::new(Sew::E32, Lmul::M1);
+        assert_eq!(v32.vlmax(16, 64), 32);
+    }
+
+    #[test]
+    fn display_matches_assembly_syntax() {
+        let vtype = Vtype::new(Sew::E32, Lmul::M8);
+        assert_eq!(vtype.to_string(), "e32, m8, ta, ma");
+    }
+}

@@ -1,0 +1,468 @@
+//! Property-based encode/decode round-trip tests for the whole ISA.
+
+use krv_isa::{
+    BranchKind, Csr, CustomOp, Instruction, Lmul, LoadKind, MemMode, OpImmKind, OpKind, RhoRow,
+    Sew, StoreKind, VArithOp, VReg, VSource, Vtype, XReg,
+};
+use proptest::prelude::*;
+
+fn xreg() -> impl Strategy<Value = XReg> {
+    (0usize..32).prop_map(XReg::from_index)
+}
+
+fn vreg() -> impl Strategy<Value = VReg> {
+    (0usize..32).prop_map(VReg::from_index)
+}
+
+fn sew() -> impl Strategy<Value = Sew> {
+    prop_oneof![
+        Just(Sew::E8),
+        Just(Sew::E16),
+        Just(Sew::E32),
+        Just(Sew::E64)
+    ]
+}
+
+fn lmul() -> impl Strategy<Value = Lmul> {
+    prop_oneof![
+        Just(Lmul::M1),
+        Just(Lmul::M2),
+        Just(Lmul::M4),
+        Just(Lmul::M8)
+    ]
+}
+
+fn vtype() -> impl Strategy<Value = Vtype> {
+    (sew(), lmul(), any::<bool>(), any::<bool>()).prop_map(|(s, l, tu, mu)| {
+        let mut v = Vtype::new(s, l);
+        if tu {
+            v = v.tail_undisturbed();
+        }
+        if mu {
+            v = v.mask_undisturbed();
+        }
+        v
+    })
+}
+
+fn branch_kind() -> impl Strategy<Value = BranchKind> {
+    prop_oneof![
+        Just(BranchKind::Beq),
+        Just(BranchKind::Bne),
+        Just(BranchKind::Blt),
+        Just(BranchKind::Bge),
+        Just(BranchKind::Bltu),
+        Just(BranchKind::Bgeu),
+    ]
+}
+
+fn load_kind() -> impl Strategy<Value = LoadKind> {
+    prop_oneof![
+        Just(LoadKind::Lb),
+        Just(LoadKind::Lh),
+        Just(LoadKind::Lw),
+        Just(LoadKind::Lbu),
+        Just(LoadKind::Lhu),
+    ]
+}
+
+fn store_kind() -> impl Strategy<Value = StoreKind> {
+    prop_oneof![
+        Just(StoreKind::Sb),
+        Just(StoreKind::Sh),
+        Just(StoreKind::Sw)
+    ]
+}
+
+fn op_imm_kind() -> impl Strategy<Value = OpImmKind> {
+    prop_oneof![
+        Just(OpImmKind::Addi),
+        Just(OpImmKind::Slti),
+        Just(OpImmKind::Sltiu),
+        Just(OpImmKind::Xori),
+        Just(OpImmKind::Ori),
+        Just(OpImmKind::Andi),
+        Just(OpImmKind::Slli),
+        Just(OpImmKind::Srli),
+        Just(OpImmKind::Srai),
+    ]
+}
+
+fn op_kind() -> impl Strategy<Value = OpKind> {
+    prop_oneof![
+        Just(OpKind::Add),
+        Just(OpKind::Sub),
+        Just(OpKind::Sll),
+        Just(OpKind::Slt),
+        Just(OpKind::Sltu),
+        Just(OpKind::Xor),
+        Just(OpKind::Srl),
+        Just(OpKind::Sra),
+        Just(OpKind::Or),
+        Just(OpKind::And),
+        Just(OpKind::Mul),
+        Just(OpKind::Mulh),
+        Just(OpKind::Mulhsu),
+        Just(OpKind::Mulhu),
+        Just(OpKind::Div),
+        Just(OpKind::Divu),
+        Just(OpKind::Rem),
+        Just(OpKind::Remu),
+    ]
+}
+
+fn varith_op() -> impl Strategy<Value = VArithOp> {
+    prop_oneof![
+        Just(VArithOp::Add),
+        Just(VArithOp::Sub),
+        Just(VArithOp::Rsub),
+        Just(VArithOp::And),
+        Just(VArithOp::Or),
+        Just(VArithOp::Xor),
+        Just(VArithOp::Sll),
+        Just(VArithOp::Srl),
+        Just(VArithOp::Sra),
+        Just(VArithOp::Mseq),
+        Just(VArithOp::Msne),
+        Just(VArithOp::Msltu),
+        Just(VArithOp::Slideup),
+        Just(VArithOp::Slidedown),
+        Just(VArithOp::Mv),
+    ]
+}
+
+fn mem_mode() -> impl Strategy<Value = MemMode> {
+    prop_oneof![
+        Just(MemMode::UnitStride),
+        xreg().prop_map(MemMode::Strided),
+        vreg().prop_map(MemMode::Indexed),
+    ]
+}
+
+fn rho_row() -> impl Strategy<Value = RhoRow> {
+    prop_oneof![Just(RhoRow::All), (0u8..5).prop_map(RhoRow::Row)]
+}
+
+fn custom_op() -> impl Strategy<Value = CustomOp> {
+    prop_oneof![
+        (vreg(), vreg(), 0u8..32, any::<bool>())
+            .prop_map(|(vd, vs2, uimm, vm)| CustomOp::Vslidedownm { vd, vs2, uimm, vm }),
+        (vreg(), vreg(), 0u8..32, any::<bool>())
+            .prop_map(|(vd, vs2, uimm, vm)| CustomOp::Vslideupm { vd, vs2, uimm, vm }),
+        (vreg(), vreg(), 0u8..32, any::<bool>()).prop_map(|(vd, vs2, uimm, vm)| CustomOp::Vrotup {
+            vd,
+            vs2,
+            uimm,
+            vm
+        }),
+        (vreg(), vreg(), vreg(), any::<bool>())
+            .prop_map(|(vd, vs2, vs1, vm)| CustomOp::V32lrotup { vd, vs2, vs1, vm }),
+        (vreg(), vreg(), vreg(), any::<bool>())
+            .prop_map(|(vd, vs2, vs1, vm)| CustomOp::V32hrotup { vd, vs2, vs1, vm }),
+        (vreg(), vreg(), rho_row(), any::<bool>())
+            .prop_map(|(vd, vs2, row, vm)| CustomOp::V64rho { vd, vs2, row, vm }),
+        (vreg(), vreg(), vreg(), any::<bool>()).prop_map(|(vd, vs2, vs1, vm)| CustomOp::V32lrho {
+            vd,
+            vs2,
+            vs1,
+            vm
+        }),
+        (vreg(), vreg(), vreg(), any::<bool>()).prop_map(|(vd, vs2, vs1, vm)| CustomOp::V32hrho {
+            vd,
+            vs2,
+            vs1,
+            vm
+        }),
+        (vreg(), vreg(), rho_row(), any::<bool>()).prop_map(|(vd, vs2, row, vm)| CustomOp::Vpi {
+            vd,
+            vs2,
+            row,
+            vm
+        }),
+        (vreg(), vreg(), xreg(), any::<bool>()).prop_map(|(vd, vs2, rs1, vm)| CustomOp::Viota {
+            vd,
+            vs2,
+            rs1,
+            vm
+        }),
+    ]
+}
+
+fn vsource(op: VArithOp) -> impl Strategy<Value = VSource> {
+    let mut options: Vec<BoxedStrategy<VSource>> = vec![xreg().prop_map(VSource::Scalar).boxed()];
+    if op.supports_vv() {
+        options.push(vreg().prop_map(VSource::Vector).boxed());
+    }
+    if op.supports_vi() {
+        options.push((-16i32..16).prop_map(VSource::Imm).boxed());
+    }
+    proptest::strategy::Union::new(options)
+}
+
+fn instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        (xreg(), (-524288i32..524288))
+            .prop_map(|(rd, imm)| Instruction::Lui { rd, imm: imm << 12 }),
+        (xreg(), (-524288i32..524288))
+            .prop_map(|(rd, imm)| Instruction::Auipc { rd, imm: imm << 12 }),
+        (xreg(), (-524288i32..524287)).prop_map(|(rd, o)| Instruction::Jal { rd, offset: o * 2 }),
+        (xreg(), xreg(), -2048i32..2048).prop_map(|(rd, rs1, offset)| Instruction::Jalr {
+            rd,
+            rs1,
+            offset
+        }),
+        (branch_kind(), xreg(), xreg(), -2048i32..2047).prop_map(|(kind, rs1, rs2, o)| {
+            Instruction::Branch {
+                kind,
+                rs1,
+                rs2,
+                offset: o * 2,
+            }
+        }),
+        (load_kind(), xreg(), xreg(), -2048i32..2048).prop_map(|(kind, rd, rs1, offset)| {
+            Instruction::Load {
+                kind,
+                rd,
+                rs1,
+                offset,
+            }
+        }),
+        (store_kind(), xreg(), xreg(), -2048i32..2048).prop_map(|(kind, rs2, rs1, offset)| {
+            Instruction::Store {
+                kind,
+                rs2,
+                rs1,
+                offset,
+            }
+        }),
+        (op_imm_kind(), xreg(), xreg(), -2048i32..2048).prop_map(|(kind, rd, rs1, imm)| {
+            let imm = if kind.is_shift() {
+                imm.rem_euclid(32)
+            } else {
+                imm
+            };
+            Instruction::OpImm { kind, rd, rs1, imm }
+        }),
+        (op_kind(), xreg(), xreg(), xreg()).prop_map(|(kind, rd, rs1, rs2)| Instruction::Op {
+            kind,
+            rd,
+            rs1,
+            rs2
+        }),
+        Just(Instruction::Ecall),
+        Just(Instruction::Ebreak),
+        (
+            xreg(),
+            prop_oneof![
+                Just(Csr::Vl),
+                Just(Csr::Vtype),
+                Just(Csr::Vlenb),
+                Just(Csr::Cycle),
+                Just(Csr::Instret)
+            ]
+        )
+            .prop_map(|(rd, csr)| Instruction::Csrr { rd, csr }),
+        (xreg(), xreg(), vtype()).prop_map(|(rd, rs1, vtype)| Instruction::Vsetvli {
+            rd,
+            rs1,
+            vtype
+        }),
+        (sew(), vreg(), xreg(), mem_mode(), any::<bool>()).prop_map(|(eew, vd, rs1, mode, vm)| {
+            Instruction::VLoad {
+                eew,
+                vd,
+                rs1,
+                mode,
+                vm,
+            }
+        }),
+        (sew(), vreg(), xreg(), mem_mode(), any::<bool>()).prop_map(|(eew, vs3, rs1, mode, vm)| {
+            Instruction::VStore {
+                eew,
+                vs3,
+                rs1,
+                mode,
+                vm,
+            }
+        }),
+        (varith_op(), vreg(), vreg(), any::<bool>()).prop_flat_map(|(op, vd, vs2, vm)| {
+            vsource(op).prop_map(move |src| Instruction::VArith {
+                op,
+                vd,
+                vs2,
+                src,
+                vm,
+            })
+        }),
+        (xreg(), vreg()).prop_map(|(rd, vs2)| Instruction::VmvXs { rd, vs2 }),
+        (vreg(), xreg()).prop_map(|(vd, rs1)| Instruction::VmvSx { vd, rs1 }),
+        (vreg(), any::<bool>()).prop_map(|(vd, vm)| Instruction::Vid { vd, vm }),
+        custom_op().prop_map(Instruction::Custom),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2000))]
+
+    #[test]
+    fn encode_decode_round_trip(instr in instruction()) {
+        let word = instr.encode();
+        let decoded = Instruction::decode(word).expect("decodes");
+        prop_assert_eq!(decoded, instr);
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u32>()) {
+        let _ = Instruction::decode(word);
+    }
+
+    #[test]
+    fn decoded_reencodes_identically(word in any::<u32>()) {
+        // Any word that decodes must re-encode to the same bits (the
+        // encoding is canonical for this subset).
+        if let Ok(instr) = Instruction::decode(word) {
+            // Skip fields the decoder canonicalizes away (none today) —
+            // equality must hold bit-exactly.
+            prop_assert_eq!(instr.encode(), word & mask_for(&instr));
+        }
+    }
+}
+
+/// Bits of the original word that the decoder preserves. Unit-stride
+/// vector memory ops are fully canonical; everything else round-trips all
+/// 32 bits because every field is represented in the `Instruction`.
+fn mask_for(_instr: &Instruction) -> u32 {
+    u32::MAX
+}
+
+#[test]
+fn all_paper_kernel_instructions_round_trip() {
+    // The exact instruction sequence of paper Algorithm 2 (one round).
+    use krv_isa::Lmul;
+    let e64m1 = Vtype::new(Sew::E64, Lmul::M1)
+        .tail_undisturbed()
+        .mask_undisturbed();
+    let mut program: Vec<Instruction> = vec![Instruction::Vsetvli {
+        rd: XReg::X0,
+        rs1: XReg::X9,
+        vtype: e64m1,
+    }];
+    let v = VReg::from_index;
+    // theta
+    for (d, a, b) in [(5, 3, 4), (6, 1, 2), (7, 0, 6), (5, 5, 7)] {
+        program.push(Instruction::varith(
+            VArithOp::Xor,
+            v(d),
+            v(a),
+            VSource::Vector(v(b)),
+        ));
+    }
+    program.push(
+        CustomOp::Vslideupm {
+            vd: v(6),
+            vs2: v(5),
+            uimm: 1,
+            vm: true,
+        }
+        .into(),
+    );
+    program.push(
+        CustomOp::Vslidedownm {
+            vd: v(7),
+            vs2: v(5),
+            uimm: 1,
+            vm: true,
+        }
+        .into(),
+    );
+    program.push(
+        CustomOp::Vrotup {
+            vd: v(7),
+            vs2: v(7),
+            uimm: 1,
+            vm: true,
+        }
+        .into(),
+    );
+    for (d, a, b) in [
+        (5, 6, 7),
+        (0, 0, 5),
+        (1, 1, 5),
+        (2, 2, 5),
+        (3, 3, 5),
+        (4, 4, 5),
+    ] {
+        program.push(Instruction::varith(
+            VArithOp::Xor,
+            v(d),
+            v(a),
+            VSource::Vector(v(b)),
+        ));
+    }
+    // rho & pi
+    for i in 0..5u8 {
+        program.push(
+            CustomOp::V64rho {
+                vd: v(i as usize),
+                vs2: v(i as usize),
+                row: RhoRow::Row(i),
+                vm: true,
+            }
+            .into(),
+        );
+    }
+    for i in 0..5u8 {
+        program.push(
+            CustomOp::Vpi {
+                vd: v(5),
+                vs2: v(i as usize),
+                row: RhoRow::Row(i),
+                vm: true,
+            }
+            .into(),
+        );
+    }
+    // chi (excerpt) + iota + loop control
+    program.push(
+        CustomOp::Vslidedownm {
+            vd: v(10),
+            vs2: v(5),
+            uimm: 1,
+            vm: true,
+        }
+        .into(),
+    );
+    program.push(Instruction::varith(
+        VArithOp::Xor,
+        v(10),
+        v(10),
+        VSource::Scalar(XReg::X18),
+    ));
+    program.push(Instruction::varith(
+        VArithOp::And,
+        v(10),
+        v(10),
+        VSource::Vector(v(15)),
+    ));
+    program.push(
+        CustomOp::Viota {
+            vd: v(0),
+            vs2: v(0),
+            rs1: XReg::X19,
+            vm: true,
+        }
+        .into(),
+    );
+    program.push(Instruction::addi(XReg::X19, XReg::X19, 1));
+    program.push(Instruction::Branch {
+        kind: BranchKind::Blt,
+        rs1: XReg::X19,
+        rs2: XReg::X20,
+        offset: -212,
+    });
+
+    for instr in &program {
+        let word = instr.encode();
+        assert_eq!(Instruction::decode(word).as_ref(), Ok(instr), "{instr}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Tables used by the Keccak-f\[1600\] permutation.
+//!
+//! The values reproduce paper Table 2 (ρ rotation offsets) and paper
+//! Table 6 (ι round constants), which in turn match FIPS 202.
+
+/// Number of rounds of Keccak-f\[1600\].
+pub const ROUNDS: usize = 24;
+
+/// Lane width in bits.
+pub const LANE_BITS: u32 = 64;
+
+/// Number of lanes per plane (and planes per state).
+pub const PLANE_LANES: usize = 5;
+
+/// Total number of 64-bit lanes in the state.
+pub const STATE_LANES: usize = 25;
+
+/// State width in bits.
+pub const STATE_BITS: usize = 1600;
+
+/// State width in bytes.
+pub const STATE_BYTES: usize = STATE_BITS / 8;
+
+/// Round constants for the ι step mapping (paper Table 6).
+///
+/// `RC[i]` is XORed into lane (0, 0) in round `i`.
+pub const RC: [u64; ROUNDS] = [
+    0x0000000000000001,
+    0x0000000000008082,
+    0x800000000000808A,
+    0x8000000080008000,
+    0x000000000000808B,
+    0x0000000080000001,
+    0x8000000080008081,
+    0x8000000000008009,
+    0x000000000000008A,
+    0x0000000000000088,
+    0x0000000080008009,
+    0x000000008000000A,
+    0x000000008000808B,
+    0x800000000000008B,
+    0x8000000000008089,
+    0x8000000000008003,
+    0x8000000000008002,
+    0x8000000000000080,
+    0x000000000000800A,
+    0x800000008000000A,
+    0x8000000080008081,
+    0x8000000000008080,
+    0x0000000080000001,
+    0x8000000080008008,
+];
+
+/// ρ rotation offsets indexed as `RHO_OFFSETS[y][x]` (paper Table 2).
+///
+/// Lane (x, y) is rotated left by `RHO_OFFSETS[y][x]` bit positions in the
+/// ρ step mapping. Row `y` corresponds to one *plane* — the unit the SIMD
+/// processor's `v64rho` / `v32lrho` / `v32hrho` custom instructions operate
+/// on, with the row selected either by the instruction immediate or by the
+/// hardware `lmul_cnt` counter.
+pub const RHO_OFFSETS: [[u32; PLANE_LANES]; PLANE_LANES] = [
+    [0, 1, 62, 28, 27],
+    [36, 44, 6, 55, 20],
+    [3, 10, 43, 25, 39],
+    [41, 45, 15, 21, 8],
+    [18, 2, 61, 56, 14],
+];
+
+/// Round constants split for the 32-bit architecture: the low 32-bit words
+/// of `RC[0..24]` followed by the high 32-bit words (`RC_SPLIT[24 + i]`).
+///
+/// The 32-bit `viota` program issues the instruction twice per round: once
+/// with index `i` (low half of every state's lane (0,0)) and once with
+/// index `24 + i` (high half). See paper §3.3 "Vector ι instruction".
+pub const RC_SPLIT: [u32; 2 * ROUNDS] = {
+    let mut table = [0u32; 2 * ROUNDS];
+    let mut i = 0;
+    while i < ROUNDS {
+        table[i] = RC[i] as u32;
+        table[ROUNDS + i] = (RC[i] >> 32) as u32;
+        i += 1;
+    }
+    table
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rc_first_and_last_match_fips202() {
+        assert_eq!(RC[0], 1);
+        assert_eq!(RC[23], 0x8000000080008008);
+    }
+
+    #[test]
+    fn rc_can_be_regenerated_from_lfsr() {
+        // FIPS 202 §3.2.5: RC[i] = sum over j of rc(j + 7i) << (2^j - 1),
+        // where rc(t) is an LFSR over GF(2) with polynomial x^8+x^6+x^5+x^4+1.
+        fn rc_bit(t: usize) -> u64 {
+            let mut r: u16 = 1;
+            for _ in 0..t % 255 {
+                r <<= 1;
+                if r & 0x100 != 0 {
+                    r ^= 0x171;
+                }
+            }
+            (r & 1) as u64
+        }
+        for (i, &expected) in RC.iter().enumerate() {
+            let mut rc = 0u64;
+            for j in 0..7 {
+                rc |= rc_bit(j + 7 * i) << ((1usize << j) - 1);
+            }
+            assert_eq!(rc, expected, "round constant {i}");
+        }
+    }
+
+    #[test]
+    fn rho_offsets_can_be_regenerated() {
+        // FIPS 202 §3.2.2: starting from (x, y) = (1, 0), offset for step t
+        // is (t+1)(t+2)/2 mod 64, then (x, y) <- (y, (2x + 3y) mod 5).
+        let mut expected = [[0u32; 5]; 5];
+        let (mut x, mut y) = (1usize, 0usize);
+        for t in 0..24u32 {
+            expected[y][x] = ((t + 1) * (t + 2) / 2) % 64;
+            let (nx, ny) = (y, (2 * x + 3 * y) % 5);
+            x = nx;
+            y = ny;
+        }
+        assert_eq!(RHO_OFFSETS, expected);
+    }
+
+    #[test]
+    fn rc_split_round_trips() {
+        for i in 0..ROUNDS {
+            let rebuilt = (RC_SPLIT[i] as u64) | ((RC_SPLIT[ROUNDS + i] as u64) << 32);
+            assert_eq!(rebuilt, RC[i]);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Lane-splitting utilities for 32-bit representations of the state.
+//!
+//! The paper's 32-bit architecture (§3.2) stores each 64-bit lane as two
+//! 32-bit words: the least-significant half in vector registers 0–4 and
+//! the most-significant half in registers 16–20 (paper Figure 6). This
+//! module provides that **high/low split** plus the classic **bit
+//! interleaving** technique the paper discusses (odd bits in one word,
+//! even bits in the other), which it deliberately avoids to skip the
+//! pre-/post-processing cost.
+
+/// Splits a 64-bit lane into `(low, high)` 32-bit words.
+///
+/// This is the representation of the paper's 32-bit architecture.
+#[inline]
+pub const fn split_lane(lane: u64) -> (u32, u32) {
+    (lane as u32, (lane >> 32) as u32)
+}
+
+/// Rebuilds a 64-bit lane from `(low, high)` 32-bit words.
+#[inline]
+pub const fn join_lane(low: u32, high: u32) -> u64 {
+    (low as u64) | ((high as u64) << 32)
+}
+
+/// Rotates the 64-bit concatenation `high ‖ low` left by `n` and returns
+/// the split result `(low, high)`.
+///
+/// This is the operation implemented in hardware by the paper's
+/// `v32lrotup` / `v32hrotup` (fixed n = 1) and `v32lrho` / `v32hrho`
+/// (table-driven n) custom instructions.
+#[inline]
+pub const fn rotate_split(low: u32, high: u32, n: u32) -> (u32, u32) {
+    split_lane(join_lane(low, high).rotate_left(n))
+}
+
+/// Bit-interleaves a 64-bit lane: even-indexed bits into the first word,
+/// odd-indexed bits into the second.
+///
+/// Classic technique for 32-bit Keccak implementations (e.g. the PQ-M4
+/// C code): a 64-bit rotation by `2k` becomes two 32-bit rotations by `k`.
+/// The paper chooses the high/low split instead because interleaving
+/// requires this transform before and after every permutation when SHA-3
+/// interoperates with other code.
+pub fn interleave(lane: u64) -> (u32, u32) {
+    let mut even = 0u32;
+    let mut odd = 0u32;
+    for i in 0..32 {
+        even |= (((lane >> (2 * i)) & 1) as u32) << i;
+        odd |= (((lane >> (2 * i + 1)) & 1) as u32) << i;
+    }
+    (even, odd)
+}
+
+/// Inverse of [`interleave`].
+pub fn deinterleave(even: u32, odd: u32) -> u64 {
+    let mut lane = 0u64;
+    for i in 0..32 {
+        lane |= (((even >> i) & 1) as u64) << (2 * i);
+        lane |= (((odd >> i) & 1) as u64) << (2 * i + 1);
+    }
+    lane
+}
+
+/// Rotates an interleaved pair left by `n` (as if the 64-bit lane had been
+/// rotated), demonstrating the interleaving advantage: only 32-bit
+/// rotations are required.
+pub fn rotate_interleaved(even: u32, odd: u32, n: u32) -> (u32, u32) {
+    let n = n % 64;
+    if n % 2 == 0 {
+        (even.rotate_left(n / 2), odd.rotate_left(n / 2))
+    } else {
+        // Odd rotation swaps the roles of the even/odd words.
+        (odd.rotate_left(n / 2 + 1), even.rotate_left(n / 2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLES: [u64; 6] = [
+        0,
+        u64::MAX,
+        0x0123_4567_89AB_CDEF,
+        0x8000_0000_0000_0001,
+        0xAAAA_AAAA_5555_5555,
+        0xDEAD_BEEF_CAFE_F00D,
+    ];
+
+    #[test]
+    fn split_join_round_trip() {
+        for &lane in &SAMPLES {
+            let (lo, hi) = split_lane(lane);
+            assert_eq!(join_lane(lo, hi), lane);
+        }
+    }
+
+    #[test]
+    fn rotate_split_matches_u64_rotate() {
+        for &lane in &SAMPLES {
+            for n in [0, 1, 31, 32, 33, 63] {
+                let (lo, hi) = split_lane(lane);
+                let (rlo, rhi) = rotate_split(lo, hi, n);
+                assert_eq!(join_lane(rlo, rhi), lane.rotate_left(n));
+            }
+        }
+    }
+
+    #[test]
+    fn interleave_round_trip() {
+        for &lane in &SAMPLES {
+            let (even, odd) = interleave(lane);
+            assert_eq!(deinterleave(even, odd), lane);
+        }
+    }
+
+    #[test]
+    fn interleave_of_alternating_pattern() {
+        // 0b...0101 has all even bits set: even word = all ones, odd = 0.
+        let (even, odd) = interleave(0x5555_5555_5555_5555);
+        assert_eq!(even, u32::MAX);
+        assert_eq!(odd, 0);
+    }
+
+    #[test]
+    fn rotate_interleaved_matches_u64_rotate() {
+        for &lane in &SAMPLES {
+            for n in 0..64 {
+                let (even, odd) = interleave(lane);
+                let (re, ro) = rotate_interleaved(even, odd, n);
+                assert_eq!(
+                    deinterleave(re, ro),
+                    lane.rotate_left(n),
+                    "lane {lane:#X} rotate {n}"
+                );
+            }
+        }
+    }
+}

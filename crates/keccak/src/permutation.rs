@@ -1,0 +1,157 @@
+//! The full Keccak-f\[1600\] permutation.
+
+use crate::constants::ROUNDS;
+use crate::state::KeccakState;
+use crate::steps;
+
+/// Applies the full 24-round Keccak-f\[1600\] permutation in place.
+///
+/// # Example
+///
+/// ```
+/// use krv_keccak::{KeccakState, keccak_f1600};
+///
+/// let mut state = KeccakState::new();
+/// keccak_f1600(&mut state);
+/// assert_ne!(state, KeccakState::new());
+/// ```
+pub fn keccak_f1600(state: &mut KeccakState) {
+    keccak_f1600_rounds(state, 0, ROUNDS);
+}
+
+/// Applies rounds `first..first + count` of the permutation in place.
+///
+/// Useful for validating partially-executed vector kernels against the
+/// reference at round granularity.
+///
+/// # Panics
+///
+/// Panics if `first + count > 24`.
+pub fn keccak_f1600_rounds(state: &mut KeccakState, first: usize, count: usize) {
+    assert!(
+        first + count <= ROUNDS,
+        "rounds {first}..{} exceed the 24-round permutation",
+        first + count
+    );
+    for round in first..first + count {
+        *state = steps::round(state, round);
+    }
+}
+
+/// Returns the permutation of `state` without mutating the input.
+pub fn keccak_f1600_owned(state: &KeccakState) -> KeccakState {
+    let mut out = *state;
+    keccak_f1600(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Known-answer vector: Keccak-f[1600] applied once to the all-zero
+    /// state (Keccak team reference intermediate values).
+    const AFTER_ONE_PERMUTATION: [u64; 25] = [
+        0xF1258F7940E1DDE7,
+        0x84D5CCF933C0478A,
+        0xD598261EA65AA9EE,
+        0xBD1547306F80494D,
+        0x8B284E056253D057,
+        0xFF97A42D7F8E6FD4,
+        0x90FEE5A0A44647C4,
+        0x8C5BDA0CD6192E76,
+        0xAD30A6F71B19059C,
+        0x30935AB7D08FFC64,
+        0xEB5AA93F2317D635,
+        0xA9A6E6260D712103,
+        0x81A57C16DBCF555F,
+        0x43B831CD0347C826,
+        0x01F22F1A11A5569F,
+        0x05E5635A21D9AE61,
+        0x64BEFEF28CC970F2,
+        0x613670957BC46611,
+        0xB87C5A554FD00ECB,
+        0x8C3EE88A1CCF32C8,
+        0x940C7922AE3A2614,
+        0x1841F924A2C509E4,
+        0x16F53526E70465C2,
+        0x75F644E97F30A13B,
+        0xEAF1FF7B5CECA249,
+    ];
+
+    /// Known-answer vector: second application (Keccak team reference).
+    const AFTER_TWO_PERMUTATIONS: [u64; 25] = [
+        0x2D5C954DF96ECB3C,
+        0x6A332CD07057B56D,
+        0x093D8D1270D76B6C,
+        0x8A20D9B25569D094,
+        0x4F9C4F99E5E7F156,
+        0xF957B9A2DA65FB38,
+        0x85773DAE1275AF0D,
+        0xFAF4F247C3D810F7,
+        0x1F1B9EE6F79A8759,
+        0xE4FECC0FEE98B425,
+        0x68CE61B6B9CE68A1,
+        0xDEEA66C4BA8F974F,
+        0x33C43D836EAFB1F5,
+        0xE00654042719DBD9,
+        0x7CF8A9F009831265,
+        0xFD5449A6BF174743,
+        0x97DDAD33D8994B40,
+        0x48EAD5FC5D0BE774,
+        0xE3B8C8EE55B7B03C,
+        0x91A0226E649E42E9,
+        0x900E3129E7BADD7B,
+        0x202A9EC5FAA3CCE8,
+        0x5B3402464E1C3DB6,
+        0x609F4E62A44C1059,
+        0x20D06CD26A8FBF5C,
+    ];
+
+    #[test]
+    fn zero_state_known_answer_one_permutation() {
+        let mut state = KeccakState::new();
+        keccak_f1600(&mut state);
+        assert_eq!(state.into_lanes(), AFTER_ONE_PERMUTATION);
+    }
+
+    #[test]
+    fn zero_state_known_answer_two_permutations() {
+        let mut state = KeccakState::new();
+        keccak_f1600(&mut state);
+        keccak_f1600(&mut state);
+        assert_eq!(state.into_lanes(), AFTER_TWO_PERMUTATIONS);
+    }
+
+    #[test]
+    fn rounds_compose() {
+        let mut lanes = [0u64; 25];
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            *lane = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+        let mut split = KeccakState::from_lanes(lanes);
+        keccak_f1600_rounds(&mut split, 0, 10);
+        keccak_f1600_rounds(&mut split, 10, 14);
+        let mut whole = KeccakState::from_lanes(lanes);
+        keccak_f1600(&mut whole);
+        assert_eq!(split, whole);
+    }
+
+    #[test]
+    fn owned_matches_in_place() {
+        let mut lanes = [0u64; 25];
+        lanes[7] = 0x1234;
+        let state = KeccakState::from_lanes(lanes);
+        let owned = keccak_f1600_owned(&state);
+        let mut in_place = state;
+        keccak_f1600(&mut in_place);
+        assert_eq!(owned, in_place);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the 24-round permutation")]
+    fn rounds_bounds_checked() {
+        let mut state = KeccakState::new();
+        keccak_f1600_rounds(&mut state, 20, 5);
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests of the Keccak step mappings and permutation.
+
+use krv_keccak::constants::{RC, RHO_OFFSETS};
+use krv_keccak::{keccak_f1600, steps, KeccakState};
+use proptest::prelude::*;
+
+fn state() -> impl Strategy<Value = KeccakState> {
+    proptest::array::uniform25(any::<u64>()).prop_map(KeccakState::from_lanes)
+}
+
+/// Inverse of χ on one 5-lane row, bit column by bit column: χ on a
+/// 5-bit row `a` is `b[i] = a[i] ^ (!a[i+1] & a[i+2])`, which is
+/// invertible for odd row length (Keccak reference, §"inverse of chi").
+fn inv_chi_row(row: [u64; 5]) -> [u64; 5] {
+    // Solve bit-sliced: for each of the 64 bit positions independently,
+    // invert the 5-bit map by brute force (32 candidates).
+    let mut out = [0u64; 5];
+    for bit in 0..64 {
+        let target: u32 = (0..5).map(|i| (((row[i] >> bit) & 1) as u32) << i).sum();
+        let mut found = None;
+        for candidate in 0u32..32 {
+            let mut image = 0u32;
+            for i in 0..5 {
+                let a0 = (candidate >> i) & 1;
+                let a1 = (candidate >> ((i + 1) % 5)) & 1;
+                let a2 = (candidate >> ((i + 2) % 5)) & 1;
+                image |= (a0 ^ ((a1 ^ 1) & a2)) << i;
+            }
+            if image == target {
+                assert!(found.is_none(), "χ not injective on bit column");
+                found = Some(candidate);
+            }
+        }
+        let preimage = found.expect("χ is a bijection on 5-bit rows");
+        for i in 0..5 {
+            out[i] |= (((preimage >> i) & 1) as u64) << bit;
+        }
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn theta_is_linear(a in state(), b in state()) {
+        let mut xored = [0u64; 25];
+        for (i, lane) in xored.iter_mut().enumerate() {
+            *lane = a.lanes()[i] ^ b.lanes()[i];
+        }
+        let sum = KeccakState::from_lanes(xored);
+        let lhs = steps::theta(&sum);
+        let (ta, tb) = (steps::theta(&a), steps::theta(&b));
+        for i in 0..25 {
+            prop_assert_eq!(lhs.lanes()[i], ta.lanes()[i] ^ tb.lanes()[i]);
+        }
+    }
+
+    #[test]
+    fn rho_preserves_bit_count(s in state()) {
+        let before: u32 = s.lanes().iter().map(|l| l.count_ones()).sum();
+        let after: u32 = steps::rho(&s).lanes().iter().map(|l| l.count_ones()).sum();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn rho_is_lanewise_rotation(s in state()) {
+        let out = steps::rho(&s);
+        for y in 0..5 {
+            for x in 0..5 {
+                prop_assert_eq!(
+                    out.lane(x, y),
+                    s.lane(x, y).rotate_left(RHO_OFFSETS[y][x])
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pi_preserves_multiset_of_lanes(s in state()) {
+        let mut before: Vec<u64> = s.lanes().to_vec();
+        let mut after: Vec<u64> = steps::pi(&s).lanes().to_vec();
+        before.sort_unstable();
+        after.sort_unstable();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn chi_is_invertible_row_by_row(s in state()) {
+        let out = steps::chi(&s);
+        for y in 0..5 {
+            let row = [
+                out.lane(0, y), out.lane(1, y), out.lane(2, y),
+                out.lane(3, y), out.lane(4, y),
+            ];
+            let back = inv_chi_row(row);
+            for x in 0..5 {
+                prop_assert_eq!(back[x], s.lane(x, y), "lane ({}, {})", x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn iota_is_an_involution(s in state(), round in 0usize..24) {
+        let twice = steps::iota(&steps::iota(&s, round), round);
+        prop_assert_eq!(twice, s);
+    }
+
+    #[test]
+    fn iota_only_touches_lane_zero(s in state(), round in 0usize..24) {
+        let out = steps::iota(&s, round);
+        prop_assert_eq!(out.lane(0, 0), s.lane(0, 0) ^ RC[round]);
+        for y in 0..5 {
+            for x in 0..5 {
+                if (x, y) != (0, 0) {
+                    prop_assert_eq!(out.lane(x, y), s.lane(x, y));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_differs_from_input(s in state()) {
+        // Keccak-f has no fixed points that random sampling would find;
+        // equality would indicate the permutation degenerated.
+        let mut out = s;
+        keccak_f1600(&mut out);
+        prop_assert_ne!(out, s);
+    }
+
+    #[test]
+    fn permutation_is_injective_on_pairs(a in state(), b in state()) {
+        prop_assume!(a != b);
+        let (mut pa, mut pb) = (a, b);
+        keccak_f1600(&mut pa);
+        keccak_f1600(&mut pb);
+        prop_assert_ne!(pa, pb);
+    }
+
+    #[test]
+    fn bytes_round_trip(s in state()) {
+        prop_assert_eq!(KeccakState::from_bytes(&s.to_bytes()), s);
+    }
+
+    #[test]
+    fn single_bit_flip_diffuses_widely(lane in 0usize..25, bit in 0u32..64) {
+        // Avalanche: after the full permutation, flipping one input bit
+        // changes a large fraction of the output (expected ~800 of 1600).
+        let zero = KeccakState::new();
+        let mut flipped_lanes = [0u64; 25];
+        flipped_lanes[lane] = 1u64 << bit;
+        let flipped = KeccakState::from_lanes(flipped_lanes);
+        let mut p0 = zero;
+        let mut p1 = flipped;
+        keccak_f1600(&mut p0);
+        keccak_f1600(&mut p1);
+        let distance: u32 = p0
+            .lanes()
+            .iter()
+            .zip(p1.lanes())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        prop_assert!((600..1000).contains(&distance), "hamming distance {distance}");
+    }
+}
+
+#[test]
+fn round_equals_composition_of_steps() {
+    let mut lanes = [0u64; 25];
+    for (i, lane) in lanes.iter_mut().enumerate() {
+        *lane = (i as u64 + 1).wrapping_mul(0x0101_0101_0101_0101);
+    }
+    let s = KeccakState::from_lanes(lanes);
+    let composed = steps::iota(&steps::chi(&steps::pi(&steps::rho(&steps::theta(&s)))), 5);
+    assert_eq!(steps::round(&s, 5), composed);
+}

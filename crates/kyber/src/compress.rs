@@ -1,0 +1,112 @@
+//! Coefficient compression (FIPS 203 §4.2.1).
+
+use crate::poly::{Poly, KYBER_N, KYBER_Q};
+
+/// `Compress_d(x) = ⌈(2^d / q) · x⌋ mod 2^d`.
+pub fn compress_coeff(x: u16, d: u32) -> u16 {
+    debug_assert!(d < 12);
+    let numerator = ((x as u64) << d) + (KYBER_Q as u64) / 2;
+    ((numerator / KYBER_Q as u64) & ((1 << d) - 1)) as u16
+}
+
+/// `Decompress_d(y) = ⌈(q / 2^d) · y⌋`.
+pub fn decompress_coeff(y: u16, d: u32) -> u16 {
+    debug_assert!(d < 12);
+    (((y as u64 * KYBER_Q as u64) + (1 << (d - 1))) >> d) as u16
+}
+
+/// Compresses every coefficient to `d` bits.
+pub fn compress_poly(poly: &Poly, d: u32) -> Poly {
+    let mut out = Poly::zero();
+    for i in 0..KYBER_N {
+        out.set_coeff(i, compress_coeff(poly.coeff(i), d));
+    }
+    out
+}
+
+/// Decompresses every `d`-bit coefficient back into `[0, q)`.
+pub fn decompress_poly(poly: &Poly, d: u32) -> Poly {
+    let mut out = Poly::zero();
+    for i in 0..KYBER_N {
+        out.set_coeff(i, decompress_coeff(poly.coeff(i), d));
+    }
+    out
+}
+
+/// Encodes a 32-byte message as a polynomial: bit i becomes
+/// `Decompress_1(bit)` = 0 or ⌈q/2⌋ (FIPS 203 Algorithm 14 step 20).
+pub fn message_to_poly(message: &[u8; 32]) -> Poly {
+    let mut out = Poly::zero();
+    for i in 0..KYBER_N {
+        let bit = (message[i / 8] >> (i % 8)) & 1;
+        out.set_coeff(i, decompress_coeff(bit as u16, 1));
+    }
+    out
+}
+
+/// Decodes a polynomial back into a 32-byte message via `Compress_1`.
+pub fn poly_to_message(poly: &Poly) -> [u8; 32] {
+    let mut message = [0u8; 32];
+    for i in 0..KYBER_N {
+        let bit = compress_coeff(poly.coeff(i), 1);
+        message[i / 8] |= (bit as u8) << (i % 8);
+    }
+    message
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compress_bounds() {
+        for d in [1u32, 4, 5, 10, 11] {
+            for x in [0u16, 1, 832, 1664, 1665, 3328] {
+                assert!(compress_coeff(x, d) < (1 << d), "d={d} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn decompress_compress_small_error() {
+        // |Decompress_d(Compress_d(x)) − x| ≤ ⌈q / 2^(d+1)⌋ (FIPS 203
+        // Lemma in §4.2.1).
+        for d in [4u32, 5, 10, 11] {
+            let bound = (KYBER_Q as i32 + (1 << (d + 1)) - 1) / (1 << (d + 1));
+            for x in 0..KYBER_Q {
+                let back = decompress_coeff(compress_coeff(x, d), d) as i32;
+                let mut error = (back - x as i32).abs();
+                error = error.min(KYBER_Q as i32 - error);
+                assert!(error <= bound, "d={d} x={x}: error {error} > {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_bit_round_trip() {
+        assert_eq!(compress_coeff(decompress_coeff(0, 1), 1), 0);
+        assert_eq!(compress_coeff(decompress_coeff(1, 1), 1), 1);
+        assert_eq!(decompress_coeff(1, 1), 1665, "⌈q/2⌋");
+    }
+
+    #[test]
+    fn message_round_trip() {
+        let mut message = [0u8; 32];
+        for (i, byte) in message.iter_mut().enumerate() {
+            *byte = (i as u8).wrapping_mul(37) ^ 0x5A;
+        }
+        assert_eq!(poly_to_message(&message_to_poly(&message)), message);
+    }
+
+    #[test]
+    fn message_survives_small_noise() {
+        // Decoding tolerates additive noise below q/4 per coefficient.
+        let message = [0xA5u8; 32];
+        let mut noisy = message_to_poly(&message);
+        for i in 0..KYBER_N {
+            let bump = (i % 500) as u16; // < q/4 ≈ 832
+            noisy.set_coeff(i, (noisy.coeff(i) + bump) % KYBER_Q);
+        }
+        assert_eq!(poly_to_message(&noisy), message);
+    }
+}

@@ -1,0 +1,58 @@
+//! CRYSTALS-Kyber K-PKE key generation over the `keccak-rvv` SHA-3 stack.
+//!
+//! The paper's conclusion (§5) names the integration of its vectorized
+//! Keccak into CRYSTALS-Kyber as future work: Kyber's key generation is
+//! dominated by SHAKE — the public matrix **A**, the secret vector **s**
+//! and the error vector **e** are all expanded from seeds (paper §1).
+//! This crate implements that workload — ML-KEM-style K-PKE key
+//! generation (FIPS 203 Algorithm 13) — generically over
+//! [`krv_sha3::PermutationBackend`], so the whole seed-expansion phase
+//! can run in lockstep batches on the simulated SIMD processor.
+//!
+//! Scope: the *key generation* pipeline (matrix expansion, CBD sampling,
+//! the number-theoretic transform and the module arithmetic
+//! `t̂ = Â∘ŝ + ê`), which is where the Keccak work lives. Encapsulation,
+//! compression and encoding are out of scope — they contain no Keccak.
+//!
+//! # Example
+//!
+//! ```
+//! use krv_kyber::{keygen, KyberParams};
+//! use krv_sha3::ReferenceBackend;
+//!
+//! let seed = [7u8; 32];
+//! let keypair = keygen(KyberParams::KYBER768, &seed, ReferenceBackend::new());
+//! assert_eq!(keypair.t_hat.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compress;
+pub mod keygen;
+pub mod ntt;
+pub mod pke;
+pub mod poly;
+pub mod sampling;
+
+pub use keygen::{keygen, KeyPair};
+pub use pke::{decrypt, encrypt, Ciphertext};
+pub use poly::{Poly, KYBER_N, KYBER_Q};
+
+/// Parameter set: the module rank `k` and CBD width η₁.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KyberParams {
+    /// Module rank (matrix A is k × k).
+    pub k: usize,
+    /// CBD parameter for the secret/error vectors.
+    pub eta1: usize,
+}
+
+impl KyberParams {
+    /// ML-KEM-512 / Kyber512: k = 2, η₁ = 3.
+    pub const KYBER512: KyberParams = KyberParams { k: 2, eta1: 3 };
+    /// ML-KEM-768 / Kyber768: k = 3, η₁ = 2.
+    pub const KYBER768: KyberParams = KyberParams { k: 3, eta1: 2 };
+    /// ML-KEM-1024 / Kyber1024 (the paper's §1 example): k = 4, η₁ = 2.
+    pub const KYBER1024: KyberParams = KyberParams { k: 4, eta1: 2 };
+}

@@ -1,0 +1,206 @@
+//! The Kyber number-theoretic transform (FIPS 203 §4.3).
+//!
+//! `x^256 + 1` does not split into linear factors mod q = 3329 (only
+//! 256th roots of unity exist), so Kyber uses the seven-layer incomplete
+//! NTT: the transform maps a polynomial to 128 degree-one residues, and
+//! NTT-domain multiplication is a per-pair "base multiplication" by
+//! `x² − ζ^(2·bitrev₇(i)+1)`.
+//!
+//! All twiddle factors are derived at runtime from the primitive root
+//! ζ = 17 — nothing is transcribed from reference tables, so the
+//! convolution-theorem test against [`Poly::schoolbook_mul`] is a real
+//! cross-check.
+
+use crate::poly::{Poly, KYBER_N, KYBER_Q};
+use std::sync::OnceLock;
+
+/// The primitive 256th root of unity mod q used by Kyber.
+pub const ZETA: u16 = 17;
+
+/// 128⁻¹ mod q, applied at the end of the inverse transform.
+const N_INV: u32 = 3303;
+
+fn pow_mod(base: u32, mut exp: u32) -> u32 {
+    let mut acc = 1u32;
+    let mut base = base % KYBER_Q as u32;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = acc * base % KYBER_Q as u32;
+        }
+        base = base * base % KYBER_Q as u32;
+        exp >>= 1;
+    }
+    acc
+}
+
+fn bitrev7(value: usize) -> usize {
+    let mut out = 0;
+    for bit in 0..7 {
+        out |= ((value >> bit) & 1) << (6 - bit);
+    }
+    out
+}
+
+/// ζ^bitrev₇(k) for the butterfly layers.
+fn layer_zetas() -> &'static [u16; 128] {
+    static ZETAS: OnceLock<[u16; 128]> = OnceLock::new();
+    ZETAS.get_or_init(|| {
+        let mut table = [0u16; 128];
+        for (k, slot) in table.iter_mut().enumerate() {
+            *slot = pow_mod(ZETA as u32, bitrev7(k) as u32) as u16;
+        }
+        table
+    })
+}
+
+/// ζ^(2·bitrev₇(i)+1) for the base multiplications.
+fn basemul_zetas() -> &'static [u16; 128] {
+    static ZETAS: OnceLock<[u16; 128]> = OnceLock::new();
+    ZETAS.get_or_init(|| {
+        let mut table = [0u16; 128];
+        for (i, slot) in table.iter_mut().enumerate() {
+            *slot = pow_mod(ZETA as u32, 2 * bitrev7(i) as u32 + 1) as u16;
+        }
+        table
+    })
+}
+
+/// Forward NTT (FIPS 203 Algorithm 9).
+pub fn ntt(poly: &Poly) -> Poly {
+    let zetas = layer_zetas();
+    let mut f: Vec<u32> = poly.coeffs().iter().map(|&c| c as u32).collect();
+    let q = KYBER_Q as u32;
+    let mut k = 1;
+    let mut len = KYBER_N / 2;
+    while len >= 2 {
+        let mut start = 0;
+        while start < KYBER_N {
+            let zeta = zetas[k] as u32;
+            k += 1;
+            for j in start..start + len {
+                let t = zeta * f[j + len] % q;
+                f[j + len] = (f[j] + q - t) % q;
+                f[j] = (f[j] + t) % q;
+            }
+            start += 2 * len;
+        }
+        len /= 2;
+    }
+    collect(&f)
+}
+
+/// Inverse NTT (FIPS 203 Algorithm 10).
+pub fn inv_ntt(poly: &Poly) -> Poly {
+    let zetas = layer_zetas();
+    let mut f: Vec<u32> = poly.coeffs().iter().map(|&c| c as u32).collect();
+    let q = KYBER_Q as u32;
+    let mut k = 127;
+    let mut len = 2;
+    while len <= KYBER_N / 2 {
+        let mut start = 0;
+        while start < KYBER_N {
+            let zeta = zetas[k] as u32;
+            k -= 1;
+            for j in start..start + len {
+                let t = f[j];
+                f[j] = (t + f[j + len]) % q;
+                f[j + len] = zeta * ((f[j + len] + q - t) % q) % q;
+            }
+            start += 2 * len;
+        }
+        len *= 2;
+    }
+    for value in f.iter_mut() {
+        *value = *value * N_INV % q;
+    }
+    collect(&f)
+}
+
+/// NTT-domain multiplication (FIPS 203 Algorithms 11–12): 128 base
+/// multiplications modulo `x² − ζ^(2·bitrev₇(i)+1)`.
+pub fn basemul(a: &Poly, b: &Poly) -> Poly {
+    let zetas = basemul_zetas();
+    let q = KYBER_Q as u64;
+    let mut out = Poly::zero();
+    for i in 0..KYBER_N / 2 {
+        let (a0, a1) = (a.coeff(2 * i) as u64, a.coeff(2 * i + 1) as u64);
+        let (b0, b1) = (b.coeff(2 * i) as u64, b.coeff(2 * i + 1) as u64);
+        let zeta = zetas[i] as u64;
+        let c0 = (a0 * b0 + a1 * b1 % q * zeta) % q;
+        let c1 = (a0 * b1 + a1 * b0) % q;
+        out.set_coeff(2 * i, c0 as u16);
+        out.set_coeff(2 * i + 1, c1 as u16);
+    }
+    out
+}
+
+fn collect(values: &[u32]) -> Poly {
+    let mut coeffs = [0u16; KYBER_N];
+    for (slot, &value) in coeffs.iter_mut().zip(values) {
+        *slot = value as u16;
+    }
+    Poly::from_coeffs(coeffs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(seed: u32) -> Poly {
+        let mut coeffs = [0u16; KYBER_N];
+        let mut state = seed | 1;
+        for c in coeffs.iter_mut() {
+            state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            *c = (state >> 16) as u16 % KYBER_Q;
+        }
+        Poly::from_coeffs(coeffs)
+    }
+
+    #[test]
+    fn zeta_is_a_primitive_256th_root() {
+        assert_eq!(pow_mod(ZETA as u32, 128), KYBER_Q as u32 - 1, "ζ^128 = −1");
+        assert_eq!(pow_mod(ZETA as u32, 256), 1, "ζ^256 = 1");
+    }
+
+    #[test]
+    fn n_inv_is_the_inverse_of_128() {
+        assert_eq!(128 * N_INV % KYBER_Q as u32, 1);
+    }
+
+    #[test]
+    fn ntt_round_trip() {
+        for seed in [1u32, 42, 0xFFFF_0001] {
+            let p = sample(seed);
+            assert_eq!(inv_ntt(&ntt(&p)), p, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn ntt_is_linear() {
+        let (a, b) = (sample(5), sample(6));
+        assert_eq!(ntt(&a.add(&b)), ntt(&a).add(&ntt(&b)));
+    }
+
+    #[test]
+    fn convolution_theorem_matches_schoolbook() {
+        // The decisive cross-check: NTT → basemul → inverse NTT equals
+        // direct negacyclic multiplication.
+        for seed in [3u32, 777] {
+            let (a, b) = (sample(seed), sample(seed + 1));
+            let via_ntt = inv_ntt(&basemul(&ntt(&a), &ntt(&b)));
+            assert_eq!(via_ntt, a.schoolbook_mul(&b), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn basemul_with_one_in_ntt_domain() {
+        let one_hat = ntt(&{
+            let mut one = Poly::zero();
+            one.set_coeff(0, 1);
+            one
+        });
+        let a = sample(11);
+        let a_hat = ntt(&a);
+        assert_eq!(inv_ntt(&basemul(&a_hat, &one_hat)), a);
+    }
+}

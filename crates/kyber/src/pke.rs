@@ -1,0 +1,216 @@
+//! K-PKE encryption and decryption (FIPS 203 Algorithms 14–15).
+//!
+//! Together with [`keygen`](crate::keygen::keygen) this closes the loop on the paper's
+//! future-work workload: `decrypt(encrypt(m)) == m` exercises every
+//! SHAKE path (matrix re-expansion, the r/e₁/e₂ PRF samples) plus the
+//! NTT algebra and the compression pipeline end to end.
+
+use crate::compress::{compress_poly, decompress_poly, message_to_poly, poly_to_message};
+use crate::keygen::KeyPair;
+use crate::ntt::{basemul, inv_ntt, ntt};
+use crate::poly::Poly;
+use crate::sampling::{expand_matrix, expand_secrets, sample_cbd};
+use crate::KyberParams;
+use krv_sha3::{BatchSponge, PermutationBackend, SpongeParams};
+
+/// η₂, the CBD width for the encryption noise (2 for every Kyber set).
+const ETA2: usize = 2;
+
+/// A K-PKE ciphertext: compressed vector `u` and scalar `v`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ciphertext {
+    /// Compressed `u` (d_u bits per coefficient), length k.
+    pub u: Vec<Poly>,
+    /// Compressed `v` (d_v bits per coefficient).
+    pub v: Poly,
+    /// The (d_u, d_v) pair used, recorded for decryption.
+    pub du_dv: (u32, u32),
+}
+
+/// The ciphertext compression parameters per FIPS 203 Table 2.
+fn du_dv(params: KyberParams) -> (u32, u32) {
+    match params.k {
+        4 => (11, 5),
+        _ => (10, 4),
+    }
+}
+
+/// Encrypts a 32-byte message under `(rho, t̂)` with encryption
+/// randomness derived from `coins` (FIPS 203 Algorithm 14).
+pub fn encrypt<B: PermutationBackend>(
+    params: KyberParams,
+    keypair: &KeyPair,
+    message: &[u8; 32],
+    coins: &[u8; 32],
+    mut backend: B,
+) -> Ciphertext {
+    let k = params.k;
+    let a_hat = expand_matrix(&keypair.rho, k, &mut backend);
+
+    // r from η₁, e₁ from η₂ (lockstep PRF batch), e₂ from one more call.
+    let (r, e1) = expand_vectors(params, coins, &mut backend);
+    let e2 = {
+        let mut batch = BatchSponge::new(SpongeParams::shake(256), &mut backend, 1);
+        let mut input = coins.to_vec();
+        input.push(2 * k as u8);
+        batch.absorb(&[&input]);
+        sample_cbd(&batch.squeeze(64 * ETA2)[0], ETA2)
+    };
+
+    let r_hat: Vec<Poly> = r.iter().map(ntt).collect();
+    // u = invNTT(Âᵀ ∘ r̂) + e₁.
+    let u: Vec<Poly> = (0..k)
+        .map(|i| {
+            let mut acc = Poly::zero();
+            for j in 0..k {
+                acc = acc.add(&basemul(&a_hat[j][i], &r_hat[j])); // transpose
+            }
+            inv_ntt(&acc).add(&e1[i])
+        })
+        .collect();
+    // v = invNTT(t̂ᵀ ∘ r̂) + e₂ + Decompress₁(m).
+    let mut tr = Poly::zero();
+    for j in 0..k {
+        tr = tr.add(&basemul(&keypair.t_hat[j], &r_hat[j]));
+    }
+    let v = inv_ntt(&tr).add(&e2).add(&message_to_poly(message));
+
+    let (du, dv) = du_dv(params);
+    Ciphertext {
+        u: u.iter().map(|p| compress_poly(p, du)).collect(),
+        v: compress_poly(&v, dv),
+        du_dv: (du, dv),
+    }
+}
+
+/// Decrypts a ciphertext with the secret vector ŝ (FIPS 203
+/// Algorithm 15).
+pub fn decrypt(params: KyberParams, keypair: &KeyPair, ciphertext: &Ciphertext) -> [u8; 32] {
+    let (du, dv) = ciphertext.du_dv;
+    let u: Vec<Poly> = ciphertext
+        .u
+        .iter()
+        .map(|p| decompress_poly(p, du))
+        .collect();
+    let v = decompress_poly(&ciphertext.v, dv);
+    // w = v − invNTT(ŝᵀ ∘ NTT(u)).
+    let mut su = Poly::zero();
+    for j in 0..params.k {
+        su = su.add(&basemul(&keypair.s_hat[j], &ntt(&u[j])));
+    }
+    let w = v.sub(&inv_ntt(&su));
+    poly_to_message(&w)
+}
+
+/// Derives `r` (η₁) and `e₁` (η₂) from `coins` with one lockstep
+/// SHAKE256 batch, nonces `0..k` and `k..2k`.
+fn expand_vectors<B: PermutationBackend>(
+    params: KyberParams,
+    coins: &[u8; 32],
+    backend: B,
+) -> (Vec<Poly>, Vec<Poly>) {
+    // r uses η₁ like the key secrets; e₁ uses η₂. When η₁ == η₂ (768 and
+    // 1024) one equal-length batch serves both; for Kyber512 (η₁ = 3)
+    // squeeze the longer stream and truncate for the η₂ members.
+    let k = params.k;
+    if params.eta1 == ETA2 {
+        return expand_secrets(coins, k, ETA2, backend);
+    }
+    let inputs: Vec<Vec<u8>> = (0..2 * k)
+        .map(|nonce| {
+            let mut input = coins.to_vec();
+            input.push(nonce as u8);
+            input
+        })
+        .collect();
+    let refs: Vec<&[u8]> = inputs.iter().map(|v| v.as_slice()).collect();
+    let mut batch = BatchSponge::new(SpongeParams::shake(256), backend, refs.len());
+    batch.absorb(&refs);
+    let streams = batch.squeeze(64 * params.eta1);
+    let r = streams[..k]
+        .iter()
+        .map(|s| sample_cbd(s, params.eta1))
+        .collect();
+    let e1 = streams[k..]
+        .iter()
+        .map(|s| sample_cbd(&s[..64 * ETA2], ETA2))
+        .collect();
+    (r, e1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keygen::keygen;
+    use krv_sha3::ReferenceBackend;
+
+    fn round_trip(params: KyberParams, seed_byte: u8) {
+        let seed = [seed_byte; 32];
+        let keypair = keygen(params, &seed, ReferenceBackend::new());
+        let mut message = [0u8; 32];
+        for (i, byte) in message.iter_mut().enumerate() {
+            *byte = (i as u8).wrapping_mul(29) ^ seed_byte;
+        }
+        let coins = [seed_byte.wrapping_add(1); 32];
+        let ciphertext = encrypt(params, &keypair, &message, &coins, ReferenceBackend::new());
+        let decrypted = decrypt(params, &keypair, &ciphertext);
+        assert_eq!(decrypted, message, "k={}", params.k);
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip_512() {
+        round_trip(KyberParams::KYBER512, 0x11);
+        round_trip(KyberParams::KYBER512, 0x99);
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip_768() {
+        round_trip(KyberParams::KYBER768, 0x22);
+        round_trip(KyberParams::KYBER768, 0xEE);
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip_1024() {
+        round_trip(KyberParams::KYBER1024, 0x33);
+    }
+
+    #[test]
+    fn wrong_key_garbles_the_message() {
+        let params = KyberParams::KYBER768;
+        let alice = keygen(params, &[1u8; 32], ReferenceBackend::new());
+        let mallory = keygen(params, &[2u8; 32], ReferenceBackend::new());
+        let message = [0x77u8; 32];
+        let ciphertext = encrypt(
+            params,
+            &alice,
+            &message,
+            &[5u8; 32],
+            ReferenceBackend::new(),
+        );
+        assert_ne!(decrypt(params, &mallory, &ciphertext), message);
+    }
+
+    #[test]
+    fn ciphertexts_are_randomized_by_coins() {
+        let params = KyberParams::KYBER768;
+        let keypair = keygen(params, &[9u8; 32], ReferenceBackend::new());
+        let message = [0u8; 32];
+        let c1 = encrypt(
+            params,
+            &keypair,
+            &message,
+            &[1u8; 32],
+            ReferenceBackend::new(),
+        );
+        let c2 = encrypt(
+            params,
+            &keypair,
+            &message,
+            &[2u8; 32],
+            ReferenceBackend::new(),
+        );
+        assert_ne!(c1, c2);
+        assert_eq!(decrypt(params, &keypair, &c1), message);
+        assert_eq!(decrypt(params, &keypair, &c2), message);
+    }
+}

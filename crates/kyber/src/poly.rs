@@ -1,0 +1,162 @@
+//! Polynomials over `Z_q[x] / (x^256 + 1)` with q = 3329.
+
+use core::fmt;
+
+/// Polynomial degree bound.
+pub const KYBER_N: usize = 256;
+/// The Kyber modulus.
+pub const KYBER_Q: u16 = 3329;
+
+/// A polynomial with 256 coefficients in `[0, q)`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Poly {
+    coeffs: [u16; KYBER_N],
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub const fn zero() -> Self {
+        Self {
+            coeffs: [0; KYBER_N],
+        }
+    }
+
+    /// Creates a polynomial from coefficients, reducing each mod q.
+    pub fn from_coeffs(raw: [u16; KYBER_N]) -> Self {
+        let mut coeffs = raw;
+        for c in coeffs.iter_mut() {
+            *c %= KYBER_Q;
+        }
+        Self { coeffs }
+    }
+
+    /// The coefficient array.
+    pub fn coeffs(&self) -> &[u16; KYBER_N] {
+        &self.coeffs
+    }
+
+    /// Coefficient `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ 256`.
+    pub fn coeff(&self, i: usize) -> u16 {
+        self.coeffs[i]
+    }
+
+    /// Sets coefficient `i` (reduced mod q).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ 256`.
+    pub fn set_coeff(&mut self, i: usize, value: u16) {
+        self.coeffs[i] = value % KYBER_Q;
+    }
+
+    /// Pointwise (coefficient-wise) addition mod q.
+    pub fn add(&self, other: &Poly) -> Poly {
+        let mut out = Poly::zero();
+        for i in 0..KYBER_N {
+            out.coeffs[i] = (self.coeffs[i] + other.coeffs[i]) % KYBER_Q;
+        }
+        out
+    }
+
+    /// Pointwise subtraction mod q.
+    pub fn sub(&self, other: &Poly) -> Poly {
+        let mut out = Poly::zero();
+        for i in 0..KYBER_N {
+            out.coeffs[i] = (self.coeffs[i] + KYBER_Q - other.coeffs[i]) % KYBER_Q;
+        }
+        out
+    }
+
+    /// Schoolbook negacyclic multiplication: the reference semantics of
+    /// `Z_q[x]/(x^256 + 1)` multiplication, used to validate the NTT.
+    pub fn schoolbook_mul(&self, other: &Poly) -> Poly {
+        let mut acc = [0i64; KYBER_N];
+        for i in 0..KYBER_N {
+            for j in 0..KYBER_N {
+                let product = self.coeffs[i] as i64 * other.coeffs[j] as i64;
+                let degree = i + j;
+                if degree < KYBER_N {
+                    acc[degree] += product;
+                } else {
+                    acc[degree - KYBER_N] -= product; // x^256 ≡ −1
+                }
+            }
+        }
+        let mut out = Poly::zero();
+        for i in 0..KYBER_N {
+            out.coeffs[i] = acc[i].rem_euclid(KYBER_Q as i64) as u16;
+        }
+        out
+    }
+}
+
+impl Default for Poly {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl fmt::Debug for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Poly[{} {} {} {} …]",
+            self.coeffs[0], self.coeffs[1], self.coeffs[2], self.coeffs[3]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(seed: u16) -> Poly {
+        let mut coeffs = [0u16; KYBER_N];
+        for (i, c) in coeffs.iter_mut().enumerate() {
+            *c = ((i as u32 * 31 + seed as u32 * 7 + 11) % KYBER_Q as u32) as u16;
+        }
+        Poly::from_coeffs(coeffs)
+    }
+
+    #[test]
+    fn add_sub_round_trip() {
+        let (a, b) = (sample(1), sample(2));
+        assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    #[test]
+    fn from_coeffs_reduces() {
+        let mut raw = [0u16; KYBER_N];
+        raw[0] = KYBER_Q;
+        raw[1] = KYBER_Q + 5;
+        let p = Poly::from_coeffs(raw);
+        assert_eq!(p.coeff(0), 0);
+        assert_eq!(p.coeff(1), 5);
+    }
+
+    #[test]
+    fn schoolbook_mul_is_negacyclic() {
+        // x^255 · x = x^256 = −1.
+        let mut a = Poly::zero();
+        a.set_coeff(255, 1);
+        let mut b = Poly::zero();
+        b.set_coeff(1, 1);
+        let product = a.schoolbook_mul(&b);
+        assert_eq!(product.coeff(0), KYBER_Q - 1);
+        for i in 1..KYBER_N {
+            assert_eq!(product.coeff(i), 0);
+        }
+    }
+
+    #[test]
+    fn multiplication_by_one_is_identity() {
+        let a = sample(9);
+        let mut one = Poly::zero();
+        one.set_coeff(0, 1);
+        assert_eq!(a.schoolbook_mul(&one), a);
+    }
+}

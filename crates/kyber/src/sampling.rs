@@ -1,0 +1,197 @@
+//! Seed expansion: the Keccak-heavy half of Kyber (FIPS 203 §4.2).
+
+use crate::poly::{Poly, KYBER_N, KYBER_Q};
+use krv_sha3::{BatchSponge, PermutationBackend, SpongeParams};
+
+/// Rejection-samples one NTT-domain polynomial from an XOF stream
+/// (FIPS 203 Algorithm 7, `SampleNTT`). Returns `None` if the stream is
+/// too short — the caller squeezes more and retries.
+pub fn sample_ntt(stream: &[u8]) -> Option<Poly> {
+    let mut coeffs = [0u16; KYBER_N];
+    let mut count = 0;
+    for chunk in stream.chunks_exact(3) {
+        let d1 = u16::from(chunk[0]) | (u16::from(chunk[1] & 0x0F) << 8);
+        let d2 = u16::from(chunk[1] >> 4) | (u16::from(chunk[2]) << 4);
+        for d in [d1, d2] {
+            if d < KYBER_Q && count < KYBER_N {
+                coeffs[count] = d;
+                count += 1;
+            }
+        }
+        if count == KYBER_N {
+            return Some(Poly::from_coeffs(coeffs));
+        }
+    }
+    None
+}
+
+/// Centered binomial distribution sampler (FIPS 203 Algorithm 8,
+/// `SamplePolyCBD_η`): each coefficient is the difference of two η-bit
+/// popcounts, mapped into `[0, q)`.
+///
+/// # Panics
+///
+/// Panics if `stream.len() != 64 * eta` or `eta` is not 2 or 3.
+pub fn sample_cbd(stream: &[u8], eta: usize) -> Poly {
+    assert!(eta == 2 || eta == 3, "Kyber uses η ∈ {{2, 3}}");
+    assert_eq!(stream.len(), 64 * eta, "CBD needs 64·η bytes");
+    let bit = |index: usize| -> u16 { (stream[index / 8] >> (index % 8)) as u16 & 1 };
+    let mut coeffs = [0u16; KYBER_N];
+    for (i, c) in coeffs.iter_mut().enumerate() {
+        let mut x = 0u16;
+        let mut y = 0u16;
+        for j in 0..eta {
+            x += bit(2 * i * eta + j);
+            y += bit(2 * i * eta + eta + j);
+        }
+        *c = (x + KYBER_Q - y) % KYBER_Q;
+    }
+    Poly::from_coeffs(coeffs)
+}
+
+/// Expands the k × k public matrix **Â** from `rho` with lockstep
+/// SHAKE128 instances — the paper's §1 motivating workload. Entry
+/// (i, j) is sampled from `SHAKE128(rho ‖ j ‖ i)` directly in the NTT
+/// domain.
+pub fn expand_matrix<B: PermutationBackend>(
+    rho: &[u8; 32],
+    k: usize,
+    backend: B,
+) -> Vec<Vec<Poly>> {
+    let inputs: Vec<Vec<u8>> = (0..k * k)
+        .map(|entry| {
+            let (i, j) = (entry / k, entry % k);
+            let mut input = rho.to_vec();
+            input.push(j as u8);
+            input.push(i as u8);
+            input
+        })
+        .collect();
+    let refs: Vec<&[u8]> = inputs.iter().map(|v| v.as_slice()).collect();
+    let mut batch = BatchSponge::new(SpongeParams::shake(128), backend, refs.len());
+    batch.absorb(&refs);
+    let mut streams = batch.squeeze(3 * 168); // three SHAKE blocks ≈ 99.9 % success
+    let polys = loop {
+        let attempts: Vec<Option<Poly>> = streams.iter().map(|s| sample_ntt(s)).collect();
+        if attempts.iter().all(Option::is_some) {
+            break attempts.into_iter().map(Option::unwrap).collect::<Vec<_>>();
+        }
+        // Lockstep top-up for the rare short streams.
+        let more = batch.squeeze(168);
+        for (stream, extra) in streams.iter_mut().zip(more) {
+            stream.extend(extra);
+        }
+    };
+    polys.chunks(k).map(|row| row.to_vec()).collect()
+}
+
+/// Expands the secret and error vectors from `sigma` with lockstep
+/// SHAKE256 PRF instances (`s_i = CBD(PRF(sigma, i))`,
+/// `e_i = CBD(PRF(sigma, k + i))`).
+pub fn expand_secrets<B: PermutationBackend>(
+    sigma: &[u8; 32],
+    k: usize,
+    eta: usize,
+    backend: B,
+) -> (Vec<Poly>, Vec<Poly>) {
+    let inputs: Vec<Vec<u8>> = (0..2 * k)
+        .map(|nonce| {
+            let mut input = sigma.to_vec();
+            input.push(nonce as u8);
+            input
+        })
+        .collect();
+    let refs: Vec<&[u8]> = inputs.iter().map(|v| v.as_slice()).collect();
+    let mut batch = BatchSponge::new(SpongeParams::shake(256), backend, refs.len());
+    batch.absorb(&refs);
+    let streams = batch.squeeze(64 * eta);
+    let mut polys: Vec<Poly> = streams.iter().map(|s| sample_cbd(s, eta)).collect();
+    let errors = polys.split_off(k);
+    (polys, errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krv_sha3::ReferenceBackend;
+
+    #[test]
+    fn sample_ntt_rejects_large_values() {
+        // A stream of 0xFF yields d-values ≥ q: nothing accepted.
+        assert!(sample_ntt(&[0xFF; 768]).is_none());
+        // A stream of zeros accepts immediately.
+        let poly = sample_ntt(&[0x00; 384]).expect("zeros accepted");
+        assert!(poly.coeffs().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn sample_ntt_coefficients_below_q() {
+        let stream: Vec<u8> = (0..1024u32).map(|i| (i * 89) as u8).collect();
+        if let Some(poly) = sample_ntt(&stream) {
+            assert!(poly.coeffs().iter().all(|&c| c < KYBER_Q));
+        }
+    }
+
+    #[test]
+    fn cbd_coefficients_are_centered_small() {
+        let stream: Vec<u8> = (0..128u32).map(|i| (i * 37 + 5) as u8).collect();
+        let poly = sample_cbd(&stream, 2);
+        for &c in poly.coeffs() {
+            let centered = if c > KYBER_Q / 2 {
+                c as i32 - KYBER_Q as i32
+            } else {
+                c as i32
+            };
+            assert!((-2..=2).contains(&centered), "η=2 bounds, got {centered}");
+        }
+        let stream3: Vec<u8> = (0..192u32).map(|i| (i * 53 + 1) as u8).collect();
+        let poly3 = sample_cbd(&stream3, 3);
+        for &c in poly3.coeffs() {
+            let centered = if c > KYBER_Q / 2 {
+                c as i32 - KYBER_Q as i32
+            } else {
+                c as i32
+            };
+            assert!((-3..=3).contains(&centered), "η=3 bounds, got {centered}");
+        }
+    }
+
+    #[test]
+    fn cbd_is_roughly_centered() {
+        // Pseudo-random stream: mean of centered coefficients near 0.
+        let stream: Vec<u8> = (0..128u32)
+            .map(|i| (i.wrapping_mul(2_654_435_761) >> 13) as u8)
+            .collect();
+        let poly = sample_cbd(&stream, 2);
+        let sum: i32 = poly
+            .coeffs()
+            .iter()
+            .map(|&c| {
+                if c > KYBER_Q / 2 {
+                    c as i32 - KYBER_Q as i32
+                } else {
+                    c as i32
+                }
+            })
+            .sum();
+        assert!(sum.abs() < 128, "mean far from zero: {sum}");
+    }
+
+    #[test]
+    fn matrix_is_deterministic_and_asymmetric() {
+        let rho = [9u8; 32];
+        let a1 = expand_matrix(&rho, 2, ReferenceBackend::new());
+        let a2 = expand_matrix(&rho, 2, ReferenceBackend::new());
+        assert_eq!(a1, a2, "deterministic");
+        assert_ne!(a1[0][1], a1[1][0], "A is not symmetric (i, j ordering)");
+    }
+
+    #[test]
+    fn secrets_differ_between_s_and_e() {
+        let sigma = [3u8; 32];
+        let (s, e) = expand_secrets(&sigma, 3, 2, ReferenceBackend::new());
+        assert_eq!(s.len(), 3);
+        assert_eq!(e.len(), 3);
+        assert_ne!(s[0], e[0], "distinct PRF nonces");
+    }
+}

@@ -1,0 +1,226 @@
+//! Batch hashing: several sponge instances advancing in lockstep.
+//!
+//! The paper's motivating workload (§1) is CRYSTALS-Kyber matrix
+//! expansion, where many SHAKE128 calls process same-length inputs
+//! (`seed ‖ row ‖ column`). With a backend whose hardware holds `SN`
+//! Keccak states (paper Figures 5/6), all member sponges permute in a
+//! single pass of the vector kernel.
+
+use crate::backend::PermutationBackend;
+use crate::sponge::SpongeParams;
+use krv_keccak::constants::STATE_BYTES;
+use krv_keccak::KeccakState;
+
+/// `n` sponge instances that absorb, pad and squeeze in lockstep so every
+/// permutation is applied to all states in one backend call.
+///
+/// All member sponges share one [`SpongeParams`]; inputs must have equal
+/// length so the streams stay aligned on block boundaries.
+///
+/// # Example
+///
+/// ```
+/// use krv_sha3::{BatchSponge, SpongeParams, ReferenceBackend};
+///
+/// let params = SpongeParams::shake(128);
+/// let mut batch = BatchSponge::new(params, ReferenceBackend::new(), 3);
+/// batch.absorb(&[b"seed0", b"seed1", b"seed2"]);
+/// let outputs = batch.squeeze(16);
+/// assert_eq!(outputs.len(), 3);
+/// assert_ne!(outputs[0], outputs[1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchSponge<B> {
+    params: SpongeParams,
+    backend: B,
+    states: Vec<KeccakState>,
+    absorbed: usize,
+    squeeze_offset: Option<usize>,
+}
+
+impl<B: PermutationBackend> BatchSponge<B> {
+    /// Creates `n` empty lockstep sponges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(params: SpongeParams, backend: B, n: usize) -> Self {
+        assert!(n > 0, "batch must contain at least one sponge");
+        Self {
+            params,
+            backend,
+            states: vec![KeccakState::new(); n],
+            absorbed: 0,
+            squeeze_offset: None,
+        }
+    }
+
+    /// Number of member sponges.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the batch is empty (never true; a batch has ≥ 1 member).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Read access to the internal states (for tests and diagnostics).
+    pub fn states(&self) -> &[KeccakState] {
+        &self.states
+    }
+
+    /// Absorbs one equal-length chunk into every member sponge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the batch size, if the chunk
+    /// lengths differ from each other, or if squeezing has started.
+    pub fn absorb(&mut self, inputs: &[&[u8]]) {
+        assert!(
+            self.squeeze_offset.is_none(),
+            "cannot absorb after squeezing has started"
+        );
+        assert_eq!(
+            inputs.len(),
+            self.states.len(),
+            "one input chunk per member sponge required"
+        );
+        let len = inputs[0].len();
+        assert!(
+            inputs.iter().all(|i| i.len() == len),
+            "lockstep absorption requires equal-length chunks"
+        );
+        let rate = self.params.rate_bytes();
+        let mut consumed = 0;
+        while consumed < len {
+            let take = (rate - self.absorbed).min(len - consumed);
+            for (state, input) in self.states.iter_mut().zip(inputs) {
+                let mut block = [0u8; STATE_BYTES];
+                block[self.absorbed..self.absorbed + take]
+                    .copy_from_slice(&input[consumed..consumed + take]);
+                state.xor_bytes(&block[..self.absorbed + take]);
+            }
+            self.absorbed += take;
+            consumed += take;
+            if self.absorbed == rate {
+                self.backend.permute_all(&mut self.states);
+                self.absorbed = 0;
+            }
+        }
+    }
+
+    /// Applies domain separation and padding to every member sponge.
+    pub fn finalize_absorb(&mut self) {
+        if self.squeeze_offset.is_some() {
+            return;
+        }
+        let rate = self.params.rate_bytes();
+        let mut block = vec![0u8; rate];
+        block[self.absorbed] = self.params.domain().first_pad_byte();
+        block[rate - 1] |= 0x80;
+        for state in &mut self.states {
+            state.xor_bytes(&block);
+        }
+        self.backend.permute_all(&mut self.states);
+        self.absorbed = 0;
+        self.squeeze_offset = Some(0);
+    }
+
+    /// Squeezes `len` bytes from every member sponge.
+    pub fn squeeze(&mut self, len: usize) -> Vec<Vec<u8>> {
+        self.finalize_absorb();
+        let rate = self.params.rate_bytes();
+        let mut offset = self
+            .squeeze_offset
+            .expect("finalize_absorb sets the squeeze offset");
+        let mut outputs = vec![Vec::with_capacity(len); self.states.len()];
+        let mut written = 0;
+        while written < len {
+            if offset == rate {
+                self.backend.permute_all(&mut self.states);
+                offset = 0;
+            }
+            let take = (rate - offset).min(len - written);
+            for (state, out) in self.states.iter().zip(&mut outputs) {
+                let bytes = state.to_bytes();
+                out.extend_from_slice(&bytes[offset..offset + take]);
+            }
+            offset += take;
+            written += take;
+        }
+        self.squeeze_offset = Some(offset);
+        outputs
+    }
+
+    /// Consumes the batch and returns its backend.
+    pub fn into_backend(self) -> B {
+        self.backend
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::ReferenceBackend;
+    use crate::functions::{Shake128, Xof};
+    use crate::sponge::Sponge;
+
+    #[test]
+    fn batch_matches_individual_sponges() {
+        let inputs: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 300]).collect();
+        let refs: Vec<&[u8]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let mut batch = BatchSponge::new(SpongeParams::shake(128), ReferenceBackend::new(), 4);
+        batch.absorb(&refs);
+        let outputs = batch.squeeze(200);
+        for (input, output) in inputs.iter().zip(&outputs) {
+            let mut xof = Shake128::new();
+            xof.update(input);
+            assert_eq!(*output, xof.squeeze(200));
+        }
+    }
+
+    #[test]
+    fn batch_squeeze_is_streamable() {
+        let mut batch = BatchSponge::new(SpongeParams::shake(256), ReferenceBackend::new(), 2);
+        batch.absorb(&[b"a", b"b"]);
+        let first = batch.squeeze(10);
+        let second = batch.squeeze(300);
+        let mut single = Sponge::new(SpongeParams::shake(256), ReferenceBackend::new());
+        single.absorb(b"a");
+        let expected = single.squeeze(310);
+        let mut combined = first[0].clone();
+        combined.extend(&second[0]);
+        assert_eq!(combined, expected);
+    }
+
+    #[test]
+    fn multi_chunk_absorb_matches_single() {
+        let mut a = BatchSponge::new(SpongeParams::sha3(256), ReferenceBackend::new(), 2);
+        a.absorb(&[b"hello ", b"world "]);
+        a.absorb(&[b"again", b"again"]);
+        let mut b = BatchSponge::new(SpongeParams::sha3(256), ReferenceBackend::new(), 2);
+        b.absorb(&[b"hello again", b"world again"]);
+        assert_eq!(a.squeeze(32), b.squeeze(32));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length chunks")]
+    fn unequal_chunks_rejected() {
+        let mut batch = BatchSponge::new(SpongeParams::sha3(256), ReferenceBackend::new(), 2);
+        batch.absorb(&[b"long input", b"short"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one input chunk per member")]
+    fn wrong_arity_rejected() {
+        let mut batch = BatchSponge::new(SpongeParams::sha3(256), ReferenceBackend::new(), 3);
+        batch.absorb(&[b"a", b"b"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sponge")]
+    fn empty_batch_rejected() {
+        let _ = BatchSponge::new(SpongeParams::sha3(256), ReferenceBackend::new(), 0);
+    }
+}

@@ -1,0 +1,318 @@
+//! The six FIPS-202 functions: SHA3-224/256/384/512, SHAKE128/256.
+
+use crate::backend::{PermutationBackend, ReferenceBackend};
+use crate::sponge::{Sponge, SpongeParams};
+
+macro_rules! sha3_function {
+    ($(#[$doc:meta])* $name:ident, $bits:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone)]
+        pub struct $name<B = ReferenceBackend> {
+            sponge: Sponge<B>,
+        }
+
+        impl $name<ReferenceBackend> {
+            /// Creates a hasher using the software reference backend.
+            pub fn new() -> Self {
+                Self::with_backend(ReferenceBackend::new())
+            }
+
+            /// One-shot digest of `msg` using the reference backend.
+            pub fn digest(msg: &[u8]) -> [u8; $bits / 8] {
+                let mut hasher = Self::new();
+                hasher.update(msg);
+                hasher.finalize()
+            }
+        }
+
+        impl Default for $name<ReferenceBackend> {
+            fn default() -> Self {
+                Self::new()
+            }
+        }
+
+        impl<B: PermutationBackend> $name<B> {
+            /// Creates a hasher over a custom permutation backend (for
+            /// example the simulated vector processor).
+            pub fn with_backend(backend: B) -> Self {
+                Self {
+                    sponge: Sponge::new(SpongeParams::sha3($bits), backend),
+                }
+            }
+
+            /// Absorbs more message bytes.
+            pub fn update(&mut self, data: &[u8]) {
+                self.sponge.absorb(data);
+            }
+
+            /// Finishes hashing and returns the digest.
+            pub fn finalize(mut self) -> [u8; $bits / 8] {
+                let mut out = [0u8; $bits / 8];
+                self.sponge.squeeze_into(&mut out);
+                out
+            }
+
+            /// Digest length in bytes.
+            pub const fn output_len() -> usize {
+                $bits / 8
+            }
+        }
+
+        impl<B: PermutationBackend> std::io::Write for $name<B> {
+            /// Absorbs the buffer; never errors.
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.update(buf);
+                Ok(buf.len())
+            }
+
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+    };
+}
+
+sha3_function!(
+    /// SHA3-224 (FIPS 202 §6.1): 224-bit digest, rate 1152 bits.
+    Sha3_224,
+    224
+);
+sha3_function!(
+    /// SHA3-256 (FIPS 202 §6.1): 256-bit digest, rate 1088 bits.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let digest = krv_sha3::Sha3_256::digest(b"");
+    /// assert_eq!(
+    ///     krv_sha3::hex(&digest),
+    ///     "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a"
+    /// );
+    /// ```
+    Sha3_256,
+    256
+);
+sha3_function!(
+    /// SHA3-384 (FIPS 202 §6.1): 384-bit digest, rate 832 bits.
+    Sha3_384,
+    384
+);
+sha3_function!(
+    /// SHA3-512 (FIPS 202 §6.1): 512-bit digest, rate 576 bits.
+    Sha3_512,
+    512
+);
+
+/// An extendable-output function: absorb once, squeeze any length.
+pub trait Xof {
+    /// Absorbs more input.
+    fn update(&mut self, data: &[u8]);
+    /// Squeezes the next `out.len()` output bytes.
+    fn squeeze_into(&mut self, out: &mut [u8]);
+    /// Squeezes the next `len` output bytes.
+    fn squeeze(&mut self, len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; len];
+        self.squeeze_into(&mut out);
+        out
+    }
+}
+
+macro_rules! shake_function {
+    ($(#[$doc:meta])* $name:ident, $bits:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone)]
+        pub struct $name<B = ReferenceBackend> {
+            sponge: Sponge<B>,
+        }
+
+        impl $name<ReferenceBackend> {
+            /// Creates an XOF using the software reference backend.
+            pub fn new() -> Self {
+                Self::with_backend(ReferenceBackend::new())
+            }
+
+            /// One-shot: absorb `msg`, squeeze `len` bytes.
+            pub fn digest(msg: &[u8], len: usize) -> Vec<u8> {
+                let mut xof = Self::new();
+                xof.update(msg);
+                xof.squeeze(len)
+            }
+        }
+
+        impl Default for $name<ReferenceBackend> {
+            fn default() -> Self {
+                Self::new()
+            }
+        }
+
+        impl<B: PermutationBackend> $name<B> {
+            /// Creates an XOF over a custom permutation backend.
+            pub fn with_backend(backend: B) -> Self {
+                Self {
+                    sponge: Sponge::new(SpongeParams::shake($bits), backend),
+                }
+            }
+        }
+
+        impl<B: PermutationBackend> Xof for $name<B> {
+            fn update(&mut self, data: &[u8]) {
+                self.sponge.absorb(data);
+            }
+
+            fn squeeze_into(&mut self, out: &mut [u8]) {
+                self.sponge.squeeze_into(out);
+            }
+        }
+
+        impl<B: PermutationBackend> std::io::Write for $name<B> {
+            /// Absorbs the buffer; never errors.
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.update(buf);
+                Ok(buf.len())
+            }
+
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+    };
+}
+
+shake_function!(
+    /// SHAKE128 (FIPS 202 §6.2): 128-bit security XOF, rate 1344 bits.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use krv_sha3::{Shake128, Xof};
+    ///
+    /// let mut xof = Shake128::new();
+    /// xof.update(b"seed");
+    /// let out = xof.squeeze(64);
+    /// assert_eq!(out.len(), 64);
+    /// ```
+    Shake128,
+    128
+);
+shake_function!(
+    /// SHAKE256 (FIPS 202 §6.2): 256-bit security XOF, rate 1088 bits.
+    Shake256,
+    256
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    // FIPS-202 known-answer vectors for the empty message and "abc".
+    #[test]
+    fn sha3_224_kat() {
+        assert_eq!(
+            hex(&Sha3_224::digest(b"")),
+            "6b4e03423667dbb73b6e15454f0eb1abd4597f9a1b078e3f5b5a6bc7"
+        );
+        assert_eq!(
+            hex(&Sha3_224::digest(b"abc")),
+            "e642824c3f8cf24ad09234ee7d3c766fc9a3a5168d0c94ad73b46fdf"
+        );
+    }
+
+    #[test]
+    fn sha3_256_kat() {
+        assert_eq!(
+            hex(&Sha3_256::digest(b"")),
+            "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a"
+        );
+        assert_eq!(
+            hex(&Sha3_256::digest(b"abc")),
+            "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532"
+        );
+    }
+
+    #[test]
+    fn sha3_384_kat() {
+        assert_eq!(
+            hex(&Sha3_384::digest(b"")),
+            "0c63a75b845e4f7d01107d852e4c2485c51a50aaaa94fc61995e71bbee983a2a\
+             c3713831264adb47fb6bd1e058d5f004"
+        );
+        assert_eq!(
+            hex(&Sha3_384::digest(b"abc")),
+            "ec01498288516fc926459f58e2c6ad8df9b473cb0fc08c2596da7cf0e49be4b2\
+             98d88cea927ac7f539f1edf228376d25"
+        );
+    }
+
+    #[test]
+    fn sha3_512_kat() {
+        assert_eq!(
+            hex(&Sha3_512::digest(b"")),
+            "a69f73cca23a9ac5c8b567dc185a756e97c982164fe25859e0d1dcc1475c80a6\
+             15b2123af1f5f94c11e3e9402c3ac558f500199d95b6d3e301758586281dcd26"
+        );
+        assert_eq!(
+            hex(&Sha3_512::digest(b"abc")),
+            "b751850b1a57168a5693cd924b6b096e08f621827444f70d884f5d0240d2712e\
+             10e116e9192af3c91a7ec57647e3934057340b4cf408d5a56592f8274eec53f0"
+        );
+    }
+
+    #[test]
+    fn shake128_kat() {
+        assert_eq!(
+            hex(&Shake128::digest(b"", 32)),
+            "7f9c2ba4e88f827d616045507605853ed73b8093f6efbc88eb1a6eacfa66ef26"
+        );
+    }
+
+    #[test]
+    fn shake256_kat() {
+        assert_eq!(
+            hex(&Shake256::digest(b"", 32)),
+            "46b9dd2b0ba88d13233b3feb743eeb243fcd52ea62b81b82b50c27646ed5762f"
+        );
+    }
+
+    #[test]
+    fn incremental_update_matches_oneshot() {
+        let msg = b"the quick brown fox jumps over the lazy dog";
+        let mut hasher = Sha3_256::new();
+        hasher.update(&msg[..10]);
+        hasher.update(&msg[10..]);
+        assert_eq!(hasher.finalize(), Sha3_256::digest(msg));
+    }
+
+    #[test]
+    fn xof_streaming_matches_oneshot() {
+        let mut xof = Shake256::new();
+        xof.update(b"stream");
+        let mut streamed = xof.squeeze(10);
+        streamed.extend(xof.squeeze(90));
+        assert_eq!(streamed, Shake256::digest(b"stream", 100));
+    }
+
+    #[test]
+    fn hashers_are_io_writers() {
+        use std::io::Write as _;
+        let mut hasher = Sha3_256::new();
+        std::io::copy(&mut &b"abc"[..], &mut hasher).expect("copy into hasher");
+        assert_eq!(hasher.finalize(), Sha3_256::digest(b"abc"));
+        let mut xof = Shake128::new();
+        write!(xof, "{}-{}", "seed", 42).expect("formatted absorb");
+        let mut reference = Shake128::new();
+        reference.update(b"seed-42");
+        assert_eq!(xof.squeeze(32), reference.squeeze(32));
+    }
+
+    #[test]
+    fn long_message_crosses_many_blocks() {
+        let msg = vec![0x61u8; 1_000_000]; // one million 'a's
+        let digest = Sha3_256::digest(&msg);
+        // Well-known "million a" vector for SHA3-256.
+        assert_eq!(
+            hex(&digest),
+            "5c8875ae474a3634ba4fd55ec85bffd661f32aca75c6d699d0cdcb6c115891c1"
+        );
+    }
+}

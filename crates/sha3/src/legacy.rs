@@ -1,0 +1,113 @@
+//! Legacy (pre-FIPS) Keccak hashing.
+//!
+//! Before NIST standardized SHA-3, the original Keccak submission padded
+//! with plain pad10*1 (no `01` domain-separation bits). That variant —
+//! best known today as Ethereum's `keccak256` — exercises the
+//! `DomainSeparator::Keccak` sponge
+//! path and shares everything else with the SHA-3 functions, including
+//! the vector-accelerated backends.
+
+use crate::backend::{PermutationBackend, ReferenceBackend};
+use crate::sponge::{DomainSeparator, Sponge, SpongeParams};
+use krv_keccak::constants::STATE_BYTES;
+
+/// Legacy Keccak-256: 256-bit digest, rate 1088 bits, pad10*1 only.
+///
+/// # Example
+///
+/// ```
+/// use krv_sha3::legacy::Keccak256;
+///
+/// // The well-known Ethereum empty-input digest.
+/// assert_eq!(
+///     krv_sha3::hex(&Keccak256::digest(b"")),
+///     "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct Keccak256<B = ReferenceBackend> {
+    sponge: Sponge<B>,
+}
+
+impl Keccak256<ReferenceBackend> {
+    /// Creates a hasher using the software reference backend.
+    pub fn new() -> Self {
+        Self::with_backend(ReferenceBackend::new())
+    }
+
+    /// One-shot digest of `msg`.
+    pub fn digest(msg: &[u8]) -> [u8; 32] {
+        let mut hasher = Self::new();
+        hasher.update(msg);
+        hasher.finalize()
+    }
+}
+
+impl Default for Keccak256<ReferenceBackend> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<B: PermutationBackend> Keccak256<B> {
+    /// Creates a hasher over a custom permutation backend.
+    pub fn with_backend(backend: B) -> Self {
+        Self {
+            sponge: Sponge::new(
+                SpongeParams::new(STATE_BYTES - 64, DomainSeparator::Keccak),
+                backend,
+            ),
+        }
+    }
+
+    /// Absorbs more message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.sponge.absorb(data);
+    }
+
+    /// Finishes hashing and returns the digest.
+    pub fn finalize(mut self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        self.sponge.squeeze_into(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    #[test]
+    fn empty_input_kat() {
+        assert_eq!(
+            hex(&Keccak256::digest(b"")),
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+        );
+    }
+
+    #[test]
+    fn abc_kat() {
+        assert_eq!(
+            hex(&Keccak256::digest(b"abc")),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"
+        );
+    }
+
+    #[test]
+    fn differs_from_sha3_by_padding_only() {
+        // Same rate and capacity; only the domain byte differs.
+        let legacy = Keccak256::digest(b"padding test");
+        let nist = crate::Sha3_256::digest(b"padding test");
+        assert_ne!(&legacy[..], &nist[..]);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let msg = vec![7u8; 500];
+        let mut hasher = Keccak256::new();
+        hasher.update(&msg[..123]);
+        hasher.update(&msg[123..]);
+        assert_eq!(hasher.finalize(), Keccak256::digest(&msg));
+    }
+}

@@ -1,0 +1,272 @@
+//! NIST SP 800-185 derived functions: cSHAKE and KMAC.
+//!
+//! These build on the same sponge (and therefore run on any
+//! [`PermutationBackend`], including the simulated vector processor):
+//!
+//! * [`CShake128`] / [`CShake256`] — customizable SHAKE with a function
+//!   name `N` and customization string `S`. With both empty, cSHAKE *is*
+//!   SHAKE (SP 800-185 §3.3) — a spec identity the tests assert.
+//! * [`kmac128`] / [`kmac256`] — the Keccak message authentication code.
+
+use crate::backend::{PermutationBackend, ReferenceBackend};
+use crate::functions::Xof;
+use crate::sponge::{DomainSeparator, Sponge, SpongeParams};
+
+/// `left_encode(x)` (SP 800-185 §2.3.1): big-endian bytes of `x`
+/// prefixed with their count.
+fn left_encode(value: u64) -> Vec<u8> {
+    let bytes = value.to_be_bytes();
+    let skip = bytes.iter().take_while(|&&b| b == 0).count().min(7);
+    let mut out = vec![(8 - skip) as u8];
+    out.extend_from_slice(&bytes[skip..]);
+    out
+}
+
+/// `right_encode(x)` (SP 800-185 §2.3.1): big-endian bytes of `x`
+/// suffixed with their count.
+fn right_encode(value: u64) -> Vec<u8> {
+    let bytes = value.to_be_bytes();
+    let skip = bytes.iter().take_while(|&&b| b == 0).count().min(7);
+    let mut out = bytes[skip..].to_vec();
+    out.push((8 - skip) as u8);
+    out
+}
+
+/// `encode_string(S)` (SP 800-185 §2.3.2): bit-length prefix + bytes.
+fn encode_string(s: &[u8]) -> Vec<u8> {
+    let mut out = left_encode(s.len() as u64 * 8);
+    out.extend_from_slice(s);
+    out
+}
+
+/// `bytepad(X, w)` (SP 800-185 §2.3.3): length-prefixed and zero-padded
+/// to a multiple of `w`.
+fn bytepad(x: &[u8], w: usize) -> Vec<u8> {
+    let mut out = left_encode(w as u64);
+    out.extend_from_slice(x);
+    while out.len() % w != 0 {
+        out.push(0);
+    }
+    out
+}
+
+macro_rules! cshake {
+    ($(#[$doc:meta])* $name:ident, $bits:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone)]
+        pub struct $name<B = ReferenceBackend> {
+            sponge: Sponge<B>,
+            /// Plain SHAKE mode (both N and S empty, SP 800-185 §3.3).
+            plain: bool,
+        }
+
+        impl $name<ReferenceBackend> {
+            /// Creates a cSHAKE instance with function name `n` and
+            /// customization string `s` on the reference backend.
+            pub fn new(n: &[u8], s: &[u8]) -> Self {
+                Self::with_backend(n, s, ReferenceBackend::new())
+            }
+
+            /// One-shot: absorb `msg`, squeeze `len` bytes.
+            pub fn digest(n: &[u8], s: &[u8], msg: &[u8], len: usize) -> Vec<u8> {
+                let mut xof = Self::new(n, s);
+                xof.update(msg);
+                xof.squeeze(len)
+            }
+        }
+
+        impl<B: PermutationBackend> $name<B> {
+            /// Creates a cSHAKE instance over a custom backend.
+            pub fn with_backend(n: &[u8], s: &[u8], backend: B) -> Self {
+                let rate = SpongeParams::shake($bits).rate_bytes();
+                let plain = n.is_empty() && s.is_empty();
+                // cSHAKE appends the bits `00` (padded byte 0x04); with
+                // empty N and S it degenerates to plain SHAKE (§3.3).
+                let domain = if plain {
+                    DomainSeparator::Shake
+                } else {
+                    DomainSeparator::CShake
+                };
+                let params = SpongeParams::new(rate, domain);
+                let mut sponge = Sponge::new(params, backend);
+                if !plain {
+                    let mut prefix = encode_string(n);
+                    prefix.extend(encode_string(s));
+                    sponge.absorb(&bytepad(&prefix, rate));
+                }
+                Self { sponge, plain }
+            }
+
+            /// Whether this instance degenerated to plain SHAKE.
+            pub fn is_plain_shake(&self) -> bool {
+                self.plain
+            }
+        }
+
+        impl<B: PermutationBackend> Xof for $name<B> {
+            fn update(&mut self, data: &[u8]) {
+                self.sponge.absorb(data);
+            }
+
+            fn squeeze_into(&mut self, out: &mut [u8]) {
+                self.sponge.squeeze_into(out);
+            }
+        }
+    };
+}
+
+cshake!(
+    /// cSHAKE128 (SP 800-185 §3): 128-bit security customizable XOF.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use krv_sha3::sp800_185::CShake128;
+    /// use krv_sha3::Xof;
+    ///
+    /// let mut xof = CShake128::new(b"", b"Email Signature");
+    /// xof.update(&[0x00, 0x01, 0x02, 0x03]);
+    /// let out = xof.squeeze(32);
+    /// assert_eq!(out.len(), 32);
+    /// ```
+    CShake128,
+    128
+);
+cshake!(
+    /// cSHAKE256 (SP 800-185 §3): 256-bit security customizable XOF.
+    CShake256,
+    256
+);
+
+macro_rules! kmac {
+    ($(#[$doc:meta])* $name:ident, $cshake:ident, $bits:expr) => {
+        $(#[$doc])*
+        pub fn $name(key: &[u8], message: &[u8], output_len: usize, customization: &[u8]) -> Vec<u8> {
+            let rate = SpongeParams::shake($bits).rate_bytes();
+            let mut xof = $cshake::new(b"KMAC", customization);
+            xof.update(&bytepad(&encode_string(key), rate));
+            xof.update(message);
+            xof.update(&right_encode(output_len as u64 * 8));
+            xof.squeeze(output_len)
+        }
+    };
+}
+
+kmac!(
+    /// KMAC128 (SP 800-185 §4).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let tag = krv_sha3::sp800_185::kmac128(b"my key", b"message", 32, b"");
+    /// assert_eq!(tag.len(), 32);
+    /// ```
+    kmac128,
+    CShake128,
+    128
+);
+kmac!(
+    /// KMAC256 (SP 800-185 §4).
+    kmac256,
+    CShake256,
+    256
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions::{Shake128, Shake256};
+    use crate::hex;
+
+    #[test]
+    fn left_encode_spec_examples() {
+        assert_eq!(left_encode(0), vec![1, 0]);
+        assert_eq!(left_encode(168), vec![1, 168]);
+        assert_eq!(left_encode(256), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn right_encode_spec_examples() {
+        assert_eq!(right_encode(0), vec![0, 1]);
+        assert_eq!(right_encode(256), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn encode_string_prefixes_bit_length() {
+        assert_eq!(encode_string(b""), vec![1, 0]);
+        assert_eq!(encode_string(b"ab"), vec![1, 16, b'a', b'b']);
+    }
+
+    #[test]
+    fn bytepad_pads_to_width() {
+        let padded = bytepad(b"xyz", 8);
+        assert_eq!(padded.len(), 8);
+        assert_eq!(&padded[..2], &[1, 8]);
+    }
+
+    #[test]
+    fn cshake_with_empty_names_is_shake() {
+        // SP 800-185 §3.3: cSHAKE(X, L, "", "") = SHAKE(X, L).
+        for msg in [&b""[..], b"abc", b"a longer message for the sponge"] {
+            let mut cshake = CShake128::new(b"", b"");
+            assert!(cshake.is_plain_shake());
+            cshake.update(msg);
+            let mut shake = Shake128::new();
+            shake.update(msg);
+            assert_eq!(cshake.squeeze(64), shake.squeeze(64));
+            let mut cshake = CShake256::new(b"", b"");
+            cshake.update(msg);
+            let mut shake = Shake256::new();
+            shake.update(msg);
+            assert_eq!(cshake.squeeze(64), shake.squeeze(64));
+        }
+    }
+
+    #[test]
+    fn cshake128_nist_sample_one() {
+        // NIST SP 800-185 sample file, cSHAKE128 Sample #1:
+        // X = 00010203, N = "", S = "Email Signature", L = 256.
+        let out = CShake128::digest(b"", b"Email Signature", &[0, 1, 2, 3], 32);
+        assert_eq!(
+            hex(&out),
+            "c1c36925b6409a04f1b504fcbca9d82b4017277cb5ed2b2065fc1d3814d5aaf5"
+        );
+    }
+
+    #[test]
+    fn kmac128_nist_sample_one() {
+        // NIST SP 800-185 sample file, KMAC128 Sample #1:
+        // K = 40..5f, X = 00010203, L = 256, S = "".
+        let key: Vec<u8> = (0x40..=0x5F).collect();
+        let tag = kmac128(&key, &[0, 1, 2, 3], 32, b"");
+        assert_eq!(
+            hex(&tag),
+            "e5780b0d3ea6f7d3a429c5706aa43a00fadbd7d49628839e3187243f456ee14e"
+        );
+    }
+
+    #[test]
+    fn kmac_distinguishes_keys_messages_and_customization() {
+        let base = kmac128(b"key-a", b"message", 32, b"ctx");
+        assert_ne!(base, kmac128(b"key-b", b"message", 32, b"ctx"));
+        assert_ne!(base, kmac128(b"key-a", b"messagf", 32, b"ctx"));
+        assert_ne!(base, kmac128(b"key-a", b"message", 32, b"ctx2"));
+    }
+
+    #[test]
+    fn kmac_output_length_is_bound_into_the_tag() {
+        // Unlike a raw XOF, truncating KMAC(L=64) does not give KMAC(L=32).
+        let long = kmac256(b"key", b"msg", 64, b"");
+        let short = kmac256(b"key", b"msg", 32, b"");
+        assert_ne!(&long[..32], &short[..]);
+    }
+
+    #[test]
+    fn cshake_runs_on_custom_backends() {
+        // Any PermutationBackend works — here the reference one via the
+        // generic constructor, mirroring hardware use.
+        let mut xof = CShake128::with_backend(b"KRV", b"test", ReferenceBackend::new());
+        xof.update(b"data");
+        assert_eq!(xof.squeeze(16).len(), 16);
+    }
+}

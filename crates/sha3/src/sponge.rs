@@ -1,0 +1,312 @@
+//! The sponge construction (paper Figure 1): padding, absorbing, squeezing.
+
+use crate::backend::PermutationBackend;
+use krv_keccak::constants::STATE_BYTES;
+use krv_keccak::KeccakState;
+
+/// Domain-separation suffix appended before the pad10*1 padding.
+///
+/// FIPS 202 distinguishes the hash functions from the XOFs by two extra
+/// bits; combined with the first padding bit these become the byte values
+/// below (bits appended LSB-first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DomainSeparator {
+    /// SHA-3 hash functions: suffix bits `01`, padded byte `0x06`.
+    Sha3,
+    /// SHAKE extendable-output functions: suffix bits `1111`, `0x1F`.
+    Shake,
+    /// cSHAKE with non-empty N/S (SP 800-185): suffix bits `00`, `0x04`.
+    CShake,
+    /// Raw Keccak (pre-FIPS padding): no suffix bits, padded byte `0x01`.
+    Keccak,
+}
+
+impl DomainSeparator {
+    /// The first padding byte: domain bits followed by the initial `1`
+    /// bit of pad10*1.
+    pub const fn first_pad_byte(self) -> u8 {
+        match self {
+            DomainSeparator::Sha3 => 0x06,
+            DomainSeparator::Shake => 0x1F,
+            DomainSeparator::CShake => 0x04,
+            DomainSeparator::Keccak => 0x01,
+        }
+    }
+}
+
+/// Rate/capacity parameters of a sponge instance.
+///
+/// `rate + capacity = 1600` bits; the rate is the number of message bytes
+/// absorbed or squeezed per permutation call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpongeParams {
+    rate_bytes: usize,
+    domain: DomainSeparator,
+}
+
+impl SpongeParams {
+    /// Creates sponge parameters from a rate in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_bytes` is zero or not smaller than the 200-byte
+    /// state (a sponge needs non-zero capacity).
+    pub fn new(rate_bytes: usize, domain: DomainSeparator) -> Self {
+        assert!(
+            rate_bytes > 0 && rate_bytes < STATE_BYTES,
+            "rate must be in 1..200 bytes, got {rate_bytes}"
+        );
+        Self { rate_bytes, domain }
+    }
+
+    /// Parameters for a SHA-3 hash with `digest_bits` output: capacity is
+    /// twice the digest length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `digest_bits` is not a positive multiple of 8 smaller
+    /// than 800.
+    pub fn sha3(digest_bits: usize) -> Self {
+        assert!(
+            digest_bits > 0 && digest_bits % 8 == 0 && digest_bits < 800,
+            "unsupported SHA-3 digest length {digest_bits}"
+        );
+        Self::new(STATE_BYTES - 2 * digest_bits / 8, DomainSeparator::Sha3)
+    }
+
+    /// Parameters for SHAKE with `security_bits` strength (128 or 256).
+    pub fn shake(security_bits: usize) -> Self {
+        Self::new(STATE_BYTES - 2 * security_bits / 8, DomainSeparator::Shake)
+    }
+
+    /// The rate in bytes.
+    pub const fn rate_bytes(&self) -> usize {
+        self.rate_bytes
+    }
+
+    /// The capacity in bytes.
+    pub const fn capacity_bytes(&self) -> usize {
+        STATE_BYTES - self.rate_bytes
+    }
+
+    /// The domain separator.
+    pub const fn domain(&self) -> DomainSeparator {
+        self.domain
+    }
+}
+
+/// An incremental Keccak sponge over a permutation backend.
+///
+/// Drives the three phases of paper Figure 1: message bytes are absorbed
+/// `rate` bytes at a time (with a permutation between blocks), the final
+/// partial block is padded with pad10*1 plus the domain suffix, and output
+/// is squeezed `rate` bytes per permutation.
+///
+/// # Example
+///
+/// ```
+/// use krv_sha3::{Sponge, SpongeParams, DomainSeparator, ReferenceBackend};
+///
+/// let params = SpongeParams::sha3(256);
+/// let mut sponge = Sponge::new(params, ReferenceBackend::new());
+/// sponge.absorb(b"abc");
+/// let digest = sponge.squeeze(32);
+/// assert_eq!(digest.len(), 32);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sponge<B> {
+    params: SpongeParams,
+    backend: B,
+    state: KeccakState,
+    /// Bytes absorbed into the current partial block.
+    absorbed: usize,
+    /// Squeeze offset within the current output block; `None` while
+    /// absorbing.
+    squeeze_offset: Option<usize>,
+}
+
+impl<B: PermutationBackend> Sponge<B> {
+    /// Creates an empty sponge with the given parameters and backend.
+    pub fn new(params: SpongeParams, backend: B) -> Self {
+        Self {
+            params,
+            backend,
+            state: KeccakState::new(),
+            absorbed: 0,
+            squeeze_offset: None,
+        }
+    }
+
+    /// The sponge parameters.
+    pub fn params(&self) -> SpongeParams {
+        self.params
+    }
+
+    /// Read access to the internal state (for tests and diagnostics).
+    pub fn state(&self) -> &KeccakState {
+        &self.state
+    }
+
+    /// Absorbs message bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after squeezing has started: a FIPS-202 sponge is
+    /// not duplex; absorb-after-squeeze is almost always a bug.
+    pub fn absorb(&mut self, mut data: &[u8]) {
+        assert!(
+            self.squeeze_offset.is_none(),
+            "cannot absorb after squeezing has started"
+        );
+        let rate = self.params.rate_bytes;
+        while !data.is_empty() {
+            let take = (rate - self.absorbed).min(data.len());
+            let mut block = [0u8; STATE_BYTES];
+            block[self.absorbed..self.absorbed + take].copy_from_slice(&data[..take]);
+            self.state.xor_bytes(&block[..self.absorbed + take]);
+            self.absorbed += take;
+            data = &data[take..];
+            if self.absorbed == rate {
+                self.backend.permute(&mut self.state);
+                self.absorbed = 0;
+            }
+        }
+    }
+
+    /// Applies domain separation and pad10*1, finishing the absorb phase.
+    ///
+    /// Called automatically by the first [`Sponge::squeeze`]; exposed for
+    /// callers that want to observe the padded pre-squeeze state.
+    pub fn finalize_absorb(&mut self) {
+        if self.squeeze_offset.is_some() {
+            return;
+        }
+        let rate = self.params.rate_bytes;
+        let mut block = vec![0u8; rate];
+        block[self.absorbed] = self.params.domain.first_pad_byte();
+        block[rate - 1] |= 0x80;
+        self.state.xor_bytes(&block);
+        self.backend.permute(&mut self.state);
+        self.absorbed = 0;
+        self.squeeze_offset = Some(0);
+    }
+
+    /// Squeezes `len` output bytes, permuting between rate-sized blocks.
+    ///
+    /// May be called repeatedly; output continues where the previous call
+    /// stopped (XOF behaviour).
+    pub fn squeeze(&mut self, len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; len];
+        self.squeeze_into(&mut out);
+        out
+    }
+
+    /// Squeezes exactly `out.len()` bytes into `out`.
+    pub fn squeeze_into(&mut self, out: &mut [u8]) {
+        self.finalize_absorb();
+        let rate = self.params.rate_bytes;
+        let mut offset = self
+            .squeeze_offset
+            .expect("finalize_absorb sets the squeeze offset");
+        let mut written = 0;
+        while written < out.len() {
+            if offset == rate {
+                self.backend.permute(&mut self.state);
+                offset = 0;
+            }
+            let take = (rate - offset).min(out.len() - written);
+            let bytes = self.state.to_bytes();
+            out[written..written + take].copy_from_slice(&bytes[offset..offset + take]);
+            offset += take;
+            written += take;
+        }
+        self.squeeze_offset = Some(offset);
+    }
+
+    /// Consumes the sponge and returns its backend.
+    pub fn into_backend(self) -> B {
+        self.backend
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::ReferenceBackend;
+
+    fn sha3_256_digest(msg: &[u8]) -> Vec<u8> {
+        let mut sponge = Sponge::new(SpongeParams::sha3(256), ReferenceBackend::new());
+        sponge.absorb(msg);
+        sponge.squeeze(32)
+    }
+
+    #[test]
+    fn params_rates_match_fips202() {
+        assert_eq!(SpongeParams::sha3(224).rate_bytes(), 144);
+        assert_eq!(SpongeParams::sha3(256).rate_bytes(), 136);
+        assert_eq!(SpongeParams::sha3(384).rate_bytes(), 104);
+        assert_eq!(SpongeParams::sha3(512).rate_bytes(), 72);
+        assert_eq!(SpongeParams::shake(128).rate_bytes(), 168);
+        assert_eq!(SpongeParams::shake(256).rate_bytes(), 136);
+    }
+
+    #[test]
+    fn capacity_complements_rate() {
+        let p = SpongeParams::sha3(256);
+        assert_eq!(p.rate_bytes() + p.capacity_bytes(), 200);
+    }
+
+    #[test]
+    fn incremental_absorb_equals_oneshot() {
+        let msg: Vec<u8> = (0..500u32).map(|i| i as u8).collect();
+        let oneshot = sha3_256_digest(&msg);
+        let mut sponge = Sponge::new(SpongeParams::sha3(256), ReferenceBackend::new());
+        for chunk in msg.chunks(7) {
+            sponge.absorb(chunk);
+        }
+        assert_eq!(sponge.squeeze(32), oneshot);
+    }
+
+    #[test]
+    fn incremental_squeeze_equals_oneshot() {
+        let mut a = Sponge::new(SpongeParams::shake(128), ReferenceBackend::new());
+        a.absorb(b"squeeze me");
+        let oneshot = a.squeeze(500);
+        let mut b = Sponge::new(SpongeParams::shake(128), ReferenceBackend::new());
+        b.absorb(b"squeeze me");
+        let mut pieces = Vec::new();
+        for len in [1, 2, 3, 94, 100, 300] {
+            pieces.extend(b.squeeze(len));
+        }
+        assert_eq!(pieces, oneshot);
+    }
+
+    #[test]
+    fn rate_boundary_message_lengths() {
+        // Absorbing exactly rate, rate-1 and rate+1 bytes must all work
+        // (the rate-exact case triggers the extra padding-only block).
+        for len in [135usize, 136, 137, 272] {
+            let msg = vec![0xA5u8; len];
+            let digest = sha3_256_digest(&msg);
+            assert_eq!(digest.len(), 32);
+            // And must differ from neighbouring lengths.
+            let other = sha3_256_digest(&vec![0xA5u8; len + 1]);
+            assert_ne!(digest, other);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot absorb after squeezing")]
+    fn absorb_after_squeeze_panics() {
+        let mut sponge = Sponge::new(SpongeParams::sha3(256), ReferenceBackend::new());
+        sponge.absorb(b"x");
+        let _ = sponge.squeeze(1);
+        sponge.absorb(b"y");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in 1..200")]
+    fn zero_rate_rejected() {
+        let _ = SpongeParams::new(0, DomainSeparator::Sha3);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the sponge and hash layer.
+
+use krv_sha3::{
+    BatchSponge, DomainSeparator, ReferenceBackend, Sha3_224, Sha3_256, Sha3_384, Sha3_512,
+    Shake128, Shake256, Sponge, SpongeParams, Xof,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn chunked_absorption_is_equivalent(
+        message in proptest::collection::vec(any::<u8>(), 0..2000),
+        splits in proptest::collection::vec(0usize..2000, 0..8),
+    ) {
+        let oneshot = Sha3_256::digest(&message);
+        let mut hasher = Sha3_256::new();
+        let mut cuts: Vec<usize> = splits.iter().map(|&s| s % (message.len() + 1)).collect();
+        cuts.sort_unstable();
+        let mut start = 0;
+        for cut in cuts {
+            hasher.update(&message[start..cut.max(start)]);
+            start = cut.max(start);
+        }
+        hasher.update(&message[start..]);
+        prop_assert_eq!(hasher.finalize(), oneshot);
+    }
+
+    #[test]
+    fn chunked_squeezing_is_equivalent(
+        seed in proptest::collection::vec(any::<u8>(), 0..100),
+        lens in proptest::collection::vec(1usize..200, 1..6),
+    ) {
+        let total: usize = lens.iter().sum();
+        let mut reference = Shake128::new();
+        reference.update(&seed);
+        let expected = reference.squeeze(total);
+        let mut xof = Shake128::new();
+        xof.update(&seed);
+        let mut streamed = Vec::new();
+        for len in lens {
+            streamed.extend(xof.squeeze(len));
+        }
+        prop_assert_eq!(streamed, expected);
+    }
+
+    #[test]
+    fn digests_differ_across_functions(message in proptest::collection::vec(any::<u8>(), 0..300)) {
+        // The four hash functions and two XOFs must never collide on
+        // their common 28-byte prefix (they have distinct capacities).
+        let digests: Vec<Vec<u8>> = vec![
+            Sha3_224::digest(&message).to_vec(),
+            Sha3_256::digest(&message).to_vec(),
+            Sha3_384::digest(&message).to_vec(),
+            Sha3_512::digest(&message).to_vec(),
+            Shake128::digest(&message, 28),
+            Shake256::digest(&message, 28),
+        ];
+        for i in 0..digests.len() {
+            for j in i + 1..digests.len() {
+                prop_assert_ne!(&digests[i][..28], &digests[j][..28], "{} vs {}", i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_individual_for_random_inputs(
+        len in 0usize..500,
+        n in 1usize..7,
+        seed in any::<u64>(),
+    ) {
+        let inputs: Vec<Vec<u8>> = (0..n)
+            .map(|i| {
+                (0..len)
+                    .map(|j| (seed.wrapping_mul(i as u64 + 1).wrapping_add(j as u64)) as u8)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[u8]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let mut batch = BatchSponge::new(SpongeParams::shake(128), ReferenceBackend::new(), n);
+        batch.absorb(&refs);
+        let outputs = batch.squeeze(64);
+        for (input, output) in inputs.iter().zip(&outputs) {
+            let mut xof = Shake128::new();
+            xof.update(input);
+            prop_assert_eq!(output.clone(), xof.squeeze(64));
+        }
+    }
+
+    #[test]
+    fn sponge_output_depends_on_domain(message in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let mut outputs = Vec::new();
+        for domain in [DomainSeparator::Sha3, DomainSeparator::Shake, DomainSeparator::Keccak] {
+            let mut sponge = Sponge::new(
+                SpongeParams::new(136, domain),
+                ReferenceBackend::new(),
+            );
+            sponge.absorb(&message);
+            outputs.push(sponge.squeeze(32));
+        }
+        prop_assert_ne!(&outputs[0], &outputs[1]);
+        prop_assert_ne!(&outputs[0], &outputs[2]);
+        prop_assert_ne!(&outputs[1], &outputs[2]);
+    }
+
+    #[test]
+    fn appending_a_byte_changes_the_digest(message in proptest::collection::vec(any::<u8>(), 0..300), extra in any::<u8>()) {
+        let mut extended = message.clone();
+        extended.push(extra);
+        prop_assert_ne!(Sha3_256::digest(&message), Sha3_256::digest(&extended));
+    }
+}

@@ -1,0 +1,145 @@
+//! Processor configuration: the paper's architecture parameters.
+
+use crate::timing::TimingModel;
+
+/// The vector element width (ELEN) of the processor build.
+///
+/// The paper evaluates two builds of the same SIMD processor: a 64-bit
+/// architecture (`ELEN = 64`, §3.1) and a 32-bit architecture
+/// (`ELEN = 32`, §3.2). The scalar core is 32-bit in both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Elen {
+    /// 32-bit vector elements (the paper's 32-bit architecture).
+    Bits32,
+    /// 64-bit vector elements (the paper's 64-bit architecture).
+    Bits64,
+}
+
+impl Elen {
+    /// Element width in bits.
+    pub const fn bits(self) -> u32 {
+        match self {
+            Elen::Bits32 => 32,
+            Elen::Bits64 => 64,
+        }
+    }
+
+    /// Element width in bytes.
+    pub const fn bytes(self) -> u32 {
+        self.bits() / 8
+    }
+}
+
+/// Static configuration of a simulated processor instance.
+///
+/// # Example
+///
+/// ```
+/// use krv_vproc::ProcessorConfig;
+///
+/// // The paper's largest 64-bit configuration: EleNum = 30, 6 states.
+/// let config = ProcessorConfig::elen64(30).with_dmem_bytes(1 << 20);
+/// assert_eq!(config.vlen_bits(), 30 * 64);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessorConfig {
+    /// Vector element width.
+    pub elen: Elen,
+    /// Number of ELEN-wide elements per vector register (the paper's
+    /// `EleNum`; 5 × SN for SN parallel Keccak states).
+    pub elenum: usize,
+    /// Data memory size in bytes.
+    pub dmem_bytes: usize,
+    /// Timing model (defaults to the paper-calibrated model).
+    pub timing: TimingModel,
+    /// Whether to record an execution trace.
+    pub trace: bool,
+}
+
+impl ProcessorConfig {
+    /// A 64-bit architecture with the given `EleNum`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elenum` is zero.
+    pub fn elen64(elenum: usize) -> Self {
+        Self::new(Elen::Bits64, elenum)
+    }
+
+    /// A 32-bit architecture with the given `EleNum`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elenum` is zero.
+    pub fn elen32(elenum: usize) -> Self {
+        Self::new(Elen::Bits32, elenum)
+    }
+
+    /// Creates a configuration with default memory size and timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elenum` is zero.
+    pub fn new(elen: Elen, elenum: usize) -> Self {
+        assert!(elenum > 0, "EleNum must be at least 1");
+        Self {
+            elen,
+            elenum,
+            dmem_bytes: 64 * 1024,
+            timing: TimingModel::paper(),
+            trace: false,
+        }
+    }
+
+    /// Sets the data memory size.
+    pub fn with_dmem_bytes(mut self, bytes: usize) -> Self {
+        self.dmem_bytes = bytes;
+        self
+    }
+
+    /// Replaces the timing model.
+    pub fn with_timing(mut self, timing: TimingModel) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Enables execution tracing.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// The vector register length in bits (`VLEN = EleNum × ELEN`).
+    pub fn vlen_bits(&self) -> usize {
+        self.elenum * self.elen.bits() as usize
+    }
+
+    /// The number of Keccak states the register file can hold
+    /// (`SN = EleNum / 5`).
+    pub fn keccak_states(&self) -> usize {
+        self.elenum / 5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configurations() {
+        for (elenum, states) in [(5, 1), (15, 3), (30, 6)] {
+            let cfg = ProcessorConfig::elen64(elenum);
+            assert_eq!(cfg.keccak_states(), states);
+            assert_eq!(cfg.vlen_bits(), elenum * 64);
+        }
+        let cfg32 = ProcessorConfig::elen32(30);
+        assert_eq!(cfg32.vlen_bits(), 960);
+        assert_eq!(cfg32.keccak_states(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "EleNum must be at least 1")]
+    fn zero_elenum_rejected() {
+        let _ = ProcessorConfig::elen64(0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Execution semantics of vector instructions.
+//!
+//! [`standard`] implements the RVV 1.0 subset; [`custom`] implements the
+//! ten Keccak extensions bit-exactly as specified in paper Tables 1, 3,
+//! 4 and 5 (including the `lmul_cnt` row counter and the column-mode
+//! register-file writes of `vpi`).
+
+pub mod custom;
+pub mod standard;
+
+use crate::trap::Trap;
+use crate::vector::VectorUnit;
+
+/// Sign-extends `value` from the current SEW to 64 bits.
+pub(crate) fn sign_extend_sew(vu: &VectorUnit, value: u64) -> i64 {
+    let bits = vu.vtype().sew().bits();
+    if bits == 64 {
+        value as i64
+    } else {
+        let shift = 64 - bits;
+        ((value << shift) as i64) >> shift
+    }
+}
+
+/// The number of complete 5-element Keccak blocks covered by VL.
+///
+/// The paper's custom instructions operate only on elements
+/// `0 .. 5 × SN − 1` (§3.3); elements beyond are untouched.
+pub(crate) fn keccak_blocks(vu: &VectorUnit) -> usize {
+    vu.vl() as usize / 5
+}
+
+/// Checks that multi-register custom block operations do not straddle
+/// register boundaries: when VL exceeds one register, the per-register
+/// element count must be a multiple of 5 (which the paper guarantees by
+/// choosing `EleNum` as 5 × SN).
+pub(crate) fn check_block_alignment(vu: &VectorUnit) -> Result<(), Trap> {
+    let epr = vu.elements_per_register() as usize;
+    if vu.vl() as usize > epr && epr % 5 != 0 {
+        return Err(Trap::VectorConfig {
+            reason: "multi-register Keccak ops require EleNum to be a multiple of 5",
+        });
+    }
+    Ok(())
+}

@@ -1,0 +1,148 @@
+//! Byte-addressable data memory with little-endian accessors.
+
+use crate::trap::Trap;
+
+/// The simulated data memory of the SoC (paper Figure 3, "Data Mem").
+///
+/// All multi-byte accesses are little-endian and must be naturally
+/// aligned, as on the modelled Ibex core.
+#[derive(Debug, Clone)]
+pub struct DataMemory {
+    bytes: Vec<u8>,
+}
+
+impl DataMemory {
+    /// Creates a zero-initialized memory of `size` bytes.
+    pub fn new(size: usize) -> Self {
+        Self {
+            bytes: vec![0; size],
+        }
+    }
+
+    /// Memory size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the memory has zero size.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    fn check(&self, addr: u32, size: u32) -> Result<usize, Trap> {
+        let addr_usize = addr as usize;
+        if addr % size != 0 {
+            return Err(Trap::MisalignedAccess { addr, size });
+        }
+        if addr_usize + size as usize > self.bytes.len() {
+            return Err(Trap::MemoryAccess { addr, size });
+        }
+        Ok(addr_usize)
+    }
+
+    /// Reads `size` bytes (1, 2, 4 or 8) little-endian.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] for out-of-bounds or misaligned accesses.
+    pub fn read(&self, addr: u32, size: u32) -> Result<u64, Trap> {
+        debug_assert!(matches!(size, 1 | 2 | 4 | 8));
+        let base = self.check(addr, size)?;
+        let mut value = 0u64;
+        for i in (0..size as usize).rev() {
+            value = (value << 8) | self.bytes[base + i] as u64;
+        }
+        Ok(value)
+    }
+
+    /// Writes the low `size` bytes (1, 2, 4 or 8) of `value` little-endian.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] for out-of-bounds or misaligned accesses.
+    pub fn write(&mut self, addr: u32, size: u32, value: u64) -> Result<(), Trap> {
+        debug_assert!(matches!(size, 1 | 2 | 4 | 8));
+        let base = self.check(addr, size)?;
+        for i in 0..size as usize {
+            self.bytes[base + i] = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    /// Copies a byte slice into memory at `addr` (no alignment required).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] if the region exceeds the memory.
+    pub fn write_bytes(&mut self, addr: u32, data: &[u8]) -> Result<(), Trap> {
+        let base = addr as usize;
+        if base + data.len() > self.bytes.len() {
+            return Err(Trap::MemoryAccess {
+                addr,
+                size: data.len() as u32,
+            });
+        }
+        self.bytes[base..base + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads `len` bytes starting at `addr` (no alignment required).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] if the region exceeds the memory.
+    pub fn read_bytes(&self, addr: u32, len: usize) -> Result<Vec<u8>, Trap> {
+        let base = addr as usize;
+        if base + len > self.bytes.len() {
+            return Err(Trap::MemoryAccess {
+                addr,
+                size: len as u32,
+            });
+        }
+        Ok(self.bytes[base..base + len].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn little_endian_round_trip() {
+        let mut mem = DataMemory::new(64);
+        mem.write(8, 8, 0x0102_0304_0506_0708).unwrap();
+        assert_eq!(mem.read(8, 8).unwrap(), 0x0102_0304_0506_0708);
+        assert_eq!(mem.read(8, 1).unwrap(), 0x08);
+        assert_eq!(mem.read(12, 4).unwrap(), 0x0102_0304);
+    }
+
+    #[test]
+    fn misaligned_access_traps() {
+        let mem = DataMemory::new(64);
+        assert_eq!(
+            mem.read(2, 4),
+            Err(Trap::MisalignedAccess { addr: 2, size: 4 })
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_traps() {
+        let mut mem = DataMemory::new(16);
+        assert_eq!(
+            mem.write(16, 4, 0),
+            Err(Trap::MemoryAccess { addr: 16, size: 4 })
+        );
+        assert_eq!(
+            mem.read(16, 8),
+            Err(Trap::MemoryAccess { addr: 16, size: 8 })
+        );
+    }
+
+    #[test]
+    fn byte_slice_helpers() {
+        let mut mem = DataMemory::new(16);
+        mem.write_bytes(3, &[1, 2, 3]).unwrap();
+        assert_eq!(mem.read_bytes(3, 3).unwrap(), vec![1, 2, 3]);
+        assert!(mem.write_bytes(15, &[0, 0]).is_err());
+    }
+}

@@ -1,0 +1,700 @@
+//! The processor: scalar core + vector unit + memories + cycle counter.
+
+use crate::config::ProcessorConfig;
+use crate::exec::{custom, standard};
+use crate::memory::DataMemory;
+use crate::timing::TimingContext;
+use crate::trace::Tracer;
+use crate::trap::Trap;
+use crate::vector::VectorUnit;
+use krv_isa::{BranchKind, Instruction, LoadKind, OpImmKind, OpKind, StoreKind, VReg, XReg};
+
+/// Why the processor stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaltCause {
+    /// `ecall` retired (normal program exit).
+    Ecall,
+    /// `ebreak` retired (breakpoint exit).
+    Ebreak,
+}
+
+/// Summary of a completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Total cycles consumed (per the configured timing model).
+    pub cycles: u64,
+    /// Instructions retired.
+    pub retired: u64,
+    /// What stopped execution.
+    pub halt: HaltCause,
+}
+
+/// The simulated SIMD RISC-V processor (paper Figure 3).
+///
+/// # Example
+///
+/// ```
+/// use krv_vproc::{Processor, ProcessorConfig};
+/// use krv_isa::{Instruction, XReg};
+///
+/// let mut cpu = Processor::new(ProcessorConfig::elen64(5));
+/// cpu.load_program(&[
+///     Instruction::addi(XReg::X10, XReg::X0, 11),
+///     Instruction::Ecall,
+/// ]);
+/// let summary = cpu.run(100)?;
+/// assert_eq!(cpu.xreg(XReg::X10), 11);
+/// assert_eq!(summary.retired, 2);
+/// # Ok::<(), krv_vproc::Trap>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Processor {
+    config: ProcessorConfig,
+    program: Vec<Instruction>,
+    pc: u32,
+    xregs: [u32; 32],
+    vu: VectorUnit,
+    dmem: DataMemory,
+    cycles: u64,
+    retired: u64,
+    retired_vector: u64,
+    halted: Option<HaltCause>,
+    tracer: Tracer,
+}
+
+impl Processor {
+    /// Creates a processor with zeroed state and empty program memory.
+    pub fn new(config: ProcessorConfig) -> Self {
+        let vu = VectorUnit::new(config.elen, config.elenum);
+        let dmem = DataMemory::new(config.dmem_bytes);
+        let tracer = Tracer::new(config.trace);
+        Self {
+            config,
+            program: Vec::new(),
+            pc: 0,
+            xregs: [0; 32],
+            vu,
+            dmem,
+            cycles: 0,
+            retired: 0,
+            retired_vector: 0,
+            halted: None,
+            tracer,
+        }
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &ProcessorConfig {
+        &self.config
+    }
+
+    /// Loads a program into instruction memory and resets the PC.
+    pub fn load_program(&mut self, instructions: &[Instruction]) {
+        self.program = instructions.to_vec();
+        self.pc = 0;
+        self.halted = None;
+    }
+
+    /// Decodes and loads raw machine words (e.g. from a hex file).
+    ///
+    /// # Errors
+    ///
+    /// Returns the word index and [`krv_isa::DecodeError`] of the first
+    /// undecodable word; the program memory is left unchanged.
+    pub fn load_program_words(
+        &mut self,
+        words: &[u32],
+    ) -> Result<(), (usize, krv_isa::DecodeError)> {
+        let decoded = krv_isa::decode::decode_all(words)?;
+        self.load_program(&decoded);
+        Ok(())
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Sets the program counter (e.g. to re-enter a kernel).
+    pub fn set_pc(&mut self, pc: u32) {
+        self.pc = pc;
+        self.halted = None;
+    }
+
+    /// Cycles consumed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Vector instructions retired so far (configuration, memory,
+    /// arithmetic and custom ops — paper Figure 3's vector unit).
+    pub fn retired_vector(&self) -> u64 {
+        self.retired_vector
+    }
+
+    /// Scalar instructions retired so far.
+    pub fn retired_scalar(&self) -> u64 {
+        self.retired - self.retired_vector
+    }
+
+    /// Resets the cycle and retired-instruction counters (the program,
+    /// registers and memories are untouched).
+    pub fn reset_counters(&mut self) {
+        self.cycles = 0;
+        self.retired = 0;
+        self.retired_vector = 0;
+    }
+
+    /// Reads a scalar register (`x0` reads as zero).
+    pub fn xreg(&self, reg: XReg) -> u32 {
+        if reg == XReg::X0 {
+            0
+        } else {
+            self.xregs[reg.index()]
+        }
+    }
+
+    /// Writes a scalar register (writes to `x0` are ignored).
+    pub fn set_xreg(&mut self, reg: XReg, value: u32) {
+        if reg != XReg::X0 {
+            self.xregs[reg.index()] = value;
+        }
+    }
+
+    /// Shared access to the vector unit.
+    pub fn vector_unit(&self) -> &VectorUnit {
+        &self.vu
+    }
+
+    /// Mutable access to the vector unit (state setup in tests/drivers).
+    pub fn vector_unit_mut(&mut self) -> &mut VectorUnit {
+        &mut self.vu
+    }
+
+    /// Shared access to the data memory.
+    pub fn dmem(&self) -> &DataMemory {
+        &self.dmem
+    }
+
+    /// Mutable access to the data memory.
+    pub fn dmem_mut(&mut self) -> &mut DataMemory {
+        &mut self.dmem
+    }
+
+    /// The execution trace (empty unless tracing was enabled).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Whether the processor has halted.
+    pub fn halted(&self) -> Option<HaltCause> {
+        self.halted
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] on fetch/memory/configuration faults. A halted
+    /// processor returns `Ok(None)` without advancing.
+    pub fn step(&mut self) -> Result<Option<HaltCause>, Trap> {
+        if let Some(cause) = self.halted {
+            return Ok(Some(cause));
+        }
+        let index = (self.pc / 4) as usize;
+        if self.pc % 4 != 0 || index >= self.program.len() {
+            return Err(Trap::InstructionFetch { pc: self.pc });
+        }
+        let instr = self.program[index];
+        let pc = self.pc;
+        let mut next_pc = self.pc.wrapping_add(4);
+        let mut ctx = TimingContext {
+            branch_taken: false,
+            active_groups: self.active_groups(),
+            vl: self.vu.vl(),
+        };
+
+        match instr {
+            Instruction::Lui { rd, imm } => self.set_xreg(rd, imm as u32),
+            Instruction::Auipc { rd, imm } => self.set_xreg(rd, pc.wrapping_add(imm as u32)),
+            Instruction::Jal { rd, offset } => {
+                self.set_xreg(rd, pc.wrapping_add(4));
+                next_pc = pc.wrapping_add(offset as u32);
+            }
+            Instruction::Jalr { rd, rs1, offset } => {
+                let target = self.xreg(rs1).wrapping_add(offset as u32) & !1;
+                self.set_xreg(rd, pc.wrapping_add(4));
+                next_pc = target;
+            }
+            Instruction::Branch {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let (a, b) = (self.xreg(rs1), self.xreg(rs2));
+                let taken = match kind {
+                    BranchKind::Beq => a == b,
+                    BranchKind::Bne => a != b,
+                    BranchKind::Blt => (a as i32) < (b as i32),
+                    BranchKind::Bge => (a as i32) >= (b as i32),
+                    BranchKind::Bltu => a < b,
+                    BranchKind::Bgeu => a >= b,
+                };
+                if taken {
+                    next_pc = pc.wrapping_add(offset as u32);
+                }
+                ctx.branch_taken = taken;
+            }
+            Instruction::Load {
+                kind,
+                rd,
+                rs1,
+                offset,
+            } => {
+                let addr = self.xreg(rs1).wrapping_add(offset as u32);
+                let value = match kind {
+                    LoadKind::Lb => self.dmem.read(addr, 1)? as i8 as i32 as u32,
+                    LoadKind::Lbu => self.dmem.read(addr, 1)? as u32,
+                    LoadKind::Lh => self.dmem.read(addr, 2)? as i16 as i32 as u32,
+                    LoadKind::Lhu => self.dmem.read(addr, 2)? as u32,
+                    LoadKind::Lw => self.dmem.read(addr, 4)? as u32,
+                };
+                self.set_xreg(rd, value);
+            }
+            Instruction::Store {
+                kind,
+                rs2,
+                rs1,
+                offset,
+            } => {
+                let addr = self.xreg(rs1).wrapping_add(offset as u32);
+                let value = self.xreg(rs2) as u64;
+                match kind {
+                    StoreKind::Sb => self.dmem.write(addr, 1, value)?,
+                    StoreKind::Sh => self.dmem.write(addr, 2, value)?,
+                    StoreKind::Sw => self.dmem.write(addr, 4, value)?,
+                }
+            }
+            Instruction::OpImm { kind, rd, rs1, imm } => {
+                let a = self.xreg(rs1);
+                let b = imm as u32;
+                let value = match kind {
+                    OpImmKind::Addi => a.wrapping_add(b),
+                    OpImmKind::Slti => ((a as i32) < (b as i32)) as u32,
+                    OpImmKind::Sltiu => (a < b) as u32,
+                    OpImmKind::Xori => a ^ b,
+                    OpImmKind::Ori => a | b,
+                    OpImmKind::Andi => a & b,
+                    OpImmKind::Slli => a.wrapping_shl(b & 31),
+                    OpImmKind::Srli => a.wrapping_shr(b & 31),
+                    OpImmKind::Srai => ((a as i32) >> (b & 31)) as u32,
+                };
+                self.set_xreg(rd, value);
+            }
+            Instruction::Op { kind, rd, rs1, rs2 } => {
+                let a = self.xreg(rs1);
+                let b = self.xreg(rs2);
+                let value = match kind {
+                    OpKind::Add => a.wrapping_add(b),
+                    OpKind::Sub => a.wrapping_sub(b),
+                    OpKind::Sll => a.wrapping_shl(b & 31),
+                    OpKind::Slt => ((a as i32) < (b as i32)) as u32,
+                    OpKind::Sltu => (a < b) as u32,
+                    OpKind::Xor => a ^ b,
+                    OpKind::Srl => a.wrapping_shr(b & 31),
+                    OpKind::Sra => ((a as i32) >> (b & 31)) as u32,
+                    OpKind::Or => a | b,
+                    OpKind::And => a & b,
+                    OpKind::Mul => a.wrapping_mul(b),
+                    OpKind::Mulh => ((a as i32 as i64).wrapping_mul(b as i32 as i64) >> 32) as u32,
+                    OpKind::Mulhsu => ((a as i32 as i64).wrapping_mul(b as i64) >> 32) as u32,
+                    OpKind::Mulhu => ((a as u64).wrapping_mul(b as u64) >> 32) as u32,
+                    OpKind::Div => {
+                        if b == 0 {
+                            u32::MAX
+                        } else if a == 0x8000_0000 && b == u32::MAX {
+                            a
+                        } else {
+                            ((a as i32) / (b as i32)) as u32
+                        }
+                    }
+                    OpKind::Divu => {
+                        if b == 0 {
+                            u32::MAX
+                        } else {
+                            a / b
+                        }
+                    }
+                    OpKind::Rem => {
+                        if b == 0 {
+                            a
+                        } else if a == 0x8000_0000 && b == u32::MAX {
+                            0
+                        } else {
+                            ((a as i32) % (b as i32)) as u32
+                        }
+                    }
+                    OpKind::Remu => {
+                        if b == 0 {
+                            a
+                        } else {
+                            a % b
+                        }
+                    }
+                };
+                self.set_xreg(rd, value);
+            }
+            Instruction::Csrr { rd, csr } => {
+                let value = match csr {
+                    krv_isa::Csr::Vl => self.vu.vl(),
+                    krv_isa::Csr::Vtype => self.vu.vtype().zimm(),
+                    krv_isa::Csr::Vlenb => self.vu.reg_bytes() as u32,
+                    krv_isa::Csr::Cycle => self.cycles as u32,
+                    krv_isa::Csr::Instret => self.retired as u32,
+                };
+                self.set_xreg(rd, value);
+            }
+            Instruction::Ecall => self.halted = Some(HaltCause::Ecall),
+            Instruction::Ebreak => self.halted = Some(HaltCause::Ebreak),
+            Instruction::Vsetvli { rd, rs1, vtype } => {
+                // AVL selection per RVV 1.0: rs1 != x0 → x[rs1]; rs1 == x0
+                // and rd != x0 → VLMAX; both x0 → keep current VL.
+                let avl = if rs1 != XReg::X0 {
+                    self.xreg(rs1)
+                } else if rd != XReg::X0 {
+                    u32::MAX
+                } else {
+                    self.vu.vl()
+                };
+                let granted = self.vu.set_config(avl, vtype)?;
+                self.set_xreg(rd, granted);
+                // The new configuration determines this instruction's own
+                // group occupancy downstream; vsetvli itself is flat-cost.
+            }
+            Instruction::VLoad {
+                eew,
+                vd,
+                rs1,
+                mode,
+                vm,
+            } => {
+                standard::vload(
+                    &mut self.vu,
+                    &self.dmem,
+                    eew,
+                    vd,
+                    rs1,
+                    mode,
+                    vm,
+                    &self.xregs,
+                )?;
+                ctx.active_groups = self.active_groups();
+            }
+            Instruction::VStore {
+                eew,
+                vs3,
+                rs1,
+                mode,
+                vm,
+            } => {
+                standard::vstore(
+                    &self.vu,
+                    &mut self.dmem,
+                    eew,
+                    vs3,
+                    rs1,
+                    mode,
+                    vm,
+                    &self.xregs,
+                )?;
+            }
+            Instruction::VArith {
+                op,
+                vd,
+                vs2,
+                src,
+                vm,
+            } => {
+                standard::varith(&mut self.vu, op, vd, vs2, src, vm, &self.xregs)?;
+            }
+            Instruction::VmvXs { rd, vs2 } => {
+                let value = standard::vmv_xs(&self.vu, vs2);
+                self.set_xreg(rd, value);
+            }
+            Instruction::VmvSx { vd, rs1 } => {
+                let value = self.xreg(rs1);
+                standard::vmv_sx(&mut self.vu, vd, value);
+            }
+            Instruction::Vid { vd, vm } => standard::vid(&mut self.vu, vd, vm),
+            Instruction::Custom(op) => custom::execute(&mut self.vu, &op, &self.xregs)?,
+        }
+
+        let cost = self.config.timing.cost(&instr, ctx);
+        self.cycles += cost;
+        self.retired += 1;
+        if instr.is_vector() {
+            self.retired_vector += 1;
+        }
+        self.tracer.record(pc, instr, cost, self.cycles);
+        self.pc = next_pc;
+        Ok(self.halted)
+    }
+
+    /// Runs until the program halts via `ecall`/`ebreak`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] on execution faults, or [`Trap::CycleLimit`] if
+    /// `max_cycles` elapse first.
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunSummary, Trap> {
+        while self.halted.is_none() {
+            if self.cycles >= max_cycles {
+                return Err(Trap::CycleLimit { limit: max_cycles });
+            }
+            self.step()?;
+        }
+        Ok(RunSummary {
+            cycles: self.cycles,
+            retired: self.retired,
+            halt: self.halted.expect("loop exits only when halted"),
+        })
+    }
+
+    /// Runs until the PC reaches `target` (checked before each fetch).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] on execution faults, [`Trap::CycleLimit`] if the
+    /// budget elapses, or [`Trap::InstructionFetch`] if the program halts
+    /// before reaching `target`.
+    pub fn run_until_pc(&mut self, target: u32, max_cycles: u64) -> Result<(), Trap> {
+        while self.pc != target {
+            if self.cycles >= max_cycles {
+                return Err(Trap::CycleLimit { limit: max_cycles });
+            }
+            if self.halted.is_some() {
+                return Err(Trap::InstructionFetch { pc: self.pc });
+            }
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// `ceil(VL / elements_per_register)`, at least 1 — the number of
+    /// register groups a vector instruction occupies (the paper's
+    /// `lmul_cnt` iteration count).
+    fn active_groups(&self) -> u32 {
+        let epr = self.vu.elements_per_register().max(1);
+        self.vu.vl().div_ceil(epr).max(1)
+    }
+
+    /// Convenience: reads `count` vector elements of the group at `base`.
+    pub fn read_vector(&self, base: VReg, count: usize) -> Vec<u64> {
+        (0..count).map(|i| self.vu.read_elem(base, i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProcessorConfig;
+    use krv_asm::assemble;
+
+    fn run_asm(source: &str) -> Processor {
+        let program = assemble(source).expect("assembles");
+        let mut cpu = Processor::new(ProcessorConfig::elen64(10));
+        cpu.load_program(program.instructions());
+        cpu.run(1_000_000).expect("runs");
+        cpu
+    }
+
+    #[test]
+    fn arithmetic_program() {
+        let cpu = run_asm("li a0, 6\nli a1, 7\nmul a2, a0, a1\necall");
+        assert_eq!(cpu.xreg(XReg::X12), 42);
+    }
+
+    #[test]
+    fn loop_with_counter() {
+        let cpu = run_asm(
+            "li t0, 0\nli t1, 10\nli a0, 0\nloop:\naddi a0, a0, 3\naddi t0, t0, 1\nblt t0, t1, loop\necall",
+        );
+        assert_eq!(cpu.xreg(XReg::X10), 30);
+    }
+
+    #[test]
+    fn memory_round_trip() {
+        let cpu = run_asm("li t0, 0x1234\nli t1, 64\nsw t0, 8(t1)\nlw a0, 8(t1)\necall");
+        assert_eq!(cpu.xreg(XReg::X10), 0x1234);
+    }
+
+    #[test]
+    fn signed_byte_load_sign_extends() {
+        let cpu = run_asm("li t0, -1\nsb t0, 0(zero)\nlb a0, 0(zero)\nlbu a1, 0(zero)\necall");
+        assert_eq!(cpu.xreg(XReg::X10), u32::MAX);
+        assert_eq!(cpu.xreg(XReg::X11), 0xFF);
+    }
+
+    #[test]
+    fn division_edge_cases_match_rv32m() {
+        let cpu = run_asm(
+            "li a0, 7\nli a1, 0\ndiv a2, a0, a1\nrem a3, a0, a1\nli a4, -2147483648\nli a5, -1\ndiv a6, a4, a5\necall",
+        );
+        assert_eq!(cpu.xreg(XReg::X12), u32::MAX, "div by zero is -1");
+        assert_eq!(cpu.xreg(XReg::X13), 7, "rem by zero is dividend");
+        assert_eq!(
+            cpu.xreg(XReg::X16),
+            0x8000_0000,
+            "overflow returns dividend"
+        );
+    }
+
+    #[test]
+    fn jal_and_ret() {
+        let cpu = run_asm("li a0, 1\njal ra, func\nli a1, 3\necall\nfunc:\nli a0, 2\nret");
+        assert_eq!(cpu.xreg(XReg::X10), 2);
+        assert_eq!(cpu.xreg(XReg::X11), 3);
+    }
+
+    #[test]
+    fn vsetvli_grants_and_clamps() {
+        let cpu = run_asm("li s1, 100\nvsetvli a0, s1, e64, m1, tu, mu\necall");
+        assert_eq!(cpu.xreg(XReg::X10), 10, "clamped to EleNum");
+        assert_eq!(cpu.vector_unit().vl(), 10);
+    }
+
+    #[test]
+    fn vsetvli_x0_x0_keeps_vl() {
+        let cpu = run_asm(
+            "li s1, 7\nvsetvli x0, s1, e64, m1, tu, mu\nvsetvli x0, x0, e64, m8, tu, mu\necall",
+        );
+        assert_eq!(cpu.vector_unit().vl(), 7, "vl preserved across re-config");
+    }
+
+    #[test]
+    fn vector_load_compute_store() {
+        let source = r"
+            li a0, 0          # input base
+            li a1, 512        # output base
+            li s1, 10
+            vsetvli x0, s1, e64, m1, tu, mu
+            vle64.v v1, (a0)
+            vadd.vi v1, v1, 5
+            vse64.v v1, (a1)
+            ecall
+        ";
+        let program = assemble(source).unwrap();
+        let mut cpu = Processor::new(ProcessorConfig::elen64(10));
+        for i in 0..10u32 {
+            cpu.dmem_mut().write(i * 8, 8, i as u64 * 100).unwrap();
+        }
+        cpu.load_program(program.instructions());
+        cpu.run(10_000).unwrap();
+        for i in 0..10u32 {
+            assert_eq!(cpu.dmem().read(512 + i * 8, 8).unwrap(), i as u64 * 100 + 5);
+        }
+    }
+
+    #[test]
+    fn cycle_accounting_follows_model() {
+        // addi (1) + addi (1) + vsetvli (2) + vxor LMUL1 (2) + ecall (1) = 7.
+        let cpu = run_asm(
+            "li s1, 10\nli s2, -1\nvsetvli x0, s1, e64, m1, tu, mu\nvxor.vv v1, v2, v3\necall",
+        );
+        assert_eq!(cpu.cycles(), 7);
+    }
+
+    #[test]
+    fn lmul8_vector_op_costs_six_cycles() {
+        // VL = 5 × EleNum = 50 → 5 groups → 1 + 5 = 6 cc for the vxor.
+        let cpu = run_asm("li s5, 50\nvsetvli x0, s5, e64, m8, tu, mu\nvxor.vv v8, v8, v8\necall");
+        // li (1) + vsetvli (2) + vxor (6) + ecall (1) = 10.
+        assert_eq!(cpu.cycles(), 10);
+    }
+
+    #[test]
+    fn cycle_limit_trap() {
+        let program = assemble("loop:\nj loop").unwrap();
+        let mut cpu = Processor::new(ProcessorConfig::elen64(5));
+        cpu.load_program(program.instructions());
+        assert!(matches!(cpu.run(100), Err(Trap::CycleLimit { .. })));
+    }
+
+    #[test]
+    fn fetch_past_end_traps() {
+        let program = assemble("nop").unwrap();
+        let mut cpu = Processor::new(ProcessorConfig::elen64(5));
+        cpu.load_program(program.instructions());
+        cpu.step().unwrap();
+        assert!(matches!(cpu.step(), Err(Trap::InstructionFetch { pc: 4 })));
+    }
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let cpu = run_asm("addi x0, x0, 5\nadd a0, x0, x0\necall");
+        assert_eq!(cpu.xreg(XReg::X10), 0);
+        assert_eq!(cpu.xreg(XReg::X0), 0);
+    }
+
+    #[test]
+    fn run_until_pc_stops_before_target() {
+        let program = assemble("li a0, 1\nli a0, 2\nli a0, 3\necall").unwrap();
+        let mut cpu = Processor::new(ProcessorConfig::elen64(5));
+        cpu.load_program(program.instructions());
+        cpu.run_until_pc(8, 100).unwrap();
+        assert_eq!(cpu.xreg(XReg::X10), 2);
+    }
+
+    #[test]
+    fn machine_words_load_and_run() {
+        let program = assemble("li a0, 3\nslli a0, a0, 4\necall").unwrap();
+        let words = program.machine_code();
+        let mut cpu = Processor::new(ProcessorConfig::elen64(5));
+        cpu.load_program_words(&words).expect("decodes");
+        cpu.run(100).unwrap();
+        assert_eq!(cpu.xreg(XReg::X10), 48);
+        // A bad word is rejected with its index, program untouched.
+        assert!(cpu.load_program_words(&[0x0000_0013, 0xFFFF_FFFF]).is_err());
+        assert_eq!(cpu.xreg(XReg::X10), 48);
+    }
+
+    #[test]
+    fn csr_reads() {
+        let cpu = run_asm(
+            "li s1, 7\nvsetvli x0, s1, e64, m1, tu, mu\ncsrr a0, vl\ncsrr a1, vlenb\ncsrr a2, cycle\ncsrr a3, instret\necall",
+        );
+        assert_eq!(cpu.xreg(XReg::X10), 7, "vl");
+        assert_eq!(cpu.xreg(XReg::X11), 80, "vlenb = 10 × 8 bytes");
+        assert!(cpu.xreg(XReg::X12) >= 3, "cycle counter advanced");
+        assert_eq!(
+            cpu.xreg(XReg::X13),
+            5,
+            "instret counts previously retired instructions"
+        );
+    }
+
+    #[test]
+    fn instruction_mix_counters() {
+        let cpu = run_asm(
+            "li s1, 10\nvsetvli x0, s1, e64, m1, tu, mu\nvxor.vv v1, v2, v3\nvxor.vv v1, v1, v3\necall",
+        );
+        assert_eq!(cpu.retired(), 5);
+        assert_eq!(cpu.retired_vector(), 3, "vsetvli + two vxor");
+        assert_eq!(cpu.retired_scalar(), 2, "li + ecall");
+    }
+
+    #[test]
+    fn trace_records_when_enabled() {
+        let program = assemble("nop\necall").unwrap();
+        let mut cpu = Processor::new(ProcessorConfig::elen64(5).with_trace());
+        cpu.load_program(program.instructions());
+        cpu.run(100).unwrap();
+        assert_eq!(cpu.tracer().entries().len(), 2);
+    }
+}

@@ -1,0 +1,258 @@
+//! The cycle-cost model, calibrated to the paper's reported counts.
+//!
+//! The paper annotates its kernels with per-instruction cycle costs
+//! (Algorithms 2 and 3): an LMUL=1 vector ALU instruction takes 2 cycles
+//! and an LMUL=8 instruction 6 cycles, `vpi` takes 3 and 7 cycles, and
+//! `vsetvli` takes 2 cycles. Those numbers are consistent with the model
+//!
+//! ```text
+//! cycles(vector op) = issue_overhead + active_register_groups
+//! active_register_groups = ceil(VL / elements_per_register)
+//! ```
+//!
+//! with `issue_overhead = 1` for ordinary vector instructions and 2 for
+//! `vpi` (which drives the column-mode write port): the LMUL=8 kernels
+//! set `VL = 5 × EleNum`, so five register groups are active and
+//! `1 + 5 = 6` / `2 + 5 = 7`; LMUL=1 kernels have one active group
+//! (`1 + 1 = 2` / `2 + 1 = 3`).
+//!
+//! Scalar costs follow the 2-stage Ibex core: 1 cycle per ALU
+//! instruction, 2 for a taken branch or jump, 2 for a load/store.
+
+use krv_isa::{BranchKind, Instruction, MemMode};
+
+/// Context the cost of an instruction depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingContext {
+    /// Whether a branch was taken (branches only).
+    pub branch_taken: bool,
+    /// `ceil(VL / elements_per_register)` at execution time (vector only).
+    pub active_groups: u32,
+    /// VL at execution time (vector only; element-serial memory modes).
+    pub vl: u32,
+}
+
+impl Default for TimingContext {
+    fn default() -> Self {
+        Self {
+            branch_taken: false,
+            active_groups: 1,
+            vl: 0,
+        }
+    }
+}
+
+/// Per-class cycle costs of the simulated processor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimingModel {
+    /// Scalar ALU / lui / auipc.
+    pub scalar_alu: u64,
+    /// Scalar load or store.
+    pub scalar_mem: u64,
+    /// Taken branch penalty-inclusive cost.
+    pub branch_taken: u64,
+    /// Not-taken branch cost.
+    pub branch_not_taken: u64,
+    /// Unconditional jump (`jal` / `jalr`).
+    pub jump: u64,
+    /// Scalar multiply.
+    pub mul: u64,
+    /// Scalar divide/remainder.
+    pub div: u64,
+    /// `ecall` / `ebreak`.
+    pub system: u64,
+    /// `vsetvli`.
+    pub vsetvli: u64,
+    /// Issue overhead of an ordinary vector instruction (added to the
+    /// number of active register groups).
+    pub vector_issue: u64,
+    /// Issue overhead of `vpi` (column-mode writeback port).
+    pub vpi_issue: u64,
+    /// Per-group transfer cost of a unit-stride vector load/store (added
+    /// to the 1-cycle issue).
+    pub vmem_unit_per_group: u64,
+    /// Per-element cost of strided/indexed vector loads/stores (added to
+    /// the 1-cycle issue).
+    pub vmem_elem: u64,
+}
+
+impl TimingModel {
+    /// The paper-calibrated model (see module docs).
+    pub const fn paper() -> Self {
+        Self {
+            scalar_alu: 1,
+            scalar_mem: 2,
+            branch_taken: 2,
+            branch_not_taken: 1,
+            jump: 2,
+            mul: 1,
+            div: 8,
+            system: 1,
+            vsetvli: 2,
+            vector_issue: 1,
+            vpi_issue: 2,
+            vmem_unit_per_group: 2,
+            vmem_elem: 1,
+        }
+    }
+
+    /// A unit model: every instruction costs one cycle (useful to count
+    /// retired instructions, e.g. to compare against Rawat et al.'s
+    /// one-instruction-per-cycle figure).
+    pub const fn unit() -> Self {
+        Self {
+            scalar_alu: 1,
+            scalar_mem: 1,
+            branch_taken: 1,
+            branch_not_taken: 1,
+            jump: 1,
+            mul: 1,
+            div: 1,
+            system: 1,
+            vsetvli: 1,
+            vector_issue: 0,
+            vpi_issue: 0,
+            vmem_unit_per_group: 0,
+            vmem_elem: 0,
+        }
+    }
+
+    /// The cycle cost of `instr` under `ctx`.
+    pub fn cost(&self, instr: &Instruction, ctx: TimingContext) -> u64 {
+        match instr {
+            Instruction::Lui { .. } | Instruction::Auipc { .. } => self.scalar_alu,
+            Instruction::Jal { .. } | Instruction::Jalr { .. } => self.jump,
+            Instruction::Branch { .. } => {
+                if ctx.branch_taken {
+                    self.branch_taken
+                } else {
+                    self.branch_not_taken
+                }
+            }
+            Instruction::Load { .. } | Instruction::Store { .. } => self.scalar_mem,
+            Instruction::OpImm { .. } => self.scalar_alu,
+            Instruction::Op { kind, .. } => match kind {
+                krv_isa::OpKind::Mul
+                | krv_isa::OpKind::Mulh
+                | krv_isa::OpKind::Mulhsu
+                | krv_isa::OpKind::Mulhu => self.mul,
+                krv_isa::OpKind::Div
+                | krv_isa::OpKind::Divu
+                | krv_isa::OpKind::Rem
+                | krv_isa::OpKind::Remu => self.div,
+                _ => self.scalar_alu,
+            },
+            Instruction::Csrr { .. } => self.scalar_alu,
+            Instruction::Ecall | Instruction::Ebreak => self.system,
+            Instruction::Vsetvli { .. } => self.vsetvli,
+            Instruction::VLoad { mode, .. } | Instruction::VStore { mode, .. } => match mode {
+                MemMode::UnitStride => 1 + self.vmem_unit_per_group * ctx.active_groups as u64,
+                MemMode::Strided(_) | MemMode::Indexed(_) => 1 + self.vmem_elem * ctx.vl as u64,
+            },
+            Instruction::VArith { .. }
+            | Instruction::VmvXs { .. }
+            | Instruction::VmvSx { .. }
+            | Instruction::Vid { .. } => self.vector_issue + ctx.active_groups as u64,
+            Instruction::Custom(op) => {
+                let issue = if matches!(
+                    op,
+                    krv_isa::CustomOp::Vpi { .. } | krv_isa::CustomOp::Vrhopi { .. }
+                ) {
+                    self.vpi_issue
+                } else {
+                    self.vector_issue
+                };
+                issue + ctx.active_groups as u64
+            }
+        }
+    }
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// `BranchKind` is re-exported for convenience in timing tests.
+pub type Branch = BranchKind;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krv_isa::{CustomOp, RhoRow, VArithOp, VReg, VSource, XReg};
+
+    fn ctx(groups: u32) -> TimingContext {
+        TimingContext {
+            branch_taken: false,
+            active_groups: groups,
+            vl: groups * 10,
+        }
+    }
+
+    #[test]
+    fn paper_algorithm2_costs() {
+        let t = TimingModel::paper();
+        let vxor =
+            Instruction::varith(VArithOp::Xor, VReg::V5, VReg::V3, VSource::Vector(VReg::V4));
+        assert_eq!(t.cost(&vxor, ctx(1)), 2, "LMUL=1 vector ALU is 2 cc");
+        let vpi = Instruction::from(CustomOp::Vpi {
+            vd: VReg::V5,
+            vs2: VReg::V0,
+            row: RhoRow::Row(0),
+            vm: true,
+        });
+        assert_eq!(t.cost(&vpi, ctx(1)), 3, "LMUL=1 vpi is 3 cc");
+        let vsetvli = Instruction::Vsetvli {
+            rd: XReg::X0,
+            rs1: XReg::X9,
+            vtype: krv_isa::Vtype::new(krv_isa::Sew::E64, krv_isa::Lmul::M1),
+        };
+        assert_eq!(t.cost(&vsetvli, ctx(1)), 2, "vsetvli is 2 cc");
+    }
+
+    #[test]
+    fn paper_algorithm3_costs() {
+        let t = TimingModel::paper();
+        let rho = Instruction::from(CustomOp::V64rho {
+            vd: VReg::V0,
+            vs2: VReg::V0,
+            row: RhoRow::All,
+            vm: true,
+        });
+        assert_eq!(t.cost(&rho, ctx(5)), 6, "LMUL=8 (5 active groups) is 6 cc");
+        let vpi = Instruction::from(CustomOp::Vpi {
+            vd: VReg::V8,
+            vs2: VReg::V0,
+            row: RhoRow::All,
+            vm: true,
+        });
+        assert_eq!(t.cost(&vpi, ctx(5)), 7, "LMUL=8 vpi is 7 cc");
+    }
+
+    #[test]
+    fn branch_costs_depend_on_direction() {
+        let t = TimingModel::paper();
+        let branch = Instruction::Branch {
+            kind: BranchKind::Blt,
+            rs1: XReg::X19,
+            rs2: XReg::X20,
+            offset: -8,
+        };
+        let taken = TimingContext {
+            branch_taken: true,
+            ..TimingContext::default()
+        };
+        assert_eq!(t.cost(&branch, taken), 2);
+        assert_eq!(t.cost(&branch, TimingContext::default()), 1);
+    }
+
+    #[test]
+    fn unit_model_charges_one_everywhere() {
+        let t = TimingModel::unit();
+        let vxor =
+            Instruction::varith(VArithOp::Xor, VReg::V5, VReg::V3, VSource::Vector(VReg::V4));
+        assert_eq!(t.cost(&vxor, ctx(5)), 5); // issue 0 + groups… still counts groups
+        assert_eq!(t.cost(&Instruction::nop(), ctx(1)), 1);
+    }
+}

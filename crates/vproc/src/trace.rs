@@ -1,0 +1,97 @@
+//! Optional execution tracing.
+
+use krv_isa::Instruction;
+
+/// One retired instruction in the execution trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Program counter of the instruction.
+    pub pc: u32,
+    /// The instruction itself.
+    pub instr: Instruction,
+    /// Cycles charged for it.
+    pub cycles: u64,
+    /// Cumulative cycle count after retiring it.
+    pub total_cycles: u64,
+}
+
+/// Collects [`TraceEntry`] records when enabled.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    enabled: bool,
+    entries: Vec<TraceEntry>,
+}
+
+impl Tracer {
+    /// Creates a tracer; disabled tracers cost nothing per instruction.
+    pub fn new(enabled: bool) -> Self {
+        Self {
+            enabled,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Whether tracing is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one retired instruction.
+    pub fn record(&mut self, pc: u32, instr: Instruction, cycles: u64, total_cycles: u64) {
+        if self.enabled {
+            self.entries.push(TraceEntry {
+                pc,
+                instr,
+                cycles,
+                total_cycles,
+            });
+        }
+    }
+
+    /// The recorded entries.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Clears recorded entries (keeps the enabled flag).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Renders the trace as text, one instruction per line.
+    pub fn render(&self) -> String {
+        let mut text = String::new();
+        for entry in &self.entries {
+            text.push_str(&format!(
+                "{:6x}  [{:>3} cc, total {:>8}]  {}\n",
+                entry.pc, entry.cycles, entry.total_cycles, entry.instr
+            ));
+        }
+        text
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut tracer = Tracer::new(false);
+        tracer.record(0, Instruction::nop(), 1, 1);
+        assert!(tracer.entries().is_empty());
+    }
+
+    #[test]
+    fn enabled_tracer_records_and_renders() {
+        let mut tracer = Tracer::new(true);
+        tracer.record(0, Instruction::nop(), 1, 1);
+        tracer.record(4, Instruction::Ecall, 1, 2);
+        assert_eq!(tracer.entries().len(), 2);
+        let text = tracer.render();
+        assert!(text.contains("ecall"));
+        tracer.clear();
+        assert!(tracer.entries().is_empty());
+        assert!(tracer.is_enabled());
+    }
+}

@@ -1,0 +1,92 @@
+//! Execution traps: conditions that stop the simulated processor.
+
+use core::fmt;
+
+/// A condition that aborts simulation with an error.
+///
+/// Real hardware would raise an exception; the simulator surfaces the
+/// condition to the caller so tests can assert on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trap {
+    /// Instruction fetch outside the loaded program.
+    InstructionFetch {
+        /// The out-of-range program counter.
+        pc: u32,
+    },
+    /// Data access outside the data memory.
+    MemoryAccess {
+        /// Byte address of the access.
+        addr: u32,
+        /// Access size in bytes.
+        size: u32,
+    },
+    /// Misaligned data access (the modelled Ibex core requires natural
+    /// alignment).
+    MisalignedAccess {
+        /// Byte address of the access.
+        addr: u32,
+        /// Access size in bytes.
+        size: u32,
+    },
+    /// A vector instruction was executed with an unsupported or
+    /// inconsistent configuration (e.g. SEW wider than ELEN, or a custom
+    /// instruction whose preconditions on VL do not hold).
+    VectorConfig {
+        /// Human-readable description of the violated precondition.
+        reason: &'static str,
+    },
+    /// `viota` was given a round-constant index outside its ROM.
+    RoundConstantIndex {
+        /// The offending index.
+        index: u32,
+    },
+    /// The cycle budget given to [`crate::Processor::run`] was exhausted
+    /// before the program halted.
+    CycleLimit {
+        /// The budget that was exhausted.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::InstructionFetch { pc } => write!(f, "instruction fetch at {pc:#010X}"),
+            Trap::MemoryAccess { addr, size } => {
+                write!(f, "out-of-bounds {size}-byte access at {addr:#010X}")
+            }
+            Trap::MisalignedAccess { addr, size } => {
+                write!(f, "misaligned {size}-byte access at {addr:#010X}")
+            }
+            Trap::VectorConfig { reason } => write!(f, "vector configuration: {reason}"),
+            Trap::RoundConstantIndex { index } => {
+                write!(f, "round-constant index {index} outside ROM")
+            }
+            Trap::CycleLimit { limit } => write!(f, "cycle limit {limit} exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let traps = [
+            Trap::InstructionFetch { pc: 0x100 },
+            Trap::MemoryAccess { addr: 4, size: 8 },
+            Trap::MisalignedAccess { addr: 3, size: 4 },
+            Trap::VectorConfig {
+                reason: "SEW exceeds ELEN",
+            },
+            Trap::RoundConstantIndex { index: 99 },
+            Trap::CycleLimit { limit: 1000 },
+        ];
+        for trap in traps {
+            assert!(!trap.to_string().is_empty());
+        }
+    }
+}

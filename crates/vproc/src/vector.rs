@@ -1,0 +1,279 @@
+//! The vector register file and configuration state (paper Figure 4).
+
+use crate::config::Elen;
+use crate::trap::Trap;
+use krv_isa::{Sew, VReg, Vtype};
+
+/// Number of vector registers (RVV 1.0 fixes this at 32).
+pub const NUM_VREGS: usize = 32;
+
+/// The vector unit's architectural state: the register file plus the
+/// `vl` / `vtype` configuration CSRs.
+///
+/// The register file holds `32 × EleNum × ELEN` bits, stored as a flat
+/// little-endian byte array so that any SEW ≤ ELEN can address elements,
+/// and so that LMUL register groups are contiguous element ranges —
+/// matching the address allocation of paper Figure 4.
+#[derive(Debug, Clone)]
+pub struct VectorUnit {
+    elen: Elen,
+    elenum: usize,
+    regs: Vec<u8>,
+    vl: u32,
+    vtype: Vtype,
+}
+
+impl VectorUnit {
+    /// Creates a zeroed vector unit.
+    pub fn new(elen: Elen, elenum: usize) -> Self {
+        let default_vtype = match elen {
+            Elen::Bits32 => Vtype::new(Sew::E32, krv_isa::Lmul::M1),
+            Elen::Bits64 => Vtype::new(Sew::E64, krv_isa::Lmul::M1),
+        };
+        Self {
+            elen,
+            elenum,
+            regs: vec![0; NUM_VREGS * elenum * elen.bytes() as usize],
+            vl: 0,
+            vtype: default_vtype,
+        }
+    }
+
+    /// The configured element width.
+    pub fn elen(&self) -> Elen {
+        self.elen
+    }
+
+    /// Elements of ELEN width per register (the paper's `EleNum`).
+    pub fn elenum(&self) -> usize {
+        self.elenum
+    }
+
+    /// Bytes per vector register.
+    pub fn reg_bytes(&self) -> usize {
+        self.elenum * self.elen.bytes() as usize
+    }
+
+    /// The current vector length (elements per instruction).
+    pub fn vl(&self) -> u32 {
+        self.vl
+    }
+
+    /// The current vtype configuration.
+    pub fn vtype(&self) -> Vtype {
+        self.vtype
+    }
+
+    /// Elements per single register at the current SEW.
+    pub fn elements_per_register(&self) -> u32 {
+        (self.reg_bytes() as u32) / self.vtype.sew().bytes()
+    }
+
+    /// Applies `vsetvli`: configures `vtype` and sets `vl = min(avl,
+    /// VLMAX)`. Returns the granted VL.
+    ///
+    /// # Errors
+    ///
+    /// Traps if the requested SEW is wider than the hardware ELEN (the
+    /// hardware would set `vill`).
+    pub fn set_config(&mut self, avl: u32, vtype: Vtype) -> Result<u32, Trap> {
+        if vtype.sew().bits() > self.elen.bits() {
+            return Err(Trap::VectorConfig {
+                reason: "requested SEW exceeds the processor ELEN",
+            });
+        }
+        let vlmax = vtype.vlmax(self.elenum as u32, self.elen.bits());
+        self.vtype = vtype;
+        self.vl = avl.min(vlmax);
+        Ok(self.vl)
+    }
+
+    /// Reads element `idx` of the register group starting at `base`, at
+    /// the current SEW. `idx` may index into subsequent registers of an
+    /// LMUL group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element lies beyond register 31 (the assembler and
+    /// kernels never produce such accesses).
+    pub fn read_elem(&self, base: VReg, idx: usize) -> u64 {
+        self.read_elem_sew(base, idx, self.vtype.sew())
+    }
+
+    /// Reads element `idx` of the group at `base` with an explicit width.
+    pub fn read_elem_sew(&self, base: VReg, idx: usize, sew: Sew) -> u64 {
+        let bytes = sew.bytes() as usize;
+        let offset = base.index() * self.reg_bytes() + idx * bytes;
+        assert!(
+            offset + bytes <= self.regs.len(),
+            "element {idx} of group {base} exceeds the register file"
+        );
+        let mut value = 0u64;
+        for i in (0..bytes).rev() {
+            value = (value << 8) | self.regs[offset + i] as u64;
+        }
+        value
+    }
+
+    /// Writes element `idx` of the register group starting at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element lies beyond register 31.
+    pub fn write_elem(&mut self, base: VReg, idx: usize, value: u64) {
+        self.write_elem_sew(base, idx, self.vtype.sew(), value);
+    }
+
+    /// Writes element `idx` of the group at `base` with an explicit width.
+    pub fn write_elem_sew(&mut self, base: VReg, idx: usize, sew: Sew, value: u64) {
+        let bytes = sew.bytes() as usize;
+        let offset = base.index() * self.reg_bytes() + idx * bytes;
+        assert!(
+            offset + bytes <= self.regs.len(),
+            "element {idx} of group {base} exceeds the register file"
+        );
+        for i in 0..bytes {
+            self.regs[offset + i] = (value >> (8 * i)) as u8;
+        }
+    }
+
+    /// Reads mask bit `idx` from `v0` (RVV mask layout: bit `idx` of the
+    /// register viewed as a bit array).
+    pub fn mask_bit(&self, idx: usize) -> bool {
+        let byte = self.regs[idx / 8];
+        (byte >> (idx % 8)) & 1 == 1
+    }
+
+    /// Writes mask bit `idx` of register `vd`.
+    pub fn write_mask_bit(&mut self, vd: VReg, idx: usize, bit: bool) {
+        let offset = vd.index() * self.reg_bytes() + idx / 8;
+        if bit {
+            self.regs[offset] |= 1 << (idx % 8);
+        } else {
+            self.regs[offset] &= !(1 << (idx % 8));
+        }
+    }
+
+    /// Whether element `idx` participates given the instruction's `vm`
+    /// bit (unmasked, or mask bit set in `v0`).
+    pub fn element_active(&self, vm: bool, idx: usize) -> bool {
+        vm || self.mask_bit(idx)
+    }
+
+    /// Truncates a value to the element width (used by `.vx` operands:
+    /// the scalar is sign-extended to SEW, then truncated).
+    pub fn truncate(&self, value: u64) -> u64 {
+        match self.vtype.sew() {
+            Sew::E8 => value & 0xFF,
+            Sew::E16 => value & 0xFFFF,
+            Sew::E32 => value & 0xFFFF_FFFF,
+            Sew::E64 => value,
+        }
+    }
+
+    /// Raw little-endian bytes of one register (tests/diagnostics).
+    pub fn register_bytes(&self, reg: VReg) -> &[u8] {
+        let start = reg.index() * self.reg_bytes();
+        &self.regs[start..start + self.reg_bytes()]
+    }
+
+    /// Overwrites one register from raw little-endian bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len()` differs from the register size.
+    pub fn set_register_bytes(&mut self, reg: VReg, bytes: &[u8]) {
+        assert_eq!(bytes.len(), self.reg_bytes(), "register size mismatch");
+        let start = reg.index() * self.reg_bytes();
+        self.regs[start..start + bytes.len()].copy_from_slice(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krv_isa::Lmul;
+
+    fn unit64() -> VectorUnit {
+        let mut vu = VectorUnit::new(Elen::Bits64, 10);
+        vu.set_config(10, Vtype::new(Sew::E64, Lmul::M1)).unwrap();
+        vu
+    }
+
+    #[test]
+    fn element_read_write_round_trip() {
+        let mut vu = unit64();
+        vu.write_elem(VReg::V3, 7, 0xDEAD_BEEF_0BAD_F00D);
+        assert_eq!(vu.read_elem(VReg::V3, 7), 0xDEAD_BEEF_0BAD_F00D);
+        assert_eq!(vu.read_elem(VReg::V3, 6), 0);
+    }
+
+    #[test]
+    fn group_indexing_crosses_registers() {
+        let mut vu = unit64();
+        vu.set_config(80, Vtype::new(Sew::E64, Lmul::M8)).unwrap();
+        // Element 10 of the group at v8 is element 0 of v9.
+        vu.write_elem(VReg::V8, 10, 42);
+        assert_eq!(vu.read_elem(VReg::V9, 0), 42);
+    }
+
+    #[test]
+    fn vsetvli_clamps_to_vlmax() {
+        let mut vu = unit64();
+        let granted = vu.set_config(100, Vtype::new(Sew::E64, Lmul::M1)).unwrap();
+        assert_eq!(granted, 10);
+        let granted = vu.set_config(100, Vtype::new(Sew::E64, Lmul::M8)).unwrap();
+        assert_eq!(granted, 80);
+        let granted = vu.set_config(3, Vtype::new(Sew::E64, Lmul::M1)).unwrap();
+        assert_eq!(granted, 3);
+    }
+
+    #[test]
+    fn sew_wider_than_elen_traps() {
+        let mut vu = VectorUnit::new(Elen::Bits32, 10);
+        assert!(matches!(
+            vu.set_config(10, Vtype::new(Sew::E64, Lmul::M1)),
+            Err(Trap::VectorConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn narrow_sew_doubles_elements() {
+        let mut vu = VectorUnit::new(Elen::Bits64, 10);
+        vu.set_config(20, Vtype::new(Sew::E32, Lmul::M1)).unwrap();
+        assert_eq!(vu.vl(), 20);
+        assert_eq!(vu.elements_per_register(), 20);
+        vu.write_elem(VReg::V1, 19, 0xAABB_CCDD);
+        assert_eq!(vu.read_elem(VReg::V1, 19), 0xAABB_CCDD);
+    }
+
+    #[test]
+    fn mask_bits() {
+        let mut vu = unit64();
+        vu.write_mask_bit(VReg::V0, 0, true);
+        vu.write_mask_bit(VReg::V0, 9, true);
+        assert!(vu.mask_bit(0));
+        assert!(!vu.mask_bit(1));
+        assert!(vu.mask_bit(9));
+        assert!(vu.element_active(false, 9));
+        assert!(!vu.element_active(false, 3));
+        assert!(vu.element_active(true, 3));
+    }
+
+    #[test]
+    fn truncate_by_sew() {
+        let mut vu = VectorUnit::new(Elen::Bits64, 4);
+        vu.set_config(4, Vtype::new(Sew::E32, Lmul::M1)).unwrap();
+        assert_eq!(vu.truncate(0x1_2345_6789), 0x2345_6789);
+    }
+
+    #[test]
+    fn register_bytes_round_trip() {
+        let mut vu = unit64();
+        let data: Vec<u8> = (0..vu.reg_bytes() as u8)
+            .map(|b| b.wrapping_mul(3))
+            .collect();
+        vu.set_register_bytes(VReg::V5, &data);
+        assert_eq!(vu.register_bytes(VReg::V5), &data[..]);
+    }
+}

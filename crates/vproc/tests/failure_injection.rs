@@ -1,0 +1,188 @@
+//! Failure-injection tests: every trap path of the simulator, driven by
+//! real assembled programs.
+
+use krv_asm::assemble;
+use krv_vproc::{Processor, ProcessorConfig, Trap};
+
+fn run(source: &str, config: ProcessorConfig) -> Result<(), Trap> {
+    let program = assemble(source).expect("test program assembles");
+    let mut cpu = Processor::new(config);
+    cpu.load_program(program.instructions());
+    cpu.run(100_000).map(|_| ())
+}
+
+#[test]
+fn scalar_load_out_of_bounds() {
+    let err = run(
+        "li t0, 70000\nlw a0, 0(t0)\necall",
+        ProcessorConfig::elen64(5),
+    )
+    .unwrap_err();
+    assert!(matches!(err, Trap::MemoryAccess { .. }), "{err}");
+}
+
+#[test]
+fn scalar_store_misaligned() {
+    let err = run("li t0, 2\nsw a0, 0(t0)\necall", ProcessorConfig::elen64(5)).unwrap_err();
+    assert_eq!(err, Trap::MisalignedAccess { addr: 2, size: 4 });
+}
+
+#[test]
+fn vector_load_past_end_of_memory() {
+    let source = "li s1, 5\nvsetvli x0, s1, e64, m1, tu, mu\nli a0, 65528\nvle64.v v0, (a0)\necall";
+    let err = run(source, ProcessorConfig::elen64(5)).unwrap_err();
+    assert!(matches!(err, Trap::MemoryAccess { .. }), "{err}");
+}
+
+#[test]
+fn jump_outside_program() {
+    let err = run("j 4096", ProcessorConfig::elen64(5)).unwrap_err();
+    assert_eq!(err, Trap::InstructionFetch { pc: 4096 });
+}
+
+#[test]
+fn falling_off_the_end() {
+    let err = run("nop\nnop", ProcessorConfig::elen64(5)).unwrap_err();
+    assert_eq!(err, Trap::InstructionFetch { pc: 8 });
+}
+
+#[test]
+fn sew_wider_than_elen() {
+    // e64 configuration on a 32-bit build must trap like the vill bit.
+    let err = run(
+        "li s1, 5\nvsetvli x0, s1, e64, m1, tu, mu\necall",
+        ProcessorConfig::elen32(5),
+    )
+    .unwrap_err();
+    assert!(matches!(err, Trap::VectorConfig { .. }), "{err}");
+}
+
+#[test]
+fn custom_op_on_wrong_architecture() {
+    // vrotup is 64-bit only (paper Table 3).
+    let err = run(
+        "li s1, 5\nvsetvli x0, s1, e32, m1, tu, mu\nvrotup.vi v1, v1, 1\necall",
+        ProcessorConfig::elen32(5),
+    )
+    .unwrap_err();
+    assert!(matches!(err, Trap::VectorConfig { .. }), "{err}");
+    // v32lrho is 32-bit only.
+    let err = run(
+        "li s1, 5\nvsetvli x0, s1, e64, m1, tu, mu\nv32lrho.vv v1, v2, v3\necall",
+        ProcessorConfig::elen64(5),
+    )
+    .unwrap_err();
+    assert!(matches!(err, Trap::VectorConfig { .. }), "{err}");
+}
+
+#[test]
+fn custom_op_with_narrow_sew() {
+    // Custom ops require SEW = ELEN (the hardware datapath width).
+    let err = run(
+        "li s1, 10\nvsetvli x0, s1, e32, m1, tu, mu\nvslidedownm.vi v1, v1, 1\necall",
+        ProcessorConfig::elen64(5),
+    )
+    .unwrap_err();
+    assert!(matches!(err, Trap::VectorConfig { .. }), "{err}");
+}
+
+#[test]
+fn viota_index_beyond_rom() {
+    let err = run(
+        "li s1, 5\nvsetvli x0, s1, e64, m1, tu, mu\nli s3, 24\nviota.vx v0, v0, s3\necall",
+        ProcessorConfig::elen64(5),
+    )
+    .unwrap_err();
+    assert_eq!(err, Trap::RoundConstantIndex { index: 24 });
+    // The 32-bit architecture has 48 ROM entries (low + high halves).
+    assert!(run(
+        "li s1, 5\nvsetvli x0, s1, e32, m1, tu, mu\nli s3, 47\nviota.vx v0, v0, s3\necall",
+        ProcessorConfig::elen32(5),
+    )
+    .is_ok());
+}
+
+#[test]
+fn multi_register_block_op_requires_elenum_multiple_of_five() {
+    // EleNum = 6: a single-register slide is fine …
+    assert!(run(
+        "li s1, 6\nvsetvli x0, s1, e64, m1, tu, mu\nvslidedownm.vi v1, v1, 1\necall",
+        ProcessorConfig::elen64(6),
+    )
+    .is_ok());
+    // … but a grouped one straddles register boundaries and traps.
+    let err = run(
+        "li s5, 30\nvsetvli x0, s5, e64, m8, tu, mu\nvslidedownm.vi v8, v8, 1\necall",
+        ProcessorConfig::elen64(6),
+    )
+    .unwrap_err();
+    assert!(matches!(err, Trap::VectorConfig { .. }), "{err}");
+}
+
+#[test]
+fn cycle_budget_enforced() {
+    let err = run("spin:\nj spin", ProcessorConfig::elen64(5)).unwrap_err();
+    assert_eq!(err, Trap::CycleLimit { limit: 100_000 });
+}
+
+#[test]
+fn trap_message_names_the_cause() {
+    let err = run(
+        "li t0, 70000\nlw a0, 0(t0)\necall",
+        ProcessorConfig::elen64(5),
+    )
+    .unwrap_err();
+    let message = err.to_string();
+    assert!(message.contains("out-of-bounds"), "{message}");
+}
+
+#[test]
+fn processor_survives_trap_and_can_be_reused() {
+    let program = assemble("li t0, 2\nlw a0, 0(t0)\necall").unwrap();
+    let mut cpu = Processor::new(ProcessorConfig::elen64(5));
+    cpu.load_program(program.instructions());
+    assert!(cpu.run(1000).is_err());
+    // Reload a correct program on the same instance.
+    let good = assemble("li a0, 5\necall").unwrap();
+    cpu.load_program(good.instructions());
+    cpu.reset_counters();
+    cpu.run(1000).expect("recovered");
+    assert_eq!(cpu.xreg(krv_isa::XReg::X10), 5);
+}
+
+#[test]
+fn masked_vector_load_skips_inactive_elements() {
+    // Build a mask in v0 via vmseq, then load masked: untouched elements
+    // keep their previous value.
+    let source = r"
+        li s1, 8
+        vsetvli x0, s1, e32, m1, tu, mu
+        vid.v v1
+        vmseq.vi v0, v1, 3        # only element 3 active
+        vmv.v.i v2, -1            # v2 = all ones
+        li a0, 128
+        vle32.v v2, (a0), v0.t    # masked load
+        ecall
+    ";
+    let program = assemble(source).unwrap();
+    let mut cpu = Processor::new(ProcessorConfig::elen32(8));
+    for i in 0..8u32 {
+        cpu.dmem_mut()
+            .write(128 + 4 * i, 4, 100 + i as u64)
+            .unwrap();
+    }
+    cpu.load_program(program.instructions());
+    cpu.run(10_000).unwrap();
+    let vu = cpu.vector_unit();
+    use krv_isa::{Sew, VReg};
+    assert_eq!(
+        vu.read_elem_sew(VReg::V2, 3, Sew::E32),
+        103,
+        "active element loaded"
+    );
+    assert_eq!(
+        vu.read_elem_sew(VReg::V2, 0, Sew::E32),
+        0xFFFF_FFFF,
+        "inactive element untouched"
+    );
+}

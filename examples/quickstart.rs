@@ -1,0 +1,57 @@
+//! Quickstart: hash a message with SHA-3 on three different backends —
+//! pure software, the simulated SIMD processor with custom vector
+//! extensions, and the scalar Ibex baseline — and compare the hardware
+//! cost of the permutations involved.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use keccak_rvv::baselines::ScalarKeccak;
+use keccak_rvv::core::{KernelKind, VectorKeccakEngine};
+use keccak_rvv::sha3::{hex, Sha3_256};
+
+fn main() {
+    let message = b"the quick brown fox jumps over the lazy dog";
+
+    // 1. Pure-software reference (host speed).
+    let reference = Sha3_256::digest(message);
+    println!("reference        : {}", hex(&reference));
+
+    // 2. The paper's design: the simulated SIMD RISC-V processor running
+    //    the 64-bit LMUL=8 kernel with custom vector extensions.
+    let engine = VectorKeccakEngine::new(KernelKind::E64Lmul8, 1);
+    let mut hasher = Sha3_256::with_backend(engine);
+    hasher.update(message);
+    let accelerated = hasher.finalize();
+    println!("vector processor : {}", hex(&accelerated));
+    assert_eq!(reference, accelerated);
+
+    // 3. The software-only baseline on the scalar Ibex core model.
+    let mut hasher = Sha3_256::with_backend(ScalarKeccak::new());
+    hasher.update(message);
+    let scalar = hasher.finalize();
+    println!("scalar Ibex core : {}", hex(&scalar));
+    assert_eq!(reference, scalar);
+
+    // Compare the simulated hardware cost of one permutation.
+    println!("\npermutation cost on the simulated hardware:");
+    for kind in KernelKind::ALL {
+        let mut engine = VectorKeccakEngine::new(kind, 1);
+        let metrics = engine.measure().expect("kernel runs");
+        println!(
+            "  {:<22} {:>4} cycles/round, {:>5} cycles/permutation, {:>6.2} cycles/byte",
+            kind.label(),
+            metrics.cycles_per_round,
+            metrics.permutation_cycles,
+            metrics.cycles_per_byte(),
+        );
+    }
+    let mut baseline = ScalarKeccak::new();
+    let metrics = baseline.measure().expect("baseline runs");
+    println!(
+        "  {:<22} {:>4} cycles/round, {:>5} cycles/permutation, {:>6.2} cycles/byte",
+        "scalar Ibex core",
+        metrics.cycles_per_round,
+        metrics.permutation_cycles,
+        metrics.cycles_per_byte(),
+    );
+}

@@ -1,0 +1,117 @@
+//! A `sha3sum`-style command-line tool over the library.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --example sha3sum -- [-a 224|256|384|512|shake128|shake256] FILE...
+//! cargo run --example sha3sum -- -a 256 -        # hash stdin
+//! ```
+//!
+//! Add `--simulate` to compute the digests on the simulated SIMD
+//! processor (the 64-bit LMUL=8 kernel) instead of the host CPU.
+
+use keccak_rvv::core::{KernelKind, VectorKeccakEngine};
+use keccak_rvv::sha3::{
+    hex, PermutationBackend, ReferenceBackend, Sha3_224, Sha3_256, Sha3_384, Sha3_512, Shake128,
+    Shake256, Xof,
+};
+use std::io::Read;
+use std::process::ExitCode;
+
+fn digest<B: PermutationBackend>(algorithm: &str, data: &[u8], backend: B) -> Option<Vec<u8>> {
+    Some(match algorithm {
+        "224" => {
+            let mut h = Sha3_224::with_backend(backend);
+            h.update(data);
+            h.finalize().to_vec()
+        }
+        "256" => {
+            let mut h = Sha3_256::with_backend(backend);
+            h.update(data);
+            h.finalize().to_vec()
+        }
+        "384" => {
+            let mut h = Sha3_384::with_backend(backend);
+            h.update(data);
+            h.finalize().to_vec()
+        }
+        "512" => {
+            let mut h = Sha3_512::with_backend(backend);
+            h.update(data);
+            h.finalize().to_vec()
+        }
+        "shake128" => {
+            let mut x = Shake128::with_backend(backend);
+            x.update(data);
+            x.squeeze(32)
+        }
+        "shake256" => {
+            let mut x = Shake256::with_backend(backend);
+            x.update(data);
+            x.squeeze(64)
+        }
+        _ => return None,
+    })
+}
+
+fn main() -> ExitCode {
+    let mut algorithm = String::from("256");
+    let mut simulate = false;
+    let mut inputs: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-a" | "--algorithm" => match args.next() {
+                Some(value) => algorithm = value,
+                None => {
+                    eprintln!("sha3sum: -a needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--simulate" => simulate = true,
+            _ => inputs.push(arg),
+        }
+    }
+    if inputs.is_empty() {
+        inputs.push("-".into());
+    }
+
+    for input in &inputs {
+        let data = if input == "-" {
+            let mut buffer = Vec::new();
+            if std::io::stdin().read_to_end(&mut buffer).is_err() {
+                eprintln!("sha3sum: failed to read stdin");
+                return ExitCode::FAILURE;
+            }
+            buffer
+        } else {
+            match std::fs::read(input) {
+                Ok(data) => data,
+                Err(error) => {
+                    eprintln!("sha3sum: {input}: {error}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        };
+        let result = if simulate {
+            digest(
+                &algorithm,
+                &data,
+                VectorKeccakEngine::new(KernelKind::E64Lmul8, 1),
+            )
+        } else {
+            digest(&algorithm, &data, ReferenceBackend::new())
+        };
+        match result {
+            Some(sum) => println!("{}  {input}", hex(&sum)),
+            None => {
+                eprintln!(
+                    "sha3sum: unknown algorithm `{algorithm}` \
+                     (use 224, 256, 384, 512, shake128, shake256)"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

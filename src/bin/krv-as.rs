@@ -1,0 +1,75 @@
+//! `krv-as` — assemble to machine words, or disassemble them back.
+//!
+//! ```text
+//! krv-as FILE.s            # assemble; print hex words with addresses
+//! krv-as -o out.hex FILE.s # assemble; write one hex word per line
+//! krv-as -d FILE.hex       # disassemble a hex-word file
+//! ```
+
+use keccak_rvv::asm::{assemble, disassemble_words};
+use std::process::ExitCode;
+
+fn run() -> Result<(), String> {
+    let mut disassemble_mode = false;
+    let mut output: Option<String> = None;
+    let mut input: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-d" | "--disassemble" => disassemble_mode = true,
+            "-o" | "--output" => {
+                output = Some(args.next().ok_or("-o needs a file name")?);
+            }
+            other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
+            file => input = Some(file.to_owned()),
+        }
+    }
+    let input = input.ok_or("no input file (usage: krv-as [-d] [-o OUT] FILE)")?;
+    let text = std::fs::read_to_string(&input).map_err(|e| format!("{input}: {e}"))?;
+
+    if disassemble_mode {
+        let words: Vec<u32> = text
+            .split_whitespace()
+            .map(|token| {
+                let token = token.strip_prefix("0x").unwrap_or(token);
+                u32::from_str_radix(token, 16).map_err(|_| format!("invalid hex word `{token}`"))
+            })
+            .collect::<Result<_, _>>()?;
+        let listing = disassemble_words(&words).map_err(|(i, e)| format!("word {i}: {e}"))?;
+        print!("{listing}");
+        return Ok(());
+    }
+
+    let program = assemble(&text).map_err(|e| format!("{input}:{e}"))?;
+    let words = program.machine_code();
+    match output {
+        Some(path) => {
+            let hex: String = words.iter().map(|w| format!("{w:08x}\n")).collect();
+            std::fs::write(&path, hex).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!(
+                "assembled {} instructions ({} bytes) -> {path}",
+                words.len(),
+                program.size_bytes()
+            );
+        }
+        None => {
+            for (i, (word, instr)) in words.iter().zip(program.instructions()).enumerate() {
+                println!("{:6x}: {word:08x}    {instr}", i * 4);
+            }
+            for (name, addr) in program.symbols() {
+                println!("# {name} = {addr:#x}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("krv-as: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! `krv-sim` — assemble and run a program on the simulated SIMD RISC-V
+//! processor.
+//!
+//! ```text
+//! krv-sim [OPTIONS] FILE.s
+//!   --elen 32|64        vector element width (default 64)
+//!   --elenum N          elements per vector register (default 10)
+//!   --max-cycles N      cycle budget (default 10,000,000)
+//!   --trace             print the retired-instruction trace
+//!   --hex               input is hex machine words (krv-as -o output)
+//!   --dump-vregs N      print the first N elements of v0..v31 at exit
+//!   --xreg REG=VALUE    preset a scalar register (repeatable)
+//! ```
+//!
+//! Exit registers, cycle and instruction-mix counters are printed on
+//! halt. Example:
+//!
+//! ```text
+//! cargo run -p keccak-rvv --bin krv-sim -- --trace program.s
+//! ```
+
+use keccak_rvv::asm::assemble;
+use keccak_rvv::isa::{Sew, VReg, XReg};
+use keccak_rvv::vproc::{Elen, Processor, ProcessorConfig};
+use std::process::ExitCode;
+
+struct Options {
+    elen: Elen,
+    elenum: usize,
+    max_cycles: u64,
+    trace: bool,
+    hex: bool,
+    dump_vregs: usize,
+    presets: Vec<(XReg, u32)>,
+    file: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        elen: Elen::Bits64,
+        elenum: 10,
+        max_cycles: 10_000_000,
+        trace: false,
+        hex: false,
+        dump_vregs: 0,
+        presets: Vec::new(),
+        file: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--elen" => {
+                options.elen = match value("--elen")?.as_str() {
+                    "32" => Elen::Bits32,
+                    "64" => Elen::Bits64,
+                    other => return Err(format!("invalid --elen `{other}`")),
+                };
+            }
+            "--elenum" => {
+                options.elenum = value("--elenum")?
+                    .parse()
+                    .map_err(|_| "invalid --elenum".to_string())?;
+            }
+            "--max-cycles" => {
+                options.max_cycles = value("--max-cycles")?
+                    .parse()
+                    .map_err(|_| "invalid --max-cycles".to_string())?;
+            }
+            "--trace" => options.trace = true,
+            "--hex" => options.hex = true,
+            "--dump-vregs" => {
+                options.dump_vregs = value("--dump-vregs")?
+                    .parse()
+                    .map_err(|_| "invalid --dump-vregs".to_string())?;
+            }
+            "--xreg" => {
+                let spec = value("--xreg")?;
+                let (name, val) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--xreg expects REG=VALUE, got `{spec}`"))?;
+                let reg: XReg = name
+                    .parse()
+                    .map_err(|_| format!("unknown register `{name}`"))?;
+                let parsed = if let Some(hex) = val.strip_prefix("0x") {
+                    u32::from_str_radix(hex, 16)
+                } else {
+                    val.parse()
+                };
+                options
+                    .presets
+                    .push((reg, parsed.map_err(|_| format!("invalid value `{val}`"))?));
+            }
+            "--help" | "-h" => {
+                return Err("usage: krv-sim [OPTIONS] FILE.s (see --help in source)".into())
+            }
+            other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
+            file => options.file = Some(file.to_owned()),
+        }
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("krv-sim: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(file) = options.file else {
+        eprintln!("krv-sim: no input file (usage: krv-sim [OPTIONS] FILE.s)");
+        return ExitCode::FAILURE;
+    };
+    let source = match std::fs::read_to_string(&file) {
+        Ok(source) => source,
+        Err(error) => {
+            eprintln!("krv-sim: {file}: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut config = ProcessorConfig::new(options.elen, options.elenum);
+    if options.trace {
+        config = config.with_trace();
+    }
+    let mut cpu = Processor::new(config);
+    if options.hex {
+        // One hex machine word per whitespace-separated token.
+        let mut words = Vec::new();
+        for token in source.split_whitespace() {
+            let token = token.strip_prefix("0x").unwrap_or(token);
+            match u32::from_str_radix(token, 16) {
+                Ok(word) => words.push(word),
+                Err(_) => {
+                    eprintln!("krv-sim: {file}: invalid hex word `{token}`");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Err((index, error)) = cpu.load_program_words(&words) {
+            eprintln!("krv-sim: {file}: word {index}: {error}");
+            return ExitCode::FAILURE;
+        }
+    } else {
+        let program = match assemble(&source) {
+            Ok(program) => program,
+            Err(error) => {
+                eprintln!("krv-sim: {file}:{error}");
+                return ExitCode::FAILURE;
+            }
+        };
+        cpu.load_program(program.instructions());
+    }
+    for &(reg, value) in &options.presets {
+        cpu.set_xreg(reg, value);
+    }
+
+    match cpu.run(options.max_cycles) {
+        Ok(summary) => {
+            if options.trace {
+                print!("{}", cpu.tracer().render());
+            }
+            println!(
+                "halted by {:?} after {} cycles, {} instructions \
+                 ({} scalar, {} vector)",
+                summary.halt,
+                summary.cycles,
+                summary.retired,
+                cpu.retired_scalar(),
+                cpu.retired_vector(),
+            );
+            println!("scalar registers (non-zero):");
+            for reg in XReg::ALL {
+                let value = cpu.xreg(reg);
+                if value != 0 {
+                    println!("  {reg:<5} = {value:#010x} ({value})");
+                }
+            }
+            if options.dump_vregs > 0 {
+                let sew = match options.elen {
+                    Elen::Bits32 => Sew::E32,
+                    Elen::Bits64 => Sew::E64,
+                };
+                println!("vector registers (first {} elements):", options.dump_vregs);
+                for reg in VReg::ALL {
+                    let values: Vec<String> = (0..options.dump_vregs.min(options.elenum))
+                        .map(|i| format!("{:016x}", cpu.vector_unit().read_elem_sew(reg, i, sew)))
+                        .collect();
+                    println!("  {reg:<4} {}", values.join(" "));
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(trap) => {
+            if options.trace {
+                print!("{}", cpu.tracer().render());
+            }
+            eprintln!("krv-sim: trap at pc {:#x}: {trap}", cpu.pc());
+            ExitCode::FAILURE
+        }
+    }
+}

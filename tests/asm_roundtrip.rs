@@ -1,0 +1,267 @@
+//! Property test: every instruction's `Display` rendering re-parses to
+//! the identical instruction (assembler ↔ disassembler consistency), and
+//! machine code survives disassemble → reassemble.
+
+use keccak_rvv::asm::{assemble, disassemble};
+use keccak_rvv::isa::{
+    BranchKind, Csr, CustomOp, Instruction, Lmul, LoadKind, MemMode, OpImmKind, OpKind, RhoRow,
+    Sew, StoreKind, VArithOp, VReg, VSource, Vtype, XReg,
+};
+use proptest::prelude::*;
+
+fn xreg() -> impl Strategy<Value = XReg> {
+    (0usize..32).prop_map(XReg::from_index)
+}
+
+fn vreg() -> impl Strategy<Value = VReg> {
+    (0usize..32).prop_map(VReg::from_index)
+}
+
+/// Instructions whose rendering is position-independent (no labels).
+fn renderable_instruction() -> impl Strategy<Value = Instruction> {
+    let branch = (
+        prop_oneof![
+            Just(BranchKind::Beq),
+            Just(BranchKind::Bne),
+            Just(BranchKind::Blt),
+            Just(BranchKind::Bge),
+            Just(BranchKind::Bltu),
+            Just(BranchKind::Bgeu)
+        ],
+        xreg(),
+        xreg(),
+        -512i32..512,
+    )
+        .prop_map(|(kind, rs1, rs2, o)| Instruction::Branch {
+            kind,
+            rs1,
+            rs2,
+            offset: o * 2,
+        });
+    let loads = (
+        prop_oneof![
+            Just(LoadKind::Lb),
+            Just(LoadKind::Lh),
+            Just(LoadKind::Lw),
+            Just(LoadKind::Lbu),
+            Just(LoadKind::Lhu)
+        ],
+        xreg(),
+        xreg(),
+        -2048i32..2048,
+    )
+        .prop_map(|(kind, rd, rs1, offset)| Instruction::Load {
+            kind,
+            rd,
+            rs1,
+            offset,
+        });
+    let stores = (
+        prop_oneof![
+            Just(StoreKind::Sb),
+            Just(StoreKind::Sh),
+            Just(StoreKind::Sw)
+        ],
+        xreg(),
+        xreg(),
+        -2048i32..2048,
+    )
+        .prop_map(|(kind, rs2, rs1, offset)| Instruction::Store {
+            kind,
+            rs2,
+            rs1,
+            offset,
+        });
+    let opimm = (
+        prop_oneof![
+            Just(OpImmKind::Addi),
+            Just(OpImmKind::Slti),
+            Just(OpImmKind::Xori),
+            Just(OpImmKind::Andi),
+            Just(OpImmKind::Slli),
+            Just(OpImmKind::Srai)
+        ],
+        xreg(),
+        xreg(),
+        -2048i32..2048,
+    )
+        .prop_map(|(kind, rd, rs1, imm)| Instruction::OpImm {
+            kind,
+            rd,
+            rs1,
+            imm: if kind.is_shift() {
+                imm.rem_euclid(32)
+            } else {
+                imm
+            },
+        });
+    let ops = (
+        prop_oneof![
+            Just(OpKind::Add),
+            Just(OpKind::Sub),
+            Just(OpKind::Xor),
+            Just(OpKind::Mul),
+            Just(OpKind::Divu)
+        ],
+        xreg(),
+        xreg(),
+        xreg(),
+    )
+        .prop_map(|(kind, rd, rs1, rs2)| Instruction::Op { kind, rd, rs1, rs2 });
+    let varith = (
+        prop_oneof![
+            Just(VArithOp::Add),
+            Just(VArithOp::And),
+            Just(VArithOp::Or),
+            Just(VArithOp::Xor),
+            Just(VArithOp::Sll),
+            Just(VArithOp::Srl),
+            Just(VArithOp::Mseq),
+            Just(VArithOp::Slideup),
+            Just(VArithOp::Slidedown)
+        ],
+        vreg(),
+        vreg(),
+        prop_oneof![
+            vreg().prop_map(VSource::Vector),
+            xreg().prop_map(VSource::Scalar),
+            (-16i32..16).prop_map(VSource::Imm)
+        ],
+        any::<bool>(),
+    )
+        .prop_filter_map("operand form defined", |(op, vd, vs2, src, vm)| {
+            let ok = match src {
+                VSource::Vector(_) => op.supports_vv(),
+                VSource::Scalar(_) => true,
+                VSource::Imm(_) => op.supports_vi(),
+            };
+            ok.then_some(Instruction::VArith {
+                op,
+                vd,
+                vs2,
+                src,
+                vm,
+            })
+        });
+    let vmem = (
+        prop_oneof![
+            Just(Sew::E8),
+            Just(Sew::E16),
+            Just(Sew::E32),
+            Just(Sew::E64)
+        ],
+        vreg(),
+        xreg(),
+        prop_oneof![
+            Just(MemMode::UnitStride),
+            xreg().prop_map(MemMode::Strided),
+            vreg().prop_map(MemMode::Indexed)
+        ],
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(eew, v, rs1, mode, vm, load)| {
+            if load {
+                Instruction::VLoad {
+                    eew,
+                    vd: v,
+                    rs1,
+                    mode,
+                    vm,
+                }
+            } else {
+                Instruction::VStore {
+                    eew,
+                    vs3: v,
+                    rs1,
+                    mode,
+                    vm,
+                }
+            }
+        });
+    let vsetvli = (
+        xreg(),
+        xreg(),
+        prop_oneof![Just(Sew::E32), Just(Sew::E64)],
+        prop_oneof![Just(Lmul::M1), Just(Lmul::M8)],
+    )
+        .prop_map(|(rd, rs1, sew, lmul)| Instruction::Vsetvli {
+            rd,
+            rs1,
+            vtype: Vtype::new(sew, lmul).tail_undisturbed().mask_undisturbed(),
+        });
+    let rho_row = prop_oneof![Just(RhoRow::All), (0u8..5).prop_map(RhoRow::Row)];
+    let customs =
+        prop_oneof![
+            (vreg(), vreg(), 0u8..32, any::<bool>())
+                .prop_map(|(vd, vs2, uimm, vm)| CustomOp::Vslidedownm { vd, vs2, uimm, vm }),
+            (vreg(), vreg(), 0u8..32, any::<bool>())
+                .prop_map(|(vd, vs2, uimm, vm)| CustomOp::Vslideupm { vd, vs2, uimm, vm }),
+            (vreg(), vreg(), 0u8..32, any::<bool>())
+                .prop_map(|(vd, vs2, uimm, vm)| CustomOp::Vrotup { vd, vs2, uimm, vm }),
+            (vreg(), vreg(), vreg(), any::<bool>())
+                .prop_map(|(vd, vs2, vs1, vm)| CustomOp::V32lrotup { vd, vs2, vs1, vm }),
+            (vreg(), vreg(), vreg(), any::<bool>())
+                .prop_map(|(vd, vs2, vs1, vm)| CustomOp::V32hrho { vd, vs2, vs1, vm }),
+            (vreg(), vreg(), rho_row.clone(), any::<bool>())
+                .prop_map(|(vd, vs2, row, vm)| CustomOp::V64rho { vd, vs2, row, vm }),
+            (vreg(), vreg(), rho_row, any::<bool>()).prop_map(|(vd, vs2, row, vm)| CustomOp::Vpi {
+                vd,
+                vs2,
+                row,
+                vm
+            }),
+            (vreg(), vreg(), xreg(), any::<bool>())
+                .prop_map(|(vd, vs2, rs1, vm)| CustomOp::Viota { vd, vs2, rs1, vm }),
+        ]
+        .prop_map(Instruction::Custom);
+    prop_oneof![
+        branch,
+        loads,
+        stores,
+        opimm,
+        ops,
+        varith,
+        vmem,
+        vsetvli,
+        customs,
+        Just(Instruction::Ecall),
+        Just(Instruction::Ebreak),
+        (
+            xreg(),
+            prop_oneof![
+                Just(Csr::Vl),
+                Just(Csr::Vtype),
+                Just(Csr::Vlenb),
+                Just(Csr::Cycle),
+                Just(Csr::Instret)
+            ]
+        )
+            .prop_map(|(rd, csr)| Instruction::Csrr { rd, csr }),
+        (xreg(), vreg()).prop_map(|(rd, vs2)| Instruction::VmvXs { rd, vs2 }),
+        (vreg(), xreg()).prop_map(|(vd, rs1)| Instruction::VmvSx { vd, rs1 }),
+        (vreg(), any::<bool>()).prop_map(|(vd, vm)| Instruction::Vid { vd, vm }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1500))]
+
+    #[test]
+    fn display_reparses_identically(instr in renderable_instruction()) {
+        let text = instr.to_string();
+        let program = assemble(&text)
+            .unwrap_or_else(|e| panic!("`{text}` failed to parse: {e}"));
+        prop_assert_eq!(program.instructions(), &[instr]);
+    }
+
+    #[test]
+    fn disassemble_reassemble_fixed_point(instrs in proptest::collection::vec(renderable_instruction(), 1..40)) {
+        let text = disassemble(&instrs);
+        let program = assemble(&text).expect("disassembly parses");
+        prop_assert_eq!(program.instructions(), &instrs[..]);
+        // Second round trip is a fixed point.
+        let text2 = disassemble(program.instructions());
+        prop_assert_eq!(text, text2);
+    }
+}

@@ -1,0 +1,52 @@
+//! Monte-Carlo-style chained cross-validation: feed each digest back as
+//! the next message for hundreds of iterations, on three independent
+//! execution paths (host reference, simulated vector processor, simulated
+//! scalar core). Any divergence anywhere in any path compounds and is
+//! caught at the end.
+
+use keccak_rvv::baselines::ScalarKeccak;
+use keccak_rvv::core::{KernelKind, VectorKeccakEngine};
+use keccak_rvv::sha3::{PermutationBackend, Sha3_256};
+
+fn chain<B: PermutationBackend>(mut backend: B, iterations: usize) -> [u8; 32] {
+    let mut digest = [0u8; 32];
+    for i in 0..iterations {
+        let mut hasher = Sha3_256::with_backend(&mut backend);
+        hasher.update(&digest);
+        hasher.update(&(i as u32).to_le_bytes());
+        digest = hasher.finalize();
+    }
+    digest
+}
+
+#[test]
+fn three_hundred_chained_digests_agree_across_backends() {
+    const ITERATIONS: usize = 300;
+    let reference = chain(keccak_rvv::sha3::ReferenceBackend::new(), ITERATIONS);
+    let vector64 = chain(VectorKeccakEngine::new(KernelKind::E64Lmul8, 2), ITERATIONS);
+    assert_eq!(reference, vector64, "64-bit vector engine diverged");
+    let vector32 = chain(VectorKeccakEngine::new(KernelKind::E32Lmul8, 1), ITERATIONS);
+    assert_eq!(reference, vector32, "32-bit vector engine diverged");
+}
+
+#[test]
+fn chained_digests_agree_with_scalar_core() {
+    // The scalar core is ~20× slower to simulate; keep the chain shorter.
+    const ITERATIONS: usize = 40;
+    let reference = chain(keccak_rvv::sha3::ReferenceBackend::new(), ITERATIONS);
+    let scalar = chain(ScalarKeccak::new(), ITERATIONS);
+    assert_eq!(reference, scalar, "scalar baseline diverged");
+}
+
+#[test]
+fn fused_and_ablation_kernels_agree_over_a_chain() {
+    const ITERATIONS: usize = 100;
+    let reference = chain(keccak_rvv::sha3::ReferenceBackend::new(), ITERATIONS);
+    let fused = chain(VectorKeccakEngine::new(KernelKind::E64Fused, 1), ITERATIONS);
+    assert_eq!(reference, fused, "fused vrhopi kernel diverged");
+    let ablation = chain(
+        VectorKeccakEngine::new(KernelKind::E64Lmul41, 3),
+        ITERATIONS,
+    );
+    assert_eq!(reference, ablation, "LMUL=4+1 ablation kernel diverged");
+}

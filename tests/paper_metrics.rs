@@ -1,0 +1,145 @@
+//! Guards on the reproduced numbers: the paper's Tables 7/8 cycle
+//! figures and the §4.2 ratios must keep reproducing.
+
+use keccak_rvv::area::{slices, AreaArch};
+use keccak_rvv::baselines::{paper_rows, ScalarKeccak};
+use keccak_rvv::core::{KernelKind, VectorKeccakEngine};
+
+#[test]
+fn cycles_per_round_are_the_papers() {
+    for (kind, expected) in [
+        (KernelKind::E64Lmul1, 103u64),
+        (KernelKind::E64Lmul8, 75),
+        (KernelKind::E32Lmul8, 147),
+    ] {
+        let mut engine = VectorKeccakEngine::new(kind, 1);
+        let metrics = engine.measure().expect("kernel runs");
+        assert_eq!(metrics.cycles_per_round, expected, "{kind}");
+        assert_eq!(
+            Some(metrics.cycles_per_round),
+            kind.paper_cycles_per_round()
+        );
+    }
+}
+
+#[test]
+fn permutation_latency_within_one_percent_of_paper() {
+    for kind in KernelKind::ALL {
+        let mut engine = VectorKeccakEngine::new(kind, 3);
+        let metrics = engine.measure().expect("kernel runs");
+        let paper = kind.paper_permutation_cycles().expect("paper kernel") as f64;
+        let delta = (metrics.permutation_cycles as f64 - paper).abs() / paper;
+        assert!(
+            delta < 0.01,
+            "{kind}: measured {} vs paper {paper}",
+            metrics.permutation_cycles
+        );
+    }
+}
+
+#[test]
+fn table7_throughput_figures_reproduce() {
+    // Paper Table 7 throughput column, (bits/cycle) × 10⁻³.
+    let expectations = [
+        (KernelKind::E64Lmul1, 1, 624.02),
+        (KernelKind::E64Lmul1, 3, 1872.07),
+        (KernelKind::E64Lmul1, 6, 3744.15),
+        (KernelKind::E64Lmul8, 1, 845.67),
+        (KernelKind::E64Lmul8, 3, 2537.00),
+        (KernelKind::E64Lmul8, 6, 5073.00),
+    ];
+    for (kind, states, expected) in expectations {
+        let mut engine = VectorKeccakEngine::new(kind, states);
+        let measured = engine
+            .measure()
+            .expect("kernel runs")
+            .throughput_millibits_per_cycle();
+        let delta = (measured - expected).abs() / expected;
+        assert!(
+            delta < 0.01,
+            "{kind} × {states}: measured {measured:.2} vs paper {expected:.2}"
+        );
+    }
+}
+
+#[test]
+fn table8_throughput_figures_reproduce() {
+    let expectations = [(1usize, 441.98), (3, 1325.97), (6, 2651.93)];
+    for (states, expected) in expectations {
+        let mut engine = VectorKeccakEngine::new(KernelKind::E32Lmul8, states);
+        let measured = engine
+            .measure()
+            .expect("kernel runs")
+            .throughput_millibits_per_cycle();
+        let delta = (measured - expected).abs() / expected;
+        assert!(
+            delta < 0.01,
+            "32-bit × {states}: measured {measured:.2} vs paper {expected:.2}"
+        );
+    }
+}
+
+#[test]
+fn area_columns_reproduce_paper_tables() {
+    for (elenum, expected) in [(5usize, 7323.0), (15, 24789.0), (30, 48180.0)] {
+        assert_eq!(slices(AreaArch::Simd64, elenum), expected);
+    }
+    for (elenum, expected) in [(5usize, 6359.0), (15, 23408.0), (30, 48036.0)] {
+        assert_eq!(slices(AreaArch::Simd32, elenum), expected);
+    }
+}
+
+#[test]
+fn section42_winners_hold() {
+    // Who wins, per paper §4.2 — checked on live measurements.
+    let mut lmul1 = VectorKeccakEngine::new(KernelKind::E64Lmul1, 6);
+    let mut lmul8 = VectorKeccakEngine::new(KernelKind::E64Lmul8, 6);
+    let mut e32 = VectorKeccakEngine::new(KernelKind::E32Lmul8, 6);
+    let t_lmul1 = lmul1.measure().unwrap().throughput_millibits_per_cycle();
+    let t_lmul8 = lmul8.measure().unwrap().throughput_millibits_per_cycle();
+    let t_e32 = e32.measure().unwrap().throughput_millibits_per_cycle();
+    // LMUL=8 beats LMUL=1 by ~1.35×.
+    let f = t_lmul8 / t_lmul1;
+    assert!((1.3..1.4).contains(&f), "LMUL8/LMUL1 = {f:.3}");
+    // 64-bit runs about twice as fast as 32-bit.
+    let f = t_lmul8 / t_e32;
+    assert!((1.8..2.05).contains(&f), "64/32 = {f:.3}");
+    // Against every published comparator, the vector design wins by a
+    // large margin (paper: 45.7× vs MIPS Coproc, 43.2× vs DASIP,
+    // 5.3× vs Rawat).
+    for row in paper_rows() {
+        let ours = if row.table7 { t_lmul8 } else { t_e32 };
+        assert!(
+            ours > 2.0 * row.throughput_millibits,
+            "{} should lose clearly (ours {ours:.1} vs {:.1})",
+            row.name,
+            row.throughput_millibits
+        );
+    }
+    // And the measured scalar baseline loses by well over an order of
+    // magnitude.
+    let scalar = ScalarKeccak::new()
+        .measure()
+        .unwrap()
+        .throughput_millibits_per_cycle();
+    assert!(
+        t_e32 / scalar > 20.0,
+        "32-bit vs scalar = {:.1}×",
+        t_e32 / scalar
+    );
+}
+
+#[test]
+fn latency_constant_as_states_scale() {
+    for kind in KernelKind::ALL {
+        let mut cycles = Vec::new();
+        for states in [1usize, 3, 6] {
+            let mut engine = VectorKeccakEngine::new(kind, states);
+            cycles.push(engine.measure().unwrap().permutation_cycles);
+        }
+        assert!(
+            cycles.windows(2).all(|w| w[0] == w[1]),
+            "{kind}: {cycles:?}"
+        );
+    }
+}

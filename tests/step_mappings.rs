@@ -1,0 +1,212 @@
+//! Step-by-step validation: each phase of the vector kernels, executed
+//! in isolation on the simulator, must match the corresponding reference
+//! step mapping (θ, ρ, π, χ, ι) from `krv-keccak`.
+
+use keccak_rvv::asm::assemble;
+use keccak_rvv::isa::{Lmul, Sew, VReg, Vtype, XReg};
+use keccak_rvv::keccak::{steps, KeccakState};
+use keccak_rvv::vproc::{Processor, ProcessorConfig};
+
+const ELENUM: usize = 10; // two states
+const STATES: usize = 2;
+
+fn sample_states() -> Vec<KeccakState> {
+    (0..STATES)
+        .map(|s| {
+            let mut lanes = [0u64; 25];
+            for (i, lane) in lanes.iter_mut().enumerate() {
+                *lane = (0x9E37_79B9_7F4A_7C15u64)
+                    .wrapping_mul(i as u64 + 1)
+                    .wrapping_add(s as u64 * 0x1234_5678_9ABC_DEF1);
+            }
+            KeccakState::from_lanes(lanes)
+        })
+        .collect()
+}
+
+/// Loads states plane-per-plane into v0–v4 of a 64-bit processor.
+fn load_states(cpu: &mut Processor, states: &[KeccakState]) {
+    let vu = cpu.vector_unit_mut();
+    vu.set_config(
+        ELENUM as u32,
+        Vtype::new(Sew::E64, Lmul::M1).tail_undisturbed(),
+    )
+    .expect("config");
+    for (s, state) in states.iter().enumerate() {
+        for y in 0..5 {
+            for x in 0..5 {
+                vu.write_elem_sew(VReg::from_index(y), 5 * s + x, Sew::E64, state.lane(x, y));
+            }
+        }
+    }
+}
+
+/// Reads states back from the given base register group.
+fn read_states(cpu: &Processor, base: usize) -> Vec<KeccakState> {
+    let vu = cpu.vector_unit();
+    (0..STATES)
+        .map(|s| {
+            let mut state = KeccakState::new();
+            for y in 0..5 {
+                for x in 0..5 {
+                    state.set_lane(
+                        x,
+                        y,
+                        vu.read_elem_sew(VReg::from_index(base + y), 5 * s + x, Sew::E64),
+                    );
+                }
+            }
+            state
+        })
+        .collect()
+}
+
+fn run_snippet(body: &str, states: &[KeccakState]) -> Processor {
+    let source =
+        format!("li s1, {ELENUM}\nli s2, -1\nvsetvli x0, s1, e64, m1, tu, mu\n{body}\necall\n");
+    let program = assemble(&source).expect("snippet assembles");
+    let mut cpu = Processor::new(ProcessorConfig::elen64(ELENUM));
+    cpu.load_program(program.instructions());
+    load_states(&mut cpu, states);
+    cpu.run(100_000).expect("snippet runs");
+    cpu
+}
+
+#[test]
+fn theta_sequence_matches_reference() {
+    let states = sample_states();
+    let cpu = run_snippet(
+        "vxor.vv v5, v3, v4\n\
+         vxor.vv v6, v1, v2\n\
+         vxor.vv v7, v0, v6\n\
+         vxor.vv v5, v5, v7\n\
+         vslideupm.vi v6, v5, 1\n\
+         vslidedownm.vi v7, v5, 1\n\
+         vrotup.vi v7, v7, 1\n\
+         vxor.vv v5, v6, v7\n\
+         vxor.vv v0, v0, v5\n\
+         vxor.vv v1, v1, v5\n\
+         vxor.vv v2, v2, v5\n\
+         vxor.vv v3, v3, v5\n\
+         vxor.vv v4, v4, v5",
+        &states,
+    );
+    let results = read_states(&cpu, 0);
+    for (result, state) in results.iter().zip(&states) {
+        assert_eq!(*result, steps::theta(state));
+    }
+}
+
+#[test]
+fn rho_sequence_matches_reference() {
+    let states = sample_states();
+    let cpu = run_snippet(
+        "v64rho.vi v0, v0, 0\n\
+         v64rho.vi v1, v1, 1\n\
+         v64rho.vi v2, v2, 2\n\
+         v64rho.vi v3, v3, 3\n\
+         v64rho.vi v4, v4, 4",
+        &states,
+    );
+    let results = read_states(&cpu, 0);
+    for (result, state) in results.iter().zip(&states) {
+        assert_eq!(*result, steps::rho(state));
+    }
+}
+
+#[test]
+fn pi_sequence_matches_reference() {
+    let states = sample_states();
+    let cpu = run_snippet(
+        "vpi.vi v5, v0, 0\n\
+         vpi.vi v5, v1, 1\n\
+         vpi.vi v5, v2, 2\n\
+         vpi.vi v5, v3, 3\n\
+         vpi.vi v5, v4, 4",
+        &states,
+    );
+    let results = read_states(&cpu, 5);
+    for (result, state) in results.iter().zip(&states) {
+        assert_eq!(*result, steps::pi(state));
+    }
+}
+
+#[test]
+fn chi_sequence_matches_reference() {
+    let states = sample_states();
+    // χ consumes the π output registers v5–v9 in the kernel; here feed
+    // the raw states through π-less χ by first copying v0–v4 to v5–v9.
+    let cpu = run_snippet(
+        "vmv.v.v v5, v0\n\
+         vmv.v.v v6, v1\n\
+         vmv.v.v v7, v2\n\
+         vmv.v.v v8, v3\n\
+         vmv.v.v v9, v4\n\
+         vslidedownm.vi v10, v5, 1\n\
+         vslidedownm.vi v11, v6, 1\n\
+         vslidedownm.vi v12, v7, 1\n\
+         vslidedownm.vi v13, v8, 1\n\
+         vslidedownm.vi v14, v9, 1\n\
+         vxor.vx v10, v10, s2\n\
+         vxor.vx v11, v11, s2\n\
+         vxor.vx v12, v12, s2\n\
+         vxor.vx v13, v13, s2\n\
+         vxor.vx v14, v14, s2\n\
+         vslidedownm.vi v15, v5, 2\n\
+         vslidedownm.vi v16, v6, 2\n\
+         vslidedownm.vi v17, v7, 2\n\
+         vslidedownm.vi v18, v8, 2\n\
+         vslidedownm.vi v19, v9, 2\n\
+         vand.vv v10, v10, v15\n\
+         vand.vv v11, v11, v16\n\
+         vand.vv v12, v12, v17\n\
+         vand.vv v13, v13, v18\n\
+         vand.vv v14, v14, v19\n\
+         vxor.vv v0, v5, v10\n\
+         vxor.vv v1, v6, v11\n\
+         vxor.vv v2, v7, v12\n\
+         vxor.vv v3, v8, v13\n\
+         vxor.vv v4, v9, v14",
+        &states,
+    );
+    let results = read_states(&cpu, 0);
+    for (result, state) in results.iter().zip(&states) {
+        assert_eq!(*result, steps::chi(state));
+    }
+}
+
+#[test]
+fn iota_instruction_matches_reference() {
+    let states = sample_states();
+    for round in [0usize, 7, 23] {
+        let cpu = run_snippet(&format!("li s3, {round}\nviota.vx v0, v0, s3"), &states);
+        let results = read_states(&cpu, 0);
+        for (result, state) in results.iter().zip(&states) {
+            assert_eq!(*result, steps::iota(state, round), "round {round}");
+        }
+    }
+}
+
+#[test]
+fn full_round_sequence_matches_round_trace() {
+    use keccak_rvv::keccak::steps::RoundTrace;
+    let states = sample_states();
+    let trace = RoundTrace::capture(&states[0], 0);
+    // One full LMUL=1 round via the engine-generated kernel (single
+    // round: set s4 = 1).
+    let kernel = keccak_rvv::core::programs::kernel_e64_lmul1(ELENUM);
+    let one_round = kernel.source.replace("li s4, 24", "li s4, 1");
+    let program = assemble(&one_round).expect("assembles");
+    let mut cpu = Processor::new(ProcessorConfig::elen64(ELENUM));
+    keccak_rvv::core::layout::write_states_64(cpu.dmem_mut(), 0, ELENUM, &states)
+        .expect("states fit");
+    for &(reg, addr) in &kernel.presets {
+        cpu.set_xreg(reg, addr);
+    }
+    cpu.load_program(program.instructions());
+    cpu.run(100_000).expect("runs");
+    let results =
+        keccak_rvv::core::layout::read_states_64(cpu.dmem(), 0, ELENUM, STATES).expect("reads");
+    assert_eq!(results[0], trace.after_iota);
+    let _ = cpu.xreg(XReg::X0);
+}
