@@ -134,7 +134,7 @@ fn parse_mem_operand(text: &str, line: usize) -> Result<(i64, XReg), AsmError> {
 }
 
 /// Strips a trailing `v0.t` mask operand; returns `(operands, vm)`.
-fn take_mask<'a>(mut operands: Vec<&'a str>) -> (Vec<&'a str>, bool) {
+fn take_mask(mut operands: Vec<&str>) -> (Vec<&str>, bool) {
     if operands.last().map(|s| s.trim()) == Some("v0.t") {
         operands.pop();
         (operands, false)
@@ -503,7 +503,7 @@ fn emit(
             expect_operands(line, ops, 2, "rd, imm20")?;
             let rd = parse_xreg(ops[0], line)?;
             let imm20 = check_range(line, parse_imm(ops[1], line)?, -524288, 1048575, "imm20")?;
-            let imm = (imm20 << 12) as i32;
+            let imm = imm20 << 12;
             out.push(if m == "lui" {
                 Instruction::Lui { rd, imm }
             } else {

@@ -1,52 +1,123 @@
 //! Robustness: the assembler must never panic, whatever the input.
 
 use krv_asm::assemble;
-use proptest::prelude::*;
+use krv_testkit::{cases, Rng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(3000))]
+/// Random text over the printable range plus newlines, tabs and unicode.
+fn arbitrary_text(rng: &mut Rng) -> String {
+    let len = rng.below(120);
+    (0..len)
+        .map(|_| {
+            let c = rng.below(99) as u8;
+            match c {
+                0..=94 => (b' ' + c) as char,
+                95 => '\n',
+                96 => '\t',
+                97 => '\u{1F600}',
+                _ => 'é',
+            }
+        })
+        .collect()
+}
 
-    /// Arbitrary text: parse errors are fine, panics are not.
-    #[test]
-    fn arbitrary_text_never_panics(source in ".*") {
-        let _ = assemble(&source);
+/// Text biased toward assembly-looking tokens, to reach deeper into the
+/// operand parsers than pure noise would.
+fn assembly_shaped_line(rng: &mut Rng) -> String {
+    match rng.below(4) {
+        0 => {
+            // Plausible mnemonics with mangled operands.
+            let mnemonic = rng.pick(&[
+                "addi",
+                "vxor.vv",
+                "vle64.v",
+                "v64rho.vi",
+                "vpi.vi",
+                "viota.vx",
+                "blt",
+                "li",
+                "csrr",
+                "vsetvli",
+            ]);
+            let tail_len = rng.below(31);
+            let tail: String = (0..tail_len)
+                .map(|_| {
+                    *rng.pick(&[
+                        ' ', ',', '(', ')', '.', '$', '#', '-', 'a', 'x', 'v', '0', '9',
+                    ])
+                })
+                .collect();
+            format!("{mnemonic} {tail}")
+        }
+        1 => {
+            // Labels and label-like junk.
+            let len = 1 + rng.below(12);
+            let mut label: String = (0..len)
+                .map(|_| *rng.pick(&['a', 'b', 'z', '_', '.']))
+                .collect();
+            label.push(':');
+            label
+        }
+        2 => {
+            // Immediates at the edges.
+            let magnitude = rng.next_u64() % 10_000_000_000;
+            if rng.next_bool() {
+                format!("addi x1, x1, {magnitude}")
+            } else {
+                format!("addi x1, x1, -{magnitude}")
+            }
+        }
+        _ => {
+            // Mask suffix in odd places.
+            if rng.next_bool() {
+                "vadd.vv v1, v2, v3, v0.t".to_string()
+            } else {
+                "vadd.vv v1, v2, v3".to_string()
+            }
+        }
     }
+}
 
-    /// Text biased toward assembly-looking tokens, to reach deeper into
-    /// the operand parsers than pure noise would.
-    #[test]
-    fn assembly_shaped_text_never_panics(
-        lines in proptest::collection::vec(
-            prop_oneof![
-                // plausible mnemonics with mangled operands
-                "(addi|vxor\\.vv|vle64\\.v|v64rho\\.vi|vpi\\.vi|viota\\.vx|blt|li|csrr|vsetvli) [a-z0-9 ,().$#-]{0,30}",
-                // labels and label-like junk
-                "[a-z_.]{1,12}:",
-                // immediates at the edges
-                "addi x1, x1, (-?[0-9]{1,10}|0x[0-9a-fA-F]{1,10})",
-                // mask suffix in odd places
-                "vadd\\.vv v1, v2, v3(, v0\\.t)?",
-            ],
-            0..12,
-        )
-    ) {
+#[test]
+fn arbitrary_text_never_panics() {
+    cases(3000, |rng| {
+        let source = arbitrary_text(rng);
+        let _ = assemble(&source);
+    });
+}
+
+#[test]
+fn assembly_shaped_text_never_panics() {
+    cases(3000, |rng| {
+        let line_count = rng.below(12);
+        let lines: Vec<String> = (0..line_count).map(|_| assembly_shaped_line(rng)).collect();
         let source = lines.join("\n");
         let _ = assemble(&source);
-    }
+    });
+}
 
-    /// Every error carries a plausible line number.
-    #[test]
-    fn errors_point_into_the_source(
-        garbage in "[a-z]{3,10} [a-z0-9, ]{0,20}",
-        padding in 0usize..5,
-    ) {
+#[test]
+fn errors_point_into_the_source() {
+    cases(1000, |rng| {
+        // A garbage line after `padding` nops: any error must carry a
+        // line number inside the source.
+        let garbage_len = 3 + rng.below(8);
+        let mut garbage: String = (0..garbage_len)
+            .map(|_| (b'a' + rng.below(26) as u8) as char)
+            .collect();
+        garbage.push(' ');
+        let tail_len = rng.below(21);
+        let tail: String = (0..tail_len)
+            .map(|_| *rng.pick(&['a', 'z', '0', '9', ',', ' ']))
+            .collect();
+        garbage.push_str(&tail);
+        let padding = rng.below(5);
         let mut source = "nop\n".repeat(padding);
         source.push_str(&garbage);
         if let Err(error) = assemble(&source) {
-            prop_assert!(error.line() >= 1);
-            prop_assert!(error.line() <= padding + 1);
+            assert!(error.line() >= 1);
+            assert!(error.line() <= padding + 1);
         }
-    }
+    });
 }
 
 #[test]

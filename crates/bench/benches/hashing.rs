@@ -1,65 +1,66 @@
-//! Criterion benches for the SHA-3 layer: single-message hashing, XOF
+//! Wall-clock benches for the SHA-3 layer: single-message hashing, XOF
 //! squeezing, and the batch API the paper motivates with Kyber.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use krv_sha3::{BatchSponge, ReferenceBackend, Sha3_256, Shake128, SpongeParams, Xof};
+use krv_testkit::Stopwatch;
 use std::hint::black_box;
 
-fn bench_sha3_digest(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sha3_256");
+fn bench_sha3_digest() {
     for size in [64usize, 1024, 65536] {
         let message = vec![0xA5u8; size];
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(size), &message, |b, msg| {
-            b.iter(|| Sha3_256::digest(black_box(msg)));
+        let sw = Stopwatch::measure(if size > 4096 { 50 } else { 500 }, 5, || {
+            black_box(Sha3_256::digest(black_box(&message)));
         });
+        println!(
+            "{}  ({:.1} MB/s)",
+            sw.report(&format!("sha3_256/{size}")),
+            sw.per_second(size as f64) / 1e6
+        );
     }
-    group.finish();
 }
 
-fn bench_shake_squeeze(c: &mut Criterion) {
-    let mut group = c.benchmark_group("shake128_squeeze");
+fn bench_shake_squeeze() {
     for out_len in [168usize, 1344] {
-        group.throughput(Throughput::Bytes(out_len as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(out_len), &out_len, |b, &len| {
-            b.iter(|| {
-                let mut xof = Shake128::new();
-                xof.update(b"seed material");
-                black_box(xof.squeeze(len))
-            });
+        let sw = Stopwatch::measure(200, 5, || {
+            let mut xof = Shake128::new();
+            xof.update(b"seed material");
+            black_box(xof.squeeze(out_len));
         });
+        println!(
+            "{}  ({:.1} MB/s)",
+            sw.report(&format!("shake128_squeeze/{out_len}")),
+            sw.per_second(out_len as f64) / 1e6
+        );
     }
-    group.finish();
 }
 
 /// Batch lockstep hashing vs hashing the members one by one — the code
 /// path a multi-state hardware backend accelerates.
-fn bench_batch(c: &mut Criterion) {
-    let mut group = c.benchmark_group("batch_vs_sequential");
+fn bench_batch() {
     let inputs: Vec<Vec<u8>> = (0..6u8).map(|i| vec![i; 136]).collect();
-    group.throughput(Throughput::Bytes(6 * 136));
-    group.bench_function("batch6", |b| {
-        b.iter(|| {
-            let refs: Vec<&[u8]> = inputs.iter().map(|v| v.as_slice()).collect();
-            let mut batch = BatchSponge::new(SpongeParams::shake(128), ReferenceBackend::new(), 6);
-            batch.absorb(black_box(&refs));
-            black_box(batch.squeeze(168))
-        });
+    let sw = Stopwatch::measure(200, 5, || {
+        let refs: Vec<&[u8]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let mut batch = BatchSponge::new(SpongeParams::shake(128), ReferenceBackend::new(), 6);
+        batch.absorb(black_box(&refs));
+        black_box(batch.squeeze(168));
     });
-    group.bench_function("sequential6", |b| {
-        b.iter(|| {
-            inputs
-                .iter()
-                .map(|input| {
-                    let mut xof = Shake128::new();
-                    xof.update(black_box(input));
-                    xof.squeeze(168)
-                })
-                .collect::<Vec<_>>()
-        });
+    println!("{}", sw.report("batch_vs_sequential/batch6"));
+    let sw = Stopwatch::measure(200, 5, || {
+        let out: Vec<Vec<u8>> = inputs
+            .iter()
+            .map(|input| {
+                let mut xof = Shake128::new();
+                xof.update(black_box(input));
+                xof.squeeze(168)
+            })
+            .collect();
+        black_box(out);
     });
-    group.finish();
+    println!("{}", sw.report("batch_vs_sequential/sequential6"));
 }
 
-criterion_group!(benches, bench_sha3_digest, bench_shake_squeeze, bench_batch);
-criterion_main!(benches);
+fn main() {
+    bench_sha3_digest();
+    bench_shake_squeeze();
+    bench_batch();
+}

@@ -1,53 +1,49 @@
-//! Criterion benches for the Kyber workload (the paper's §5 future
+//! Wall-clock benches for the Kyber workload (the paper's §5 future
 //! work): keygen and PKE round trips on the host reference backend and
 //! through the simulated vector processor.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use krv_core::{KernelKind, VectorKeccakEngine};
 use krv_kyber::{decrypt, encrypt, keygen, KyberParams};
 use krv_sha3::ReferenceBackend;
+use krv_testkit::Stopwatch;
 use std::hint::black_box;
 
-fn bench_keygen(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kyber_keygen");
-    group.sample_size(20);
+fn bench_keygen() {
     for (name, params) in [
         ("kyber512", KyberParams::KYBER512),
         ("kyber768", KyberParams::KYBER768),
         ("kyber1024", KyberParams::KYBER1024),
     ] {
-        group.bench_function(BenchmarkId::new("host", name), |b| {
-            let seed = [0x42u8; 32];
-            b.iter(|| keygen(params, black_box(&seed), ReferenceBackend::new()));
+        let seed = [0x42u8; 32];
+        let sw = Stopwatch::measure(5, 3, || {
+            black_box(keygen(params, black_box(&seed), ReferenceBackend::new()));
         });
+        println!("{}", sw.report(&format!("kyber_keygen/host/{name}")));
     }
     // One simulated configuration (the simulator is ~100× slower per
     // permutation, so keep the matrix small for bench time).
-    group.bench_function(BenchmarkId::new("simulated_6state", "kyber768"), |b| {
-        let seed = [0x42u8; 32];
-        let mut engine = VectorKeccakEngine::new(KernelKind::E64Lmul8, 6);
-        b.iter(|| keygen(KyberParams::KYBER768, black_box(&seed), &mut engine));
+    let seed = [0x42u8; 32];
+    let mut engine = VectorKeccakEngine::new(KernelKind::E64Lmul8, 6);
+    let sw = Stopwatch::measure(1, 3, || {
+        black_box(keygen(KyberParams::KYBER768, black_box(&seed), &mut engine));
     });
-    group.finish();
+    println!("{}", sw.report("kyber_keygen/simulated_6state/kyber768"));
 }
 
-fn bench_pke(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kyber_pke");
-    group.sample_size(20);
+fn bench_pke() {
     let params = KyberParams::KYBER768;
     let keypair = keygen(params, &[7u8; 32], ReferenceBackend::new());
     let message = [0xABu8; 32];
-    group.bench_function("encrypt", |b| {
-        b.iter(|| {
-            encrypt(
-                params,
-                &keypair,
-                black_box(&message),
-                &[9u8; 32],
-                ReferenceBackend::new(),
-            )
-        });
+    let sw = Stopwatch::measure(5, 3, || {
+        black_box(encrypt(
+            params,
+            &keypair,
+            black_box(&message),
+            &[9u8; 32],
+            ReferenceBackend::new(),
+        ));
     });
+    println!("{}", sw.report("kyber_pke/encrypt"));
     let ciphertext = encrypt(
         params,
         &keypair,
@@ -55,11 +51,13 @@ fn bench_pke(c: &mut Criterion) {
         &[9u8; 32],
         ReferenceBackend::new(),
     );
-    group.bench_function("decrypt", |b| {
-        b.iter(|| decrypt(params, &keypair, black_box(&ciphertext)));
+    let sw = Stopwatch::measure(20, 3, || {
+        black_box(decrypt(params, &keypair, black_box(&ciphertext)));
     });
-    group.finish();
+    println!("{}", sw.report("kyber_pke/decrypt"));
 }
 
-criterion_group!(benches, bench_keygen, bench_pke);
-criterion_main!(benches);
+fn main() {
+    bench_keygen();
+    bench_pke();
+}

@@ -1,4 +1,4 @@
-//! Criterion benches for the Keccak permutation across backends: the
+//! Wall-clock benches for the Keccak permutation across backends: the
 //! software reference, the three simulated vector kernels (Tables 7/8
 //! configurations) and the scalar Ibex baseline.
 //!
@@ -6,10 +6,10 @@
 //! metrics come from the `table7`/`table8` binaries, which read the
 //! simulator's cycle counters.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use krv_baselines::ScalarKeccak;
 use krv_core::{KernelKind, VectorKeccakEngine};
 use krv_keccak::{keccak_f1600, KeccakState};
+use krv_testkit::Stopwatch;
 use std::hint::black_box;
 
 fn sample_states(n: usize) -> Vec<KeccakState> {
@@ -24,61 +24,49 @@ fn sample_states(n: usize) -> Vec<KeccakState> {
         .collect()
 }
 
-fn bench_reference(c: &mut Criterion) {
-    let mut group = c.benchmark_group("reference");
-    group.throughput(Throughput::Bytes(200));
-    group.bench_function("keccak_f1600", |b| {
-        let mut state = sample_states(1)[0];
-        b.iter(|| {
-            keccak_f1600(black_box(&mut state));
-        });
+fn bench_reference() {
+    let mut state = sample_states(1)[0];
+    let sw = Stopwatch::measure(10_000, 5, || {
+        keccak_f1600(black_box(&mut state));
     });
-    group.finish();
+    println!(
+        "{}  ({:.1} MB/s)",
+        sw.report("reference/keccak_f1600"),
+        sw.per_second(200.0) / 1e6
+    );
 }
 
-fn bench_vector_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulated_kernel");
+fn bench_vector_kernels() {
     for kind in KernelKind::ALL {
         for states in [1usize, 6] {
-            group.throughput(Throughput::Bytes(200 * states as u64));
-            group.bench_with_input(
-                BenchmarkId::new(format!("{kind}"), states),
-                &states,
-                |b, &states| {
-                    let mut engine = VectorKeccakEngine::new(kind, states);
-                    let mut data = sample_states(states);
-                    b.iter(|| {
-                        engine
-                            .permute_slice(black_box(&mut data))
-                            .expect("kernel runs");
-                    });
-                },
+            let mut engine = VectorKeccakEngine::new(kind, states);
+            let mut data = sample_states(states);
+            let sw = Stopwatch::measure(5, 3, || {
+                engine
+                    .permute_slice(black_box(&mut data))
+                    .expect("kernel runs");
+            });
+            println!(
+                "{}",
+                sw.report(&format!("simulated_kernel/{kind}/{states}"))
             );
         }
     }
-    group.finish();
 }
 
-fn bench_scalar_baseline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulated_scalar");
-    group.throughput(Throughput::Bytes(200));
-    group.sample_size(10);
-    group.bench_function("ibex_baseline", |b| {
-        let mut baseline = ScalarKeccak::new();
-        let mut state = sample_states(1)[0];
-        b.iter(|| {
-            baseline
-                .permute_state(black_box(&mut state))
-                .expect("baseline runs");
-        });
+fn bench_scalar_baseline() {
+    let mut baseline = ScalarKeccak::new();
+    let mut state = sample_states(1)[0];
+    let sw = Stopwatch::measure(2, 3, || {
+        baseline
+            .permute_state(black_box(&mut state))
+            .expect("baseline runs");
     });
-    group.finish();
+    println!("{}", sw.report("simulated_scalar/ibex_baseline"));
 }
 
-criterion_group!(
-    benches,
-    bench_reference,
-    bench_vector_kernels,
-    bench_scalar_baseline
-);
-criterion_main!(benches);
+fn main() {
+    bench_reference();
+    bench_vector_kernels();
+    bench_scalar_baseline();
+}

@@ -1,76 +1,78 @@
-//! Criterion benches for the infrastructure itself: simulator
+//! Wall-clock benches for the infrastructure itself: simulator
 //! instruction throughput and assembler/encoder speed.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use krv_asm::assemble;
 use krv_isa::Instruction;
+use krv_testkit::Stopwatch;
 use krv_vproc::{Processor, ProcessorConfig};
 use std::hint::black_box;
 
-fn bench_simulator_steps(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator");
+fn bench_simulator_steps() {
     // A 1000-iteration scalar loop: 3 instructions per iteration.
     let program = assemble(
         "li t0, 0\nli t1, 1000\nloop:\naddi a0, a0, 7\naddi t0, t0, 1\nblt t0, t1, loop\necall",
     )
     .expect("assembles");
-    group.throughput(Throughput::Elements(3003));
-    group.bench_function("scalar_loop_3k_instructions", |b| {
-        b.iter(|| {
-            let mut cpu = Processor::new(ProcessorConfig::elen64(5));
-            cpu.load_program(program.instructions());
-            black_box(cpu.run(1_000_000).expect("runs"))
-        });
+    let sw = Stopwatch::measure(100, 5, || {
+        let mut cpu = Processor::new(ProcessorConfig::elen64(5));
+        cpu.load_program(program.instructions());
+        black_box(cpu.run(1_000_000).expect("runs"));
     });
+    println!(
+        "{}  ({:.1} M instr/s)",
+        sw.report("simulator/scalar_loop_3k_instructions"),
+        sw.per_second(3003.0) / 1e6
+    );
     // Vector-heavy loop.
     let vprogram = assemble(
         "li s1, 30\nli t0, 0\nli t1, 500\nvsetvli x0, s1, e64, m1, tu, mu\n\
          loop:\nvxor.vv v1, v2, v3\nvslidedownm.vi v4, v1, 1\naddi t0, t0, 1\nblt t0, t1, loop\necall",
     )
     .expect("assembles");
-    group.throughput(Throughput::Elements(2005));
-    group.bench_function("vector_loop_2k_instructions", |b| {
-        b.iter(|| {
-            let mut cpu = Processor::new(ProcessorConfig::elen64(30));
-            cpu.load_program(vprogram.instructions());
-            black_box(cpu.run(10_000_000).expect("runs"))
-        });
+    let sw = Stopwatch::measure(100, 5, || {
+        let mut cpu = Processor::new(ProcessorConfig::elen64(30));
+        cpu.load_program(vprogram.instructions());
+        black_box(cpu.run(10_000_000).expect("runs"));
     });
-    group.finish();
+    println!(
+        "{}  ({:.1} M instr/s)",
+        sw.report("simulator/vector_loop_2k_instructions"),
+        sw.per_second(2005.0) / 1e6
+    );
 }
 
-fn bench_assembler(c: &mut Criterion) {
-    let mut group = c.benchmark_group("assembler");
+fn bench_assembler() {
     let source = krv_baselines::scalar::program_source();
-    let lines = source.lines().count() as u64;
-    group.throughput(Throughput::Elements(lines));
-    group.bench_function("scalar_keccak_program", |b| {
-        b.iter(|| assemble(black_box(&source)).expect("assembles"));
+    let lines = source.lines().count() as f64;
+    let sw = Stopwatch::measure(100, 5, || {
+        black_box(assemble(black_box(&source)).expect("assembles"));
     });
-    group.finish();
+    println!(
+        "{}  ({:.1} k lines/s)",
+        sw.report("assembler/scalar_keccak_program"),
+        sw.per_second(lines) / 1e3
+    );
 }
 
-fn bench_codec(c: &mut Criterion) {
-    let mut group = c.benchmark_group("codec");
+fn bench_codec() {
     let program = assemble(&krv_baselines::scalar::program_source()).expect("assembles");
     let words = program.machine_code();
-    group.throughput(Throughput::Elements(words.len() as u64));
-    group.bench_function("decode_scalar_program", |b| {
-        b.iter(|| {
-            for &word in &words {
-                black_box(Instruction::decode(black_box(word)).expect("decodes"));
-            }
-        });
+    let sw = Stopwatch::measure(1000, 5, || {
+        for &word in &words {
+            black_box(Instruction::decode(black_box(word)).expect("decodes"));
+        }
     });
-    group.bench_function("encode_scalar_program", |b| {
-        b.iter(|| {
-            for instr in program.instructions() {
-                black_box(instr.encode());
-            }
-        });
+    println!("{}", sw.report("codec/decode_scalar_program"));
+    let sw = Stopwatch::measure(1000, 5, || {
+        for instr in program.instructions() {
+            black_box(instr.encode());
+        }
     });
-    group.finish();
+    println!("{}", sw.report("codec/encode_scalar_program"));
 }
 
-criterion_group!(benches, bench_simulator_steps, bench_assembler, bench_codec);
-criterion_main!(benches);
+fn main() {
+    bench_simulator_steps();
+    bench_assembler();
+    bench_codec();
+}

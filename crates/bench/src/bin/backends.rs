@@ -1,0 +1,248 @@
+//! Backend comparison: reference vs single-engine vs pooled.
+//!
+//! Hashes the same 1000-message mixed-length SHAKE128 batch through the
+//! drain-and-refill scheduler on each execution backend, checks the
+//! outputs are bit-identical, and records permutations per second into
+//! `BENCH_backends.json` (repo root) so future changes have a
+//! performance trajectory to compare against.
+//!
+//! Two throughput figures are recorded per backend:
+//!
+//! * **wall** — host wall-clock permutations/sec of the simulation
+//!   itself (depends on the machine; the pool only wins here with
+//!   multiple physical cores), and
+//! * **simulated** — permutations/sec of the modelled hardware at the
+//!   paper's 100 MHz clock, computed from the deterministic critical
+//!   path (the busiest engine's cycles). This figure is
+//!   host-independent: a pool of `W` workers approaches `W ×` the
+//!   single-engine rate by construction.
+//!
+//! Run with: `cargo run --release -p krv-bench --bin backends`
+
+use krv_core::{EnginePool, KernelKind, VectorKeccakEngine};
+use krv_sha3::{hash_batch, BatchRequest, PermutationBackend, ReferenceBackend, SpongeParams};
+use krv_testkit::{Rng, Stopwatch};
+use std::fmt::Write as _;
+
+const MESSAGES: usize = 1000;
+const OUTPUT_LEN: usize = 32;
+const SN: usize = 4;
+const CLOCK_HZ: f64 = 100e6;
+
+/// Counts the individual state permutations the schedule performs (the
+/// logical work, identical for every backend).
+struct CountingBackend {
+    inner: ReferenceBackend,
+    permutations: u64,
+}
+
+impl PermutationBackend for CountingBackend {
+    fn permute_all(&mut self, states: &mut [krv_keccak::KeccakState]) {
+        self.permutations += states.len() as u64;
+        self.inner.permute_all(states);
+    }
+}
+
+/// Accumulates the deterministic critical-path cycles of an engine
+/// backend across every dispatch of a batch.
+struct CyclesBackend<B> {
+    inner: B,
+    critical_path: u64,
+}
+
+impl<B> CyclesBackend<B> {
+    fn new(inner: B) -> Self {
+        Self {
+            inner,
+            critical_path: 0,
+        }
+    }
+}
+
+/// The critical-path cycles a backend spent on its most recent
+/// dispatch (a single `permute_all` call, possibly many passes).
+trait DispatchCycles: PermutationBackend {
+    /// Hardware passes executed so far (cumulative).
+    fn passes(&self) -> u64;
+    /// Critical-path cycles of the dispatch since `passes_before`.
+    fn dispatch_critical_path(&self, passes_before: u64) -> u64;
+}
+
+impl DispatchCycles for VectorKeccakEngine {
+    fn passes(&self) -> u64 {
+        self.permutations()
+    }
+
+    fn dispatch_critical_path(&self, passes_before: u64) -> u64 {
+        // A single engine serializes its passes, and per-pass cycles
+        // are data-independent for a fixed kernel: the dispatch costs
+        // passes × per-pass cycles back to back.
+        let per_pass = self.last_metrics().map_or(0, |m| m.total_cycles);
+        (self.permutations() - passes_before) * per_pass
+    }
+}
+
+impl DispatchCycles for EnginePool {
+    fn passes(&self) -> u64 {
+        self.permutations()
+    }
+
+    fn dispatch_critical_path(&self, _passes_before: u64) -> u64 {
+        // The pool's metrics already cover the whole dispatch: the
+        // busiest worker's cycles are the critical path.
+        self.last_metrics().map_or(0, |m| m.max_cycles)
+    }
+}
+
+impl<B: DispatchCycles> PermutationBackend for CyclesBackend<B> {
+    fn permute_all(&mut self, states: &mut [krv_keccak::KeccakState]) {
+        if states.is_empty() {
+            return;
+        }
+        let before = self.inner.passes();
+        self.inner.permute_all(states);
+        self.critical_path += self.inner.dispatch_critical_path(before);
+    }
+
+    fn parallel_states(&self) -> usize {
+        self.inner.parallel_states()
+    }
+}
+
+struct Row {
+    name: &'static str,
+    detail: String,
+    wall_perms_per_sec: f64,
+    simulated_perms_per_sec: Option<f64>,
+}
+
+fn main() -> std::io::Result<()> {
+    let mut rng = Rng::new(0xBAC4_E2D5);
+    let messages: Vec<Vec<u8>> = (0..MESSAGES)
+        .map(|_| {
+            let len = rng.below(600);
+            rng.bytes(len)
+        })
+        .collect();
+    let requests: Vec<BatchRequest<'_>> = messages
+        .iter()
+        .map(|m| BatchRequest::new(m, OUTPUT_LEN))
+        .collect();
+    let params = SpongeParams::shake(128);
+
+    // Logical permutation count and the reference outputs (the oracle).
+    let mut counting = CountingBackend {
+        inner: ReferenceBackend::new(),
+        permutations: 0,
+    };
+    let expected = hash_batch(params, &mut counting, &requests);
+    let permutations = counting.permutations;
+
+    let workers = std::thread::available_parallelism()
+        .map_or(4, std::num::NonZeroUsize::get)
+        .clamp(4, 8);
+
+    println!("{MESSAGES} mixed-length SHAKE128 messages, {permutations} permutations per batch\n");
+
+    let mut rows = Vec::new();
+
+    let reference = Stopwatch::measure(1, 5, || {
+        let out = hash_batch(params, ReferenceBackend::new(), &requests);
+        assert_eq!(out, expected);
+    });
+    rows.push(Row {
+        name: "reference",
+        detail: "software Keccak-f[1600], sequential".into(),
+        wall_perms_per_sec: reference.per_second(permutations as f64),
+        simulated_perms_per_sec: None,
+    });
+
+    let mut engine = CyclesBackend::new(VectorKeccakEngine::new(KernelKind::E64Lmul8, SN));
+    let single = Stopwatch::measure(1, 3, || {
+        engine.critical_path = 0;
+        let out = hash_batch(params, &mut engine, &requests);
+        assert_eq!(out, expected);
+    });
+    let single_sim = permutations as f64 * CLOCK_HZ / engine.critical_path as f64;
+    rows.push(Row {
+        name: "single-engine",
+        detail: format!("{}, SN = {SN}", KernelKind::E64Lmul8.label()),
+        wall_perms_per_sec: single.per_second(permutations as f64),
+        simulated_perms_per_sec: Some(single_sim),
+    });
+
+    let mut pool = CyclesBackend::new(EnginePool::new(KernelKind::E64Lmul8, SN, workers));
+    let pooled = Stopwatch::measure(1, 3, || {
+        pool.critical_path = 0;
+        let out = hash_batch(params, &mut pool, &requests);
+        assert_eq!(out, expected);
+    });
+    let pooled_sim = permutations as f64 * CLOCK_HZ / pool.critical_path as f64;
+    rows.push(Row {
+        name: "pooled",
+        detail: format!(
+            "{}, {workers} workers × SN = {SN}",
+            KernelKind::E64Lmul8.label()
+        ),
+        wall_perms_per_sec: pooled.per_second(permutations as f64),
+        simulated_perms_per_sec: Some(pooled_sim),
+    });
+
+    let single_wall = rows[1].wall_perms_per_sec;
+    println!(
+        "{:<16} {:>14} {:>18} {:>12}",
+        "backend", "wall perms/s", "simulated perms/s", "sim speedup"
+    );
+    for row in &rows {
+        println!(
+            "{:<16} {:>14.0} {:>18} {:>12}",
+            row.name,
+            row.wall_perms_per_sec,
+            row.simulated_perms_per_sec
+                .map_or("—".into(), |v| format!("{v:.0}")),
+            row.simulated_perms_per_sec
+                .map_or("—".into(), |v| format!("{:.2}x", v / single_sim)),
+        );
+    }
+
+    // Hand-built JSON: the container has no serde, and the shape is flat.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"backends\",");
+    let _ = writeln!(json, "  \"messages\": {MESSAGES},");
+    let _ = writeln!(json, "  \"output_len\": {OUTPUT_LEN},");
+    let _ = writeln!(json, "  \"permutations_per_batch\": {permutations},");
+    let _ = writeln!(json, "  \"workers\": {workers},");
+    let _ = writeln!(json, "  \"sn\": {SN},");
+    let _ = writeln!(json, "  \"simulated_clock_hz\": {CLOCK_HZ:.0},");
+    let _ = writeln!(json, "  \"backends\": [");
+    for (index, row) in rows.iter().enumerate() {
+        let comma = if index + 1 < rows.len() { "," } else { "" };
+        let mut entry = format!(
+            "    {{ \"name\": \"{}\", \"detail\": \"{}\", \"wall_permutations_per_sec\": {:.1}",
+            row.name, row.detail, row.wall_perms_per_sec,
+        );
+        if let Some(sim) = row.simulated_perms_per_sec {
+            let _ = write!(
+                entry,
+                ", \"simulated_permutations_per_sec\": {:.1}, \"simulated_speedup_vs_single_engine\": {:.3}",
+                sim,
+                sim / single_sim,
+            );
+        }
+        let _ = writeln!(json, "{entry} }}{comma}");
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_backends.json", &json)?;
+    println!("\nwrote BENCH_backends.json");
+
+    let pooled_speedup = pooled_sim / single_sim;
+    println!("pooled simulated speedup: {pooled_speedup:.2}x (critical path, host-independent)");
+    if rows[2].wall_perms_per_sec < 2.0 * single_wall {
+        println!(
+            "note: wall-clock pooled speedup {:.2}x (host has {} core(s); ≥ 8 cores shows ≥ 2x)",
+            rows[2].wall_perms_per_sec / single_wall,
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        );
+    }
+    Ok(())
+}

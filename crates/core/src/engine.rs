@@ -1,5 +1,6 @@
 //! The multi-state vector Keccak engine.
 
+use crate::cache::{prepared_kernel, PreparedKernel};
 use crate::layout;
 use crate::metrics::KernelMetrics;
 use crate::programs::{
@@ -10,6 +11,7 @@ use krv_keccak::KeccakState;
 use krv_sha3::PermutationBackend;
 use krv_vproc::{Processor, ProcessorConfig, Trap};
 use std::fmt;
+use std::sync::Arc;
 
 /// Which architecture/kernel combination the engine runs
 /// (the three rows families of paper Tables 7 and 8).
@@ -79,7 +81,7 @@ impl KernelKind {
         }
     }
 
-    fn generate(self, elenum: usize) -> KernelProgram {
+    pub(crate) fn generate(self, elenum: usize) -> KernelProgram {
         match self {
             KernelKind::E64Lmul1 => kernel_e64_lmul1(elenum),
             KernelKind::E64Lmul8 => kernel_e64_lmul8(elenum),
@@ -89,7 +91,7 @@ impl KernelKind {
         }
     }
 
-    fn processor_config(self, elenum: usize) -> ProcessorConfig {
+    pub(crate) fn processor_config(self, elenum: usize) -> ProcessorConfig {
         match self {
             KernelKind::E32Lmul8 => ProcessorConfig::elen32(elenum),
             _ => ProcessorConfig::elen64(elenum),
@@ -120,7 +122,7 @@ pub struct VectorKeccakEngine {
     kind: KernelKind,
     states: usize,
     cpu: Processor,
-    kernel: KernelProgram,
+    prepared: Arc<PreparedKernel>,
     last_metrics: Option<KernelMetrics>,
     permutations: u64,
 }
@@ -128,20 +130,25 @@ pub struct VectorKeccakEngine {
 impl VectorKeccakEngine {
     /// Creates an engine holding `sn` parallel states (`EleNum = 5·sn`).
     ///
+    /// The kernel is pulled from the process-wide [`crate::cache`]: the
+    /// first engine for a given `(kind, sn)` generates, assembles and
+    /// pre-decodes it; every further engine — including every worker of
+    /// an [`crate::pool::EnginePool`] — shares that preparation.
+    ///
     /// # Panics
     ///
     /// Panics if `sn` is zero.
     pub fn new(kind: KernelKind, sn: usize) -> Self {
         assert!(sn > 0, "the engine needs at least one state slot");
         let elenum = 5 * sn;
-        let kernel = kind.generate(elenum);
+        let prepared = prepared_kernel(kind, elenum);
         let mut cpu = Processor::new(kind.processor_config(elenum));
-        cpu.load_program(kernel.program.instructions());
+        cpu.load_decoded(Arc::clone(&prepared.decoded));
         Self {
             kind,
             states: sn,
             cpu,
-            kernel,
+            prepared,
             last_metrics: None,
             permutations: 0,
         }
@@ -159,7 +166,7 @@ impl VectorKeccakEngine {
 
     /// The generated kernel (assembly source, program, markers).
     pub fn kernel(&self) -> &KernelProgram {
-        &self.kernel
+        &self.prepared.kernel
     }
 
     /// Metrics of the most recent hardware pass.
@@ -204,41 +211,58 @@ impl VectorKeccakEngine {
         Ok(self.last_metrics.expect("run_pass records metrics"))
     }
 
-    fn run_pass(&mut self, states: &mut [KeccakState]) -> Result<(), Trap> {
-        debug_assert!(states.len() <= self.states);
-        let elenum = self.kernel.elenum;
-        // Stage the states in data memory (paper Figures 5/6).
-        match self.kind {
-            KernelKind::E32Lmul8 => {
-                layout::write_states_32(
-                    self.cpu.dmem_mut(),
-                    STATE_BASE,
-                    STATE_BASE_HI,
-                    elenum,
-                    states,
-                )?;
-            }
-            _ => {
-                layout::write_states_64(self.cpu.dmem_mut(), STATE_BASE, elenum, states)?;
-            }
+    /// Opens a device-resident session: states stay staged in the
+    /// simulated data memory between kernel runs, so chained
+    /// permutations skip the host-side write/read round trip that
+    /// [`Self::permute_slice`] performs on every call.
+    pub fn session(&mut self) -> EngineSession<'_> {
+        EngineSession {
+            engine: self,
+            resident: 0,
         }
+    }
+
+    fn run_pass(&mut self, states: &mut [KeccakState]) -> Result<(), Trap> {
+        self.stage_states(states)?;
+        self.run_kernel()?;
+        self.read_back(states)
+    }
+
+    /// Stages `states` into data memory in the paper's layout
+    /// (Figures 5/6).
+    fn stage_states(&mut self, states: &[KeccakState]) -> Result<(), Trap> {
+        debug_assert!(states.len() <= self.states);
+        let elenum = self.prepared.kernel.elenum;
+        match self.kind {
+            KernelKind::E32Lmul8 => layout::write_states_32(
+                self.cpu.dmem_mut(),
+                STATE_BASE,
+                STATE_BASE_HI,
+                elenum,
+                states,
+            ),
+            _ => layout::write_states_64(self.cpu.dmem_mut(), STATE_BASE, elenum, states),
+        }
+    }
+
+    /// Runs the kernel once over whatever is staged in data memory,
+    /// recording phase-accurate metrics.
+    fn run_kernel(&mut self) -> Result<(), Trap> {
+        let markers = self.prepared.kernel.markers;
         // Preset the plane base-address registers and enter the kernel.
-        for &(reg, addr) in &self.kernel.presets {
+        for &(reg, addr) in &self.prepared.kernel.presets {
             self.cpu.set_xreg(reg, addr);
         }
         self.cpu.set_pc(0);
         self.cpu.reset_counters();
         // Phase-accurate cycle accounting via the program markers.
-        self.cpu
-            .run_until_pc(self.kernel.markers.loop_start, 1_000_000)?;
+        self.cpu.run_until_pc(markers.loop_start, 1_000_000)?;
         let prologue_end = self.cpu.cycles();
         let prologue_retired = self.cpu.retired();
-        self.cpu
-            .run_until_pc(self.kernel.markers.loop_control, 1_000_000)?;
+        self.cpu.run_until_pc(markers.loop_control, 1_000_000)?;
         let first_round = self.cpu.cycles() - prologue_end;
         let round_instructions = self.cpu.retired() - prologue_retired;
-        self.cpu
-            .run_until_pc(self.kernel.markers.after_loop, 10_000_000)?;
+        self.cpu.run_until_pc(markers.after_loop, 10_000_000)?;
         let permutation_cycles = self.cpu.cycles();
         self.cpu.run(permutation_cycles + 100_000)?;
         let total_cycles = self.cpu.cycles();
@@ -250,7 +274,12 @@ impl VectorKeccakEngine {
             instructions_per_round: round_instructions,
         });
         self.permutations += 1;
-        // Read the permuted states back.
+        Ok(())
+    }
+
+    /// Reads the permuted states back from data memory into `states`.
+    fn read_back(&mut self, states: &mut [KeccakState]) -> Result<(), Trap> {
+        let elenum = self.prepared.kernel.elenum;
         let results = match self.kind {
             KernelKind::E32Lmul8 => layout::read_states_32(
                 self.cpu.dmem(),
@@ -263,6 +292,96 @@ impl VectorKeccakEngine {
         };
         states.copy_from_slice(&results);
         Ok(())
+    }
+}
+
+/// A device-resident view of one engine: load once, permute any number
+/// of times, read back once.
+///
+/// The kernel's epilogue stores the permuted states back to data memory,
+/// so a second [`EngineSession::permute`] picks up exactly where the
+/// first left off — no host round trip between runs. [`Sessions`] exist
+/// for workloads that chain permutations over the same state set (e.g.
+/// long squeezes, permutation chains, throughput measurement); one-shot
+/// callers can keep using [`VectorKeccakEngine::permute_slice`].
+///
+/// [`Sessions`]: EngineSession
+pub struct EngineSession<'e> {
+    engine: &'e mut VectorKeccakEngine,
+    resident: usize,
+}
+
+impl EngineSession<'_> {
+    /// Stages `states` into device memory, making them resident.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] if the staging writes fall outside data memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` exceeds the engine capacity — a session is one
+    /// hardware pass wide by construction.
+    pub fn load(&mut self, states: &[KeccakState]) -> Result<(), Trap> {
+        assert!(
+            states.len() <= self.engine.states,
+            "session holds at most SN = {} states, got {}",
+            self.engine.states,
+            states.len()
+        );
+        self.engine.stage_states(states)?;
+        self.resident = states.len();
+        Ok(())
+    }
+
+    /// Runs the permutation kernel once over the resident states.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] if the kernel faults.
+    pub fn permute(&mut self) -> Result<(), Trap> {
+        self.engine.run_kernel()
+    }
+
+    /// Runs the kernel `times` times back to back, device-resident.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] if any run faults.
+    pub fn permute_times(&mut self, times: u64) -> Result<(), Trap> {
+        for _ in 0..times {
+            self.engine.run_kernel()?;
+        }
+        Ok(())
+    }
+
+    /// Reads the resident states back into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] if the read falls outside data memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is longer than the resident set.
+    pub fn read(&mut self, out: &mut [KeccakState]) -> Result<(), Trap> {
+        assert!(
+            out.len() <= self.resident,
+            "only {} states are resident, asked for {}",
+            self.resident,
+            out.len()
+        );
+        self.engine.read_back(out)
+    }
+
+    /// Number of states currently resident in device memory.
+    pub fn resident(&self) -> usize {
+        self.resident
+    }
+
+    /// Metrics of the most recent kernel run in this session.
+    pub fn last_metrics(&self) -> Option<KernelMetrics> {
+        self.engine.last_metrics
     }
 }
 
@@ -387,6 +506,55 @@ mod tests {
         }
         assert_eq!(states, expected);
         assert_eq!(engine.permutations(), 3, "ceil(5/2) hardware passes");
+    }
+
+    #[test]
+    fn session_chains_permutations_device_resident() {
+        let mut engine = VectorKeccakEngine::new(KernelKind::E64Lmul8, 3);
+        let states = distinct_states(3);
+        let mut expected = states.clone();
+        let mut out = states.clone();
+        let mut session = engine.session();
+        session.load(&states).unwrap();
+        session.permute_times(3).unwrap();
+        assert_eq!(session.resident(), 3);
+        session.read(&mut out).unwrap();
+        for state in &mut expected {
+            for _ in 0..3 {
+                keccak_f1600(state);
+            }
+        }
+        assert_eq!(out, expected);
+        assert_eq!(engine.permutations(), 3);
+    }
+
+    #[test]
+    fn session_partial_load_and_read() {
+        let mut engine = VectorKeccakEngine::new(KernelKind::E32Lmul8, 4);
+        let states = distinct_states(2);
+        let mut expected = states.clone();
+        let mut out = states.clone();
+        let mut session = engine.session();
+        session.load(&states).unwrap();
+        session.permute().unwrap();
+        session.read(&mut out).unwrap();
+        for state in &mut expected {
+            keccak_f1600(state);
+        }
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn engines_share_the_cached_decoded_program() {
+        let a = VectorKeccakEngine::new(KernelKind::E64Lmul1, 2);
+        let b = VectorKeccakEngine::new(KernelKind::E64Lmul1, 2);
+        assert!(
+            std::sync::Arc::ptr_eq(
+                &a.processor().decoded_program(),
+                &b.processor().decoded_program()
+            ),
+            "both engines must dispatch from one shared program image"
+        );
     }
 
     #[test]

@@ -41,15 +41,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod device;
 pub mod engine;
 pub mod layout;
 pub mod metrics;
+pub mod pool;
 pub mod programs;
 pub mod stats;
 
+pub use cache::{prepared_kernel, PreparedKernel};
 pub use device::DeviceSponge;
-pub use engine::{KernelKind, VectorKeccakEngine};
+pub use engine::{EngineSession, KernelKind, VectorKeccakEngine};
 pub use metrics::KernelMetrics;
+pub use pool::{EngineLoad, EnginePool, PoolMetrics};
 pub use programs::{KernelProgram, ProgramMarkers};
 pub use stats::RoundBreakdown;

@@ -1,0 +1,334 @@
+//! A pool of vector engines sharded across worker threads.
+//!
+//! One [`VectorKeccakEngine`] models one
+//! vector processor: it permutes at most `SN` states per hardware pass,
+//! and a larger slice is serialized into `⌈n / SN⌉` passes on that
+//! single simulated device. [`EnginePool`] instead instantiates `W`
+//! engines — all sharing one cached, pre-decoded kernel image — and
+//! shards the passes across `W` OS threads, modelling a farm of
+//! identical accelerators fed from one queue.
+//!
+//! # Determinism
+//!
+//! Scheduling is static, not work-stealing: pass `i` (the `i`-th
+//! `SN`-wide chunk of the input slice) always runs on engine `i mod W`.
+//! Because each chunk is an independent Keccak state set and each engine
+//! writes only its own chunks, the output is bit-identical to the
+//! reference permutation — and to itself — for every worker count.
+//!
+//! Cycle accounting is deterministic too. The simulated cycle cost of a
+//! pass is data-independent, so [`PoolMetrics::total_cycles`] (the sum
+//! over all passes — total simulated work) is invariant under the
+//! worker count, while [`PoolMetrics::max_cycles`] (the busiest
+//! engine — the critical path, i.e. what a wall clock would see on real
+//! parallel hardware) shrinks as workers are added. There is a property
+//! test pinning both.
+
+use crate::engine::{KernelKind, VectorKeccakEngine};
+use krv_keccak::KeccakState;
+use krv_sha3::PermutationBackend;
+use krv_vproc::Trap;
+
+/// Work done by one engine during a single [`EnginePool::permute_slice`]
+/// call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineLoad {
+    /// Hardware passes the engine executed.
+    pub passes: u64,
+    /// Simulated cycles the engine spent across those passes.
+    pub cycles: u64,
+}
+
+/// Deterministic cycle accounting of one pool dispatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolMetrics {
+    /// Per-engine work, indexed by worker; chunk `i` ran on worker
+    /// `i mod W`.
+    pub per_engine: Vec<EngineLoad>,
+    /// Hardware passes across all engines (`⌈n / SN⌉`).
+    pub passes: u64,
+    /// Total simulated cycles across all engines — invariant under the
+    /// worker count (the amount of work does not change, only where it
+    /// runs).
+    pub total_cycles: u64,
+    /// Cycles of the busiest engine: the critical path, i.e. the
+    /// latency of the dispatch on truly parallel hardware.
+    pub max_cycles: u64,
+}
+
+impl PoolMetrics {
+    /// Parallel speedup of this dispatch: total work over critical path
+    /// (`1.0` for a single worker or a single pass).
+    pub fn speedup(&self) -> f64 {
+        if self.max_cycles == 0 {
+            1.0
+        } else {
+            self.total_cycles as f64 / self.max_cycles as f64
+        }
+    }
+}
+
+/// A pool of `W` identical vector Keccak engines, each `SN` states wide,
+/// dispatching passes across `W` worker threads.
+///
+/// The pool implements [`PermutationBackend`] with
+/// `parallel_states = W × SN`, so a `BatchSponge` or
+/// [`hash_batch`](krv_sha3::hash_batch) scheduler sized against a pool
+/// automatically packs enough states to keep every engine busy.
+///
+/// # Example
+///
+/// ```
+/// use krv_core::{EnginePool, KernelKind};
+/// use krv_keccak::{keccak_f1600, KeccakState};
+///
+/// let mut pool = EnginePool::new(KernelKind::E64Lmul8, 2, 3);
+/// assert_eq!(pool.capacity(), 6);
+/// let mut states = vec![KeccakState::new(); 5];
+/// let mut expected = states.clone();
+/// pool.permute_slice(&mut states).unwrap();
+/// for state in &mut expected {
+///     keccak_f1600(state);
+/// }
+/// assert_eq!(states, expected);
+/// ```
+#[derive(Debug)]
+pub struct EnginePool {
+    kind: KernelKind,
+    sn: usize,
+    engines: Vec<VectorKeccakEngine>,
+    last_metrics: Option<PoolMetrics>,
+}
+
+impl EnginePool {
+    /// Creates a pool of `workers` engines, each holding `sn` states.
+    ///
+    /// The kernel is generated, assembled and pre-decoded once (via the
+    /// process-wide [`crate::cache`]); every worker engine shares the
+    /// same immutable program image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sn` or `workers` is zero.
+    pub fn new(kind: KernelKind, sn: usize, workers: usize) -> Self {
+        assert!(workers > 0, "the pool needs at least one worker");
+        let engines = (0..workers)
+            .map(|_| VectorKeccakEngine::new(kind, sn))
+            .collect();
+        Self {
+            kind,
+            sn,
+            engines,
+            last_metrics: None,
+        }
+    }
+
+    /// The kernel kind every engine runs.
+    pub fn kind(&self) -> KernelKind {
+        self.kind
+    }
+
+    /// Number of worker engines (`W`).
+    pub fn workers(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// States per engine pass (`SN`).
+    pub fn states_per_engine(&self) -> usize {
+        self.sn
+    }
+
+    /// States the whole pool permutes in one parallel step (`W × SN`).
+    pub fn capacity(&self) -> usize {
+        self.engines.len() * self.sn
+    }
+
+    /// Metrics of the most recent dispatch.
+    pub fn last_metrics(&self) -> Option<&PoolMetrics> {
+        self.last_metrics.as_ref()
+    }
+
+    /// Total hardware passes executed by all engines over the pool's
+    /// lifetime.
+    pub fn permutations(&self) -> u64 {
+        self.engines.iter().map(|e| e.permutations()).sum()
+    }
+
+    /// Read access to the worker engines (diagnostics).
+    pub fn engines(&self) -> &[VectorKeccakEngine] {
+        &self.engines
+    }
+
+    /// Permutes every state in `states`, sharding `SN`-wide passes
+    /// round-robin across the worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Trap`] (in worker order) if any kernel
+    /// faults — which indicates an engine bug, as the kernels are
+    /// validated against the reference permutation.
+    pub fn permute_slice(&mut self, states: &mut [KeccakState]) -> Result<(), Trap> {
+        let workers = self.engines.len();
+        // Static round-robin assignment: chunk i → worker i mod W. This
+        // keeps both the outputs and the per-engine cycle ledger
+        // independent of thread scheduling.
+        let mut buckets: Vec<Vec<&mut [KeccakState]>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, chunk) in states.chunks_mut(self.sn).enumerate() {
+            buckets[i % workers].push(chunk);
+        }
+        let outcomes: Vec<Result<EngineLoad, Trap>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .engines
+                .iter_mut()
+                .zip(buckets)
+                .map(|(engine, bucket)| {
+                    scope.spawn(move || {
+                        let mut load = EngineLoad::default();
+                        for chunk in bucket {
+                            engine.permute_slice(chunk)?;
+                            load.passes += 1;
+                            load.cycles += engine
+                                .last_metrics()
+                                .expect("a pass records metrics")
+                                .total_cycles;
+                        }
+                        Ok(load)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("pool worker must not panic"))
+                .collect()
+        });
+        let mut per_engine = Vec::with_capacity(workers);
+        for outcome in outcomes {
+            per_engine.push(outcome?);
+        }
+        self.last_metrics = Some(PoolMetrics {
+            passes: per_engine.iter().map(|l| l.passes).sum(),
+            total_cycles: per_engine.iter().map(|l| l.cycles).sum(),
+            max_cycles: per_engine.iter().map(|l| l.cycles).max().unwrap_or(0),
+            per_engine,
+        });
+        Ok(())
+    }
+}
+
+impl PermutationBackend for EnginePool {
+    /// Permutes all states across the worker engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a kernel traps — the generated kernels are validated,
+    /// so a trap indicates an internal bug, not a caller error.
+    fn permute_all(&mut self, states: &mut [KeccakState]) {
+        self.permute_slice(states)
+            .expect("validated kernel must not trap");
+    }
+
+    fn parallel_states(&self) -> usize {
+        self.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krv_keccak::keccak_f1600;
+
+    fn distinct_states(n: usize) -> Vec<KeccakState> {
+        (0..n)
+            .map(|s| {
+                let mut lanes = [0u64; 25];
+                for (i, lane) in lanes.iter_mut().enumerate() {
+                    *lane = (s as u64 + 1).wrapping_mul(0xD6E8_FEB8_6659_FD93) ^ (i as u64) << 13;
+                }
+                KeccakState::from_lanes(lanes)
+            })
+            .collect()
+    }
+
+    fn check_pool(kind: KernelKind, sn: usize, workers: usize, n: usize) {
+        let mut pool = EnginePool::new(kind, sn, workers);
+        let mut states = distinct_states(n);
+        let mut expected = states.clone();
+        pool.permute_slice(&mut states).expect("pool runs");
+        for state in &mut expected {
+            keccak_f1600(state);
+        }
+        assert_eq!(
+            states, expected,
+            "{kind}, sn={sn}, workers={workers}, n={n}"
+        );
+    }
+
+    #[test]
+    fn pool_matches_reference_across_shapes() {
+        // n < SN, n == capacity, n not divisible by SN, n > capacity.
+        check_pool(KernelKind::E64Lmul8, 3, 4, 2);
+        check_pool(KernelKind::E64Lmul8, 3, 4, 12);
+        check_pool(KernelKind::E64Lmul8, 3, 4, 13);
+        check_pool(KernelKind::E64Lmul1, 2, 3, 17);
+        check_pool(KernelKind::E32Lmul8, 2, 2, 7);
+    }
+
+    #[test]
+    fn empty_slice_is_a_no_op() {
+        let mut pool = EnginePool::new(KernelKind::E64Lmul8, 2, 4);
+        pool.permute_slice(&mut []).unwrap();
+        let metrics = pool.last_metrics().unwrap();
+        assert_eq!(metrics.passes, 0);
+        assert_eq!(metrics.total_cycles, 0);
+        assert_eq!(metrics.max_cycles, 0);
+        assert_eq!(pool.permutations(), 0);
+    }
+
+    #[test]
+    fn passes_are_assigned_round_robin() {
+        let mut pool = EnginePool::new(KernelKind::E64Lmul8, 2, 3);
+        // 7 states → 4 passes over 3 workers → loads of 2, 1, 1 passes.
+        let mut states = distinct_states(7);
+        pool.permute_slice(&mut states).unwrap();
+        let metrics = pool.last_metrics().unwrap();
+        let passes: Vec<u64> = metrics.per_engine.iter().map(|l| l.passes).collect();
+        assert_eq!(passes, vec![2, 1, 1]);
+        assert_eq!(metrics.passes, 4);
+        assert_eq!(metrics.max_cycles, metrics.per_engine[0].cycles);
+    }
+
+    #[test]
+    fn total_cycles_are_invariant_under_worker_count() {
+        let mut totals = Vec::new();
+        let mut outputs = Vec::new();
+        for workers in [1, 2, 4, 5] {
+            let mut pool = EnginePool::new(KernelKind::E64Lmul8, 2, workers);
+            let mut states = distinct_states(9);
+            pool.permute_slice(&mut states).unwrap();
+            let metrics = pool.last_metrics().unwrap();
+            totals.push(metrics.total_cycles);
+            outputs.push(states);
+            assert!(metrics.max_cycles <= metrics.total_cycles);
+            if workers > 1 {
+                assert!(metrics.speedup() > 1.0, "{workers} workers must overlap");
+            }
+        }
+        assert!(
+            totals.windows(2).all(|w| w[0] == w[1]),
+            "total simulated work must not depend on the worker count: {totals:?}"
+        );
+        assert!(
+            outputs.windows(2).all(|w| w[0] == w[1]),
+            "outputs must be bit-identical for every worker count"
+        );
+    }
+
+    #[test]
+    fn pool_is_a_backend_with_pooled_width() {
+        let pool = EnginePool::new(KernelKind::E64Lmul8, 3, 4);
+        assert_eq!(pool.parallel_states(), 12);
+        assert_eq!(pool.capacity(), 12);
+        assert_eq!(pool.workers(), 4);
+        assert_eq!(pool.states_per_engine(), 3);
+    }
+}

@@ -93,7 +93,10 @@ fn theta_64(asm: &mut String) {
 ///
 /// Panics if `elenum` is not a positive multiple of 5.
 pub fn kernel_e64_lmul1(elenum: usize) -> KernelProgram {
-    assert!(elenum > 0 && elenum % 5 == 0, "EleNum must be 5 × SN");
+    assert!(
+        elenum > 0 && elenum.is_multiple_of(5),
+        "EleNum must be 5 × SN"
+    );
     let mut asm = String::new();
     let _ = writeln!(asm, "    li s1, {elenum}");
     asm.push_str(
@@ -174,7 +177,10 @@ pub fn kernel_e64_lmul1(elenum: usize) -> KernelProgram {
 ///
 /// Panics if `elenum` is not a positive multiple of 5.
 pub fn kernel_e64_lmul8(elenum: usize) -> KernelProgram {
-    assert!(elenum > 0 && elenum % 5 == 0, "EleNum must be 5 × SN");
+    assert!(
+        elenum > 0 && elenum.is_multiple_of(5),
+        "EleNum must be 5 × SN"
+    );
     let mut asm = String::new();
     let _ = writeln!(asm, "    li s1, {elenum}");
     let _ = writeln!(asm, "    li s5, {}", 5 * elenum);
@@ -237,7 +243,10 @@ pub fn kernel_e64_lmul8(elenum: usize) -> KernelProgram {
 ///
 /// Panics if `elenum` is not a positive multiple of 5.
 pub fn kernel_e32_lmul8(elenum: usize) -> KernelProgram {
-    assert!(elenum > 0 && elenum % 5 == 0, "EleNum must be 5 × SN");
+    assert!(
+        elenum > 0 && elenum.is_multiple_of(5),
+        "EleNum must be 5 × SN"
+    );
     let mut asm = String::new();
     let _ = writeln!(asm, "    li s1, {elenum}");
     let _ = writeln!(asm, "    li s5, {}", 5 * elenum);
@@ -345,7 +354,10 @@ pub fn kernel_e32_lmul8(elenum: usize) -> KernelProgram {
 ///
 /// Panics if `elenum` is not a positive multiple of 5.
 pub fn kernel_e64_lmul4_1(elenum: usize) -> KernelProgram {
-    assert!(elenum > 0 && elenum % 5 == 0, "EleNum must be 5 × SN");
+    assert!(
+        elenum > 0 && elenum.is_multiple_of(5),
+        "EleNum must be 5 × SN"
+    );
     let mut asm = String::new();
     let _ = writeln!(asm, "    li s1, {elenum}");
     let _ = writeln!(asm, "    li s6, {}", 4 * elenum);
@@ -422,7 +434,10 @@ pub fn kernel_e64_lmul4_1(elenum: usize) -> KernelProgram {
 ///
 /// Panics if `elenum` is not a positive multiple of 5.
 pub fn kernel_e64_fused(elenum: usize) -> KernelProgram {
-    assert!(elenum > 0 && elenum % 5 == 0, "EleNum must be 5 × SN");
+    assert!(
+        elenum > 0 && elenum.is_multiple_of(5),
+        "EleNum must be 5 × SN"
+    );
     let mut asm = String::new();
     let _ = writeln!(asm, "    li s1, {elenum}");
     let _ = writeln!(asm, "    li s5, {}", 5 * elenum);
@@ -486,7 +501,10 @@ pub fn kernel_e64_fused(elenum: usize) -> KernelProgram {
 ///
 /// Panics if `elenum` is not a positive multiple of 5.
 pub fn kernel_e64_absorb(elenum: usize) -> KernelProgram {
-    assert!(elenum > 0 && elenum % 5 == 0, "EleNum must be 5 × SN");
+    assert!(
+        elenum > 0 && elenum.is_multiple_of(5),
+        "EleNum must be 5 × SN"
+    );
     let mut asm = String::new();
     let _ = writeln!(asm, "    li s1, {elenum}");
     let _ = writeln!(asm, "    li s5, {}", 5 * elenum);

@@ -66,7 +66,7 @@ pub fn deinterleave(even: u32, odd: u32) -> u64 {
 /// rotations are required.
 pub fn rotate_interleaved(even: u32, odd: u32, n: u32) -> (u32, u32) {
     let n = n % 64;
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         (even.rotate_left(n / 2), odd.rotate_left(n / 2))
     } else {
         // Odd rotation swaps the roles of the even/odd words.

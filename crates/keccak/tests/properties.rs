@@ -2,10 +2,14 @@
 
 use krv_keccak::constants::{RC, RHO_OFFSETS};
 use krv_keccak::{keccak_f1600, steps, KeccakState};
-use proptest::prelude::*;
+use krv_testkit::{cases, Rng};
 
-fn state() -> impl Strategy<Value = KeccakState> {
-    proptest::array::uniform25(any::<u64>()).prop_map(KeccakState::from_lanes)
+fn state(rng: &mut Rng) -> KeccakState {
+    let mut lanes = [0u64; 25];
+    for lane in lanes.iter_mut() {
+        *lane = rng.next_u64();
+    }
+    KeccakState::from_lanes(lanes)
 }
 
 /// Inverse of χ on one 5-lane row, bit column by bit column: χ on a
@@ -39,9 +43,11 @@ fn inv_chi_row(row: [u64; 5]) -> [u64; 5] {
     out
 }
 
-proptest! {
-    #[test]
-    fn theta_is_linear(a in state(), b in state()) {
+#[test]
+fn theta_is_linear() {
+    cases(64, |rng| {
+        let a = state(rng);
+        let b = state(rng);
         let mut xored = [0u64; 25];
         for (i, lane) in xored.iter_mut().enumerate() {
             *lane = a.lanes()[i] ^ b.lanes()[i];
@@ -50,100 +56,136 @@ proptest! {
         let lhs = steps::theta(&sum);
         let (ta, tb) = (steps::theta(&a), steps::theta(&b));
         for i in 0..25 {
-            prop_assert_eq!(lhs.lanes()[i], ta.lanes()[i] ^ tb.lanes()[i]);
+            assert_eq!(lhs.lanes()[i], ta.lanes()[i] ^ tb.lanes()[i]);
         }
-    }
+    });
+}
 
-    #[test]
-    fn rho_preserves_bit_count(s in state()) {
+#[test]
+fn rho_preserves_bit_count() {
+    cases(64, |rng| {
+        let s = state(rng);
         let before: u32 = s.lanes().iter().map(|l| l.count_ones()).sum();
         let after: u32 = steps::rho(&s).lanes().iter().map(|l| l.count_ones()).sum();
-        prop_assert_eq!(before, after);
-    }
+        assert_eq!(before, after);
+    });
+}
 
-    #[test]
-    fn rho_is_lanewise_rotation(s in state()) {
+#[test]
+fn rho_is_lanewise_rotation() {
+    cases(64, |rng| {
+        let s = state(rng);
         let out = steps::rho(&s);
         for y in 0..5 {
             for x in 0..5 {
-                prop_assert_eq!(
-                    out.lane(x, y),
-                    s.lane(x, y).rotate_left(RHO_OFFSETS[y][x])
-                );
+                assert_eq!(out.lane(x, y), s.lane(x, y).rotate_left(RHO_OFFSETS[y][x]));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn pi_preserves_multiset_of_lanes(s in state()) {
+#[test]
+fn pi_preserves_multiset_of_lanes() {
+    cases(64, |rng| {
+        let s = state(rng);
         let mut before: Vec<u64> = s.lanes().to_vec();
         let mut after: Vec<u64> = steps::pi(&s).lanes().to_vec();
         before.sort_unstable();
         after.sort_unstable();
-        prop_assert_eq!(before, after);
-    }
+        assert_eq!(before, after);
+    });
+}
 
-    #[test]
-    fn chi_is_invertible_row_by_row(s in state()) {
+#[test]
+fn chi_is_invertible_row_by_row() {
+    cases(16, |rng| {
+        let s = state(rng);
         let out = steps::chi(&s);
         for y in 0..5 {
             let row = [
-                out.lane(0, y), out.lane(1, y), out.lane(2, y),
-                out.lane(3, y), out.lane(4, y),
+                out.lane(0, y),
+                out.lane(1, y),
+                out.lane(2, y),
+                out.lane(3, y),
+                out.lane(4, y),
             ];
             let back = inv_chi_row(row);
             for x in 0..5 {
-                prop_assert_eq!(back[x], s.lane(x, y), "lane ({}, {})", x, y);
+                assert_eq!(back[x], s.lane(x, y), "lane ({x}, {y})");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn iota_is_an_involution(s in state(), round in 0usize..24) {
+#[test]
+fn iota_is_an_involution() {
+    cases(64, |rng| {
+        let s = state(rng);
+        let round = rng.below(24);
         let twice = steps::iota(&steps::iota(&s, round), round);
-        prop_assert_eq!(twice, s);
-    }
+        assert_eq!(twice, s);
+    });
+}
 
-    #[test]
-    fn iota_only_touches_lane_zero(s in state(), round in 0usize..24) {
+#[test]
+fn iota_only_touches_lane_zero() {
+    cases(64, |rng| {
+        let s = state(rng);
+        let round = rng.below(24);
         let out = steps::iota(&s, round);
-        prop_assert_eq!(out.lane(0, 0), s.lane(0, 0) ^ RC[round]);
+        assert_eq!(out.lane(0, 0), s.lane(0, 0) ^ RC[round]);
         for y in 0..5 {
             for x in 0..5 {
                 if (x, y) != (0, 0) {
-                    prop_assert_eq!(out.lane(x, y), s.lane(x, y));
+                    assert_eq!(out.lane(x, y), s.lane(x, y));
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn permutation_differs_from_input(s in state()) {
+#[test]
+fn permutation_differs_from_input() {
+    cases(64, |rng| {
         // Keccak-f has no fixed points that random sampling would find;
         // equality would indicate the permutation degenerated.
+        let s = state(rng);
         let mut out = s;
         keccak_f1600(&mut out);
-        prop_assert_ne!(out, s);
-    }
+        assert_ne!(out, s);
+    });
+}
 
-    #[test]
-    fn permutation_is_injective_on_pairs(a in state(), b in state()) {
-        prop_assume!(a != b);
+#[test]
+fn permutation_is_injective_on_pairs() {
+    cases(64, |rng| {
+        let a = state(rng);
+        let b = state(rng);
+        if a == b {
+            return;
+        }
         let (mut pa, mut pb) = (a, b);
         keccak_f1600(&mut pa);
         keccak_f1600(&mut pb);
-        prop_assert_ne!(pa, pb);
-    }
+        assert_ne!(pa, pb);
+    });
+}
 
-    #[test]
-    fn bytes_round_trip(s in state()) {
-        prop_assert_eq!(KeccakState::from_bytes(&s.to_bytes()), s);
-    }
+#[test]
+fn bytes_round_trip() {
+    cases(64, |rng| {
+        let s = state(rng);
+        assert_eq!(KeccakState::from_bytes(&s.to_bytes()), s);
+    });
+}
 
-    #[test]
-    fn single_bit_flip_diffuses_widely(lane in 0usize..25, bit in 0u32..64) {
+#[test]
+fn single_bit_flip_diffuses_widely() {
+    cases(64, |rng| {
         // Avalanche: after the full permutation, flipping one input bit
         // changes a large fraction of the output (expected ~800 of 1600).
+        let lane = rng.below(25);
+        let bit = rng.below(64) as u32;
         let zero = KeccakState::new();
         let mut flipped_lanes = [0u64; 25];
         flipped_lanes[lane] = 1u64 << bit;
@@ -158,8 +200,11 @@ proptest! {
             .zip(p1.lanes())
             .map(|(a, b)| (a ^ b).count_ones())
             .sum();
-        prop_assert!((600..1000).contains(&distance), "hamming distance {distance}");
-    }
+        assert!(
+            (600..1000).contains(&distance),
+            "hamming distance {distance}"
+        );
+    });
 }
 
 #[test]

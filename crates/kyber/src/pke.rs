@@ -9,9 +9,9 @@ use crate::compress::{compress_poly, decompress_poly, message_to_poly, poly_to_m
 use crate::keygen::KeyPair;
 use crate::ntt::{basemul, inv_ntt, ntt};
 use crate::poly::Poly;
-use crate::sampling::{expand_matrix, expand_secrets, sample_cbd};
+use crate::sampling::{expand_matrix, sample_cbd};
 use crate::KyberParams;
-use krv_sha3::{BatchSponge, PermutationBackend, SpongeParams};
+use krv_sha3::{hash_batch, BatchRequest, PermutationBackend, SpongeParams};
 
 /// η₂, the CBD width for the encryption noise (2 for every Kyber set).
 const ETA2: usize = 2;
@@ -47,15 +47,8 @@ pub fn encrypt<B: PermutationBackend>(
     let k = params.k;
     let a_hat = expand_matrix(&keypair.rho, k, &mut backend);
 
-    // r from η₁, e₁ from η₂ (lockstep PRF batch), e₂ from one more call.
-    let (r, e1) = expand_vectors(params, coins, &mut backend);
-    let e2 = {
-        let mut batch = BatchSponge::new(SpongeParams::shake(256), &mut backend, 1);
-        let mut input = coins.to_vec();
-        input.push(2 * k as u8);
-        batch.absorb(&[&input]);
-        sample_cbd(&batch.squeeze(64 * ETA2)[0], ETA2)
-    };
+    // r (η₁), e₁ (η₂) and e₂ (η₂) from one work-scheduled PRF batch.
+    let (r, e1, e2) = expand_vectors(params, coins, &mut backend);
 
     let r_hat: Vec<Poly> = r.iter().map(ntt).collect();
     // u = invNTT(Âᵀ ∘ r̂) + e₁.
@@ -102,40 +95,48 @@ pub fn decrypt(params: KyberParams, keypair: &KeyPair, ciphertext: &Ciphertext) 
     poly_to_message(&w)
 }
 
-/// Derives `r` (η₁) and `e₁` (η₂) from `coins` with one lockstep
-/// SHAKE256 batch, nonces `0..k` and `k..2k`.
+/// Derives `r` (η₁, nonces `0..k`), `e₁` (η₂, nonces `k..2k`) and `e₂`
+/// (η₂, nonce `2k`) from `coins` with one work-scheduled SHAKE256
+/// batch.
+///
+/// The drain-and-refill scheduler accepts per-request output lengths,
+/// so the η₁ ≠ η₂ case (Kyber512) no longer needs the old
+/// squeeze-the-longer-stream-and-truncate workaround, and `e₂` rides in
+/// the same batch instead of a separate hardware dispatch. The streams
+/// are the standalone `PRF(coins, nonce)` outputs either way (SHAKE is
+/// prefix-stable), so the derived polynomials are unchanged.
 fn expand_vectors<B: PermutationBackend>(
     params: KyberParams,
     coins: &[u8; 32],
     backend: B,
-) -> (Vec<Poly>, Vec<Poly>) {
-    // r uses η₁ like the key secrets; e₁ uses η₂. When η₁ == η₂ (768 and
-    // 1024) one equal-length batch serves both; for Kyber512 (η₁ = 3)
-    // squeeze the longer stream and truncate for the η₂ members.
+) -> (Vec<Poly>, Vec<Poly>, Poly) {
     let k = params.k;
-    if params.eta1 == ETA2 {
-        return expand_secrets(coins, k, ETA2, backend);
-    }
-    let inputs: Vec<Vec<u8>> = (0..2 * k)
+    let inputs: Vec<Vec<u8>> = (0..=2 * k)
         .map(|nonce| {
             let mut input = coins.to_vec();
             input.push(nonce as u8);
             input
         })
         .collect();
-    let refs: Vec<&[u8]> = inputs.iter().map(|v| v.as_slice()).collect();
-    let mut batch = BatchSponge::new(SpongeParams::shake(256), backend, refs.len());
-    batch.absorb(&refs);
-    let streams = batch.squeeze(64 * params.eta1);
+    let requests: Vec<BatchRequest<'_>> = inputs
+        .iter()
+        .enumerate()
+        .map(|(index, input)| {
+            let eta = if index < k { params.eta1 } else { ETA2 };
+            BatchRequest::new(input, 64 * eta)
+        })
+        .collect();
+    let streams = hash_batch(SpongeParams::shake(256), backend, &requests);
     let r = streams[..k]
         .iter()
         .map(|s| sample_cbd(s, params.eta1))
         .collect();
-    let e1 = streams[k..]
+    let e1 = streams[k..2 * k]
         .iter()
-        .map(|s| sample_cbd(&s[..64 * ETA2], ETA2))
+        .map(|s| sample_cbd(s, ETA2))
         .collect();
-    (r, e1)
+    let e2 = sample_cbd(&streams[2 * k], ETA2);
+    (r, e1, e2)
 }
 
 #[cfg(test)]

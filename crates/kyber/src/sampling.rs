@@ -1,7 +1,7 @@
 //! Seed expansion: the Keccak-heavy half of Kyber (FIPS 203 §4.2).
 
 use crate::poly::{Poly, KYBER_N, KYBER_Q};
-use krv_sha3::{BatchSponge, PermutationBackend, SpongeParams};
+use krv_sha3::{hash_batch, BatchRequest, PermutationBackend, SpongeParams};
 
 /// Rejection-samples one NTT-domain polynomial from an XOF stream
 /// (FIPS 203 Algorithm 7, `SampleNTT`). Returns `None` if the stream is
@@ -49,14 +49,24 @@ pub fn sample_cbd(stream: &[u8], eta: usize) -> Poly {
     Poly::from_coeffs(coeffs)
 }
 
-/// Expands the k × k public matrix **Â** from `rho` with lockstep
-/// SHAKE128 instances — the paper's §1 motivating workload. Entry
-/// (i, j) is sampled from `SHAKE128(rho ‖ j ‖ i)` directly in the NTT
-/// domain.
+/// A SHAKE128 output block (168 bytes, the rate).
+const SHAKE128_BLOCK: usize = 168;
+
+/// Expands the k × k public matrix **Â** from `rho` with work-scheduled
+/// SHAKE128 batches — the paper's §1 motivating workload. Entry (i, j)
+/// is sampled from `SHAKE128(rho ‖ j ‖ i)` directly in the NTT domain.
+///
+/// All k² streams are hashed in one drain-and-refill batch
+/// ([`hash_batch`]). The rare entries whose three-block stream rejects
+/// too much are retried **individually** with a longer output — a SHAKE
+/// stream is prefix-stable, so re-hashing with a longer length extends
+/// the short stream bit-for-bit and the result is identical to an
+/// incremental top-up. Entries that succeeded never touch the hardware
+/// again.
 pub fn expand_matrix<B: PermutationBackend>(
     rho: &[u8; 32],
     k: usize,
-    backend: B,
+    mut backend: B,
 ) -> Vec<Vec<Poly>> {
     let inputs: Vec<Vec<u8>> = (0..k * k)
         .map(|entry| {
@@ -67,26 +77,39 @@ pub fn expand_matrix<B: PermutationBackend>(
             input
         })
         .collect();
-    let refs: Vec<&[u8]> = inputs.iter().map(|v| v.as_slice()).collect();
-    let mut batch = BatchSponge::new(SpongeParams::shake(128), backend, refs.len());
-    batch.absorb(&refs);
-    let mut streams = batch.squeeze(3 * 168); // three SHAKE blocks ≈ 99.9 % success
-    let polys = loop {
-        let attempts: Vec<Option<Poly>> = streams.iter().map(|s| sample_ntt(s)).collect();
-        if attempts.iter().all(Option::is_some) {
-            break attempts.into_iter().map(Option::unwrap).collect::<Vec<_>>();
+    // Three SHAKE blocks ≈ 99.9 % success per entry.
+    let requests: Vec<BatchRequest<'_>> = inputs
+        .iter()
+        .map(|input| BatchRequest::new(input, 3 * SHAKE128_BLOCK))
+        .collect();
+    let streams = hash_batch(SpongeParams::shake(128), &mut backend, &requests);
+    let mut polys: Vec<Option<Poly>> = streams.iter().map(|s| sample_ntt(s)).collect();
+    let mut blocks = 4;
+    while polys.iter().any(Option::is_none) {
+        // Per-entry retry: only the failed entries go back to the
+        // hardware, with one more output block each round.
+        let failed: Vec<usize> = polys
+            .iter()
+            .enumerate()
+            .filter(|(_, poly)| poly.is_none())
+            .map(|(index, _)| index)
+            .collect();
+        let retries: Vec<BatchRequest<'_>> = failed
+            .iter()
+            .map(|&index| BatchRequest::new(&inputs[index], blocks * SHAKE128_BLOCK))
+            .collect();
+        let longer = hash_batch(SpongeParams::shake(128), &mut backend, &retries);
+        for (&index, stream) in failed.iter().zip(&longer) {
+            polys[index] = sample_ntt(stream);
         }
-        // Lockstep top-up for the rare short streams.
-        let more = batch.squeeze(168);
-        for (stream, extra) in streams.iter_mut().zip(more) {
-            stream.extend(extra);
-        }
-    };
+        blocks += 1;
+    }
+    let polys: Vec<Poly> = polys.into_iter().map(Option::unwrap).collect();
     polys.chunks(k).map(|row| row.to_vec()).collect()
 }
 
-/// Expands the secret and error vectors from `sigma` with lockstep
-/// SHAKE256 PRF instances (`s_i = CBD(PRF(sigma, i))`,
+/// Expands the secret and error vectors from `sigma` with one
+/// work-scheduled SHAKE256 batch (`s_i = CBD(PRF(sigma, i))`,
 /// `e_i = CBD(PRF(sigma, k + i))`).
 pub fn expand_secrets<B: PermutationBackend>(
     sigma: &[u8; 32],
@@ -101,10 +124,11 @@ pub fn expand_secrets<B: PermutationBackend>(
             input
         })
         .collect();
-    let refs: Vec<&[u8]> = inputs.iter().map(|v| v.as_slice()).collect();
-    let mut batch = BatchSponge::new(SpongeParams::shake(256), backend, refs.len());
-    batch.absorb(&refs);
-    let streams = batch.squeeze(64 * eta);
+    let requests: Vec<BatchRequest<'_>> = inputs
+        .iter()
+        .map(|input| BatchRequest::new(input, 64 * eta))
+        .collect();
+    let streams = hash_batch(SpongeParams::shake(256), backend, &requests);
     let mut polys: Vec<Poly> = streams.iter().map(|s| sample_cbd(s, eta)).collect();
     let errors = polys.split_off(k);
     (polys, errors)
@@ -175,6 +199,50 @@ mod tests {
             })
             .sum();
         assert!(sum.abs() < 128, "mean far from zero: {sum}");
+    }
+
+    #[test]
+    fn matrix_matches_standalone_per_entry_sampling() {
+        // Oracle: each entry sampled from its own unbatched SHAKE128
+        // stream must equal the scheduled batch's result.
+        use krv_sha3::{Shake128, Xof};
+        for (seed, k) in [(0x42u8, 2usize), (0xA7, 3), (0x00, 4)] {
+            let rho = [seed; 32];
+            let matrix = expand_matrix(&rho, k, ReferenceBackend::new());
+            for i in 0..k {
+                for j in 0..k {
+                    let mut xof = Shake128::new();
+                    xof.update(&rho);
+                    xof.update(&[j as u8, i as u8]);
+                    let mut stream = xof.squeeze(3 * SHAKE128_BLOCK);
+                    let expected = loop {
+                        if let Some(poly) = sample_ntt(&stream) {
+                            break poly;
+                        }
+                        stream.extend(xof.squeeze(SHAKE128_BLOCK));
+                    };
+                    assert_eq!(matrix[i][j], expected, "entry ({i}, {j}), seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn secrets_match_standalone_prf() {
+        use krv_sha3::{Shake256, Xof};
+        let sigma = [0x5Cu8; 32];
+        let (k, eta) = (3usize, 2usize);
+        let (s, e) = expand_secrets(&sigma, k, eta, ReferenceBackend::new());
+        for (nonce, poly) in s.iter().chain(&e).enumerate() {
+            let mut xof = Shake256::new();
+            xof.update(&sigma);
+            xof.update(&[nonce as u8]);
+            assert_eq!(
+                *poly,
+                sample_cbd(&xof.squeeze(64 * eta), eta),
+                "nonce {nonce}"
+            );
+        }
     }
 
     #[test]

@@ -59,6 +59,16 @@ impl<B: PermutationBackend + ?Sized> PermutationBackend for &mut B {
     }
 }
 
+impl<B: PermutationBackend + ?Sized> PermutationBackend for Box<B> {
+    fn permute_all(&mut self, states: &mut [KeccakState]) {
+        (**self).permute_all(states);
+    }
+
+    fn parallel_states(&self) -> usize {
+        (**self).parallel_states()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,6 +95,20 @@ mod tests {
             keccak_f1600(s);
         }
         assert_eq!(states, expected);
+    }
+
+    #[test]
+    fn boxed_and_dynamic_backends_work() {
+        // The Box blanket impl lets callers pick a backend at run time
+        // behind `Box<dyn PermutationBackend>`.
+        let mut boxed: Box<dyn PermutationBackend> = Box::new(ReferenceBackend::new());
+        let mut a = KeccakState::new();
+        a.set_lane(1, 1, 7);
+        let mut b = a;
+        boxed.permute(&mut a);
+        keccak_f1600(&mut b);
+        assert_eq!(a, b);
+        assert_eq!(boxed.parallel_states(), 1);
     }
 
     #[test]

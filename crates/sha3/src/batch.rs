@@ -1,10 +1,28 @@
-//! Batch hashing: several sponge instances advancing in lockstep.
+//! Batch hashing: many messages sharing the vector hardware.
 //!
 //! The paper's motivating workload (§1) is CRYSTALS-Kyber matrix
 //! expansion, where many SHAKE128 calls process same-length inputs
 //! (`seed ‖ row ‖ column`). With a backend whose hardware holds `SN`
 //! Keccak states (paper Figures 5/6), all member sponges permute in a
 //! single pass of the vector kernel.
+//!
+//! Two APIs live here:
+//!
+//! * [`BatchSponge`] — `n` sponges advancing in **lockstep**: inputs
+//!   must have equal length so the streams stay aligned on block
+//!   boundaries. This is the natural fit for Kyber's fixed-shape PRF
+//!   calls and mirrors the paper's presentation.
+//! * [`hash_batch`] — a **drain-and-refill scheduler** that lifts the
+//!   equal-length restriction: each [`BatchRequest`] is an independent
+//!   job with its own message length and output length. Every round the
+//!   scheduler drains one block of host-side work per live job (absorb
+//!   the next rate-sized block, or note that more squeeze output is
+//!   needed), packs exactly the live states, and hands them to the
+//!   backend in one call — which the engine layer splits into `SN`-wide
+//!   hardware passes. Jobs that finish drop out and the pack compacts,
+//!   so short messages never pad out the schedule of long ones: every
+//!   pass is as full as the remaining work allows, which is the minimum
+//!   `⌈live/SN⌉` passes per round.
 
 use crate::backend::PermutationBackend;
 use crate::sponge::SpongeParams;
@@ -159,6 +177,157 @@ impl<B: PermutationBackend> BatchSponge<B> {
     }
 }
 
+/// One job for [`hash_batch`]: a message and the number of output bytes
+/// wanted for it.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchRequest<'a> {
+    /// The message to absorb.
+    pub message: &'a [u8],
+    /// Output bytes to squeeze.
+    pub output_len: usize,
+}
+
+impl<'a> BatchRequest<'a> {
+    /// Creates a request.
+    pub const fn new(message: &'a [u8], output_len: usize) -> Self {
+        Self {
+            message,
+            output_len,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Absorb,
+    Squeeze,
+    Done,
+}
+
+/// Per-message progress inside the scheduler.
+struct Job<'a> {
+    message: &'a [u8],
+    consumed: usize,
+    state: KeccakState,
+    out: Vec<u8>,
+    want: usize,
+    phase: Phase,
+}
+
+impl Job<'_> {
+    /// XORs the next rate-sized block into the state, folding the
+    /// pad10*1 + domain padding into the final (short) block exactly as
+    /// a one-shot [`crate::Sponge`] would.
+    fn absorb_next_block(&mut self, rate: usize, pad: u8) {
+        let remaining = self.message.len() - self.consumed;
+        if remaining >= rate {
+            self.state
+                .xor_bytes(&self.message[self.consumed..self.consumed + rate]);
+            self.consumed += rate;
+        } else {
+            let mut block = vec![0u8; rate];
+            block[..remaining].copy_from_slice(&self.message[self.consumed..]);
+            block[remaining] = pad;
+            block[rate - 1] |= 0x80;
+            self.state.xor_bytes(&block);
+            self.consumed = self.message.len();
+            self.phase = Phase::Squeeze;
+        }
+    }
+
+    /// Takes up to one rate window of output after a permutation.
+    fn collect_output(&mut self, rate: usize) {
+        let take = (self.want - self.out.len()).min(rate);
+        let bytes = self.state.to_bytes();
+        self.out.extend_from_slice(&bytes[..take]);
+        if self.out.len() == self.want {
+            self.phase = Phase::Done;
+        }
+    }
+}
+
+/// Hashes an arbitrary mixed-length message set with a drain-and-refill
+/// schedule, packing the live Keccak states into as few backend
+/// permutation calls as the work allows.
+///
+/// Each request is hashed exactly as a standalone sponge with `params`
+/// would hash it (there are property tests pinning equality with
+/// [`crate::Sponge`] and the `Sha3_*`/`Shake*` functions); only the
+/// *scheduling* differs. Results are returned in request order.
+///
+/// With a wide backend (a `VectorKeccakEngine` or an `EnginePool` from
+/// `krv-core`), every scheduler round permutes all live states in
+/// `⌈live/SN⌉` hardware passes; finished jobs drain out and the pack
+/// compacts, so unlike [`BatchSponge`] the message lengths are free to
+/// differ.
+///
+/// # Example
+///
+/// ```
+/// use krv_sha3::{hash_batch, BatchRequest, ReferenceBackend, Shake128, SpongeParams};
+///
+/// let requests = [
+///     BatchRequest::new(b"short", 32),
+///     BatchRequest::new(b"a somewhat longer message", 16),
+/// ];
+/// let outputs = hash_batch(SpongeParams::shake(128), ReferenceBackend::new(), &requests);
+/// assert_eq!(outputs[0], Shake128::digest(b"short", 32));
+/// assert_eq!(outputs[1], Shake128::digest(b"a somewhat longer message", 16));
+/// ```
+pub fn hash_batch<B: PermutationBackend>(
+    params: SpongeParams,
+    mut backend: B,
+    requests: &[BatchRequest<'_>],
+) -> Vec<Vec<u8>> {
+    let rate = params.rate_bytes();
+    let pad = params.domain().first_pad_byte();
+    let mut jobs: Vec<Job<'_>> = requests
+        .iter()
+        .map(|request| Job {
+            message: request.message,
+            consumed: 0,
+            state: KeccakState::new(),
+            out: Vec::with_capacity(request.output_len),
+            want: request.output_len,
+            phase: Phase::Absorb,
+        })
+        .collect();
+    let mut pending: Vec<usize> = Vec::with_capacity(jobs.len());
+    let mut scratch: Vec<KeccakState> = Vec::with_capacity(jobs.len());
+    loop {
+        // Drain: one block of host-side work per live job, then pack
+        // exactly the states that need the next permutation.
+        pending.clear();
+        scratch.clear();
+        for (index, job) in jobs.iter_mut().enumerate() {
+            match job.phase {
+                Phase::Absorb => {
+                    job.absorb_next_block(rate, pad);
+                    pending.push(index);
+                }
+                // Squeezing jobs still short of output need another
+                // permutation for their next rate window.
+                Phase::Squeeze => pending.push(index),
+                Phase::Done => {}
+            }
+        }
+        if pending.is_empty() {
+            break;
+        }
+        scratch.extend(pending.iter().map(|&index| jobs[index].state));
+        backend.permute_all(&mut scratch);
+        // Refill: scatter the permuted states back and collect output.
+        for (&index, &state) in pending.iter().zip(&scratch) {
+            let job = &mut jobs[index];
+            job.state = state;
+            if job.phase == Phase::Squeeze {
+                job.collect_output(rate);
+            }
+        }
+    }
+    jobs.into_iter().map(|job| job.out).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,5 +391,103 @@ mod tests {
     #[should_panic(expected = "at least one sponge")]
     fn empty_batch_rejected() {
         let _ = BatchSponge::new(SpongeParams::sha3(256), ReferenceBackend::new(), 0);
+    }
+
+    /// A reference backend that records how many states each
+    /// `permute_all` call carried (to check schedule density).
+    struct CountingBackend {
+        calls: Vec<usize>,
+    }
+
+    impl CountingBackend {
+        fn new() -> Self {
+            Self { calls: Vec::new() }
+        }
+    }
+
+    impl PermutationBackend for CountingBackend {
+        fn permute_all(&mut self, states: &mut [KeccakState]) {
+            self.calls.push(states.len());
+            ReferenceBackend::new().permute_all(states);
+        }
+    }
+
+    #[test]
+    fn hash_batch_matches_individual_mixed_lengths() {
+        let messages: Vec<Vec<u8>> = [0usize, 1, 167, 168, 169, 500, 1000]
+            .iter()
+            .map(|&len| (0..len).map(|i| (i * 31 + len) as u8).collect())
+            .collect();
+        let requests: Vec<BatchRequest<'_>> = messages
+            .iter()
+            .enumerate()
+            .map(|(i, m)| BatchRequest::new(m, 16 + 40 * i))
+            .collect();
+        let outputs = hash_batch(SpongeParams::shake(128), ReferenceBackend::new(), &requests);
+        for (request, output) in requests.iter().zip(&outputs) {
+            assert_eq!(
+                *output,
+                Shake128::digest(request.message, request.output_len),
+                "message len {}",
+                request.message.len()
+            );
+        }
+    }
+
+    #[test]
+    fn hash_batch_matches_sha3_domain() {
+        let messages: Vec<Vec<u8>> = vec![b"".to_vec(), b"abc".to_vec(), vec![0x5A; 137]];
+        let requests: Vec<BatchRequest<'_>> =
+            messages.iter().map(|m| BatchRequest::new(m, 32)).collect();
+        let outputs = hash_batch(SpongeParams::sha3(256), ReferenceBackend::new(), &requests);
+        for (message, output) in messages.iter().zip(&outputs) {
+            assert_eq!(*output, crate::Sha3_256::digest(message).to_vec());
+        }
+    }
+
+    #[test]
+    fn hash_batch_handles_edge_requests() {
+        // Empty request list, zero-length outputs, empty messages.
+        let none = hash_batch(SpongeParams::shake(128), ReferenceBackend::new(), &[]);
+        assert!(none.is_empty());
+        let requests = [BatchRequest::new(b"", 0), BatchRequest::new(b"x", 0)];
+        let outputs = hash_batch(SpongeParams::shake(128), ReferenceBackend::new(), &requests);
+        assert_eq!(outputs, vec![Vec::<u8>::new(); 2]);
+    }
+
+    #[test]
+    fn finished_jobs_drain_out_of_the_schedule() {
+        // One 1-block message and one 4-block message: the short job
+        // must leave the pack once done instead of riding along.
+        let rate = SpongeParams::shake(128).rate_bytes();
+        let long = vec![7u8; 3 * rate + 10];
+        let requests = [BatchRequest::new(b"tiny", 16), BatchRequest::new(&long, 16)];
+        let mut backend = CountingBackend::new();
+        let outputs = hash_batch(SpongeParams::shake(128), &mut backend, &requests);
+        assert_eq!(outputs[0], Shake128::digest(b"tiny", 16));
+        assert_eq!(outputs[1], Shake128::digest(&long, 16));
+        // Round 1 permutes both states; the tiny job then finishes and
+        // rounds 2..=4 carry only the long one.
+        assert_eq!(backend.calls, vec![2, 1, 1, 1]);
+    }
+
+    #[test]
+    fn schedule_work_is_the_per_message_minimum() {
+        // Total states permuted must equal the sum over messages of
+        // their standalone permutation counts — no lockstep padding.
+        let params = SpongeParams::shake(256);
+        let rate = params.rate_bytes();
+        let messages: Vec<Vec<u8>> = (0..9u8).map(|i| vec![i; 50 * i as usize]).collect();
+        let requests: Vec<BatchRequest<'_>> = messages
+            .iter()
+            .map(|m| BatchRequest::new(m, 2 * rate + 3))
+            .collect();
+        let mut backend = CountingBackend::new();
+        let _ = hash_batch(params, &mut backend, &requests);
+        let expected: usize = messages
+            .iter()
+            .map(|m| m.len() / rate + 1 + 2) // absorb blocks + 2 extra squeezes
+            .sum();
+        assert_eq!(backend.calls.iter().sum::<usize>(), expected);
     }
 }

@@ -56,6 +56,25 @@ macro_rules! sha3_function {
             pub const fn output_len() -> usize {
                 $bits / 8
             }
+
+            /// Hashes every message with one work-scheduled batch on
+            /// `backend` (see [`crate::hash_batch`]); messages may have
+            /// arbitrary, different lengths. Digests come back in
+            /// message order.
+            pub fn digest_batch(backend: B, messages: &[&[u8]]) -> Vec<[u8; $bits / 8]> {
+                let requests: Vec<crate::batch::BatchRequest<'_>> = messages
+                    .iter()
+                    .map(|m| crate::batch::BatchRequest::new(m, $bits / 8))
+                    .collect();
+                crate::batch::hash_batch(SpongeParams::sha3($bits), backend, &requests)
+                    .into_iter()
+                    .map(|bytes| {
+                        let mut digest = [0u8; $bits / 8];
+                        digest.copy_from_slice(&bytes);
+                        digest
+                    })
+                    .collect()
+            }
         }
 
         impl<B: PermutationBackend> std::io::Write for $name<B> {
@@ -151,6 +170,18 @@ macro_rules! shake_function {
                 Self {
                     sponge: Sponge::new(SpongeParams::shake($bits), backend),
                 }
+            }
+
+            /// Hashes every message with one work-scheduled batch on
+            /// `backend` (see [`crate::hash_batch`]), squeezing `len`
+            /// bytes per message; messages may have arbitrary,
+            /// different lengths. Outputs come back in message order.
+            pub fn digest_batch(backend: B, messages: &[&[u8]], len: usize) -> Vec<Vec<u8>> {
+                let requests: Vec<crate::batch::BatchRequest<'_>> = messages
+                    .iter()
+                    .map(|m| crate::batch::BatchRequest::new(m, len))
+                    .collect();
+                crate::batch::hash_batch(SpongeParams::shake($bits), backend, &requests)
             }
         }
 
@@ -299,10 +330,24 @@ mod tests {
         std::io::copy(&mut &b"abc"[..], &mut hasher).expect("copy into hasher");
         assert_eq!(hasher.finalize(), Sha3_256::digest(b"abc"));
         let mut xof = Shake128::new();
-        write!(xof, "{}-{}", "seed", 42).expect("formatted absorb");
+        write!(xof, "seed-{}", 42).expect("formatted absorb");
         let mut reference = Shake128::new();
         reference.update(b"seed-42");
         assert_eq!(xof.squeeze(32), reference.squeeze(32));
+    }
+
+    #[test]
+    fn digest_batch_matches_one_shot() {
+        use crate::backend::ReferenceBackend;
+        let messages: [&[u8]; 3] = [b"", b"abc", b"a much longer message for batching"];
+        let digests = Sha3_256::digest_batch(ReferenceBackend::new(), &messages);
+        for (message, digest) in messages.iter().zip(&digests) {
+            assert_eq!(*digest, Sha3_256::digest(message));
+        }
+        let outs = Shake256::digest_batch(ReferenceBackend::new(), &messages, 48);
+        for (message, out) in messages.iter().zip(&outs) {
+            assert_eq!(*out, Shake256::digest(message, 48));
+        }
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod sp800_185;
 pub mod sponge;
 
 pub use backend::{PermutationBackend, ReferenceBackend};
-pub use batch::BatchSponge;
+pub use batch::{hash_batch, BatchRequest, BatchSponge};
 pub use functions::{Sha3_224, Sha3_256, Sha3_384, Sha3_512, Shake128, Shake256, Xof};
 pub use sponge::{DomainSeparator, Sponge, SpongeParams};
 

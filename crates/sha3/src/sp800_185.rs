@@ -44,7 +44,7 @@ fn encode_string(s: &[u8]) -> Vec<u8> {
 fn bytepad(x: &[u8], w: usize) -> Vec<u8> {
     let mut out = left_encode(w as u64);
     out.extend_from_slice(x);
-    while out.len() % w != 0 {
+    while !out.len().is_multiple_of(w) {
         out.push(0);
     }
     out

@@ -68,7 +68,7 @@ impl SpongeParams {
     /// than 800.
     pub fn sha3(digest_bits: usize) -> Self {
         assert!(
-            digest_bits > 0 && digest_bits % 8 == 0 && digest_bits < 800,
+            digest_bits > 0 && digest_bits.is_multiple_of(8) && digest_bits < 800,
             "unsupported SHA-3 digest length {digest_bits}"
         );
         Self::new(STATE_BYTES - 2 * digest_bits / 8, DomainSeparator::Sha3)

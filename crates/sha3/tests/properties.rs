@@ -1,20 +1,21 @@
 //! Property-based tests of the sponge and hash layer.
 
 use krv_sha3::{
-    BatchSponge, DomainSeparator, ReferenceBackend, Sha3_224, Sha3_256, Sha3_384, Sha3_512,
-    Shake128, Shake256, Sponge, SpongeParams, Xof,
+    hash_batch, BatchRequest, BatchSponge, DomainSeparator, ReferenceBackend, Sha3_224, Sha3_256,
+    Sha3_384, Sha3_512, Shake128, Shake256, Sponge, SpongeParams, Xof,
 };
-use proptest::prelude::*;
+use krv_testkit::cases;
 
-proptest! {
-    #[test]
-    fn chunked_absorption_is_equivalent(
-        message in proptest::collection::vec(any::<u8>(), 0..2000),
-        splits in proptest::collection::vec(0usize..2000, 0..8),
-    ) {
+#[test]
+fn chunked_absorption_is_equivalent() {
+    cases(64, |rng| {
+        let len = rng.below(2000);
+        let message = rng.bytes(len);
         let oneshot = Sha3_256::digest(&message);
         let mut hasher = Sha3_256::new();
-        let mut cuts: Vec<usize> = splits.iter().map(|&s| s % (message.len() + 1)).collect();
+        let mut cuts: Vec<usize> = (0..rng.below(8))
+            .map(|_| rng.below(message.len() + 1))
+            .collect();
         cuts.sort_unstable();
         let mut start = 0;
         for cut in cuts {
@@ -22,14 +23,16 @@ proptest! {
             start = cut.max(start);
         }
         hasher.update(&message[start..]);
-        prop_assert_eq!(hasher.finalize(), oneshot);
-    }
+        assert_eq!(hasher.finalize(), oneshot);
+    });
+}
 
-    #[test]
-    fn chunked_squeezing_is_equivalent(
-        seed in proptest::collection::vec(any::<u8>(), 0..100),
-        lens in proptest::collection::vec(1usize..200, 1..6),
-    ) {
+#[test]
+fn chunked_squeezing_is_equivalent() {
+    cases(64, |rng| {
+        let seed_len = rng.below(100);
+        let seed = rng.bytes(seed_len);
+        let lens: Vec<usize> = (0..1 + rng.below(5)).map(|_| 1 + rng.below(199)).collect();
         let total: usize = lens.iter().sum();
         let mut reference = Shake128::new();
         reference.update(&seed);
@@ -40,13 +43,17 @@ proptest! {
         for len in lens {
             streamed.extend(xof.squeeze(len));
         }
-        prop_assert_eq!(streamed, expected);
-    }
+        assert_eq!(streamed, expected);
+    });
+}
 
-    #[test]
-    fn digests_differ_across_functions(message in proptest::collection::vec(any::<u8>(), 0..300)) {
+#[test]
+fn digests_differ_across_functions() {
+    cases(32, |rng| {
         // The four hash functions and two XOFs must never collide on
         // their common 28-byte prefix (they have distinct capacities).
+        let len = rng.below(300);
+        let message = rng.bytes(len);
         let digests: Vec<Vec<u8>> = vec![
             Sha3_224::digest(&message).to_vec(),
             Sha3_256::digest(&message).to_vec(),
@@ -57,17 +64,18 @@ proptest! {
         ];
         for i in 0..digests.len() {
             for j in i + 1..digests.len() {
-                prop_assert_ne!(&digests[i][..28], &digests[j][..28], "{} vs {}", i, j);
+                assert_ne!(&digests[i][..28], &digests[j][..28], "{i} vs {j}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn batch_matches_individual_for_random_inputs(
-        len in 0usize..500,
-        n in 1usize..7,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn batch_matches_individual_for_random_inputs() {
+    cases(32, |rng| {
+        let len = rng.below(500);
+        let n = 1 + rng.below(6);
+        let seed = rng.next_u64();
         let inputs: Vec<Vec<u8>> = (0..n)
             .map(|i| {
                 (0..len)
@@ -82,30 +90,62 @@ proptest! {
         for (input, output) in inputs.iter().zip(&outputs) {
             let mut xof = Shake128::new();
             xof.update(input);
-            prop_assert_eq!(output.clone(), xof.squeeze(64));
+            assert_eq!(output.clone(), xof.squeeze(64));
         }
-    }
+    });
+}
 
-    #[test]
-    fn sponge_output_depends_on_domain(message in proptest::collection::vec(any::<u8>(), 0..200)) {
+#[test]
+fn scheduled_batch_matches_individual_for_mixed_lengths() {
+    cases(32, |rng| {
+        let n = rng.below(12);
+        let messages: Vec<Vec<u8>> = (0..n)
+            .map(|_| {
+                let len = rng.below(700);
+                rng.bytes(len)
+            })
+            .collect();
+        let requests: Vec<BatchRequest<'_>> = messages
+            .iter()
+            .map(|m| BatchRequest::new(m, 1 + rng.below(400)))
+            .collect();
+        let outputs = hash_batch(SpongeParams::shake(128), ReferenceBackend::new(), &requests);
+        for (request, output) in requests.iter().zip(&outputs) {
+            let mut xof = Shake128::new();
+            xof.update(request.message);
+            assert_eq!(*output, xof.squeeze(request.output_len));
+        }
+    });
+}
+
+#[test]
+fn sponge_output_depends_on_domain() {
+    cases(32, |rng| {
+        let len = rng.below(200);
+        let message = rng.bytes(len);
         let mut outputs = Vec::new();
-        for domain in [DomainSeparator::Sha3, DomainSeparator::Shake, DomainSeparator::Keccak] {
-            let mut sponge = Sponge::new(
-                SpongeParams::new(136, domain),
-                ReferenceBackend::new(),
-            );
+        for domain in [
+            DomainSeparator::Sha3,
+            DomainSeparator::Shake,
+            DomainSeparator::Keccak,
+        ] {
+            let mut sponge = Sponge::new(SpongeParams::new(136, domain), ReferenceBackend::new());
             sponge.absorb(&message);
             outputs.push(sponge.squeeze(32));
         }
-        prop_assert_ne!(&outputs[0], &outputs[1]);
-        prop_assert_ne!(&outputs[0], &outputs[2]);
-        prop_assert_ne!(&outputs[1], &outputs[2]);
-    }
+        assert_ne!(&outputs[0], &outputs[1]);
+        assert_ne!(&outputs[0], &outputs[2]);
+        assert_ne!(&outputs[1], &outputs[2]);
+    });
+}
 
-    #[test]
-    fn appending_a_byte_changes_the_digest(message in proptest::collection::vec(any::<u8>(), 0..300), extra in any::<u8>()) {
+#[test]
+fn appending_a_byte_changes_the_digest() {
+    cases(64, |rng| {
+        let len = rng.below(300);
+        let message = rng.bytes(len);
         let mut extended = message.clone();
-        extended.push(extra);
-        prop_assert_ne!(Sha3_256::digest(&message), Sha3_256::digest(&extended));
-    }
+        extended.push(rng.next_u32() as u8);
+        assert_ne!(Sha3_256::digest(&message), Sha3_256::digest(&extended));
+    });
 }

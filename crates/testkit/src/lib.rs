@@ -1,0 +1,233 @@
+//! Deterministic, dependency-free randomness for tests and benches.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! cannot depend on `rand`, `proptest` or `criterion`. This crate
+//! replaces the subset we need:
+//!
+//! * [`Rng`] — a SplitMix64 generator: tiny, fast, and statistically
+//!   good enough for property-style tests (it passes BigCrush as the
+//!   seeding sequence of xoshiro).
+//! * [`cases`] — a property-test runner: runs a closure `n` times with
+//!   independently seeded generators and reports the failing case seed
+//!   so a failure reproduces with `Rng::new(seed)`.
+//! * [`Stopwatch`] — a minimal wall-clock measurement helper for the
+//!   `harness = false` bench binaries.
+//!
+//! Everything is deterministic: the same seed always produces the same
+//! sequence on every platform, so test failures are reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// A SplitMix64 pseudo-random generator.
+///
+/// # Example
+///
+/// ```
+/// use krv_testkit::Rng;
+///
+/// let mut rng = Rng::new(7);
+/// let a = rng.next_u64();
+/// assert_ne!(a, rng.next_u64());
+/// assert_eq!(Rng::new(7).next_u64(), a, "seed-deterministic");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed.
+    pub const fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next 64 random bits (SplitMix64 output function).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniformly random boolean.
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// A uniform value in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "empty range");
+        // Multiply-shift reduction; the bias for the bounds used in tests
+        // (far below 2^64) is negligible and determinism is what matters.
+        ((u128::from(self.next_u64()) * bound as u128) >> 64) as usize
+    }
+
+    /// A uniform value in `lo..hi` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range");
+        lo + self.below((hi - lo) as usize) as i64
+    }
+
+    /// Fills `buffer` with random bytes.
+    pub fn fill(&mut self, buffer: &mut [u8]) {
+        for chunk in buffer.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+
+    /// A vector of `len` random bytes.
+    pub fn bytes(&mut self, len: usize) -> Vec<u8> {
+        let mut buffer = vec![0u8; len];
+        self.fill(&mut buffer);
+        buffer
+    }
+
+    /// A uniformly random element of `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn pick<'a, T>(&mut self, options: &'a [T]) -> &'a T {
+        &options[self.below(options.len())]
+    }
+}
+
+/// Runs `body` for `n` independently seeded cases.
+///
+/// Each case gets its own [`Rng`]; the seed is derived from the case
+/// index alone, so any failure reproduces by running the same test
+/// again (the panic message of the failing assertion identifies it).
+pub fn cases(n: usize, mut body: impl FnMut(&mut Rng)) {
+    for case in 0..n {
+        let seed = (case as u64).wrapping_mul(0xA076_1D64_78BD_642F) ^ 0x2545_F491_4F6C_DD1D;
+        let mut rng = Rng::new(seed);
+        body(&mut rng);
+    }
+}
+
+/// One wall-clock measurement: median-of-runs nanoseconds per iteration.
+///
+/// A deliberately small stand-in for criterion: the bench binaries only
+/// need a stable relative ordering and a human-readable rate, not
+/// statistical machinery.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations measured per run.
+    pub iters: u64,
+}
+
+impl Stopwatch {
+    /// Measures `body`, running `iters` iterations per run for `runs`
+    /// runs, and keeps the median run.
+    pub fn measure(iters: u64, runs: usize, mut body: impl FnMut()) -> Self {
+        assert!(iters > 0 && runs > 0, "need at least one run");
+        let mut samples: Vec<f64> = (0..runs)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    body();
+                }
+                start.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        Self {
+            ns_per_iter: samples[samples.len() / 2],
+            iters,
+        }
+    }
+
+    /// Throughput in units per second given `units` processed per
+    /// iteration (e.g. bytes per iteration for MB/s).
+    pub fn per_second(&self, units: f64) -> f64 {
+        units * 1e9 / self.ns_per_iter
+    }
+
+    /// Formats a bench line in the style `name ... 123.4 ns/iter`.
+    pub fn report(&self, name: &str) -> String {
+        format!("{name:<48} {:>12.1} ns/iter", self.ns_per_iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_clones() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = Rng::new(1);
+        for bound in [1usize, 2, 5, 31, 1000] {
+            for _ in 0..200 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn range_covers_negative_intervals() {
+        let mut rng = Rng::new(2);
+        let mut seen_low = false;
+        let mut seen_high = false;
+        for _ in 0..2000 {
+            let v = rng.range(-4, 4);
+            assert!((-4..4).contains(&v));
+            seen_low |= v == -4;
+            seen_high |= v == 3;
+        }
+        assert!(seen_low && seen_high, "endpoints reachable");
+    }
+
+    #[test]
+    fn fill_is_seed_deterministic() {
+        let mut a = [0u8; 13];
+        let mut b = [0u8; 13];
+        Rng::new(9).fill(&mut a);
+        Rng::new(9).fill(&mut b);
+        assert_eq!(a, b);
+        assert_ne!(a, [0u8; 13], "bytes actually written");
+    }
+
+    #[test]
+    fn cases_runs_requested_count() {
+        let mut count = 0;
+        cases(25, |_| count += 1);
+        assert_eq!(count, 25);
+    }
+
+    #[test]
+    fn stopwatch_measures_something() {
+        let sw = Stopwatch::measure(10, 3, || {
+            std::hint::black_box((0..100u32).sum::<u32>());
+        });
+        assert!(sw.ns_per_iter > 0.0);
+    }
+}

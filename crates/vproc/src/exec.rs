@@ -36,7 +36,7 @@ pub(crate) fn keccak_blocks(vu: &VectorUnit) -> usize {
 /// choosing `EleNum` as 5 × SN).
 pub(crate) fn check_block_alignment(vu: &VectorUnit) -> Result<(), Trap> {
     let epr = vu.elements_per_register() as usize;
-    if vu.vl() as usize > epr && epr % 5 != 0 {
+    if vu.vl() as usize > epr && !epr.is_multiple_of(5) {
         return Err(Trap::VectorConfig {
             reason: "multi-register Keccak ops require EleNum to be a multiple of 5",
         });

@@ -217,7 +217,7 @@ fn pi_scatter(
                     reason: "all-rows vpi spans more than five registers",
                 });
             }
-            if epr % 5 != 0 {
+            if !epr.is_multiple_of(5) {
                 return Err(Trap::VectorConfig {
                     reason: "multi-register Keccak ops require EleNum to be a multiple of 5",
                 });
@@ -722,7 +722,7 @@ mod tests {
             &xregs,
         )
         .unwrap();
-        assert_eq!(vu.read_elem(VReg::V1, 0), (RC[2] & 0xFFFF_FFFF) as u64);
+        assert_eq!(vu.read_elem(VReg::V1, 0), RC[2] & 0xFFFF_FFFF);
         xregs[19] = 24 + 2; // high word of RC[2]
         fill(&mut vu, VReg::V2, &[0; 5]);
         execute(

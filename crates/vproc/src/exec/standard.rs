@@ -133,6 +133,7 @@ pub fn vid(vu: &mut VectorUnit, vd: VReg, vm: bool) {
 /// # Errors
 ///
 /// Traps on out-of-bounds or misaligned element accesses.
+#[allow(clippy::too_many_arguments)] // mirrors the RVV operand list
 pub fn vload(
     vu: &mut VectorUnit,
     mem: &DataMemory,
@@ -164,6 +165,7 @@ pub fn vload(
 /// # Errors
 ///
 /// Traps on out-of-bounds or misaligned element accesses.
+#[allow(clippy::too_many_arguments)] // mirrors the RVV operand list
 pub fn vstore(
     vu: &VectorUnit,
     mem: &mut DataMemory,

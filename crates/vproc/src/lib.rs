@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod decoded;
 pub mod exec;
 pub mod memory;
 pub mod processor;
@@ -41,6 +42,7 @@ pub mod trap;
 pub mod vector;
 
 pub use config::{Elen, ProcessorConfig};
+pub use decoded::{DecodedInstr, DecodedProgram, TimingClass};
 pub use memory::DataMemory;
 pub use processor::{HaltCause, Processor, RunSummary};
 pub use timing::TimingModel;

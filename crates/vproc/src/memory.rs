@@ -31,7 +31,7 @@ impl DataMemory {
 
     fn check(&self, addr: u32, size: u32) -> Result<usize, Trap> {
         let addr_usize = addr as usize;
-        if addr % size != 0 {
+        if !addr.is_multiple_of(size) {
             return Err(Trap::MisalignedAccess { addr, size });
         }
         if addr_usize + size as usize > self.bytes.len() {

@@ -1,6 +1,7 @@
 //! The processor: scalar core + vector unit + memories + cycle counter.
 
 use crate::config::ProcessorConfig;
+use crate::decoded::DecodedProgram;
 use crate::exec::{custom, standard};
 use crate::memory::DataMemory;
 use crate::timing::TimingContext;
@@ -8,6 +9,7 @@ use crate::trace::Tracer;
 use crate::trap::Trap;
 use crate::vector::VectorUnit;
 use krv_isa::{BranchKind, Instruction, LoadKind, OpImmKind, OpKind, StoreKind, VReg, XReg};
+use std::sync::Arc;
 
 /// Why the processor stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,7 +52,7 @@ pub struct RunSummary {
 #[derive(Debug, Clone)]
 pub struct Processor {
     config: ProcessorConfig,
-    program: Vec<Instruction>,
+    program: Arc<DecodedProgram>,
     pc: u32,
     xregs: [u32; 32],
     vu: VectorUnit,
@@ -68,9 +70,10 @@ impl Processor {
         let vu = VectorUnit::new(config.elen, config.elenum);
         let dmem = DataMemory::new(config.dmem_bytes);
         let tracer = Tracer::new(config.trace);
+        let program = Arc::new(DecodedProgram::compile(&[], &config.timing));
         Self {
             config,
-            program: Vec::new(),
+            program,
             pc: 0,
             xregs: [0; 32],
             vu,
@@ -89,10 +92,39 @@ impl Processor {
     }
 
     /// Loads a program into instruction memory and resets the PC.
+    ///
+    /// The program is pre-decoded against the configured timing model
+    /// (see [`DecodedProgram`]); to amortize that across processors, use
+    /// [`Processor::load_decoded`].
     pub fn load_program(&mut self, instructions: &[Instruction]) {
-        self.program = instructions.to_vec();
+        self.load_decoded(Arc::new(DecodedProgram::compile(
+            instructions,
+            &self.config.timing,
+        )));
+    }
+
+    /// Loads a shared pre-decoded program and resets the PC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `program` was compiled against a different timing model
+    /// than this processor's — the baked-in costs would silently
+    /// mis-account cycles otherwise.
+    pub fn load_decoded(&mut self, program: Arc<DecodedProgram>) {
+        assert_eq!(
+            program.timing(),
+            &self.config.timing,
+            "decoded program was compiled against a different timing model"
+        );
+        self.program = program;
         self.pc = 0;
         self.halted = None;
+    }
+
+    /// The currently loaded pre-decoded program (shareable with other
+    /// processors via [`Processor::load_decoded`]).
+    pub fn decoded_program(&self) -> Arc<DecodedProgram> {
+        Arc::clone(&self.program)
     }
 
     /// Decodes and loads raw machine words (e.g. from a hex file).
@@ -207,10 +239,14 @@ impl Processor {
             return Ok(Some(cause));
         }
         let index = (self.pc / 4) as usize;
-        if self.pc % 4 != 0 || index >= self.program.len() {
+        if !self.pc.is_multiple_of(4) {
             return Err(Trap::InstructionFetch { pc: self.pc });
         }
-        let instr = self.program[index];
+        let slot = match self.program.get(index) {
+            Some(slot) => *slot,
+            None => return Err(Trap::InstructionFetch { pc: self.pc }),
+        };
+        let instr = slot.instr;
         let pc = self.pc;
         let mut next_pc = self.pc.wrapping_add(4);
         let mut ctx = TimingContext {
@@ -222,21 +258,16 @@ impl Processor {
         match instr {
             Instruction::Lui { rd, imm } => self.set_xreg(rd, imm as u32),
             Instruction::Auipc { rd, imm } => self.set_xreg(rd, pc.wrapping_add(imm as u32)),
-            Instruction::Jal { rd, offset } => {
+            Instruction::Jal { rd, .. } => {
                 self.set_xreg(rd, pc.wrapping_add(4));
-                next_pc = pc.wrapping_add(offset as u32);
+                next_pc = slot.target;
             }
             Instruction::Jalr { rd, rs1, offset } => {
                 let target = self.xreg(rs1).wrapping_add(offset as u32) & !1;
                 self.set_xreg(rd, pc.wrapping_add(4));
                 next_pc = target;
             }
-            Instruction::Branch {
-                kind,
-                rs1,
-                rs2,
-                offset,
-            } => {
+            Instruction::Branch { kind, rs1, rs2, .. } => {
                 let (a, b) = (self.xreg(rs1), self.xreg(rs2));
                 let taken = match kind {
                     BranchKind::Beq => a == b,
@@ -247,7 +278,7 @@ impl Processor {
                     BranchKind::Bgeu => a >= b,
                 };
                 if taken {
-                    next_pc = pc.wrapping_add(offset as u32);
+                    next_pc = slot.target;
                 }
                 ctx.branch_taken = taken;
             }
@@ -324,13 +355,7 @@ impl Processor {
                             ((a as i32) / (b as i32)) as u32
                         }
                     }
-                    OpKind::Divu => {
-                        if b == 0 {
-                            u32::MAX
-                        } else {
-                            a / b
-                        }
-                    }
+                    OpKind::Divu => a.checked_div(b).unwrap_or(u32::MAX),
                     OpKind::Rem => {
                         if b == 0 {
                             a
@@ -435,10 +460,10 @@ impl Processor {
             Instruction::Custom(op) => custom::execute(&mut self.vu, &op, &self.xregs)?,
         }
 
-        let cost = self.config.timing.cost(&instr, ctx);
+        let cost = slot.timing.cost(ctx);
         self.cycles += cost;
         self.retired += 1;
-        if instr.is_vector() {
+        if slot.is_vector {
             self.retired_vector += 1;
         }
         self.tracer.record(pc, instr, cost, self.cycles);

@@ -7,161 +7,190 @@ use keccak_rvv::isa::{
     BranchKind, Csr, CustomOp, Instruction, Lmul, LoadKind, MemMode, OpImmKind, OpKind, RhoRow,
     Sew, StoreKind, VArithOp, VReg, VSource, Vtype, XReg,
 };
-use proptest::prelude::*;
+use krv_testkit::{cases, Rng};
 
-fn xreg() -> impl Strategy<Value = XReg> {
-    (0usize..32).prop_map(XReg::from_index)
+fn xreg(rng: &mut Rng) -> XReg {
+    XReg::from_index(rng.below(32))
 }
 
-fn vreg() -> impl Strategy<Value = VReg> {
-    (0usize..32).prop_map(VReg::from_index)
+fn vreg(rng: &mut Rng) -> VReg {
+    VReg::from_index(rng.below(32))
+}
+
+fn rho_row(rng: &mut Rng) -> RhoRow {
+    if rng.next_bool() {
+        RhoRow::All
+    } else {
+        RhoRow::Row(rng.below(5) as u8)
+    }
+}
+
+fn custom(rng: &mut Rng) -> CustomOp {
+    let (vd, vs2, vm) = (vreg(rng), vreg(rng), rng.next_bool());
+    match rng.below(8) {
+        0 => CustomOp::Vslidedownm {
+            vd,
+            vs2,
+            uimm: rng.below(32) as u8,
+            vm,
+        },
+        1 => CustomOp::Vslideupm {
+            vd,
+            vs2,
+            uimm: rng.below(32) as u8,
+            vm,
+        },
+        2 => CustomOp::Vrotup {
+            vd,
+            vs2,
+            uimm: rng.below(32) as u8,
+            vm,
+        },
+        3 => CustomOp::V32lrotup {
+            vd,
+            vs2,
+            vs1: vreg(rng),
+            vm,
+        },
+        4 => CustomOp::V32hrho {
+            vd,
+            vs2,
+            vs1: vreg(rng),
+            vm,
+        },
+        5 => CustomOp::V64rho {
+            vd,
+            vs2,
+            row: rho_row(rng),
+            vm,
+        },
+        6 => CustomOp::Vpi {
+            vd,
+            vs2,
+            row: rho_row(rng),
+            vm,
+        },
+        _ => CustomOp::Viota {
+            vd,
+            vs2,
+            rs1: xreg(rng),
+            vm,
+        },
+    }
 }
 
 /// Instructions whose rendering is position-independent (no labels).
-fn renderable_instruction() -> impl Strategy<Value = Instruction> {
-    let branch = (
-        prop_oneof![
-            Just(BranchKind::Beq),
-            Just(BranchKind::Bne),
-            Just(BranchKind::Blt),
-            Just(BranchKind::Bge),
-            Just(BranchKind::Bltu),
-            Just(BranchKind::Bgeu)
-        ],
-        xreg(),
-        xreg(),
-        -512i32..512,
-    )
-        .prop_map(|(kind, rs1, rs2, o)| Instruction::Branch {
-            kind,
-            rs1,
-            rs2,
-            offset: o * 2,
-        });
-    let loads = (
-        prop_oneof![
-            Just(LoadKind::Lb),
-            Just(LoadKind::Lh),
-            Just(LoadKind::Lw),
-            Just(LoadKind::Lbu),
-            Just(LoadKind::Lhu)
-        ],
-        xreg(),
-        xreg(),
-        -2048i32..2048,
-    )
-        .prop_map(|(kind, rd, rs1, offset)| Instruction::Load {
-            kind,
-            rd,
-            rs1,
-            offset,
-        });
-    let stores = (
-        prop_oneof![
-            Just(StoreKind::Sb),
-            Just(StoreKind::Sh),
-            Just(StoreKind::Sw)
-        ],
-        xreg(),
-        xreg(),
-        -2048i32..2048,
-    )
-        .prop_map(|(kind, rs2, rs1, offset)| Instruction::Store {
-            kind,
-            rs2,
-            rs1,
-            offset,
-        });
-    let opimm = (
-        prop_oneof![
-            Just(OpImmKind::Addi),
-            Just(OpImmKind::Slti),
-            Just(OpImmKind::Xori),
-            Just(OpImmKind::Andi),
-            Just(OpImmKind::Slli),
-            Just(OpImmKind::Srai)
-        ],
-        xreg(),
-        xreg(),
-        -2048i32..2048,
-    )
-        .prop_map(|(kind, rd, rs1, imm)| Instruction::OpImm {
-            kind,
-            rd,
-            rs1,
-            imm: if kind.is_shift() {
-                imm.rem_euclid(32)
-            } else {
-                imm
-            },
-        });
-    let ops = (
-        prop_oneof![
-            Just(OpKind::Add),
-            Just(OpKind::Sub),
-            Just(OpKind::Xor),
-            Just(OpKind::Mul),
-            Just(OpKind::Divu)
-        ],
-        xreg(),
-        xreg(),
-        xreg(),
-    )
-        .prop_map(|(kind, rd, rs1, rs2)| Instruction::Op { kind, rd, rs1, rs2 });
-    let varith = (
-        prop_oneof![
-            Just(VArithOp::Add),
-            Just(VArithOp::And),
-            Just(VArithOp::Or),
-            Just(VArithOp::Xor),
-            Just(VArithOp::Sll),
-            Just(VArithOp::Srl),
-            Just(VArithOp::Mseq),
-            Just(VArithOp::Slideup),
-            Just(VArithOp::Slidedown)
-        ],
-        vreg(),
-        vreg(),
-        prop_oneof![
-            vreg().prop_map(VSource::Vector),
-            xreg().prop_map(VSource::Scalar),
-            (-16i32..16).prop_map(VSource::Imm)
-        ],
-        any::<bool>(),
-    )
-        .prop_filter_map("operand form defined", |(op, vd, vs2, src, vm)| {
-            let ok = match src {
-                VSource::Vector(_) => op.supports_vv(),
-                VSource::Scalar(_) => true,
-                VSource::Imm(_) => op.supports_vi(),
+fn renderable_instruction(rng: &mut Rng) -> Instruction {
+    match rng.below(15) {
+        0 => Instruction::Branch {
+            kind: *rng.pick(&[
+                BranchKind::Beq,
+                BranchKind::Bne,
+                BranchKind::Blt,
+                BranchKind::Bge,
+                BranchKind::Bltu,
+                BranchKind::Bgeu,
+            ]),
+            rs1: xreg(rng),
+            rs2: xreg(rng),
+            offset: rng.range(-512, 512) as i32 * 2,
+        },
+        1 => Instruction::Load {
+            kind: *rng.pick(&[
+                LoadKind::Lb,
+                LoadKind::Lh,
+                LoadKind::Lw,
+                LoadKind::Lbu,
+                LoadKind::Lhu,
+            ]),
+            rd: xreg(rng),
+            rs1: xreg(rng),
+            offset: rng.range(-2048, 2048) as i32,
+        },
+        2 => Instruction::Store {
+            kind: *rng.pick(&[StoreKind::Sb, StoreKind::Sh, StoreKind::Sw]),
+            rs2: xreg(rng),
+            rs1: xreg(rng),
+            offset: rng.range(-2048, 2048) as i32,
+        },
+        3 => {
+            let kind = *rng.pick(&[
+                OpImmKind::Addi,
+                OpImmKind::Slti,
+                OpImmKind::Xori,
+                OpImmKind::Andi,
+                OpImmKind::Slli,
+                OpImmKind::Srai,
+            ]);
+            let imm = rng.range(-2048, 2048) as i32;
+            Instruction::OpImm {
+                kind,
+                rd: xreg(rng),
+                rs1: xreg(rng),
+                imm: if kind.is_shift() {
+                    imm.rem_euclid(32)
+                } else {
+                    imm
+                },
+            }
+        }
+        4 => Instruction::Op {
+            kind: *rng.pick(&[
+                OpKind::Add,
+                OpKind::Sub,
+                OpKind::Xor,
+                OpKind::Mul,
+                OpKind::Divu,
+            ]),
+            rd: xreg(rng),
+            rs1: xreg(rng),
+            rs2: xreg(rng),
+        },
+        5 => {
+            // Operand form must be defined for the chosen op: retry
+            // until op and source form are compatible.
+            loop {
+                let op = *rng.pick(&[
+                    VArithOp::Add,
+                    VArithOp::And,
+                    VArithOp::Or,
+                    VArithOp::Xor,
+                    VArithOp::Sll,
+                    VArithOp::Srl,
+                    VArithOp::Mseq,
+                    VArithOp::Slideup,
+                    VArithOp::Slidedown,
+                ]);
+                let src = match rng.below(3) {
+                    0 => VSource::Vector(vreg(rng)),
+                    1 => VSource::Scalar(xreg(rng)),
+                    _ => VSource::Imm(rng.range(-16, 16) as i32),
+                };
+                let ok = match src {
+                    VSource::Vector(_) => op.supports_vv(),
+                    VSource::Scalar(_) => true,
+                    VSource::Imm(_) => op.supports_vi(),
+                };
+                if ok {
+                    return Instruction::VArith {
+                        op,
+                        vd: vreg(rng),
+                        vs2: vreg(rng),
+                        src,
+                        vm: rng.next_bool(),
+                    };
+                }
+            }
+        }
+        6 => {
+            let eew = *rng.pick(&[Sew::E8, Sew::E16, Sew::E32, Sew::E64]);
+            let mode = match rng.below(3) {
+                0 => MemMode::UnitStride,
+                1 => MemMode::Strided(xreg(rng)),
+                _ => MemMode::Indexed(vreg(rng)),
             };
-            ok.then_some(Instruction::VArith {
-                op,
-                vd,
-                vs2,
-                src,
-                vm,
-            })
-        });
-    let vmem = (
-        prop_oneof![
-            Just(Sew::E8),
-            Just(Sew::E16),
-            Just(Sew::E32),
-            Just(Sew::E64)
-        ],
-        vreg(),
-        xreg(),
-        prop_oneof![
-            Just(MemMode::UnitStride),
-            xreg().prop_map(MemMode::Strided),
-            vreg().prop_map(MemMode::Indexed)
-        ],
-        any::<bool>(),
-        any::<bool>(),
-    )
-        .prop_map(|(eew, v, rs1, mode, vm, load)| {
-            if load {
+            let (v, rs1, vm) = (vreg(rng), xreg(rng), rng.next_bool());
+            if rng.next_bool() {
                 Instruction::VLoad {
                     eew,
                     vd: v,
@@ -178,90 +207,59 @@ fn renderable_instruction() -> impl Strategy<Value = Instruction> {
                     vm,
                 }
             }
-        });
-    let vsetvli = (
-        xreg(),
-        xreg(),
-        prop_oneof![Just(Sew::E32), Just(Sew::E64)],
-        prop_oneof![Just(Lmul::M1), Just(Lmul::M8)],
-    )
-        .prop_map(|(rd, rs1, sew, lmul)| Instruction::Vsetvli {
-            rd,
-            rs1,
-            vtype: Vtype::new(sew, lmul).tail_undisturbed().mask_undisturbed(),
-        });
-    let rho_row = prop_oneof![Just(RhoRow::All), (0u8..5).prop_map(RhoRow::Row)];
-    let customs =
-        prop_oneof![
-            (vreg(), vreg(), 0u8..32, any::<bool>())
-                .prop_map(|(vd, vs2, uimm, vm)| CustomOp::Vslidedownm { vd, vs2, uimm, vm }),
-            (vreg(), vreg(), 0u8..32, any::<bool>())
-                .prop_map(|(vd, vs2, uimm, vm)| CustomOp::Vslideupm { vd, vs2, uimm, vm }),
-            (vreg(), vreg(), 0u8..32, any::<bool>())
-                .prop_map(|(vd, vs2, uimm, vm)| CustomOp::Vrotup { vd, vs2, uimm, vm }),
-            (vreg(), vreg(), vreg(), any::<bool>())
-                .prop_map(|(vd, vs2, vs1, vm)| CustomOp::V32lrotup { vd, vs2, vs1, vm }),
-            (vreg(), vreg(), vreg(), any::<bool>())
-                .prop_map(|(vd, vs2, vs1, vm)| CustomOp::V32hrho { vd, vs2, vs1, vm }),
-            (vreg(), vreg(), rho_row.clone(), any::<bool>())
-                .prop_map(|(vd, vs2, row, vm)| CustomOp::V64rho { vd, vs2, row, vm }),
-            (vreg(), vreg(), rho_row, any::<bool>()).prop_map(|(vd, vs2, row, vm)| CustomOp::Vpi {
-                vd,
-                vs2,
-                row,
-                vm
-            }),
-            (vreg(), vreg(), xreg(), any::<bool>())
-                .prop_map(|(vd, vs2, rs1, vm)| CustomOp::Viota { vd, vs2, rs1, vm }),
-        ]
-        .prop_map(Instruction::Custom);
-    prop_oneof![
-        branch,
-        loads,
-        stores,
-        opimm,
-        ops,
-        varith,
-        vmem,
-        vsetvli,
-        customs,
-        Just(Instruction::Ecall),
-        Just(Instruction::Ebreak),
-        (
-            xreg(),
-            prop_oneof![
-                Just(Csr::Vl),
-                Just(Csr::Vtype),
-                Just(Csr::Vlenb),
-                Just(Csr::Cycle),
-                Just(Csr::Instret)
-            ]
-        )
-            .prop_map(|(rd, csr)| Instruction::Csrr { rd, csr }),
-        (xreg(), vreg()).prop_map(|(rd, vs2)| Instruction::VmvXs { rd, vs2 }),
-        (vreg(), xreg()).prop_map(|(vd, rs1)| Instruction::VmvSx { vd, rs1 }),
-        (vreg(), any::<bool>()).prop_map(|(vd, vm)| Instruction::Vid { vd, vm }),
-    ]
+        }
+        7 => Instruction::Vsetvli {
+            rd: xreg(rng),
+            rs1: xreg(rng),
+            vtype: Vtype::new(
+                *rng.pick(&[Sew::E32, Sew::E64]),
+                *rng.pick(&[Lmul::M1, Lmul::M8]),
+            )
+            .tail_undisturbed()
+            .mask_undisturbed(),
+        },
+        8 => Instruction::Custom(custom(rng)),
+        9 => Instruction::Ecall,
+        10 => Instruction::Ebreak,
+        11 => Instruction::Csrr {
+            rd: xreg(rng),
+            csr: *rng.pick(&[Csr::Vl, Csr::Vtype, Csr::Vlenb, Csr::Cycle, Csr::Instret]),
+        },
+        12 => Instruction::VmvXs {
+            rd: xreg(rng),
+            vs2: vreg(rng),
+        },
+        13 => Instruction::VmvSx {
+            vd: vreg(rng),
+            rs1: xreg(rng),
+        },
+        _ => Instruction::Vid {
+            vd: vreg(rng),
+            vm: rng.next_bool(),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(1500))]
-
-    #[test]
-    fn display_reparses_identically(instr in renderable_instruction()) {
+#[test]
+fn display_reparses_identically() {
+    cases(1500, |rng| {
+        let instr = renderable_instruction(rng);
         let text = instr.to_string();
-        let program = assemble(&text)
-            .unwrap_or_else(|e| panic!("`{text}` failed to parse: {e}"));
-        prop_assert_eq!(program.instructions(), &[instr]);
-    }
+        let program = assemble(&text).unwrap_or_else(|e| panic!("`{text}` failed to parse: {e}"));
+        assert_eq!(program.instructions(), &[instr]);
+    });
+}
 
-    #[test]
-    fn disassemble_reassemble_fixed_point(instrs in proptest::collection::vec(renderable_instruction(), 1..40)) {
+#[test]
+fn disassemble_reassemble_fixed_point() {
+    cases(300, |rng| {
+        let count = 1 + rng.below(39);
+        let instrs: Vec<Instruction> = (0..count).map(|_| renderable_instruction(rng)).collect();
         let text = disassemble(&instrs);
         let program = assemble(&text).expect("disassembly parses");
-        prop_assert_eq!(program.instructions(), &instrs[..]);
+        assert_eq!(program.instructions(), &instrs[..]);
         // Second round trip is a fixed point.
         let text2 = disassemble(program.instructions());
-        prop_assert_eq!(text, text2);
-    }
+        assert_eq!(text, text2);
+    });
 }

@@ -4,15 +4,14 @@
 use keccak_rvv::core::{KernelKind, VectorKeccakEngine};
 use keccak_rvv::keccak::{keccak_f1600, KeccakState};
 use keccak_rvv::sha3::{hex, BatchSponge, Sha3_256, Sha3_512, Shake128, SpongeParams, Xof};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use krv_testkit::Rng;
 
-fn random_states(rng: &mut StdRng, n: usize) -> Vec<KeccakState> {
+fn random_states(rng: &mut Rng, n: usize) -> Vec<KeccakState> {
     (0..n)
         .map(|_| {
             let mut lanes = [0u64; 25];
             for lane in lanes.iter_mut() {
-                *lane = rng.gen();
+                *lane = rng.next_u64();
             }
             KeccakState::from_lanes(lanes)
         })
@@ -21,7 +20,7 @@ fn random_states(rng: &mut StdRng, n: usize) -> Vec<KeccakState> {
 
 #[test]
 fn random_states_through_every_kernel() {
-    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let mut rng = Rng::new(0xC0FFEE);
     for kind in KernelKind::ALL {
         for sn in [1usize, 2, 3, 6] {
             let mut engine = VectorKeccakEngine::new(kind, sn);
