@@ -1,0 +1,344 @@
+//! Differential fuzzing: random states, messages and batch shapes
+//! cross-checked between every backend and the scalar reference, with
+//! automatic input shrinking so a failure minimizes to a readable repro.
+//!
+//! Three case shapes are generated (weights chosen so most cases are
+//! cheap single-permutation checks):
+//!
+//! * **permute** — a random state set through `permute_all`, compared
+//!   lane-for-lane against [`keccak_f1600`]. Shrinks by dropping states
+//!   and zeroing lanes.
+//! * **digest** — a random message through the sponge digest path,
+//!   compared against the reference backend. Shrinks by halving and
+//!   truncating the message.
+//! * **batch** — a random ragged request set through
+//!   [`krv_sha3::hash_batch`], compared per-request against reference
+//!   digests. Shrinks by dropping requests and halving messages.
+//!
+//! Because every backend is compared against the same reference, two
+//! passing backends are transitively equal to each other — the roster is
+//! pairwise-consistent whenever all reports come back clean.
+
+use crate::kat::{digest_with, Algorithm};
+use krv_core::BackendKind;
+use krv_keccak::{keccak_f1600, KeccakState};
+use krv_sha3::{hash_batch, hex, BatchRequest, PermutationBackend};
+use krv_testkit::{shrink, CaseReport, Rng};
+
+/// The result of fuzzing one backend against the reference.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// Backend label.
+    pub backend: String,
+    /// Cases executed.
+    pub cases: usize,
+    /// Minimized mismatches (empty on a clean run).
+    pub mismatches: Vec<CaseReport>,
+}
+
+impl FuzzReport {
+    /// Whether the backend agreed with the reference on every case.
+    pub fn passed(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Derives the per-case seed from the campaign seed (SplitMix64-style
+/// stream split, so cases are independent and reproducible).
+fn case_seed(campaign: u64, case: usize) -> u64 {
+    (campaign ^ (case as u64).wrapping_mul(0xA076_1D64_78BD_642F))
+        .wrapping_add(0x2545_F491_4F6C_DD1D)
+}
+
+/// A random Keccak state with biased structure: mostly dense random
+/// lanes, sometimes sparse (single-bit lanes shake out masking bugs).
+fn random_state(rng: &mut Rng) -> KeccakState {
+    let sparse = rng.below(4) == 0;
+    let mut lanes = [0u64; 25];
+    for lane in lanes.iter_mut() {
+        *lane = if sparse {
+            1u64 << rng.below(64)
+        } else {
+            rng.next_u64()
+        };
+    }
+    KeccakState::from_lanes(lanes)
+}
+
+/// Fuzzes `backend` against the scalar reference for `cases` cases.
+///
+/// On a mismatch the failing input is shrunk to a local minimum before
+/// being recorded, and fuzzing continues with the remaining cases.
+pub fn fuzz_backend(
+    backend: &mut dyn PermutationBackend,
+    label: &str,
+    cases: usize,
+    seed: u64,
+) -> FuzzReport {
+    let mut mismatches = Vec::new();
+    for case in 0..cases {
+        let case_seed = case_seed(seed, case);
+        let mut rng = Rng::new(case_seed);
+        let mismatch = match rng.below(4) {
+            0 | 1 => permute_case(backend, &mut rng),
+            2 => digest_case(backend, &mut rng),
+            _ => batch_case(backend, &mut rng),
+        };
+        if let Some(detail) = mismatch {
+            mismatches.push(CaseReport::new(format!("diff/{label}"), case_seed, detail));
+        }
+    }
+    FuzzReport {
+        backend: label.to_string(),
+        cases,
+        mismatches,
+    }
+}
+
+/// Runs the differential campaign over the whole conformance roster,
+/// splitting `total_cases` evenly (the reference itself is skipped — it
+/// is the oracle).
+pub fn run_fuzz(total_cases: usize, seed: u64) -> Vec<FuzzReport> {
+    let roster: Vec<BackendKind> = BackendKind::conformance_roster()
+        .into_iter()
+        .filter(|kind| *kind != BackendKind::Reference)
+        .collect();
+    let per_backend = total_cases.div_ceil(roster.len());
+    roster
+        .iter()
+        .enumerate()
+        .map(|(index, kind)| {
+            let mut backend = kind.instantiate(crate::kat::backend_states(kind));
+            fuzz_backend(
+                backend.as_mut(),
+                &kind.label(),
+                per_backend,
+                // Stagger the stream per backend so the roster does not
+                // re-run identical inputs everywhere.
+                seed ^ (index as u64) << 56,
+            )
+        })
+        .collect()
+}
+
+/// Permutes the states on the backend and diffs against the reference.
+/// Returns the mismatching (minimized) description, if any.
+fn permute_mismatch(backend: &mut dyn PermutationBackend, states: &[KeccakState]) -> Option<usize> {
+    let mut got = states.to_vec();
+    backend.permute_all(&mut got);
+    let mut expected = states.to_vec();
+    for state in &mut expected {
+        keccak_f1600(state);
+    }
+    got.iter().zip(&expected).position(|(g, e)| g != e)
+}
+
+fn permute_case(backend: &mut dyn PermutationBackend, rng: &mut Rng) -> Option<String> {
+    let n = 1 + rng.below(6);
+    let states: Vec<KeccakState> = (0..n).map(|_| random_state(rng)).collect();
+    permute_mismatch(backend, &states)?;
+    // Shrink: drop whole states, then zero individual lanes.
+    let minimal = shrink(
+        states,
+        |current| {
+            let mut candidates = Vec::new();
+            for i in 0..current.len() {
+                let mut dropped = current.clone();
+                dropped.remove(i);
+                if !dropped.is_empty() {
+                    candidates.push(dropped);
+                }
+            }
+            for (i, state) in current.iter().enumerate() {
+                for lane in 0..25 {
+                    if state.lanes()[lane] != 0 {
+                        let mut zeroed = current.clone();
+                        let mut lanes = zeroed[i].into_lanes();
+                        lanes[lane] = 0;
+                        zeroed[i] = KeccakState::from_lanes(lanes);
+                        candidates.push(zeroed);
+                    }
+                }
+            }
+            candidates
+        },
+        |candidate| permute_mismatch(backend, candidate).is_some(),
+    );
+    let index = permute_mismatch(backend, &minimal).unwrap_or(0);
+    let nonzero: Vec<String> = minimal[index]
+        .lanes()
+        .iter()
+        .enumerate()
+        .filter(|(_, lane)| **lane != 0)
+        .map(|(i, lane)| format!("lane[{i}]={lane:#x}"))
+        .collect();
+    Some(format!(
+        "permute: {n} states diverged; minimized {} states, first bad state #{index} {{{}}}",
+        minimal.len(),
+        nonzero.join(", ")
+    ))
+}
+
+/// Diffs one digest computation between `backend` and the reference.
+fn digest_mismatch(
+    backend: &mut dyn PermutationBackend,
+    algorithm: Algorithm,
+    message: &[u8],
+    output_len: usize,
+) -> Option<(Vec<u8>, Vec<u8>)> {
+    let got = digest_with(backend, algorithm.params(), message, output_len);
+    let expected = digest_with(
+        &mut krv_sha3::ReferenceBackend::new(),
+        algorithm.params(),
+        message,
+        output_len,
+    );
+    (got != expected).then_some((got, expected))
+}
+
+fn digest_case(backend: &mut dyn PermutationBackend, rng: &mut Rng) -> Option<String> {
+    let algorithm = *rng.pick(&Algorithm::ALL);
+    let len = rng.below(600);
+    let message = rng.bytes(len);
+    let output_len = algorithm.digest_len().unwrap_or_else(|| 1 + rng.below(200));
+    digest_mismatch(backend, algorithm, &message, output_len)?;
+    // Shrink: halve, truncate by one, zero bytes front-to-back.
+    let minimal = shrink(
+        message,
+        |current| {
+            let mut candidates = Vec::new();
+            if !current.is_empty() {
+                candidates.push(current[..current.len() / 2].to_vec());
+                candidates.push(current[..current.len() - 1].to_vec());
+                if let Some(pos) = current.iter().position(|&b| b != 0) {
+                    let mut zeroed = current.clone();
+                    zeroed[pos] = 0;
+                    candidates.push(zeroed);
+                }
+            }
+            candidates
+        },
+        |candidate| digest_mismatch(backend, algorithm, candidate, output_len).is_some(),
+    );
+    let (got, expected) =
+        digest_mismatch(backend, algorithm, &minimal, output_len).unwrap_or_default();
+    Some(format!(
+        "digest {}: message len {len} diverged; minimized to len {} ({}) → {} != {}",
+        algorithm.name(),
+        minimal.len(),
+        preview(&minimal),
+        preview_hex(&got),
+        preview_hex(&expected),
+    ))
+}
+
+/// Diffs one ragged batch between `backend` and per-message reference
+/// digests. Returns the first mismatching request index.
+fn batch_mismatch(
+    backend: &mut dyn PermutationBackend,
+    algorithm: Algorithm,
+    jobs: &[(Vec<u8>, usize)],
+) -> Option<usize> {
+    let requests: Vec<BatchRequest<'_>> = jobs
+        .iter()
+        .map(|(message, output_len)| BatchRequest::new(message, *output_len))
+        .collect();
+    let outputs = hash_batch(algorithm.params(), &mut *backend, &requests);
+    jobs.iter().zip(&outputs).position(|((message, len), out)| {
+        *out != digest_with(
+            &mut krv_sha3::ReferenceBackend::new(),
+            algorithm.params(),
+            message,
+            *len,
+        )
+    })
+}
+
+fn batch_case(backend: &mut dyn PermutationBackend, rng: &mut Rng) -> Option<String> {
+    let algorithm = *rng.pick(&Algorithm::ALL);
+    let n = 1 + rng.below(5);
+    let jobs: Vec<(Vec<u8>, usize)> = (0..n)
+        .map(|_| {
+            let len = rng.below(400);
+            let output_len = algorithm.digest_len().unwrap_or_else(|| 1 + rng.below(150));
+            (rng.bytes(len), output_len)
+        })
+        .collect();
+    batch_mismatch(backend, algorithm, &jobs)?;
+    // Shrink: drop requests, then halve the surviving messages.
+    let minimal = shrink(
+        jobs,
+        |current| {
+            let mut candidates = Vec::new();
+            for i in 0..current.len() {
+                if current.len() > 1 {
+                    let mut dropped = current.clone();
+                    dropped.remove(i);
+                    candidates.push(dropped);
+                }
+                if !current[i].0.is_empty() {
+                    let mut halved = current.clone();
+                    let keep = halved[i].0.len() / 2;
+                    halved[i].0.truncate(keep);
+                    candidates.push(halved);
+                }
+            }
+            candidates
+        },
+        |candidate| batch_mismatch(backend, algorithm, candidate).is_some(),
+    );
+    let index = batch_mismatch(backend, algorithm, &minimal).unwrap_or(0);
+    let shape: Vec<String> = minimal
+        .iter()
+        .map(|(message, len)| format!("{}→{len}", message.len()))
+        .collect();
+    Some(format!(
+        "batch {}: {n} requests diverged; minimized {} requests [{}], first bad #{index}",
+        algorithm.name(),
+        minimal.len(),
+        shape.join(", ")
+    ))
+}
+
+/// A short displayable prefix of a byte string.
+fn preview(bytes: &[u8]) -> String {
+    if bytes.len() <= 16 {
+        hex(bytes)
+    } else {
+        format!("{}…", hex(&bytes[..16]))
+    }
+}
+
+/// A short displayable prefix of a digest.
+fn preview_hex(bytes: &[u8]) -> String {
+    if bytes.is_empty() {
+        "<empty>".to_string()
+    } else {
+        preview(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krv_sha3::ReferenceBackend;
+
+    #[test]
+    fn reference_vs_reference_is_clean() {
+        let mut backend = ReferenceBackend::new();
+        let report = fuzz_backend(&mut backend, "reference", 40, 0xC0FFEE);
+        assert_eq!(report.cases, 40);
+        assert!(report.passed(), "{:?}", report.mismatches);
+    }
+
+    #[test]
+    fn case_seeds_are_distinct_and_stable() {
+        let a: Vec<u64> = (0..32).map(|i| case_seed(7, i)).collect();
+        let b: Vec<u64> = (0..32).map(|i| case_seed(7, i)).collect();
+        assert_eq!(a, b, "reproducible");
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), a.len(), "independent streams");
+    }
+}

@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backends;
 pub mod cache;
 pub mod device;
 pub mod engine;
@@ -50,6 +51,7 @@ pub mod pool;
 pub mod programs;
 pub mod stats;
 
+pub use backends::{BackendKind, SessionBackend};
 pub use cache::{prepared_kernel, PreparedKernel};
 pub use device::DeviceSponge;
 pub use engine::{EngineSession, KernelKind, VectorKeccakEngine};

@@ -139,6 +139,118 @@ fn sponge_output_depends_on_domain() {
     });
 }
 
+/// The padding-critical message lengths for a sponge with the given
+/// rate: empty, one byte below/at/above a full block, and two blocks
+/// (where `pad10*1` lands in every possible position relative to the
+/// block boundary).
+fn rate_boundary_lengths(rate: usize) -> [usize; 6] {
+    [0, rate - 1, rate, rate + 1, 2 * rate, 2 * rate + 1]
+}
+
+#[test]
+fn rate_boundary_lengths_roundtrip_through_hash_batch() {
+    // Every boundary length, hashed alone and inside a batch, must agree
+    // with the one-shot digest — for each of the six functions' rates.
+    for params in [
+        SpongeParams::sha3(224),
+        SpongeParams::sha3(256),
+        SpongeParams::sha3(384),
+        SpongeParams::sha3(512),
+        SpongeParams::shake(128),
+        SpongeParams::shake(256),
+    ] {
+        let rate = params.rate_bytes();
+        let messages: Vec<Vec<u8>> = rate_boundary_lengths(rate)
+            .iter()
+            .map(|&len| (0..len).map(|i| (i * 31 + len) as u8).collect())
+            .collect();
+        let requests: Vec<BatchRequest<'_>> =
+            messages.iter().map(|m| BatchRequest::new(m, 48)).collect();
+        let batched = hash_batch(params, ReferenceBackend::new(), &requests);
+        for (message, output) in messages.iter().zip(&batched) {
+            let mut sponge = Sponge::new(params, ReferenceBackend::new());
+            sponge.absorb(message);
+            assert_eq!(
+                *output,
+                sponge.squeeze(48),
+                "rate {rate}, len {}",
+                message.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn digest_batch_handles_rate_boundaries_per_function() {
+    // The typed front-ends (fixed-width digests and XOFs) over the
+    // boundary lengths of their own rate.
+    let lens = rate_boundary_lengths(136); // SHA3-256 / SHAKE256 rate
+    let messages: Vec<Vec<u8>> = lens
+        .iter()
+        .map(|&len| (0..len).map(|i| (i ^ len) as u8).collect())
+        .collect();
+    let refs: Vec<&[u8]> = messages.iter().map(|m| m.as_slice()).collect();
+    for (message, digest) in messages
+        .iter()
+        .zip(Sha3_256::digest_batch(ReferenceBackend::new(), &refs))
+    {
+        assert_eq!(digest, Sha3_256::digest(message), "len {}", message.len());
+    }
+    for (message, digest) in
+        messages
+            .iter()
+            .zip(Shake256::digest_batch(ReferenceBackend::new(), &refs, 64))
+    {
+        assert_eq!(
+            digest,
+            Shake256::digest(message, 64),
+            "len {}",
+            message.len()
+        );
+    }
+}
+
+#[test]
+fn ragged_batches_spanning_rate_boundaries_match_one_shot() {
+    cases(24, |rng| {
+        // Batches mixing boundary lengths with random ones, random
+        // request counts, random output lengths — all must match the
+        // per-message one-shot path.
+        let rate = *rng.pick(&[104usize, 136, 168]);
+        let params = match rate {
+            104 => SpongeParams::sha3(384),
+            136 => SpongeParams::shake(256),
+            _ => SpongeParams::shake(128),
+        };
+        let n = 1 + rng.below(9);
+        let messages: Vec<Vec<u8>> = (0..n)
+            .map(|_| {
+                let len = if rng.next_bool() {
+                    rate_boundary_lengths(rate)[rng.below(6)]
+                } else {
+                    rng.below(3 * rate)
+                };
+                rng.bytes(len)
+            })
+            .collect();
+        let requests: Vec<BatchRequest<'_>> = messages
+            .iter()
+            .map(|m| BatchRequest::new(m, 1 + rng.below(200)))
+            .collect();
+        let outputs = hash_batch(params, ReferenceBackend::new(), &requests);
+        for (request, output) in requests.iter().zip(&outputs) {
+            let mut sponge = Sponge::new(params, ReferenceBackend::new());
+            sponge.absorb(request.message);
+            assert_eq!(
+                *output,
+                sponge.squeeze(request.output_len),
+                "rate {rate}, len {}",
+                request.message.len()
+            );
+        }
+    });
+}
+
 #[test]
 fn appending_a_byte_changes_the_digest() {
     cases(64, |rng| {

@@ -12,6 +12,11 @@
 //!   so a failure reproduces with `Rng::new(seed)`.
 //! * [`Stopwatch`] — a minimal wall-clock measurement helper for the
 //!   `harness = false` bench binaries.
+//! * [`shrink`] — a greedy input minimizer for differential tests: given
+//!   a failing input and a candidate generator, it walks toward a local
+//!   minimum that still fails, so failures report readable repros.
+//! * [`CaseReport`] — a uniform record of one failing case (suite, seed,
+//!   human-readable detail) used by the conformance tooling.
 //!
 //! Everything is deterministic: the same seed always produces the same
 //! sequence on every platform, so test failures are reproducible.
@@ -123,6 +128,106 @@ pub fn cases(n: usize, mut body: impl FnMut(&mut Rng)) {
     }
 }
 
+/// Greedily minimizes a failing input.
+///
+/// Starting from `initial` (which must fail), repeatedly asks
+/// `candidates` for simpler variants and commits to the **first** one on
+/// which `still_fails` returns `true`, restarting the candidate scan from
+/// the committed input. Stops at a local minimum: an input none of whose
+/// candidates still fail. Candidate lists must be finite and each
+/// candidate strictly "simpler" than its parent (shorter, fewer entries,
+/// more zeros…), or the loop may not terminate; `max_steps` caps the
+/// committed shrink steps as a backstop, so termination is guaranteed
+/// regardless.
+///
+/// This is the shrinking strategy of classic property-testing frameworks
+/// (smallest-first greedy descent), reimplemented because the build
+/// environment has no access to `proptest`.
+///
+/// # Example
+///
+/// ```
+/// use krv_testkit::shrink;
+///
+/// // "Fails" whenever the vector still contains a 7.
+/// let failing = vec![3u32, 7, 1, 7, 9];
+/// let minimal = shrink(
+///     failing,
+///     // Candidates: drop any single element.
+///     |v| {
+///         (0..v.len())
+///             .map(|i| {
+///                 let mut smaller = v.clone();
+///                 smaller.remove(i);
+///                 smaller
+///             })
+///             .collect()
+///     },
+///     |v| v.contains(&7),
+/// );
+/// assert_eq!(minimal, vec![7], "one failing element survives");
+/// ```
+pub fn shrink<T: Clone>(
+    initial: T,
+    mut candidates: impl FnMut(&T) -> Vec<T>,
+    mut still_fails: impl FnMut(&T) -> bool,
+) -> T {
+    let max_steps = 10_000;
+    let mut current = initial;
+    for _ in 0..max_steps {
+        let mut progressed = false;
+        for candidate in candidates(&current) {
+            if still_fails(&candidate) {
+                current = candidate;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    current
+}
+
+/// A uniform record of one failing test case.
+///
+/// Carries everything needed to reproduce and read a failure: the suite
+/// that found it, the seed that generated it, and a human-readable
+/// description of the (minimized) input and the observed divergence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseReport {
+    /// The suite or oracle that produced the failure.
+    pub suite: String,
+    /// Seed reproducing the case (`Rng::new(seed)`).
+    pub seed: u64,
+    /// Human-readable description of the minimized failing input.
+    pub detail: String,
+}
+
+impl CaseReport {
+    /// Creates a report.
+    pub fn new(suite: impl Into<String>, seed: u64, detail: impl Into<String>) -> Self {
+        Self {
+            suite: suite.into(),
+            seed,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for CaseReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{suite}] seed={seed:#018x}: {detail}",
+            suite = self.suite,
+            seed = self.seed,
+            detail = self.detail
+        )
+    }
+}
+
 /// One wall-clock measurement: median-of-runs nanoseconds per iteration.
 ///
 /// A deliberately small stand-in for criterion: the bench binaries only
@@ -221,6 +326,55 @@ mod tests {
         let mut count = 0;
         cases(25, |_| count += 1);
         assert_eq!(count, 25);
+    }
+
+    #[test]
+    fn shrink_reaches_a_local_minimum() {
+        // Failure: sum of entries ≥ 10. Candidates: halve any entry or
+        // drop any entry. The minimum is a single element of exactly 10
+        // (halving below 10 no longer fails, dropping leaves nothing).
+        let minimal = shrink(
+            vec![20u32, 13, 40],
+            |v| {
+                let mut out = Vec::new();
+                for i in 0..v.len() {
+                    let mut dropped = v.clone();
+                    dropped.remove(i);
+                    out.push(dropped);
+                    let mut halved = v.clone();
+                    halved[i] /= 2;
+                    out.push(halved);
+                }
+                out
+            },
+            |v| v.iter().sum::<u32>() >= 10,
+        );
+        assert_eq!(minimal.iter().sum::<u32>(), 10);
+        assert_eq!(minimal.len(), 1);
+    }
+
+    #[test]
+    fn shrink_keeps_input_when_nothing_simpler_fails() {
+        let input = vec![1u8, 2, 3];
+        let out = shrink(input.clone(), |_| vec![vec![]], |v| !v.is_empty());
+        assert_eq!(out, input, "the only candidate passes, so no shrink");
+    }
+
+    #[test]
+    fn shrink_terminates_on_non_reducing_candidates() {
+        // A pathological candidate function that returns the input
+        // itself: the step cap must still end the loop.
+        let out = shrink(7u32, |&v| vec![v], |_| true);
+        assert_eq!(out, 7);
+    }
+
+    #[test]
+    fn case_report_formats_seed_and_detail() {
+        let report = CaseReport::new("kat/sha3-256", 0x1234, "len 5 mismatch");
+        let text = report.to_string();
+        assert!(text.contains("kat/sha3-256"), "{text}");
+        assert!(text.contains("0x0000000000001234"), "{text}");
+        assert!(text.contains("len 5 mismatch"), "{text}");
     }
 
     #[test]

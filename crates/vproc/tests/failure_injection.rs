@@ -1,14 +1,41 @@
 //! Failure-injection tests: every trap path of the simulator, driven by
-//! real assembled programs.
+//! real assembled programs — through both program-loading paths.
+//!
+//! Every scenario executes twice: once via [`Processor::load_program`]
+//! (decode at load) and once via an explicitly compiled, shared
+//! [`DecodedProgram`] handed to [`Processor::load_decoded`] — the path
+//! the engine pool uses to share one pre-decoded kernel across workers.
+//! Both must produce the identical trap: pre-decoding is a pure caching
+//! layer and must never change architectural behaviour, least of all on
+//! the error paths.
+
+use std::sync::Arc;
 
 use krv_asm::assemble;
-use krv_vproc::{Processor, ProcessorConfig, Trap};
+use krv_vproc::{DecodedProgram, Processor, ProcessorConfig, Trap};
 
 fn run(source: &str, config: ProcessorConfig) -> Result<(), Trap> {
     let program = assemble(source).expect("test program assembles");
-    let mut cpu = Processor::new(config);
+
+    // Path 1: decode at load time.
+    let mut cpu = Processor::new(config.clone());
     cpu.load_program(program.instructions());
-    cpu.run(100_000).map(|_| ())
+    let undecoded = cpu.run(100_000).map(|_| ());
+
+    // Path 2: pre-decoded program shared via Arc, as the pool does.
+    let decoded = Arc::new(DecodedProgram::compile(
+        program.instructions(),
+        &config.timing,
+    ));
+    let mut cpu = Processor::new(config);
+    cpu.load_decoded(decoded);
+    let predecoded = cpu.run(100_000).map(|_| ());
+
+    assert_eq!(
+        undecoded, predecoded,
+        "pre-decoded execution must trap (or halt) identically"
+    );
+    undecoded
 }
 
 #[test]
@@ -148,6 +175,69 @@ fn processor_survives_trap_and_can_be_reused() {
     cpu.reset_counters();
     cpu.run(1000).expect("recovered");
     assert_eq!(cpu.xreg(krv_isa::XReg::X10), 5);
+}
+
+#[test]
+fn shared_decoded_program_isolates_traps_between_processors() {
+    // One pre-decoded program, two processors: the first is steered into
+    // a trap (bad pointer in t0), the second runs the same instructions
+    // with a valid pointer. A trap on one instance must neither poison
+    // the shared program nor the other instance.
+    let config = ProcessorConfig::elen64(5);
+    let program = assemble("lw a0, 0(t0)\necall").unwrap();
+    let decoded = Arc::new(DecodedProgram::compile(
+        program.instructions(),
+        &config.timing,
+    ));
+
+    let mut faulty = Processor::new(config.clone());
+    faulty.load_decoded(Arc::clone(&decoded));
+    faulty.set_xreg(krv_isa::XReg::X5, 70_000); // t0 out of bounds
+    let err = faulty.run(1000).unwrap_err();
+    assert!(matches!(err, Trap::MemoryAccess { .. }), "{err}");
+
+    let mut healthy = Processor::new(config);
+    healthy.load_decoded(decoded);
+    healthy.set_xreg(krv_isa::XReg::X5, 128);
+    healthy.dmem_mut().write(128, 4, 1234).unwrap();
+    healthy.run(1000).expect("same shared program, valid input");
+    assert_eq!(healthy.xreg(krv_isa::XReg::X10), 1234);
+}
+
+#[test]
+fn decoded_trap_is_reported_at_the_same_pc() {
+    // The trap must surface on the same instruction regardless of the
+    // loading path; the retired-instruction count proves where it fired.
+    let config = ProcessorConfig::elen64(5);
+    let source = "nop\nnop\nli t0, 2\nlw a0, 0(t0)\necall";
+    let program = assemble(source).unwrap();
+
+    let mut direct = Processor::new(config.clone());
+    direct.load_program(program.instructions());
+    let direct_err = direct.run(1000).unwrap_err();
+
+    let mut shared = Processor::new(config.clone());
+    shared.load_decoded(Arc::new(DecodedProgram::compile(
+        program.instructions(),
+        &config.timing,
+    )));
+    let shared_err = shared.run(1000).unwrap_err();
+
+    assert_eq!(direct_err, shared_err);
+    assert_eq!(
+        direct.retired(),
+        shared.retired(),
+        "both paths retire the same instructions before trapping"
+    );
+}
+
+#[test]
+fn decoded_cycle_limit_matches_undecoded() {
+    // Timing is baked into DecodedProgram at compile time; the cycle
+    // budget must bite at the same limit on both paths (covered by the
+    // shared `run` helper asserting equality, spot-checked here).
+    let err = run("spin:\nj spin", ProcessorConfig::elen64(5)).unwrap_err();
+    assert_eq!(err, Trap::CycleLimit { limit: 100_000 });
 }
 
 #[test]

@@ -1,0 +1,61 @@
+//! Workspace-level conformance smoke: the short-KAT tier of the
+//! differential conformance suite, sized to stay fast in a debug build.
+//!
+//! The deeper tiers run through the `conformance` binary
+//! (`cargo run --release -p krv-conformance -- --smoke` in CI,
+//! `--full` nightly); this test guards the same machinery from plain
+//! `cargo test` at the workspace root.
+
+use krv_conformance::{fuzz_backend, kat, run_oracle, vectors, Algorithm, PassMatrix, Tier};
+use krv_core::BackendKind;
+
+/// Suites the whole roster runs in the smoke test (one fixed-output
+/// hash, one XOF — the other four run on the reference backend only,
+/// keeping debug-build wall time in seconds).
+const ROSTER_ALGORITHMS: [Algorithm; 2] = [Algorithm::Sha3_256, Algorithm::Shake128];
+
+#[test]
+fn short_kats_pass_on_every_backend() {
+    let mut matrix = PassMatrix::new();
+    for kind in BackendKind::conformance_roster() {
+        for suite in &vectors::SUITES {
+            let full_set = kind == BackendKind::Reference;
+            if full_set || ROSTER_ALGORITHMS.contains(&suite.algorithm) {
+                matrix.record(kat::run_suite(&kind, suite, Tier::Short));
+            }
+        }
+    }
+    assert!(
+        matrix.passed(),
+        "KAT failures:\n{}\n{:?}",
+        matrix.render(),
+        matrix.failures()
+    );
+    // 8 roster backends × 2 suites + reference × 4 more suites.
+    assert!(matrix.total_cases() > 100, "suite selection shrank");
+}
+
+#[test]
+fn differential_fuzz_smoke_is_clean() {
+    for kind in BackendKind::conformance_roster() {
+        if kind == BackendKind::Reference {
+            continue;
+        }
+        let mut backend = kind.instantiate(2);
+        let report = fuzz_backend(backend.as_mut(), &kind.label(), 18, 0x00DD_BA11);
+        assert!(
+            report.passed(),
+            "{}: {} mismatches: {:?}",
+            kind.label(),
+            report.mismatches.len(),
+            report.mismatches
+        );
+    }
+}
+
+#[test]
+fn instruction_oracle_smoke_is_clean() {
+    for outcome in run_oracle(3, 0xF1A5_C0DE) {
+        assert!(outcome.passed(), "{}: {:?}", outcome.op, outcome.failures);
+    }
+}
