@@ -1,6 +1,6 @@
 //! Backend comparison: reference vs single-engine vs pooled.
 //!
-//! Hashes the same 1000-message mixed-length SHAKE128 batch through the
+//! Hashes the same mixed-length SHAKE128 batch through the
 //! drain-and-refill scheduler on each execution backend, checks the
 //! outputs are bit-identical, and records permutations per second into
 //! `BENCH_backends.json` (repo root) so future changes have a
@@ -17,9 +17,25 @@
 //!   host-independent: a pool of `W` workers approaches `W ×` the
 //!   single-engine rate by construction.
 //!
+//! The wall figures are additionally anchored to the seed revision's
+//! interpreter (8,387 perm/s single-engine on the original stepping
+//! loop) as `wall_speedup_vs_seed`, so the fast-path engine's win is
+//! visible in the JSON itself, and `cycles_per_pass` pins the
+//! deterministic simulated cost of one full hardware pass.
+//!
+//! ```text
+//! backends [--messages N] [--check]
+//! ```
+//!
+//! `--check` re-derives the simulated invariants (which are independent
+//! of the message count and the host) and fails if they drift from the
+//! committed `BENCH_backends.json` — the CI smoke guard that the wall
+//! clock optimisations never move the modelled hardware numbers.
+//!
 //! Run with: `cargo run --release -p krv-bench --bin backends`
 
 use krv_core::{EnginePool, KernelKind, VectorKeccakEngine};
+use krv_keccak::KeccakState;
 use krv_sha3::{hash_batch, BatchRequest, PermutationBackend, ReferenceBackend, SpongeParams};
 use krv_testkit::{Rng, Stopwatch};
 use std::fmt::Write as _;
@@ -29,6 +45,13 @@ const OUTPUT_LEN: usize = 32;
 const SN: usize = 4;
 const CLOCK_HZ: f64 = 100e6;
 
+/// Single-engine wall-clock permutations/sec of the seed revision's
+/// per-instruction interpreter on the reference host, recorded before
+/// the fast-path work (word-level vector unit, macro-op fusion,
+/// persistent pool) landed. The committed baseline for
+/// `wall_speedup_vs_seed`.
+const SEED_SINGLE_ENGINE_WALL: f64 = 8_387.0;
+
 /// Counts the individual state permutations the schedule performs (the
 /// logical work, identical for every backend).
 struct CountingBackend {
@@ -37,7 +60,7 @@ struct CountingBackend {
 }
 
 impl PermutationBackend for CountingBackend {
-    fn permute_all(&mut self, states: &mut [krv_keccak::KeccakState]) {
+    fn permute_all(&mut self, states: &mut [KeccakState]) {
         self.permutations += states.len() as u64;
         self.inner.permute_all(states);
     }
@@ -95,7 +118,7 @@ impl DispatchCycles for EnginePool {
 }
 
 impl<B: DispatchCycles> PermutationBackend for CyclesBackend<B> {
-    fn permute_all(&mut self, states: &mut [krv_keccak::KeccakState]) {
+    fn permute_all(&mut self, states: &mut [KeccakState]) {
         if states.is_empty() {
             return;
         }
@@ -116,15 +139,65 @@ struct Row {
     simulated_perms_per_sec: Option<f64>,
 }
 
+/// The deterministic cost of one full hardware pass (stage + kernel +
+/// read-back for SN states), independent of message count and host.
+fn probe_cycles_per_pass() -> u64 {
+    let mut probe = VectorKeccakEngine::new(KernelKind::E64Lmul8, SN);
+    let mut states = vec![KeccakState::new(); SN];
+    probe
+        .permute_slice(&mut states)
+        .expect("kernel pass on zero states");
+    probe
+        .last_metrics()
+        .expect("metrics after a pass")
+        .total_cycles
+}
+
+/// Extracts the numeric value following `"key":` in flat JSON text.
+fn extract_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = text.find(&needle)? + needle.len();
+    let rest = text[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 fn main() -> std::io::Result<()> {
+    let mut messages = MESSAGES;
+    let mut check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--messages" => {
+                let value = args.next().and_then(|v| v.parse().ok());
+                let Some(value) = value else {
+                    eprintln!("--messages needs a positive integer");
+                    std::process::exit(2);
+                };
+                messages = value;
+            }
+            "--check" => check = true,
+            "--help" | "-h" => {
+                println!("usage: backends [--messages N] [--check]");
+                return Ok(());
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let mut rng = Rng::new(0xBAC4_E2D5);
-    let messages: Vec<Vec<u8>> = (0..MESSAGES)
+    let inputs: Vec<Vec<u8>> = (0..messages)
         .map(|_| {
             let len = rng.below(600);
             rng.bytes(len)
         })
         .collect();
-    let requests: Vec<BatchRequest<'_>> = messages
+    let requests: Vec<BatchRequest<'_>> = inputs
         .iter()
         .map(|m| BatchRequest::new(m, OUTPUT_LEN))
         .collect();
@@ -137,12 +210,17 @@ fn main() -> std::io::Result<()> {
     };
     let expected = hash_batch(params, &mut counting, &requests);
     let permutations = counting.permutations;
+    let cycles_per_pass = probe_cycles_per_pass();
+
+    if check {
+        return run_check(params, &requests, &expected, permutations, cycles_per_pass);
+    }
 
     let workers = std::thread::available_parallelism()
         .map_or(4, std::num::NonZeroUsize::get)
         .clamp(4, 8);
 
-    println!("{MESSAGES} mixed-length SHAKE128 messages, {permutations} permutations per batch\n");
+    println!("{messages} mixed-length SHAKE128 messages, {permutations} permutations per batch\n");
 
     let mut rows = Vec::new();
 
@@ -158,7 +236,7 @@ fn main() -> std::io::Result<()> {
     });
 
     let mut engine = CyclesBackend::new(VectorKeccakEngine::new(KernelKind::E64Lmul8, SN));
-    let single = Stopwatch::measure(1, 3, || {
+    let single = Stopwatch::measure(2, 7, || {
         engine.critical_path = 0;
         let out = hash_batch(params, &mut engine, &requests);
         assert_eq!(out, expected);
@@ -172,7 +250,7 @@ fn main() -> std::io::Result<()> {
     });
 
     let mut pool = CyclesBackend::new(EnginePool::new(KernelKind::E64Lmul8, SN, workers));
-    let pooled = Stopwatch::measure(1, 3, || {
+    let pooled = Stopwatch::measure(2, 7, || {
         pool.critical_path = 0;
         let out = hash_batch(params, &mut pool, &requests);
         assert_eq!(out, expected);
@@ -189,6 +267,10 @@ fn main() -> std::io::Result<()> {
     });
 
     let single_wall = rows[1].wall_perms_per_sec;
+    let pooled_wall = rows[2].wall_perms_per_sec;
+    let wall_speedup_vs_seed = single_wall / SEED_SINGLE_ENGINE_WALL;
+    let pooled_wall_speedup = pooled_wall / single_wall;
+
     println!(
         "{:<16} {:>14} {:>18} {:>12}",
         "backend", "wall perms/s", "simulated perms/s", "sim speedup"
@@ -208,12 +290,25 @@ fn main() -> std::io::Result<()> {
     // Hand-built JSON: the container has no serde, and the shape is flat.
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"benchmark\": \"backends\",");
-    let _ = writeln!(json, "  \"messages\": {MESSAGES},");
+    let _ = writeln!(json, "  \"messages\": {messages},");
     let _ = writeln!(json, "  \"output_len\": {OUTPUT_LEN},");
     let _ = writeln!(json, "  \"permutations_per_batch\": {permutations},");
     let _ = writeln!(json, "  \"workers\": {workers},");
     let _ = writeln!(json, "  \"sn\": {SN},");
     let _ = writeln!(json, "  \"simulated_clock_hz\": {CLOCK_HZ:.0},");
+    let _ = writeln!(json, "  \"cycles_per_pass\": {cycles_per_pass},");
+    let _ = writeln!(
+        json,
+        "  \"seed_single_engine_wall_permutations_per_sec\": {SEED_SINGLE_ENGINE_WALL:.0},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"wall_speedup_vs_seed\": {wall_speedup_vs_seed:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"pooled_wall_speedup_vs_single\": {pooled_wall_speedup:.2},"
+    );
     let _ = writeln!(json, "  \"backends\": [");
     for (index, row) in rows.iter().enumerate() {
         let comma = if index + 1 < rows.len() { "," } else { "" };
@@ -235,14 +330,71 @@ fn main() -> std::io::Result<()> {
     std::fs::write("BENCH_backends.json", &json)?;
     println!("\nwrote BENCH_backends.json");
 
+    println!(
+        "single-engine wall speedup vs seed interpreter ({SEED_SINGLE_ENGINE_WALL:.0} perm/s): {wall_speedup_vs_seed:.2}x"
+    );
     let pooled_speedup = pooled_sim / single_sim;
     println!("pooled simulated speedup: {pooled_speedup:.2}x (critical path, host-independent)");
-    if rows[2].wall_perms_per_sec < 2.0 * single_wall {
+    if pooled_wall < 2.0 * single_wall {
         println!(
-            "note: wall-clock pooled speedup {:.2}x (host has {} core(s); ≥ 8 cores shows ≥ 2x)",
-            rows[2].wall_perms_per_sec / single_wall,
+            "note: wall-clock pooled speedup {pooled_wall_speedup:.2}x (host has {} core(s); ≥ 8 cores shows ≥ 2x)",
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         );
     }
+    Ok(())
+}
+
+/// `--check`: verify correctness on this message count and compare the
+/// host-independent simulated invariants against the committed JSON.
+fn run_check(
+    params: SpongeParams,
+    requests: &[BatchRequest<'_>],
+    expected: &[Vec<u8>],
+    permutations: u64,
+    cycles_per_pass: u64,
+) -> std::io::Result<()> {
+    let mut engine = CyclesBackend::new(VectorKeccakEngine::new(KernelKind::E64Lmul8, SN));
+    let out = hash_batch(params, &mut engine, requests);
+    assert_eq!(out, expected, "single-engine outputs diverged");
+
+    let mut pool = CyclesBackend::new(EnginePool::new(KernelKind::E64Lmul8, SN, 2));
+    let out = hash_batch(params, &mut pool, requests);
+    assert_eq!(out, expected, "pooled outputs diverged");
+
+    let single_sim = permutations as f64 * CLOCK_HZ / engine.critical_path as f64;
+    println!(
+        "check: {permutations} permutations, cycles/pass {cycles_per_pass}, \
+         simulated single-engine {single_sim:.0} perm/s"
+    );
+
+    let committed = std::fs::read_to_string("BENCH_backends.json")?;
+    let mut drifted = false;
+    match extract_number(&committed, "cycles_per_pass") {
+        Some(value) if value == cycles_per_pass as f64 => {
+            println!("check: cycles_per_pass matches committed value ({cycles_per_pass})");
+        }
+        Some(value) => {
+            eprintln!(
+                "check: cycles_per_pass drifted — committed {value:.0}, measured {cycles_per_pass}"
+            );
+            drifted = true;
+        }
+        None => {
+            eprintln!("check: committed BENCH_backends.json has no cycles_per_pass field");
+            drifted = true;
+        }
+    }
+    match extract_number(&committed, "sn") {
+        Some(value) if value == SN as f64 => {}
+        _ => {
+            eprintln!("check: committed sn does not match SN = {SN}");
+            drifted = true;
+        }
+    }
+    if drifted {
+        eprintln!("check: simulated invariants drifted from BENCH_backends.json");
+        std::process::exit(1);
+    }
+    println!("check: simulated invariants match BENCH_backends.json");
     Ok(())
 }

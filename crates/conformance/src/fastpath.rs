@@ -1,0 +1,446 @@
+//! Fast-path differential oracle: randomized kernels run through the
+//! fused macro-op execution path and the per-instruction reference path
+//! of the *same* simulator, asserting the two are observationally
+//! identical — halt/trap outcome, cycle count, retired counters, PC,
+//! every scalar and vector register, and all of data memory.
+//!
+//! The fused path ([`Processor::run`] with fusion enabled, the default)
+//! dispatches straight-line blocks as single macro-ops with a
+//! precomputed linear cost; the reference path (`set_fusion(false)`)
+//! steps one instruction at a time. The refactor argues the two are
+//! provably equivalent (DESIGN.md §11); this layer checks the proof
+//! against the implementation on random programs, including the edge
+//! cases the argument leans on: mid-block traps, `vsetvli`
+//! reconfiguration, back-edges into block interiors, and cycle budgets
+//! that expire mid-block.
+//!
+//! [`Processor::run`]: krv_vproc::Processor::run
+
+use krv_isa::{VReg, XReg};
+use krv_testkit::{CaseReport, Rng};
+use krv_vproc::{Processor, ProcessorConfig};
+
+/// Cycle budget for programs that are expected to halt on their own.
+const MAX_CYCLES: u64 = 100_000;
+
+/// Bytes of data memory pre-staged with random contents so loads see
+/// interesting values. Programs keep their addresses inside this window
+/// (except the deliberate-fault scenario).
+const STAGE_BYTES: usize = 2048;
+
+/// The outcome of one fast-path scenario.
+#[derive(Debug, Clone)]
+pub struct FastpathOutcome {
+    /// Program-shape scenario under test.
+    pub scenario: &'static str,
+    /// Random cases executed.
+    pub cases: usize,
+    /// Divergences between the fused and reference paths.
+    pub failures: Vec<CaseReport>,
+}
+
+impl FastpathOutcome {
+    /// Whether the fused path matched the reference path on every case.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// One scenario check: a random program in, a divergence out.
+type ScenarioCheck = fn(&mut Rng) -> Result<(), String>;
+
+/// The program shapes the differential covers, as data.
+const SCENARIOS: [(&str, ScenarioCheck); 6] = [
+    ("scalar straight-line", check_scalar_straight_line),
+    ("scalar loop + memory", check_scalar_loop),
+    ("vector kernel (e64/m1)", check_vector_m1),
+    ("vsetvli reconfiguration (m1/m8)", check_reconfiguration),
+    ("mid-block trap", check_mid_block_trap),
+    ("tight cycle budget", check_cycle_budget),
+];
+
+/// Runs every scenario for `cases_per_scenario` random programs each.
+/// Seeds are split per (scenario, case) — offset away from the
+/// instruction oracle's split — so any failure reproduces in isolation.
+pub fn run_fastpath(cases_per_scenario: usize, seed: u64) -> Vec<FastpathOutcome> {
+    SCENARIOS
+        .iter()
+        .enumerate()
+        .map(|(index, (scenario, check))| {
+            let mut failures = Vec::new();
+            for case in 0..cases_per_scenario {
+                let case_seed = seed
+                    ^ ((0x20 + index as u64) << 48)
+                    ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                if let Err(detail) = check(&mut Rng::new(case_seed)) {
+                    failures.push(CaseReport::new(
+                        format!("fastpath/{scenario}"),
+                        case_seed,
+                        detail,
+                    ));
+                }
+            }
+            FastpathOutcome {
+                scenario,
+                cases: cases_per_scenario,
+                failures,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Harness: run the same program fused and stepped, compare everything.
+// ---------------------------------------------------------------------
+
+/// Assembles `source`, stages the same random memory image into two
+/// processors — fusion on and fusion off — runs both for `max_cycles`,
+/// and reports the first observable divergence.
+fn diff_run(elenum: usize, source: &str, image: &[u8], max_cycles: u64) -> Result<(), String> {
+    let program = krv_asm::assemble(source)
+        .map_err(|e| format!("assembler rejected generated program: {e}\n---\n{source}"))?;
+    let mut fused = Processor::new(ProcessorConfig::elen64(elenum));
+    let mut stepped = Processor::new(ProcessorConfig::elen64(elenum));
+    stepped.set_fusion(false);
+    for processor in [&mut fused, &mut stepped] {
+        processor
+            .dmem_mut()
+            .write_bytes(0, image)
+            .expect("staging inside dmem");
+        processor.load_program(program.instructions());
+    }
+
+    let fused_result = fused.run(max_cycles);
+    let stepped_result = stepped.run(max_cycles);
+    if fused_result != stepped_result {
+        return Err(format!(
+            "outcome diverged: fused {fused_result:?}, reference {stepped_result:?}"
+        ));
+    }
+    if fused.cycles() != stepped.cycles() {
+        return Err(format!(
+            "cycle count diverged: fused {}, reference {}",
+            fused.cycles(),
+            stepped.cycles()
+        ));
+    }
+    if fused.retired() != stepped.retired() {
+        return Err(format!(
+            "retired count diverged: fused {}, reference {}",
+            fused.retired(),
+            stepped.retired()
+        ));
+    }
+    if fused.retired_vector() != stepped.retired_vector() {
+        return Err(format!(
+            "vector retired count diverged: fused {}, reference {}",
+            fused.retired_vector(),
+            stepped.retired_vector()
+        ));
+    }
+    if fused.pc() != stepped.pc() {
+        return Err(format!(
+            "final PC diverged: fused {:#x}, reference {:#x}",
+            fused.pc(),
+            stepped.pc()
+        ));
+    }
+    for index in 0..32 {
+        let reg = XReg::from_index(index);
+        if fused.xreg(reg) != stepped.xreg(reg) {
+            return Err(format!(
+                "x{index} diverged: fused {:#010x}, reference {:#010x}",
+                fused.xreg(reg),
+                stepped.xreg(reg)
+            ));
+        }
+    }
+    if fused.vector_unit().vl() != stepped.vector_unit().vl() {
+        return Err(format!(
+            "vl diverged: fused {}, reference {}",
+            fused.vector_unit().vl(),
+            stepped.vector_unit().vl()
+        ));
+    }
+    for index in 0..32 {
+        let reg = VReg::from_index(index);
+        let fused_bytes = fused.vector_unit().register_bytes(reg);
+        let stepped_bytes = stepped.vector_unit().register_bytes(reg);
+        if fused_bytes != stepped_bytes {
+            return Err(format!("v{index} contents diverged"));
+        }
+    }
+    let len = fused.dmem().len();
+    let fused_mem = fused.dmem().read_bytes(0, len).expect("dmem read-back");
+    let stepped_mem = stepped.dmem().read_bytes(0, len).expect("dmem read-back");
+    if let Some(addr) = fused_mem.iter().zip(&stepped_mem).position(|(a, b)| a != b) {
+        return Err(format!(
+            "dmem diverged at {addr:#x}: fused {:#04x}, reference {:#04x}",
+            fused_mem[addr], stepped_mem[addr]
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Random program generators.
+// ---------------------------------------------------------------------
+
+/// Scratch registers the generators hand out (never `t0`/`t1`, which
+/// loop scenarios reserve for counters).
+const SCALAR_REGS: [&str; 8] = ["a0", "a1", "a2", "a3", "a4", "a5", "t2", "s2"];
+
+/// Three-operand scalar ALU mnemonics the assembler accepts.
+const SCALAR_OPS: [&str; 10] = [
+    "add", "sub", "xor", "and", "or", "sll", "srl", "slt", "sltu", "mul",
+];
+
+fn reg(rng: &mut Rng) -> &'static str {
+    SCALAR_REGS[rng.below(SCALAR_REGS.len())]
+}
+
+/// One random scalar instruction line (ALU, immediate, or CSR read —
+/// CSR reads are the interesting one: they observe the cycle/instret
+/// counters mid-block, where a buggy fast path would show a lump sum).
+fn scalar_line(rng: &mut Rng, out: &mut String) {
+    match rng.below(8) {
+        0 => {
+            let imm = rng.below(4096) as i64 - 2048;
+            out.push_str(&format!("addi {}, {}, {imm}\n", reg(rng), reg(rng)));
+        }
+        1 => out.push_str(&format!("csrr {}, cycle\n", reg(rng))),
+        2 => out.push_str(&format!("csrr {}, instret\n", reg(rng))),
+        3 => {
+            let shift = rng.below(32);
+            out.push_str(&format!("slli {}, {}, {shift}\n", reg(rng), reg(rng)));
+        }
+        _ => {
+            let op = SCALAR_OPS[rng.below(SCALAR_OPS.len())];
+            out.push_str(&format!("{op} {}, {}, {}\n", reg(rng), reg(rng), reg(rng)));
+        }
+    }
+}
+
+/// Seeds every scratch register with a random 32-bit value.
+fn seed_regs(rng: &mut Rng, out: &mut String) {
+    for name in SCALAR_REGS {
+        out.push_str(&format!("li {name}, {}\n", rng.next_u32() as i32));
+    }
+}
+
+/// A word-aligned address inside the staged window, as a store offset.
+fn aligned_offset(rng: &mut Rng) -> usize {
+    rng.below(STAGE_BYTES / 4) * 4
+}
+
+fn check_scalar_straight_line(rng: &mut Rng) -> Result<(), String> {
+    let image = rng.bytes(STAGE_BYTES);
+    let mut source = String::new();
+    seed_regs(rng, &mut source);
+    for _ in 0..8 + rng.below(17) {
+        if rng.below(5) == 0 {
+            let offset = aligned_offset(rng);
+            if rng.below(2) == 0 {
+                source.push_str(&format!("sw {}, {offset}(x0)\n", reg(rng)));
+            } else {
+                source.push_str(&format!("lw {}, {offset}(x0)\n", reg(rng)));
+            }
+        } else {
+            scalar_line(rng, &mut source);
+        }
+    }
+    source.push_str("ecall\n");
+    diff_run(10, &source, &image, MAX_CYCLES)
+}
+
+fn check_scalar_loop(rng: &mut Rng) -> Result<(), String> {
+    let image = rng.bytes(STAGE_BYTES);
+    let iterations = 1 + rng.below(8);
+    let mut source = String::new();
+    seed_regs(rng, &mut source);
+    source.push_str(&format!("li t0, 0\nli t1, {iterations}\nloop:\n"));
+    for _ in 0..2 + rng.below(6) {
+        scalar_line(rng, &mut source);
+    }
+    // A store/load pair keeps memory traffic inside the loop body, so
+    // the back-edge repeatedly re-enters a block with side effects.
+    let offset = aligned_offset(rng);
+    source.push_str(&format!("sw {}, {offset}(x0)\n", reg(rng)));
+    source.push_str(&format!("lw {}, {offset}(x0)\n", reg(rng)));
+    source.push_str("addi t0, t0, 1\nblt t0, t1, loop\necall\n");
+    diff_run(10, &source, &image, MAX_CYCLES)
+}
+
+/// One random vector instruction over registers `v1..=v6` (e64, m1).
+/// Mixes standard RVV arithmetic with the custom Keccak ops so fused
+/// blocks contain the exact instruction mix of the real kernels.
+fn vector_line_m1(rng: &mut Rng, out: &mut String) {
+    let vd = 1 + rng.below(6);
+    let vs2 = 1 + rng.below(6);
+    let vs1 = 1 + rng.below(6);
+    match rng.below(10) {
+        0 => out.push_str(&format!("vadd.vi v{vd}, v{vs2}, {}\n", rng.below(16))),
+        1 => out.push_str(&format!("vsll.vi v{vd}, v{vs2}, {}\n", rng.below(16))),
+        2 => out.push_str(&format!("vsrl.vi v{vd}, v{vs2}, {}\n", rng.below(16))),
+        3 => out.push_str(&format!("vrotup.vi v{vd}, v{vs2}, {}\n", rng.below(32))),
+        4 => out.push_str(&format!("v64rho.vi v{vd}, v{vs2}, {}\n", rng.below(5))),
+        5 => out.push_str(&format!("vslidedownm.vi v{vd}, v{vs2}, {}\n", rng.below(5))),
+        6 => out.push_str(&format!("vslideupm.vi v{vd}, v{vs2}, {}\n", rng.below(5))),
+        7 => out.push_str(&format!("vxor.vv v{vd}, v{vs2}, v{vs1}\n")),
+        8 => out.push_str(&format!("vand.vv v{vd}, v{vs2}, v{vs1}\n")),
+        _ => out.push_str(&format!("vor.vv v{vd}, v{vs2}, v{vs1}\n")),
+    }
+}
+
+fn check_vector_m1(rng: &mut Rng) -> Result<(), String> {
+    let image = rng.bytes(STAGE_BYTES);
+    // vl = 5 or 10 keeps the custom ops' five-lane row structure valid;
+    // the occasional ragged vl exercises the partial-group cost rule.
+    let vl = match rng.below(4) {
+        0 => 5,
+        1 => 1 + rng.below(10),
+        _ => 10,
+    };
+    let mut source = String::new();
+    source.push_str(&format!(
+        "li t0, {vl}\nli a0, 0\nli a1, 256\nli a2, 1024\n\
+         vsetvli x0, t0, e64, m1, tu, mu\n\
+         vle64.v v1, (a0)\nvle64.v v2, (a1)\n"
+    ));
+    for _ in 0..3 + rng.below(8) {
+        vector_line_m1(rng, &mut source);
+    }
+    let stored = 1 + rng.below(6);
+    source.push_str(&format!("vse64.v v{stored}, (a2)\necall\n"));
+    diff_run(10, &source, &image, MAX_CYCLES)
+}
+
+fn check_reconfiguration(rng: &mut Rng) -> Result<(), String> {
+    let image = rng.bytes(STAGE_BYTES);
+    // EleNum = 5: m1 holds one row, m8 holds a whole 25-lane state.
+    // vsetvli is a fusion barrier, so each reconfiguration splits the
+    // program into blocks whose VL differs — the exact case the
+    // hoisted-group-count argument has to get right.
+    let vl_m8 = 1 + rng.below(25);
+    let mut source = String::new();
+    source.push_str(
+        "li t0, 5\nli t2, 0\nli a1, 320\nli a2, 1024\n\
+         vsetvli x0, t0, e64, m1, tu, mu\n\
+         vle64.v v0, (t2)\nvle64.v v1, (a1)\n",
+    );
+    source.push_str(&format!(
+        "li t1, {vl_m8}\nvsetvli x0, t1, e64, m8, tu, mu\n"
+    ));
+    for _ in 0..1 + rng.below(4) {
+        match rng.below(4) {
+            0 => source.push_str("vxor.vv v8, v0, v0\n"),
+            1 => source.push_str("vadd.vv v8, v0, v8\n"),
+            2 => source.push_str("v64rho.vi v16, v8, -1\n"),
+            _ => source.push_str(&format!("vrotup.vi v16, v8, {}\n", rng.below(32))),
+        }
+    }
+    source.push_str(
+        "vsetvli x0, t0, e64, m1, tu, mu\n\
+         vse64.v v8, (a2)\necall\n",
+    );
+    diff_run(5, &source, &image, MAX_CYCLES)
+}
+
+fn check_mid_block_trap(rng: &mut Rng) -> Result<(), String> {
+    let image = rng.bytes(STAGE_BYTES);
+    let mut source = String::new();
+    seed_regs(rng, &mut source);
+    for _ in 0..2 + rng.below(6) {
+        scalar_line(rng, &mut source);
+    }
+    // The faulting access lands mid-straight-line, so the fused path
+    // must retire the prefix, park the PC on the fault, and charge
+    // exactly the prefix cycles.
+    match rng.below(3) {
+        0 => {
+            // Misaligned word store.
+            let offset = aligned_offset(rng) + 1 + rng.below(3);
+            source.push_str(&format!("li s3, 0\nsw a0, {offset}(s3)\n"));
+        }
+        1 => {
+            // Load past the end of data memory.
+            source.push_str(&format!(
+                "li s3, {}\nlw a0, 0(s3)\n",
+                65536 + rng.below(64) * 4
+            ));
+        }
+        _ => {
+            // Vector load running off the end of data memory.
+            source.push_str(&format!(
+                "li t0, 10\nli s3, {}\nvsetvli x0, t0, e64, m1, tu, mu\nvle64.v v1, (s3)\n",
+                65500 + rng.below(64)
+            ));
+        }
+    }
+    for _ in 0..rng.below(4) {
+        scalar_line(rng, &mut source);
+    }
+    source.push_str("ecall\n");
+    diff_run(10, &source, &image, MAX_CYCLES)
+}
+
+fn check_cycle_budget(rng: &mut Rng) -> Result<(), String> {
+    let image = rng.bytes(STAGE_BYTES);
+    let iterations = 2 + rng.below(6);
+    let mut source = String::new();
+    seed_regs(rng, &mut source);
+    source.push_str(&format!("li t0, 0\nli t1, {iterations}\nloop:\n"));
+    for _ in 0..2 + rng.below(4) {
+        scalar_line(rng, &mut source);
+    }
+    source.push_str("addi t0, t0, 1\nblt t0, t1, loop\necall\n");
+    // A budget that usually expires mid-run — often mid-block — so both
+    // paths must stop at the same instruction with the same counters.
+    let budget = 1 + rng.below(80) as u64;
+    diff_run(10, &source, &image, budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scenario_passes_a_few_cases() {
+        for outcome in run_fastpath(3, 0xFA57_0000) {
+            assert!(
+                outcome.passed(),
+                "{}: {:?}",
+                outcome.scenario,
+                outcome.failures
+            );
+            assert_eq!(outcome.cases, 3);
+        }
+    }
+
+    #[test]
+    fn scenario_names_are_unique() {
+        let mut names: Vec<&str> = SCENARIOS.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), SCENARIOS.len());
+    }
+
+    #[test]
+    fn generated_programs_assemble() {
+        // The generators must produce valid assembly for any seed; a
+        // rejected program is reported as a failure, so ten arbitrary
+        // seeds double-check the grammar.
+        for seed in 0..10 {
+            for outcome in run_fastpath(1, seed * 0x1234_5678 + 7) {
+                for failure in &outcome.failures {
+                    assert!(
+                        !failure.detail.contains("assembler rejected"),
+                        "{}: {}",
+                        outcome.scenario,
+                        failure.detail
+                    );
+                }
+            }
+        }
+    }
+}

@@ -8,6 +8,20 @@
 //! shards the passes across `W` OS threads, modelling a farm of
 //! identical accelerators fed from one queue.
 //!
+//! # Workers are persistent
+//!
+//! Each worker is a long-lived thread owning its engine, fed over a
+//! channel: the first dispatch that assigns a worker any passes spawns
+//! it, and it then survives across [`EnginePool::permute_slice`] calls
+//! until the pool is dropped. This removes the per-dispatch
+//! thread-spawn cost the previous `thread::scope` implementation paid,
+//! and a dispatch with fewer passes than workers never spins up the
+//! idle tail (see [`PoolMetrics::effective_workers`]). When worker
+//! threads cannot help — a single-core host, or a dispatch that touches
+//! one worker anyway — the shards run on the calling thread instead,
+//! skipping the channel round trip entirely; the static schedule makes
+//! this invisible in both outputs and metrics.
+//!
 //! # Determinism
 //!
 //! Scheduling is static, not work-stealing: pass `i` (the `i`-th
@@ -15,6 +29,8 @@
 //! Because each chunk is an independent Keccak state set and each engine
 //! writes only its own chunks, the output is bit-identical to the
 //! reference permutation — and to itself — for every worker count.
+//! Replies are collected in worker order, so the first trap reported is
+//! the lowest-numbered worker's regardless of thread timing.
 //!
 //! Cycle accounting is deterministic too. The simulated cycle cost of a
 //! pass is data-independent, so [`PoolMetrics::total_cycles`] (the sum
@@ -28,6 +44,8 @@ use crate::engine::{KernelKind, VectorKeccakEngine};
 use krv_keccak::KeccakState;
 use krv_sha3::PermutationBackend;
 use krv_vproc::Trap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
 
 /// Work done by one engine during a single [`EnginePool::permute_slice`]
 /// call.
@@ -43,10 +61,14 @@ pub struct EngineLoad {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PoolMetrics {
     /// Per-engine work, indexed by worker; chunk `i` ran on worker
-    /// `i mod W`.
+    /// `i mod W`. Always `W` entries — workers the dispatch never
+    /// touched report a zero load.
     pub per_engine: Vec<EngineLoad>,
     /// Hardware passes across all engines (`⌈n / SN⌉`).
     pub passes: u64,
+    /// Workers that actually received passes: `min(W, passes)`. A
+    /// dispatch smaller than the pool leaves the idle tail unspawned.
+    pub effective_workers: usize,
     /// Total simulated cycles across all engines — invariant under the
     /// worker count (the amount of work does not change, only where it
     /// runs).
@@ -68,8 +90,74 @@ impl PoolMetrics {
     }
 }
 
+/// One bucket of passes sent to a worker: `(state offset, chunk)` pairs
+/// in schedule order.
+struct WorkerJob {
+    chunks: Vec<(usize, Vec<KeccakState>)>,
+}
+
+/// A worker's answer: the (permuted) chunks handed back for scatter,
+/// the load it performed, and the first trap it hit, if any. On a trap
+/// the remaining chunks of the bucket are returned untouched.
+struct WorkerReply {
+    chunks: Vec<(usize, Vec<KeccakState>)>,
+    load: EngineLoad,
+    trap: Option<Trap>,
+}
+
+/// A persistent worker thread and its channel pair.
+#[derive(Debug)]
+struct Worker {
+    tx: Sender<WorkerJob>,
+    rx: Receiver<WorkerReply>,
+    thread: JoinHandle<()>,
+}
+
+fn spawn_worker(kind: KernelKind, sn: usize) -> Worker {
+    let (job_tx, job_rx) = channel::<WorkerJob>();
+    let (reply_tx, reply_rx) = channel::<WorkerReply>();
+    let thread = std::thread::spawn(move || {
+        // The engine lives on the worker thread for the pool's whole
+        // lifetime; the kernel image comes pre-decoded from the
+        // process-wide cache, so spawning is cheap.
+        let mut engine = VectorKeccakEngine::new(kind, sn);
+        while let Ok(mut job) = job_rx.recv() {
+            let mut load = EngineLoad::default();
+            let mut trap = None;
+            for (_, chunk) in &mut job.chunks {
+                if trap.is_some() {
+                    break;
+                }
+                match engine.permute_slice(chunk) {
+                    Ok(()) => {
+                        load.passes += 1;
+                        load.cycles += engine
+                            .last_metrics()
+                            .expect("a pass records metrics")
+                            .total_cycles;
+                    }
+                    Err(fault) => trap = Some(fault),
+                }
+            }
+            let reply = WorkerReply {
+                chunks: job.chunks,
+                load,
+                trap,
+            };
+            if reply_tx.send(reply).is_err() {
+                break;
+            }
+        }
+    });
+    Worker {
+        tx: job_tx,
+        rx: reply_rx,
+        thread,
+    }
+}
+
 /// A pool of `W` identical vector Keccak engines, each `SN` states wide,
-/// dispatching passes across `W` worker threads.
+/// dispatching passes across `W` persistent worker threads.
 ///
 /// The pool implements [`PermutationBackend`] with
 /// `parallel_states = W × SN`, so a `BatchSponge` or
@@ -96,8 +184,14 @@ impl PoolMetrics {
 pub struct EnginePool {
     kind: KernelKind,
     sn: usize,
-    engines: Vec<VectorKeccakEngine>,
+    workers: Vec<Option<Worker>>,
+    /// Engine for dispatches that run on the calling thread (single-core
+    /// hosts, single-shard dispatches); spawned as lazily as the workers.
+    inline_engine: Option<Box<VectorKeccakEngine>>,
+    /// Host cores, probed once at construction.
+    host_parallelism: usize,
     last_metrics: Option<PoolMetrics>,
+    permutations: u64,
 }
 
 impl EnginePool {
@@ -105,21 +199,25 @@ impl EnginePool {
     ///
     /// The kernel is generated, assembled and pre-decoded once (via the
     /// process-wide [`crate::cache`]); every worker engine shares the
-    /// same immutable program image.
+    /// same immutable program image. Worker threads are spawned lazily,
+    /// on the first dispatch that assigns them passes.
     ///
     /// # Panics
     ///
     /// Panics if `sn` or `workers` is zero.
     pub fn new(kind: KernelKind, sn: usize, workers: usize) -> Self {
         assert!(workers > 0, "the pool needs at least one worker");
-        let engines = (0..workers)
-            .map(|_| VectorKeccakEngine::new(kind, sn))
-            .collect();
+        assert!(sn > 0, "each engine needs at least one state slot");
         Self {
             kind,
             sn,
-            engines,
+            workers: (0..workers).map(|_| None).collect(),
+            inline_engine: None,
+            host_parallelism: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
             last_metrics: None,
+            permutations: 0,
         }
     }
 
@@ -130,7 +228,13 @@ impl EnginePool {
 
     /// Number of worker engines (`W`).
     pub fn workers(&self) -> usize {
-        self.engines.len()
+        self.workers.len()
+    }
+
+    /// Worker threads actually spawned so far — at most the high-water
+    /// mark of `min(W, passes)` over all dispatches.
+    pub fn spawned_workers(&self) -> usize {
+        self.workers.iter().flatten().count()
     }
 
     /// States per engine pass (`SN`).
@@ -140,7 +244,7 @@ impl EnginePool {
 
     /// States the whole pool permutes in one parallel step (`W × SN`).
     pub fn capacity(&self) -> usize {
-        self.engines.len() * self.sn
+        self.workers.len() * self.sn
     }
 
     /// Metrics of the most recent dispatch.
@@ -151,16 +255,11 @@ impl EnginePool {
     /// Total hardware passes executed by all engines over the pool's
     /// lifetime.
     pub fn permutations(&self) -> u64 {
-        self.engines.iter().map(|e| e.permutations()).sum()
-    }
-
-    /// Read access to the worker engines (diagnostics).
-    pub fn engines(&self) -> &[VectorKeccakEngine] {
-        &self.engines
+        self.permutations
     }
 
     /// Permutes every state in `states`, sharding `SN`-wide passes
-    /// round-robin across the worker threads.
+    /// round-robin across the persistent worker threads.
     ///
     /// # Errors
     ///
@@ -168,50 +267,127 @@ impl EnginePool {
     /// faults — which indicates an engine bug, as the kernels are
     /// validated against the reference permutation.
     pub fn permute_slice(&mut self, states: &mut [KeccakState]) -> Result<(), Trap> {
-        let workers = self.engines.len();
+        let worker_count = self.workers.len();
+        let passes = states.len().div_ceil(self.sn);
+        // A dispatch with fewer passes than workers only touches the
+        // leading `passes` workers; the tail stays unspawned and idle.
+        let active = worker_count.min(passes);
+        // Worker threads only pay off when the host can actually run
+        // them in parallel: on a single-core host — or for a dispatch
+        // that would touch a single worker anyway — run the shards on
+        // the calling thread instead. The schedule, outputs and the
+        // per-engine cycle ledger are identical either way (scheduling
+        // is static), so this is purely a wall-clock decision.
+        if active == 1 || self.host_parallelism == 1 {
+            return self.permute_inline(states, active);
+        }
         // Static round-robin assignment: chunk i → worker i mod W. This
         // keeps both the outputs and the per-engine cycle ledger
         // independent of thread scheduling.
-        let mut buckets: Vec<Vec<&mut [KeccakState]>> = (0..workers).map(|_| Vec::new()).collect();
-        for (i, chunk) in states.chunks_mut(self.sn).enumerate() {
-            buckets[i % workers].push(chunk);
+        let mut buckets: Vec<Vec<(usize, Vec<KeccakState>)>> =
+            (0..active).map(|_| Vec::new()).collect();
+        for (i, chunk) in states.chunks(self.sn).enumerate() {
+            buckets[i % worker_count].push((i * self.sn, chunk.to_vec()));
         }
-        let outcomes: Vec<Result<EngineLoad, Trap>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .engines
-                .iter_mut()
-                .zip(buckets)
-                .map(|(engine, bucket)| {
-                    scope.spawn(move || {
-                        let mut load = EngineLoad::default();
-                        for chunk in bucket {
-                            engine.permute_slice(chunk)?;
-                            load.passes += 1;
-                            load.cycles += engine
-                                .last_metrics()
-                                .expect("a pass records metrics")
-                                .total_cycles;
-                        }
-                        Ok(load)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|handle| handle.join().expect("pool worker must not panic"))
-                .collect()
-        });
-        let mut per_engine = Vec::with_capacity(workers);
-        for outcome in outcomes {
-            per_engine.push(outcome?);
+        for (index, chunks) in buckets.into_iter().enumerate() {
+            if self.workers[index].is_none() {
+                self.workers[index] = Some(spawn_worker(self.kind, self.sn));
+            }
+            let worker = self.workers[index].as_ref().expect("just spawned");
+            worker
+                .tx
+                .send(WorkerJob { chunks })
+                .expect("pool worker must not panic");
+        }
+        let mut per_engine = vec![EngineLoad::default(); worker_count];
+        let mut first_trap = None;
+        for (index, load) in per_engine.iter_mut().enumerate().take(active) {
+            let worker = self.workers[index].as_ref().expect("active worker spawned");
+            let reply = worker.rx.recv().expect("pool worker must not panic");
+            for (offset, chunk) in reply.chunks {
+                states[offset..offset + chunk.len()].copy_from_slice(&chunk);
+            }
+            *load = reply.load;
+            if first_trap.is_none() {
+                first_trap = reply.trap;
+            }
+        }
+        self.permutations += per_engine.iter().map(|load| load.passes).sum::<u64>();
+        if let Some(trap) = first_trap {
+            return Err(trap);
         }
         self.last_metrics = Some(PoolMetrics {
-            passes: per_engine.iter().map(|l| l.passes).sum(),
-            total_cycles: per_engine.iter().map(|l| l.cycles).sum(),
-            max_cycles: per_engine.iter().map(|l| l.cycles).max().unwrap_or(0),
+            passes: per_engine.iter().map(|load| load.passes).sum(),
+            effective_workers: active,
+            total_cycles: per_engine.iter().map(|load| load.cycles).sum(),
+            max_cycles: per_engine.iter().map(|load| load.cycles).max().unwrap_or(0),
             per_engine,
         });
         Ok(())
+    }
+
+    /// Overrides the probed host parallelism, pinning the dispatch path
+    /// (threaded vs inline) independently of the machine running the
+    /// tests.
+    #[cfg(test)]
+    fn set_host_parallelism(&mut self, cores: usize) {
+        self.host_parallelism = cores;
+    }
+
+    /// Runs a dispatch on the calling thread, preserving the worker
+    /// semantics exactly: chunk `i` is charged to worker `i mod W`, a
+    /// trap stops only the remaining chunks of *that* worker's bucket,
+    /// and the reported trap is the lowest-numbered worker's.
+    fn permute_inline(&mut self, states: &mut [KeccakState], active: usize) -> Result<(), Trap> {
+        let worker_count = self.workers.len();
+        let engine = self
+            .inline_engine
+            .get_or_insert_with(|| Box::new(VectorKeccakEngine::new(self.kind, self.sn)));
+        let mut per_engine = vec![EngineLoad::default(); worker_count];
+        let mut bucket_trap: Vec<Option<Trap>> = vec![None; worker_count];
+        for (i, chunk) in states.chunks_mut(self.sn).enumerate() {
+            let bucket = i % worker_count;
+            if bucket_trap[bucket].is_some() {
+                continue;
+            }
+            match engine.permute_slice(chunk) {
+                Ok(()) => {
+                    let load = &mut per_engine[bucket];
+                    load.passes += 1;
+                    load.cycles += engine
+                        .last_metrics()
+                        .expect("a pass records metrics")
+                        .total_cycles;
+                }
+                Err(fault) => bucket_trap[bucket] = Some(fault),
+            }
+        }
+        self.permutations += per_engine.iter().map(|load| load.passes).sum::<u64>();
+        if let Some(trap) = bucket_trap.into_iter().flatten().next() {
+            return Err(trap);
+        }
+        self.last_metrics = Some(PoolMetrics {
+            passes: per_engine.iter().map(|load| load.passes).sum(),
+            effective_workers: active,
+            total_cycles: per_engine.iter().map(|load| load.cycles).sum(),
+            max_cycles: per_engine.iter().map(|load| load.cycles).max().unwrap_or(0),
+            per_engine,
+        });
+        Ok(())
+    }
+}
+
+impl Drop for EnginePool {
+    /// Closes every worker's job channel and joins the threads.
+    fn drop(&mut self) {
+        for worker in self.workers.drain(..).flatten() {
+            let Worker { tx, rx, thread } = worker;
+            drop(tx);
+            drop(rx);
+            // A clean join: the worker's recv loop exits once the
+            // sender is gone. Ignore a panicked worker during teardown.
+            let _ = thread.join();
+        }
     }
 }
 
@@ -281,7 +457,9 @@ mod tests {
         assert_eq!(metrics.passes, 0);
         assert_eq!(metrics.total_cycles, 0);
         assert_eq!(metrics.max_cycles, 0);
+        assert_eq!(metrics.effective_workers, 0);
         assert_eq!(pool.permutations(), 0);
+        assert_eq!(pool.spawned_workers(), 0, "no pass, no thread");
     }
 
     #[test]
@@ -294,7 +472,98 @@ mod tests {
         let passes: Vec<u64> = metrics.per_engine.iter().map(|l| l.passes).collect();
         assert_eq!(passes, vec![2, 1, 1]);
         assert_eq!(metrics.passes, 4);
+        assert_eq!(metrics.effective_workers, 3);
         assert_eq!(metrics.max_cycles, metrics.per_engine[0].cycles);
+    }
+
+    #[test]
+    fn small_dispatch_leaves_the_worker_tail_unspawned() {
+        let mut pool = EnginePool::new(KernelKind::E64Lmul8, 2, 6);
+        // Pin the threaded path: this test is about lazy thread spawning.
+        pool.set_host_parallelism(8);
+        // 3 states → 2 passes → only workers 0 and 1 ever exist.
+        let mut states = distinct_states(3);
+        let mut expected = states.clone();
+        pool.permute_slice(&mut states).unwrap();
+        for state in &mut expected {
+            keccak_f1600(state);
+        }
+        assert_eq!(states, expected);
+        let metrics = pool.last_metrics().unwrap();
+        assert_eq!(metrics.effective_workers, 2);
+        assert_eq!(metrics.per_engine.len(), 6, "ledger keeps W entries");
+        assert!(metrics.per_engine[2..].iter().all(|l| l.passes == 0));
+        assert_eq!(pool.spawned_workers(), 2);
+        // A larger follow-up dispatch grows the spawned set on demand.
+        let mut more = distinct_states(12);
+        pool.permute_slice(&mut more).unwrap();
+        assert_eq!(pool.last_metrics().unwrap().effective_workers, 6);
+        assert_eq!(pool.spawned_workers(), 6);
+    }
+
+    #[test]
+    fn workers_persist_across_dispatches() {
+        let mut pool = EnginePool::new(KernelKind::E64Lmul8, 2, 3);
+        // Pin the threaded path: this test is about thread reuse.
+        pool.set_host_parallelism(8);
+        let mut states = distinct_states(9);
+        let mut expected = states.clone();
+        pool.permute_slice(&mut states).unwrap();
+        pool.permute_slice(&mut states).unwrap();
+        for state in &mut expected {
+            keccak_f1600(state);
+            keccak_f1600(state);
+        }
+        assert_eq!(states, expected, "two dispatches compose");
+        assert_eq!(
+            pool.spawned_workers(),
+            3,
+            "threads are reused, not respawned"
+        );
+        assert_eq!(pool.permutations(), 10, "2 × ⌈9/2⌉ passes accumulated");
+    }
+
+    #[test]
+    fn inline_dispatch_matches_threaded_outputs_and_metrics() {
+        // Same dispatch through both paths: a single-core host runs the
+        // shards on the calling thread (no worker threads at all), and
+        // everything observable must be identical to the threaded run.
+        let mut inline_pool = EnginePool::new(KernelKind::E64Lmul8, 2, 3);
+        inline_pool.set_host_parallelism(1);
+        let mut threaded_pool = EnginePool::new(KernelKind::E64Lmul8, 2, 3);
+        threaded_pool.set_host_parallelism(8);
+
+        let mut a = distinct_states(9);
+        let mut b = a.clone();
+        inline_pool.permute_slice(&mut a).expect("inline runs");
+        threaded_pool.permute_slice(&mut b).expect("threaded runs");
+
+        assert_eq!(a, b, "outputs are path-independent");
+        assert_eq!(
+            inline_pool.last_metrics(),
+            threaded_pool.last_metrics(),
+            "the cycle ledger is path-independent"
+        );
+        assert_eq!(inline_pool.spawned_workers(), 0, "no threads on 1 core");
+        assert_eq!(threaded_pool.spawned_workers(), 3);
+        assert_eq!(inline_pool.permutations(), 5);
+    }
+
+    #[test]
+    fn single_shard_dispatch_runs_inline() {
+        // One pass touches one worker: even a multi-core pool skips the
+        // channel round trip for it.
+        let mut pool = EnginePool::new(KernelKind::E64Lmul8, 2, 4);
+        pool.set_host_parallelism(8);
+        let mut states = distinct_states(2);
+        let mut expected = states.clone();
+        pool.permute_slice(&mut states).expect("pool runs");
+        for state in &mut expected {
+            keccak_f1600(state);
+        }
+        assert_eq!(states, expected);
+        assert_eq!(pool.spawned_workers(), 0);
+        assert_eq!(pool.last_metrics().unwrap().effective_workers, 1);
     }
 
     #[test]

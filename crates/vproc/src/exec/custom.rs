@@ -57,23 +57,77 @@ pub fn execute(vu: &mut VectorUnit, op: &CustomOp, xregs: &[u32; 32]) -> Result<
     }
 }
 
+/// Snapshots the `live` leading elements of the group at `src` into a
+/// recycled scratch buffer (a word-level memcpy on the 64-bit
+/// architecture).
+///
+/// Buffering the source before writing is semantically equivalent to
+/// the element-serial read-then-write order for every operand aliasing:
+/// an ascending elementwise loop can only clobber source positions it
+/// has already consumed.
+fn snapshot_group(vu: &mut VectorUnit, src: VReg, live: usize) -> Vec<u64> {
+    let mut snap = vu.take_scratch();
+    if vu.elen().bits() == 64 {
+        snap.extend_from_slice(vu.lanes64(src, live));
+    } else {
+        snap.extend((0..live).map(|g| vu.read_elem(src, g)));
+    }
+    snap
+}
+
 /// `vslidedownm` / `vslideupm` (paper Table 1, Figure 7):
 /// `vd[5i+j] = vs2[5i + (j + offset) mod 5]` with a signed offset
 /// (negative = slide up).
 fn slide_mod5(vu: &mut VectorUnit, vd: VReg, vs2: VReg, offset: i32, vm: bool) -> Result<(), Trap> {
     check_block_alignment(vu)?;
     let blocks = keccak_blocks(vu);
-    let snapshot: Vec<u64> = (0..5 * blocks).map(|g| vu.read_elem(vs2, g)).collect();
-    for i in 0..blocks {
-        for j in 0..5usize {
-            let g = 5 * i + j;
-            if !vu.element_active(vm, g) {
-                continue;
+    // The source lane for each of the five in-block positions, hoisted
+    // out of the element loop.
+    let mut src_j = [0usize; 5];
+    for (j, slot) in src_j.iter_mut().enumerate() {
+        *slot = (j as i32 + offset).rem_euclid(5) as usize;
+    }
+    if vm && vu.elen().bits() == 64 && vd != vs2 {
+        // Disjoint-group word path: permute straight from source words
+        // to destination words, no snapshot. Exact aliasing (vd == vs2)
+        // is handled above; partial group overlap falls through to the
+        // snapshot path via `get_disjoint_mut`'s overlap check.
+        let live = 5 * blocks;
+        let (d, s) = (vu.lane_base(vd), vu.lane_base(vs2));
+        let w = vu.words64_mut();
+        if let Ok([dst, src]) = w.get_disjoint_mut([d..d + live, s..s + live]) {
+            for i in 0..blocks {
+                let block = &src[5 * i..5 * i + 5];
+                let out = &mut dst[5 * i..5 * i + 5];
+                for j in 0..5 {
+                    out[j] = block[src_j[j]];
+                }
             }
-            let src_j = (j as i32 + offset).rem_euclid(5) as usize;
-            vu.write_elem(vd, g, snapshot[5 * i + src_j]);
+            return Ok(());
         }
     }
+    let snapshot = snapshot_group(vu, vs2, 5 * blocks);
+    if vm && vu.elen().bits() == 64 {
+        let dst = vu.lanes64_mut(vd, 5 * blocks);
+        for i in 0..blocks {
+            let block = &snapshot[5 * i..5 * i + 5];
+            let out = &mut dst[5 * i..5 * i + 5];
+            for j in 0..5 {
+                out[j] = block[src_j[j]];
+            }
+        }
+    } else {
+        for i in 0..blocks {
+            for j in 0..5usize {
+                let g = 5 * i + j;
+                if !vu.element_active(vm, g) {
+                    continue;
+                }
+                vu.write_elem(vd, g, snapshot[5 * i + src_j[j]]);
+            }
+        }
+    }
+    vu.put_scratch(snapshot);
     Ok(())
 }
 
@@ -81,12 +135,16 @@ fn slide_mod5(vu: &mut VectorUnit, vd: VReg, vs2: VReg, offset: i32, vm: bool) -
 fn rotup64(vu: &mut VectorUnit, vd: VReg, vs2: VReg, amount: u32, vm: bool) -> Result<(), Trap> {
     check_block_alignment(vu)?;
     let live = 5 * keccak_blocks(vu);
-    for g in 0..live {
-        if !vu.element_active(vm, g) {
-            continue;
+    if vm {
+        vu.apply1_64(vd, vs2, live, |_, value| value.rotate_left(amount));
+    } else {
+        for g in 0..live {
+            if !vu.element_active(vm, g) {
+                continue;
+            }
+            let value = vu.read_elem(vs2, g).rotate_left(amount);
+            vu.write_elem(vd, g, value);
         }
-        let value = vu.read_elem(vs2, g).rotate_left(amount);
-        vu.write_elem(vd, g, value);
     }
     Ok(())
 }
@@ -103,10 +161,9 @@ fn rot32_pair(
 ) -> Result<(), Trap> {
     check_block_alignment(vu)?;
     let live = 5 * keccak_blocks(vu);
-    let pairs: Vec<u64> = (0..live)
-        .map(|g| (vu.read_elem(vs2, g) << 32) | vu.read_elem(vs1, g))
-        .collect();
-    for (g, pair) in pairs.into_iter().enumerate() {
+    let mut pairs = vu.take_scratch();
+    pairs.extend((0..live).map(|g| (vu.read_elem(vs2, g) << 32) | vu.read_elem(vs1, g)));
+    for (g, &pair) in pairs.iter().enumerate() {
         if !vu.element_active(vm, g) {
             continue;
         }
@@ -118,6 +175,7 @@ fn rot32_pair(
         };
         vu.write_elem(vd, g, half);
     }
+    vu.put_scratch(pairs);
     Ok(())
 }
 
@@ -142,14 +200,40 @@ fn element_row(vu: &VectorUnit, row: RhoRow, g: usize) -> Result<usize, Trap> {
 fn rho64(vu: &mut VectorUnit, vd: VReg, vs2: VReg, row: RhoRow, vm: bool) -> Result<(), Trap> {
     check_block_alignment(vu)?;
     let live = 5 * keccak_blocks(vu);
-    for g in 0..live {
-        if !vu.element_active(vm, g) {
-            continue;
+    if vm {
+        // Word-level path. `check_block_alignment` guarantees lane_x(g)
+        // = g mod 5 (either VL ≤ EleNum so g < EPR, or EPR is a multiple
+        // of 5), and in the all-rows form the row advances every EPR
+        // elements; the slow path traps at the first element past row 4
+        // with all earlier elements already written, which the truncated
+        // loop below reproduces exactly.
+        let epr = vu.elements_per_register() as usize;
+        let writable = match row {
+            RhoRow::Row(_) => live,
+            RhoRow::All => live.min(5 * epr),
+        };
+        vu.apply1_64(vd, vs2, writable, |g, value| {
+            let r = match row {
+                RhoRow::Row(r) => r as usize,
+                RhoRow::All => g / epr,
+            };
+            value.rotate_left(RHO_OFFSETS[r][g % 5])
+        });
+        if writable < live {
+            return Err(Trap::VectorConfig {
+                reason: "all-rows Keccak op spans more than five registers",
+            });
         }
-        let r = element_row(vu, row, g)?;
-        let x = lane_x(vu, g);
-        let value = vu.read_elem(vs2, g).rotate_left(RHO_OFFSETS[r][x]);
-        vu.write_elem(vd, g, value);
+    } else {
+        for g in 0..live {
+            if !vu.element_active(vm, g) {
+                continue;
+            }
+            let r = element_row(vu, row, g)?;
+            let x = lane_x(vu, g);
+            let value = vu.read_elem(vs2, g).rotate_left(RHO_OFFSETS[r][x]);
+            vu.write_elem(vd, g, value);
+        }
     }
     Ok(())
 }
@@ -172,14 +256,19 @@ fn rho32(
 ) -> Result<(), Trap> {
     check_block_alignment(vu)?;
     let live = 5 * keccak_blocks(vu);
-    let pairs: Vec<u64> = (0..live)
-        .map(|g| (vu.read_elem(vs2, g) << 32) | vu.read_elem(vs1, g))
-        .collect();
-    for (g, pair) in pairs.into_iter().enumerate() {
+    let mut pairs = vu.take_scratch();
+    pairs.extend((0..live).map(|g| (vu.read_elem(vs2, g) << 32) | vu.read_elem(vs1, g)));
+    for (g, &pair) in pairs.iter().enumerate() {
         if !vu.element_active(vm, g) {
             continue;
         }
-        let r = element_row(vu, RhoRow::All, g)?;
+        let r = match element_row(vu, RhoRow::All, g) {
+            Ok(r) => r,
+            Err(trap) => {
+                vu.put_scratch(pairs);
+                return Err(trap);
+            }
+        };
         let x = lane_x(vu, g);
         let rotated = pair.rotate_left(RHO_OFFSETS[r][x]);
         let half = if high {
@@ -189,6 +278,7 @@ fn rho32(
         };
         vu.write_elem(vd, g, half);
     }
+    vu.put_scratch(pairs);
     Ok(())
 }
 
@@ -209,8 +299,8 @@ fn pi_scatter(
 ) -> Result<(), Trap> {
     let epr = vu.elements_per_register() as usize;
     let states = (vu.vl() as usize).min(epr) / 5;
-    let rows: Vec<usize> = match row {
-        RhoRow::Row(r) => vec![r as usize],
+    let (first_row, row_count) = match row {
+        RhoRow::Row(r) => (r as usize, 1),
         RhoRow::All => {
             if vu.vl() as usize > 5 * epr {
                 return Err(Trap::VectorConfig {
@@ -222,7 +312,7 @@ fn pi_scatter(
                     reason: "multi-register Keccak ops require EleNum to be a multiple of 5",
                 });
             }
-            (0..(vu.vl() as usize).div_ceil(epr)).collect()
+            (0, (vu.vl() as usize).div_ceil(epr))
         }
     };
     if vd.index() + 4 > 31 {
@@ -230,16 +320,52 @@ fn pi_scatter(
             reason: "vpi column destination exceeds the register file",
         });
     }
-    for &r in &rows {
+    let mut snapshot: Option<Vec<u64>> = None;
+    for r in first_row..first_row + row_count {
         // Source register: vs2 itself for single-row form, the r-th
         // register of the group for the all-rows form.
         let src = match row {
             RhoRow::Row(_) => vs2,
             RhoRow::All => VReg::from_index(vs2.index() + r),
         };
+        // Column writes land in `vd..vd+4`, so a source register outside
+        // that span cannot alias them: the row streams straight from
+        // source words to destination words, no snapshot, no per-element
+        // register-file calls.
+        let disjoint = src.index() < vd.index() || src.index() > vd.index() + 4;
+        if vm && disjoint && vu.elen().bits() == 64 {
+            let n = vu.elenum();
+            let sbase = vu.lane_base(src);
+            let dbase0 = vu.lane_base(vd);
+            let w = vu.words64_mut();
+            for xp in 0..5usize {
+                let y = (2 * (5 + xp - r)) % 5;
+                let dbase = dbase0 + y * n + r;
+                let rot = RHO_OFFSETS[r][xp];
+                for s in 0..states {
+                    let value = w[sbase + 5 * s + xp];
+                    w[dbase + 5 * s] = if fused_rho {
+                        value.rotate_left(rot)
+                    } else {
+                        value
+                    };
+                }
+            }
+            continue;
+        }
         // Read the full row before writing (column writes never alias the
         // row being read in the paper's kernels, but hardware reads first).
-        let snapshot: Vec<u64> = (0..5 * states).map(|e| vu.read_elem(src, e)).collect();
+        let mut snap = match snapshot.take() {
+            Some(buf) => buf,
+            None => vu.take_scratch(),
+        };
+        snap.clear();
+        if vu.elen().bits() == 64 {
+            snap.extend_from_slice(vu.lanes64(src, 5 * states));
+        } else {
+            snap.extend((0..5 * states).map(|e| vu.read_elem(src, e)));
+        }
+        let snapshot = snapshot.insert(snap);
         for s in 0..states {
             for xp in 0..5usize {
                 let src_elem = 5 * s + xp;
@@ -257,6 +383,9 @@ fn pi_scatter(
             }
         }
     }
+    if let Some(buf) = snapshot {
+        vu.put_scratch(buf);
+    }
     Ok(())
 }
 
@@ -273,14 +402,24 @@ fn viota(vu: &mut VectorUnit, vd: VReg, vs2: VReg, index: u32, vm: bool) -> Resu
             .ok_or(Trap::RoundConstantIndex { index })? as u64,
     };
     let blocks = keccak_blocks(vu);
-    for i in 0..blocks {
-        for j in 0..5usize {
-            let g = 5 * i + j;
-            if !vu.element_active(vm, g) {
-                continue;
+    if vm && vu.elen().bits() == 64 {
+        vu.apply1_64(vd, vs2, 5 * blocks, |g, value| {
+            if g % 5 == 0 {
+                value ^ rc
+            } else {
+                value
             }
-            let value = vu.read_elem(vs2, g);
-            vu.write_elem(vd, g, if j == 0 { value ^ rc } else { value });
+        });
+    } else {
+        for i in 0..blocks {
+            for j in 0..5usize {
+                let g = 5 * i + j;
+                if !vu.element_active(vm, g) {
+                    continue;
+                }
+                let value = vu.read_elem(vs2, g);
+                vu.write_elem(vd, g, if j == 0 { value ^ rc } else { value });
+            }
         }
     }
     Ok(())

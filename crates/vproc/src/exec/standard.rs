@@ -48,7 +48,8 @@ pub fn varith(
                 VSource::Imm(imm) => imm as usize,
                 VSource::Vector(_) => unreachable!("slides have no .vv form"),
             };
-            let snapshot: Vec<u64> = (0..vl).map(|i| vu.read_elem(vs2, i)).collect();
+            let mut snapshot = vu.take_scratch();
+            snapshot.extend((0..vl).map(|i| vu.read_elem(vs2, i)));
             for i in 0..vl {
                 if !vu.element_active(vm, i) {
                     continue;
@@ -67,42 +68,92 @@ pub fn varith(
                     _ => unreachable!(),
                 }
             }
+            vu.put_scratch(snapshot);
             return Ok(());
         }
         _ => {}
     }
 
-    // Element-wise ops: snapshot sources to make vd == vs2/vs1 safe.
-    let src2: Vec<u64> = (0..vl).map(|i| vu.read_elem(vs2, i)).collect();
-    let src1: Vec<u64> = (0..vl).map(|i| operand1(vu, src, xregs, i)).collect();
-    for i in 0..vl {
-        if !vu.element_active(vm, i) {
-            continue;
+    let elen64 = vu.elen().bits() == 64 && sew_bits == 64;
+    let shift_mask = (sew_bits - 1) as u64;
+    if vm && !is_mask_op && elen64 {
+        // Word-level path: whole destination group directly on the flat
+        // word storage — no source snapshots, no per-element dispatch,
+        // no truncation (SEW = 64 keeps full words). A loop-invariant
+        // scalar/immediate operand folds into the closure.
+        macro_rules! apply {
+            ($f:expr) => {{
+                let f = $f;
+                match src {
+                    VSource::Vector(vs1) => vu.apply2_64(vd, vs2, vs1, vl, f),
+                    _ => {
+                        let b = operand1(vu, src, xregs, 0);
+                        vu.apply1_64(vd, vs2, vl, |_, a| f(a, b));
+                    }
+                }
+            }};
         }
-        let (a, b) = (src2[i], src1[i]); // a = vs2[i], b = vs1/x/imm
-        let shift_mask = (sew_bits - 1) as u64;
-        let result = match op {
-            VArithOp::Add => a.wrapping_add(b),
-            VArithOp::Sub => a.wrapping_sub(b),
-            VArithOp::Rsub => b.wrapping_sub(a),
-            VArithOp::And => a & b,
-            VArithOp::Or => a | b,
-            VArithOp::Xor => a ^ b,
-            VArithOp::Sll => a.wrapping_shl((b & shift_mask) as u32),
-            VArithOp::Srl => a.wrapping_shr((b & shift_mask) as u32),
-            VArithOp::Sra => (sign_extend_sew(vu, a) >> (b & shift_mask)) as u64,
-            VArithOp::Mseq => (a == b) as u64,
-            VArithOp::Msne => (a != b) as u64,
-            VArithOp::Msltu => (a < b) as u64,
-            VArithOp::Mv => b,
-            VArithOp::Slideup | VArithOp::Slidedown => unreachable!("handled above"),
-        };
-        if is_mask_op {
-            vu.write_mask_bit(vd, i, result != 0);
-        } else {
-            vu.write_elem(vd, i, vu.truncate(result));
+        match op {
+            VArithOp::Add => apply!(|a: u64, b: u64| a.wrapping_add(b)),
+            VArithOp::Sub => apply!(|a: u64, b: u64| a.wrapping_sub(b)),
+            VArithOp::Rsub => apply!(|a: u64, b: u64| b.wrapping_sub(a)),
+            VArithOp::And => apply!(|a, b| a & b),
+            VArithOp::Or => apply!(|a, b| a | b),
+            VArithOp::Xor => apply!(|a, b| a ^ b),
+            VArithOp::Sll => apply!(|a: u64, b| a.wrapping_shl((b & shift_mask) as u32)),
+            VArithOp::Srl => apply!(|a: u64, b| a.wrapping_shr((b & shift_mask) as u32)),
+            VArithOp::Sra => apply!(|a, b| ((a as i64) >> (b & shift_mask)) as u64),
+            VArithOp::Mv => apply!(|_, b| b),
+            VArithOp::Mseq
+            | VArithOp::Msne
+            | VArithOp::Msltu
+            | VArithOp::Slideup
+            | VArithOp::Slidedown => unreachable!("handled elsewhere"),
+        }
+        return Ok(());
+    }
+
+    // Masked, sub-word and mask-producing ops: snapshot sources to make
+    // vd == vs2/vs1 safe. Scalar/immediate operands are loop-invariant,
+    // so they resolve once.
+    let mut src2 = vu.take_scratch();
+    let mut src1 = vu.take_scratch();
+    src2.extend((0..vl).map(|i| vu.read_elem(vs2, i)));
+    match src {
+        VSource::Vector(vs1) => src1.extend((0..vl).map(|i| vu.read_elem(vs1, i))),
+        _ => src1.extend(std::iter::repeat_n(operand1(vu, src, xregs, 0), vl)),
+    }
+    {
+        for i in 0..vl {
+            if !vu.element_active(vm, i) {
+                continue;
+            }
+            let (a, b) = (src2[i], src1[i]); // a = vs2[i], b = vs1/x/imm
+            let result = match op {
+                VArithOp::Add => a.wrapping_add(b),
+                VArithOp::Sub => a.wrapping_sub(b),
+                VArithOp::Rsub => b.wrapping_sub(a),
+                VArithOp::And => a & b,
+                VArithOp::Or => a | b,
+                VArithOp::Xor => a ^ b,
+                VArithOp::Sll => a.wrapping_shl((b & shift_mask) as u32),
+                VArithOp::Srl => a.wrapping_shr((b & shift_mask) as u32),
+                VArithOp::Sra => (sign_extend_sew(vu, a) >> (b & shift_mask)) as u64,
+                VArithOp::Mseq => (a == b) as u64,
+                VArithOp::Msne => (a != b) as u64,
+                VArithOp::Msltu => (a < b) as u64,
+                VArithOp::Mv => b,
+                VArithOp::Slideup | VArithOp::Slidedown => unreachable!("handled above"),
+            };
+            if is_mask_op {
+                vu.write_mask_bit(vd, i, result != 0);
+            } else {
+                vu.write_elem(vd, i, vu.truncate(result));
+            }
         }
     }
+    vu.put_scratch(src1);
+    vu.put_scratch(src2);
     Ok(())
 }
 

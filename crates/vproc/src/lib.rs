@@ -42,7 +42,7 @@ pub mod trap;
 pub mod vector;
 
 pub use config::{Elen, ProcessorConfig};
-pub use decoded::{DecodedInstr, DecodedProgram, TimingClass};
+pub use decoded::{DecodedInstr, DecodedProgram, FusedBlock, TimingClass};
 pub use memory::DataMemory;
 pub use processor::{HaltCause, Processor, RunSummary};
 pub use timing::TimingModel;

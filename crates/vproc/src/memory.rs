@@ -48,11 +48,12 @@ impl DataMemory {
     pub fn read(&self, addr: u32, size: u32) -> Result<u64, Trap> {
         debug_assert!(matches!(size, 1 | 2 | 4 | 8));
         let base = self.check(addr, size)?;
-        let mut value = 0u64;
-        for i in (0..size as usize).rev() {
-            value = (value << 8) | self.bytes[base + i] as u64;
-        }
-        Ok(value)
+        Ok(match size {
+            1 => self.bytes[base] as u64,
+            2 => u16::from_le_bytes(self.bytes[base..base + 2].try_into().unwrap()) as u64,
+            4 => u32::from_le_bytes(self.bytes[base..base + 4].try_into().unwrap()) as u64,
+            _ => u64::from_le_bytes(self.bytes[base..base + 8].try_into().unwrap()),
+        })
     }
 
     /// Writes the low `size` bytes (1, 2, 4 or 8) of `value` little-endian.
@@ -63,8 +64,11 @@ impl DataMemory {
     pub fn write(&mut self, addr: u32, size: u32, value: u64) -> Result<(), Trap> {
         debug_assert!(matches!(size, 1 | 2 | 4 | 8));
         let base = self.check(addr, size)?;
-        for i in 0..size as usize {
-            self.bytes[base + i] = (value >> (8 * i)) as u8;
+        match size {
+            1 => self.bytes[base] = value as u8,
+            2 => self.bytes[base..base + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+            4 => self.bytes[base..base + 4].copy_from_slice(&(value as u32).to_le_bytes()),
+            _ => self.bytes[base..base + 8].copy_from_slice(&value.to_le_bytes()),
         }
         Ok(())
     }

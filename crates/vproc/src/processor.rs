@@ -1,7 +1,7 @@
 //! The processor: scalar core + vector unit + memories + cycle counter.
 
 use crate::config::ProcessorConfig;
-use crate::decoded::DecodedProgram;
+use crate::decoded::{DecodedInstr, DecodedProgram};
 use crate::exec::{custom, standard};
 use crate::memory::DataMemory;
 use crate::timing::TimingContext;
@@ -62,6 +62,7 @@ pub struct Processor {
     retired_vector: u64,
     halted: Option<HaltCause>,
     tracer: Tracer,
+    fusion: bool,
 }
 
 impl Processor {
@@ -83,6 +84,7 @@ impl Processor {
             retired_vector: 0,
             halted: None,
             tracer,
+            fusion: true,
         }
     }
 
@@ -228,6 +230,25 @@ impl Processor {
         self.halted
     }
 
+    /// Whether fused macro-op dispatch is enabled (see
+    /// [`Processor::set_fusion`]).
+    pub fn fusion(&self) -> bool {
+        self.fusion
+    }
+
+    /// Enables or disables fused macro-op dispatch in [`Processor::run`]
+    /// and [`Processor::run_until_pc`].
+    ///
+    /// Fusion is on by default. It is an execution fast path only: the
+    /// architectural state, trap behavior and cycle counts are identical
+    /// either way (the fused-block cost is the exact sum of the member
+    /// instructions' costs — there are differential tests pinning this).
+    /// Disabling it forces the per-instruction reference path, which the
+    /// conformance fast-path oracle uses as its baseline.
+    pub fn set_fusion(&mut self, fusion: bool) {
+        self.fusion = fusion;
+    }
+
     /// Executes one instruction.
     ///
     /// # Errors
@@ -246,12 +267,41 @@ impl Processor {
             Some(slot) => *slot,
             None => return Err(Trap::InstructionFetch { pc: self.pc }),
         };
-        let instr = slot.instr;
         let pc = self.pc;
-        let mut next_pc = self.pc.wrapping_add(4);
+        let groups = self.active_groups();
+        let (next_pc, cost) = self.execute_slot(&slot, pc, groups)?;
+        self.cycles += cost;
+        self.retired += 1;
+        if slot.is_vector {
+            self.retired_vector += 1;
+        }
+        self.tracer.record(pc, slot.instr, cost, self.cycles);
+        self.pc = next_pc;
+        Ok(self.halted)
+    }
+
+    /// Executes `slot` (fetched from `pc`) against the architectural
+    /// state, returning the next PC and the instruction's cycle cost.
+    ///
+    /// This is the single execution path shared by [`Processor::step`]
+    /// and the fused-block loop; neither the PC nor any counter is
+    /// updated here, so a trap leaves them exactly as they were before
+    /// the instruction.
+    ///
+    /// `groups` is the active register-group count at entry; it can only
+    /// change across `vsetvli`, whose cost is flat, so hoisting it is
+    /// exact.
+    fn execute_slot(
+        &mut self,
+        slot: &DecodedInstr,
+        pc: u32,
+        groups: u32,
+    ) -> Result<(u32, u64), Trap> {
+        let instr = slot.instr;
+        let mut next_pc = pc.wrapping_add(4);
         let mut ctx = TimingContext {
             branch_taken: false,
-            active_groups: self.active_groups(),
+            active_groups: groups,
             vl: self.vu.vl(),
         };
 
@@ -289,12 +339,16 @@ impl Processor {
                 offset,
             } => {
                 let addr = self.xreg(rs1).wrapping_add(offset as u32);
+                let size = match kind {
+                    LoadKind::Lb | LoadKind::Lbu => 1,
+                    LoadKind::Lh | LoadKind::Lhu => 2,
+                    LoadKind::Lw => 4,
+                };
+                let raw = self.dmem.read(addr, size)?;
                 let value = match kind {
-                    LoadKind::Lb => self.dmem.read(addr, 1)? as i8 as i32 as u32,
-                    LoadKind::Lbu => self.dmem.read(addr, 1)? as u32,
-                    LoadKind::Lh => self.dmem.read(addr, 2)? as i16 as i32 as u32,
-                    LoadKind::Lhu => self.dmem.read(addr, 2)? as u32,
-                    LoadKind::Lw => self.dmem.read(addr, 4)? as u32,
+                    LoadKind::Lb => raw as i8 as i32 as u32,
+                    LoadKind::Lh => raw as i16 as i32 as u32,
+                    LoadKind::Lbu | LoadKind::Lhu | LoadKind::Lw => raw as u32,
                 };
                 self.set_xreg(rd, value);
             }
@@ -306,11 +360,12 @@ impl Processor {
             } => {
                 let addr = self.xreg(rs1).wrapping_add(offset as u32);
                 let value = self.xreg(rs2) as u64;
-                match kind {
-                    StoreKind::Sb => self.dmem.write(addr, 1, value)?,
-                    StoreKind::Sh => self.dmem.write(addr, 2, value)?,
-                    StoreKind::Sw => self.dmem.write(addr, 4, value)?,
-                }
+                let size = match kind {
+                    StoreKind::Sb => 1,
+                    StoreKind::Sh => 2,
+                    StoreKind::Sw => 4,
+                };
+                self.dmem.write(addr, size, value)?;
             }
             Instruction::OpImm { kind, rd, rs1, imm } => {
                 let a = self.xreg(rs1);
@@ -419,7 +474,6 @@ impl Processor {
                     vm,
                     &self.xregs,
                 )?;
-                ctx.active_groups = self.active_groups();
             }
             Instruction::VStore {
                 eew,
@@ -460,15 +514,76 @@ impl Processor {
             Instruction::Custom(op) => custom::execute(&mut self.vu, &op, &self.xregs)?,
         }
 
-        let cost = slot.timing.cost(ctx);
-        self.cycles += cost;
-        self.retired += 1;
-        if slot.is_vector {
-            self.retired_vector += 1;
+        Ok((next_pc, slot.timing.cost(ctx)))
+    }
+
+    /// Attempts to execute the fused block anchored at the current PC.
+    ///
+    /// Returns `Ok(true)` when a whole block retired, `Ok(false)` when no
+    /// block applies and the caller must fall back to [`Processor::step`].
+    /// The guards make the fast path observationally identical to
+    /// stepping:
+    ///
+    /// * tracing forces the per-instruction path (each entry needs its
+    ///   own record);
+    /// * a `stop_pc` strictly inside the block forces stepping so
+    ///   [`Processor::run_until_pc`] still stops exactly there;
+    /// * the block only runs when its full cost fits the cycle budget.
+    ///   Since every instruction costs ≥ 1 cycle, all intra-block
+    ///   prefixes then stay strictly below the budget — exactly the
+    ///   condition under which the stepping loop would have retired the
+    ///   same instructions without a [`Trap::CycleLimit`].
+    fn try_fused(&mut self, max_cycles: u64, stop_pc: Option<u32>) -> Result<bool, Trap> {
+        if !self.fusion || self.tracer.is_enabled() || !self.pc.is_multiple_of(4) {
+            return Ok(false);
         }
-        self.tracer.record(pc, instr, cost, self.cycles);
-        self.pc = next_pc;
-        Ok(self.halted)
+        let start = (self.pc / 4) as usize;
+        let Some(block) = self.program.fused_block_at(start) else {
+            return Ok(false);
+        };
+        let end_pc = block.end * 4;
+        if let Some(stop) = stop_pc {
+            if stop > self.pc && stop < end_pc {
+                return Ok(false);
+            }
+        }
+        let groups = self.active_groups();
+        if self.cycles + block.cost(groups, self.vu.vl()) > max_cycles {
+            return Ok(false);
+        }
+        self.run_block(start, block.end as usize, groups)?;
+        Ok(true)
+    }
+
+    /// Executes the instructions of a fused block back to back.
+    ///
+    /// Blocks contain no control flow, halts or `vsetvli`, so the PC is
+    /// only committed once at the end — or parked on the faulting
+    /// instruction if one traps, with the preceding prefix fully retired,
+    /// exactly as repeated [`Processor::step`] calls would leave things.
+    fn run_block(&mut self, start: usize, end: usize, groups: u32) -> Result<(), Trap> {
+        for index in start..end {
+            let slot = *self
+                .program
+                .get(index)
+                .expect("fused blocks lie inside the program");
+            let pc = (index as u32) * 4;
+            match self.execute_slot(&slot, pc, groups) {
+                Ok((_, cost)) => {
+                    self.cycles += cost;
+                    self.retired += 1;
+                    if slot.is_vector {
+                        self.retired_vector += 1;
+                    }
+                }
+                Err(trap) => {
+                    self.pc = pc;
+                    return Err(trap);
+                }
+            }
+        }
+        self.pc = (end as u32) * 4;
+        Ok(())
     }
 
     /// Runs until the program halts via `ecall`/`ebreak`.
@@ -481,6 +596,9 @@ impl Processor {
         while self.halted.is_none() {
             if self.cycles >= max_cycles {
                 return Err(Trap::CycleLimit { limit: max_cycles });
+            }
+            if self.try_fused(max_cycles, None)? {
+                continue;
             }
             self.step()?;
         }
@@ -505,6 +623,9 @@ impl Processor {
             }
             if self.halted.is_some() {
                 return Err(Trap::InstructionFetch { pc: self.pc });
+            }
+            if self.try_fused(max_cycles, Some(target))? {
+                continue;
             }
             self.step()?;
         }
@@ -712,6 +833,107 @@ mod tests {
         assert_eq!(cpu.retired(), 5);
         assert_eq!(cpu.retired_vector(), 3, "vsetvli + two vxor");
         assert_eq!(cpu.retired_scalar(), 2, "li + ecall");
+    }
+
+    /// Runs `source` twice — fused and per-instruction — and asserts the
+    /// observable outcomes are identical.
+    fn assert_fusion_transparent(source: &str) {
+        let program = assemble(source).expect("assembles");
+        let mut fused = Processor::new(ProcessorConfig::elen64(10));
+        let mut stepped = Processor::new(ProcessorConfig::elen64(10));
+        stepped.set_fusion(false);
+        fused.load_program(program.instructions());
+        stepped.load_program(program.instructions());
+        let fused_result = fused.run(100_000);
+        let stepped_result = stepped.run(100_000);
+        assert_eq!(fused_result, stepped_result, "halt/trap outcome");
+        assert_eq!(fused.cycles(), stepped.cycles(), "cycle count");
+        assert_eq!(fused.retired(), stepped.retired(), "retired count");
+        assert_eq!(
+            fused.retired_vector(),
+            stepped.retired_vector(),
+            "vector retired count"
+        );
+        assert_eq!(fused.pc(), stepped.pc(), "final PC");
+        for index in 0..32 {
+            let reg = XReg::from_index(index);
+            assert_eq!(fused.xreg(reg), stepped.xreg(reg), "x{index}");
+        }
+        for index in 0..32 {
+            let reg = VReg::from_index(index);
+            assert_eq!(
+                fused.vector_unit().register_bytes(reg),
+                stepped.vector_unit().register_bytes(reg),
+                "v{index}"
+            );
+        }
+        for addr in (0..fused.dmem().len() as u32).step_by(8) {
+            assert_eq!(
+                fused.dmem().read(addr, 8),
+                stepped.dmem().read(addr, 8),
+                "dmem at {addr}"
+            );
+        }
+    }
+
+    #[test]
+    fn fusion_is_transparent_for_scalar_loops() {
+        assert_fusion_transparent(
+            "li t0, 0\nli t1, 25\nli a0, 7\nloop:\naddi a0, a0, 3\nslli a1, a0, 1\nxor a2, a1, a0\nsw a2, 128(t0)\nlw a3, 128(t0)\naddi t0, t0, 4\nblt t0, t1, loop\necall",
+        );
+    }
+
+    #[test]
+    fn fusion_is_transparent_for_vector_kernels() {
+        assert_fusion_transparent(
+            "li s1, 10\nvsetvli x0, s1, e64, m1, tu, mu\nli a0, 0\nli a1, 512\nvle64.v v1, (a0)\nvadd.vi v1, v1, 5\nvxor.vv v2, v1, v1\nvse64.v v1, (a1)\nvle64.v v3, (a1)\necall",
+        );
+    }
+
+    #[test]
+    fn fusion_is_transparent_for_csr_reads_mid_block() {
+        // csrr cycle/instret inside a fused block must observe the same
+        // partial sums the stepping path would.
+        assert_fusion_transparent(
+            "li a0, 1\nli a1, 2\ncsrr a2, cycle\ncsrr a3, instret\nadd a4, a2, a3\necall",
+        );
+    }
+
+    #[test]
+    fn fusion_is_transparent_for_mid_block_traps() {
+        // The store at the end of a fused block faults: the prefix must
+        // retire with its cycles and the PC must park on the store.
+        assert_fusion_transparent("li t0, 1\nli t1, 8\nsw t0, 0(t1)\nsw t0, 1(t1)\necall");
+        assert_fusion_transparent("li t0, 3\nli t1, 100000\naddi t2, t1, 8\nlw a0, 0(t2)\necall");
+    }
+
+    #[test]
+    fn fused_run_until_pc_stops_inside_a_block() {
+        let program = assemble("li a0, 1\nli a0, 2\nli a0, 3\nli a0, 4\necall").unwrap();
+        let mut cpu = Processor::new(ProcessorConfig::elen64(5));
+        cpu.load_program(program.instructions());
+        // PC 8 is strictly inside the 4-instruction fused block: the
+        // fast path must defer to stepping and stop exactly there.
+        cpu.run_until_pc(8, 100).unwrap();
+        assert_eq!(cpu.pc(), 8);
+        assert_eq!(cpu.xreg(XReg::X10), 2);
+    }
+
+    #[test]
+    fn fused_run_respects_the_cycle_limit() {
+        let program = assemble("li a0, 1\nli a0, 2\nli a0, 3\nli a0, 4\necall").unwrap();
+        for limit in 0..6 {
+            let mut fused = Processor::new(ProcessorConfig::elen64(5));
+            let mut stepped = Processor::new(ProcessorConfig::elen64(5));
+            stepped.set_fusion(false);
+            fused.load_program(program.instructions());
+            stepped.load_program(program.instructions());
+            let fused_result = fused.run(limit);
+            let stepped_result = stepped.run(limit);
+            assert_eq!(fused_result, stepped_result, "limit {limit}");
+            assert_eq!(fused.cycles(), stepped.cycles(), "limit {limit}");
+            assert_eq!(fused.pc(), stepped.pc(), "limit {limit}");
+        }
     }
 
     #[test]
