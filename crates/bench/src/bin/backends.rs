@@ -37,8 +37,9 @@
 use krv_core::{EnginePool, KernelKind, VectorKeccakEngine};
 use krv_keccak::KeccakState;
 use krv_sha3::{hash_batch, BatchRequest, PermutationBackend, ReferenceBackend, SpongeParams};
-use krv_testkit::{Rng, Stopwatch};
+use krv_testkit::{LatencyHistogram, Rng};
 use std::fmt::Write as _;
+use std::time::Instant;
 
 const MESSAGES: usize = 1000;
 const OUTPUT_LEN: usize = 32;
@@ -136,7 +137,30 @@ struct Row {
     name: &'static str,
     detail: String,
     wall_perms_per_sec: f64,
+    /// Per-run wall-time distribution of the whole batch (the same
+    /// log-bucketed histogram the serving layer reports percentiles
+    /// from).
+    wall_hist: LatencyHistogram,
     simulated_perms_per_sec: Option<f64>,
+}
+
+/// Times `runs` executions of `body`, one histogram sample per run.
+/// The median (p50) is the headline rate — the same robust choice the
+/// previous median-of-runs stopwatch made — and the tail percentiles go
+/// into the JSON alongside it.
+fn measure(runs: usize, mut body: impl FnMut()) -> LatencyHistogram {
+    let mut hist = LatencyHistogram::new();
+    for _ in 0..runs {
+        let start = Instant::now();
+        body();
+        hist.record_duration(start.elapsed());
+    }
+    hist
+}
+
+/// Permutations/sec at the distribution's median batch time.
+fn median_rate(hist: &LatencyHistogram, permutations: u64) -> f64 {
+    permutations as f64 * 1e9 / hist.percentile(0.5) as f64
 }
 
 /// The deterministic cost of one full hardware pass (stage + kernel +
@@ -224,19 +248,20 @@ fn main() -> std::io::Result<()> {
 
     let mut rows = Vec::new();
 
-    let reference = Stopwatch::measure(1, 5, || {
+    let reference = measure(5, || {
         let out = hash_batch(params, ReferenceBackend::new(), &requests);
         assert_eq!(out, expected);
     });
     rows.push(Row {
         name: "reference",
         detail: "software Keccak-f[1600], sequential".into(),
-        wall_perms_per_sec: reference.per_second(permutations as f64),
+        wall_perms_per_sec: median_rate(&reference, permutations),
+        wall_hist: reference,
         simulated_perms_per_sec: None,
     });
 
     let mut engine = CyclesBackend::new(VectorKeccakEngine::new(KernelKind::E64Lmul8, SN));
-    let single = Stopwatch::measure(2, 7, || {
+    let single = measure(10, || {
         engine.critical_path = 0;
         let out = hash_batch(params, &mut engine, &requests);
         assert_eq!(out, expected);
@@ -245,12 +270,13 @@ fn main() -> std::io::Result<()> {
     rows.push(Row {
         name: "single-engine",
         detail: format!("{}, SN = {SN}", KernelKind::E64Lmul8.label()),
-        wall_perms_per_sec: single.per_second(permutations as f64),
+        wall_perms_per_sec: median_rate(&single, permutations),
+        wall_hist: single,
         simulated_perms_per_sec: Some(single_sim),
     });
 
     let mut pool = CyclesBackend::new(EnginePool::new(KernelKind::E64Lmul8, SN, workers));
-    let pooled = Stopwatch::measure(2, 7, || {
+    let pooled = measure(10, || {
         pool.critical_path = 0;
         let out = hash_batch(params, &mut pool, &requests);
         assert_eq!(out, expected);
@@ -262,7 +288,8 @@ fn main() -> std::io::Result<()> {
             "{}, {workers} workers × SN = {SN}",
             KernelKind::E64Lmul8.label()
         ),
-        wall_perms_per_sec: pooled.per_second(permutations as f64),
+        wall_perms_per_sec: median_rate(&pooled, permutations),
+        wall_hist: pooled,
         simulated_perms_per_sec: Some(pooled_sim),
     });
 
@@ -315,6 +342,13 @@ fn main() -> std::io::Result<()> {
         let mut entry = format!(
             "    {{ \"name\": \"{}\", \"detail\": \"{}\", \"wall_permutations_per_sec\": {:.1}",
             row.name, row.detail, row.wall_perms_per_sec,
+        );
+        let _ = write!(
+            entry,
+            ", \"batch_wall_ns_p50\": {}, \"batch_wall_ns_p90\": {}, \"batch_wall_ns_max\": {}",
+            row.wall_hist.percentile(0.50),
+            row.wall_hist.percentile(0.90),
+            row.wall_hist.max(),
         );
         if let Some(sim) = row.simulated_perms_per_sec {
             let _ = write!(

@@ -1,0 +1,425 @@
+//! Load generator for the continuous-batching hashing service.
+//!
+//! Drives a [`krv_service::Service`] under two classic serving-bench
+//! disciplines and records the results into `BENCH_service.json`
+//! (repo root):
+//!
+//! * **closed loop** — a fixed number of in-flight bursts: submit a
+//!   burst, wait for every ticket, repeat. Measures sustained service
+//!   throughput, which is compared against hashing the identical
+//!   workload through a *direct* pooled [`hash_batch`] call (no queue,
+//!   no scheduler) — the batching overhead must stay small.
+//! * **open loop** — Poisson arrivals at a configured rate, submitted
+//!   with a deadline, regardless of completions. Measures tail latency
+//!   under load the way a real front-end would experience it.
+//!
+//! Both phases run on a deterministic SplitMix64-seeded workload. The
+//! latency figures come from the service's own
+//! [`krv_testkit::LatencyHistogram`]-backed metrics.
+//!
+//! ```text
+//! loadgen [--smoke] [--seed N] [--rounds N] [--burst N] [--seconds S] [--rate R]
+//! ```
+//!
+//! `--smoke` shrinks the run to CI scale (a couple of seconds) and
+//! turns the health expectations into hard assertions: zero timeouts,
+//! zero rejections, zero worker failures at low load, and closed-loop
+//! service throughput ≥ 85 % of the direct pooled path. It also
+//! verifies the emitted JSON carries every schema field CI greps for.
+//!
+//! Run with: `cargo run --release -p krv-bench --bin loadgen`
+
+use krv_core::EnginePool;
+use krv_service::{HashRequest, MetricsSnapshot, QuantileSummary, Service, ServiceConfig};
+use krv_sha3::{hash_batch, BatchRequest, SpongeParams};
+use krv_testkit::Rng;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Closed-loop message length: a few rate blocks of SHAKE128, so the
+/// simulated compute dominates scheduling overhead and the lockstep
+/// batches pack the pool's state slots fully.
+const CLOSED_MSG_LEN: usize = 600;
+const OUTPUT_LEN: usize = 32;
+/// Deadline handed to every load-generated request. Generous at smoke
+/// load: a miss signals a scheduler stall, not an overloaded host.
+const DEADLINE: Duration = Duration::from_millis(500);
+/// Default workload seed ("load" in hexspeak).
+const DEFAULT_SEED: u64 = 0x10AD_0001;
+/// XOR'd into the seed for the open-loop phase so the two phases draw
+/// independent streams even under a user-supplied `--seed`.
+const OPEN_LOOP_SALT: u64 = 0x04E4_A221;
+
+struct Options {
+    smoke: bool,
+    seed: u64,
+    rounds: usize,
+    burst_batches: usize,
+    open_seconds: f64,
+    open_rate: Option<f64>,
+}
+
+impl Options {
+    fn parse() -> Options {
+        let mut options = Options {
+            smoke: false,
+            seed: DEFAULT_SEED,
+            rounds: 40,
+            burst_batches: 4,
+            open_seconds: 3.0,
+            open_rate: None,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let mut numeric = |name: &str| -> f64 {
+                args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("{name} needs a number");
+                    std::process::exit(2);
+                })
+            };
+            match arg.as_str() {
+                "--smoke" => {
+                    options.smoke = true;
+                    options.rounds = 16;
+                    options.open_seconds = 1.0;
+                }
+                "--seed" => options.seed = numeric("--seed") as u64,
+                "--rounds" => options.rounds = numeric("--rounds") as usize,
+                "--burst" => options.burst_batches = numeric("--burst") as usize,
+                "--seconds" => options.open_seconds = numeric("--seconds"),
+                "--rate" => options.open_rate = Some(numeric("--rate")),
+                "--help" | "-h" => {
+                    println!(
+                        "usage: loadgen [--smoke] [--seed N] [--rounds N] [--burst N] \
+                         [--seconds S] [--rate R]"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown argument `{other}` (try --help)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        options
+    }
+}
+
+fn main() -> std::io::Result<()> {
+    let options = Options::parse();
+    let config = ServiceConfig::default();
+
+    println!(
+        "service loadgen: {} workers × SN {} = {} slots, max_wait {:?}, seed {:#x}",
+        config.workers,
+        config.sn,
+        config.batch_slots(),
+        config.max_wait,
+        options.seed
+    );
+
+    let closed = run_closed_loop(&options, config);
+    println!(
+        "closed loop: {} requests → {:.0} req/s service vs {:.0} req/s direct ({:.1} %), \
+         fill {:.2}, e2e p99 {:.2} ms",
+        closed.requests,
+        closed.service_rps,
+        closed.direct_rps,
+        100.0 * closed.ratio,
+        closed.metrics.mean_batch_fill,
+        closed.metrics.e2e_ns.p99 as f64 / 1e6,
+    );
+
+    let open_rate = options
+        .open_rate
+        .unwrap_or_else(|| (closed.service_rps * 0.3).clamp(200.0, 2000.0));
+    let open = run_open_loop(&options, config, open_rate);
+    println!(
+        "open loop: offered {:.0} req/s for {:.1} s → {} completed, {} timeouts, \
+         {} rejected, e2e p99 {:.2} ms",
+        open.offered_rps,
+        options.open_seconds,
+        open.metrics.completed,
+        open.metrics.timeouts,
+        open.metrics.rejected,
+        open.metrics.e2e_ns.p99 as f64 / 1e6,
+    );
+
+    let json = render_json(&options, config, &closed, &open);
+    std::fs::write("BENCH_service.json", &json)?;
+    println!("wrote BENCH_service.json");
+
+    check_schema(&json);
+    if options.smoke {
+        assert_healthy(&closed, &open);
+        println!("smoke: healthy (no timeouts, rejections or worker failures)");
+    }
+    Ok(())
+}
+
+struct ClosedLoopResult {
+    requests: u64,
+    service_rps: f64,
+    direct_rps: f64,
+    ratio: f64,
+    metrics: MetricsSnapshot,
+}
+
+/// Closed loop: `rounds` bursts of `burst_batches × batch_slots`
+/// uniform-length messages, each burst fully awaited before the next is
+/// submitted. The identical workload then runs as direct pooled
+/// `hash_batch` calls for the overhead comparison.
+fn run_closed_loop(options: &Options, config: ServiceConfig) -> ClosedLoopResult {
+    let burst = options.burst_batches * config.batch_slots();
+    let mut rng = Rng::new(options.seed);
+    let bursts: Vec<Vec<Vec<u8>>> = (0..options.rounds)
+        .map(|_| (0..burst).map(|_| rng.bytes(CLOSED_MSG_LEN)).collect())
+        .collect();
+
+    // Service path. A warm-up round first: the pool spawns lazily and
+    // the kernel image decodes once, neither of which is steady-state.
+    let service = Service::start(config);
+    let warmup: Vec<_> = bursts[0]
+        .iter()
+        .map(|m| service.submit(request(m)).expect("warm-up admitted"))
+        .collect();
+    for ticket in warmup {
+        ticket.wait().result.expect("warm-up completes");
+    }
+    let started = Instant::now();
+    for messages in &bursts {
+        let tickets: Vec<_> = messages
+            .iter()
+            .map(|m| service.submit(request(m)).expect("closed loop fits queue"))
+            .collect();
+        for ticket in tickets {
+            ticket.wait().result.expect("closed-loop request completes");
+        }
+    }
+    let service_elapsed = started.elapsed();
+    let metrics = service.shutdown();
+    let requests = (options.rounds * burst) as u64;
+    let service_rps = requests as f64 / service_elapsed.as_secs_f64();
+
+    // Direct path: the same bursts through pooled `hash_batch`, no
+    // queue, no scheduler thread, no tickets.
+    let mut pool = EnginePool::new(config.kernel, config.sn, config.workers);
+    let warm: Vec<BatchRequest<'_>> = bursts[0]
+        .iter()
+        .map(|m| BatchRequest::new(m, OUTPUT_LEN))
+        .collect();
+    hash_batch(SpongeParams::shake(128), &mut pool, &warm);
+    let started = Instant::now();
+    for messages in &bursts {
+        let direct: Vec<BatchRequest<'_>> = messages
+            .iter()
+            .map(|m| BatchRequest::new(m, OUTPUT_LEN))
+            .collect();
+        hash_batch(SpongeParams::shake(128), &mut pool, &direct);
+    }
+    let direct_elapsed = started.elapsed();
+    let direct_rps = requests as f64 / direct_elapsed.as_secs_f64();
+
+    ClosedLoopResult {
+        requests,
+        service_rps,
+        direct_rps,
+        ratio: service_rps / direct_rps,
+        metrics,
+    }
+}
+
+struct OpenLoopResult {
+    offered_rps: f64,
+    submitted: u64,
+    metrics: MetricsSnapshot,
+}
+
+/// Open loop: Poisson arrivals at `rate` for `open_seconds`, mixing
+/// SHA3-256 and SHAKE128 requests of random length (both sponge
+/// parameter groups cross the scheduler), every request carrying a
+/// deadline. Tickets are dropped on the floor — the service's own
+/// metrics are the measurement.
+fn run_open_loop(options: &Options, config: ServiceConfig, rate: f64) -> OpenLoopResult {
+    let service = Service::start(config);
+    let mut rng = Rng::new(options.seed ^ OPEN_LOOP_SALT);
+    let started = Instant::now();
+    let horizon = Duration::from_secs_f64(options.open_seconds);
+    let mut next_arrival = Duration::ZERO;
+    let mut submitted = 0u64;
+    while next_arrival < horizon {
+        let now = started.elapsed();
+        if now < next_arrival {
+            std::thread::sleep(next_arrival - now);
+        }
+        let len = rng.below(400);
+        let message = rng.bytes(len);
+        let request = if rng.next_bool() {
+            HashRequest::sha3_256(message)
+        } else {
+            HashRequest::shake128(message, OUTPUT_LEN)
+        };
+        // Open loop: a rejection is recorded by the service and the
+        // arrival process keeps going regardless.
+        let _ = service.submit(request.with_deadline(DEADLINE));
+        submitted += 1;
+        // Exponential inter-arrival times — a Poisson process.
+        let uniform = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let gap = -(1.0 - uniform).ln() / rate;
+        next_arrival += Duration::from_secs_f64(gap);
+    }
+    let metrics = service.shutdown();
+    OpenLoopResult {
+        offered_rps: submitted as f64 / options.open_seconds,
+        submitted,
+        metrics,
+    }
+}
+
+fn request(message: &[u8]) -> HashRequest {
+    HashRequest::shake128(message, OUTPUT_LEN).with_deadline(DEADLINE)
+}
+
+fn quantiles_json(label: &str, q: &QuantileSummary) -> String {
+    format!(
+        "\"{label}\": {{ \"count\": {}, \"mean_ns\": {:.0}, \"p50_ns\": {}, \
+         \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {} }}",
+        q.count, q.mean, q.p50, q.p90, q.p99, q.max
+    )
+}
+
+fn render_json(
+    options: &Options,
+    config: ServiceConfig,
+    closed: &ClosedLoopResult,
+    open: &OpenLoopResult,
+) -> String {
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"service\",");
+    let _ = writeln!(json, "  \"seed\": {},", options.seed);
+    let _ = writeln!(json, "  \"smoke\": {},", options.smoke);
+    let _ = writeln!(
+        json,
+        "  \"config\": {{ \"kernel\": \"{}\", \"sn\": {}, \"workers\": {}, \
+         \"batch_slots\": {}, \"queue_capacity\": {}, \"max_wait_us\": {} }},",
+        config.kernel.label(),
+        config.sn,
+        config.workers,
+        config.batch_slots(),
+        config.queue_capacity,
+        config.max_wait.as_micros()
+    );
+    let _ = writeln!(json, "  \"closed_loop\": {{");
+    let _ = writeln!(json, "    \"requests\": {},", closed.requests);
+    let _ = writeln!(json, "    \"message_len\": {CLOSED_MSG_LEN},");
+    let _ = writeln!(
+        json,
+        "    \"service_requests_per_sec\": {:.1},",
+        closed.service_rps
+    );
+    let _ = writeln!(
+        json,
+        "    \"direct_pooled_requests_per_sec\": {:.1},",
+        closed.direct_rps
+    );
+    let _ = writeln!(json, "    \"service_vs_direct\": {:.3},", closed.ratio);
+    let _ = writeln!(
+        json,
+        "    \"mean_batch_fill\": {:.3},",
+        closed.metrics.mean_batch_fill
+    );
+    let _ = writeln!(json, "    \"timeouts\": {},", closed.metrics.timeouts);
+    let _ = writeln!(json, "    \"rejected\": {},", closed.metrics.rejected);
+    let _ = writeln!(
+        json,
+        "    {},",
+        quantiles_json("queue_wait", &closed.metrics.queue_ns)
+    );
+    let _ = writeln!(
+        json,
+        "    {},",
+        quantiles_json("service_time", &closed.metrics.service_ns)
+    );
+    let _ = writeln!(
+        json,
+        "    {}",
+        quantiles_json("e2e_latency", &closed.metrics.e2e_ns)
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"open_loop\": {{");
+    let _ = writeln!(
+        json,
+        "    \"offered_requests_per_sec\": {:.1},",
+        open.offered_rps
+    );
+    let _ = writeln!(json, "    \"seconds\": {:.1},", options.open_seconds);
+    let _ = writeln!(json, "    \"deadline_ms\": {},", DEADLINE.as_millis());
+    let _ = writeln!(json, "    \"submitted\": {},", open.submitted);
+    let _ = writeln!(json, "    \"completed\": {},", open.metrics.completed);
+    let _ = writeln!(json, "    \"timeouts\": {},", open.metrics.timeouts);
+    let _ = writeln!(json, "    \"rejected\": {},", open.metrics.rejected);
+    let _ = writeln!(
+        json,
+        "    \"worker_failures\": {},",
+        open.metrics.worker_failures
+    );
+    let _ = writeln!(
+        json,
+        "    \"mean_batch_fill\": {:.3},",
+        open.metrics.mean_batch_fill
+    );
+    let _ = writeln!(
+        json,
+        "    {}",
+        quantiles_json("e2e_latency", &open.metrics.e2e_ns)
+    );
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+    json
+}
+
+/// Every key CI's schema check greps for. Kept in one place so the
+/// emitter and the check cannot drift apart.
+const SCHEMA_KEYS: &[&str] = &[
+    "\"benchmark\": \"service\"",
+    "\"config\":",
+    "\"batch_slots\":",
+    "\"closed_loop\":",
+    "\"service_requests_per_sec\":",
+    "\"direct_pooled_requests_per_sec\":",
+    "\"service_vs_direct\":",
+    "\"mean_batch_fill\":",
+    "\"queue_wait\":",
+    "\"service_time\":",
+    "\"e2e_latency\":",
+    "\"p99_ns\":",
+    "\"open_loop\":",
+    "\"offered_requests_per_sec\":",
+    "\"timeouts\":",
+    "\"rejected\":",
+    "\"worker_failures\":",
+];
+
+fn check_schema(json: &str) {
+    for key in SCHEMA_KEYS {
+        assert!(
+            json.contains(key),
+            "BENCH_service.json is missing schema key {key}"
+        );
+    }
+    println!("schema: all {} required keys present", SCHEMA_KEYS.len());
+}
+
+fn assert_healthy(closed: &ClosedLoopResult, open: &OpenLoopResult) {
+    assert_eq!(closed.metrics.timeouts, 0, "closed-loop deadline misses");
+    assert_eq!(closed.metrics.rejected, 0, "closed-loop rejections");
+    assert_eq!(closed.metrics.worker_failures, 0, "closed-loop failures");
+    assert_eq!(open.metrics.timeouts, 0, "open-loop deadline misses");
+    assert_eq!(open.metrics.rejected, 0, "open-loop rejections");
+    assert_eq!(open.metrics.worker_failures, 0, "open-loop failures");
+    assert!(
+        closed.ratio >= 0.85,
+        "service sustained only {:.1} % of the direct pooled throughput",
+        100.0 * closed.ratio
+    );
+}

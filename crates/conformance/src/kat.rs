@@ -8,9 +8,11 @@
 //! reference permutation, sponge layer, vector kernels, session path,
 //! engine pool — to an external oracle rather than to itself.
 
-use krv_core::BackendKind;
+use krv_core::{BackendKind, KernelKind};
+use krv_service::{HashRequest, Service, ServiceConfig, Ticket};
 use krv_sha3::{hash_batch, hex, BatchRequest, PermutationBackend, Sponge, SpongeParams};
 use krv_testkit::CaseReport;
+use std::time::Duration;
 
 /// The six FIPS 202 functions, as data.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -277,6 +279,134 @@ pub fn run_suite(kind: &BackendKind, suite: &KatSuite, tier: Tier) -> KatOutcome
 
     KatOutcome {
         backend: kind.label(),
+        algorithm: suite.algorithm.name(),
+        cases,
+        failures,
+    }
+}
+
+/// The pass-matrix row key of the serving path.
+pub const SERVICE_LABEL: &str = "service/e64m8x2";
+
+/// Runs one KAT suite through the serving path: every selected vector is
+/// submitted as an independent request to a continuous-batching
+/// [`Service`] over an engine pool, so the digests additionally cross the
+/// admission queue, the micro-batch scheduler and the supervised
+/// dispatch. The Monte Carlo chain (smoke tier and up) round-trips
+/// sequentially, each link riding its own micro-batch.
+pub fn run_service_suite(suite: &KatSuite, tier: Tier) -> KatOutcome {
+    let service = Service::start(ServiceConfig {
+        kernel: KernelKind::E64Lmul8,
+        sn: 2,
+        workers: 2,
+        queue_capacity: 1024,
+        // A tight window: the KAT burst rarely fills every slot, and the
+        // sequential Monte Carlo chain pays the window on every link.
+        max_wait: Duration::from_micros(50),
+    });
+    let params = suite.algorithm.params();
+    let mut failures = Vec::new();
+    let mut cases = 0;
+    let entries: Vec<&KatEntry> = match tier {
+        Tier::Short => suite.short.iter().collect(),
+        Tier::Smoke | Tier::Full => suite.short.iter().chain(suite.long.iter()).collect(),
+    };
+
+    // One burst: every vector submitted before the first ticket is
+    // awaited, so the scheduler actually forms multi-request batches.
+    let tickets: Vec<Ticket> = entries
+        .iter()
+        .map(|entry| {
+            service
+                .submit(HashRequest::new(
+                    entry.message.bytes(),
+                    params,
+                    entry.output_len,
+                ))
+                .expect("KAT burst fits the queue")
+        })
+        .collect();
+    for (entry, ticket) in entries.iter().zip(tickets) {
+        cases += 1;
+        let completion = ticket.wait();
+        match completion.result {
+            Ok(output) if hex(&output) == entry.digest_hex => {}
+            Ok(output) => failures.push(CaseReport::new(
+                format!("kat/{}/service", suite.algorithm.name()),
+                entry.message.len() as u64,
+                format!(
+                    "message len {} → {} != expected {}",
+                    entry.message.len(),
+                    hex(&output),
+                    entry.digest_hex
+                ),
+            )),
+            Err(error) => failures.push(CaseReport::new(
+                format!("kat/{}/service", suite.algorithm.name()),
+                entry.message.len() as u64,
+                format!(
+                    "message len {} → request failed: {error}",
+                    entry.message.len()
+                ),
+            )),
+        }
+    }
+
+    // Monte Carlo chain: each digest is resubmitted as the next message,
+    // so the chain crosses the queue and scheduler on every iteration.
+    if tier >= Tier::Smoke {
+        let (iterations, expected) = match tier {
+            Tier::Full => suite.monte_full,
+            _ => suite.monte_smoke,
+        };
+        let output_len = suite.algorithm.digest_len().unwrap_or(32);
+        let mut md = pattern_message(32);
+        let mut failed = None;
+        for _ in 0..iterations {
+            let ticket = service
+                .submit(HashRequest::new(md.clone(), params, output_len))
+                .expect("chain link admitted");
+            match ticket.wait().result {
+                Ok(next) => md = next,
+                Err(error) => {
+                    failed = Some(error);
+                    break;
+                }
+            }
+        }
+        cases += 1;
+        if let Some(error) = failed {
+            failures.push(CaseReport::new(
+                format!("kat/{}/service-monte", suite.algorithm.name()),
+                iterations as u64,
+                format!("chain link failed: {error}"),
+            ));
+        } else if hex(&md) != expected {
+            failures.push(CaseReport::new(
+                format!("kat/{}/service-monte", suite.algorithm.name()),
+                iterations as u64,
+                format!(
+                    "{iterations}-iteration chain → {} != expected {expected}",
+                    hex(&md)
+                ),
+            ));
+        }
+    }
+
+    let report = service.shutdown();
+    if report.timeouts != 0 || report.worker_failures != 0 || report.rejected != 0 {
+        failures.push(CaseReport::new(
+            format!("kat/{}/service-health", suite.algorithm.name()),
+            0,
+            format!(
+                "unhealthy serving run: {} timeouts, {} worker failures, {} rejections",
+                report.timeouts, report.worker_failures, report.rejected
+            ),
+        ));
+    }
+
+    KatOutcome {
+        backend: SERVICE_LABEL.to_string(),
         algorithm: suite.algorithm.name(),
         cases,
         failures,

@@ -56,6 +56,6 @@ pub use cache::{prepared_kernel, PreparedKernel};
 pub use device::DeviceSponge;
 pub use engine::{EngineSession, KernelKind, VectorKeccakEngine};
 pub use metrics::KernelMetrics;
-pub use pool::{EngineLoad, EnginePool, PoolMetrics};
+pub use pool::{EngineLoad, EnginePool, PoolError, PoolMetrics};
 pub use programs::{KernelProgram, ProgramMarkers};
 pub use stats::RoundBreakdown;

@@ -39,6 +39,21 @@
 //! engine — the critical path, i.e. what a wall clock would see on real
 //! parallel hardware) shrinks as workers are added. There is a property
 //! test pinning both.
+//!
+//! # Graceful degradation
+//!
+//! A worker that dies — a panic in its thread, or an injected
+//! [`EnginePool::kill_worker`] modelling a failed accelerator — is
+//! discovered by the next dispatch that schedules passes onto it. That
+//! dispatch fails with [`PoolError::WorkerLost`] (its states are left in
+//! an unspecified partially-permuted condition, so callers must retry
+//! from their own inputs), the worker is marked dead, and every
+//! subsequent dispatch reschedules round-robin across the survivors:
+//! [`EnginePool::alive_workers`] and [`EnginePool::capacity`] shrink,
+//! outputs stay bit-identical to the reference, and a pool whose last
+//! worker dies reports [`PoolError::AllWorkersLost`] instead of hanging.
+//! Discovery is path-independent: the inline (single-core) dispatch path
+//! observes a kill exactly like the threaded path does.
 
 use crate::engine::{KernelKind, VectorKeccakEngine};
 use krv_keccak::KeccakState;
@@ -46,6 +61,44 @@ use krv_sha3::PermutationBackend;
 use krv_vproc::Trap;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
+
+/// Why a pool dispatch failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// A kernel faulted (first trap in worker order) — an engine bug,
+    /// as the generated kernels are validated against the reference.
+    Trap(Trap),
+    /// The worker with this index died mid-dispatch (thread panic or
+    /// [`EnginePool::kill_worker`]); its share of the dispatch was not
+    /// permuted. The pool has marked it dead — a retry runs on the
+    /// surviving workers.
+    WorkerLost {
+        /// Index of the lost worker.
+        worker: usize,
+    },
+    /// Every worker has died; the pool cannot dispatch at all.
+    AllWorkersLost,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::Trap(trap) => write!(f, "kernel trapped: {trap:?}"),
+            PoolError::WorkerLost { worker } => {
+                write!(f, "pool worker {worker} died mid-dispatch")
+            }
+            PoolError::AllWorkersLost => write!(f, "every pool worker has died"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+impl From<Trap> for PoolError {
+    fn from(trap: Trap) -> Self {
+        PoolError::Trap(trap)
+    }
+}
 
 /// Work done by one engine during a single [`EnginePool::permute_slice`]
 /// call.
@@ -90,10 +143,14 @@ impl PoolMetrics {
     }
 }
 
-/// One bucket of passes sent to a worker: `(state offset, chunk)` pairs
-/// in schedule order.
-struct WorkerJob {
-    chunks: Vec<(usize, Vec<KeccakState>)>,
+/// A message to a worker thread: one bucket of passes as
+/// `(state offset, chunk)` pairs in schedule order, or the poison pill
+/// [`WorkerJob::Die`] that makes the thread exit abruptly (failure
+/// injection — observably identical to a panic: the channels disconnect
+/// with the bucket unanswered).
+enum WorkerJob {
+    Batch(Vec<(usize, Vec<KeccakState>)>),
+    Die,
 }
 
 /// A worker's answer: the (permuted) chunks handed back for scatter,
@@ -121,10 +178,16 @@ fn spawn_worker(kind: KernelKind, sn: usize) -> Worker {
         // lifetime; the kernel image comes pre-decoded from the
         // process-wide cache, so spawning is cheap.
         let mut engine = VectorKeccakEngine::new(kind, sn);
-        while let Ok(mut job) = job_rx.recv() {
+        while let Ok(job) = job_rx.recv() {
+            let mut chunks = match job {
+                WorkerJob::Batch(chunks) => chunks,
+                // Injected death: exit without replying, exactly like a
+                // panic would — the reply channel disconnects.
+                WorkerJob::Die => break,
+            };
             let mut load = EngineLoad::default();
             let mut trap = None;
-            for (_, chunk) in &mut job.chunks {
+            for (_, chunk) in &mut chunks {
                 if trap.is_some() {
                     break;
                 }
@@ -139,11 +202,7 @@ fn spawn_worker(kind: KernelKind, sn: usize) -> Worker {
                     Err(fault) => trap = Some(fault),
                 }
             }
-            let reply = WorkerReply {
-                chunks: job.chunks,
-                load,
-                trap,
-            };
+            let reply = WorkerReply { chunks, load, trap };
             if reply_tx.send(reply).is_err() {
                 break;
             }
@@ -185,6 +244,12 @@ pub struct EnginePool {
     kind: KernelKind,
     sn: usize,
     workers: Vec<Option<Worker>>,
+    /// Which worker slots still have live "hardware": a slot goes (and
+    /// stays) `false` once a dispatch observes its death.
+    alive: Vec<bool>,
+    /// Failure injection: slots killed via [`Self::kill_worker`] whose
+    /// death the next dispatch touching them will observe.
+    killed: Vec<bool>,
     /// Engine for dispatches that run on the calling thread (single-core
     /// hosts, single-shard dispatches); spawned as lazily as the workers.
     inline_engine: Option<Box<VectorKeccakEngine>>,
@@ -212,6 +277,8 @@ impl EnginePool {
             kind,
             sn,
             workers: (0..workers).map(|_| None).collect(),
+            alive: vec![true; workers],
+            killed: vec![false; workers],
             inline_engine: None,
             host_parallelism: std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
@@ -226,9 +293,15 @@ impl EnginePool {
         self.kind
     }
 
-    /// Number of worker engines (`W`).
+    /// Number of worker engines the pool was configured with (`W`),
+    /// including any that have since died.
     pub fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Workers still alive — `W` until a dispatch observes a death.
+    pub fn alive_workers(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
     }
 
     /// Worker threads actually spawned so far — at most the high-water
@@ -242,9 +315,41 @@ impl EnginePool {
         self.sn
     }
 
-    /// States the whole pool permutes in one parallel step (`W × SN`).
+    /// States the whole pool permutes in one parallel step:
+    /// `alive workers × SN` (shrinks as workers die).
     pub fn capacity(&self) -> usize {
-        self.workers.len() * self.sn
+        self.alive_workers() * self.sn
+    }
+
+    /// Kills a worker's simulated hardware: its thread (if spawned)
+    /// exits abruptly, and the next dispatch that schedules passes onto
+    /// the slot observes the death and fails with
+    /// [`PoolError::WorkerLost`] — on the threaded *and* the inline
+    /// dispatch path alike. Failure injection for supervision drills;
+    /// killing an already-dead worker is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn kill_worker(&mut self, index: usize) {
+        assert!(index < self.workers.len(), "no worker {index}");
+        if !self.alive[index] {
+            return;
+        }
+        if let Some(worker) = self.workers[index].take() {
+            // The thread exits on the poison pill without replying; the
+            // dangling channels are dropped with the Worker struct.
+            let _ = worker.tx.send(WorkerJob::Die);
+            let _ = worker.thread.join();
+        }
+        self.killed[index] = true;
+    }
+
+    /// Marks a worker slot dead after its failure was observed.
+    fn bury_worker(&mut self, index: usize) {
+        self.alive[index] = false;
+        self.killed[index] = false;
+        self.workers[index] = None;
     }
 
     /// Metrics of the most recent dispatch.
@@ -259,19 +364,40 @@ impl EnginePool {
     }
 
     /// Permutes every state in `states`, sharding `SN`-wide passes
-    /// round-robin across the persistent worker threads.
+    /// round-robin across the alive persistent worker threads.
     ///
     /// # Errors
     ///
-    /// Returns the first [`Trap`] (in worker order) if any kernel
-    /// faults — which indicates an engine bug, as the kernels are
-    /// validated against the reference permutation.
-    pub fn permute_slice(&mut self, states: &mut [KeccakState]) -> Result<(), Trap> {
-        let worker_count = self.workers.len();
+    /// Returns [`PoolError::Trap`] on the first kernel fault (in worker
+    /// order) — which indicates an engine bug, as the kernels are
+    /// validated against the reference permutation — or
+    /// [`PoolError::WorkerLost`] / [`PoolError::AllWorkersLost`] when a
+    /// worker's death is observed. After a failed dispatch the slice is
+    /// in an unspecified partially-permuted condition; retry from the
+    /// original inputs.
+    pub fn permute_slice(&mut self, states: &mut [KeccakState]) -> Result<(), PoolError> {
+        if states.is_empty() {
+            self.last_metrics = Some(PoolMetrics {
+                per_engine: vec![EngineLoad::default(); self.workers.len()],
+                passes: 0,
+                effective_workers: 0,
+                total_cycles: 0,
+                max_cycles: 0,
+            });
+            return Ok(());
+        }
+        // Static round-robin over the alive workers: chunk `i` (the
+        // i-th SN-wide slice) runs on the i-mod-A-th survivor, which is
+        // worker `i mod W` while all W are alive. This keeps outputs
+        // and the per-engine cycle ledger independent of thread timing.
+        let alive: Vec<usize> = (0..self.workers.len()).filter(|&w| self.alive[w]).collect();
+        if alive.is_empty() {
+            return Err(PoolError::AllWorkersLost);
+        }
         let passes = states.len().div_ceil(self.sn);
         // A dispatch with fewer passes than workers only touches the
         // leading `passes` workers; the tail stays unspawned and idle.
-        let active = worker_count.min(passes);
+        let active = alive.len().min(passes);
         // Worker threads only pay off when the host can actually run
         // them in parallel: on a single-core host — or for a dispatch
         // that would touch a single worker anyway — run the shards on
@@ -279,42 +405,63 @@ impl EnginePool {
         // per-engine cycle ledger are identical either way (scheduling
         // is static), so this is purely a wall-clock decision.
         if active == 1 || self.host_parallelism == 1 {
-            return self.permute_inline(states, active);
+            return self.permute_inline(states, &alive, active);
         }
-        // Static round-robin assignment: chunk i → worker i mod W. This
-        // keeps both the outputs and the per-engine cycle ledger
-        // independent of thread scheduling.
         let mut buckets: Vec<Vec<(usize, Vec<KeccakState>)>> =
             (0..active).map(|_| Vec::new()).collect();
         for (i, chunk) in states.chunks(self.sn).enumerate() {
-            buckets[i % worker_count].push((i * self.sn, chunk.to_vec()));
+            buckets[i % active].push((i * self.sn, chunk.to_vec()));
         }
-        for (index, chunks) in buckets.into_iter().enumerate() {
+        // Send phase: a worker whose thread died (injected kill, or a
+        // panic that disconnected the channel) is discovered here.
+        let mut lost: Option<usize> = None;
+        let mut dispatched: Vec<usize> = Vec::with_capacity(active);
+        for (slot, chunks) in buckets.into_iter().enumerate() {
+            let index = alive[slot];
+            if self.killed[index] {
+                self.bury_worker(index);
+                lost.get_or_insert(index);
+                continue;
+            }
             if self.workers[index].is_none() {
                 self.workers[index] = Some(spawn_worker(self.kind, self.sn));
             }
             let worker = self.workers[index].as_ref().expect("just spawned");
-            worker
-                .tx
-                .send(WorkerJob { chunks })
-                .expect("pool worker must not panic");
-        }
-        let mut per_engine = vec![EngineLoad::default(); worker_count];
-        let mut first_trap = None;
-        for (index, load) in per_engine.iter_mut().enumerate().take(active) {
-            let worker = self.workers[index].as_ref().expect("active worker spawned");
-            let reply = worker.rx.recv().expect("pool worker must not panic");
-            for (offset, chunk) in reply.chunks {
-                states[offset..offset + chunk.len()].copy_from_slice(&chunk);
+            if worker.tx.send(WorkerJob::Batch(chunks)).is_err() {
+                self.bury_worker(index);
+                lost.get_or_insert(index);
+            } else {
+                dispatched.push(index);
             }
-            *load = reply.load;
-            if first_trap.is_none() {
-                first_trap = reply.trap;
+        }
+        // Collect phase, in worker order regardless of thread timing.
+        let mut per_engine = vec![EngineLoad::default(); self.workers.len()];
+        let mut first_trap = None;
+        for index in dispatched {
+            let worker = self.workers[index].as_ref().expect("dispatched worker");
+            match worker.rx.recv() {
+                Ok(reply) => {
+                    for (offset, chunk) in reply.chunks {
+                        states[offset..offset + chunk.len()].copy_from_slice(&chunk);
+                    }
+                    per_engine[index] = reply.load;
+                    if first_trap.is_none() {
+                        first_trap = reply.trap;
+                    }
+                }
+                Err(_) => {
+                    self.bury_worker(index);
+                    lost.get_or_insert(index);
+                }
             }
         }
         self.permutations += per_engine.iter().map(|load| load.passes).sum::<u64>();
+        if let Some(worker) = lost {
+            self.last_metrics = None;
+            return Err(PoolError::WorkerLost { worker });
+        }
         if let Some(trap) = first_trap {
-            return Err(trap);
+            return Err(PoolError::Trap(trap));
         }
         self.last_metrics = Some(PoolMetrics {
             passes: per_engine.iter().map(|load| load.passes).sum(),
@@ -335,36 +482,55 @@ impl EnginePool {
     }
 
     /// Runs a dispatch on the calling thread, preserving the worker
-    /// semantics exactly: chunk `i` is charged to worker `i mod W`, a
-    /// trap stops only the remaining chunks of *that* worker's bucket,
-    /// and the reported trap is the lowest-numbered worker's.
-    fn permute_inline(&mut self, states: &mut [KeccakState], active: usize) -> Result<(), Trap> {
+    /// semantics exactly: chunk `i` is charged to the worker that would
+    /// run it on the threaded path, a trap stops only the remaining
+    /// chunks of *that* worker's bucket, the reported trap is the
+    /// lowest-numbered worker's — and a killed worker's death is
+    /// observed exactly as a channel disconnect would be.
+    fn permute_inline(
+        &mut self,
+        states: &mut [KeccakState],
+        alive: &[usize],
+        active: usize,
+    ) -> Result<(), PoolError> {
         let worker_count = self.workers.len();
         let engine = self
             .inline_engine
             .get_or_insert_with(|| Box::new(VectorKeccakEngine::new(self.kind, self.sn)));
         let mut per_engine = vec![EngineLoad::default(); worker_count];
         let mut bucket_trap: Vec<Option<Trap>> = vec![None; worker_count];
+        let mut lost: Option<usize> = None;
         for (i, chunk) in states.chunks_mut(self.sn).enumerate() {
-            let bucket = i % worker_count;
-            if bucket_trap[bucket].is_some() {
+            let index = alive[i % active.max(1)];
+            if self.killed[index] {
+                // The simulated hardware behind this slot is dead: its
+                // whole bucket fails, like an unanswered worker reply.
+                lost.get_or_insert(index);
+                continue;
+            }
+            if bucket_trap[index].is_some() {
                 continue;
             }
             match engine.permute_slice(chunk) {
                 Ok(()) => {
-                    let load = &mut per_engine[bucket];
+                    let load = &mut per_engine[index];
                     load.passes += 1;
                     load.cycles += engine
                         .last_metrics()
                         .expect("a pass records metrics")
                         .total_cycles;
                 }
-                Err(fault) => bucket_trap[bucket] = Some(fault),
+                Err(fault) => bucket_trap[index] = Some(fault),
             }
         }
         self.permutations += per_engine.iter().map(|load| load.passes).sum::<u64>();
+        if let Some(worker) = lost {
+            self.bury_worker(worker);
+            self.last_metrics = None;
+            return Err(PoolError::WorkerLost { worker });
+        }
         if let Some(trap) = bucket_trap.into_iter().flatten().next() {
-            return Err(trap);
+            return Err(PoolError::Trap(trap));
         }
         self.last_metrics = Some(PoolMetrics {
             passes: per_engine.iter().map(|load| load.passes).sum(),
@@ -590,6 +756,116 @@ mod tests {
             outputs.windows(2).all(|w| w[0] == w[1]),
             "outputs must be bit-identical for every worker count"
         );
+    }
+
+    /// One killed worker: the dispatch that touches it fails once with
+    /// `WorkerLost`, the pool shrinks, and a retry of the same states
+    /// completes correctly on the survivors.
+    fn check_degradation(host_cores: usize) {
+        let mut pool = EnginePool::new(KernelKind::E64Lmul8, 2, 3);
+        pool.set_host_parallelism(host_cores);
+        // Warm every worker up first so the threaded path kills a
+        // genuinely running thread.
+        let mut warmup = distinct_states(6);
+        pool.permute_slice(&mut warmup).expect("healthy dispatch");
+        assert_eq!(pool.alive_workers(), 3);
+        assert_eq!(pool.capacity(), 6);
+
+        pool.kill_worker(1);
+        let mut states = distinct_states(7);
+        let failed = pool.permute_slice(&mut states);
+        assert_eq!(
+            failed,
+            Err(PoolError::WorkerLost { worker: 1 }),
+            "host_cores={host_cores}"
+        );
+        assert_eq!(pool.alive_workers(), 2);
+        assert_eq!(pool.capacity(), 4, "capacity shrinks with the pool");
+
+        // Retry from the original inputs: the survivors absorb the work.
+        let mut states = distinct_states(7);
+        let mut expected = states.clone();
+        pool.permute_slice(&mut states).expect("degraded dispatch");
+        for state in &mut expected {
+            keccak_f1600(state);
+        }
+        assert_eq!(states, expected, "outputs correct on 2 survivors");
+        let metrics = pool.last_metrics().expect("metrics after success");
+        assert_eq!(metrics.effective_workers, 2, "effective workers drop");
+        assert_eq!(metrics.passes, 4);
+        assert_eq!(metrics.per_engine[1], EngineLoad::default());
+    }
+
+    #[test]
+    fn killed_worker_fails_one_dispatch_then_pool_degrades_inline() {
+        check_degradation(1);
+    }
+
+    #[test]
+    fn killed_worker_fails_one_dispatch_then_pool_degrades_threaded() {
+        check_degradation(8);
+    }
+
+    #[test]
+    fn killing_an_unspawned_worker_is_observed_at_dispatch() {
+        let mut pool = EnginePool::new(KernelKind::E64Lmul8, 2, 2);
+        pool.kill_worker(1);
+        assert_eq!(pool.alive_workers(), 2, "death not yet observed");
+        let mut states = distinct_states(4);
+        assert_eq!(
+            pool.permute_slice(&mut states),
+            Err(PoolError::WorkerLost { worker: 1 })
+        );
+        assert_eq!(pool.alive_workers(), 1);
+        // Idempotent: killing a dead worker again changes nothing.
+        pool.kill_worker(1);
+        let mut states = distinct_states(4);
+        let mut expected = states.clone();
+        pool.permute_slice(&mut states).expect("survivor dispatch");
+        for state in &mut expected {
+            keccak_f1600(state);
+        }
+        assert_eq!(states, expected);
+    }
+
+    #[test]
+    fn losing_every_worker_reports_all_workers_lost() {
+        let mut pool = EnginePool::new(KernelKind::E64Lmul8, 2, 2);
+        pool.kill_worker(0);
+        pool.kill_worker(1);
+        let mut states = distinct_states(4);
+        // Both deaths may be observed across one or two dispatches
+        // depending on which path runs; drain until exhausted.
+        let first = pool.permute_slice(&mut states);
+        assert!(
+            matches!(first, Err(PoolError::WorkerLost { .. })),
+            "{first:?}"
+        );
+        let mut states = distinct_states(4);
+        let mut last = pool.permute_slice(&mut states);
+        if matches!(last, Err(PoolError::WorkerLost { .. })) {
+            let mut states = distinct_states(4);
+            last = pool.permute_slice(&mut states);
+        }
+        assert_eq!(last, Err(PoolError::AllWorkersLost));
+        assert_eq!(pool.alive_workers(), 0);
+        assert_eq!(pool.capacity(), 0);
+        // Empty dispatches still succeed (nothing to schedule).
+        pool.permute_slice(&mut []).expect("empty is a no-op");
+    }
+
+    #[test]
+    fn pool_error_formats_human_readably() {
+        assert_eq!(
+            PoolError::WorkerLost { worker: 3 }.to_string(),
+            "pool worker 3 died mid-dispatch"
+        );
+        assert_eq!(
+            PoolError::AllWorkersLost.to_string(),
+            "every pool worker has died"
+        );
+        let trap: PoolError = Trap::VectorConfig { reason: "test" }.into();
+        assert!(trap.to_string().contains("trapped"));
     }
 
     #[test]

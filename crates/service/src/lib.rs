@@ -1,0 +1,502 @@
+//! A continuous-batching hashing service over the pooled vector engines.
+//!
+//! The paper's engines earn their speedup by keeping all `SN` sponge
+//! states of a vector pass busy; a caller hashing one message at a time
+//! leaves most of the register file idle. This crate closes that gap the
+//! way inference servers do: independent callers [`Service::submit`]
+//! single requests into a bounded admission queue, and a scheduler
+//! thread continuously forms micro-batches sized to the engine pool —
+//! closing a batch as soon as every pooled state slot can be filled, or
+//! when the oldest request has waited [`ServiceConfig::max_wait`] — and
+//! dispatches them through [`krv_sha3::hash_batch`] on a
+//! [`krv_core::EnginePool`].
+//!
+//! Robustness is part of the contract:
+//!
+//! * **Backpressure** — the admission queue is bounded; a full queue
+//!   rejects with [`SubmitError::QueueFull`] instead of growing without
+//!   limit.
+//! * **Deadlines** — a request may carry a deadline; one that expires
+//!   before dispatch completes with [`RequestError::TimedOut`] rather
+//!   than occupying engine slots.
+//! * **Supervision** — a batch that loses a pool worker mid-dispatch is
+//!   retried once on the survivors; if the retry also fails, its tickets
+//!   complete with [`RequestError::WorkerFailure`], and the shrunken
+//!   pool capacity is reflected in every later batch.
+//! * **Graceful drain** — [`Service::shutdown`] stops admission,
+//!   completes everything already queued, and returns the final
+//!   [`MetricsSnapshot`]; every admitted ticket resolves exactly once.
+//!
+//! Every completion carries its [`RequestTiming`], and the service keeps
+//! [`krv_testkit::LatencyHistogram`]s of queue wait, service time and
+//! end-to-end latency, summarized as p50/p90/p99 by [`Service::metrics`].
+//!
+//! # Example
+//!
+//! ```
+//! use krv_service::{HashRequest, Service, ServiceConfig};
+//! use krv_sha3::Sha3_256;
+//!
+//! let service = Service::start(ServiceConfig::default());
+//! let ticket = service.submit(HashRequest::sha3_256(b"abc")).unwrap();
+//! let completion = ticket.wait();
+//! assert_eq!(completion.result.unwrap(), Sha3_256::digest(b"abc"));
+//! let report = service.shutdown();
+//! assert_eq!(report.completed, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod scheduler;
+mod ticket;
+
+pub use metrics::{MetricsSnapshot, QuantileSummary};
+pub use ticket::{Completion, RequestError, RequestTiming, Ticket};
+
+use krv_core::KernelKind;
+use krv_sha3::SpongeParams;
+use scheduler::{Scheduler, Shared};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How a [`Service`] is shaped: the pool it runs and the batching knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Kernel every pooled engine runs.
+    pub kernel: KernelKind,
+    /// States per engine pass (`SN`).
+    pub sn: usize,
+    /// Worker engines in the pool.
+    pub workers: usize,
+    /// Admission queue bound; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Longest the oldest queued request waits before its batch closes
+    /// under-full. Trades tail latency against batch fill.
+    pub max_wait: Duration,
+}
+
+impl Default for ServiceConfig {
+    /// The paper's fastest kernel on a small pool: 2 workers × `SN` = 4,
+    /// a 1024-deep queue, and a 500 µs batching window.
+    fn default() -> Self {
+        Self {
+            kernel: KernelKind::E64Lmul8,
+            sn: 4,
+            workers: 2,
+            queue_capacity: 1024,
+            max_wait: Duration::from_micros(500),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// State slots a fully-fit batch fills: `workers × SN`.
+    pub fn batch_slots(&self) -> usize {
+        self.workers * self.sn
+    }
+}
+
+/// One hashing request: a message, the sponge to run it through, and how
+/// many output bytes to squeeze.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashRequest {
+    /// The message to hash.
+    pub message: Vec<u8>,
+    /// The FIPS-202 sponge parameters (rate + domain separator).
+    pub params: SpongeParams,
+    /// Output bytes to squeeze.
+    pub output_len: usize,
+    /// Deadline relative to admission: a request still queued when it
+    /// expires completes as [`RequestError::TimedOut`]. `None` waits
+    /// indefinitely.
+    pub deadline: Option<Duration>,
+}
+
+impl HashRequest {
+    /// A request with explicit sponge parameters and no deadline.
+    pub fn new(message: impl Into<Vec<u8>>, params: SpongeParams, output_len: usize) -> Self {
+        Self {
+            message: message.into(),
+            params,
+            output_len,
+            deadline: None,
+        }
+    }
+
+    /// A SHA3-256 request (32-byte digest).
+    pub fn sha3_256(message: impl Into<Vec<u8>>) -> Self {
+        Self::new(message, SpongeParams::sha3(256), 32)
+    }
+
+    /// A SHAKE128 request squeezing `output_len` bytes.
+    pub fn shake128(message: impl Into<Vec<u8>>, output_len: usize) -> Self {
+        Self::new(message, SpongeParams::shake(128), output_len)
+    }
+
+    /// Attaches a deadline (relative to admission).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Why a submission was refused at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full — backpressure; retry later or shed
+    /// load.
+    QueueFull {
+        /// Queue depth at the time of rejection.
+        depth: usize,
+    },
+    /// The service is draining; no new requests are admitted.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { depth } => {
+                write!(f, "admission queue full at depth {depth}")
+            }
+            SubmitError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A running hashing service: a scheduler thread batching requests onto
+/// an [`krv_core::EnginePool`].
+///
+/// Handles are shareable across submitting threads (`&Service` is all
+/// submission needs); dropping the service closes the queue, drains it
+/// and joins the scheduler.
+#[derive(Debug)]
+pub struct Service {
+    shared: Arc<Shared>,
+    config: ServiceConfig,
+    scheduler: Option<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts the scheduler thread and its engine pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sn`, `workers` or `queue_capacity` is zero.
+    pub fn start(config: ServiceConfig) -> Self {
+        assert!(config.sn > 0, "each engine needs at least one state slot");
+        assert!(config.workers > 0, "the pool needs at least one worker");
+        assert!(config.queue_capacity > 0, "the queue needs capacity");
+        let shared = Arc::new(Shared::new(&config));
+        let scheduler = Scheduler::new(Arc::clone(&shared), &config);
+        let handle = std::thread::Builder::new()
+            .name("krv-service-scheduler".into())
+            .spawn(move || scheduler.run())
+            .expect("spawn scheduler thread");
+        Self {
+            shared,
+            config,
+            scheduler: Some(handle),
+        }
+    }
+
+    /// The configuration the service was started with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Submits a request, returning the ticket its completion arrives
+    /// on.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] when the bounded queue is at capacity,
+    /// [`SubmitError::ShuttingDown`] once draining has begun.
+    pub fn submit(&self, request: HashRequest) -> Result<Ticket, SubmitError> {
+        self.shared.submit(request)
+    }
+
+    /// A point-in-time snapshot of the service's instrumentation.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let queue_depth = self.shared.queue_depth();
+        self.shared
+            .stats
+            .lock()
+            .expect("stats lock")
+            .snapshot(queue_depth)
+    }
+
+    /// Stops admission without waiting for the drain: subsequent
+    /// [`Self::submit`] calls fail with [`SubmitError::ShuttingDown`]
+    /// while already-admitted requests still complete.
+    pub fn close(&self) {
+        self.shared.close();
+    }
+
+    /// Kills a pool worker at the next batch boundary — a supervision
+    /// drill. The affected batch fails, is retried on the survivors, and
+    /// later batches shrink to the surviving capacity. An out-of-range
+    /// or already-dead index is ignored.
+    pub fn inject_worker_failure(&self, worker: usize) {
+        self.shared.request_kill(worker);
+    }
+
+    /// Graceful shutdown: stops admission, drains every queued request,
+    /// joins the scheduler and returns the final metrics.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.stop();
+        self.metrics()
+    }
+
+    fn stop(&mut self) {
+        self.shared.close();
+        if let Some(handle) = self.scheduler.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    /// Same as [`Self::shutdown`], discarding the final metrics.
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krv_sha3::{Sha3_256, Sha3_512, Shake128};
+    use krv_testkit::Rng;
+
+    /// A tight batching window so single-burst tests complete quickly.
+    fn fast_config() -> ServiceConfig {
+        ServiceConfig {
+            max_wait: Duration::from_micros(200),
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn served_digests_match_the_reference_functions() {
+        let service = Service::start(fast_config());
+        let mut rng = Rng::new(0x5EED);
+        let messages: Vec<Vec<u8>> = (0..42).map(|i| rng.bytes(i * 7 % 300)).collect();
+        let tickets: Vec<Ticket> = messages
+            .iter()
+            .enumerate()
+            .map(|(i, message)| {
+                let request = match i % 3 {
+                    0 => HashRequest::sha3_256(message.clone()),
+                    1 => HashRequest::shake128(message.clone(), 16 + i),
+                    _ => HashRequest::new(message.clone(), SpongeParams::sha3(512), 64),
+                };
+                service.submit(request).expect("queue has room")
+            })
+            .collect();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let completion = ticket.wait();
+            let digest = completion.result.expect("request succeeds");
+            match i % 3 {
+                0 => assert_eq!(digest, Sha3_256::digest(&messages[i]), "sha3-256 #{i}"),
+                1 => assert_eq!(digest, Shake128::digest(&messages[i], 16 + i), "shake #{i}"),
+                _ => assert_eq!(digest, Sha3_512::digest(&messages[i]), "sha3-512 #{i}"),
+            }
+            assert!(completion.timing.batch_size >= 1);
+            assert!(completion.timing.total >= completion.timing.queue);
+            assert!(!completion.timing.retried);
+        }
+        let report = service.shutdown();
+        assert_eq!(report.submitted, 42);
+        assert_eq!(report.completed, 42);
+        assert_eq!(report.timeouts, 0);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.worker_failures, 0);
+        assert_eq!(report.e2e_ns.count, 42);
+        assert!(report.e2e_ns.p50 <= report.e2e_ns.p99);
+        assert!(report.e2e_ns.p99 <= report.e2e_ns.max);
+        assert!(report.mean_batch_fill > 0.0 && report.mean_batch_fill <= 1.0);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_backpressure() {
+        // Queue bound 4, batch threshold 8, a 5 s window: the scheduler
+        // cannot close a batch before the queue fills, so the fifth
+        // submission is deterministically rejected.
+        let service = Service::start(ServiceConfig {
+            queue_capacity: 4,
+            max_wait: Duration::from_secs(5),
+            ..ServiceConfig::default()
+        });
+        for i in 0..4u8 {
+            service
+                .submit(HashRequest::sha3_256(vec![i; 16]))
+                .expect("under the bound");
+        }
+        let rejected = service.submit(HashRequest::sha3_256(vec![9; 16]));
+        assert_eq!(rejected.unwrap_err(), SubmitError::QueueFull { depth: 4 });
+        // Shutdown drains the four queued requests despite the window.
+        let report = service.shutdown();
+        assert_eq!(report.completed, 4);
+        assert_eq!(report.rejected, 1);
+        assert_eq!(report.queue_depth, 0);
+    }
+
+    #[test]
+    fn expired_deadlines_complete_as_timeouts() {
+        let service = Service::start(fast_config());
+        let tickets: Vec<Ticket> = (0..3u8)
+            .map(|i| {
+                service
+                    .submit(HashRequest::sha3_256(vec![i; 32]).with_deadline(Duration::ZERO))
+                    .expect("admitted")
+            })
+            .collect();
+        for ticket in tickets {
+            let completion = ticket.wait();
+            assert_eq!(completion.result, Err(RequestError::TimedOut));
+            assert_eq!(completion.timing.service, Duration::ZERO);
+        }
+        let report = service.shutdown();
+        assert_eq!(report.timeouts, 3);
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.e2e_ns.count, 0, "timeouts stay out of latency");
+    }
+
+    #[test]
+    fn close_stops_admission_but_still_drains() {
+        let service = Service::start(ServiceConfig {
+            max_wait: Duration::from_secs(5),
+            ..ServiceConfig::default()
+        });
+        let ticket = service
+            .submit(HashRequest::sha3_256(b"queued before close"))
+            .expect("open");
+        service.close();
+        assert_eq!(
+            service.submit(HashRequest::sha3_256(b"late")).unwrap_err(),
+            SubmitError::ShuttingDown
+        );
+        // The queued request still completes, well before the 5 s
+        // window, because closing wakes the scheduler into its drain.
+        let completion = ticket.wait();
+        assert_eq!(
+            completion.result.expect("drained"),
+            Sha3_256::digest(b"queued before close")
+        );
+        let report = service.shutdown();
+        assert_eq!(report.completed, 1);
+    }
+
+    #[test]
+    fn injected_worker_death_is_retried_and_capacity_shrinks() {
+        // slots = 2 workers × SN 2 = 4; the batch closes only when all
+        // four requests are queued, so it spans both workers and the
+        // killed one is discovered mid-dispatch.
+        let service = Service::start(ServiceConfig {
+            sn: 2,
+            workers: 2,
+            max_wait: Duration::from_secs(2),
+            ..ServiceConfig::default()
+        });
+        service.inject_worker_failure(1);
+        let messages: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 64]).collect();
+        let tickets: Vec<Ticket> = messages
+            .iter()
+            .map(|m| service.submit(HashRequest::sha3_256(m.clone())).unwrap())
+            .collect();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let completion = ticket.wait();
+            assert_eq!(
+                completion.result.expect("retry succeeds"),
+                Sha3_256::digest(&messages[i]),
+                "request #{i} correct after the retry"
+            );
+            assert!(completion.timing.retried, "the killed batch retried");
+        }
+        let report = service.shutdown();
+        assert_eq!(report.completed, 4);
+        assert_eq!(report.worker_failures, 0);
+        assert_eq!(report.retries, 1, "one batch group retried once");
+        assert_eq!(report.alive_workers, 1);
+        assert_eq!(report.batch_slots, 2, "capacity shrank to the survivor");
+    }
+
+    #[test]
+    fn losing_every_worker_fails_tickets_cleanly() {
+        let service = Service::start(ServiceConfig {
+            sn: 2,
+            workers: 2,
+            max_wait: Duration::from_secs(2),
+            ..ServiceConfig::default()
+        });
+        service.inject_worker_failure(0);
+        service.inject_worker_failure(1);
+        let tickets: Vec<Ticket> = (0..4u8)
+            .map(|i| service.submit(HashRequest::sha3_256(vec![i; 32])).unwrap())
+            .collect();
+        for ticket in tickets {
+            let completion = ticket.wait();
+            assert!(
+                matches!(completion.result, Err(RequestError::WorkerFailure { .. })),
+                "no workers left: {:?}",
+                completion.result
+            );
+            assert!(completion.timing.retried);
+        }
+        // A follow-up request fails fast too (batches of 1, no hang).
+        let late = service
+            .submit(HashRequest::sha3_256(b"afterwards"))
+            .expect("admission is still open")
+            .wait();
+        assert!(matches!(
+            late.result,
+            Err(RequestError::WorkerFailure {
+                error: krv_core::PoolError::AllWorkersLost
+            })
+        ));
+        let report = service.shutdown();
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.worker_failures, 5);
+        assert_eq!(report.alive_workers, 0);
+    }
+
+    #[test]
+    fn config_accessors_and_defaults_are_consistent() {
+        let config = ServiceConfig::default();
+        assert_eq!(config.batch_slots(), config.workers * config.sn);
+        let service = Service::start(config);
+        assert_eq!(service.config(), &config);
+        let metrics = service.metrics();
+        assert_eq!(metrics.batch_slots, config.batch_slots());
+        assert_eq!(metrics.alive_workers, config.workers);
+        assert_eq!(metrics.queue_depth, 0);
+        assert_eq!(metrics.batches, 0);
+        assert_eq!(metrics.mean_batch_fill, 0.0);
+    }
+
+    #[test]
+    fn submit_errors_format_human_readably() {
+        assert_eq!(
+            SubmitError::QueueFull { depth: 7 }.to_string(),
+            "admission queue full at depth 7"
+        );
+        assert_eq!(
+            SubmitError::ShuttingDown.to_string(),
+            "service is shutting down"
+        );
+        assert_eq!(
+            RequestError::TimedOut.to_string(),
+            "deadline elapsed before the request was dispatched"
+        );
+        let failure = RequestError::WorkerFailure {
+            error: krv_core::PoolError::AllWorkersLost,
+        };
+        assert!(failure.to_string().contains("after retry"));
+    }
+}

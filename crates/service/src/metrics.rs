@@ -1,0 +1,174 @@
+//! Service instrumentation: counters, batch-fill accounting and latency
+//! histograms, snapshotted for callers as [`MetricsSnapshot`].
+
+use crate::ServiceConfig;
+use krv_testkit::LatencyHistogram;
+
+/// Percentile summary of one latency distribution, in nanoseconds.
+///
+/// Percentiles inherit the ≤ 6.25 % bucket quantization of
+/// [`LatencyHistogram`]; `mean` and `max` are exact.
+///
+/// # Example
+///
+/// ```
+/// use krv_service::QuantileSummary;
+/// use krv_testkit::LatencyHistogram;
+///
+/// let mut hist = LatencyHistogram::new();
+/// for v in 1..=100u64 {
+///     hist.record(v * 1000);
+/// }
+/// let summary = QuantileSummary::from_histogram(&hist);
+/// assert_eq!(summary.count, 100);
+/// assert_eq!(summary.max, 100_000);
+/// assert!(summary.p50 <= summary.p90 && summary.p90 <= summary.p99);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantileSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact arithmetic mean (0.0 when empty).
+    pub mean: f64,
+    /// 50th percentile.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Exact largest sample (0 when empty).
+    pub max: u64,
+}
+
+impl QuantileSummary {
+    /// Summarizes a histogram.
+    pub fn from_histogram(hist: &LatencyHistogram) -> Self {
+        Self {
+            count: hist.count(),
+            mean: hist.mean(),
+            p50: hist.percentile(0.50),
+            p90: hist.percentile(0.90),
+            p99: hist.percentile(0.99),
+            max: hist.max(),
+        }
+    }
+}
+
+/// The scheduler-side ledger behind [`MetricsSnapshot`]. Latency
+/// histograms record **successful** requests only; rejected, timed-out
+/// and failed requests are counted instead, so the tail percentiles
+/// describe served traffic.
+#[derive(Debug)]
+pub(crate) struct ServiceStats {
+    /// Requests admitted into the queue.
+    pub submitted: u64,
+    /// Requests completed with a digest.
+    pub completed: u64,
+    /// Requests whose deadline elapsed before dispatch.
+    pub timeouts: u64,
+    /// Requests refused at admission because the queue was full.
+    pub rejected: u64,
+    /// Requests failed after their batch's single retry also failed.
+    pub worker_failures: u64,
+    /// Batch groups retried after losing a pool worker.
+    pub retries: u64,
+    /// Batches dispatched (including all-timeout batches).
+    pub batches: u64,
+    /// Sum of per-batch fill ratios (`batch_size / batch_slots`).
+    pub fill_sum: f64,
+    /// Pool workers alive as of the last dispatched batch.
+    pub alive_workers: usize,
+    /// State slots a batch can fill as of the last dispatched batch.
+    pub batch_slots: usize,
+    /// Admission → batch formation wait.
+    pub queue_wait: LatencyHistogram,
+    /// Batch dispatch duration, per request.
+    pub service_time: LatencyHistogram,
+    /// Admission → completion, end to end.
+    pub e2e: LatencyHistogram,
+}
+
+impl ServiceStats {
+    pub(crate) fn new(config: &ServiceConfig) -> Self {
+        Self {
+            submitted: 0,
+            completed: 0,
+            timeouts: 0,
+            rejected: 0,
+            worker_failures: 0,
+            retries: 0,
+            batches: 0,
+            fill_sum: 0.0,
+            alive_workers: config.workers,
+            batch_slots: config.batch_slots(),
+            queue_wait: LatencyHistogram::new(),
+            service_time: LatencyHistogram::new(),
+            e2e: LatencyHistogram::new(),
+        }
+    }
+
+    pub(crate) fn snapshot(&self, queue_depth: usize) -> MetricsSnapshot {
+        MetricsSnapshot {
+            submitted: self.submitted,
+            completed: self.completed,
+            timeouts: self.timeouts,
+            rejected: self.rejected,
+            worker_failures: self.worker_failures,
+            retries: self.retries,
+            batches: self.batches,
+            queue_depth,
+            mean_batch_fill: if self.batches == 0 {
+                0.0
+            } else {
+                self.fill_sum / self.batches as f64
+            },
+            alive_workers: self.alive_workers,
+            batch_slots: self.batch_slots,
+            queue_ns: QuantileSummary::from_histogram(&self.queue_wait),
+            service_ns: QuantileSummary::from_histogram(&self.service_time),
+            e2e_ns: QuantileSummary::from_histogram(&self.e2e),
+        }
+    }
+}
+
+/// A point-in-time copy of the service's instrumentation, from
+/// [`Service::metrics`](crate::Service::metrics) or as the final report
+/// of [`Service::shutdown`](crate::Service::shutdown).
+///
+/// The counters tie out: every admitted request ends in exactly one of
+/// `completed`, `timeouts` or `worker_failures` (or is still queued /
+/// in flight), and `rejected` counts submissions that were never
+/// admitted at all.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests admitted into the queue.
+    pub submitted: u64,
+    /// Requests completed with a digest.
+    pub completed: u64,
+    /// Requests whose deadline elapsed before dispatch.
+    pub timeouts: u64,
+    /// Submissions refused with a full queue.
+    pub rejected: u64,
+    /// Requests failed after a batch retry also failed.
+    pub worker_failures: u64,
+    /// Batch groups retried after losing a pool worker.
+    pub retries: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Requests queued at snapshot time.
+    pub queue_depth: usize,
+    /// Mean batch fill ratio (`batch_size / batch_slots`, 1.0 = every
+    /// pooled state slot used).
+    pub mean_batch_fill: f64,
+    /// Pool workers alive as of the last dispatched batch.
+    pub alive_workers: usize,
+    /// State slots a batch can fill as of the last dispatched batch
+    /// (shrinks when workers die).
+    pub batch_slots: usize,
+    /// Queue-wait latency of successful requests, nanoseconds.
+    pub queue_ns: QuantileSummary,
+    /// Service-time latency of successful requests, nanoseconds.
+    pub service_ns: QuantileSummary,
+    /// End-to-end latency of successful requests, nanoseconds.
+    pub e2e_ns: QuantileSummary,
+}

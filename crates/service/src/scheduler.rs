@@ -1,0 +1,353 @@
+//! The shared admission queue and the batching scheduler thread.
+//!
+//! Lock discipline: the queue mutex and the stats mutex are never held
+//! simultaneously except in admission, which acquires queue → stats;
+//! nothing acquires them in the other order, and ticket cells are only
+//! locked while holding neither.
+
+use crate::metrics::ServiceStats;
+use crate::ticket::{Completion, RequestError, RequestTiming, Ticket, TicketCell};
+use crate::{HashRequest, ServiceConfig, SubmitError};
+use krv_core::{EnginePool, PoolError};
+use krv_keccak::KeccakState;
+use krv_sha3::{hash_batch, BatchRequest, PermutationBackend, SpongeParams};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One admitted request waiting for a batch.
+#[derive(Debug)]
+pub(crate) struct Pending {
+    pub request: HashRequest,
+    pub ticket: Arc<TicketCell>,
+    pub enqueued: Instant,
+}
+
+/// Everything behind the queue mutex.
+#[derive(Debug)]
+pub(crate) struct QueueState {
+    pub queue: VecDeque<Pending>,
+    /// `false` once shutdown begins: admission refuses, the scheduler
+    /// drains what is queued and then exits.
+    pub open: bool,
+    /// Failure-injection drills: worker indices the scheduler kills at
+    /// the next batch boundary.
+    pub kill_requests: Vec<usize>,
+}
+
+/// State shared between the submitting callers and the scheduler thread.
+#[derive(Debug)]
+pub(crate) struct Shared {
+    pub state: Mutex<QueueState>,
+    /// Signalled on every admission, close and kill request.
+    pub arrivals: Condvar,
+    pub stats: Mutex<ServiceStats>,
+    pub queue_capacity: usize,
+}
+
+impl Shared {
+    pub fn new(config: &ServiceConfig) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                open: true,
+                kill_requests: Vec::new(),
+            }),
+            arrivals: Condvar::new(),
+            stats: Mutex::new(ServiceStats::new(config)),
+            queue_capacity: config.queue_capacity,
+        }
+    }
+
+    /// Admission: bounded, with explicit rejection — the backpressure
+    /// half of the service contract.
+    pub fn submit(&self, request: HashRequest) -> Result<Ticket, SubmitError> {
+        let mut state = self.state.lock().expect("queue lock");
+        if !state.open {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if state.queue.len() >= self.queue_capacity {
+            let depth = state.queue.len();
+            self.stats.lock().expect("stats lock").rejected += 1;
+            return Err(SubmitError::QueueFull { depth });
+        }
+        let cell = Arc::new(TicketCell::default());
+        state.queue.push_back(Pending {
+            request,
+            ticket: Arc::clone(&cell),
+            enqueued: Instant::now(),
+        });
+        self.stats.lock().expect("stats lock").submitted += 1;
+        drop(state);
+        self.arrivals.notify_all();
+        Ok(Ticket { cell })
+    }
+
+    /// Stops admission; the scheduler drains the queue and exits.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").open = false;
+        self.arrivals.notify_all();
+    }
+
+    /// Queues a worker kill for the scheduler to apply at the next batch
+    /// boundary.
+    pub fn request_kill(&self, worker: usize) {
+        self.state
+            .lock()
+            .expect("queue lock")
+            .kill_requests
+            .push(worker);
+        self.arrivals.notify_all();
+    }
+
+    /// Requests currently queued.
+    pub fn queue_depth(&self) -> usize {
+        self.state.lock().expect("queue lock").queue.len()
+    }
+}
+
+/// Routes `hash_batch`'s permutation calls to the pool, latching the
+/// first dispatch error instead of panicking: after an error every
+/// further permute is a no-op, `hash_batch` terminates normally (its
+/// schedule is driven by message lengths, not state contents) and the
+/// caller discards the garbage digests and handles the error.
+struct SupervisedBackend<'a> {
+    pool: &'a mut EnginePool,
+    error: &'a mut Option<PoolError>,
+}
+
+impl PermutationBackend for SupervisedBackend<'_> {
+    fn permute_all(&mut self, states: &mut [KeccakState]) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(error) = self.pool.permute_slice(states) {
+            *self.error = Some(error);
+        }
+    }
+
+    fn parallel_states(&self) -> usize {
+        // Never 0, even with every worker dead: `hash_batch` sizes its
+        // packing against this.
+        self.pool.capacity().max(1)
+    }
+}
+
+/// The scheduler thread: owns the engine pool, forms micro-batches from
+/// the shared queue and resolves tickets.
+pub(crate) struct Scheduler {
+    shared: Arc<Shared>,
+    pool: EnginePool,
+    max_wait: Duration,
+}
+
+impl Scheduler {
+    pub fn new(shared: Arc<Shared>, config: &ServiceConfig) -> Self {
+        Self {
+            shared,
+            pool: EnginePool::new(config.kernel, config.sn, config.workers),
+            max_wait: config.max_wait,
+        }
+    }
+
+    /// Serves until the queue is closed and drained.
+    pub fn run(mut self) {
+        while let Some(batch) = self.next_batch() {
+            self.process_batch(batch);
+        }
+    }
+
+    /// Blocks until a batch closes: every pool slot fillable, the oldest
+    /// request aged past `max_wait`, or shutdown draining the remainder.
+    /// Returns `None` once the queue is closed and empty.
+    fn next_batch(&mut self) -> Option<Vec<Pending>> {
+        let mut state = self.shared.state.lock().expect("queue lock");
+        loop {
+            if !state.kill_requests.is_empty() {
+                let kills = std::mem::take(&mut state.kill_requests);
+                drop(state);
+                for worker in kills {
+                    if worker < self.pool.workers() {
+                        self.pool.kill_worker(worker);
+                    }
+                }
+                state = self.shared.state.lock().expect("queue lock");
+                continue;
+            }
+            // Slots are re-read every pass: a worker death observed by
+            // the previous batch shrinks the close threshold too.
+            let slots = self.pool.capacity().max(1);
+            let draining = !state.open && !state.queue.is_empty();
+            if state.queue.len() >= slots || draining {
+                let take = state.queue.len().min(slots);
+                return Some(state.queue.drain(..take).collect());
+            }
+            if !state.open {
+                return None;
+            }
+            match state.queue.front() {
+                Some(oldest) => {
+                    let age = oldest.enqueued.elapsed();
+                    if age >= self.max_wait {
+                        let take = state.queue.len().min(slots);
+                        return Some(state.queue.drain(..take).collect());
+                    }
+                    state = self
+                        .shared
+                        .arrivals
+                        .wait_timeout(state, self.max_wait - age)
+                        .expect("queue lock")
+                        .0;
+                }
+                None => {
+                    state = self.shared.arrivals.wait(state).expect("queue lock");
+                }
+            }
+        }
+    }
+
+    /// Dispatches one closed batch: expires overdue requests, groups the
+    /// rest by sponge parameters, hashes each group through the pool
+    /// (retrying once on a lost worker) and resolves every ticket.
+    fn process_batch(&mut self, batch: Vec<Pending>) {
+        let formed = Instant::now();
+        let slots = self.pool.capacity().max(1);
+        let batch_size = batch.len();
+
+        // Deadline check happens exactly once, at batch formation: an
+        // expired request completes as TimedOut without costing a slot.
+        let mut timeouts = 0u64;
+        let mut live: Vec<Pending> = Vec::with_capacity(batch_size);
+        for pending in batch {
+            let waited = formed.duration_since(pending.enqueued);
+            if pending.request.deadline.is_some_and(|d| waited >= d) {
+                pending.ticket.complete(Completion {
+                    result: Err(RequestError::TimedOut),
+                    timing: RequestTiming {
+                        queue: waited,
+                        service: Duration::ZERO,
+                        total: waited,
+                        batch_size,
+                        batch_slots: slots,
+                        retried: false,
+                    },
+                });
+                timeouts += 1;
+            } else {
+                live.push(pending);
+            }
+        }
+
+        // `hash_batch` takes one parameter set, so a mixed batch
+        // dispatches as one group per distinct SpongeParams (order
+        // preserved; in practice a handful of FIPS-202 variants).
+        let mut groups: Vec<(SpongeParams, Vec<usize>)> = Vec::new();
+        for (i, pending) in live.iter().enumerate() {
+            match groups
+                .iter_mut()
+                .find(|(params, _)| *params == pending.request.params)
+            {
+                Some((_, members)) => members.push(i),
+                None => groups.push((pending.request.params, vec![i])),
+            }
+        }
+
+        let mut retries = 0u64;
+        let mut completed = 0u64;
+        let mut failures = 0u64;
+        let mut samples: Vec<(Duration, Duration, Duration)> = Vec::with_capacity(live.len());
+        for (params, members) in &groups {
+            let requests: Vec<BatchRequest<'_>> = members
+                .iter()
+                .map(|&i| BatchRequest::new(&live[i].request.message, live[i].request.output_len))
+                .collect();
+            let started = Instant::now();
+            let mut retried = false;
+            let mut outcome = self.supervised_hash(*params, &requests);
+            if outcome.is_err() {
+                // Supervision: one retry on the survivors. The failed
+                // attempt left only scratch states dirty — requests are
+                // re-hashed from their original messages.
+                retried = true;
+                retries += 1;
+                outcome = self.supervised_hash(*params, &requests);
+            }
+            let service = started.elapsed();
+            match outcome {
+                Ok(digests) => {
+                    for (&i, digest) in members.iter().zip(digests) {
+                        let pending = &live[i];
+                        let queue = formed.duration_since(pending.enqueued);
+                        let total = pending.enqueued.elapsed();
+                        samples.push((queue, service, total));
+                        pending.ticket.complete(Completion {
+                            result: Ok(digest),
+                            timing: RequestTiming {
+                                queue,
+                                service,
+                                total,
+                                batch_size,
+                                batch_slots: slots,
+                                retried,
+                            },
+                        });
+                    }
+                    completed += members.len() as u64;
+                }
+                Err(error) => {
+                    for &i in members {
+                        let pending = &live[i];
+                        pending.ticket.complete(Completion {
+                            result: Err(RequestError::WorkerFailure {
+                                error: error.clone(),
+                            }),
+                            timing: RequestTiming {
+                                queue: formed.duration_since(pending.enqueued),
+                                service,
+                                total: pending.enqueued.elapsed(),
+                                batch_size,
+                                batch_slots: slots,
+                                retried,
+                            },
+                        });
+                    }
+                    failures += members.len() as u64;
+                }
+            }
+        }
+
+        let mut stats = self.shared.stats.lock().expect("stats lock");
+        stats.batches += 1;
+        stats.fill_sum += batch_size as f64 / slots as f64;
+        stats.timeouts += timeouts;
+        stats.retries += retries;
+        stats.completed += completed;
+        stats.worker_failures += failures;
+        for (queue, service, total) in samples {
+            stats.queue_wait.record_duration(queue);
+            stats.service_time.record_duration(service);
+            stats.e2e.record_duration(total);
+        }
+        stats.alive_workers = self.pool.alive_workers();
+        stats.batch_slots = self.pool.capacity().max(1);
+    }
+
+    /// One supervised `hash_batch` attempt: digests, or the first pool
+    /// error the dispatch hit.
+    fn supervised_hash(
+        &mut self,
+        params: SpongeParams,
+        requests: &[BatchRequest<'_>],
+    ) -> Result<Vec<Vec<u8>>, PoolError> {
+        let mut error = None;
+        let backend = SupervisedBackend {
+            pool: &mut self.pool,
+            error: &mut error,
+        };
+        let digests = hash_batch(params, backend, requests);
+        match error {
+            None => Ok(digests),
+            Some(error) => Err(error),
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Completion tickets: the caller's handle to an in-flight request.
+
+use krv_core::PoolError;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a submitted request did not produce a digest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// The request's deadline elapsed while it was still queued; it was
+    /// dropped at batch formation without occupying an engine slot.
+    TimedOut,
+    /// The request's batch failed on the pool and failed again on its
+    /// single retry; the pool error of the final attempt is attached.
+    WorkerFailure {
+        /// The pool error reported by the retry.
+        error: PoolError,
+    },
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::TimedOut => {
+                write!(f, "deadline elapsed before the request was dispatched")
+            }
+            RequestError::WorkerFailure { error } => {
+                write!(f, "batch failed after retry: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// Where a completed request's time went, and in what company it ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestTiming {
+    /// Admission to batch formation: how long the request sat in the
+    /// queue waiting for a batch to close around it.
+    pub queue: Duration,
+    /// Dispatch duration of the request's batch group (zero for a
+    /// request that timed out before dispatch).
+    pub service: Duration,
+    /// Admission to completion, end to end.
+    pub total: Duration,
+    /// Requests in the batch this one rode in.
+    pub batch_size: usize,
+    /// State slots the pool offered when the batch closed; `batch_size /
+    /// batch_slots` is the batch's fill ratio.
+    pub batch_slots: usize,
+    /// Whether the batch was retried after losing a pool worker.
+    pub retried: bool,
+}
+
+/// The outcome of one request: a digest or an error, plus its timing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// The squeezed output bytes, or why there are none.
+    pub result: Result<Vec<u8>, RequestError>,
+    /// Where the request's latency went.
+    pub timing: RequestTiming,
+}
+
+/// The slot a ticket resolves through: the scheduler writes the
+/// completion, the waiting caller is woken by the condvar.
+#[derive(Debug, Default)]
+pub(crate) struct TicketCell {
+    slot: Mutex<Option<Completion>>,
+    ready: Condvar,
+}
+
+impl TicketCell {
+    /// Publishes the completion and wakes every waiter.
+    pub(crate) fn complete(&self, completion: Completion) {
+        let mut slot = self.slot.lock().expect("ticket lock");
+        *slot = Some(completion);
+        self.ready.notify_all();
+    }
+}
+
+/// A handle to one in-flight request, returned by
+/// [`Service::submit`](crate::Service::submit).
+///
+/// The scheduler resolves every admitted ticket exactly once — with a
+/// digest, a timeout, or a worker-failure error — including during a
+/// shutdown drain, so [`Ticket::wait`] never blocks forever.
+#[derive(Debug)]
+pub struct Ticket {
+    pub(crate) cell: Arc<TicketCell>,
+}
+
+impl Ticket {
+    /// Whether the request has completed (so [`Self::wait`] would return
+    /// immediately).
+    pub fn is_ready(&self) -> bool {
+        self.cell.slot.lock().expect("ticket lock").is_some()
+    }
+
+    /// Blocks until the request completes and returns its outcome.
+    pub fn wait(self) -> Completion {
+        let mut slot = self.cell.slot.lock().expect("ticket lock");
+        loop {
+            if let Some(completion) = slot.take() {
+                return completion;
+            }
+            slot = self.cell.ready.wait(slot).expect("ticket lock");
+        }
+    }
+}

@@ -251,6 +251,158 @@ fn ragged_batches_spanning_rate_boundaries_match_one_shot() {
     });
 }
 
+/// A backend that mimics an `SN`-states-wide engine over the reference
+/// permutation: each `permute_all` is served in `⌈n / SN⌉` passes of at
+/// most `SN` states, like a `VectorKeccakEngine` would run them. Lets
+/// the batch schedulers be exercised against widths the batch size does
+/// not divide, without depending on the engine crate.
+struct SnWideBackend {
+    sn: usize,
+    passes: u64,
+}
+
+impl SnWideBackend {
+    fn new(sn: usize) -> Self {
+        Self { sn, passes: 0 }
+    }
+}
+
+impl krv_sha3::PermutationBackend for SnWideBackend {
+    fn permute_all(&mut self, states: &mut [krv_keccak::KeccakState]) {
+        for chunk in states.chunks_mut(self.sn) {
+            assert!(chunk.len() <= self.sn, "pass wider than the hardware");
+            ReferenceBackend::new().permute_all(chunk);
+            self.passes += 1;
+        }
+    }
+
+    fn parallel_states(&self) -> usize {
+        self.sn
+    }
+}
+
+#[test]
+fn empty_batch_returns_no_outputs() {
+    // The degenerate scheduler input: no requests, no permutations.
+    let mut backend = SnWideBackend::new(4);
+    let outputs = hash_batch(SpongeParams::sha3(256), &mut backend, &[]);
+    assert!(outputs.is_empty());
+    assert_eq!(backend.passes, 0, "an empty batch must not touch hardware");
+}
+
+#[test]
+fn zero_length_messages_hash_to_the_empty_digest_in_any_batch() {
+    cases(24, |rng| {
+        // Batches mixing empty messages with random ones: every empty
+        // message must produce exactly the digest of b"".
+        let n = 1 + rng.below(9);
+        let messages: Vec<Vec<u8>> = (0..n)
+            .map(|_| {
+                if rng.next_bool() {
+                    Vec::new()
+                } else {
+                    let len = 1 + rng.below(400);
+                    rng.bytes(len)
+                }
+            })
+            .collect();
+        let requests: Vec<BatchRequest<'_>> =
+            messages.iter().map(|m| BatchRequest::new(m, 32)).collect();
+        let outputs = hash_batch(
+            SpongeParams::sha3(256),
+            SnWideBackend::new(1 + rng.below(5)),
+            &requests,
+        );
+        for (message, output) in messages.iter().zip(&outputs) {
+            assert_eq!(*output, Sha3_256::digest(message).to_vec());
+            if message.is_empty() {
+                assert_eq!(*output, Sha3_256::digest(b"").to_vec());
+            }
+        }
+    });
+}
+
+#[test]
+fn zero_output_requests_coexist_with_squeezing_neighbours() {
+    cases(24, |rng| {
+        // output_len = 0 is legal: the request drains immediately after
+        // absorbing, while neighbours keep squeezing long outputs.
+        let n = 1 + rng.below(8);
+        let messages: Vec<Vec<u8>> = (0..n)
+            .map(|_| {
+                let len = rng.below(300);
+                rng.bytes(len)
+            })
+            .collect();
+        let wants: Vec<usize> = (0..n)
+            .map(|i| if i % 2 == 0 { 0 } else { 1 + rng.below(500) })
+            .collect();
+        let requests: Vec<BatchRequest<'_>> = messages
+            .iter()
+            .zip(&wants)
+            .map(|(m, &want)| BatchRequest::new(m, want))
+            .collect();
+        let outputs = hash_batch(SpongeParams::shake(128), SnWideBackend::new(3), &requests);
+        assert_eq!(outputs.len(), n);
+        for ((message, &want), output) in messages.iter().zip(&wants).zip(&outputs) {
+            assert_eq!(output.len(), want);
+            assert_eq!(*output, Shake128::digest(message, want));
+        }
+    });
+}
+
+#[test]
+fn batch_sizes_off_the_backend_width_still_match_one_shot() {
+    cases(24, |rng| {
+        // Batch sizes deliberately not multiples of the backend's SN —
+        // the ragged final pass must hash exactly like the full ones.
+        let sn = 2 + rng.below(4); // 2..=5
+        let n = 1 + rng.below(3 * sn); // frequently n % sn != 0
+        let messages: Vec<Vec<u8>> = (0..n)
+            .map(|_| {
+                let len = rng.below(400);
+                rng.bytes(len)
+            })
+            .collect();
+        let requests: Vec<BatchRequest<'_>> = messages
+            .iter()
+            .map(|m| BatchRequest::new(m, 1 + rng.below(100)))
+            .collect();
+        let mut backend = SnWideBackend::new(sn);
+        let outputs = hash_batch(SpongeParams::shake(256), &mut backend, &requests);
+        assert!(backend.passes > 0);
+        for (request, output) in requests.iter().zip(&outputs) {
+            assert_eq!(
+                *output,
+                Shake256::digest(request.message, request.output_len),
+                "sn {sn}, n {n}, len {}",
+                request.message.len()
+            );
+        }
+    });
+}
+
+#[test]
+fn lockstep_batch_works_at_widths_off_the_backend_width() {
+    cases(16, |rng| {
+        // BatchSponge with n ∤ SN, zero-length lockstep chunks included.
+        let sn = 2 + rng.below(3);
+        let n = 1 + rng.below(2 * sn + 1);
+        let len = rng.below(300);
+        let inputs: Vec<Vec<u8>> = (0..n).map(|_| rng.bytes(len)).collect();
+        let refs: Vec<&[u8]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let empties: Vec<&[u8]> = inputs.iter().map(|_| [].as_slice()).collect();
+        let mut batch = BatchSponge::new(SpongeParams::shake(128), SnWideBackend::new(sn), n);
+        batch.absorb(&empties); // zero-length absorb is a no-op
+        batch.absorb(&refs);
+        let want = rng.below(300);
+        let outputs = batch.squeeze(want);
+        for (input, output) in inputs.iter().zip(&outputs) {
+            assert_eq!(*output, Shake128::digest(input, want), "sn {sn}, n {n}");
+        }
+    });
+}
+
 #[test]
 fn appending_a_byte_changes_the_digest() {
     cases(64, |rng| {

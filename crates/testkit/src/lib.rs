@@ -17,6 +17,9 @@
 //!   minimum that still fails, so failures report readable repros.
 //! * [`CaseReport`] — a uniform record of one failing case (suite, seed,
 //!   human-readable detail) used by the conformance tooling.
+//! * [`LatencyHistogram`] — a log-bucketed, mergeable histogram with
+//!   percentile queries, shared by the serving-layer metrics and the
+//!   bench binaries instead of ad-hoc sort-and-index aggregates.
 //!
 //! Everything is deterministic: the same seed always produces the same
 //! sequence on every platform, so test failures are reproducible.
@@ -274,6 +277,174 @@ impl Stopwatch {
     }
 }
 
+/// Linear sub-buckets per power of two: 16 sub-buckets bound the
+/// relative quantization error of a recorded value to ≤ 1/16.
+const HIST_SUB_BITS: u32 = 4;
+const HIST_SUB_BUCKETS: usize = 1 << HIST_SUB_BITS;
+/// Bucket count covering the full `u64` range:
+/// `2 × SUB` exact low buckets plus `(64 − SUB_BITS − 1)` octaves of
+/// `SUB` sub-buckets each.
+const HIST_BUCKETS: usize = (64 - HIST_SUB_BITS as usize) * HIST_SUB_BUCKETS + HIST_SUB_BUCKETS;
+
+/// A log-bucketed latency histogram: HDR-style power-of-two buckets with
+/// 16 linear sub-buckets each, so any recorded value is representable
+/// with ≤ 6.25 % relative error while the whole `u64` range fits in a
+/// fixed 976-slot table.
+///
+/// Histograms are **mergeable** (bucket-wise addition), so per-thread or
+/// per-shard recorders can be combined into one distribution, and
+/// percentile queries walk the cumulative counts in O(buckets).
+///
+/// # Example
+///
+/// ```
+/// use krv_testkit::LatencyHistogram;
+///
+/// let mut hist = LatencyHistogram::new();
+/// for v in [100u64, 200, 300, 400, 1000] {
+///     hist.record(v);
+/// }
+/// assert_eq!(hist.count(), 5);
+/// assert_eq!(hist.max(), 1000);
+/// let p50 = hist.percentile(0.50);
+/// assert!((282..=318).contains(&p50), "p50 ≈ 300, got {p50}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; HIST_BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index of `value`: exact below `2^(SUB_BITS+1)`,
+    /// logarithmic with linear sub-buckets above.
+    fn index(value: u64) -> usize {
+        let bits = 64 - value.leading_zeros();
+        if bits <= HIST_SUB_BITS + 1 {
+            return value as usize;
+        }
+        let shift = bits - HIST_SUB_BITS - 1;
+        let sub = ((value >> shift) as usize) & (HIST_SUB_BUCKETS - 1);
+        (bits - HIST_SUB_BITS) as usize * HIST_SUB_BUCKETS + sub
+    }
+
+    /// The largest value a bucket holds (the reported representative, so
+    /// percentile queries never under-estimate).
+    fn upper_bound(index: usize) -> u64 {
+        if index < 2 * HIST_SUB_BUCKETS {
+            return index as u64;
+        }
+        let major = index / HIST_SUB_BUCKETS;
+        let sub = (index % HIST_SUB_BUCKETS) as u64;
+        let shift = (major - 1) as u32;
+        // `(SUB + sub + 1) << shift − 1`, rearranged so the top bucket
+        // (where the product is exactly 2^64) cannot overflow.
+        ((HIST_SUB_BUCKETS as u64 + sub) << shift) + ((1u64 << shift) - 1)
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::index(value)] += 1;
+        self.total += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records a duration at nanosecond resolution.
+    pub fn record_duration(&mut self, duration: std::time::Duration) {
+        self.record(u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Values recorded so far.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The exact smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// The exact largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The exact arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`: the bucket upper bound of the
+    /// `⌈q·n⌉`-th smallest recorded value, clamped to the exact observed
+    /// [`Self::max`] (so `percentile(1.0)` is exact). Returns 0 when the
+    /// histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0;
+        for (index, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Self::upper_bound(index).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Adds every recorded value of `other` into `self`.
+    pub fn merge(&mut self, other: &Self) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,5 +554,97 @@ mod tests {
             std::hint::black_box((0..100u32).sum::<u32>());
         });
         assert!(sw.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_monotone_and_cover_u64() {
+        let mut previous = 0;
+        let mut rng = Rng::new(0x4157);
+        for _ in 0..20_000 {
+            let value = rng.next_u64() >> (rng.below(64) as u32);
+            let index = LatencyHistogram::index(value);
+            assert!(index < HIST_BUCKETS, "{value} → {index}");
+            let upper = LatencyHistogram::upper_bound(index);
+            assert!(upper >= value, "{value} above bucket bound {upper}");
+            let _ = previous;
+            previous = index;
+        }
+        // Exhaustive continuity over the small range: index is
+        // non-decreasing and upper_bound inverts index.
+        let mut last = 0;
+        for v in 0..10_000u64 {
+            let i = LatencyHistogram::index(v);
+            assert!(i >= last, "index must be monotone at {v}");
+            last = i;
+            assert!(LatencyHistogram::upper_bound(i) >= v);
+        }
+        assert!(LatencyHistogram::index(u64::MAX) < HIST_BUCKETS);
+    }
+
+    #[test]
+    fn histogram_relative_error_is_bounded() {
+        for value in [1u64, 17, 100, 999, 123_456, 88_888_888, u64::MAX / 3] {
+            let upper = LatencyHistogram::upper_bound(LatencyHistogram::index(value));
+            let error = (upper - value) as f64 / value as f64;
+            assert!(error <= 1.0 / 16.0, "{value}: error {error}");
+        }
+    }
+
+    #[test]
+    fn histogram_percentiles_track_known_distribution() {
+        let mut hist = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            hist.record(v);
+        }
+        assert_eq!(hist.count(), 1000);
+        assert_eq!(hist.min(), 1);
+        assert_eq!(hist.max(), 1000);
+        assert!((hist.mean() - 500.5).abs() < 1e-9, "mean is exact");
+        for (q, expected) in [(0.50, 500.0), (0.90, 900.0), (0.99, 990.0)] {
+            let got = hist.percentile(q) as f64;
+            assert!(
+                got >= expected && got <= expected * (1.0 + 1.0 / 16.0) + 1.0,
+                "p{q}: {got} vs {expected}"
+            );
+        }
+        assert_eq!(hist.percentile(1.0), 1000, "p100 is the exact max");
+        assert_eq!(hist.percentile(0.0), hist.percentile(1e-9));
+    }
+
+    #[test]
+    fn histogram_merge_equals_concatenation() {
+        let mut rng = Rng::new(0xC0FFEE);
+        let mut merged = LatencyHistogram::new();
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for i in 0..5000 {
+            let value = rng.next_u64() >> 40;
+            merged.record(value);
+            if i % 2 == 0 {
+                a.record(value);
+            } else {
+                b.record(value);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, merged, "merge must equal recording everything");
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let hist = LatencyHistogram::new();
+        assert!(hist.is_empty());
+        assert_eq!(hist.percentile(0.99), 0);
+        assert_eq!(hist.min(), 0);
+        assert_eq!(hist.max(), 0);
+        assert_eq!(hist.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_records_durations_in_nanos() {
+        let mut hist = LatencyHistogram::new();
+        hist.record_duration(std::time::Duration::from_micros(3));
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.min(), 3000);
     }
 }

@@ -25,6 +25,14 @@ fn short_kats_pass_on_every_backend() {
             }
         }
     }
+    // The continuous-batching service is a roster row too: the same
+    // vectors, but submitted through the admission queue and scheduler.
+    for suite in &vectors::SUITES {
+        if ROSTER_ALGORITHMS.contains(&suite.algorithm) {
+            matrix.record(kat::run_service_suite(suite, Tier::Short));
+        }
+    }
+    assert!(matrix.render().contains(kat::SERVICE_LABEL));
     assert!(
         matrix.passed(),
         "KAT failures:\n{}\n{:?}",

@@ -1,0 +1,102 @@
+//! Workspace-level guard on the serving layer: the continuous-batching
+//! service must degrade gracefully when an engine-pool worker dies —
+//! the in-flight batch fails once, is retried on the survivors, and
+//! every batch formed afterwards completes at the reduced width.
+//!
+//! The finer-grained behaviours (backpressure, deadlines, all-workers
+//! lost) are unit-tested inside `krv-service`; this test exercises the
+//! whole lifecycle through the public API only.
+
+use krv_service::{HashRequest, Service, ServiceConfig, Ticket};
+use krv_sha3::{Sha3_256, Shake128};
+use krv_testkit::Rng;
+use std::time::Duration;
+
+#[test]
+fn service_survives_a_worker_loss_and_keeps_serving() {
+    // slots = 2 workers × SN 2 = 4 and a wide batching window: every
+    // burst below closes only once all four requests are queued, so the
+    // doomed batch deterministically spans the killed worker.
+    let service = Service::start(ServiceConfig {
+        sn: 2,
+        workers: 2,
+        max_wait: Duration::from_secs(2),
+        ..ServiceConfig::default()
+    });
+    let mut rng = Rng::new(0x00DE_6ADE);
+
+    // A healthy burst first, so the failure hits a warmed-up service.
+    let healthy: Vec<Vec<u8>> = (0..4).map(|i| rng.bytes(40 + i * 31)).collect();
+    let tickets: Vec<Ticket> = healthy
+        .iter()
+        .map(|m| service.submit(HashRequest::sha3_256(m.clone())).unwrap())
+        .collect();
+    for (message, ticket) in healthy.iter().zip(tickets) {
+        let completion = ticket.wait();
+        assert_eq!(
+            completion.result.expect("healthy burst"),
+            Sha3_256::digest(message)
+        );
+        assert!(!completion.timing.retried);
+    }
+
+    // Kill worker 1. The next batch is dispatched across both workers,
+    // fails mid-flight, and is retried once on the survivor — callers
+    // only ever observe correct digests and a `retried` timing flag.
+    service.inject_worker_failure(1);
+    let doomed: Vec<Vec<u8>> = (0..4).map(|i| rng.bytes(100 + i * 53)).collect();
+    let tickets: Vec<Ticket> = doomed
+        .iter()
+        .map(|m| {
+            service
+                .submit(HashRequest::shake128(m.clone(), 32))
+                .unwrap()
+        })
+        .collect();
+    for (message, ticket) in doomed.iter().zip(tickets) {
+        let completion = ticket.wait();
+        assert_eq!(
+            completion.result.expect("retry on the survivor succeeds"),
+            Shake128::digest(message, 32)
+        );
+        assert!(completion.timing.retried, "the killed batch was retried");
+    }
+    // Later batches: the service now forms 2-slot batches on the
+    // surviving worker. Three more bursts, all first-try successes.
+    for burst in 0..3 {
+        let messages: Vec<Vec<u8>> = (0..2).map(|i| rng.bytes(10 + burst * 64 + i)).collect();
+        let tickets: Vec<Ticket> = messages
+            .iter()
+            .map(|m| service.submit(HashRequest::sha3_256(m.clone())).unwrap())
+            .collect();
+        for (message, ticket) in messages.iter().zip(tickets) {
+            let completion = ticket.wait();
+            assert_eq!(
+                completion.result.expect("degraded service still serves"),
+                Sha3_256::digest(message),
+                "burst {burst} digest"
+            );
+            assert!(!completion.timing.retried, "survivor batches are clean");
+            assert!(completion.timing.batch_slots <= 2, "width stayed reduced");
+        }
+    }
+    // The scheduler publishes a batch's stats before forming the next
+    // one, so with the degraded bursts done the retry is visible.
+    let mid = service.metrics();
+    assert_eq!(mid.alive_workers, 1, "effective workers dropped");
+    assert_eq!(mid.batch_slots, 2, "batch width shrank with the pool");
+    assert_eq!(mid.retries, 1, "exactly one retry for the lost batch");
+    assert_eq!(mid.worker_failures, 0, "no caller saw the failure");
+
+    let report = service.shutdown();
+    assert_eq!(report.completed, 14, "4 healthy + 4 retried + 6 degraded");
+    assert_eq!(report.retries, 1);
+    assert_eq!(report.worker_failures, 0);
+    assert_eq!(report.timeouts, 0);
+    assert_eq!(report.rejected, 0);
+    assert_eq!(report.alive_workers, 1);
+    assert_eq!(
+        report.e2e_ns.count, 14,
+        "every success has a latency sample"
+    );
+}
