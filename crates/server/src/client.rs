@@ -1,0 +1,378 @@
+//! The client half of the wire protocol: a blocking, pipelining client
+//! used by the tests, the example and the network bench.
+//!
+//! One [`Client`] owns one connection. [`Client::submit`] writes a
+//! request and returns immediately with a [`PendingReply`]; a reader
+//! thread matches responses to pending requests by id, so any number of
+//! requests can be in flight at once and a simple sync call is just
+//! submit-then-wait. Every reply carries the client-side end-to-end
+//! latency (submit to response arrival), measured by the reader thread
+//! even when [`PendingReply::wait`] is called much later.
+
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, ProtocolError, Request, Response, WireAlgorithm,
+    DEFAULT_MAX_FRAME,
+};
+use krv_service::MetricsSnapshot;
+use std::collections::HashMap;
+use std::io::{self, BufWriter, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// An error response from the server, as the caller sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteError {
+    /// The machine-readable reason.
+    pub code: ErrorCode,
+    /// The server's human-readable detail.
+    pub detail: String,
+}
+
+impl std::fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.detail)
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+/// Why a client call failed without a server error response.
+#[derive(Debug)]
+pub enum ClientError {
+    /// A transport failure on the socket.
+    Io(io::Error),
+    /// The server sent bytes that do not decode as a response.
+    Protocol(ProtocolError),
+    /// The server answered with an error response.
+    Remote(RemoteError),
+    /// The connection closed before the response arrived.
+    ConnectionClosed,
+    /// The server answered a hash request with a non-digest,
+    /// non-error response.
+    UnexpectedResponse,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Remote(e) => write!(f, "server error: {e}"),
+            ClientError::ConnectionClosed => write!(f, "connection closed before the response"),
+            ClientError::UnexpectedResponse => {
+                write!(f, "response kind does not match the request")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A completed request as the client records it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply {
+    /// The response frame, matched by request id.
+    pub response: Response,
+    /// Submit-to-arrival latency, measured on the reader thread.
+    pub elapsed: Duration,
+}
+
+/// One pending slot in the client's correlation map. The reply is
+/// boxed so an empty `Waiting` slot costs a pointer, not a whole
+/// response frame.
+#[derive(Debug)]
+enum Slot {
+    Waiting { submitted: Instant },
+    Done(Box<Reply>),
+}
+
+#[derive(Debug)]
+struct ClientState {
+    pending: HashMap<u64, Slot>,
+    /// Set once the reader thread exits; every waiter then fails with
+    /// [`ClientError::ConnectionClosed`] instead of blocking forever.
+    closed: bool,
+}
+
+#[derive(Debug)]
+struct SharedState {
+    state: Mutex<ClientState>,
+    arrived: Condvar,
+}
+
+/// A handle to one in-flight request; [`Self::wait`] blocks for its
+/// reply. Dropping the handle abandons the reply (the slot is reaped
+/// when the response arrives).
+#[derive(Debug)]
+pub struct PendingReply {
+    shared: Arc<SharedState>,
+    id: u64,
+}
+
+impl PendingReply {
+    /// The id the request travelled under.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the response arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::ConnectionClosed`] if the socket dies first.
+    pub fn wait(self) -> Result<Reply, ClientError> {
+        let mut state = self.shared.state.lock().expect("client lock");
+        loop {
+            if let Some(Slot::Done(_)) = state.pending.get(&self.id) {
+                match state.pending.remove(&self.id) {
+                    Some(Slot::Done(reply)) => return Ok(*reply),
+                    _ => unreachable!("checked under the same lock"),
+                }
+            }
+            if state.closed {
+                state.pending.remove(&self.id);
+                return Err(ClientError::ConnectionClosed);
+            }
+            state = self.shared.arrived.wait(state).expect("client lock");
+        }
+    }
+
+    /// Waits and unwraps a digest response.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Remote`] for a server error response,
+    /// [`ClientError::UnexpectedResponse`] for anything else non-digest,
+    /// plus everything [`Self::wait`] can fail with.
+    pub fn wait_digest(self) -> Result<Vec<u8>, ClientError> {
+        match self.wait()?.response {
+            Response::Digest { bytes, .. } => Ok(bytes),
+            Response::Error { code, detail, .. } => {
+                Err(ClientError::Remote(RemoteError { code, detail }))
+            }
+            Response::Stats { .. } => Err(ClientError::UnexpectedResponse),
+        }
+    }
+}
+
+/// A connection to the remote hashing daemon.
+///
+/// # Example
+///
+/// ```no_run
+/// use krv_server::{Client, WireAlgorithm};
+///
+/// let client = Client::connect("127.0.0.1:4117").unwrap();
+/// let digest = client.digest(WireAlgorithm::Sha3_256, b"abc").unwrap();
+/// assert_eq!(digest.len(), 32);
+/// ```
+#[derive(Debug)]
+pub struct Client {
+    writer: Mutex<WriterState>,
+    shared: Arc<SharedState>,
+    reader: Option<JoinHandle<()>>,
+    stream: TcpStream,
+}
+
+#[derive(Debug)]
+struct WriterState {
+    stream: BufWriter<TcpStream>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/clone failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        let write_half = stream.try_clone()?;
+        let shared = Arc::new(SharedState {
+            state: Mutex::new(ClientState {
+                pending: HashMap::new(),
+                closed: false,
+            }),
+            arrived: Condvar::new(),
+        });
+        let reader = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("krv-client-reader".into())
+                .spawn(move || read_responses(read_half, &shared))?
+        };
+        Ok(Self {
+            writer: Mutex::new(WriterState {
+                stream: BufWriter::new(write_half),
+                next_id: 1,
+            }),
+            shared,
+            reader: Some(reader),
+            stream,
+        })
+    }
+
+    /// Submits a hash request without waiting: the pipelining primitive.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors writing the frame.
+    pub fn submit(
+        &self,
+        algorithm: WireAlgorithm,
+        message: &[u8],
+        output_len: usize,
+        deadline: Option<Duration>,
+    ) -> Result<PendingReply, ClientError> {
+        let request = |id| Request::Hash {
+            id,
+            algorithm,
+            output_len,
+            deadline,
+            payload: message.to_vec(),
+        };
+        self.send(request)
+    }
+
+    /// Submits a `STATS` request without waiting.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors writing the frame.
+    pub fn submit_stats(&self) -> Result<PendingReply, ClientError> {
+        self.send(|id| Request::Stats { id })
+    }
+
+    fn send(&self, request: impl FnOnce(u64) -> Request) -> Result<PendingReply, ClientError> {
+        let mut writer = self.writer.lock().expect("writer lock");
+        let id = writer.next_id;
+        writer.next_id += 1;
+        // Register before writing: the response cannot race past its
+        // slot even if it arrives before this thread releases the lock.
+        self.shared
+            .state
+            .lock()
+            .expect("client lock")
+            .pending
+            .insert(
+                id,
+                Slot::Waiting {
+                    submitted: Instant::now(),
+                },
+            );
+        let body = request(id).encode();
+        let outcome = write_frame(&mut writer.stream, &body).and_then(|()| writer.stream.flush());
+        if let Err(e) = outcome {
+            self.shared
+                .state
+                .lock()
+                .expect("client lock")
+                .pending
+                .remove(&id);
+            return Err(ClientError::Io(e));
+        }
+        Ok(PendingReply {
+            shared: Arc::clone(&self.shared),
+            id,
+        })
+    }
+
+    /// One blocking hash: submit, wait, unwrap the digest.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Self::submit`] and [`PendingReply::wait_digest`] can
+    /// fail with.
+    pub fn hash(
+        &self,
+        algorithm: WireAlgorithm,
+        message: &[u8],
+        output_len: usize,
+        deadline: Option<Duration>,
+    ) -> Result<Vec<u8>, ClientError> {
+        self.submit(algorithm, message, output_len, deadline)?
+            .wait_digest()
+    }
+
+    /// One blocking digest at the algorithm's natural output length (the
+    /// fixed digest length, or 32 bytes for the XOFs).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::hash`].
+    pub fn digest(&self, algorithm: WireAlgorithm, message: &[u8]) -> Result<Vec<u8>, ClientError> {
+        let output_len = algorithm.fixed_output_len().unwrap_or(32);
+        self.hash(algorithm, message, output_len, None)
+    }
+
+    /// Fetches the service's metrics over the wire.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, plus [`ClientError::UnexpectedResponse`] if the
+    /// server answers with anything but a stats frame.
+    pub fn stats(&self) -> Result<MetricsSnapshot, ClientError> {
+        match self.submit_stats()?.wait()?.response {
+            Response::Stats { snapshot, .. } => Ok(*snapshot),
+            Response::Error { code, detail, .. } => {
+                Err(ClientError::Remote(RemoteError { code, detail }))
+            }
+            Response::Digest { .. } => Err(ClientError::UnexpectedResponse),
+        }
+    }
+}
+
+impl Drop for Client {
+    /// Closes the connection and joins the reader; outstanding
+    /// [`PendingReply`]s fail with [`ClientError::ConnectionClosed`].
+    fn drop(&mut self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+/// The reader thread: decodes response frames and fills pending slots
+/// until the connection closes or the server breaks the protocol.
+/// Buffered reads let one socket read deliver several pipelined
+/// response frames.
+fn read_responses(stream: TcpStream, shared: &SharedState) {
+    let mut stream = io::BufReader::new(stream);
+    // Anything but a well-formed frame — EOF, transport error, an
+    // oversized or undecodable body — ends the connection.
+    while let Ok(Some(Ok(body))) = read_frame(&mut stream, DEFAULT_MAX_FRAME) {
+        let Ok(response) = Response::decode(&body) else {
+            break;
+        };
+        let arrived = Instant::now();
+        let mut state = shared.state.lock().expect("client lock");
+        if let Some(slot) = state.pending.get_mut(&response.id()) {
+            let elapsed = match slot {
+                Slot::Waiting { submitted } => arrived.duration_since(*submitted),
+                // A duplicate id from the server; keep the first reply.
+                Slot::Done(_) => continue,
+            };
+            *slot = Slot::Done(Box::new(Reply { response, elapsed }));
+            drop(state);
+            shared.arrived.notify_all();
+        }
+        // An id nobody registered (or an abandoned PendingReply whose
+        // slot was already removed): drop the frame.
+    }
+    let mut state = shared.state.lock().expect("client lock");
+    state.closed = true;
+    drop(state);
+    shared.arrived.notify_all();
+}

@@ -1,0 +1,310 @@
+//! One accepted connection: a reader thread that decodes and submits,
+//! a writer thread that serializes responses, and a drain that lets
+//! every in-flight request answer before the socket closes.
+//!
+//! The reader polls the socket with a short read timeout so it can
+//! notice daemon shutdown and connection idleness without a dedicated
+//! signalling channel. Responses flow reader → service → ticket
+//! callback → writer channel → socket; because completions arrive on
+//! the scheduler thread while the reader keeps decoding, many requests
+//! are in flight per socket at once and responses may overtake each
+//! other — the request id is the client's correlation key.
+//!
+//! A protocol violation (bad magic, unknown kind, oversized frame, …)
+//! is fatal **to the connection only**: the reader stops, already
+//! admitted requests still get their responses, and the socket closes.
+//! The daemon and every other connection keep serving.
+
+use crate::protocol::{self, ErrorCode, Request, Response};
+use crate::ServerConfig;
+use krv_service::{HashRequest, RequestError, Service, SubmitError};
+use std::io::{self, BufWriter, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How often the reader wakes from a blocked read to check the daemon
+/// shutdown flag and the idle deadline.
+const POLL_TICK: Duration = Duration::from_millis(25);
+
+/// Requests submitted but not yet pushed to the writer channel.
+#[derive(Debug, Default)]
+struct InFlight {
+    count: Mutex<usize>,
+    drained: Condvar,
+}
+
+impl InFlight {
+    fn increment(&self) {
+        *self.count.lock().expect("in-flight lock") += 1;
+    }
+
+    fn decrement(&self) {
+        let mut count = self.count.lock().expect("in-flight lock");
+        *count -= 1;
+        if *count == 0 {
+            self.drained.notify_all();
+        }
+    }
+
+    /// Blocks until every in-flight request has resolved. The service
+    /// resolves every admitted ticket (including during its own drain),
+    /// so this always returns; the timeout re-check is defensive only.
+    fn wait_drained(&self) {
+        let mut count = self.count.lock().expect("in-flight lock");
+        while *count > 0 {
+            count = self
+                .drained
+                .wait_timeout(count, Duration::from_secs(1))
+                .expect("in-flight lock")
+                .0;
+        }
+    }
+}
+
+/// Why the reader loop stopped. Every variant ends in the same graceful
+/// close — drain in-flight responses, then shut the socket — so the
+/// reason is informational; what matters is that a [`Stop::Violation`]
+/// costs the client its connection and nothing else.
+enum Stop {
+    /// Clean EOF from the client, or an unusable socket.
+    Disconnected,
+    /// No complete frame arrived within the idle timeout.
+    Idle,
+    /// The daemon is shutting down.
+    Shutdown,
+    /// The client broke the protocol; the connection dies, the daemon
+    /// does not.
+    Violation,
+}
+
+/// Serves one accepted connection to completion. Runs on its own
+/// thread; never panics on anything the peer sends.
+pub(crate) fn serve(
+    stream: TcpStream,
+    service: Arc<Service>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+) {
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (responses, inbox) = std::sync::mpsc::channel::<Vec<u8>>();
+    let writer = std::thread::Builder::new()
+        .name("krv-server-writer".into())
+        .spawn(move || write_loop(write_half, inbox))
+        .expect("spawn connection writer");
+
+    let in_flight = Arc::new(InFlight::default());
+    let _stop = read_loop(
+        &stream, &service, &config, &shutdown, &responses, &in_flight,
+    );
+
+    // Graceful close, whatever stopped the reader: every admitted
+    // request resolves (the callbacks enqueue their responses), then the
+    // writer drains its channel and the socket closes.
+    in_flight.wait_drained();
+    drop(responses);
+    let _ = writer.join();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Decodes frames and submits requests until the connection stops.
+fn read_loop(
+    stream: &TcpStream,
+    service: &Arc<Service>,
+    config: &ServerConfig,
+    shutdown: &Arc<AtomicBool>,
+    responses: &Sender<Vec<u8>>,
+    in_flight: &Arc<InFlight>,
+) -> Stop {
+    if stream.set_read_timeout(Some(POLL_TICK)).is_err() {
+        return Stop::Disconnected;
+    }
+    let mut reader = io::BufReader::new(stream);
+    let mut idle_deadline = Instant::now() + config.idle_timeout;
+    loop {
+        let mut prefix = [0u8; 4];
+        match read_exact_poll(&mut reader, &mut prefix, shutdown, Some(idle_deadline)) {
+            ReadOutcome::Full => {}
+            ReadOutcome::Eof => return Stop::Disconnected,
+            ReadOutcome::Idle => return Stop::Idle,
+            ReadOutcome::Shutdown => return Stop::Shutdown,
+            ReadOutcome::Failed => return Stop::Disconnected,
+        }
+        let len = u32::from_le_bytes(prefix) as usize;
+        if len > config.max_frame {
+            // OversizedFrame: the body cannot even be read safely.
+            return Stop::Violation;
+        }
+        let mut body = vec![0u8; len];
+        // Mid-frame, only daemon shutdown may interrupt; a slow frame is
+        // not idleness.
+        match read_exact_poll(&mut reader, &mut body, shutdown, None) {
+            ReadOutcome::Full => {}
+            ReadOutcome::Eof | ReadOutcome::Failed => return Stop::Disconnected,
+            ReadOutcome::Idle => unreachable!("no idle deadline mid-frame"),
+            ReadOutcome::Shutdown => return Stop::Shutdown,
+        }
+        match Request::decode(&body) {
+            Ok(request) => handle(request, service, config, responses, in_flight),
+            Err(_violation) => return Stop::Violation,
+        }
+        idle_deadline = Instant::now() + config.idle_timeout;
+    }
+}
+
+/// One fully decoded request: admit it or answer why not.
+fn handle(
+    request: Request,
+    service: &Arc<Service>,
+    config: &ServerConfig,
+    responses: &Sender<Vec<u8>>,
+    in_flight: &Arc<InFlight>,
+) {
+    match request {
+        Request::Stats { id } => {
+            let snapshot = Box::new(service.metrics());
+            let _ = responses.send(Response::Stats { id, snapshot }.encode());
+        }
+        Request::Hash {
+            id,
+            algorithm,
+            output_len,
+            deadline,
+            payload,
+        } => {
+            if *in_flight.count.lock().expect("in-flight lock") >= config.max_in_flight {
+                let response = Response::Error {
+                    id,
+                    code: ErrorCode::Busy,
+                    detail: format!(
+                        "connection window full at {} in-flight requests",
+                        config.max_in_flight
+                    ),
+                };
+                let _ = responses.send(response.encode());
+                return;
+            }
+            let mut hash_request = HashRequest::new(payload, algorithm.params(), output_len);
+            hash_request.deadline = deadline;
+            in_flight.increment();
+            match service.submit(hash_request) {
+                Ok(ticket) => {
+                    let responses = responses.clone();
+                    let in_flight = Arc::clone(in_flight);
+                    // Runs on the scheduler thread: encode, enqueue for
+                    // the writer, release the in-flight slot. Never
+                    // blocks on the service.
+                    ticket.on_complete(move |completion| {
+                        let response = match completion.result {
+                            Ok(bytes) => Response::Digest { id, bytes },
+                            Err(RequestError::TimedOut) => Response::Error {
+                                id,
+                                code: ErrorCode::Deadline,
+                                detail: "deadline elapsed before dispatch".into(),
+                            },
+                            Err(RequestError::WorkerFailure { error }) => Response::Error {
+                                id,
+                                code: ErrorCode::Internal,
+                                detail: error.to_string(),
+                            },
+                        };
+                        let _ = responses.send(response.encode());
+                        in_flight.decrement();
+                    });
+                }
+                Err(refusal) => {
+                    in_flight.decrement();
+                    let (code, detail) = match refusal {
+                        SubmitError::QueueFull { depth } => (
+                            ErrorCode::Busy,
+                            format!("admission queue full at depth {depth}"),
+                        ),
+                        SubmitError::ShuttingDown => {
+                            (ErrorCode::ShuttingDown, "daemon is draining".into())
+                        }
+                    };
+                    let _ = responses.send(Response::Error { id, code, detail }.encode());
+                }
+            }
+        }
+    }
+}
+
+enum ReadOutcome {
+    Full,
+    Eof,
+    Idle,
+    Shutdown,
+    Failed,
+}
+
+/// `read_exact` over a socket with a poll-tick read timeout: fills
+/// `buffer` completely, or reports why it could not. With an
+/// `idle_deadline`, gives up once the deadline passes **before any byte
+/// arrived** — a partially read buffer is never abandoned to idleness,
+/// so frame framing cannot desynchronize.
+fn read_exact_poll(
+    reader: &mut impl Read,
+    buffer: &mut [u8],
+    shutdown: &AtomicBool,
+    idle_deadline: Option<Instant>,
+) -> ReadOutcome {
+    let mut filled = 0;
+    while filled < buffer.len() {
+        match reader.read(&mut buffer[filled..]) {
+            Ok(0) => return ReadOutcome::Eof,
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutdown.load(Ordering::Acquire) {
+                    return ReadOutcome::Shutdown;
+                }
+                if filled == 0 {
+                    if let Some(deadline) = idle_deadline {
+                        if Instant::now() >= deadline {
+                            return ReadOutcome::Idle;
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return ReadOutcome::Failed,
+        }
+    }
+    ReadOutcome::Full
+}
+
+/// The writer thread: drains encoded response frames to the socket,
+/// batching flushes across momentarily queued responses. Exits when the
+/// channel closes (reader done, in-flight drained) or the socket dies.
+fn write_loop(stream: TcpStream, inbox: Receiver<Vec<u8>>) {
+    let mut writer = BufWriter::new(stream);
+    while let Ok(frame) = inbox.recv() {
+        if protocol::write_frame(&mut writer, &frame).is_err() {
+            // A dead socket: keep draining the channel so callbacks
+            // never block, but stop writing.
+            for _ in inbox.iter() {}
+            return;
+        }
+        while let Ok(frame) = inbox.try_recv() {
+            if protocol::write_frame(&mut writer, &frame).is_err() {
+                for _ in inbox.iter() {}
+                return;
+            }
+        }
+        if writer.flush().is_err() {
+            for _ in inbox.iter() {}
+            return;
+        }
+    }
+    let _ = writer.flush();
+}

@@ -1,0 +1,51 @@
+//! The remote hashing daemon: the network serving layer of the
+//! reproduction.
+//!
+//! Everything below this crate is in-process: the simulated vector
+//! engines ([`krv_core`]), the batch scheduler ([`krv_sha3`]) and the
+//! continuous-batching service ([`krv_service`]) all require linking the
+//! workspace. This crate turns that stack into a **daemon** — the shape
+//! the paper's accelerator would take as a shared co-processor serving
+//! host systems — with three pieces:
+//!
+//! * [`protocol`] — a versioned binary wire protocol: length-prefixed
+//!   frames, magic/version header, per-request ids, one-byte algorithm
+//!   ids covering all six FIPS 202 functions (plus XOF output length),
+//!   optional deadlines, and strict decoding whose every failure is a
+//!   typed [`ProtocolError`].
+//! * [`Server`] — the daemon: an accept loop feeding per-connection
+//!   reader/writer threads that pipeline many in-flight requests per
+//!   socket onto [`krv_service::Service::submit`]. Service outcomes map
+//!   onto the wire (`QueueFull` → `BUSY`, `TimedOut` → `DEADLINE`,
+//!   `WorkerFailure` → `INTERNAL`); protocol violations close the
+//!   offending connection and nothing else; shutdown stops accepting,
+//!   drains every in-flight request, then closes.
+//! * [`Client`] — the matching blocking/pipelining client used by the
+//!   tests, the `remote_digest` example and the `netbench` load harness.
+//!
+//! # Example
+//!
+//! ```
+//! use krv_server::{Client, Server, ServerConfig, WireAlgorithm};
+//! use krv_sha3::Sha3_256;
+//!
+//! let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let client = Client::connect(server.local_addr()).unwrap();
+//! let digest = client.digest(WireAlgorithm::Sha3_256, b"abc").unwrap();
+//! assert_eq!(digest, Sha3_256::digest(b"abc"));
+//! drop(client);
+//! let report = server.shutdown();
+//! assert_eq!(report.completed, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod conn;
+pub mod protocol;
+mod server;
+
+pub use client::{Client, ClientError, PendingReply, RemoteError, Reply};
+pub use protocol::{ErrorCode, ProtocolError, Request, Response, WireAlgorithm};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,951 @@
+//! The versioned binary wire protocol of the remote hashing daemon.
+//!
+//! Every message travels as one **frame**: a little-endian `u32` length
+//! prefix followed by that many body bytes. A body always starts with
+//! the same header — [`MAGIC`], [`VERSION`], a kind byte, and a caller
+//! chosen `u64` request id echoed verbatim in the response — followed by
+//! a kind-specific payload:
+//!
+//! | kind | direction | payload |
+//! |---|---|---|
+//! | `0x01` HASH | request | algorithm `u8`, output len `u32`, deadline µs `u64` (0 = none), payload len `u32`, payload bytes |
+//! | `0x02` STATS | request | empty |
+//! | `0x81` DIGEST | response | digest len `u32`, digest bytes |
+//! | `0x82` ERROR | response | code `u8`, detail len `u16`, UTF-8 detail |
+//! | `0x83` STATS | response | fixed-width [`MetricsSnapshot`] encoding |
+//!
+//! All integers are little-endian. Decoding is **strict**: unknown
+//! magic, version, kind, algorithm or error code, truncated or trailing
+//! bytes, and over-limit lengths are all typed [`ProtocolError`]s — a
+//! server treats any of them as a fatal protocol violation for that
+//! connection (never for the daemon), and a client surfaces them to the
+//! caller.
+
+use krv_service::{MetricsSnapshot, QuantileSummary};
+use krv_sha3::SpongeParams;
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+/// The four magic bytes opening every frame body (`b"KRVH"`).
+pub const MAGIC: [u8; 4] = *b"KRVH";
+
+/// Protocol version this implementation speaks.
+pub const VERSION: u8 = 1;
+
+/// Fixed header length of every frame body: magic, version, kind, id.
+pub const HEADER_LEN: usize = 4 + 1 + 1 + 8;
+
+/// Default upper bound on one frame body; larger declared lengths are
+/// rejected before any allocation.
+pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
+
+/// Upper bound on the requested XOF output length (64 KiB). Far above
+/// any digest, far below anything that could amplify a small request
+/// into an unbounded response.
+pub const MAX_OUTPUT_LEN: usize = 1 << 16;
+
+const KIND_HASH: u8 = 0x01;
+const KIND_STATS: u8 = 0x02;
+const KIND_DIGEST: u8 = 0x81;
+const KIND_ERROR: u8 = 0x82;
+const KIND_STATS_REPLY: u8 = 0x83;
+
+/// Why a frame failed strict decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The body ended before a declared field ended.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes that remained.
+        got: usize,
+    },
+    /// The frame does not start with [`MAGIC`].
+    BadMagic {
+        /// The four bytes observed instead.
+        got: [u8; 4],
+    },
+    /// A version this implementation does not speak.
+    BadVersion {
+        /// The version byte observed.
+        got: u8,
+    },
+    /// A kind byte outside the protocol.
+    UnknownKind {
+        /// The kind byte observed.
+        got: u8,
+    },
+    /// A valid kind travelling in the wrong direction (a response kind
+    /// decoded as a request, or vice versa).
+    UnexpectedKind {
+        /// The kind byte observed.
+        got: u8,
+    },
+    /// An algorithm id outside [`WireAlgorithm::ALL`].
+    UnknownAlgorithm {
+        /// The algorithm byte observed.
+        got: u8,
+    },
+    /// An error code outside [`ErrorCode`].
+    UnknownErrorCode {
+        /// The code byte observed.
+        got: u8,
+    },
+    /// A frame whose declared length exceeds the negotiated limit.
+    OversizedFrame {
+        /// Declared body length.
+        len: usize,
+        /// The limit in force.
+        max: usize,
+    },
+    /// A requested output length above [`MAX_OUTPUT_LEN`].
+    OversizedOutput {
+        /// Requested output length.
+        len: usize,
+    },
+    /// A fixed-output hash function requested with the wrong length.
+    WrongOutputLen {
+        /// The algorithm requested.
+        algorithm: WireAlgorithm,
+        /// Its fixed digest length.
+        expected: usize,
+        /// The length requested instead.
+        got: usize,
+    },
+    /// Bytes left over after the last declared field.
+    TrailingBytes {
+        /// How many bytes remained.
+        extra: usize,
+    },
+    /// An error detail that is not valid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Truncated { needed, got } => {
+                write!(f, "truncated frame: needed {needed} more bytes, got {got}")
+            }
+            ProtocolError::BadMagic { got } => write!(f, "bad magic {got:02x?}"),
+            ProtocolError::BadVersion { got } => write!(f, "unsupported protocol version {got}"),
+            ProtocolError::UnknownKind { got } => write!(f, "unknown frame kind {got:#04x}"),
+            ProtocolError::UnexpectedKind { got } => {
+                write!(f, "frame kind {got:#04x} travelling in the wrong direction")
+            }
+            ProtocolError::UnknownAlgorithm { got } => write!(f, "unknown algorithm id {got}"),
+            ProtocolError::UnknownErrorCode { got } => write!(f, "unknown error code {got}"),
+            ProtocolError::OversizedFrame { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
+            }
+            ProtocolError::OversizedOutput { len } => {
+                write!(
+                    f,
+                    "output length {len} exceeds the {MAX_OUTPUT_LEN}-byte limit"
+                )
+            }
+            ProtocolError::WrongOutputLen {
+                algorithm,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{} produces {expected} bytes, request asked for {got}",
+                algorithm.name()
+            ),
+            ProtocolError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after the last field")
+            }
+            ProtocolError::BadUtf8 => write!(f, "error detail is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// The six FIPS 202 functions as one-byte wire ids.
+///
+/// Ids are part of the protocol: they never change meaning across
+/// versions, and every id round-trips through [`Self::from_id`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum WireAlgorithm {
+    /// SHA3-224, id 1.
+    Sha3_224 = 1,
+    /// SHA3-256, id 2.
+    Sha3_256 = 2,
+    /// SHA3-384, id 3.
+    Sha3_384 = 3,
+    /// SHA3-512, id 4.
+    Sha3_512 = 4,
+    /// SHAKE128, id 5.
+    Shake128 = 5,
+    /// SHAKE256, id 6.
+    Shake256 = 6,
+}
+
+impl WireAlgorithm {
+    /// Every algorithm, in wire-id order.
+    pub const ALL: [WireAlgorithm; 6] = [
+        WireAlgorithm::Sha3_224,
+        WireAlgorithm::Sha3_256,
+        WireAlgorithm::Sha3_384,
+        WireAlgorithm::Sha3_512,
+        WireAlgorithm::Shake128,
+        WireAlgorithm::Shake256,
+    ];
+
+    /// The wire id.
+    pub const fn id(self) -> u8 {
+        self as u8
+    }
+
+    /// The algorithm of a wire id.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::UnknownAlgorithm`] for an id outside `1..=6`.
+    pub fn from_id(id: u8) -> Result<Self, ProtocolError> {
+        match id {
+            1 => Ok(WireAlgorithm::Sha3_224),
+            2 => Ok(WireAlgorithm::Sha3_256),
+            3 => Ok(WireAlgorithm::Sha3_384),
+            4 => Ok(WireAlgorithm::Sha3_512),
+            5 => Ok(WireAlgorithm::Shake128),
+            6 => Ok(WireAlgorithm::Shake256),
+            got => Err(ProtocolError::UnknownAlgorithm { got }),
+        }
+    }
+
+    /// The function's display name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            WireAlgorithm::Sha3_224 => "SHA3-224",
+            WireAlgorithm::Sha3_256 => "SHA3-256",
+            WireAlgorithm::Sha3_384 => "SHA3-384",
+            WireAlgorithm::Sha3_512 => "SHA3-512",
+            WireAlgorithm::Shake128 => "SHAKE128",
+            WireAlgorithm::Shake256 => "SHAKE256",
+        }
+    }
+
+    /// The sponge parameters the service hashes this algorithm with.
+    pub fn params(self) -> SpongeParams {
+        match self {
+            WireAlgorithm::Sha3_224 => SpongeParams::sha3(224),
+            WireAlgorithm::Sha3_256 => SpongeParams::sha3(256),
+            WireAlgorithm::Sha3_384 => SpongeParams::sha3(384),
+            WireAlgorithm::Sha3_512 => SpongeParams::sha3(512),
+            WireAlgorithm::Shake128 => SpongeParams::shake(128),
+            WireAlgorithm::Shake256 => SpongeParams::shake(256),
+        }
+    }
+
+    /// The fixed digest length of the hash functions, `None` for the
+    /// XOFs (whose output length travels in the request).
+    pub const fn fixed_output_len(self) -> Option<usize> {
+        match self {
+            WireAlgorithm::Sha3_224 => Some(28),
+            WireAlgorithm::Sha3_256 => Some(32),
+            WireAlgorithm::Sha3_384 => Some(48),
+            WireAlgorithm::Sha3_512 => Some(64),
+            WireAlgorithm::Shake128 | WireAlgorithm::Shake256 => None,
+        }
+    }
+}
+
+/// Why the server answered a request with an [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Backpressure: the admission queue or the connection's in-flight
+    /// window is full. Retry later.
+    Busy = 1,
+    /// The request's deadline elapsed before it was dispatched.
+    Deadline = 2,
+    /// The engine pool failed the request after its retry.
+    Internal = 3,
+    /// The daemon is draining; no new requests are admitted.
+    ShuttingDown = 4,
+}
+
+impl ErrorCode {
+    /// The error code of a wire byte.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::UnknownErrorCode`] outside `1..=4`.
+    pub fn from_byte(byte: u8) -> Result<Self, ProtocolError> {
+        match byte {
+            1 => Ok(ErrorCode::Busy),
+            2 => Ok(ErrorCode::Deadline),
+            3 => Ok(ErrorCode::Internal),
+            4 => Ok(ErrorCode::ShuttingDown),
+            got => Err(ProtocolError::UnknownErrorCode { got }),
+        }
+    }
+
+    /// The code's display name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            ErrorCode::Busy => "BUSY",
+            ErrorCode::Deadline => "DEADLINE",
+            ErrorCode::Internal => "INTERNAL",
+            ErrorCode::ShuttingDown => "SHUTTING_DOWN",
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A client → server frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Hash `payload` and respond with the squeezed output.
+    Hash {
+        /// Caller-chosen id echoed in the response.
+        id: u64,
+        /// Which FIPS 202 function to run.
+        algorithm: WireAlgorithm,
+        /// Output bytes to squeeze (the digest length for the hash
+        /// functions, caller-chosen for the XOFs).
+        output_len: usize,
+        /// Deadline relative to admission; `None` waits indefinitely.
+        deadline: Option<Duration>,
+        /// The message to hash.
+        payload: Vec<u8>,
+    },
+    /// Return the service's [`MetricsSnapshot`].
+    Stats {
+        /// Caller-chosen id echoed in the response.
+        id: u64,
+    },
+}
+
+impl Request {
+    /// The request id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Request::Hash { id, .. } | Request::Stats { id } => *id,
+        }
+    }
+
+    /// Encodes the frame body (without the length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Hash {
+                id,
+                algorithm,
+                output_len,
+                deadline,
+                payload,
+            } => {
+                let mut body = header(KIND_HASH, *id, 1 + 4 + 8 + 4 + payload.len());
+                body.push(algorithm.id());
+                body.extend_from_slice(&(*output_len as u32).to_le_bytes());
+                let deadline_us =
+                    deadline.map_or(0, |d| d.as_micros().min(u128::from(u64::MAX)) as u64);
+                body.extend_from_slice(&deadline_us.to_le_bytes());
+                body.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                body.extend_from_slice(payload);
+                body
+            }
+            Request::Stats { id } => header(KIND_STATS, *id, 0),
+        }
+    }
+
+    /// Strictly decodes a frame body.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ProtocolError`]; see the module table for the layout every
+    /// field is checked against.
+    pub fn decode(body: &[u8]) -> Result<Self, ProtocolError> {
+        let mut cursor = Cursor::new(body);
+        let (kind, id) = cursor.header()?;
+        let request = match kind {
+            KIND_HASH => {
+                let algorithm = WireAlgorithm::from_id(cursor.u8()?)?;
+                let output_len = cursor.u32()? as usize;
+                if output_len > MAX_OUTPUT_LEN {
+                    return Err(ProtocolError::OversizedOutput { len: output_len });
+                }
+                if let Some(expected) = algorithm.fixed_output_len() {
+                    if output_len != expected {
+                        return Err(ProtocolError::WrongOutputLen {
+                            algorithm,
+                            expected,
+                            got: output_len,
+                        });
+                    }
+                }
+                let deadline_us = cursor.u64()?;
+                let payload = cursor.bytes_u32_len()?;
+                Request::Hash {
+                    id,
+                    algorithm,
+                    output_len,
+                    deadline: (deadline_us > 0).then(|| Duration::from_micros(deadline_us)),
+                    payload,
+                }
+            }
+            KIND_STATS => Request::Stats { id },
+            KIND_DIGEST | KIND_ERROR | KIND_STATS_REPLY => {
+                return Err(ProtocolError::UnexpectedKind { got: kind })
+            }
+            got => return Err(ProtocolError::UnknownKind { got }),
+        };
+        cursor.finish()?;
+        Ok(request)
+    }
+}
+
+/// A server → client frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The squeezed output of a [`Request::Hash`].
+    Digest {
+        /// The request id this answers.
+        id: u64,
+        /// The output bytes.
+        bytes: Vec<u8>,
+    },
+    /// A request that completed without output.
+    Error {
+        /// The request id this answers.
+        id: u64,
+        /// Why there is no output.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The service metrics answering a [`Request::Stats`].
+    Stats {
+        /// The request id this answers.
+        id: u64,
+        /// The snapshot at the time the request was served. Boxed so
+        /// the common digest/error variants stay small.
+        snapshot: Box<MetricsSnapshot>,
+    },
+}
+
+impl Response {
+    /// The request id the response answers.
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::Digest { id, .. }
+            | Response::Error { id, .. }
+            | Response::Stats { id, .. } => *id,
+        }
+    }
+
+    /// Encodes the frame body (without the length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Digest { id, bytes } => {
+                let mut body = header(KIND_DIGEST, *id, 4 + bytes.len());
+                body.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                body.extend_from_slice(bytes);
+                body
+            }
+            Response::Error { id, code, detail } => {
+                let detail = &detail.as_bytes()[..detail.len().min(usize::from(u16::MAX))];
+                let mut body = header(KIND_ERROR, *id, 1 + 2 + detail.len());
+                body.push(*code as u8);
+                body.extend_from_slice(&(detail.len() as u16).to_le_bytes());
+                body.extend_from_slice(detail);
+                body
+            }
+            Response::Stats { id, snapshot } => {
+                let mut body = header(KIND_STATS_REPLY, *id, SNAPSHOT_LEN);
+                encode_snapshot(snapshot, &mut body);
+                body
+            }
+        }
+    }
+
+    /// Strictly decodes a frame body.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ProtocolError`]; request kinds decode as
+    /// [`ProtocolError::UnexpectedKind`].
+    pub fn decode(body: &[u8]) -> Result<Self, ProtocolError> {
+        let mut cursor = Cursor::new(body);
+        let (kind, id) = cursor.header()?;
+        let response = match kind {
+            KIND_DIGEST => Response::Digest {
+                id,
+                bytes: cursor.bytes_u32_len()?,
+            },
+            KIND_ERROR => {
+                let code = ErrorCode::from_byte(cursor.u8()?)?;
+                let len = usize::from(cursor.u16()?);
+                let detail = String::from_utf8(cursor.take(len)?.to_vec())
+                    .map_err(|_| ProtocolError::BadUtf8)?;
+                Response::Error { id, code, detail }
+            }
+            KIND_STATS_REPLY => Response::Stats {
+                id,
+                snapshot: Box::new(decode_snapshot(&mut cursor)?),
+            },
+            KIND_HASH | KIND_STATS => return Err(ProtocolError::UnexpectedKind { got: kind }),
+            got => return Err(ProtocolError::UnknownKind { got }),
+        };
+        cursor.finish()?;
+        Ok(response)
+    }
+}
+
+fn header(kind: u8, id: u64, payload_len: usize) -> Vec<u8> {
+    let mut body = Vec::with_capacity(HEADER_LEN + payload_len);
+    body.extend_from_slice(&MAGIC);
+    body.push(VERSION);
+    body.push(kind);
+    body.extend_from_slice(&id.to_le_bytes());
+    body
+}
+
+/// Fixed encoded length of a [`MetricsSnapshot`]: 11 `u64`-width fields
+/// plus three six-field [`QuantileSummary`] blocks.
+const SNAPSHOT_LEN: usize = 11 * 8 + 3 * 6 * 8;
+
+fn encode_snapshot(snapshot: &MetricsSnapshot, out: &mut Vec<u8>) {
+    for value in [
+        snapshot.submitted,
+        snapshot.completed,
+        snapshot.timeouts,
+        snapshot.rejected,
+        snapshot.worker_failures,
+        snapshot.retries,
+        snapshot.batches,
+        snapshot.queue_depth as u64,
+        snapshot.mean_batch_fill.to_bits(),
+        snapshot.alive_workers as u64,
+        snapshot.batch_slots as u64,
+    ] {
+        out.extend_from_slice(&value.to_le_bytes());
+    }
+    for quantiles in [&snapshot.queue_ns, &snapshot.service_ns, &snapshot.e2e_ns] {
+        for value in [
+            quantiles.count,
+            quantiles.mean.to_bits(),
+            quantiles.p50,
+            quantiles.p90,
+            quantiles.p99,
+            quantiles.max,
+        ] {
+            out.extend_from_slice(&value.to_le_bytes());
+        }
+    }
+}
+
+fn decode_snapshot(cursor: &mut Cursor<'_>) -> Result<MetricsSnapshot, ProtocolError> {
+    let u64s = |cursor: &mut Cursor<'_>| -> Result<[u64; 11], ProtocolError> {
+        let mut values = [0u64; 11];
+        for value in &mut values {
+            *value = cursor.u64()?;
+        }
+        Ok(values)
+    };
+    let counters = u64s(cursor)?;
+    let quantiles = |cursor: &mut Cursor<'_>| -> Result<QuantileSummary, ProtocolError> {
+        Ok(QuantileSummary {
+            count: cursor.u64()?,
+            mean: f64::from_bits(cursor.u64()?),
+            p50: cursor.u64()?,
+            p90: cursor.u64()?,
+            p99: cursor.u64()?,
+            max: cursor.u64()?,
+        })
+    };
+    Ok(MetricsSnapshot {
+        submitted: counters[0],
+        completed: counters[1],
+        timeouts: counters[2],
+        rejected: counters[3],
+        worker_failures: counters[4],
+        retries: counters[5],
+        batches: counters[6],
+        queue_depth: counters[7] as usize,
+        mean_batch_fill: f64::from_bits(counters[8]),
+        alive_workers: counters[9] as usize,
+        batch_slots: counters[10] as usize,
+        queue_ns: quantiles(cursor)?,
+        service_ns: quantiles(cursor)?,
+        e2e_ns: quantiles(cursor)?,
+    })
+}
+
+/// A strict little-endian reader over one frame body.
+struct Cursor<'a> {
+    body: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(body: &'a [u8]) -> Self {
+        Self { body, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
+        let remaining = self.body.len() - self.at;
+        if remaining < n {
+            return Err(ProtocolError::Truncated {
+                needed: n,
+                got: remaining,
+            });
+        }
+        let slice = &self.body[self.at..self.at + n];
+        self.at += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtocolError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    fn bytes_u32_len(&mut self) -> Result<Vec<u8>, ProtocolError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Checks magic, version, and reads the kind and request id.
+    fn header(&mut self) -> Result<(u8, u64), ProtocolError> {
+        let magic = self.take(4)?;
+        if magic != MAGIC {
+            return Err(ProtocolError::BadMagic {
+                got: magic.try_into().expect("len 4"),
+            });
+        }
+        let version = self.u8()?;
+        if version != VERSION {
+            return Err(ProtocolError::BadVersion { got: version });
+        }
+        let kind = self.u8()?;
+        let id = self.u64()?;
+        Ok((kind, id))
+    }
+
+    /// Rejects trailing bytes after the last field.
+    fn finish(self) -> Result<(), ProtocolError> {
+        if self.at != self.body.len() {
+            return Err(ProtocolError::TrailingBytes {
+                extra: self.body.len() - self.at,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_frame(writer: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    writer.write_all(&(body.len() as u32).to_le_bytes())?;
+    writer.write_all(body)
+}
+
+/// Reads one length-prefixed frame body.
+///
+/// Returns `Ok(None)` on a clean close (EOF before the first length
+/// byte); EOF anywhere later is an [`io::ErrorKind::UnexpectedEof`]. A
+/// declared length beyond `max_frame` is surfaced as
+/// [`ProtocolError::OversizedFrame`] without reading or allocating the
+/// body.
+///
+/// # Errors
+///
+/// I/O errors from the reader; the oversized-frame protocol error rides
+/// in the `Ok` layer so the caller can distinguish it from transport
+/// failure.
+pub fn read_frame(
+    reader: &mut impl Read,
+    max_frame: usize,
+) -> io::Result<Option<Result<Vec<u8>, ProtocolError>>> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match reader.read(&mut prefix[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > max_frame {
+        return Ok(Some(Err(ProtocolError::OversizedFrame {
+            len,
+            max: max_frame,
+        })));
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    Ok(Some(Ok(body)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let quantiles = |scale: u64| QuantileSummary {
+            count: 10 * scale,
+            mean: 1234.5 * scale as f64,
+            p50: 1000 * scale,
+            p90: 2000 * scale,
+            p99: 3000 * scale,
+            max: 4000 * scale,
+        };
+        MetricsSnapshot {
+            submitted: 100,
+            completed: 90,
+            timeouts: 4,
+            rejected: 3,
+            worker_failures: 2,
+            retries: 1,
+            batches: 25,
+            queue_depth: 7,
+            mean_batch_fill: 0.875,
+            alive_workers: 2,
+            batch_slots: 8,
+            queue_ns: quantiles(1),
+            service_ns: quantiles(2),
+            e2e_ns: quantiles(3),
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = [
+            Request::Hash {
+                id: 42,
+                algorithm: WireAlgorithm::Sha3_256,
+                output_len: 32,
+                deadline: Some(Duration::from_micros(1500)),
+                payload: b"the message".to_vec(),
+            },
+            Request::Hash {
+                id: u64::MAX,
+                algorithm: WireAlgorithm::Shake128,
+                output_len: 133,
+                deadline: None,
+                payload: Vec::new(),
+            },
+            Request::Stats { id: 7 },
+        ];
+        for request in requests {
+            let decoded = Request::decode(&request.encode()).expect("round trip");
+            assert_eq!(decoded, request);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = [
+            Response::Digest {
+                id: 9,
+                bytes: vec![0xAB; 48],
+            },
+            Response::Error {
+                id: 10,
+                code: ErrorCode::Busy,
+                detail: "queue full at depth 1024".into(),
+            },
+            Response::Stats {
+                id: 11,
+                snapshot: Box::new(sample_snapshot()),
+            },
+        ];
+        for response in responses {
+            let decoded = Response::decode(&response.encode()).expect("round trip");
+            assert_eq!(decoded, response);
+        }
+    }
+
+    #[test]
+    fn algorithm_ids_are_stable_and_exhaustive() {
+        for (index, algorithm) in WireAlgorithm::ALL.into_iter().enumerate() {
+            assert_eq!(
+                algorithm.id() as usize,
+                index + 1,
+                "ids are 1-based and dense"
+            );
+            assert_eq!(WireAlgorithm::from_id(algorithm.id()), Ok(algorithm));
+        }
+        assert_eq!(
+            WireAlgorithm::from_id(0),
+            Err(ProtocolError::UnknownAlgorithm { got: 0 })
+        );
+        assert_eq!(
+            WireAlgorithm::from_id(7),
+            Err(ProtocolError::UnknownAlgorithm { got: 7 })
+        );
+    }
+
+    #[test]
+    fn strict_decode_rejects_each_malformation_with_its_typed_error() {
+        let good = Request::Hash {
+            id: 1,
+            algorithm: WireAlgorithm::Sha3_256,
+            output_len: 32,
+            deadline: None,
+            payload: b"abc".to_vec(),
+        }
+        .encode();
+        assert!(Request::decode(&good).is_ok());
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(
+            Request::decode(&bad_magic),
+            Err(ProtocolError::BadMagic { got: *b"XRVH" })
+        );
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 9;
+        assert_eq!(
+            Request::decode(&bad_version),
+            Err(ProtocolError::BadVersion { got: 9 })
+        );
+
+        let mut bad_kind = good.clone();
+        bad_kind[5] = 0x7F;
+        assert_eq!(
+            Request::decode(&bad_kind),
+            Err(ProtocolError::UnknownKind { got: 0x7F })
+        );
+
+        let response_kind = Response::Digest {
+            id: 1,
+            bytes: vec![0; 4],
+        }
+        .encode();
+        assert_eq!(
+            Request::decode(&response_kind),
+            Err(ProtocolError::UnexpectedKind { got: 0x81 })
+        );
+
+        let truncated = &good[..good.len() - 1];
+        assert!(matches!(
+            Request::decode(truncated),
+            Err(ProtocolError::Truncated { .. })
+        ));
+
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert_eq!(
+            Request::decode(&trailing),
+            Err(ProtocolError::TrailingBytes { extra: 1 })
+        );
+
+        let wrong_output = Request::Hash {
+            id: 1,
+            algorithm: WireAlgorithm::Sha3_512,
+            output_len: 32,
+            deadline: None,
+            payload: Vec::new(),
+        }
+        .encode();
+        assert_eq!(
+            Request::decode(&wrong_output),
+            Err(ProtocolError::WrongOutputLen {
+                algorithm: WireAlgorithm::Sha3_512,
+                expected: 64,
+                got: 32,
+            })
+        );
+
+        let oversized_output = Request::Hash {
+            id: 1,
+            algorithm: WireAlgorithm::Shake256,
+            output_len: MAX_OUTPUT_LEN + 1,
+            deadline: None,
+            payload: Vec::new(),
+        }
+        .encode();
+        assert_eq!(
+            Request::decode(&oversized_output),
+            Err(ProtocolError::OversizedOutput {
+                len: MAX_OUTPUT_LEN + 1
+            })
+        );
+    }
+
+    #[test]
+    fn frame_io_round_trips_and_enforces_the_length_limit() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").expect("write");
+        write_frame(&mut wire, b"").expect("write");
+        let mut reader = wire.as_slice();
+        assert_eq!(
+            read_frame(&mut reader, 64).expect("read").expect("frame"),
+            Ok(b"hello".to_vec())
+        );
+        assert_eq!(
+            read_frame(&mut reader, 64).expect("read").expect("frame"),
+            Ok(Vec::new())
+        );
+        assert!(read_frame(&mut reader, 64).expect("read").is_none(), "EOF");
+
+        let mut oversized = Vec::new();
+        write_frame(&mut oversized, &[0u8; 100]).expect("write");
+        assert_eq!(
+            read_frame(&mut oversized.as_slice(), 64)
+                .expect("read")
+                .expect("frame"),
+            Err(ProtocolError::OversizedFrame { len: 100, max: 64 })
+        );
+
+        // EOF mid-prefix and mid-body are transport errors, not clean closes.
+        let mut partial = wire[..2].to_vec();
+        assert!(read_frame(&mut partial.as_slice(), 64).is_err());
+        partial = wire[..7].to_vec();
+        assert!(read_frame(&mut partial.as_slice(), 64).is_err());
+    }
+
+    #[test]
+    fn snapshot_encoding_is_fixed_width_and_lossless() {
+        let snapshot = sample_snapshot();
+        let mut encoded = Vec::new();
+        encode_snapshot(&snapshot, &mut encoded);
+        assert_eq!(encoded.len(), SNAPSHOT_LEN);
+        let mut cursor = Cursor::new(&encoded);
+        let decoded = decode_snapshot(&mut cursor).expect("decode");
+        cursor.finish().expect("nothing trailing");
+        assert_eq!(decoded, snapshot);
+    }
+
+    #[test]
+    fn errors_and_codes_format_human_readably() {
+        assert_eq!(ErrorCode::Busy.to_string(), "BUSY");
+        assert_eq!(ErrorCode::from_byte(2), Ok(ErrorCode::Deadline));
+        assert_eq!(
+            ErrorCode::from_byte(0),
+            Err(ProtocolError::UnknownErrorCode { got: 0 })
+        );
+        let text = ProtocolError::OversizedFrame { len: 10, max: 5 }.to_string();
+        assert!(text.contains("10") && text.contains("5"), "{text}");
+        assert!(ProtocolError::BadUtf8.to_string().contains("UTF-8"));
+    }
+}

@@ -1,0 +1,167 @@
+//! The daemon: a TCP listener feeding per-connection threads, over one
+//! shared [`Service`], with a graceful shutdown that drains before it
+//! closes.
+
+use crate::conn;
+use krv_service::{MetricsSnapshot, Service, ServiceConfig};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How the daemon is shaped: the service underneath plus the wire-facing
+/// limits every connection is held to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// The continuous-batching service the daemon serves from.
+    pub service: ServiceConfig,
+    /// Largest accepted frame body in bytes; a longer declared length is
+    /// a protocol violation that closes the connection unread.
+    pub max_frame: usize,
+    /// Most hash requests one connection may have in flight; the excess
+    /// is answered `BUSY` without touching the admission queue.
+    pub max_in_flight: usize,
+    /// A connection with no complete frame for this long is closed.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    /// The default service behind a 1 MiB frame limit, a 128-request
+    /// pipeline window and a 30 s idle timeout.
+    fn default() -> Self {
+        Self {
+            service: ServiceConfig::default(),
+            max_frame: crate::protocol::DEFAULT_MAX_FRAME,
+            max_in_flight: 128,
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A running remote-hashing daemon.
+///
+/// Accepts connections until [`Self::shutdown`] (or drop), serving every
+/// connection through [`crate::protocol`] framing onto the shared
+/// [`Service`]. Shutdown is graceful by construction: accepting stops
+/// first, each connection drains its in-flight requests and writes their
+/// responses, and only then does the service itself drain and stop.
+#[derive(Debug)]
+pub struct Server {
+    local_addr: SocketAddr,
+    service: Option<Arc<Service>>,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds `addr` (`"127.0.0.1:0"` for an ephemeral test port), starts
+    /// the service and the accept thread, and returns the running daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let service = Arc::new(Service::start(config.service));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept = {
+            let service = Arc::clone(&service);
+            let shutdown = Arc::clone(&shutdown);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("krv-server-accept".into())
+                .spawn(move || loop {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            if shutdown.load(Ordering::Acquire) {
+                                // The shutdown wake-up connection (or a
+                                // late client); either way, refuse.
+                                return;
+                            }
+                            let service = Arc::clone(&service);
+                            let shutdown = Arc::clone(&shutdown);
+                            let handle = std::thread::Builder::new()
+                                .name("krv-server-conn".into())
+                                .spawn(move || conn::serve(stream, service, config, shutdown))
+                                .expect("spawn connection thread");
+                            conns.lock().expect("connection registry").push(handle);
+                        }
+                        Err(_) if shutdown.load(Ordering::Acquire) => return,
+                        // A transient accept error (e.g. the peer reset
+                        // before we got to it) must not kill the daemon.
+                        Err(_) => {}
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+
+        Ok(Self {
+            local_addr,
+            service: Some(service),
+            shutdown,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    /// The address the daemon is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A point-in-time snapshot of the underlying service's metrics —
+    /// the same data a remote caller gets from a `STATS` request.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.service
+            .as_ref()
+            .expect("service runs until shutdown")
+            .metrics()
+    }
+
+    /// Graceful shutdown: stops accepting, lets every connection drain
+    /// its in-flight requests and write their responses, then drains the
+    /// service and returns its final metrics.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.stop();
+        let service = self.service.take().expect("first shutdown");
+        match Arc::try_unwrap(service) {
+            Ok(service) => service.shutdown(),
+            // Unreachable once every holder thread has been joined, but
+            // a metrics snapshot beats a panic if that ever changes.
+            Err(service) => service.metrics(),
+        }
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Unblock the accept thread: it wakes on this connection, sees
+        // the flag and returns.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // Connections notice the flag within a poll tick, stop reading,
+        // drain their in-flight responses and exit.
+        let handles = std::mem::take(&mut *self.conns.lock().expect("connection registry"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    /// Same as [`Self::shutdown`], discarding the final metrics.
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop();
+        }
+        // Dropping the service Arc closes and joins the scheduler.
+        self.service.take();
+    }
+}

@@ -1,0 +1,309 @@
+//! Protocol robustness fuzz: malformed frames against the decoder and
+//! against a live daemon socket.
+//!
+//! Two layers, both SplitMix64-seeded and reproducible:
+//!
+//! * the **decoder** must answer every mutation of a valid frame —
+//!   truncation, bit flips, wrong magic, wrong version, length-field
+//!   corruption, pure garbage — with a typed [`ProtocolError`] or a
+//!   valid decode, never a panic;
+//! * a **live server** fed the same malformations must close the
+//!   offending connection (promptly — a hang fails the test) and keep
+//!   serving fresh connections; the daemon never dies.
+//!
+//! A failing case shrinks via `krv_testkit::shrink` to a minimal byte
+//! string before it is reported.
+
+use krv_server::protocol::{write_frame, DEFAULT_MAX_FRAME};
+use krv_server::{Client, Request, Server, ServerConfig, WireAlgorithm};
+use krv_service::ServiceConfig;
+use krv_sha3::Sha3_256;
+use krv_testkit::{shrink, CaseReport, Rng};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+/// A random but well-formed request frame body.
+fn valid_body(rng: &mut Rng) -> Vec<u8> {
+    if rng.below(8) == 0 {
+        return Request::Stats { id: rng.next_u64() }.encode();
+    }
+    let algorithm = *rng.pick(&WireAlgorithm::ALL);
+    let output_len = algorithm
+        .fixed_output_len()
+        .unwrap_or_else(|| 1 + rng.below(200));
+    let payload_len = rng.below(300);
+    Request::Hash {
+        id: rng.next_u64(),
+        algorithm,
+        output_len,
+        deadline: rng.next_bool().then(|| Duration::from_millis(500)),
+        payload: rng.bytes(payload_len),
+    }
+    .encode()
+}
+
+/// One seeded malformation of a valid frame body.
+fn mutate(rng: &mut Rng, mut body: Vec<u8>) -> Vec<u8> {
+    match rng.below(6) {
+        // Truncate anywhere, including to empty.
+        0 => {
+            body.truncate(rng.below(body.len() + 1));
+            body
+        }
+        // Flip one random bit.
+        1 => {
+            if !body.is_empty() {
+                let at = rng.below(body.len());
+                body[at] ^= 1 << rng.below(8);
+            }
+            body
+        }
+        // Corrupt the magic.
+        2 => {
+            body[rng.below(4)] ^= 0xFF;
+            body
+        }
+        // Claim a version we do not speak.
+        3 => {
+            body[4] = rng.next_u32() as u8 | 0x80;
+            body
+        }
+        // Corrupt an interior length field (offsets inside the hash
+        // request layout), desynchronizing the declared sizes.
+        4 => {
+            let at = 14 + rng.below(body.len().saturating_sub(14).max(1));
+            if at < body.len() {
+                body[at] = body[at].wrapping_add(1 + rng.next_u32() as u8 % 255);
+            }
+            body
+        }
+        // Replace with pure garbage.
+        _ => {
+            let len = rng.below(64);
+            rng.bytes(len)
+        }
+    }
+}
+
+#[test]
+fn decoder_survives_every_seeded_malformation() {
+    let mut rng = Rng::new(0xF022_0001);
+    for case in 0..4000u64 {
+        let body = valid_body(&mut rng);
+        let body = mutate(&mut rng, body);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let _ = Request::decode(&body);
+        }));
+        if outcome.is_err() {
+            let minimal = shrink(body, byte_shrink_candidates, |candidate| {
+                catch_unwind(AssertUnwindSafe(|| {
+                    let _ = Request::decode(candidate);
+                }))
+                .is_err()
+            });
+            panic!(
+                "{}",
+                CaseReport::new(
+                    "server/protocol-fuzz",
+                    0xF022_0001,
+                    format!("decode panicked on case {case}, minimized to {minimal:02x?}")
+                )
+            );
+        }
+    }
+}
+
+#[test]
+fn guaranteed_invalid_frames_decode_to_typed_errors() {
+    let mut rng = Rng::new(0xF022_0002);
+    for _ in 0..1500 {
+        let body = valid_body(&mut rng);
+        // Wrong magic.
+        let mut bad = body.clone();
+        bad[rng.below(4)] ^= 0xFF;
+        assert!(Request::decode(&bad).is_err(), "magic must be checked");
+        // Wrong version.
+        let mut bad = body.clone();
+        bad[4] ^= 0x55;
+        assert!(Request::decode(&bad).is_err(), "version must be checked");
+        // Strict truncation (any proper prefix fails: the layout has no
+        // optional tail).
+        let cut = rng.below(body.len());
+        assert!(
+            Request::decode(&body[..cut]).is_err(),
+            "truncation to {cut} of {} must fail",
+            body.len()
+        );
+        // Trailing bytes.
+        let mut bad = body.clone();
+        let extra = 1 + rng.below(8);
+        bad.extend_from_slice(&rng.bytes(extra));
+        assert!(Request::decode(&bad).is_err(), "trailing bytes must fail");
+    }
+}
+
+/// Shrink candidates for a byte string: drop one byte, or halve it.
+#[allow(clippy::ptr_arg)] // `shrink` wants FnMut(&Vec<u8>) -> Vec<Vec<u8>>
+fn byte_shrink_candidates(bytes: &Vec<u8>) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    if bytes.len() > 1 {
+        out.push(bytes[..bytes.len() / 2].to_vec());
+    }
+    for i in 0..bytes.len().min(64) {
+        let mut smaller = bytes.clone();
+        smaller.remove(i);
+        out.push(smaller);
+    }
+    out
+}
+
+/// What a raw malformed-bytes probe observed from the daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Probe {
+    /// The server closed the connection (EOF) without a response.
+    Closed,
+    /// The server answered with at least one frame, then closed.
+    RespondedThenClosed,
+    /// Nothing happened within the patience window: a hang.
+    Hung,
+}
+
+/// Writes `bytes` raw to a fresh connection, closes the write half, and
+/// reports how the daemon reacted.
+fn probe(addr: std::net::SocketAddr, bytes: &[u8]) -> Probe {
+    let mut stream = TcpStream::connect(addr).expect("connect probe");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    // The peer may close mid-write (oversized prefix): ignore write
+    // errors, the read below observes the outcome either way.
+    let _ = stream.write_all(bytes);
+    let _ = stream.flush();
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut seen_response = false;
+    let mut buffer = [0u8; 4096];
+    loop {
+        match stream.read(&mut buffer) {
+            Ok(0) => {
+                return if seen_response {
+                    Probe::RespondedThenClosed
+                } else {
+                    Probe::Closed
+                }
+            }
+            Ok(_) => seen_response = true,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Probe::Hung
+            }
+            // Reset counts as closed: the daemon dropped us.
+            Err(_) => {
+                return if seen_response {
+                    Probe::RespondedThenClosed
+                } else {
+                    Probe::Closed
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn live_daemon_survives_malformed_frames_without_hanging_or_dying() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            service: ServiceConfig {
+                max_wait: Duration::from_micros(200),
+                ..ServiceConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let seed = 0xF022_0003u64;
+    let mut rng = Rng::new(seed);
+
+    for case in 0..40u64 {
+        let wire = match case % 5 {
+            // A malformed body behind a correct length prefix.
+            0..=2 => {
+                let body = valid_body(&mut rng);
+                let body = mutate(&mut rng, body);
+                let mut wire = Vec::new();
+                write_frame(&mut wire, &body).expect("frame");
+                wire
+            }
+            // An oversized declared length: rejected before the body.
+            3 => {
+                let mut wire = ((DEFAULT_MAX_FRAME + 1 + rng.below(1 << 20)) as u32)
+                    .to_le_bytes()
+                    .to_vec();
+                let extra = rng.below(32);
+                wire.extend_from_slice(&rng.bytes(extra));
+                wire
+            }
+            // A truncated frame: the prefix promises more than we send.
+            _ => {
+                let body = valid_body(&mut rng);
+                let mut wire = Vec::new();
+                write_frame(&mut wire, &body).expect("frame");
+                let keep = 4 + rng.below(body.len());
+                wire.truncate(keep);
+                wire
+            }
+        };
+        let outcome = probe(addr, &wire);
+        if outcome == Probe::Hung {
+            let minimal = shrink(wire, byte_shrink_candidates, |candidate| {
+                probe(addr, candidate) == Probe::Hung
+            });
+            panic!(
+                "{}",
+                CaseReport::new(
+                    "server/socket-fuzz",
+                    seed,
+                    format!("daemon hung on case {case}, minimized to {minimal:02x?}")
+                )
+            );
+        }
+        // Closed (malformed) or responded-then-closed (a bit flip can
+        // leave the frame valid) are both acceptable; a hang never is.
+    }
+
+    // A valid frame followed by garbage: the valid request is answered
+    // before the violation closes the connection.
+    let good = Request::Hash {
+        id: 77,
+        algorithm: WireAlgorithm::Sha3_256,
+        output_len: 32,
+        deadline: None,
+        payload: b"still served".to_vec(),
+    };
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &good.encode()).expect("frame");
+    wire.extend_from_slice(b"\xDE\xAD\xBE\xEF garbage after a valid frame");
+    assert_eq!(
+        probe(addr, &wire),
+        Probe::RespondedThenClosed,
+        "the in-flight request drains before the violation closes the socket"
+    );
+
+    // After all of that abuse the daemon still serves a clean client.
+    let client = Client::connect(addr).expect("fresh connection");
+    assert_eq!(
+        client
+            .digest(WireAlgorithm::Sha3_256, b"alive")
+            .expect("daemon survived the fuzz"),
+        Sha3_256::digest(b"alive")
+    );
+    drop(client);
+    server.shutdown();
+}

@@ -467,6 +467,45 @@ mod tests {
     }
 
     #[test]
+    fn on_complete_callbacks_fire_exactly_once() {
+        let service = Service::start(fast_config());
+        let (sender, receiver) = std::sync::mpsc::channel();
+        for i in 0..5u8 {
+            let sender = sender.clone();
+            let ticket = service.submit(HashRequest::sha3_256(vec![i; 20])).unwrap();
+            ticket.on_complete(move |completion| {
+                sender.send((i, completion)).expect("receiver alive");
+            });
+        }
+        let mut seen = [false; 5];
+        for _ in 0..5 {
+            let (i, completion) = receiver
+                .recv_timeout(Duration::from_secs(10))
+                .expect("every callback fires");
+            assert!(!seen[i as usize], "callback #{i} fired twice");
+            seen[i as usize] = true;
+            assert_eq!(
+                completion.result.expect("request succeeds"),
+                Sha3_256::digest(&[i; 20]),
+                "callback #{i} carries the right digest"
+            );
+        }
+
+        // Registering on an already-completed ticket runs the callback
+        // inline on the caller's thread.
+        let ticket = service.submit(HashRequest::sha3_256(b"late")).unwrap();
+        while !ticket.is_ready() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let (sender, receiver) = std::sync::mpsc::channel();
+        ticket.on_complete(move |completion| sender.send(completion).expect("send"));
+        let completion = receiver.try_recv().expect("callback ran inline");
+        assert_eq!(completion.result.unwrap(), Sha3_256::digest(b"late"));
+        let report = service.shutdown();
+        assert_eq!(report.completed, 6);
+    }
+
+    #[test]
     fn config_accessors_and_defaults_are_consistent() {
         let config = ServiceConfig::default();
         assert_eq!(config.batch_slots(), config.workers * config.sn);

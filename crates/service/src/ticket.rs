@@ -62,20 +62,74 @@ pub struct Completion {
     pub timing: RequestTiming,
 }
 
+/// What a ticket's slot currently holds: nothing yet, a completion
+/// nobody has claimed, a registered callback, or proof of delivery.
+enum SlotState {
+    /// Neither the scheduler nor the caller has acted yet.
+    Pending,
+    /// The scheduler completed first; the completion waits for the
+    /// caller (a blocking [`Ticket::wait`] or a late
+    /// [`Ticket::on_complete`] registration).
+    Completed(Completion),
+    /// The caller registered a callback first; the scheduler will run
+    /// it on completion.
+    Callback(Box<dyn FnOnce(Completion) + Send>),
+    /// The completion has been handed to a callback; nothing remains.
+    Delivered,
+}
+
+impl std::fmt::Debug for SlotState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SlotState::Pending => write!(f, "Pending"),
+            SlotState::Completed(completion) => {
+                f.debug_tuple("Completed").field(completion).finish()
+            }
+            SlotState::Callback(_) => write!(f, "Callback(..)"),
+            SlotState::Delivered => write!(f, "Delivered"),
+        }
+    }
+}
+
 /// The slot a ticket resolves through: the scheduler writes the
-/// completion, the waiting caller is woken by the condvar.
-#[derive(Debug, Default)]
+/// completion (or runs the registered callback), the waiting caller is
+/// woken by the condvar.
+#[derive(Debug)]
 pub(crate) struct TicketCell {
-    slot: Mutex<Option<Completion>>,
+    slot: Mutex<SlotState>,
     ready: Condvar,
 }
 
+impl Default for TicketCell {
+    fn default() -> Self {
+        Self {
+            slot: Mutex::new(SlotState::Pending),
+            ready: Condvar::new(),
+        }
+    }
+}
+
 impl TicketCell {
-    /// Publishes the completion and wakes every waiter.
+    /// Publishes the completion: wakes every blocked waiter, or runs the
+    /// registered callback (outside the lock — callbacks may take their
+    /// own locks).
     pub(crate) fn complete(&self, completion: Completion) {
         let mut slot = self.slot.lock().expect("ticket lock");
-        *slot = Some(completion);
-        self.ready.notify_all();
+        match std::mem::replace(&mut *slot, SlotState::Delivered) {
+            SlotState::Pending => {
+                *slot = SlotState::Completed(completion);
+                drop(slot);
+                self.ready.notify_all();
+            }
+            SlotState::Callback(callback) => {
+                drop(slot);
+                callback(completion);
+            }
+            // The scheduler resolves each ticket exactly once; a second
+            // completion would be a bug, but swallowing it beats
+            // panicking a scheduler thread.
+            SlotState::Completed(_) | SlotState::Delivered => {}
+        }
     }
 }
 
@@ -94,17 +148,54 @@ impl Ticket {
     /// Whether the request has completed (so [`Self::wait`] would return
     /// immediately).
     pub fn is_ready(&self) -> bool {
-        self.cell.slot.lock().expect("ticket lock").is_some()
+        matches!(
+            *self.cell.slot.lock().expect("ticket lock"),
+            SlotState::Completed(_)
+        )
     }
 
     /// Blocks until the request completes and returns its outcome.
     pub fn wait(self) -> Completion {
         let mut slot = self.cell.slot.lock().expect("ticket lock");
         loop {
-            if let Some(completion) = slot.take() {
-                return completion;
+            if let SlotState::Completed(_) = *slot {
+                match std::mem::replace(&mut *slot, SlotState::Delivered) {
+                    SlotState::Completed(completion) => return completion,
+                    _ => unreachable!("state checked under the same lock"),
+                }
             }
             slot = self.cell.ready.wait(slot).expect("ticket lock");
+        }
+    }
+
+    /// Registers `callback` to run with the completion instead of
+    /// blocking for it, consuming the ticket.
+    ///
+    /// If the request has already completed, the callback runs
+    /// immediately on the calling thread; otherwise it runs on the
+    /// scheduler thread when the request resolves (including during a
+    /// shutdown drain — every admitted ticket resolves exactly once, so
+    /// the callback is guaranteed to run eventually). Callbacks should
+    /// be quick and must not block on the service: they execute on the
+    /// thread that dispatches every batch.
+    ///
+    /// This is what lets a network connection multiplex thousands of
+    /// in-flight requests without a waiting thread per ticket.
+    pub fn on_complete(self, callback: impl FnOnce(Completion) + Send + 'static) {
+        let mut slot = self.cell.slot.lock().expect("ticket lock");
+        match std::mem::replace(&mut *slot, SlotState::Delivered) {
+            SlotState::Pending => {
+                *slot = SlotState::Callback(Box::new(callback));
+            }
+            SlotState::Completed(completion) => {
+                drop(slot);
+                callback(completion);
+            }
+            // `on_complete` consumes the only Ticket, so the slot cannot
+            // already hold a callback or have delivered.
+            SlotState::Callback(_) | SlotState::Delivered => {
+                unreachable!("ticket consumed twice")
+            }
         }
     }
 }

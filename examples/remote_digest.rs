@@ -1,0 +1,82 @@
+//! Remote hashing over TCP: the daemon and its client in one process.
+//!
+//! Boots a [`keccak_rvv::server::Server`] on an ephemeral loopback
+//! port — the shape the paper's accelerator would take as a shared
+//! co-processor — then drives it with the pipelining client:
+//!
+//! 1. one blocking digest per FIPS 202 function, each checked against
+//!    the in-process reference implementation,
+//! 2. a pipelined burst of SHAKE128 requests all in flight on one
+//!    socket at once, and
+//! 3. a `STATS` request reading the daemon's service metrics over the
+//!    wire before a graceful shutdown drains everything.
+//!
+//! Run with: `cargo run --example remote_digest`
+
+use keccak_rvv::server::{Client, Server, ServerConfig, WireAlgorithm};
+use keccak_rvv::sha3::{hex, Shake128};
+
+fn main() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind daemon");
+    let addr = server.local_addr();
+    println!("daemon listening on {addr}\n");
+
+    let client = Client::connect(addr).expect("connect");
+    let message = b"maximizing the potential of custom RISC-V vector extensions";
+
+    // One blocking round trip per algorithm, verified locally.
+    println!("{:<10} digest over the wire", "algorithm");
+    for algorithm in WireAlgorithm::ALL {
+        let digest = client.digest(algorithm, message).expect("remote digest");
+        let expected = match algorithm {
+            WireAlgorithm::Sha3_224 => keccak_rvv::sha3::Sha3_224::digest(message).to_vec(),
+            WireAlgorithm::Sha3_256 => keccak_rvv::sha3::Sha3_256::digest(message).to_vec(),
+            WireAlgorithm::Sha3_384 => keccak_rvv::sha3::Sha3_384::digest(message).to_vec(),
+            WireAlgorithm::Sha3_512 => keccak_rvv::sha3::Sha3_512::digest(message).to_vec(),
+            WireAlgorithm::Shake128 => Shake128::digest(message, 32),
+            WireAlgorithm::Shake256 => keccak_rvv::sha3::Shake256::digest(message, 32),
+        };
+        assert_eq!(digest, expected, "{}", algorithm.name());
+        println!("{:<10} {}", algorithm.name(), hex(&digest));
+    }
+
+    // A pipelined burst: submit everything, then collect the replies.
+    let burst: Vec<Vec<u8>> = (0..16u8).map(|i| vec![i; 100 + 40 * i as usize]).collect();
+    let pending: Vec<_> = burst
+        .iter()
+        .map(|m| {
+            client
+                .submit(WireAlgorithm::Shake128, m, 32, None)
+                .expect("pipelined submit")
+        })
+        .collect();
+    for (message, pending) in burst.iter().zip(pending) {
+        let reply = pending.wait().expect("pipelined reply");
+        let digest = match reply.response {
+            keccak_rvv::server::Response::Digest { bytes, .. } => bytes,
+            other => panic!("expected a digest, got {other:?}"),
+        };
+        assert_eq!(digest, Shake128::digest(message, 32));
+    }
+    println!(
+        "\npipelined burst: {} SHAKE128 digests verified",
+        burst.len()
+    );
+
+    // The daemon's own metrics, read over the wire.
+    let stats = client.stats().expect("stats over the wire");
+    println!(
+        "daemon stats: {} submitted, {} completed, e2e p99 {:.2} ms",
+        stats.submitted,
+        stats.completed,
+        stats.e2e_ns.p99 as f64 / 1e6
+    );
+
+    drop(client);
+    let report = server.shutdown();
+    assert_eq!(report.completed, stats.completed);
+    println!(
+        "graceful shutdown: {} requests served, none dropped",
+        report.completed
+    );
+}

@@ -22,6 +22,7 @@
 //! | [`kyber`] | `krv-kyber` | K-PKE key generation (the paper's future-work workload) |
 //! | [`area`] | `krv-area` | FPGA slice model |
 //! | [`service`] | `krv-service` | continuous-batching hashing service over the engine pool |
+//! | [`server`] | `krv-server` | remote hashing daemon: framed TCP wire protocol, server, client |
 //!
 //! # Quickstart
 //!
@@ -50,6 +51,7 @@ pub use krv_core as core;
 pub use krv_isa as isa;
 pub use krv_keccak as keccak;
 pub use krv_kyber as kyber;
+pub use krv_server as server;
 pub use krv_service as service;
 pub use krv_sha3 as sha3;
 pub use krv_vproc as vproc;

@@ -1,0 +1,120 @@
+//! Workspace-level remote hashing guard: the daemon's wire algorithm
+//! ids against the conformance KAT vectors, end to end over loopback.
+//!
+//! Every [`WireAlgorithm`] maps onto exactly one conformance
+//! [`Algorithm`]; each suite's short KAT tier is submitted over a real
+//! socket and checked against the published digests. A mis-numbered
+//! algorithm id, a sponge-parameter mix-up in [`WireAlgorithm::params`]
+//! or an output-length bug on the wire all land here as a digest
+//! mismatch naming the algorithm and vector.
+
+use keccak_rvv::server::{Client, Server, ServerConfig, WireAlgorithm};
+use keccak_rvv::sha3::hex;
+use krv_conformance::{vectors, Algorithm};
+use krv_service::ServiceConfig;
+use std::time::Duration;
+
+/// The wire id an algorithm travels as. Exhaustive: a new conformance
+/// algorithm without a wire id fails to compile here.
+fn wire(algorithm: Algorithm) -> WireAlgorithm {
+    match algorithm {
+        Algorithm::Sha3_224 => WireAlgorithm::Sha3_224,
+        Algorithm::Sha3_256 => WireAlgorithm::Sha3_256,
+        Algorithm::Sha3_384 => WireAlgorithm::Sha3_384,
+        Algorithm::Sha3_512 => WireAlgorithm::Sha3_512,
+        Algorithm::Shake128 => WireAlgorithm::Shake128,
+        Algorithm::Shake256 => WireAlgorithm::Shake256,
+    }
+}
+
+fn quick_config() -> ServerConfig {
+    ServerConfig {
+        service: ServiceConfig {
+            max_wait: Duration::from_micros(200),
+            ..ServiceConfig::default()
+        },
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn the_wire_algorithm_ids_cover_the_conformance_roster_exactly() {
+    assert_eq!(Algorithm::ALL.len(), WireAlgorithm::ALL.len());
+    for algorithm in Algorithm::ALL {
+        let on_wire = wire(algorithm);
+        // Ids are stable protocol surface: 1..=6 in FIPS 202 order.
+        let position = WireAlgorithm::ALL
+            .iter()
+            .position(|w| *w == on_wire)
+            .expect("wire id is in ALL");
+        assert_eq!(on_wire.id() as usize, position + 1);
+        assert_eq!(WireAlgorithm::from_id(on_wire.id()), Ok(on_wire));
+    }
+}
+
+#[test]
+fn every_short_kat_vector_round_trips_over_the_wire() {
+    let server = Server::bind("127.0.0.1:0", quick_config()).expect("bind");
+    let client = Client::connect(server.local_addr()).expect("connect");
+    let mut vectors_checked = 0u64;
+    for suite in &vectors::SUITES {
+        let algorithm = wire(suite.algorithm);
+        // The whole suite is pipelined on the socket at once; replies
+        // land by request id, not arrival order.
+        let pending: Vec<_> = suite
+            .short
+            .iter()
+            .map(|entry| {
+                let message = entry.message.bytes();
+                client
+                    .submit(algorithm, &message, entry.output_len, None)
+                    .expect("submit KAT vector")
+            })
+            .collect();
+        for (entry, pending) in suite.short.iter().zip(pending) {
+            let digest = pending.wait_digest().expect("KAT digest");
+            assert_eq!(
+                hex(&digest),
+                entry.digest_hex,
+                "{} KAT, {} byte message",
+                algorithm.name(),
+                entry.message.len()
+            );
+            vectors_checked += 1;
+        }
+    }
+    let report = server.shutdown();
+    assert_eq!(report.completed, vectors_checked);
+    assert_eq!(report.worker_failures, 0);
+}
+
+#[test]
+fn shutdown_drains_a_kat_burst_that_is_still_in_flight() {
+    let server = Server::bind("127.0.0.1:0", quick_config()).expect("bind");
+    let client = Client::connect(server.local_addr()).expect("connect");
+    let suite = vectors::SUITES
+        .iter()
+        .find(|s| s.algorithm == Algorithm::Shake128)
+        .expect("SHAKE128 suite");
+    let pending: Vec<_> = suite
+        .short
+        .iter()
+        .map(|entry| {
+            let message = entry.message.bytes();
+            client
+                .submit(WireAlgorithm::Shake128, &message, entry.output_len, None)
+                .expect("submit")
+        })
+        .collect();
+    // The stats reply is a read barrier: the server has admitted every
+    // request submitted before it on this socket.
+    client.stats().expect("stats");
+    let report = server.shutdown();
+    for (entry, pending) in suite.short.iter().zip(pending) {
+        let digest = pending
+            .wait_digest()
+            .expect("in-flight KAT answers during graceful shutdown");
+        assert_eq!(hex(&digest), entry.digest_hex);
+    }
+    assert_eq!(report.completed, suite.short.len() as u64);
+}
