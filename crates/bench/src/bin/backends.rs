@@ -1,4 +1,5 @@
-//! Backend comparison: reference vs single-engine vs pooled.
+//! Backend comparison: reference vs single-engine vs pooled vs the
+//! host-native lane-parallel kernel at every compiled width.
 //!
 //! Hashes the same mixed-length SHAKE128 batch through the
 //! drain-and-refill scheduler on each execution backend, checks the
@@ -36,6 +37,7 @@
 
 use krv_core::{EnginePool, KernelKind, VectorKeccakEngine};
 use krv_keccak::KeccakState;
+use krv_native::{LaneWidth, NativeBackend};
 use krv_sha3::{hash_batch, BatchRequest, PermutationBackend, ReferenceBackend, SpongeParams};
 use krv_testkit::{LatencyHistogram, Rng};
 use std::fmt::Write as _;
@@ -293,10 +295,39 @@ fn main() -> std::io::Result<()> {
         simulated_perms_per_sec: Some(pooled_sim),
     });
 
+    // The host-native word-parallel kernel, one row per compiled lane
+    // width. No simulated figure: this tier runs real host code, so its
+    // only meaningful number is the wall clock.
+    let mut native_best_wall = 0.0f64;
+    for width in LaneWidth::ALL {
+        let name = match width {
+            LaneWidth::X1 => "native-x1",
+            LaneWidth::X2 => "native-x2",
+            LaneWidth::X4 => "native-x4",
+            LaneWidth::X8 => "native-x8",
+        };
+        let mut backend = NativeBackend::with_width(width);
+        let hist = measure(5, || {
+            let out = hash_batch(params, &mut backend, &requests);
+            assert_eq!(out, expected);
+        });
+        let wall = median_rate(&hist, permutations);
+        native_best_wall = native_best_wall.max(wall);
+        rows.push(Row {
+            name,
+            detail: format!("host word-parallel, {} states/call", width.lanes()),
+            wall_perms_per_sec: wall,
+            wall_hist: hist,
+            simulated_perms_per_sec: None,
+        });
+    }
+
+    let reference_wall = rows[0].wall_perms_per_sec;
     let single_wall = rows[1].wall_perms_per_sec;
     let pooled_wall = rows[2].wall_perms_per_sec;
     let wall_speedup_vs_seed = single_wall / SEED_SINGLE_ENGINE_WALL;
     let pooled_wall_speedup = pooled_wall / single_wall;
+    let native_wall_speedup_vs_reference = native_best_wall / reference_wall;
 
     println!(
         "{:<16} {:>14} {:>18} {:>12}",
@@ -336,6 +367,10 @@ fn main() -> std::io::Result<()> {
         json,
         "  \"pooled_wall_speedup_vs_single\": {pooled_wall_speedup:.2},"
     );
+    let _ = writeln!(
+        json,
+        "  \"native_wall_speedup_vs_reference\": {native_wall_speedup_vs_reference:.2},"
+    );
     let _ = writeln!(json, "  \"backends\": [");
     for (index, row) in rows.iter().enumerate() {
         let comma = if index + 1 < rows.len() { "," } else { "" };
@@ -367,6 +402,9 @@ fn main() -> std::io::Result<()> {
     println!(
         "single-engine wall speedup vs seed interpreter ({SEED_SINGLE_ENGINE_WALL:.0} perm/s): {wall_speedup_vs_seed:.2}x"
     );
+    println!(
+        "best native wall speedup vs sequential reference: {native_wall_speedup_vs_reference:.2}x"
+    );
     let pooled_speedup = pooled_sim / single_sim;
     println!("pooled simulated speedup: {pooled_speedup:.2}x (critical path, host-independent)");
     if pooled_wall < 2.0 * single_wall {
@@ -394,6 +432,11 @@ fn run_check(
     let mut pool = CyclesBackend::new(EnginePool::new(KernelKind::E64Lmul8, SN, 2));
     let out = hash_batch(params, &mut pool, requests);
     assert_eq!(out, expected, "pooled outputs diverged");
+
+    for width in LaneWidth::ALL {
+        let out = hash_batch(params, NativeBackend::with_width(width), requests);
+        assert_eq!(out, expected, "native {width} outputs diverged");
+    }
 
     let single_sim = permutations as f64 * CLOCK_HZ / engine.critical_path as f64;
     println!(

@@ -1,6 +1,6 @@
 //! Load generator for the continuous-batching hashing service.
 //!
-//! Drives a [`krv_service::Service`] under two classic serving-bench
+//! Drives a [`krv_service::Service`] under three serving-bench
 //! disciplines and records the results into `BENCH_service.json`
 //! (repo root):
 //!
@@ -9,11 +9,21 @@
 //!   throughput, which is compared against hashing the identical
 //!   workload through a *direct* pooled [`hash_batch`] call (no queue,
 //!   no scheduler) — the batching overhead must stay small.
+//! * **native loop** — the same closed-loop discipline with the service
+//!   routed to the host-native tier and the simulator mirroring every
+//!   `MIRROR_EVERY`-th dispatch group as an online differential oracle.
+//!   Measures wall permutations per second against a *reference-direct*
+//!   [`hash_batch`] run of the identical workload, and asserts the
+//!   oracle sampled without a single mismatch.
 //! * **open loop** — Poisson arrivals at a configured rate, submitted
 //!   with a deadline, regardless of completions. Measures tail latency
 //!   under load the way a real front-end would experience it.
 //!
-//! Both phases run on a deterministic SplitMix64-seeded workload. The
+//! Every ticket records which tier served it
+//! ([`krv_service::RequestTiming::tier`]), so the JSON reports per-tier
+//! served counts for each phase.
+//!
+//! All phases run on a deterministic SplitMix64-seeded workload. The
 //! latency figures come from the service's own
 //! [`krv_testkit::LatencyHistogram`]-backed metrics.
 //!
@@ -30,8 +40,10 @@
 //! Run with: `cargo run --release -p krv-bench --bin loadgen`
 
 use krv_core::EnginePool;
-use krv_service::{HashRequest, MetricsSnapshot, QuantileSummary, Service, ServiceConfig};
-use krv_sha3::{hash_batch, BatchRequest, SpongeParams};
+use krv_service::{
+    HashRequest, MetricsSnapshot, QuantileSummary, Service, ServiceConfig, TierKind, TierPolicy,
+};
+use krv_sha3::{hash_batch, BatchRequest, ReferenceBackend, SpongeParams};
 use krv_testkit::Rng;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -49,6 +61,24 @@ const DEFAULT_SEED: u64 = 0x10AD_0001;
 /// XOR'd into the seed for the open-loop phase so the two phases draw
 /// independent streams even under a user-supplied `--seed`.
 const OPEN_LOOP_SALT: u64 = 0x04E4_A221;
+/// XOR'd into the seed for the native-tier phase, for the same reason.
+const NATIVE_SALT: u64 = 0x0A71_0E17;
+/// Native-loop message length: 25 full SHAKE128 rate blocks, so padding
+/// adds a 26th and each request costs 26 permutations. Long messages
+/// amortize the per-request queue/ticket overhead, putting the
+/// measurement on the permutation kernel rather than the channel.
+const NATIVE_MSG_LEN: usize = 4200;
+/// SHAKE128 rate in bytes (FIPS 202): 1600/8 − 2·128/8.
+const SHAKE128_RATE: usize = 168;
+/// Mirror one dispatch group in this many through the simulator tier.
+/// Group 0 is always sampled, so even the smoke run exercises the
+/// oracle; the simulator is ~10× slower than the native kernel, so at
+/// 1/32 the oracle costs roughly a third of the native wall time.
+const MIRROR_EVERY: u32 = 32;
+/// Acceptance floor for the native tier through the full service stack:
+/// it must beat the sequential-reference wall throughput recorded when
+/// the tier was introduced (≈725 k perm/s on the growth host).
+const NATIVE_PERM_FLOOR: f64 = 725_000.0;
 
 struct Options {
     smoke: bool,
@@ -121,13 +151,29 @@ fn main() -> std::io::Result<()> {
     let closed = run_closed_loop(&options, config);
     println!(
         "closed loop: {} requests → {:.0} req/s service vs {:.0} req/s direct ({:.1} %), \
-         fill {:.2}, e2e p99 {:.2} ms",
+         fill {:.2}, e2e p99 {:.2} ms, tiers sim/native {}/{}",
         closed.requests,
         closed.service_rps,
         closed.direct_rps,
         100.0 * closed.ratio,
         closed.metrics.mean_batch_fill,
         closed.metrics.e2e_ns.p99 as f64 / 1e6,
+        closed.simulator_served,
+        closed.native_served,
+    );
+
+    let native = run_native_loop(&options, config);
+    println!(
+        "native loop: {} requests × {} perms → {:.0} perm/s service vs {:.0} perm/s \
+         reference-direct ({:.2}x), mirrored {} ({} mismatches), e2e p99 {:.2} ms",
+        native.requests,
+        native.perms_per_request,
+        native.service_pps,
+        native.reference_pps,
+        native.speedup,
+        native.metrics.mirrored,
+        native.metrics.mirror_mismatches,
+        native.metrics.e2e_ns.p99 as f64 / 1e6,
     );
 
     let open_rate = options
@@ -145,14 +191,14 @@ fn main() -> std::io::Result<()> {
         open.metrics.e2e_ns.p99 as f64 / 1e6,
     );
 
-    let json = render_json(&options, config, &closed, &open);
+    let json = render_json(&options, config, &closed, &native, &open);
     std::fs::write("BENCH_service.json", &json)?;
     println!("wrote BENCH_service.json");
 
     check_schema(&json);
     if options.smoke {
-        assert_healthy(&closed, &open);
-        println!("smoke: healthy (no timeouts, rejections or worker failures)");
+        assert_healthy(&closed, &native, &open);
+        println!("smoke: healthy (no timeouts, rejections, worker failures or mirror mismatches)");
     }
     Ok(())
 }
@@ -162,7 +208,28 @@ struct ClosedLoopResult {
     service_rps: f64,
     direct_rps: f64,
     ratio: f64,
+    native_served: u64,
+    simulator_served: u64,
     metrics: MetricsSnapshot,
+}
+
+/// Waits for every ticket in `tickets`, panicking on failure, and
+/// returns how many completions each tier served as
+/// `(simulator, native)`.
+fn drain_tickets(tickets: Vec<krv_service::Ticket>, context: &str) -> (u64, u64) {
+    let mut simulator = 0u64;
+    let mut native = 0u64;
+    for ticket in tickets {
+        let completion = ticket.wait();
+        completion
+            .result
+            .unwrap_or_else(|err| panic!("{context} request failed: {err}"));
+        match completion.timing.tier {
+            TierKind::Simulator => simulator += 1,
+            TierKind::Native => native += 1,
+        }
+    }
+    (simulator, native)
 }
 
 /// Closed loop: `rounds` bursts of `burst_batches × batch_slots`
@@ -187,14 +254,16 @@ fn run_closed_loop(options: &Options, config: ServiceConfig) -> ClosedLoopResult
         ticket.wait().result.expect("warm-up completes");
     }
     let started = Instant::now();
+    let mut native_served = 0u64;
+    let mut simulator_served = 0u64;
     for messages in &bursts {
         let tickets: Vec<_> = messages
             .iter()
             .map(|m| service.submit(request(m)).expect("closed loop fits queue"))
             .collect();
-        for ticket in tickets {
-            ticket.wait().result.expect("closed-loop request completes");
-        }
+        let (sim, native) = drain_tickets(tickets, "closed-loop");
+        simulator_served += sim;
+        native_served += native;
     }
     let service_elapsed = started.elapsed();
     let metrics = service.shutdown();
@@ -225,6 +294,93 @@ fn run_closed_loop(options: &Options, config: ServiceConfig) -> ClosedLoopResult
         service_rps,
         direct_rps,
         ratio: service_rps / direct_rps,
+        native_served,
+        simulator_served,
+        metrics,
+    }
+}
+
+struct NativeLoopResult {
+    requests: u64,
+    perms_per_request: u64,
+    service_pps: f64,
+    reference_pps: f64,
+    speedup: f64,
+    native_served: u64,
+    simulator_served: u64,
+    metrics: MetricsSnapshot,
+}
+
+/// Native-tier closed loop: the same burst discipline as
+/// [`run_closed_loop`], but the service routes production traffic to
+/// the host-native lane-parallel backend and mirrors one dispatch
+/// group in [`MIRROR_EVERY`] through the simulator as a differential
+/// oracle. Throughput is counted in permutations per second (each
+/// [`NATIVE_MSG_LEN`]-byte SHAKE128 request costs a fixed number of
+/// Keccak-f\[1600\] passes) and compared against a sequential
+/// reference-direct [`hash_batch`] run of the identical workload.
+fn run_native_loop(options: &Options, mut config: ServiceConfig) -> NativeLoopResult {
+    config.tier = TierPolicy::native().with_mirror_every(MIRROR_EVERY);
+    let burst = options.burst_batches * config.batch_slots();
+    let mut rng = Rng::new(options.seed ^ NATIVE_SALT);
+    let bursts: Vec<Vec<Vec<u8>>> = (0..options.rounds)
+        .map(|_| (0..burst).map(|_| rng.bytes(NATIVE_MSG_LEN)).collect())
+        .collect();
+    // Full rate blocks + the padding block; the 32-byte output fits in
+    // the first squeeze, so no extra permutation there.
+    let perms_per_request = (NATIVE_MSG_LEN / SHAKE128_RATE + 1) as u64;
+
+    let service = Service::start(config);
+    let warmup: Vec<_> = bursts[0]
+        .iter()
+        .map(|m| service.submit(request(m)).expect("warm-up admitted"))
+        .collect();
+    drain_tickets(warmup, "native warm-up");
+    let started = Instant::now();
+    let mut native_served = 0u64;
+    let mut simulator_served = 0u64;
+    for messages in &bursts {
+        let tickets: Vec<_> = messages
+            .iter()
+            .map(|m| service.submit(request(m)).expect("native loop fits queue"))
+            .collect();
+        let (sim, native) = drain_tickets(tickets, "native-loop");
+        simulator_served += sim;
+        native_served += native;
+    }
+    let service_elapsed = started.elapsed();
+    let metrics = service.shutdown();
+    let requests = (options.rounds * burst) as u64;
+    let permutations = (requests * perms_per_request) as f64;
+    let service_pps = permutations / service_elapsed.as_secs_f64();
+
+    // Reference-direct: the identical workload through the sequential
+    // software reference, no queue, no scheduler, no mirroring.
+    let mut reference = ReferenceBackend::new();
+    let warm: Vec<BatchRequest<'_>> = bursts[0]
+        .iter()
+        .map(|m| BatchRequest::new(m, OUTPUT_LEN))
+        .collect();
+    hash_batch(SpongeParams::shake(128), &mut reference, &warm);
+    let started = Instant::now();
+    for messages in &bursts {
+        let direct: Vec<BatchRequest<'_>> = messages
+            .iter()
+            .map(|m| BatchRequest::new(m, OUTPUT_LEN))
+            .collect();
+        hash_batch(SpongeParams::shake(128), &mut reference, &direct);
+    }
+    let reference_elapsed = started.elapsed();
+    let reference_pps = permutations / reference_elapsed.as_secs_f64();
+
+    NativeLoopResult {
+        requests,
+        perms_per_request,
+        service_pps,
+        reference_pps,
+        speedup: service_pps / reference_pps,
+        native_served,
+        simulator_served,
         metrics,
     }
 }
@@ -292,6 +448,7 @@ fn render_json(
     options: &Options,
     config: ServiceConfig,
     closed: &ClosedLoopResult,
+    native: &NativeLoopResult,
     open: &OpenLoopResult,
 ) -> String {
     let mut json = String::from("{\n");
@@ -330,6 +487,12 @@ fn render_json(
     );
     let _ = writeln!(json, "    \"timeouts\": {},", closed.metrics.timeouts);
     let _ = writeln!(json, "    \"rejected\": {},", closed.metrics.rejected);
+    let _ = writeln!(json, "    \"native_served\": {},", closed.native_served);
+    let _ = writeln!(
+        json,
+        "    \"simulator_served\": {},",
+        closed.simulator_served
+    );
     let _ = writeln!(
         json,
         "    {},",
@@ -344,6 +507,55 @@ fn render_json(
         json,
         "    {}",
         quantiles_json("e2e_latency", &closed.metrics.e2e_ns)
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"native_loop\": {{");
+    let _ = writeln!(json, "    \"requests\": {},", native.requests);
+    let _ = writeln!(json, "    \"message_len\": {NATIVE_MSG_LEN},");
+    let _ = writeln!(
+        json,
+        "    \"perms_per_request\": {},",
+        native.perms_per_request
+    );
+    let _ = writeln!(json, "    \"mirror_every\": {MIRROR_EVERY},");
+    let _ = writeln!(
+        json,
+        "    \"service_permutations_per_sec\": {:.1},",
+        native.service_pps
+    );
+    let _ = writeln!(
+        json,
+        "    \"reference_direct_permutations_per_sec\": {:.1},",
+        native.reference_pps
+    );
+    let _ = writeln!(
+        json,
+        "    \"speedup_vs_reference_direct\": {:.3},",
+        native.speedup
+    );
+    let _ = writeln!(json, "    \"native_served\": {},", native.native_served);
+    let _ = writeln!(
+        json,
+        "    \"simulator_served\": {},",
+        native.simulator_served
+    );
+    let _ = writeln!(json, "    \"mirrored\": {},", native.metrics.mirrored);
+    let _ = writeln!(
+        json,
+        "    \"mirror_mismatches\": {},",
+        native.metrics.mirror_mismatches
+    );
+    let _ = writeln!(
+        json,
+        "    \"mean_batch_fill\": {:.3},",
+        native.metrics.mean_batch_fill
+    );
+    let _ = writeln!(json, "    \"timeouts\": {},", native.metrics.timeouts);
+    let _ = writeln!(json, "    \"rejected\": {},", native.metrics.rejected);
+    let _ = writeln!(
+        json,
+        "    {}",
+        quantiles_json("e2e_latency", &native.metrics.e2e_ns)
     );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"open_loop\": {{");
@@ -362,6 +574,16 @@ fn render_json(
         json,
         "    \"worker_failures\": {},",
         open.metrics.worker_failures
+    );
+    let _ = writeln!(
+        json,
+        "    \"native_served\": {},",
+        open.metrics.native_served
+    );
+    let _ = writeln!(
+        json,
+        "    \"simulator_served\": {},",
+        open.metrics.simulator_served
     );
     let _ = writeln!(
         json,
@@ -393,6 +615,14 @@ const SCHEMA_KEYS: &[&str] = &[
     "\"service_time\":",
     "\"e2e_latency\":",
     "\"p99_ns\":",
+    "\"native_loop\":",
+    "\"service_permutations_per_sec\":",
+    "\"reference_direct_permutations_per_sec\":",
+    "\"speedup_vs_reference_direct\":",
+    "\"native_served\":",
+    "\"simulator_served\":",
+    "\"mirrored\":",
+    "\"mirror_mismatches\":",
     "\"open_loop\":",
     "\"offered_requests_per_sec\":",
     "\"timeouts\":",
@@ -410,10 +640,14 @@ fn check_schema(json: &str) {
     println!("schema: all {} required keys present", SCHEMA_KEYS.len());
 }
 
-fn assert_healthy(closed: &ClosedLoopResult, open: &OpenLoopResult) {
+fn assert_healthy(closed: &ClosedLoopResult, native: &NativeLoopResult, open: &OpenLoopResult) {
     assert_eq!(closed.metrics.timeouts, 0, "closed-loop deadline misses");
     assert_eq!(closed.metrics.rejected, 0, "closed-loop rejections");
     assert_eq!(closed.metrics.worker_failures, 0, "closed-loop failures");
+    assert_eq!(
+        closed.simulator_served, closed.requests,
+        "default tier policy must serve everything from the simulator"
+    );
     assert_eq!(open.metrics.timeouts, 0, "open-loop deadline misses");
     assert_eq!(open.metrics.rejected, 0, "open-loop rejections");
     assert_eq!(open.metrics.worker_failures, 0, "open-loop failures");
@@ -421,5 +655,26 @@ fn assert_healthy(closed: &ClosedLoopResult, open: &OpenLoopResult) {
         closed.ratio >= 0.85,
         "service sustained only {:.1} % of the direct pooled throughput",
         100.0 * closed.ratio
+    );
+    assert_eq!(native.metrics.timeouts, 0, "native-loop deadline misses");
+    assert_eq!(native.metrics.rejected, 0, "native-loop rejections");
+    assert_eq!(
+        native.native_served, native.requests,
+        "native tier policy must serve everything from the native backend"
+    );
+    assert_eq!(native.simulator_served, 0, "native-loop simulator leakage");
+    assert!(
+        native.metrics.mirrored > 0,
+        "the differential oracle never sampled a dispatch group"
+    );
+    assert_eq!(
+        native.metrics.mirror_mismatches, 0,
+        "the simulator oracle disagreed with the native tier"
+    );
+    assert!(
+        native.service_pps >= NATIVE_PERM_FLOOR,
+        "native tier sustained only {:.0} perm/s through the service \
+         (floor {NATIVE_PERM_FLOOR:.0})",
+        native.service_pps
     );
 }

@@ -9,7 +9,7 @@
 //! engine pool — to an external oracle rather than to itself.
 
 use krv_core::{BackendKind, KernelKind};
-use krv_service::{HashRequest, Service, ServiceConfig, Ticket};
+use krv_service::{HashRequest, Service, ServiceConfig, Ticket, TierPolicy};
 use krv_sha3::{hash_batch, hex, BatchRequest, PermutationBackend, Sponge, SpongeParams};
 use krv_testkit::CaseReport;
 use std::time::Duration;
@@ -285,8 +285,12 @@ pub fn run_suite(kind: &BackendKind, suite: &KatSuite, tier: Tier) -> KatOutcome
     }
 }
 
-/// The pass-matrix row key of the serving path.
+/// The pass-matrix row key of the simulator-tier serving path.
 pub const SERVICE_LABEL: &str = "service/e64m8x2";
+
+/// The pass-matrix row key of the native-tier serving path (with the
+/// simulator mirroring every dispatch group as a differential oracle).
+pub const NATIVE_SERVICE_LABEL: &str = "service/native+mirror";
 
 /// Runs one KAT suite through the serving path: every selected vector is
 /// submitted as an independent request to a continuous-batching
@@ -295,6 +299,29 @@ pub const SERVICE_LABEL: &str = "service/e64m8x2";
 /// dispatch. The Monte Carlo chain (smoke tier and up) round-trips
 /// sequentially, each link riding its own micro-batch.
 pub fn run_service_suite(suite: &KatSuite, tier: Tier) -> KatOutcome {
+    tiered_service_suite(suite, tier, TierPolicy::simulator(), SERVICE_LABEL)
+}
+
+/// Runs one KAT suite through the serving path with the **native tier**
+/// primary and the simulator mirroring every dispatch group: the vectors
+/// check the served digests against the external oracle while the online
+/// mirror simultaneously diffs native against simulated output — a
+/// latched mismatch fails the row via the health check.
+pub fn run_native_service_suite(suite: &KatSuite, tier: Tier) -> KatOutcome {
+    tiered_service_suite(
+        suite,
+        tier,
+        TierPolicy::native().with_mirror_every(1),
+        NATIVE_SERVICE_LABEL,
+    )
+}
+
+fn tiered_service_suite(
+    suite: &KatSuite,
+    tier: Tier,
+    policy: TierPolicy,
+    label: &str,
+) -> KatOutcome {
     let service = Service::start(ServiceConfig {
         kernel: KernelKind::E64Lmul8,
         sn: 2,
@@ -303,6 +330,7 @@ pub fn run_service_suite(suite: &KatSuite, tier: Tier) -> KatOutcome {
         // A tight window: the KAT burst rarely fills every slot, and the
         // sequential Monte Carlo chain pays the window on every link.
         max_wait: Duration::from_micros(50),
+        tier: policy,
     });
     let params = suite.algorithm.params();
     let mut failures = Vec::new();
@@ -394,19 +422,31 @@ pub fn run_service_suite(suite: &KatSuite, tier: Tier) -> KatOutcome {
     }
 
     let report = service.shutdown();
-    if report.timeouts != 0 || report.worker_failures != 0 || report.rejected != 0 {
+    if report.timeouts != 0
+        || report.worker_failures != 0
+        || report.rejected != 0
+        || report.mirror_mismatches != 0
+    {
         failures.push(CaseReport::new(
             format!("kat/{}/service-health", suite.algorithm.name()),
             0,
             format!(
-                "unhealthy serving run: {} timeouts, {} worker failures, {} rejections",
-                report.timeouts, report.worker_failures, report.rejected
+                "unhealthy serving run: {} timeouts, {} worker failures, {} rejections, \
+                 {} mirror mismatches",
+                report.timeouts, report.worker_failures, report.rejected, report.mirror_mismatches
             ),
+        ));
+    }
+    if policy.mirror_every != 0 && report.mirrored == 0 && report.completed != 0 {
+        failures.push(CaseReport::new(
+            format!("kat/{}/service-health", suite.algorithm.name()),
+            0,
+            "mirroring was configured but no request was mirrored".to_string(),
         ));
     }
 
     KatOutcome {
-        backend: SERVICE_LABEL.to_string(),
+        backend: label.to_string(),
         algorithm: suite.algorithm.name(),
         cases,
         failures,
@@ -420,6 +460,9 @@ pub fn backend_states(kind: &BackendKind) -> usize {
         BackendKind::Reference => 1,
         BackendKind::Engine(_) => 3,
         BackendKind::Session(_) | BackendKind::Pool { .. } => 2,
+        // The native backend's group width is fixed by its LaneWidth;
+        // the `sn` argument is ignored by `instantiate`.
+        BackendKind::Native(_) => 2,
     }
 }
 

@@ -18,6 +18,7 @@
 use crate::engine::{KernelKind, VectorKeccakEngine};
 use crate::pool::EnginePool;
 use krv_keccak::KeccakState;
+use krv_native::{LaneWidth, NativeBackend};
 use krv_sha3::{PermutationBackend, ReferenceBackend};
 
 /// A [`PermutationBackend`] that routes every pass through the
@@ -82,13 +83,17 @@ pub enum BackendKind {
         /// Number of worker engines.
         workers: usize,
     },
+    /// The host-native word-parallel kernel ([`NativeBackend`]) pinned
+    /// to a lane width.
+    Native(LaneWidth),
 }
 
 impl BackendKind {
     /// The conformance roster: the scalar reference, the paper's three
-    /// vector kernels, the session path, and pools at 1, 2 and 4
-    /// workers. Every variant in this list must produce bit-identical
-    /// output for every input.
+    /// vector kernels, the session path, pools at 1, 2 and 4 workers,
+    /// and the host-native kernel at every compiled lane width. Every
+    /// variant in this list must produce bit-identical output for every
+    /// input.
     pub fn conformance_roster() -> Vec<BackendKind> {
         let mut roster = vec![BackendKind::Reference];
         for kind in KernelKind::ALL {
@@ -100,6 +105,9 @@ impl BackendKind {
                 kind: KernelKind::E64Lmul8,
                 workers,
             });
+        }
+        for width in LaneWidth::ALL {
+            roster.push(BackendKind::Native(width));
         }
         roster
     }
@@ -113,6 +121,7 @@ impl BackendKind {
             BackendKind::Pool { kind, workers } => {
                 format!("pool/{}x{workers}", kind_tag(*kind))
             }
+            BackendKind::Native(width) => format!("native/{}", width.tag()),
         }
     }
 
@@ -129,6 +138,7 @@ impl BackendKind {
             BackendKind::Engine(kind) => Box::new(VectorKeccakEngine::new(kind, sn)),
             BackendKind::Session(kind) => Box::new(SessionBackend::new(kind, sn)),
             BackendKind::Pool { kind, workers } => Box::new(EnginePool::new(kind, sn, workers)),
+            BackendKind::Native(width) => Box::new(NativeBackend::with_width(width)),
         }
     }
 }
@@ -190,6 +200,9 @@ mod tests {
                 kind: KernelKind::E64Lmul8,
                 workers,
             }));
+        }
+        for width in LaneWidth::ALL {
+            assert!(roster.contains(&BackendKind::Native(width)), "{width}");
         }
         // Labels are unique — they key the pass matrix.
         let mut labels: Vec<String> = roster.iter().map(|b| b.label()).collect();

@@ -1,0 +1,184 @@
+//! Run-time lane-width selection.
+//!
+//! BLAKE3 ships portable, SSE4.1, AVX2, AVX-512 and NEON compression
+//! kernels and picks the widest one the CPU supports once at startup
+//! (`blake3_dispatch.c`). This crate's kernels are portable Rust, so the
+//! equivalent question is not *which instruction set exists* but *which
+//! lane count the compiler turned into the fastest code on this host* —
+//! wider groups win where the auto-vectorizer finds SIMD, narrower ones
+//! where the extra live values just spill. [`LaneWidth::detect`] answers
+//! it empirically: a short calibration pass times every compiled width
+//! and the winner is cached for the process, exactly one choice per run.
+//!
+//! Set `KRV_NATIVE_LANES=1|2|4|8` to pin the width and skip calibration
+//! (e.g. to make benchmark runs comparable across hosts).
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// How many sponge states advance per word-parallel kernel call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LaneWidth {
+    /// One state per call (scalar, but with the unrolled round body).
+    X1,
+    /// Two states per call.
+    X2,
+    /// Four states per call.
+    X4,
+    /// Eight states per call.
+    X8,
+}
+
+impl LaneWidth {
+    /// Every compiled width, narrowest first.
+    pub const ALL: [LaneWidth; 4] = [LaneWidth::X1, LaneWidth::X2, LaneWidth::X4, LaneWidth::X8];
+
+    /// The number of states per kernel call.
+    pub const fn lanes(self) -> usize {
+        match self {
+            LaneWidth::X1 => 1,
+            LaneWidth::X2 => 2,
+            LaneWidth::X4 => 4,
+            LaneWidth::X8 => 8,
+        }
+    }
+
+    /// A short stable tag (`x1`, `x2`, `x4`, `x8`) for labels and JSON.
+    pub const fn tag(self) -> &'static str {
+        match self {
+            LaneWidth::X1 => "x1",
+            LaneWidth::X2 => "x2",
+            LaneWidth::X4 => "x4",
+            LaneWidth::X8 => "x8",
+        }
+    }
+
+    /// The next narrower width, or `None` below ×1. The ragged-tail
+    /// cascade in `NativeBackend` walks this chain.
+    pub const fn narrower(self) -> Option<LaneWidth> {
+        match self {
+            LaneWidth::X8 => Some(LaneWidth::X4),
+            LaneWidth::X4 => Some(LaneWidth::X2),
+            LaneWidth::X2 => Some(LaneWidth::X1),
+            LaneWidth::X1 => None,
+        }
+    }
+
+    /// Parses a width from its lane count or tag.
+    pub fn parse(text: &str) -> Option<LaneWidth> {
+        match text.trim() {
+            "1" | "x1" => Some(LaneWidth::X1),
+            "2" | "x2" => Some(LaneWidth::X2),
+            "4" | "x4" => Some(LaneWidth::X4),
+            "8" | "x8" => Some(LaneWidth::X8),
+            _ => None,
+        }
+    }
+
+    /// The process-wide selected width: the `KRV_NATIVE_LANES` override
+    /// if set (and valid), otherwise the calibration winner. Decided
+    /// once; every later call returns the cached choice.
+    pub fn detect() -> LaneWidth {
+        static CHOICE: OnceLock<LaneWidth> = OnceLock::new();
+        *CHOICE.get_or_init(|| {
+            if let Ok(value) = std::env::var("KRV_NATIVE_LANES") {
+                if let Some(width) = LaneWidth::parse(&value) {
+                    return width;
+                }
+            }
+            calibrate()
+        })
+    }
+}
+
+impl std::fmt::Display for LaneWidth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// Times every width on a small fixed workload and returns the one with
+/// the best per-state throughput. Ties (within measurement noise) go to
+/// the *wider* variant, which packs batch work into fewer calls.
+fn calibrate() -> LaneWidth {
+    // Equal logical work per width: each width permutes TOTAL states.
+    const TOTAL: usize = 64;
+    let mut best = (LaneWidth::X1, f64::INFINITY);
+    for width in LaneWidth::ALL {
+        let n = width.lanes();
+        let mut group = seeded_group(width);
+        // Warm-up: fault in the code path before timing it.
+        crate::lanes::permute_states(width, &mut group);
+        let started = Instant::now();
+        for _ in 0..TOTAL / n {
+            crate::lanes::permute_states(width, &mut group);
+        }
+        let per_state = started.elapsed().as_secs_f64() / TOTAL as f64;
+        // 2 % hysteresis: prefer wider on a near-tie.
+        if per_state < best.1 * 0.98 {
+            best = (width, per_state);
+        }
+    }
+    best.0
+}
+
+fn seeded_group(width: LaneWidth) -> Vec<krv_keccak::KeccakState> {
+    (0..width.lanes())
+        .map(|i| {
+            let mut lanes = [0u64; 25];
+            for (j, lane) in lanes.iter_mut().enumerate() {
+                *lane = (i as u64 + 1).wrapping_mul(0x0123_4567_89AB_CDEF) ^ j as u64;
+            }
+            krv_keccak::KeccakState::from_lanes(lanes)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_enumerate_narrowest_first() {
+        let lanes: Vec<usize> = LaneWidth::ALL.iter().map(|w| w.lanes()).collect();
+        assert_eq!(lanes, vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn narrower_chain_terminates_at_x1() {
+        let mut width = LaneWidth::X8;
+        let mut seen = vec![width];
+        while let Some(next) = width.narrower() {
+            width = next;
+            seen.push(width);
+        }
+        assert_eq!(
+            seen,
+            vec![LaneWidth::X8, LaneWidth::X4, LaneWidth::X2, LaneWidth::X1]
+        );
+    }
+
+    #[test]
+    fn parse_accepts_counts_and_tags() {
+        assert_eq!(LaneWidth::parse("4"), Some(LaneWidth::X4));
+        assert_eq!(LaneWidth::parse(" x8 "), Some(LaneWidth::X8));
+        assert_eq!(LaneWidth::parse("16"), None);
+        assert_eq!(LaneWidth::parse(""), None);
+    }
+
+    #[test]
+    fn detect_is_stable_within_a_process() {
+        assert_eq!(LaneWidth::detect(), LaneWidth::detect());
+    }
+
+    #[test]
+    fn calibration_returns_a_compiled_width() {
+        let width = calibrate();
+        assert!(LaneWidth::ALL.contains(&width));
+    }
+
+    #[test]
+    fn display_matches_tag() {
+        assert_eq!(LaneWidth::X4.to_string(), "x4");
+    }
+}

@@ -29,8 +29,11 @@ use std::time::Duration;
 /// The four magic bytes opening every frame body (`b"KRVH"`).
 pub const MAGIC: [u8; 4] = *b"KRVH";
 
-/// Protocol version this implementation speaks.
-pub const VERSION: u8 = 1;
+/// Protocol version this implementation speaks. Version 2 grew the
+/// STATS reply by the tier counters (`native_served`,
+/// `simulator_served`, `mirrored`, `mirror_mismatches`); version-1
+/// peers are rejected rather than mis-decoded.
+pub const VERSION: u8 = 2;
 
 /// Fixed header length of every frame body: magic, version, kind, id.
 pub const HEADER_LEN: usize = 4 + 1 + 1 + 8;
@@ -510,9 +513,9 @@ fn header(kind: u8, id: u64, payload_len: usize) -> Vec<u8> {
     body
 }
 
-/// Fixed encoded length of a [`MetricsSnapshot`]: 11 `u64`-width fields
+/// Fixed encoded length of a [`MetricsSnapshot`]: 15 `u64`-width fields
 /// plus three six-field [`QuantileSummary`] blocks.
-const SNAPSHOT_LEN: usize = 11 * 8 + 3 * 6 * 8;
+const SNAPSHOT_LEN: usize = 15 * 8 + 3 * 6 * 8;
 
 fn encode_snapshot(snapshot: &MetricsSnapshot, out: &mut Vec<u8>) {
     for value in [
@@ -523,6 +526,10 @@ fn encode_snapshot(snapshot: &MetricsSnapshot, out: &mut Vec<u8>) {
         snapshot.worker_failures,
         snapshot.retries,
         snapshot.batches,
+        snapshot.native_served,
+        snapshot.simulator_served,
+        snapshot.mirrored,
+        snapshot.mirror_mismatches,
         snapshot.queue_depth as u64,
         snapshot.mean_batch_fill.to_bits(),
         snapshot.alive_workers as u64,
@@ -545,8 +552,8 @@ fn encode_snapshot(snapshot: &MetricsSnapshot, out: &mut Vec<u8>) {
 }
 
 fn decode_snapshot(cursor: &mut Cursor<'_>) -> Result<MetricsSnapshot, ProtocolError> {
-    let u64s = |cursor: &mut Cursor<'_>| -> Result<[u64; 11], ProtocolError> {
-        let mut values = [0u64; 11];
+    let u64s = |cursor: &mut Cursor<'_>| -> Result<[u64; 15], ProtocolError> {
+        let mut values = [0u64; 15];
         for value in &mut values {
             *value = cursor.u64()?;
         }
@@ -571,10 +578,14 @@ fn decode_snapshot(cursor: &mut Cursor<'_>) -> Result<MetricsSnapshot, ProtocolE
         worker_failures: counters[4],
         retries: counters[5],
         batches: counters[6],
-        queue_depth: counters[7] as usize,
-        mean_batch_fill: f64::from_bits(counters[8]),
-        alive_workers: counters[9] as usize,
-        batch_slots: counters[10] as usize,
+        native_served: counters[7],
+        simulator_served: counters[8],
+        mirrored: counters[9],
+        mirror_mismatches: counters[10],
+        queue_depth: counters[11] as usize,
+        mean_batch_fill: f64::from_bits(counters[12]),
+        alive_workers: counters[13] as usize,
+        batch_slots: counters[14] as usize,
         queue_ns: quantiles(cursor)?,
         service_ns: quantiles(cursor)?,
         e2e_ns: quantiles(cursor)?,
@@ -725,6 +736,10 @@ mod tests {
             worker_failures: 2,
             retries: 1,
             batches: 25,
+            native_served: 60,
+            simulator_served: 30,
+            mirrored: 12,
+            mirror_mismatches: 1,
             queue_depth: 7,
             mean_batch_fill: 0.875,
             alive_workers: 2,

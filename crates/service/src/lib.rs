@@ -51,9 +51,11 @@
 mod metrics;
 mod scheduler;
 mod ticket;
+mod tier;
 
 pub use metrics::{MetricsSnapshot, QuantileSummary};
 pub use ticket::{Completion, RequestError, RequestTiming, Ticket};
+pub use tier::{TierKind, TierPolicy};
 
 use krv_core::KernelKind;
 use krv_sha3::SpongeParams;
@@ -76,11 +78,15 @@ pub struct ServiceConfig {
     /// Longest the oldest queued request waits before its batch closes
     /// under-full. Trades tail latency against batch fill.
     pub max_wait: Duration,
+    /// Which tier serves traffic and how often it is mirrored through
+    /// the other tier as a differential oracle.
+    pub tier: TierPolicy,
 }
 
 impl Default for ServiceConfig {
     /// The paper's fastest kernel on a small pool: 2 workers × `SN` = 4,
-    /// a 1024-deep queue, and a 500 µs batching window.
+    /// a 1024-deep queue, a 500 µs batching window, and the simulator
+    /// tier serving with mirroring off (the pre-tier behaviour).
     fn default() -> Self {
         Self {
             kernel: KernelKind::E64Lmul8,
@@ -88,6 +94,7 @@ impl Default for ServiceConfig {
             workers: 2,
             queue_capacity: 1024,
             max_wait: Duration::from_micros(500),
+            tier: TierPolicy::default(),
         }
     }
 }
@@ -244,6 +251,15 @@ impl Service {
     /// or already-dead index is ignored.
     pub fn inject_worker_failure(&self, worker: usize) {
         self.shared.request_kill(worker);
+    }
+
+    /// Corrupts every subsequent native-tier digest — a mirroring drill,
+    /// the tier analogue of [`Self::inject_worker_failure`]. With a
+    /// nonzero [`TierPolicy::mirror_every`] the differential oracle must
+    /// latch the mismatch in
+    /// [`MetricsSnapshot::mirror_mismatches`]; a clean run must not.
+    pub fn inject_native_corruption(&self) {
+        self.shared.corrupt_native();
     }
 
     /// Graceful shutdown: stops admission, drains every queued request,

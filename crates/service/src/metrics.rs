@@ -74,6 +74,15 @@ pub(crate) struct ServiceStats {
     pub retries: u64,
     /// Batches dispatched (including all-timeout batches).
     pub batches: u64,
+    /// Requests served by the native tier.
+    pub native_served: u64,
+    /// Requests served by the simulator tier.
+    pub simulator_served: u64,
+    /// Requests re-hashed through the non-primary tier by mirroring.
+    pub mirrored: u64,
+    /// Mirrored requests whose tier digests disagreed (latched; never
+    /// reset while the service runs).
+    pub mirror_mismatches: u64,
     /// Sum of per-batch fill ratios (`batch_size / batch_slots`).
     pub fill_sum: f64,
     /// Pool workers alive as of the last dispatched batch.
@@ -98,6 +107,10 @@ impl ServiceStats {
             worker_failures: 0,
             retries: 0,
             batches: 0,
+            native_served: 0,
+            simulator_served: 0,
+            mirrored: 0,
+            mirror_mismatches: 0,
             fill_sum: 0.0,
             alive_workers: config.workers,
             batch_slots: config.batch_slots(),
@@ -116,6 +129,10 @@ impl ServiceStats {
             worker_failures: self.worker_failures,
             retries: self.retries,
             batches: self.batches,
+            native_served: self.native_served,
+            simulator_served: self.simulator_served,
+            mirrored: self.mirrored,
+            mirror_mismatches: self.mirror_mismatches,
             queue_depth,
             mean_batch_fill: if self.batches == 0 {
                 0.0
@@ -155,6 +172,17 @@ pub struct MetricsSnapshot {
     pub retries: u64,
     /// Batches dispatched.
     pub batches: u64,
+    /// Requests served by the native tier.
+    pub native_served: u64,
+    /// Requests served by the simulator tier.
+    pub simulator_served: u64,
+    /// Requests re-hashed through the non-primary tier by the mirror
+    /// sampler.
+    pub mirrored: u64,
+    /// Mirrored requests whose native and simulator digests disagreed.
+    /// Latched: any nonzero value means the tiers have diverged and the
+    /// primary tier's output cannot be trusted until investigated.
+    pub mirror_mismatches: u64,
     /// Requests queued at snapshot time.
     pub queue_depth: usize,
     /// Mean batch fill ratio (`batch_size / batch_slots`, 1.0 = every

@@ -7,11 +7,14 @@
 
 use crate::metrics::ServiceStats;
 use crate::ticket::{Completion, RequestError, RequestTiming, Ticket, TicketCell};
+use crate::tier::{TierKind, TierPolicy};
 use crate::{HashRequest, ServiceConfig, SubmitError};
 use krv_core::{EnginePool, PoolError};
 use krv_keccak::KeccakState;
+use krv_native::NativeBackend;
 use krv_sha3::{hash_batch, BatchRequest, PermutationBackend, SpongeParams};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -43,6 +46,9 @@ pub(crate) struct Shared {
     pub arrivals: Condvar,
     pub stats: Mutex<ServiceStats>,
     pub queue_capacity: usize,
+    /// Mirroring drill: once set, every native-tier digest is corrupted
+    /// so the differential oracle has something to catch.
+    pub native_corruption: AtomicBool,
 }
 
 impl Shared {
@@ -56,6 +62,7 @@ impl Shared {
             arrivals: Condvar::new(),
             stats: Mutex::new(ServiceStats::new(config)),
             queue_capacity: config.queue_capacity,
+            native_corruption: AtomicBool::new(false),
         }
     }
 
@@ -104,6 +111,11 @@ impl Shared {
     pub fn queue_depth(&self) -> usize {
         self.state.lock().expect("queue lock").queue.len()
     }
+
+    /// Arms the native-corruption drill.
+    pub fn corrupt_native(&self) {
+        self.native_corruption.store(true, Ordering::Relaxed);
+    }
 }
 
 /// Routes `hash_batch`'s permutation calls to the pool, latching the
@@ -133,11 +145,17 @@ impl PermutationBackend for SupervisedBackend<'_> {
     }
 }
 
-/// The scheduler thread: owns the engine pool, forms micro-batches from
-/// the shared queue and resolves tickets.
+/// The scheduler thread: owns both execution tiers (the simulator
+/// engine pool and the host-native kernel), forms micro-batches from
+/// the shared queue, routes each dispatch group by the tier policy and
+/// resolves tickets.
 pub(crate) struct Scheduler {
     shared: Arc<Shared>,
     pool: EnginePool,
+    native: NativeBackend,
+    tier: TierPolicy,
+    /// Dispatch groups routed so far; drives the mirror sampler.
+    groups_dispatched: u64,
     max_wait: Duration,
 }
 
@@ -146,6 +164,9 @@ impl Scheduler {
         Self {
             shared,
             pool: EnginePool::new(config.kernel, config.sn, config.workers),
+            native: NativeBackend::new(),
+            tier: config.tier,
+            groups_dispatched: 0,
             max_wait: config.max_wait,
         }
     }
@@ -229,6 +250,7 @@ impl Scheduler {
                         total: waited,
                         batch_size,
                         batch_slots: slots,
+                        tier: self.tier.primary,
                         retried: false,
                     },
                 });
@@ -255,24 +277,43 @@ impl Scheduler {
         let mut retries = 0u64;
         let mut completed = 0u64;
         let mut failures = 0u64;
+        let mut mirrored = 0u64;
+        let mut mismatches = 0u64;
         let mut samples: Vec<(Duration, Duration, Duration)> = Vec::with_capacity(live.len());
         for (params, members) in &groups {
             let requests: Vec<BatchRequest<'_>> = members
                 .iter()
                 .map(|&i| BatchRequest::new(&live[i].request.message, live[i].request.output_len))
                 .collect();
+            let group_index = self.groups_dispatched;
+            self.groups_dispatched += 1;
             let started = Instant::now();
             let mut retried = false;
-            let mut outcome = self.supervised_hash(*params, &requests);
+            let mut outcome = self.tier_hash(self.tier.primary, *params, &requests);
             if outcome.is_err() {
                 // Supervision: one retry on the survivors. The failed
                 // attempt left only scratch states dirty — requests are
                 // re-hashed from their original messages.
                 retried = true;
                 retries += 1;
-                outcome = self.supervised_hash(*params, &requests);
+                outcome = self.tier_hash(self.tier.primary, *params, &requests);
             }
             let service = started.elapsed();
+            // The differential oracle: a sampled group is re-hashed
+            // through the non-primary tier and diffed digest by digest.
+            // Mirroring is best-effort — a mirror-side pool failure
+            // skips the sample rather than failing served requests.
+            if let Ok(digests) = &outcome {
+                if self.tier.mirrors(group_index) {
+                    if let Ok(mirror) =
+                        self.tier_hash(self.tier.primary.other(), *params, &requests)
+                    {
+                        mirrored += requests.len() as u64;
+                        mismatches +=
+                            digests.iter().zip(&mirror).filter(|(a, b)| a != b).count() as u64;
+                    }
+                }
+            }
             match outcome {
                 Ok(digests) => {
                     for (&i, digest) in members.iter().zip(digests) {
@@ -288,6 +329,7 @@ impl Scheduler {
                                 total,
                                 batch_size,
                                 batch_slots: slots,
+                                tier: self.tier.primary,
                                 retried,
                             },
                         });
@@ -307,6 +349,7 @@ impl Scheduler {
                                 total: pending.enqueued.elapsed(),
                                 batch_size,
                                 batch_slots: slots,
+                                tier: self.tier.primary,
                                 retried,
                             },
                         });
@@ -322,6 +365,12 @@ impl Scheduler {
         stats.timeouts += timeouts;
         stats.retries += retries;
         stats.completed += completed;
+        match self.tier.primary {
+            TierKind::Native => stats.native_served += completed,
+            TierKind::Simulator => stats.simulator_served += completed,
+        }
+        stats.mirrored += mirrored;
+        stats.mirror_mismatches += mismatches;
         stats.worker_failures += failures;
         for (queue, service, total) in samples {
             stats.queue_wait.record_duration(queue);
@@ -330,6 +379,33 @@ impl Scheduler {
         }
         stats.alive_workers = self.pool.alive_workers();
         stats.batch_slots = self.pool.capacity().max(1);
+    }
+
+    /// One `hash_batch` attempt on the chosen tier. The simulator tier
+    /// is supervised (pool errors surface for the retry path); the
+    /// native tier is infallible host code, so it only fails by
+    /// producing wrong bits — which is exactly what the mirror oracle
+    /// watches for, and what the corruption drill simulates.
+    fn tier_hash(
+        &mut self,
+        tier: TierKind,
+        params: SpongeParams,
+        requests: &[BatchRequest<'_>],
+    ) -> Result<Vec<Vec<u8>>, PoolError> {
+        match tier {
+            TierKind::Simulator => self.supervised_hash(params, requests),
+            TierKind::Native => {
+                let mut digests = hash_batch(params, &mut self.native, requests);
+                if self.shared.native_corruption.load(Ordering::Relaxed) {
+                    for digest in &mut digests {
+                        if let Some(byte) = digest.first_mut() {
+                            *byte ^= 0x80;
+                        }
+                    }
+                }
+                Ok(digests)
+            }
+        }
     }
 
     /// One supervised `hash_batch` attempt: digests, or the first pool

@@ -1,5 +1,6 @@
 //! Completion tickets: the caller's handle to an in-flight request.
 
+use crate::tier::TierKind;
 use krv_core::PoolError;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
@@ -49,6 +50,9 @@ pub struct RequestTiming {
     /// State slots the pool offered when the batch closed; `batch_size /
     /// batch_slots` is the batch's fill ratio.
     pub batch_slots: usize,
+    /// The tier that served (or, for a timeout, would have served) the
+    /// request.
+    pub tier: TierKind,
     /// Whether the batch was retried after losing a pool worker.
     pub retried: bool,
 }

@@ -204,11 +204,12 @@ enum Phase {
     Done,
 }
 
-/// Per-message progress inside the scheduler.
+/// Per-message progress inside the scheduler. The job's sponge state
+/// lives in the scheduler's dense pack, not here, so the pack can be
+/// permuted in place with no per-round gather/scatter copies.
 struct Job<'a> {
     message: &'a [u8],
     consumed: usize,
-    state: KeccakState,
     out: Vec<u8>,
     want: usize,
     phase: Phase,
@@ -218,27 +219,26 @@ impl Job<'_> {
     /// XORs the next rate-sized block into the state, folding the
     /// pad10*1 + domain padding into the final (short) block exactly as
     /// a one-shot [`crate::Sponge`] would.
-    fn absorb_next_block(&mut self, rate: usize, pad: u8) {
+    fn absorb_next_block(&mut self, state: &mut KeccakState, rate: usize, pad: u8) {
         let remaining = self.message.len() - self.consumed;
         if remaining >= rate {
-            self.state
-                .xor_bytes(&self.message[self.consumed..self.consumed + rate]);
+            state.xor_bytes(&self.message[self.consumed..self.consumed + rate]);
             self.consumed += rate;
         } else {
             let mut block = vec![0u8; rate];
             block[..remaining].copy_from_slice(&self.message[self.consumed..]);
             block[remaining] = pad;
             block[rate - 1] |= 0x80;
-            self.state.xor_bytes(&block);
+            state.xor_bytes(&block);
             self.consumed = self.message.len();
             self.phase = Phase::Squeeze;
         }
     }
 
     /// Takes up to one rate window of output after a permutation.
-    fn collect_output(&mut self, rate: usize) {
+    fn collect_output(&mut self, state: &KeccakState, rate: usize) {
         let take = (self.want - self.out.len()).min(rate);
-        let bytes = self.state.to_bytes();
+        let bytes = state.to_bytes();
         self.out.extend_from_slice(&bytes[..take]);
         if self.out.len() == self.want {
             self.phase = Phase::Done;
@@ -286,44 +286,44 @@ pub fn hash_batch<B: PermutationBackend>(
         .map(|request| Job {
             message: request.message,
             consumed: 0,
-            state: KeccakState::new(),
             out: Vec::with_capacity(request.output_len),
             want: request.output_len,
             phase: Phase::Absorb,
         })
         .collect();
-    let mut pending: Vec<usize> = Vec::with_capacity(jobs.len());
-    let mut scratch: Vec<KeccakState> = Vec::with_capacity(jobs.len());
-    loop {
-        // Drain: one block of host-side work per live job, then pack
-        // exactly the states that need the next permutation.
-        pending.clear();
-        scratch.clear();
-        for (index, job) in jobs.iter_mut().enumerate() {
-            match job.phase {
-                Phase::Absorb => {
-                    job.absorb_next_block(rate, pad);
-                    pending.push(index);
-                }
-                // Squeezing jobs still short of output need another
-                // permutation for their next rate window.
-                Phase::Squeeze => pending.push(index),
-                Phase::Done => {}
+    // Dense pack: `states[slot]` is the sponge of `jobs[owners[slot]]`.
+    // Every slot is live by construction, so each round permutes the
+    // whole pack in place — no gather into scratch, no scatter back.
+    let mut states: Vec<KeccakState> = vec![KeccakState::new(); jobs.len()];
+    let mut owners: Vec<usize> = (0..jobs.len()).collect();
+    while !owners.is_empty() {
+        // Drain: one block of host-side work per live job, in place.
+        // Squeezing jobs still short of output just ride into the next
+        // permutation for their next rate window.
+        for (slot, &owner) in owners.iter().enumerate() {
+            let job = &mut jobs[owner];
+            if job.phase == Phase::Absorb {
+                job.absorb_next_block(&mut states[slot], rate, pad);
             }
         }
-        if pending.is_empty() {
-            break;
-        }
-        scratch.extend(pending.iter().map(|&index| jobs[index].state));
-        backend.permute_all(&mut scratch);
-        // Refill: scatter the permuted states back and collect output.
-        for (&index, &state) in pending.iter().zip(&scratch) {
-            let job = &mut jobs[index];
-            job.state = state;
+        backend.permute_all(&mut states);
+        // Refill: collect fresh output, then compact finished jobs out
+        // of the pack (stable, so relative state order is preserved).
+        let mut kept = 0;
+        for slot in 0..owners.len() {
+            let owner = owners[slot];
+            let job = &mut jobs[owner];
             if job.phase == Phase::Squeeze {
-                job.collect_output(rate);
+                job.collect_output(&states[slot], rate);
+            }
+            if job.phase != Phase::Done {
+                states[kept] = states[slot];
+                owners[kept] = owner;
+                kept += 1;
             }
         }
+        states.truncate(kept);
+        owners.truncate(kept);
     }
     jobs.into_iter().map(|job| job.out).collect()
 }
