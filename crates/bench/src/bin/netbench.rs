@@ -20,9 +20,24 @@
 //! response frame, and the per-connection
 //! [`krv_testkit::LatencyHistogram`]s are merged for the quantiles.
 //!
+//! After the two disciplines, a **connection sweep** scales the open
+//! connection count (10 → 10 000 in the full run) against a sharded
+//! event-loop daemon. The daemon's thread count is fixed at bind time,
+//! so the sweep is the direct test of the multiplexed I/O pool: ten
+//! thousand connections may not grow the thread table. Because the
+//! container's per-process fd ceiling cannot hold both halves of 10 000
+//! loopback sockets, the client side runs in **child processes** (the
+//! hidden `--drive` mode re-invokes this binary), each multiplexing its
+//! slice of connections over non-blocking sockets and reporting its
+//! merged latency histogram through the
+//! [`krv_testkit::LatencyHistogram`] text encoding. The parent asserts
+//! the per-shard completion counters sum exactly to the merged `STATS`
+//! snapshot and to what the drivers observed.
+//!
 //! ```text
 //! netbench [--smoke] [--seed N] [--connections C] [--window B]
 //!          [--rounds N] [--seconds S] [--rate R]
+//!          [--io-threads N] [--shards N]
 //! ```
 //!
 //! `--smoke` shrinks the run to CI scale and turns the health
@@ -32,11 +47,13 @@
 //!
 //! Run with: `cargo run --release -p krv-bench --bin netbench`
 
-use krv_server::{Client, Reply, Response, Server, ServerConfig, WireAlgorithm};
+use krv_server::protocol::{write_frame, DEFAULT_MAX_FRAME};
+use krv_server::{Client, Reply, Request, Response, Server, ServerConfig, WireAlgorithm};
 use krv_service::{HashRequest, Service, ServiceConfig};
 use krv_testkit::{LatencyHistogram, Rng};
 use std::fmt::Write as _;
-use std::net::SocketAddr;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 /// Closed-loop message length, matched to `loadgen` so the two benches
@@ -58,6 +75,8 @@ struct Options {
     rounds: usize,
     open_seconds: f64,
     open_rate: Option<f64>,
+    io_threads: usize,
+    shards: usize,
 }
 
 impl Options {
@@ -70,6 +89,8 @@ impl Options {
             rounds: 40,
             open_seconds: 3.0,
             open_rate: None,
+            io_threads: 2,
+            shards: 2,
         };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -93,10 +114,12 @@ impl Options {
                 "--rounds" => options.rounds = numeric("--rounds") as usize,
                 "--seconds" => options.open_seconds = numeric("--seconds"),
                 "--rate" => options.open_rate = Some(numeric("--rate")),
+                "--io-threads" => options.io_threads = (numeric("--io-threads") as usize).max(1),
+                "--shards" => options.shards = (numeric("--shards") as usize).max(1),
                 "--help" | "-h" => {
                     println!(
                         "usage: netbench [--smoke] [--seed N] [--connections C] [--window B] \
-                         [--rounds N] [--seconds S] [--rate R]"
+                         [--rounds N] [--seconds S] [--rate R] [--io-threads N] [--shards N]"
                     );
                     std::process::exit(0);
                 }
@@ -116,6 +139,11 @@ impl Options {
 }
 
 fn main() -> std::io::Result<()> {
+    // The hidden child mode: this binary re-invoked as a connection
+    // driver for the sweep. Never returns.
+    if std::env::args().nth(1).as_deref() == Some("--drive") {
+        drive_main();
+    }
     let options = Options::parse();
     let service_config = ServiceConfig::default();
     println!(
@@ -151,7 +179,17 @@ fn main() -> std::io::Result<()> {
         open.latency.percentile(0.99) as f64 / 1e6,
     );
 
-    let json = render_json(&options, service_config, &closed, &open);
+    let sweep_points: &[usize] = if options.smoke {
+        &[64, 256]
+    } else {
+        &[10, 100, 256, 1000, 10_000]
+    };
+    let sweep: Vec<SweepPoint> = sweep_points
+        .iter()
+        .map(|&connections| run_sweep_point(&options, connections))
+        .collect();
+
+    let json = render_json(&options, service_config, &closed, &open, &sweep);
     std::fs::write("BENCH_net.json", &json)?;
     println!("wrote BENCH_net.json");
 
@@ -230,6 +268,10 @@ fn net_pass(options: &Options, service_config: ServiceConfig) -> (f64, LatencyHi
         "127.0.0.1:0",
         ServerConfig {
             service: service_config,
+            // One shard on purpose: the closed loop is compared against
+            // a single direct in-process Service.
+            shards: 1,
+            io_threads: options.io_threads,
             ..ServerConfig::default()
         },
     )
@@ -360,6 +402,8 @@ fn run_open_loop(options: &Options, service_config: ServiceConfig, rate: f64) ->
         "127.0.0.1:0",
         ServerConfig {
             service: service_config,
+            shards: 1,
+            io_threads: options.io_threads,
             ..ServerConfig::default()
         },
     )
@@ -430,6 +474,433 @@ fn run_open_loop(options: &Options, service_config: ServiceConfig, rate: f64) ->
     }
 }
 
+/// One point of the connection sweep.
+struct SweepPoint {
+    connections: usize,
+    requests: u64,
+    rps: f64,
+    busy_retries: u64,
+    latency: LatencyHistogram,
+    /// Per-shard completion counters at the end of the point.
+    shard_completed: Vec<u64>,
+    /// The merged `STATS` completion counter.
+    merged_completed: u64,
+    /// Digests the drivers actually observed.
+    client_completed: u64,
+    /// Daemon-process thread count while the connections were open.
+    server_threads: usize,
+}
+
+/// Connections one driver child multiplexes at most. Keeps each child
+/// (and the parent's server half) inside the per-process fd ceiling.
+const CONNS_PER_CHILD: usize = 2_500;
+/// In-flight window per sweep connection: small on purpose — the sweep
+/// stresses connection *count*, the closed loop stresses depth.
+const SWEEP_WINDOW: usize = 2;
+
+/// Total requests a sweep point spreads over its connections.
+fn sweep_total(options: &Options, connections: usize) -> usize {
+    let target = if options.smoke { 6_000 } else { 24_000 };
+    connections * (target / connections).max(2)
+}
+
+/// Threads of this process, from `/proc/self/status` (`None` where
+/// `/proc` is unavailable; the bound check is skipped there).
+fn thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|rest| rest.trim().parse().ok())
+}
+
+/// Boots a sharded event-loop daemon, fans the client side out over
+/// driver child processes, and checks the exact-merge property: the
+/// per-shard completion counters sum to the merged snapshot and to what
+/// the drivers observed.
+fn run_sweep_point(options: &Options, connections: usize) -> SweepPoint {
+    let total = sweep_total(options, connections);
+    let per_conn = total / connections;
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            service: ServiceConfig {
+                // Room for every connection's window plus slack: the
+                // sweep measures the event loop, not queue rejection.
+                queue_capacity: (2 * connections).max(2048),
+                max_wait: Duration::from_micros(200),
+                ..ServiceConfig::default()
+            },
+            shards: options.shards,
+            io_threads: options.io_threads,
+            // Generous: at 10 000 connections on one core a socket can
+            // legitimately sit quiet while the rest of the fleet is
+            // served.
+            idle_timeout: Duration::from_secs(120),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind sweep daemon");
+    let addr = server.local_addr();
+    let exe = std::env::current_exe().expect("own binary path");
+
+    let children_needed = connections.div_ceil(CONNS_PER_CHILD);
+    let mut children = Vec::new();
+    let mut assigned = 0usize;
+    for child in 0..children_needed {
+        let share = (connections - assigned).min(CONNS_PER_CHILD);
+        assigned += share;
+        let handle = std::process::Command::new(&exe)
+            .arg("--drive")
+            .arg("--addr")
+            .arg(addr.to_string())
+            .arg("--connections")
+            .arg(share.to_string())
+            .arg("--per-conn")
+            .arg(per_conn.to_string())
+            .arg("--seed")
+            .arg((options.seed ^ (0xD21_0000 + child as u64)).to_string())
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn driver child");
+        children.push(handle);
+    }
+
+    // The bound the tentpole exists for: thread count while the fleet
+    // is connecting/served is fixed by configuration, not by
+    // connections.
+    std::thread::sleep(Duration::from_millis(50));
+    let server_threads = thread_count().unwrap_or(0);
+    assert!(
+        server_threads < 48,
+        "daemon thread count {server_threads} scales with connections — the event loop leaked \
+         back into thread-per-connection"
+    );
+
+    let mut latency = LatencyHistogram::new();
+    let mut client_completed = 0u64;
+    let mut busy_retries = 0u64;
+    let mut slowest = Duration::ZERO;
+    for child in children {
+        let output = child.wait_with_output().expect("driver child");
+        assert!(
+            output.status.success(),
+            "driver child failed:\n{}",
+            String::from_utf8_lossy(&output.stdout)
+        );
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        let report = stdout
+            .lines()
+            .find_map(|line| line.strip_prefix("drive-result "))
+            .expect("driver child printed its result");
+        let mut completed = 0u64;
+        let mut elapsed_ns = 0u64;
+        for field in report.split_whitespace() {
+            if let Some(value) = field.strip_prefix("completed=") {
+                completed = value.parse().expect("completed count");
+            } else if let Some(value) = field.strip_prefix("retried=") {
+                busy_retries += value.parse::<u64>().expect("retry count");
+            } else if let Some(value) = field.strip_prefix("elapsed_ns=") {
+                elapsed_ns = value.parse().expect("elapsed");
+            }
+        }
+        let encoded = report
+            .split_once("hist=")
+            .map(|(_, hist)| hist)
+            .expect("driver child encoded its histogram");
+        latency.merge(&LatencyHistogram::decode(encoded).expect("valid histogram encoding"));
+        client_completed += completed;
+        slowest = slowest.max(Duration::from_nanos(elapsed_ns));
+    }
+
+    // Exact merge: every driver-observed digest is a per-shard
+    // completion, and the merged snapshot is precisely their sum.
+    let shard_completed: Vec<u64> = server
+        .shard_metrics()
+        .iter()
+        .map(|shard| shard.completed)
+        .collect();
+    let merged = server.metrics();
+    assert_eq!(
+        merged.completed,
+        shard_completed.iter().sum::<u64>(),
+        "merged STATS disagrees with the per-shard sum"
+    );
+    assert_eq!(
+        merged.completed, client_completed,
+        "drivers observed a different completion count than the daemon"
+    );
+    assert_eq!(client_completed, total as u64, "sweep lost requests");
+    server.shutdown();
+
+    let rps = client_completed as f64 / slowest.as_secs_f64();
+    // The regression floor the sharded event loop must clear: the
+    // threaded daemon's best closed-loop figure (PR "remote hashing
+    // daemon", 26 064.6 req/s) at high concurrency. Only the
+    // 256-connection point is load-bound rather than connect-bound or
+    // saturation-bound, so the floor binds there.
+    if connections == 256 {
+        assert!(
+            rps >= 26_064.6,
+            "256-connection sweep sustained {rps:.1} req/s, below the threaded daemon's \
+             26 064.6 req/s"
+        );
+    }
+    println!(
+        "sweep {connections:>6} conns × {per_conn} req → {client_completed} digests, \
+         {rps:.0} req/s, p99 {:.2} ms, {server_threads} daemon threads, shards {:?}",
+        latency.percentile(0.99) as f64 / 1e6,
+        shard_completed,
+    );
+    SweepPoint {
+        connections,
+        requests: client_completed,
+        rps,
+        busy_retries,
+        latency,
+        shard_completed,
+        merged_completed: merged.completed,
+        client_completed,
+        server_threads,
+    }
+}
+
+/// One multiplexed sweep connection inside a driver child: a
+/// non-blocking socket with a tiny pipelined window, pumped by the
+/// child's sweep loop exactly the way the daemon pumps its side.
+struct DriveConn {
+    stream: TcpStream,
+    rng: Rng,
+    read_buf: Vec<u8>,
+    out: Vec<u8>,
+    out_at: usize,
+    /// `(request id, submit instant)` of in-flight requests (window-
+    /// sized: linear scans are cheap).
+    in_flight: Vec<(u64, Instant)>,
+    next_id: u64,
+    fresh_submitted: usize,
+    completed: usize,
+    quota: usize,
+    retried: u64,
+}
+
+impl DriveConn {
+    fn connect(addr: SocketAddr, seed: u64, quota: usize) -> DriveConn {
+        // Under a 10 000-connection stampede the listen backlog can
+        // overflow; retry instead of giving up.
+        let mut delay = Duration::from_millis(2);
+        let stream = loop {
+            match TcpStream::connect(addr) {
+                Ok(stream) => break stream,
+                Err(_) => {
+                    std::thread::sleep(delay);
+                    delay = (delay * 2).min(Duration::from_millis(200));
+                }
+            }
+        };
+        stream.set_nonblocking(true).expect("non-blocking client");
+        let _ = stream.set_nodelay(true);
+        DriveConn {
+            stream,
+            rng: Rng::new(seed),
+            read_buf: Vec::new(),
+            out: Vec::new(),
+            out_at: 0,
+            in_flight: Vec::with_capacity(SWEEP_WINDOW),
+            next_id: 0,
+            fresh_submitted: 0,
+            completed: 0,
+            quota,
+            retried: 0,
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.completed >= self.quota
+    }
+
+    fn submit_one(&mut self) {
+        let id = self.next_id;
+        self.next_id += 1;
+        let message = self.rng.bytes(MSG_LEN);
+        let body = Request::Hash {
+            id,
+            algorithm: WireAlgorithm::Shake128,
+            output_len: OUTPUT_LEN,
+            deadline: None,
+            payload: message,
+        }
+        .encode();
+        write_frame(&mut self.out, &body).expect("vec write");
+        self.in_flight.push((id, Instant::now()));
+    }
+
+    fn top_up(&mut self) {
+        while self.in_flight.len() < SWEEP_WINDOW && self.fresh_submitted < self.quota {
+            self.fresh_submitted += 1;
+            self.submit_one();
+        }
+    }
+
+    /// Flush + read + parse. Returns whether any bytes moved.
+    fn pump(&mut self, scratch: &mut [u8], latency: &mut LatencyHistogram) -> bool {
+        let mut progress = false;
+        while self.out_at < self.out.len() {
+            match self.stream.write(&self.out[self.out_at..]) {
+                Ok(n) => {
+                    progress = true;
+                    self.out_at += n;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => panic!("sweep connection write failed: {e}"),
+            }
+        }
+        if self.out_at == self.out.len() {
+            self.out.clear();
+            self.out_at = 0;
+        }
+        loop {
+            match self.stream.read(scratch) {
+                Ok(0) => panic!("daemon closed a sweep connection mid-run"),
+                Ok(n) => {
+                    progress = true;
+                    self.read_buf.extend_from_slice(&scratch[..n]);
+                    if n < scratch.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => panic!("sweep connection read failed: {e}"),
+            }
+        }
+        self.parse(latency);
+        progress
+    }
+
+    fn parse(&mut self, latency: &mut LatencyHistogram) {
+        let mut at = 0;
+        while self.read_buf.len() - at >= 4 {
+            let prefix: [u8; 4] = self.read_buf[at..at + 4].try_into().expect("len 4");
+            let len = u32::from_le_bytes(prefix) as usize;
+            assert!(len <= DEFAULT_MAX_FRAME, "daemon sent an oversized frame");
+            if self.read_buf.len() - at < 4 + len {
+                break;
+            }
+            let response =
+                Response::decode(&self.read_buf[at + 4..at + 4 + len]).expect("valid response");
+            at += 4 + len;
+            match response {
+                Response::Digest { id, .. } => {
+                    let slot = self
+                        .in_flight
+                        .iter()
+                        .position(|(flying, _)| *flying == id)
+                        .expect("digest for an in-flight request");
+                    let (_, submitted) = self.in_flight.swap_remove(slot);
+                    latency.record_duration(submitted.elapsed());
+                    self.completed += 1;
+                }
+                Response::Error { id, code, detail } => {
+                    // Back-pressure: retry the logical request. Anything
+                    // else is a sweep failure.
+                    assert_eq!(
+                        code,
+                        krv_server::ErrorCode::Busy,
+                        "sweep request failed: {detail}"
+                    );
+                    let slot = self
+                        .in_flight
+                        .iter()
+                        .position(|(flying, _)| *flying == id)
+                        .expect("refusal for an in-flight request");
+                    self.in_flight.swap_remove(slot);
+                    self.retried += 1;
+                    self.fresh_submitted -= 1;
+                }
+                Response::Stats { .. } => panic!("unsolicited STATS response"),
+            }
+        }
+        self.read_buf.drain(..at);
+        self.top_up();
+    }
+}
+
+/// The `--drive` child: multiplexes its slice of sweep connections and
+/// reports `drive-result completed=… retried=… elapsed_ns=… hist=…` on
+/// stdout.
+fn drive_main() -> ! {
+    let mut addr: Option<SocketAddr> = None;
+    let mut connections = 0usize;
+    let mut per_conn = 0usize;
+    let mut seed = DEFAULT_SEED;
+    let mut args = std::env::args().skip(2);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = Some(value("--addr").parse().expect("socket address")),
+            "--connections" => connections = value("--connections").parse().expect("count"),
+            "--per-conn" => per_conn = value("--per-conn").parse().expect("count"),
+            "--seed" => seed = value("--seed").parse().expect("seed"),
+            other => {
+                eprintln!("unknown --drive argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let addr = addr.expect("--drive needs --addr");
+    assert!(connections > 0 && per_conn > 0, "--drive needs work");
+
+    // Connect the whole fleet first, staggered: a burst of SYNs faster
+    // than the (CPU-starved, 128-deep) accept backlog drains gets a SYN
+    // dropped, and its 1 s kernel retransmit would pollute every
+    // latency sample behind it.
+    let mut conns: Vec<DriveConn> = (0..connections)
+        .map(|c| {
+            if c % 32 == 31 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            DriveConn::connect(addr, seed.wrapping_add(c as u64), per_conn)
+        })
+        .collect();
+    // The measured span: first submission to last digest, connects
+    // excluded.
+    let started = Instant::now();
+    for conn in &mut conns {
+        conn.top_up();
+    }
+    let mut latency = LatencyHistogram::new();
+    let mut scratch = vec![0u8; 16 * 1024];
+    while conns.iter().any(|conn| !conn.done()) {
+        let mut progress = false;
+        for conn in &mut conns {
+            if !conn.done() || conn.out_at < conn.out.len() {
+                progress |= conn.pump(&mut scratch, &mut latency);
+            }
+        }
+        if !progress {
+            // Nothing moved: responses are in flight server-side. Park
+            // briefly instead of spinning on a shared core.
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+    let elapsed = started.elapsed();
+    let completed: usize = conns.iter().map(|conn| conn.completed).sum();
+    let retried: u64 = conns.iter().map(|conn| conn.retried).sum();
+    println!(
+        "drive-result completed={completed} retried={retried} elapsed_ns={} hist={}",
+        elapsed.as_nanos(),
+        latency.encode()
+    );
+    std::process::exit(0);
+}
+
 fn histogram_json(label: &str, h: &LatencyHistogram) -> String {
     format!(
         "\"{label}\": {{ \"count\": {}, \"mean_ns\": {:.0}, \"p50_ns\": {}, \
@@ -448,6 +919,7 @@ fn render_json(
     config: ServiceConfig,
     closed: &ClosedLoopResult,
     open: &OpenLoopResult,
+    sweep: &[SweepPoint],
 ) -> String {
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"benchmark\": \"net\",");
@@ -456,12 +928,15 @@ fn render_json(
     let _ = writeln!(
         json,
         "  \"config\": {{ \"connections\": {}, \"window\": {}, \"message_len\": {MSG_LEN}, \
-         \"kernel\": \"{}\", \"workers\": {}, \"batch_slots\": {} }},",
+         \"kernel\": \"{}\", \"workers\": {}, \"batch_slots\": {}, \"io_threads\": {}, \
+         \"shards\": {} }},",
         options.connections,
         options.window,
         config.kernel.label(),
         config.workers,
-        config.batch_slots()
+        config.batch_slots(),
+        options.io_threads,
+        options.shards
     );
     let _ = writeln!(json, "  \"closed_loop\": {{");
     let _ = writeln!(json, "    \"requests\": {},", closed.requests);
@@ -496,7 +971,44 @@ fn render_json(
         open.transport_failures
     );
     let _ = writeln!(json, "    {}", histogram_json("e2e_latency", &open.latency));
-    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"connection_sweep\": [");
+    for (i, point) in sweep.iter().enumerate() {
+        let shard_list = point
+            .shard_completed
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"connections\": {},", point.connections);
+        let _ = writeln!(json, "      \"requests\": {},", point.requests);
+        let _ = writeln!(json, "      \"requests_per_sec\": {:.1},", point.rps);
+        let _ = writeln!(json, "      \"busy_retries\": {},", point.busy_retries);
+        let _ = writeln!(json, "      \"server_threads\": {},", point.server_threads);
+        let _ = writeln!(json, "      \"shard_completed\": [{shard_list}],");
+        let _ = writeln!(
+            json,
+            "      \"merged_completed\": {},",
+            point.merged_completed
+        );
+        let _ = writeln!(
+            json,
+            "      \"client_completed\": {},",
+            point.client_completed
+        );
+        let _ = writeln!(
+            json,
+            "      {}",
+            histogram_json("e2e_latency", &point.latency)
+        );
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 == sweep.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "  ]");
     json.push_str("}\n");
     json
 }
@@ -521,6 +1033,14 @@ const SCHEMA_KEYS: &[&str] = &[
     "\"busy\":",
     "\"deadline_misses\":",
     "\"transport_failures\":",
+    "\"io_threads\":",
+    "\"shards\":",
+    "\"connection_sweep\":",
+    "\"requests_per_sec\":",
+    "\"server_threads\":",
+    "\"shard_completed\":",
+    "\"merged_completed\":",
+    "\"client_completed\":",
 ];
 
 fn check_schema(json: &str) {

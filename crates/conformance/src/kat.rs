@@ -9,7 +9,9 @@
 //! engine pool — to an external oracle rather than to itself.
 
 use krv_core::{BackendKind, KernelKind};
-use krv_service::{HashRequest, Service, ServiceConfig, Ticket, TierPolicy};
+use krv_service::{
+    HashRequest, Service, ServiceConfig, ShardConfig, ShardedService, Ticket, TierPolicy,
+};
 use krv_sha3::{hash_batch, hex, BatchRequest, PermutationBackend, Sponge, SpongeParams};
 use krv_testkit::CaseReport;
 use std::time::Duration;
@@ -316,6 +318,104 @@ pub fn run_native_service_suite(suite: &KatSuite, tier: Tier) -> KatOutcome {
     )
 }
 
+/// The pass-matrix row key of the sharded serving path.
+pub const SHARDED_SERVICE_LABEL: &str = "service/sharded-x2";
+
+/// Runs one KAT suite through the **sharded** serving path: every
+/// selected vector is submitted as its own client to a two-shard
+/// [`ShardedService`], so the digests additionally cross the
+/// consistent-hash routing and the per-shard queues and schedulers, and
+/// the health check runs against the bucket-wise **merged** metrics.
+pub fn run_sharded_service_suite(suite: &KatSuite, tier: Tier) -> KatOutcome {
+    let service = ShardedService::start(ShardConfig {
+        shards: 2,
+        service: ServiceConfig {
+            kernel: KernelKind::E64Lmul8,
+            sn: 2,
+            workers: 2,
+            queue_capacity: 1024,
+            max_wait: Duration::from_micros(50),
+            tier: TierPolicy::simulator(),
+            fair_share: None,
+        },
+    });
+    let params = suite.algorithm.params();
+    let mut failures = Vec::new();
+    let mut cases = 0;
+    let entries: Vec<&KatEntry> = match tier {
+        Tier::Short => suite.short.iter().collect(),
+        Tier::Smoke | Tier::Full => suite.short.iter().chain(suite.long.iter()).collect(),
+    };
+
+    // One burst, one client id per vector: the routing hash spreads the
+    // burst across both shards before the first ticket is awaited.
+    let tickets: Vec<Ticket> = entries
+        .iter()
+        .enumerate()
+        .map(|(client, entry)| {
+            service
+                .submit_as(
+                    client as u64,
+                    HashRequest::new(entry.message.bytes(), params, entry.output_len),
+                )
+                .expect("KAT burst fits the shard queues")
+        })
+        .collect();
+    for (entry, ticket) in entries.iter().zip(tickets) {
+        cases += 1;
+        match ticket.wait().result {
+            Ok(output) if hex(&output) == entry.digest_hex => {}
+            Ok(output) => failures.push(CaseReport::new(
+                format!("kat/{}/sharded", suite.algorithm.name()),
+                entry.message.len() as u64,
+                format!(
+                    "message len {} → {} != expected {}",
+                    entry.message.len(),
+                    hex(&output),
+                    entry.digest_hex
+                ),
+            )),
+            Err(error) => failures.push(CaseReport::new(
+                format!("kat/{}/sharded", suite.algorithm.name()),
+                entry.message.len() as u64,
+                format!(
+                    "message len {} → request failed: {error}",
+                    entry.message.len()
+                ),
+            )),
+        }
+    }
+
+    let report = service.shutdown();
+    if report.timeouts != 0
+        || report.worker_failures != 0
+        || report.rejected != 0
+        || report.throttled != 0
+        || report.completed != cases as u64
+    {
+        failures.push(CaseReport::new(
+            format!("kat/{}/sharded-health", suite.algorithm.name()),
+            0,
+            format!(
+                "unhealthy sharded run: {} completed of {cases}, {} timeouts, \
+                 {} worker failures, {} rejections, {} throttled",
+                report.completed,
+                report.timeouts,
+                report.worker_failures,
+                report.rejected,
+                report.throttled
+            ),
+        ));
+    }
+
+    KatOutcome {
+        backend: SHARDED_SERVICE_LABEL.to_string(),
+        algorithm: suite.algorithm.name(),
+        cases,
+        failures,
+    }
+}
+
 fn tiered_service_suite(
     suite: &KatSuite,
     tier: Tier,
@@ -331,6 +431,7 @@ fn tiered_service_suite(
         // sequential Monte Carlo chain pays the window on every link.
         max_wait: Duration::from_micros(50),
         tier: policy,
+        fair_share: None,
     });
     let params = suite.algorithm.params();
     let mut failures = Vec::new();

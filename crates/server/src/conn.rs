@@ -1,310 +1,326 @@
-//! One accepted connection: a reader thread that decodes and submits,
-//! a writer thread that serializes responses, and a drain that lets
-//! every in-flight request answer before the socket closes.
+//! One multiplexed connection: a non-blocking state machine pumped by
+//! an I/O thread, not a pair of dedicated threads.
 //!
-//! The reader polls the socket with a short read timeout so it can
-//! notice daemon shutdown and connection idleness without a dedicated
-//! signalling channel. Responses flow reader → service → ticket
-//! callback → writer channel → socket; because completions arrive on
-//! the scheduler thread while the reader keeps decoding, many requests
-//! are in flight per socket at once and responses may overtake each
-//! other — the request id is the client's correlation key.
+//! A [`Connection`] owns a non-blocking socket, a byte buffer of
+//! unparsed inbound data, and a queue of encoded outbound frames. The
+//! owning I/O thread pumps it: writes whatever the socket accepts,
+//! reads whatever has arrived, parses every *complete* frame out of the
+//! buffer and handles it. Partial frames simply stay buffered until
+//! more bytes arrive — framing cannot desynchronize, because nothing is
+//! consumed until the full frame is present and decoded.
+//!
+//! Responses flow back asynchronously: a hash submission registers a
+//! ticket callback that encodes the response on the scheduler thread
+//! and posts it to the I/O thread's inbox ([`crate::poll::IoShared`]),
+//! which routes it to this connection's outbound queue. The request id
+//! is the client's correlation key; responses overtake each other
+//! freely.
 //!
 //! A protocol violation (bad magic, unknown kind, oversized frame, …)
-//! is fatal **to the connection only**: the reader stops, already
-//! admitted requests still get their responses, and the socket closes.
-//! The daemon and every other connection keep serving.
+//! is fatal **to the connection only**: reading stops, already admitted
+//! requests still get their responses written, and the socket closes.
+//! The daemon and every other connection keep serving. EOF and idleness
+//! (no bytes received for the idle timeout) end a connection the same
+//! graceful way.
 
-use crate::protocol::{self, ErrorCode, Request, Response};
-use crate::ServerConfig;
-use krv_service::{HashRequest, RequestError, Service, SubmitError};
-use std::io::{self, BufWriter, Read, Write};
-use std::net::{Shutdown, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use crate::poll::IoCtx;
+use crate::protocol::{ErrorCode, Request, Response};
+use krv_service::{HashRequest, RequestError, SubmitError};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
-/// How often the reader wakes from a blocked read to check the daemon
-/// shutdown flag and the idle deadline.
-const POLL_TICK: Duration = Duration::from_millis(25);
+/// Most scratch-buffer reads one pump performs before yielding to the
+/// next connection, so one firehose peer cannot starve the rest of the
+/// I/O thread's sweep.
+const READS_PER_PUMP: usize = 4;
 
-/// Requests submitted but not yet pushed to the writer channel.
-#[derive(Debug, Default)]
-struct InFlight {
-    count: Mutex<usize>,
-    drained: Condvar,
+/// Prepends the length prefix, turning a frame body into wire bytes.
+pub(crate) fn wire(body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    out
 }
 
-impl InFlight {
-    fn increment(&self) {
-        *self.count.lock().expect("in-flight lock") += 1;
-    }
-
-    fn decrement(&self) {
-        let mut count = self.count.lock().expect("in-flight lock");
-        *count -= 1;
-        if *count == 0 {
-            self.drained.notify_all();
-        }
-    }
-
-    /// Blocks until every in-flight request has resolved. The service
-    /// resolves every admitted ticket (including during its own drain),
-    /// so this always returns; the timeout re-check is defensive only.
-    fn wait_drained(&self) {
-        let mut count = self.count.lock().expect("in-flight lock");
-        while *count > 0 {
-            count = self
-                .drained
-                .wait_timeout(count, Duration::from_secs(1))
-                .expect("in-flight lock")
-                .0;
-        }
-    }
-}
-
-/// Why the reader loop stopped. Every variant ends in the same graceful
-/// close — drain in-flight responses, then shut the socket — so the
-/// reason is informational; what matters is that a [`Stop::Violation`]
-/// costs the client its connection and nothing else.
-enum Stop {
-    /// Clean EOF from the client, or an unusable socket.
-    Disconnected,
-    /// No complete frame arrived within the idle timeout.
-    Idle,
-    /// The daemon is shutting down.
-    Shutdown,
-    /// The client broke the protocol; the connection dies, the daemon
-    /// does not.
-    Violation,
-}
-
-/// Serves one accepted connection to completion. Runs on its own
-/// thread; never panics on anything the peer sends.
-pub(crate) fn serve(
+/// The per-connection state machine. All methods are non-blocking; the
+/// owning I/O thread calls them from its sweep.
+#[derive(Debug)]
+pub(crate) struct Connection {
     stream: TcpStream,
-    service: Arc<Service>,
-    config: ServerConfig,
-    shutdown: Arc<AtomicBool>,
-) {
-    let _ = stream.set_nodelay(true);
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let (responses, inbox) = std::sync::mpsc::channel::<Vec<u8>>();
-    let writer = std::thread::Builder::new()
-        .name("krv-server-writer".into())
-        .spawn(move || write_loop(write_half, inbox))
-        .expect("spawn connection writer");
-
-    let in_flight = Arc::new(InFlight::default());
-    let _stop = read_loop(
-        &stream, &service, &config, &shutdown, &responses, &in_flight,
-    );
-
-    // Graceful close, whatever stopped the reader: every admitted
-    // request resolves (the callbacks enqueue their responses), then the
-    // writer drains its channel and the socket closes.
-    in_flight.wait_drained();
-    drop(responses);
-    let _ = writer.join();
-    let _ = stream.shutdown(Shutdown::Both);
+    /// The connection's stable id: the routing key for inbox frames and
+    /// the client id fair-share admission accounts against.
+    token: u64,
+    /// Received, not-yet-parsed bytes (at most one partial frame plus
+    /// whatever arrived behind it).
+    read_buf: Vec<u8>,
+    /// Encoded outbound frames (wire bytes, length prefix included).
+    outbound: VecDeque<Vec<u8>>,
+    /// Bytes of `outbound.front()` already written.
+    front_written: usize,
+    /// Requests submitted whose responses have not yet been posted back
+    /// to the I/O thread. Shared with the ticket callbacks, which
+    /// decrement it *after* posting the response frame.
+    in_flight: Arc<AtomicUsize>,
+    /// When the connection is closed for idleness: reset whenever bytes
+    /// arrive.
+    idle_deadline: Instant,
+    /// `false` once EOF, a violation, idleness or daemon shutdown ends
+    /// the inbound side; the connection then drains and closes.
+    reading: bool,
+    /// A hard transport failure: the connection is removed immediately,
+    /// without draining.
+    pub dead: bool,
 }
 
-/// Decodes frames and submits requests until the connection stops.
-fn read_loop(
-    stream: &TcpStream,
-    service: &Arc<Service>,
-    config: &ServerConfig,
-    shutdown: &Arc<AtomicBool>,
-    responses: &Sender<Vec<u8>>,
-    in_flight: &Arc<InFlight>,
-) -> Stop {
-    if stream.set_read_timeout(Some(POLL_TICK)).is_err() {
-        return Stop::Disconnected;
+impl Connection {
+    /// Adopts an accepted stream: switches it non-blocking and arms the
+    /// idle deadline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `set_nonblocking` failure (the stream is unusable
+    /// for this server if it cannot be made non-blocking).
+    pub fn adopt(stream: TcpStream, token: u64, ctx: &IoCtx) -> io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Self {
+            stream,
+            token,
+            read_buf: Vec::new(),
+            outbound: VecDeque::new(),
+            front_written: 0,
+            in_flight: Arc::new(AtomicUsize::new(0)),
+            idle_deadline: Instant::now() + ctx.config.idle_timeout,
+            reading: true,
+            dead: false,
+        })
     }
-    let mut reader = io::BufReader::new(stream);
-    let mut idle_deadline = Instant::now() + config.idle_timeout;
-    loop {
-        let mut prefix = [0u8; 4];
-        match read_exact_poll(&mut reader, &mut prefix, shutdown, Some(idle_deadline)) {
-            ReadOutcome::Full => {}
-            ReadOutcome::Eof => return Stop::Disconnected,
-            ReadOutcome::Idle => return Stop::Idle,
-            ReadOutcome::Shutdown => return Stop::Shutdown,
-            ReadOutcome::Failed => return Stop::Disconnected,
-        }
-        let len = u32::from_le_bytes(prefix) as usize;
-        if len > config.max_frame {
-            // OversizedFrame: the body cannot even be read safely.
-            return Stop::Violation;
-        }
-        let mut body = vec![0u8; len];
-        // Mid-frame, only daemon shutdown may interrupt; a slow frame is
-        // not idleness.
-        match read_exact_poll(&mut reader, &mut body, shutdown, None) {
-            ReadOutcome::Full => {}
-            ReadOutcome::Eof | ReadOutcome::Failed => return Stop::Disconnected,
-            ReadOutcome::Idle => unreachable!("no idle deadline mid-frame"),
-            ReadOutcome::Shutdown => return Stop::Shutdown,
-        }
-        match Request::decode(&body) {
-            Ok(request) => handle(request, service, config, responses, in_flight),
-            Err(_violation) => return Stop::Violation,
-        }
-        idle_deadline = Instant::now() + config.idle_timeout;
-    }
-}
 
-/// One fully decoded request: admit it or answer why not.
-fn handle(
-    request: Request,
-    service: &Arc<Service>,
-    config: &ServerConfig,
-    responses: &Sender<Vec<u8>>,
-    in_flight: &Arc<InFlight>,
-) {
-    match request {
-        Request::Stats { id } => {
-            let snapshot = Box::new(service.metrics());
-            let _ = responses.send(Response::Stats { id, snapshot }.encode());
+    /// The connection's routing token / client id.
+    pub fn token(&self) -> u64 {
+        self.token
+    }
+
+    /// Stops the inbound side: no more reads, no more submissions. The
+    /// connection closes once its in-flight responses have been posted
+    /// and written.
+    pub fn start_drain(&mut self) {
+        self.reading = false;
+        self.read_buf.clear();
+    }
+
+    /// Whether every admitted request's response has been posted to the
+    /// I/O inbox and the inbound side is closed. Because callbacks post
+    /// their frame *before* decrementing the counter, observing zero
+    /// here guarantees a subsequent inbox take sees every response —
+    /// the close sequence relies on exactly that ordering.
+    pub fn drained(&self) -> bool {
+        !self.reading && self.in_flight.load(Ordering::Acquire) == 0
+    }
+
+    /// Whether nothing remains to write.
+    pub fn flushed(&self) -> bool {
+        self.outbound.is_empty()
+    }
+
+    /// Queues an encoded frame (wire bytes) for writing.
+    pub fn push_frame(&mut self, frame: Vec<u8>) {
+        self.outbound.push_back(frame);
+    }
+
+    /// One pump: flush what the socket accepts, check idleness, read
+    /// and handle what has arrived. Returns whether any bytes moved.
+    pub fn pump(&mut self, ctx: &IoCtx, scratch: &mut [u8], now: Instant) -> bool {
+        if self.dead {
+            return false;
         }
-        Request::Hash {
-            id,
-            algorithm,
-            output_len,
-            deadline,
-            payload,
-        } => {
-            if *in_flight.count.lock().expect("in-flight lock") >= config.max_in_flight {
-                let response = Response::Error {
-                    id,
-                    code: ErrorCode::Busy,
-                    detail: format!(
-                        "connection window full at {} in-flight requests",
-                        config.max_in_flight
-                    ),
-                };
-                let _ = responses.send(response.encode());
+        let progress = self.pump_write();
+        if self.reading && now >= self.idle_deadline {
+            // Idleness covers half-open peers too: a vanished client
+            // sends no bytes (and no FIN), so its connection ends here.
+            self.start_drain();
+        }
+        progress | self.pump_read(ctx, scratch)
+    }
+
+    /// Writes queued frames until the socket would block.
+    fn pump_write(&mut self) -> bool {
+        let mut progress = false;
+        while let Some(front) = self.outbound.front() {
+            match self.stream.write(&front[self.front_written..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    progress = true;
+                    self.front_written += n;
+                    if self.front_written == front.len() {
+                        self.outbound.pop_front();
+                        self.front_written = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        progress
+    }
+
+    /// Reads what has arrived (bounded per pump), then parses and
+    /// handles every complete frame in the buffer.
+    fn pump_read(&mut self, ctx: &IoCtx, scratch: &mut [u8]) -> bool {
+        if !self.reading {
+            return false;
+        }
+        let mut progress = false;
+        for _ in 0..READS_PER_PUMP {
+            match self.stream.read(scratch) {
+                Ok(0) => {
+                    // Clean EOF: whatever complete frames are already
+                    // buffered are still parsed below — a client that
+                    // writes requests and half-closes gets its answers.
+                    self.reading = false;
+                    break;
+                }
+                Ok(n) => {
+                    progress = true;
+                    self.read_buf.extend_from_slice(&scratch[..n]);
+                    self.idle_deadline = Instant::now() + ctx.config.idle_timeout;
+                    if n < scratch.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    return progress;
+                }
+            }
+        }
+        self.parse_frames(ctx);
+        progress
+    }
+
+    /// Consumes every complete frame in `read_buf`. A frame is only
+    /// consumed whole — a partial frame stays put for the next pump —
+    /// and a violation stops the inbound side at the exact frame
+    /// boundary where it happened.
+    fn parse_frames(&mut self, ctx: &IoCtx) {
+        let mut at = 0;
+        loop {
+            let remaining = self.read_buf.len() - at;
+            if remaining < 4 {
+                break;
+            }
+            let prefix: [u8; 4] = self.read_buf[at..at + 4].try_into().expect("len 4");
+            let len = u32::from_le_bytes(prefix) as usize;
+            if len > ctx.config.max_frame {
+                // OversizedFrame: violation before any allocation.
+                self.start_drain();
                 return;
             }
-            let mut hash_request = HashRequest::new(payload, algorithm.params(), output_len);
-            hash_request.deadline = deadline;
-            in_flight.increment();
-            match service.submit(hash_request) {
-                Ok(ticket) => {
-                    let responses = responses.clone();
-                    let in_flight = Arc::clone(in_flight);
-                    // Runs on the scheduler thread: encode, enqueue for
-                    // the writer, release the in-flight slot. Never
-                    // blocks on the service.
-                    ticket.on_complete(move |completion| {
-                        let response = match completion.result {
-                            Ok(bytes) => Response::Digest { id, bytes },
-                            Err(RequestError::TimedOut) => Response::Error {
-                                id,
-                                code: ErrorCode::Deadline,
-                                detail: "deadline elapsed before dispatch".into(),
-                            },
-                            Err(RequestError::WorkerFailure { error }) => Response::Error {
-                                id,
-                                code: ErrorCode::Internal,
-                                detail: error.to_string(),
-                            },
-                        };
-                        let _ = responses.send(response.encode());
-                        in_flight.decrement();
-                    });
-                }
-                Err(refusal) => {
-                    in_flight.decrement();
-                    let (code, detail) = match refusal {
-                        SubmitError::QueueFull { depth } => (
-                            ErrorCode::Busy,
-                            format!("admission queue full at depth {depth}"),
-                        ),
-                        SubmitError::ShuttingDown => {
-                            (ErrorCode::ShuttingDown, "daemon is draining".into())
-                        }
-                    };
-                    let _ = responses.send(Response::Error { id, code, detail }.encode());
+            if remaining < 4 + len {
+                break;
+            }
+            let body: Vec<u8> = self.read_buf[at + 4..at + 4 + len].to_vec();
+            at += 4 + len;
+            match Request::decode(&body) {
+                Ok(request) => self.handle(request, ctx),
+                Err(_violation) => {
+                    self.start_drain();
+                    return;
                 }
             }
         }
+        self.read_buf.drain(..at);
     }
-}
 
-enum ReadOutcome {
-    Full,
-    Eof,
-    Idle,
-    Shutdown,
-    Failed,
-}
-
-/// `read_exact` over a socket with a poll-tick read timeout: fills
-/// `buffer` completely, or reports why it could not. With an
-/// `idle_deadline`, gives up once the deadline passes **before any byte
-/// arrived** — a partially read buffer is never abandoned to idleness,
-/// so frame framing cannot desynchronize.
-fn read_exact_poll(
-    reader: &mut impl Read,
-    buffer: &mut [u8],
-    shutdown: &AtomicBool,
-    idle_deadline: Option<Instant>,
-) -> ReadOutcome {
-    let mut filled = 0;
-    while filled < buffer.len() {
-        match reader.read(&mut buffer[filled..]) {
-            Ok(0) => return ReadOutcome::Eof,
-            Ok(n) => filled += n,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                if shutdown.load(Ordering::Acquire) {
-                    return ReadOutcome::Shutdown;
+    /// One fully decoded request: admit it or answer why not.
+    fn handle(&mut self, request: Request, ctx: &IoCtx) {
+        match request {
+            Request::Stats { id } => {
+                // The merged cluster-wide snapshot, served inline on the
+                // I/O thread (cheap: counters plus histogram walks).
+                let snapshot = Box::new(ctx.service.metrics());
+                self.push_frame(wire(&Response::Stats { id, snapshot }.encode()));
+            }
+            Request::Hash {
+                id,
+                algorithm,
+                output_len,
+                deadline,
+                payload,
+            } => {
+                if self.in_flight.load(Ordering::Acquire) >= ctx.config.max_in_flight {
+                    let response = Response::Error {
+                        id,
+                        code: ErrorCode::Busy,
+                        detail: format!(
+                            "connection window full at {} in-flight requests",
+                            ctx.config.max_in_flight
+                        ),
+                    };
+                    self.push_frame(wire(&response.encode()));
+                    return;
                 }
-                if filled == 0 {
-                    if let Some(deadline) = idle_deadline {
-                        if Instant::now() >= deadline {
-                            return ReadOutcome::Idle;
-                        }
+                let mut hash_request = HashRequest::new(payload, algorithm.params(), output_len);
+                hash_request.deadline = deadline;
+                self.in_flight.fetch_add(1, Ordering::AcqRel);
+                match ctx.service.submit_as(self.token, hash_request) {
+                    Ok(ticket) => {
+                        let shared = Arc::clone(&ctx.shared);
+                        let in_flight = Arc::clone(&self.in_flight);
+                        let token = self.token;
+                        // Runs on the shard's scheduler thread: encode,
+                        // post to the I/O inbox, release the in-flight
+                        // slot — in that order; `drained` depends on it.
+                        ticket.on_complete(move |completion| {
+                            let response = match completion.result {
+                                Ok(bytes) => Response::Digest { id, bytes },
+                                Err(RequestError::TimedOut) => Response::Error {
+                                    id,
+                                    code: ErrorCode::Deadline,
+                                    detail: "deadline elapsed before dispatch".into(),
+                                },
+                                Err(RequestError::WorkerFailure { error }) => Response::Error {
+                                    id,
+                                    code: ErrorCode::Internal,
+                                    detail: error.to_string(),
+                                },
+                            };
+                            shared.post_frame(token, wire(&response.encode()));
+                            in_flight.fetch_sub(1, Ordering::AcqRel);
+                        });
+                    }
+                    Err(refusal) => {
+                        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+                        let (code, detail) = match refusal {
+                            SubmitError::QueueFull { depth } => (
+                                ErrorCode::Busy,
+                                format!("admission queue full at depth {depth}"),
+                            ),
+                            SubmitError::ClientThrottled { held, .. } => (
+                                ErrorCode::Busy,
+                                format!("client throttled at its fair share ({held} queued)"),
+                            ),
+                            SubmitError::ShuttingDown => {
+                                (ErrorCode::ShuttingDown, "daemon is draining".into())
+                            }
+                        };
+                        self.push_frame(wire(&Response::Error { id, code, detail }.encode()));
                     }
                 }
             }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => return ReadOutcome::Failed,
         }
     }
-    ReadOutcome::Full
-}
-
-/// The writer thread: drains encoded response frames to the socket,
-/// batching flushes across momentarily queued responses. Exits when the
-/// channel closes (reader done, in-flight drained) or the socket dies.
-fn write_loop(stream: TcpStream, inbox: Receiver<Vec<u8>>) {
-    let mut writer = BufWriter::new(stream);
-    while let Ok(frame) = inbox.recv() {
-        if protocol::write_frame(&mut writer, &frame).is_err() {
-            // A dead socket: keep draining the channel so callbacks
-            // never block, but stop writing.
-            for _ in inbox.iter() {}
-            return;
-        }
-        while let Ok(frame) = inbox.try_recv() {
-            if protocol::write_frame(&mut writer, &frame).is_err() {
-                for _ in inbox.iter() {}
-                return;
-            }
-        }
-        if writer.flush().is_err() {
-            for _ in inbox.iter() {}
-            return;
-        }
-    }
-    let _ = writer.flush();
 }

@@ -13,13 +13,17 @@
 //!   ids covering all six FIPS 202 functions (plus XOF output length),
 //!   optional deadlines, and strict decoding whose every failure is a
 //!   typed [`ProtocolError`].
-//! * [`Server`] — the daemon: an accept loop feeding per-connection
-//!   reader/writer threads that pipeline many in-flight requests per
-//!   socket onto [`krv_service::Service::submit`]. Service outcomes map
-//!   onto the wire (`QueueFull` → `BUSY`, `TimedOut` → `DEADLINE`,
-//!   `WorkerFailure` → `INTERNAL`); protocol violations close the
-//!   offending connection and nothing else; shutdown stops accepting,
-//!   drains every in-flight request, then closes.
+//! * [`Server`] — the daemon: an accept loop feeding a **fixed pool of
+//!   I/O threads** that multiplex every connection over non-blocking
+//!   sockets (std-only readiness loop — see the `poll` module), in
+//!   front of N independent [`krv_service::ShardedService`] shards.
+//!   Requests route to shards by a stable hash of the connection token,
+//!   per-client fair-share admission throttles floods, and `STATS`
+//!   replies merge every shard's raw metrics. Service outcomes map onto
+//!   the wire (`QueueFull`/`ClientThrottled` → `BUSY`, `TimedOut` →
+//!   `DEADLINE`, `WorkerFailure` → `INTERNAL`); protocol violations
+//!   close the offending connection and nothing else; shutdown stops
+//!   accepting, drains every in-flight request, then closes.
 //! * [`Client`] — the matching blocking/pipelining client used by the
 //!   tests, the `remote_digest` example and the `netbench` load harness.
 //!
@@ -43,6 +47,7 @@
 
 mod client;
 mod conn;
+mod poll;
 pub mod protocol;
 mod server;
 

@@ -31,9 +31,10 @@ pub const MAGIC: [u8; 4] = *b"KRVH";
 
 /// Protocol version this implementation speaks. Version 2 grew the
 /// STATS reply by the tier counters (`native_served`,
-/// `simulator_served`, `mirrored`, `mirror_mismatches`); version-1
-/// peers are rejected rather than mis-decoded.
-pub const VERSION: u8 = 2;
+/// `simulator_served`, `mirrored`, `mirror_mismatches`); version 3
+/// added the fair-share `throttled` counter. Older peers are rejected
+/// rather than mis-decoded.
+pub const VERSION: u8 = 3;
 
 /// Fixed header length of every frame body: magic, version, kind, id.
 pub const HEADER_LEN: usize = 4 + 1 + 1 + 8;
@@ -513,9 +514,9 @@ fn header(kind: u8, id: u64, payload_len: usize) -> Vec<u8> {
     body
 }
 
-/// Fixed encoded length of a [`MetricsSnapshot`]: 15 `u64`-width fields
+/// Fixed encoded length of a [`MetricsSnapshot`]: 16 `u64`-width fields
 /// plus three six-field [`QuantileSummary`] blocks.
-const SNAPSHOT_LEN: usize = 15 * 8 + 3 * 6 * 8;
+const SNAPSHOT_LEN: usize = 16 * 8 + 3 * 6 * 8;
 
 fn encode_snapshot(snapshot: &MetricsSnapshot, out: &mut Vec<u8>) {
     for value in [
@@ -523,6 +524,7 @@ fn encode_snapshot(snapshot: &MetricsSnapshot, out: &mut Vec<u8>) {
         snapshot.completed,
         snapshot.timeouts,
         snapshot.rejected,
+        snapshot.throttled,
         snapshot.worker_failures,
         snapshot.retries,
         snapshot.batches,
@@ -552,8 +554,8 @@ fn encode_snapshot(snapshot: &MetricsSnapshot, out: &mut Vec<u8>) {
 }
 
 fn decode_snapshot(cursor: &mut Cursor<'_>) -> Result<MetricsSnapshot, ProtocolError> {
-    let u64s = |cursor: &mut Cursor<'_>| -> Result<[u64; 15], ProtocolError> {
-        let mut values = [0u64; 15];
+    let u64s = |cursor: &mut Cursor<'_>| -> Result<[u64; 16], ProtocolError> {
+        let mut values = [0u64; 16];
         for value in &mut values {
             *value = cursor.u64()?;
         }
@@ -575,17 +577,18 @@ fn decode_snapshot(cursor: &mut Cursor<'_>) -> Result<MetricsSnapshot, ProtocolE
         completed: counters[1],
         timeouts: counters[2],
         rejected: counters[3],
-        worker_failures: counters[4],
-        retries: counters[5],
-        batches: counters[6],
-        native_served: counters[7],
-        simulator_served: counters[8],
-        mirrored: counters[9],
-        mirror_mismatches: counters[10],
-        queue_depth: counters[11] as usize,
-        mean_batch_fill: f64::from_bits(counters[12]),
-        alive_workers: counters[13] as usize,
-        batch_slots: counters[14] as usize,
+        throttled: counters[4],
+        worker_failures: counters[5],
+        retries: counters[6],
+        batches: counters[7],
+        native_served: counters[8],
+        simulator_served: counters[9],
+        mirrored: counters[10],
+        mirror_mismatches: counters[11],
+        queue_depth: counters[12] as usize,
+        mean_batch_fill: f64::from_bits(counters[13]),
+        alive_workers: counters[14] as usize,
+        batch_slots: counters[15] as usize,
         queue_ns: quantiles(cursor)?,
         service_ns: quantiles(cursor)?,
         e2e_ns: quantiles(cursor)?,
@@ -733,6 +736,7 @@ mod tests {
             completed: 90,
             timeouts: 4,
             rejected: 3,
+            throttled: 5,
             worker_failures: 2,
             retries: 1,
             batches: 25,

@@ -1,0 +1,192 @@
+//! Connection-churn soak: the event loop under clients that come and
+//! go rudely.
+//!
+//! A seeded battery of connect/pipeline/disconnect rounds where peers
+//! misbehave on purpose — disconnecting with requests still in flight,
+//! half-closing after a burst, and going silent while holding the
+//! socket open (half-open, reaped by the idle deadline). Afterwards the
+//! daemon must show **no leaks**: the process file-descriptor count is
+//! back to its baseline, the service accounts for every admitted
+//! request (no stuck tickets), the admission queues are empty, and
+//! shutdown drains cleanly.
+
+use krv_server::protocol::{read_frame, write_frame, DEFAULT_MAX_FRAME};
+use krv_server::{Client, Request, Server, ServerConfig, WireAlgorithm};
+use krv_service::ServiceConfig;
+use krv_sha3::Sha3_256;
+use krv_testkit::Rng;
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Open file descriptors of this process (Linux); `None` where
+/// `/proc` is unavailable, which skips the leak assertion.
+fn fd_count() -> Option<usize> {
+    Some(std::fs::read_dir("/proc/self/fd").ok()?.count())
+}
+
+/// One rude connection: pipelines `burst` requests raw, then abandons
+/// the socket according to `style` without reading a single response.
+fn rude_round(addr: std::net::SocketAddr, rng: &mut Rng, burst: usize, style: u64) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut wire = Vec::new();
+    for id in 0..burst as u64 {
+        let payload_len = rng.below(200);
+        let request = Request::Hash {
+            id,
+            algorithm: WireAlgorithm::Sha3_256,
+            output_len: 32,
+            deadline: None,
+            payload: rng.bytes(payload_len),
+        };
+        write_frame(&mut wire, &request.encode()).expect("frame");
+    }
+    match style {
+        // Mid-request disconnect: send a torn frame (a length prefix
+        // promising more than ever arrives) and slam the socket shut.
+        0 => {
+            let keep = wire.len() - 1 - rng.below(wire.len() / 2);
+            let _ = stream.write_all(&wire[..keep]);
+            drop(stream);
+        }
+        // Full burst, then immediate close: every response frame is
+        // posted for a connection that may already be gone.
+        1 => {
+            let _ = stream.write_all(&wire);
+            drop(stream);
+        }
+        // Half-close: the write side FINs, the read side lingers a
+        // moment, then leaves without reading.
+        _ => {
+            let _ = stream.write_all(&wire);
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+            std::thread::sleep(Duration::from_millis(1 + rng.below(5) as u64));
+            drop(stream);
+        }
+    }
+}
+
+#[test]
+fn churn_soak_leaks_nothing_and_drains_clean() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            service: ServiceConfig {
+                max_wait: Duration::from_micros(200),
+                ..ServiceConfig::default()
+            },
+            shards: 2,
+            // Short idle deadline so the half-open round below is
+            // reaped within the test's patience, not after 30 s.
+            idle_timeout: Duration::from_millis(250),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let mut rng = Rng::new(0xC1_5011);
+
+    // Baseline after the daemon is up (its listener and sockets count).
+    let baseline = fd_count();
+
+    // The churn: rude rounds interleaved with polite clients proving
+    // the daemon keeps serving throughout.
+    for round in 0..60u64 {
+        let burst = 1 + rng.below(12);
+        rude_round(addr, &mut rng, burst, round % 3);
+        if round % 10 == 9 {
+            let client = Client::connect(addr).expect("polite connect");
+            let payload = rng.bytes(64);
+            assert_eq!(
+                client
+                    .digest(WireAlgorithm::Sha3_256, &payload)
+                    .expect("polite request served mid-churn"),
+                Sha3_256::digest(&payload),
+                "round {round}"
+            );
+        }
+    }
+
+    // Half-open soak: peers that send a burst then go silent holding
+    // the socket open. Only the idle deadline can reap these.
+    let mut half_open = Vec::new();
+    for _ in 0..8 {
+        let mut stream = TcpStream::connect(addr).expect("connect half-open");
+        let mut wire = Vec::new();
+        write_frame(
+            &mut wire,
+            &Request::Hash {
+                id: 0,
+                algorithm: WireAlgorithm::Sha3_256,
+                output_len: 32,
+                deadline: None,
+                payload: b"then silence".to_vec(),
+            }
+            .encode(),
+        )
+        .expect("frame");
+        stream.write_all(&wire).expect("write");
+        half_open.push(stream);
+    }
+    // Hold them past the idle deadline; the daemon must reap them all
+    // while we still own the sockets.
+    std::thread::sleep(Duration::from_millis(600));
+    for mut stream in half_open {
+        // Our end observes the reap as EOF (or reset).
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        loop {
+            match read_frame(&mut stream, DEFAULT_MAX_FRAME) {
+                Ok(None) | Err(_) => break,
+                Ok(Some(_)) => {}
+            }
+        }
+    }
+
+    // Every fd the churn opened must be back. Poll briefly: the kernel
+    // finishes closing our dropped sockets asynchronously.
+    if let Some(baseline) = baseline {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let now = fd_count().expect("fd count");
+            if now <= baseline {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "fd leak: {now} open vs baseline {baseline}"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    // No stuck tickets: every admitted request reached a terminal state
+    // and the admission queues are empty. Poll briefly — the last rude
+    // burst may still be draining through the shards.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let settled = loop {
+        let metrics = server.metrics();
+        let terminal = metrics.completed + metrics.timeouts + metrics.worker_failures;
+        if terminal == metrics.submitted && metrics.queue_depth == 0 {
+            break metrics;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "stuck tickets: submitted {} vs terminal {terminal}, queue depth {}",
+            metrics.submitted,
+            metrics.queue_depth
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(settled.submitted > 0, "the churn admitted requests");
+
+    // Clean shutdown drain: the final merged report balances too.
+    let report = server.shutdown();
+    assert_eq!(
+        report.completed + report.timeouts + report.worker_failures,
+        report.submitted,
+        "shutdown left tickets unaccounted"
+    );
+    assert_eq!(report.queue_depth, 0, "shutdown left a queue populated");
+}

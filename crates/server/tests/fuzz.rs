@@ -14,8 +14,8 @@
 //! A failing case shrinks via `krv_testkit::shrink` to a minimal byte
 //! string before it is reported.
 
-use krv_server::protocol::{write_frame, DEFAULT_MAX_FRAME};
-use krv_server::{Client, Request, Server, ServerConfig, WireAlgorithm};
+use krv_server::protocol::{read_frame, write_frame, DEFAULT_MAX_FRAME};
+use krv_server::{Client, Request, Response, Server, ServerConfig, WireAlgorithm};
 use krv_service::ServiceConfig;
 use krv_sha3::Sha3_256;
 use krv_testkit::{shrink, CaseReport, Rng};
@@ -305,5 +305,114 @@ fn live_daemon_survives_malformed_frames_without_hanging_or_dying() {
         Sha3_256::digest(b"alive")
     );
     drop(client);
+    server.shutdown();
+}
+
+/// Reads `count` response frames off a raw socket, panicking on any
+/// protocol error.
+fn read_responses(stream: &mut TcpStream, count: usize) -> Vec<Response> {
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let body = read_frame(stream, DEFAULT_MAX_FRAME)
+            .expect("frame")
+            .expect("open")
+            .expect("well-sized");
+        out.push(Response::decode(&body).expect("valid response"));
+    }
+    out
+}
+
+/// The event loop only consumes whole frames: a request dribbled one
+/// byte at a time — the worst possible partial-frame delivery — must
+/// parse identically to one delivered in a single write.
+#[test]
+fn byte_dribble_delivery_parses_identically() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+
+    let request = Request::Hash {
+        id: 9,
+        algorithm: WireAlgorithm::Sha3_256,
+        output_len: 32,
+        deadline: None,
+        payload: b"dribbled one byte at a time".to_vec(),
+    };
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &request.encode()).expect("frame");
+    for byte in &wire {
+        stream.write_all(std::slice::from_ref(byte)).expect("write");
+        stream.flush().expect("flush");
+    }
+
+    match &read_responses(&mut stream, 1)[0] {
+        Response::Digest { id, bytes } => {
+            assert_eq!(*id, 9);
+            assert_eq!(bytes, &Sha3_256::digest(b"dribbled one byte at a time"));
+        }
+        other => panic!("expected a digest, got {other:?}"),
+    }
+    drop(stream);
+    server.shutdown();
+}
+
+/// A pipelined burst of valid frames delivered in seeded random chunk
+/// splits — boundaries landing inside length prefixes, headers and
+/// payloads — must never desynchronize framing: every request is
+/// answered, ids intact, digests correct.
+#[test]
+fn random_chunk_splits_never_desync_framing() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let mut rng = Rng::new(0xF022_0004);
+
+    for _round in 0..10 {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+
+        let count = 2 + rng.below(6);
+        let mut wire = Vec::new();
+        let mut payloads = Vec::new();
+        for id in 0..count as u64 {
+            let payload_len = rng.below(400);
+            let payload = rng.bytes(payload_len);
+            let request = Request::Hash {
+                id,
+                algorithm: WireAlgorithm::Sha3_256,
+                output_len: 32,
+                deadline: None,
+                payload: payload.clone(),
+            };
+            write_frame(&mut wire, &request.encode()).expect("frame");
+            payloads.push(payload);
+        }
+
+        let mut at = 0;
+        while at < wire.len() {
+            let chunk = (1 + rng.below(37)).min(wire.len() - at);
+            stream.write_all(&wire[at..at + chunk]).expect("write");
+            stream.flush().expect("flush");
+            at += chunk;
+        }
+
+        let mut responses = read_responses(&mut stream, count);
+        responses.sort_by_key(|response| match response {
+            Response::Digest { id, .. } => *id,
+            other => panic!("expected digests only, got {other:?}"),
+        });
+        for (id, payload) in payloads.iter().enumerate() {
+            match &responses[id] {
+                Response::Digest { id: got, bytes } => {
+                    assert_eq!(*got, id as u64);
+                    assert_eq!(bytes, &Sha3_256::digest(payload), "request {id} digest");
+                }
+                other => panic!("expected a digest, got {other:?}"),
+            }
+        }
+    }
     server.shutdown();
 }

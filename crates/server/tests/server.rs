@@ -212,6 +212,63 @@ fn stats_round_trip_reflects_served_requests() {
 }
 
 #[test]
+fn sharded_stats_round_trip_is_the_exact_merged_snapshot() {
+    // 3 shards behind 2 I/O threads: many clients spread their traffic
+    // over every shard, then one STATS request must return the merged
+    // cluster snapshot — identical, field for field, to the server's
+    // own merge, and its counters must be the per-shard sums.
+    let server = quick_server(ServerConfig {
+        shards: 3,
+        ..quick_config()
+    });
+    let addr = server.local_addr();
+    let handles: Vec<_> = (0..12u8)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let client = Client::connect(addr).expect("connect");
+                let mut rng = Rng::new(0x54A7_0000 + u64::from(t));
+                for i in 0..6usize {
+                    let message = rng.bytes(i * 53 % 300);
+                    assert_eq!(
+                        client
+                            .digest(WireAlgorithm::Sha3_256, &message)
+                            .expect("digest"),
+                        Sha3_256::digest(&message),
+                        "client {t} request {i}"
+                    );
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("client thread");
+    }
+
+    let client = Client::connect(addr).expect("stats connection");
+    let remote = client.stats().expect("stats over the wire");
+    let local = server.metrics();
+    assert_eq!(remote, local, "wire snapshot differs from the local merge");
+
+    let shards = server.shard_metrics();
+    assert_eq!(shards.len(), 3);
+    assert_eq!(remote.submitted, shards.iter().map(|s| s.submitted).sum());
+    assert_eq!(remote.completed, shards.iter().map(|s| s.completed).sum());
+    assert_eq!(
+        remote.e2e_ns.count,
+        shards.iter().map(|s| s.e2e_ns.count).sum::<u64>()
+    );
+    assert_eq!(remote.completed, 72);
+    assert!(
+        shards.iter().all(|s| s.completed > 0),
+        "12 clients must cover all 3 shards: {:?}",
+        shards.iter().map(|s| s.completed).collect::<Vec<_>>()
+    );
+    drop(client);
+    let report = server.shutdown();
+    assert_eq!(report.completed, 72);
+}
+
+#[test]
 fn graceful_shutdown_answers_every_in_flight_request_before_closing() {
     let server = quick_server(quick_config());
     let client = Client::connect(server.local_addr()).expect("connect");

@@ -50,10 +50,12 @@
 
 mod metrics;
 mod scheduler;
+mod shard;
 mod ticket;
 mod tier;
 
-pub use metrics::{MetricsSnapshot, QuantileSummary};
+pub use metrics::{MetricsSnapshot, QuantileSummary, ShardMetrics};
+pub use shard::{ShardConfig, ShardedService};
 pub use ticket::{Completion, RequestError, RequestTiming, Ticket};
 pub use tier::{TierKind, TierPolicy};
 
@@ -81,6 +83,12 @@ pub struct ServiceConfig {
     /// Which tier serves traffic and how often it is mirrored through
     /// the other tier as a differential oracle.
     pub tier: TierPolicy,
+    /// Per-client fair-share cap: the most queue slots one client id
+    /// (see [`Service::submit_as`]) may hold at once. A client at its
+    /// cap is refused with [`SubmitError::ClientThrottled`] even while
+    /// the queue has room, so one flooding client cannot starve the
+    /// rest. `None` (the default) disables per-client accounting limits.
+    pub fair_share: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -95,6 +103,7 @@ impl Default for ServiceConfig {
             queue_capacity: 1024,
             max_wait: Duration::from_micros(500),
             tier: TierPolicy::default(),
+            fair_share: None,
         }
     }
 }
@@ -159,6 +168,15 @@ pub enum SubmitError {
         /// Queue depth at the time of rejection.
         depth: usize,
     },
+    /// The submitting client already holds its fair share of queue
+    /// slots ([`ServiceConfig::fair_share`]); backpressure aimed at one
+    /// hot client while the queue stays open for everyone else.
+    ClientThrottled {
+        /// The client id that hit its cap.
+        client: u64,
+        /// Queue slots the client held at the time of rejection.
+        held: usize,
+    },
     /// The service is draining; no new requests are admitted.
     ShuttingDown,
 }
@@ -168,6 +186,12 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::QueueFull { depth } => {
                 write!(f, "admission queue full at depth {depth}")
+            }
+            SubmitError::ClientThrottled { client, held } => {
+                write!(
+                    f,
+                    "client {client} throttled at its fair share ({held} queued)"
+                )
             }
             SubmitError::ShuttingDown => write!(f, "service is shutting down"),
         }
@@ -217,25 +241,50 @@ impl Service {
         &self.config
     }
 
-    /// Submits a request, returning the ticket its completion arrives
-    /// on.
+    /// Submits a request for the anonymous client (id 0), returning the
+    /// ticket its completion arrives on.
+    ///
+    /// With [`ServiceConfig::fair_share`] set, all `submit` traffic
+    /// shares client 0's quota; callers serving distinct clients should
+    /// use [`Self::submit_as`].
     ///
     /// # Errors
     ///
     /// [`SubmitError::QueueFull`] when the bounded queue is at capacity,
-    /// [`SubmitError::ShuttingDown`] once draining has begun.
+    /// [`SubmitError::ClientThrottled`] when client 0 holds its fair
+    /// share, [`SubmitError::ShuttingDown`] once draining has begun.
     pub fn submit(&self, request: HashRequest) -> Result<Ticket, SubmitError> {
-        self.shared.submit(request)
+        self.shared.submit(0, request)
+    }
+
+    /// Submits a request on behalf of `client`, the id fair-share
+    /// admission accounts against (a connection token, a user id — any
+    /// stable per-caller value).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::ClientThrottled`] when `client` already holds
+    /// [`ServiceConfig::fair_share`] queue slots, plus everything
+    /// [`Self::submit`] can return.
+    pub fn submit_as(&self, client: u64, request: HashRequest) -> Result<Ticket, SubmitError> {
+        self.shared.submit(client, request)
     }
 
     /// A point-in-time snapshot of the service's instrumentation.
     pub fn metrics(&self) -> MetricsSnapshot {
+        self.shard_metrics().summarize()
+    }
+
+    /// The raw, mergeable form of [`Self::metrics`]: full latency
+    /// histograms instead of percentile summaries, so per-shard copies
+    /// can be [`ShardMetrics::merge`]d without losing fidelity.
+    pub fn shard_metrics(&self) -> ShardMetrics {
         let queue_depth = self.shared.queue_depth();
         self.shared
             .stats
             .lock()
             .expect("stats lock")
-            .snapshot(queue_depth)
+            .shard_metrics(queue_depth)
     }
 
     /// Stops admission without waiting for the drain: subsequent

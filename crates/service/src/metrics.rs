@@ -68,6 +68,8 @@ pub(crate) struct ServiceStats {
     pub timeouts: u64,
     /// Requests refused at admission because the queue was full.
     pub rejected: u64,
+    /// Requests refused at admission by the per-client fair-share cap.
+    pub throttled: u64,
     /// Requests failed after their batch's single retry also failed.
     pub worker_failures: u64,
     /// Batch groups retried after losing a pool worker.
@@ -104,6 +106,7 @@ impl ServiceStats {
             completed: 0,
             timeouts: 0,
             rejected: 0,
+            throttled: 0,
             worker_failures: 0,
             retries: 0,
             batches: 0,
@@ -120,12 +123,15 @@ impl ServiceStats {
         }
     }
 
-    pub(crate) fn snapshot(&self, queue_depth: usize) -> MetricsSnapshot {
-        MetricsSnapshot {
+    /// The raw, mergeable form of this ledger — histograms included, so
+    /// per-shard copies combine without losing percentile fidelity.
+    pub(crate) fn shard_metrics(&self, queue_depth: usize) -> ShardMetrics {
+        ShardMetrics {
             submitted: self.submitted,
             completed: self.completed,
             timeouts: self.timeouts,
             rejected: self.rejected,
+            throttled: self.throttled,
             worker_failures: self.worker_failures,
             retries: self.retries,
             batches: self.batches,
@@ -133,7 +139,145 @@ impl ServiceStats {
             simulator_served: self.simulator_served,
             mirrored: self.mirrored,
             mirror_mismatches: self.mirror_mismatches,
+            fill_sum: self.fill_sum,
             queue_depth,
+            alive_workers: self.alive_workers,
+            batch_slots: self.batch_slots,
+            queue_wait: self.queue_wait.clone(),
+            service_time: self.service_time.clone(),
+            e2e: self.e2e.clone(),
+        }
+    }
+}
+
+/// The raw, mergeable instrumentation of one service shard: every
+/// counter of [`MetricsSnapshot`] plus the full latency **histograms**
+/// instead of pre-summarized percentiles.
+///
+/// This is the form shard metrics aggregate in: summarizing first and
+/// then combining percentiles is lossy, but merging the log-bucketed
+/// [`LatencyHistogram`]s bucket-wise and summarizing once keeps the
+/// merged percentiles inside the histogram's ≤ 6.25 % quantization
+/// bound, exactly as if one histogram had recorded every shard's
+/// samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardMetrics {
+    /// Requests admitted into this shard's queue.
+    pub submitted: u64,
+    /// Requests completed with a digest.
+    pub completed: u64,
+    /// Requests whose deadline elapsed before dispatch.
+    pub timeouts: u64,
+    /// Submissions refused with a full queue.
+    pub rejected: u64,
+    /// Submissions refused by the per-client fair-share cap.
+    pub throttled: u64,
+    /// Requests failed after a batch retry also failed.
+    pub worker_failures: u64,
+    /// Batch groups retried after losing a pool worker.
+    pub retries: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Requests served by the native tier.
+    pub native_served: u64,
+    /// Requests served by the simulator tier.
+    pub simulator_served: u64,
+    /// Requests re-hashed through the non-primary tier by mirroring.
+    pub mirrored: u64,
+    /// Mirrored requests whose tier digests disagreed (latched).
+    pub mirror_mismatches: u64,
+    /// Sum of per-batch fill ratios (`batch_size / batch_slots`).
+    pub fill_sum: f64,
+    /// Requests queued at snapshot time.
+    pub queue_depth: usize,
+    /// Pool workers alive as of the last dispatched batch.
+    pub alive_workers: usize,
+    /// State slots a batch can fill as of the last dispatched batch.
+    pub batch_slots: usize,
+    /// Queue-wait latencies of successful requests, nanoseconds.
+    pub queue_wait: LatencyHistogram,
+    /// Service-time latencies of successful requests, nanoseconds.
+    pub service_time: LatencyHistogram,
+    /// End-to-end latencies of successful requests, nanoseconds.
+    pub e2e: LatencyHistogram,
+}
+
+impl Default for ShardMetrics {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl ShardMetrics {
+    /// The identity of [`Self::merge`]: all counters zero, histograms
+    /// empty.
+    pub fn empty() -> Self {
+        Self {
+            submitted: 0,
+            completed: 0,
+            timeouts: 0,
+            rejected: 0,
+            throttled: 0,
+            worker_failures: 0,
+            retries: 0,
+            batches: 0,
+            native_served: 0,
+            simulator_served: 0,
+            mirrored: 0,
+            mirror_mismatches: 0,
+            fill_sum: 0.0,
+            queue_depth: 0,
+            alive_workers: 0,
+            batch_slots: 0,
+            queue_wait: LatencyHistogram::new(),
+            service_time: LatencyHistogram::new(),
+            e2e: LatencyHistogram::new(),
+        }
+    }
+
+    /// Folds `other` into `self`: counters and gauges add (queue depth,
+    /// alive workers and batch slots become cluster-wide totals;
+    /// `fill_sum` and `batches` add so the summarized mean fill stays
+    /// batch-weighted), histograms merge bucket-wise.
+    pub fn merge(&mut self, other: &Self) {
+        self.submitted += other.submitted;
+        self.completed += other.completed;
+        self.timeouts += other.timeouts;
+        self.rejected += other.rejected;
+        self.throttled += other.throttled;
+        self.worker_failures += other.worker_failures;
+        self.retries += other.retries;
+        self.batches += other.batches;
+        self.native_served += other.native_served;
+        self.simulator_served += other.simulator_served;
+        self.mirrored += other.mirrored;
+        self.mirror_mismatches += other.mirror_mismatches;
+        self.fill_sum += other.fill_sum;
+        self.queue_depth += other.queue_depth;
+        self.alive_workers += other.alive_workers;
+        self.batch_slots += other.batch_slots;
+        self.queue_wait.merge(&other.queue_wait);
+        self.service_time.merge(&other.service_time);
+        self.e2e.merge(&other.e2e);
+    }
+
+    /// Collapses the histograms into percentile summaries, producing the
+    /// caller-facing [`MetricsSnapshot`].
+    pub fn summarize(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            submitted: self.submitted,
+            completed: self.completed,
+            timeouts: self.timeouts,
+            rejected: self.rejected,
+            throttled: self.throttled,
+            worker_failures: self.worker_failures,
+            retries: self.retries,
+            batches: self.batches,
+            native_served: self.native_served,
+            simulator_served: self.simulator_served,
+            mirrored: self.mirrored,
+            mirror_mismatches: self.mirror_mismatches,
+            queue_depth: self.queue_depth,
             mean_batch_fill: if self.batches == 0 {
                 0.0
             } else {
@@ -166,6 +310,10 @@ pub struct MetricsSnapshot {
     pub timeouts: u64,
     /// Submissions refused with a full queue.
     pub rejected: u64,
+    /// Submissions refused by the per-client fair-share cap: the client
+    /// already held its quota of queue slots, so admitting more would
+    /// let it starve everyone else.
+    pub throttled: u64,
     /// Requests failed after a batch retry also failed.
     pub worker_failures: u64,
     /// Batch groups retried after losing a pool worker.

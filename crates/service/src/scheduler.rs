@@ -13,7 +13,7 @@ use krv_core::{EnginePool, PoolError};
 use krv_keccak::KeccakState;
 use krv_native::NativeBackend;
 use krv_sha3::{hash_batch, BatchRequest, PermutationBackend, SpongeParams};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -24,18 +24,43 @@ pub(crate) struct Pending {
     pub request: HashRequest,
     pub ticket: Arc<TicketCell>,
     pub enqueued: Instant,
+    /// The client the request was submitted for — the fair-share
+    /// accounting key.
+    pub client: u64,
 }
 
 /// Everything behind the queue mutex.
 #[derive(Debug)]
 pub(crate) struct QueueState {
     pub queue: VecDeque<Pending>,
+    /// Queue slots currently held per client id; entries are removed
+    /// when they reach zero, so the map is bounded by the number of
+    /// clients with requests in the queue.
+    pub per_client: HashMap<u64, usize>,
     /// `false` once shutdown begins: admission refuses, the scheduler
     /// drains what is queued and then exits.
     pub open: bool,
     /// Failure-injection drills: worker indices the scheduler kills at
     /// the next batch boundary.
     pub kill_requests: Vec<usize>,
+}
+
+impl QueueState {
+    /// Drains up to `slots` requests off the queue front, releasing
+    /// their fair-share holds.
+    fn drain_batch(&mut self, slots: usize) -> Vec<Pending> {
+        let take = self.queue.len().min(slots);
+        let batch: Vec<Pending> = self.queue.drain(..take).collect();
+        for pending in &batch {
+            if let Some(held) = self.per_client.get_mut(&pending.client) {
+                *held -= 1;
+                if *held == 0 {
+                    self.per_client.remove(&pending.client);
+                }
+            }
+        }
+        batch
+    }
 }
 
 /// State shared between the submitting callers and the scheduler thread.
@@ -46,6 +71,9 @@ pub(crate) struct Shared {
     pub arrivals: Condvar,
     pub stats: Mutex<ServiceStats>,
     pub queue_capacity: usize,
+    /// Per-client admission cap (`None` = unlimited): the fair-share
+    /// half of the backpressure contract.
+    pub fair_share: Option<usize>,
     /// Mirroring drill: once set, every native-tier digest is corrupted
     /// so the differential oracle has something to catch.
     pub native_corruption: AtomicBool,
@@ -56,22 +84,33 @@ impl Shared {
         Self {
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
+                per_client: HashMap::new(),
                 open: true,
                 kill_requests: Vec::new(),
             }),
             arrivals: Condvar::new(),
             stats: Mutex::new(ServiceStats::new(config)),
             queue_capacity: config.queue_capacity,
+            fair_share: config.fair_share,
             native_corruption: AtomicBool::new(false),
         }
     }
 
     /// Admission: bounded, with explicit rejection — the backpressure
-    /// half of the service contract.
-    pub fn submit(&self, request: HashRequest) -> Result<Ticket, SubmitError> {
+    /// half of the service contract. A client already holding its
+    /// fair share of queue slots is throttled before global capacity
+    /// is even consulted, so one hot client cannot starve the rest.
+    pub fn submit(&self, client: u64, request: HashRequest) -> Result<Ticket, SubmitError> {
         let mut state = self.state.lock().expect("queue lock");
         if !state.open {
             return Err(SubmitError::ShuttingDown);
+        }
+        let held = state.per_client.get(&client).copied().unwrap_or(0);
+        if let Some(share) = self.fair_share {
+            if held >= share {
+                self.stats.lock().expect("stats lock").throttled += 1;
+                return Err(SubmitError::ClientThrottled { client, held });
+            }
         }
         if state.queue.len() >= self.queue_capacity {
             let depth = state.queue.len();
@@ -79,10 +118,12 @@ impl Shared {
             return Err(SubmitError::QueueFull { depth });
         }
         let cell = Arc::new(TicketCell::default());
+        state.per_client.insert(client, held + 1);
         state.queue.push_back(Pending {
             request,
             ticket: Arc::clone(&cell),
             enqueued: Instant::now(),
+            client,
         });
         self.stats.lock().expect("stats lock").submitted += 1;
         drop(state);
@@ -200,8 +241,7 @@ impl Scheduler {
             let slots = self.pool.capacity().max(1);
             let draining = !state.open && !state.queue.is_empty();
             if state.queue.len() >= slots || draining {
-                let take = state.queue.len().min(slots);
-                return Some(state.queue.drain(..take).collect());
+                return Some(state.drain_batch(slots));
             }
             if !state.open {
                 return None;
@@ -210,8 +250,7 @@ impl Scheduler {
                 Some(oldest) => {
                     let age = oldest.enqueued.elapsed();
                     if age >= self.max_wait {
-                        let take = state.queue.len().min(slots);
-                        return Some(state.queue.drain(..take).collect());
+                        return Some(state.drain_batch(slots));
                     }
                     state = self
                         .shared

@@ -443,6 +443,55 @@ impl LatencyHistogram {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
+
+    /// Encodes the histogram as one line of text — header fields then a
+    /// sparse `bucket:count` list — for cross-process transport (e.g. a
+    /// bench driver child handing its recordings to the parent over a
+    /// pipe). [`Self::decode`] inverts it exactly.
+    pub fn encode(&self) -> String {
+        let mut out = format!("h1 {} {} {} {}", self.total, self.sum, self.min, self.max);
+        for (index, &count) in self.counts.iter().enumerate() {
+            if count != 0 {
+                out.push_str(&format!(" {index}:{count}"));
+            }
+        }
+        out
+    }
+
+    /// Decodes [`Self::encode`]'s form. Returns `None` on any
+    /// malformation: wrong tag, non-numeric fields, an out-of-range
+    /// bucket index, or bucket counts that do not add up to the header
+    /// total.
+    pub fn decode(text: &str) -> Option<Self> {
+        let mut fields = text.split_whitespace();
+        if fields.next()? != "h1" {
+            return None;
+        }
+        let total: u64 = fields.next()?.parse().ok()?;
+        let sum: u128 = fields.next()?.parse().ok()?;
+        let min: u64 = fields.next()?.parse().ok()?;
+        let max: u64 = fields.next()?.parse().ok()?;
+        let mut hist = Self::new();
+        let mut counted = 0u64;
+        for pair in fields {
+            let (index, count) = pair.split_once(':')?;
+            let index: usize = index.parse().ok()?;
+            let count: u64 = count.parse().ok()?;
+            if index >= HIST_BUCKETS || count == 0 {
+                return None;
+            }
+            hist.counts[index] = hist.counts[index].checked_add(count)?;
+            counted = counted.checked_add(count)?;
+        }
+        if counted != total {
+            return None;
+        }
+        hist.total = total;
+        hist.sum = sum;
+        hist.min = min;
+        hist.max = max;
+        Some(hist)
+    }
 }
 
 #[cfg(test)]
@@ -638,6 +687,44 @@ mod tests {
         assert_eq!(hist.min(), 0);
         assert_eq!(hist.max(), 0);
         assert_eq!(hist.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_encode_round_trips_exactly() {
+        let mut rng = Rng::new(0x7E57);
+        let mut hist = LatencyHistogram::new();
+        for _ in 0..3000 {
+            hist.record(rng.next_u64() >> (rng.below(50) as u32 + 8));
+        }
+        let decoded = LatencyHistogram::decode(&hist.encode()).expect("well-formed");
+        assert_eq!(decoded, hist, "encode/decode is the identity");
+        let empty = LatencyHistogram::new();
+        assert_eq!(
+            LatencyHistogram::decode(&empty.encode()).expect("empty round-trips"),
+            empty
+        );
+    }
+
+    #[test]
+    fn histogram_decode_rejects_malformations() {
+        let good = {
+            let mut h = LatencyHistogram::new();
+            h.record(100);
+            h.record(5000);
+            h.encode()
+        };
+        assert!(LatencyHistogram::decode(&good).is_some());
+        for bad in [
+            "",
+            "h2 0 0 0 0",
+            "h1 nope 0 0 0",
+            "h1 2 5100 100 5000 7:1",    // counts don't add up
+            "h1 1 100 100 100 999999:1", // bucket out of range
+            "h1 1 100 100 100 7:x",      // non-numeric count
+            "h1 1 100 100 100 7-1",      // missing separator
+        ] {
+            assert!(LatencyHistogram::decode(bad).is_none(), "accepted {bad:?}");
+        }
     }
 
     #[test]

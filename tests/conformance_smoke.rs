@@ -26,13 +26,17 @@ fn short_kats_pass_on_every_backend() {
         }
     }
     // The continuous-batching service is a roster row too: the same
-    // vectors, but submitted through the admission queue and scheduler.
+    // vectors, but submitted through the admission queue and scheduler —
+    // and the sharded path a row of its own, adding the consistent-hash
+    // routing and the merged-metrics health check.
     for suite in &vectors::SUITES {
         if ROSTER_ALGORITHMS.contains(&suite.algorithm) {
             matrix.record(kat::run_service_suite(suite, Tier::Short));
+            matrix.record(kat::run_sharded_service_suite(suite, Tier::Short));
         }
     }
     assert!(matrix.render().contains(kat::SERVICE_LABEL));
+    assert!(matrix.render().contains(kat::SHARDED_SERVICE_LABEL));
     assert!(
         matrix.passed(),
         "KAT failures:\n{}\n{:?}",
