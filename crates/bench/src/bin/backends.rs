@@ -1,5 +1,6 @@
-//! Backend comparison: reference vs single-engine vs pooled vs the
-//! host-native lane-parallel kernel at every compiled width.
+//! Backend comparison: reference vs interpreted vs compiled
+//! single-engine vs pooled vs the host-native lane-parallel kernel at
+//! every compiled width.
 //!
 //! Hashes the same mixed-length SHAKE128 batch through the
 //! drain-and-refill scheduler on each execution backend, checks the
@@ -31,7 +32,11 @@
 //! `--check` re-derives the simulated invariants (which are independent
 //! of the message count and the host) and fails if they drift from the
 //! committed `BENCH_backends.json` — the CI smoke guard that the wall
-//! clock optimisations never move the modelled hardware numbers.
+//! clock optimisations never move the modelled hardware numbers. It
+//! additionally pins the compiled tier's contract: one E64/LMUL=8 pass
+//! costs exactly 1,909 cycles, the compiled and interpreted tiers agree
+//! on outputs and critical path, and the compiled tier's device-resident
+//! wall speedup over the fused interpreter stays at or above 3×.
 //!
 //! Run with: `cargo run --release -p krv-bench --bin backends`
 
@@ -47,6 +52,19 @@ const MESSAGES: usize = 1000;
 const OUTPUT_LEN: usize = 32;
 const SN: usize = 4;
 const CLOCK_HZ: f64 = 100e6;
+
+/// The deterministic cycles of one full E64/LMUL=8 hardware pass at
+/// SN = 4 (prologue + 24 rounds + epilogue on the paper's timing
+/// model). The compiled tier must preserve this exactly: the whole
+/// point of the specialized transfer functions is wall speed with
+/// bit-identical timing, so `--check` pins the constant itself, not
+/// just agreement with the committed JSON.
+const EXPECTED_CYCLES_PER_PASS: u64 = 1909;
+
+/// `--check` floor for the compiled tier's wall speedup over the fused
+/// interpreter, measured device-resident (kernel passes only, no host
+/// staging) so the ratio is robust to host load.
+const COMPILED_SPEEDUP_FLOOR: f64 = 3.0;
 
 /// Single-engine wall-clock permutations/sec of the seed revision's
 /// per-instruction interpreter on the reference host, recorded before
@@ -179,6 +197,25 @@ fn probe_cycles_per_pass() -> u64 {
         .total_cycles
 }
 
+/// Device-resident wall seconds per hardware pass for one engine tier:
+/// keeps the states on the simulated device and times back-to-back
+/// kernel passes, so host staging and scheduler noise stay out of the
+/// compiled-vs-interpreted ratio. Best of five windows.
+fn probe_pass_seconds(compiled: bool) -> f64 {
+    const PASSES: u64 = 64;
+    let mut engine = VectorKeccakEngine::with_compiled(KernelKind::E64Lmul8, SN, compiled);
+    let states = vec![KeccakState::new(); SN];
+    let mut session = engine.session();
+    session.load(&states).expect("session load");
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        session.permute_times(PASSES).expect("kernel pass");
+        best = best.min(start.elapsed().as_secs_f64() / PASSES as f64);
+    }
+    best
+}
+
 /// Extracts the numeric value following `"key":` in flat JSON text.
 fn extract_number(text: &str, key: &str) -> Option<f64> {
     let needle = format!("\"{key}\":");
@@ -262,6 +299,34 @@ fn main() -> std::io::Result<()> {
         simulated_perms_per_sec: None,
     });
 
+    // The fused interpreter with the compiled tier switched off — the
+    // engine every revision before the compiled tier ran, and the
+    // denominator of `compiled_wall_speedup_vs_interpreted`. Its
+    // simulated figure must equal the compiled rows': the tier changes
+    // wall time only, never modelled cycles.
+    let mut interp = CyclesBackend::new(VectorKeccakEngine::with_compiled(
+        KernelKind::E64Lmul8,
+        SN,
+        false,
+    ));
+    let interpreted = measure(5, || {
+        interp.critical_path = 0;
+        let out = hash_batch(params, &mut interp, &requests);
+        assert_eq!(out, expected);
+    });
+    let interp_wall = median_rate(&interpreted, permutations);
+    let interp_sim = permutations as f64 * CLOCK_HZ / interp.critical_path as f64;
+    rows.push(Row {
+        name: "interpreted",
+        detail: format!(
+            "{}, SN = {SN}, fused interpreter (KRV_COMPILED=0)",
+            KernelKind::E64Lmul8.label()
+        ),
+        wall_perms_per_sec: interp_wall,
+        wall_hist: interpreted,
+        simulated_perms_per_sec: Some(interp_sim),
+    });
+
     let mut engine = CyclesBackend::new(VectorKeccakEngine::new(KernelKind::E64Lmul8, SN));
     let single = measure(10, || {
         engine.critical_path = 0;
@@ -271,7 +336,7 @@ fn main() -> std::io::Result<()> {
     let single_sim = permutations as f64 * CLOCK_HZ / engine.critical_path as f64;
     rows.push(Row {
         name: "single-engine",
-        detail: format!("{}, SN = {SN}", KernelKind::E64Lmul8.label()),
+        detail: format!("{}, SN = {SN}, compiled tier", KernelKind::E64Lmul8.label()),
         wall_perms_per_sec: median_rate(&single, permutations),
         wall_hist: single,
         simulated_perms_per_sec: Some(single_sim),
@@ -287,7 +352,7 @@ fn main() -> std::io::Result<()> {
     rows.push(Row {
         name: "pooled",
         detail: format!(
-            "{}, {workers} workers × SN = {SN}",
+            "{}, {workers} workers × SN = {SN}, compiled tier",
             KernelKind::E64Lmul8.label()
         ),
         wall_perms_per_sec: median_rate(&pooled, permutations),
@@ -323,10 +388,11 @@ fn main() -> std::io::Result<()> {
     }
 
     let reference_wall = rows[0].wall_perms_per_sec;
-    let single_wall = rows[1].wall_perms_per_sec;
-    let pooled_wall = rows[2].wall_perms_per_sec;
+    let single_wall = rows[2].wall_perms_per_sec;
+    let pooled_wall = rows[3].wall_perms_per_sec;
     let wall_speedup_vs_seed = single_wall / SEED_SINGLE_ENGINE_WALL;
     let pooled_wall_speedup = pooled_wall / single_wall;
+    let compiled_wall_speedup = single_wall / interp_wall;
     let native_wall_speedup_vs_reference = native_best_wall / reference_wall;
 
     println!(
@@ -369,6 +435,10 @@ fn main() -> std::io::Result<()> {
     );
     let _ = writeln!(
         json,
+        "  \"compiled_wall_speedup_vs_interpreted\": {compiled_wall_speedup:.2},"
+    );
+    let _ = writeln!(
+        json,
         "  \"native_wall_speedup_vs_reference\": {native_wall_speedup_vs_reference:.2},"
     );
     let _ = writeln!(json, "  \"backends\": [");
@@ -403,6 +473,9 @@ fn main() -> std::io::Result<()> {
         "single-engine wall speedup vs seed interpreter ({SEED_SINGLE_ENGINE_WALL:.0} perm/s): {wall_speedup_vs_seed:.2}x"
     );
     println!(
+        "compiled tier wall speedup vs fused interpreter: {compiled_wall_speedup:.2}x (floor {COMPILED_SPEEDUP_FLOOR:.1}x)"
+    );
+    println!(
         "best native wall speedup vs sequential reference: {native_wall_speedup_vs_reference:.2}x"
     );
     let pooled_speedup = pooled_sim / single_sim;
@@ -429,6 +502,21 @@ fn run_check(
     let out = hash_batch(params, &mut engine, requests);
     assert_eq!(out, expected, "single-engine outputs diverged");
 
+    // The fused interpreter must agree with the compiled tier on both
+    // outputs and the deterministic critical path: the compiled tier is
+    // a wall-clock optimisation with bit-identical simulated timing.
+    let mut interp = CyclesBackend::new(VectorKeccakEngine::with_compiled(
+        KernelKind::E64Lmul8,
+        SN,
+        false,
+    ));
+    let out = hash_batch(params, &mut interp, requests);
+    assert_eq!(out, expected, "interpreted outputs diverged");
+    assert_eq!(
+        interp.critical_path, engine.critical_path,
+        "compiled tier changed the simulated critical path"
+    );
+
     let mut pool = CyclesBackend::new(EnginePool::new(KernelKind::E64Lmul8, SN, 2));
     let out = hash_batch(params, &mut pool, requests);
     assert_eq!(out, expected, "pooled outputs diverged");
@@ -442,6 +530,28 @@ fn run_check(
     println!(
         "check: {permutations} permutations, cycles/pass {cycles_per_pass}, \
          simulated single-engine {single_sim:.0} perm/s"
+    );
+    assert_eq!(
+        cycles_per_pass, EXPECTED_CYCLES_PER_PASS,
+        "one full E64/LMUL=8 pass at SN = {SN} must cost exactly \
+         {EXPECTED_CYCLES_PER_PASS} cycles"
+    );
+
+    // Live wall-clock floor, device-resident so the ratio cancels host
+    // staging and survives a loaded machine.
+    let interp_pass = probe_pass_seconds(false);
+    let compiled_pass = probe_pass_seconds(true);
+    let live_speedup = interp_pass / compiled_pass;
+    println!(
+        "check: device-resident pass time interpreted {:.2}us, compiled {:.2}us \
+         — speedup {live_speedup:.2}x (floor {COMPILED_SPEEDUP_FLOOR:.1}x)",
+        interp_pass * 1e6,
+        compiled_pass * 1e6,
+    );
+    assert!(
+        live_speedup >= COMPILED_SPEEDUP_FLOOR,
+        "compiled tier wall speedup {live_speedup:.2}x fell below the \
+         {COMPILED_SPEEDUP_FLOOR:.1}x floor"
     );
 
     let committed = std::fs::read_to_string("BENCH_backends.json")?;
@@ -465,6 +575,25 @@ fn run_check(
         Some(value) if value == SN as f64 => {}
         _ => {
             eprintln!("check: committed sn does not match SN = {SN}");
+            drifted = true;
+        }
+    }
+    match extract_number(&committed, "compiled_wall_speedup_vs_interpreted") {
+        Some(value) if value >= COMPILED_SPEEDUP_FLOOR => {
+            println!("check: committed compiled speedup {value:.2}x meets the floor");
+        }
+        Some(value) => {
+            eprintln!(
+                "check: committed compiled_wall_speedup_vs_interpreted {value:.2}x \
+                 is below the {COMPILED_SPEEDUP_FLOOR:.1}x floor"
+            );
+            drifted = true;
+        }
+        None => {
+            eprintln!(
+                "check: committed BENCH_backends.json has no \
+                 compiled_wall_speedup_vs_interpreted field"
+            );
             drifted = true;
         }
     }

@@ -48,10 +48,13 @@ use krv_testkit::Rng;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
-/// Closed-loop message length: a few rate blocks of SHAKE128, so the
+/// Closed-loop message length: a dozen rate blocks of SHAKE128, so the
 /// simulated compute dominates scheduling overhead and the lockstep
-/// batches pack the pool's state slots fully.
-const CLOSED_MSG_LEN: usize = 600;
+/// batches pack the pool's state slots fully. Sized to the compiled
+/// simulator tier — at ~3.5× the interpreted throughput, the old
+/// 600-byte requests were cheap enough for per-request queue/ticket
+/// costs to eat into the service-vs-direct ratio.
+const CLOSED_MSG_LEN: usize = 2100;
 const OUTPUT_LEN: usize = 32;
 /// Deadline handed to every load-generated request. Generous at smoke
 /// load: a miss signals a scheduler stall, not an overloaded host.
@@ -72,9 +75,20 @@ const NATIVE_MSG_LEN: usize = 4200;
 const SHAKE128_RATE: usize = 168;
 /// Mirror one dispatch group in this many through the simulator tier.
 /// Group 0 is always sampled, so even the smoke run exercises the
-/// oracle; the simulator is ~10× slower than the native kernel, so at
-/// 1/32 the oracle costs roughly a third of the native wall time.
-const MIRROR_EVERY: u32 = 32;
+/// oracle. The compiled simulator tier is ~3.5× cheaper than the
+/// interpreted one, so this rate — twice the 1/32 the interpreted tier
+/// afforded — keeps the oracle near the historical budget of roughly a
+/// third of native wall time. Measured below as the
+/// mirrored/unmirrored throughput ratio and asserted against
+/// [`MIRROR_OVERHEAD_BOUND`].
+const MIRROR_EVERY: u32 = TierPolicy::RECOMMENDED_MIRROR_EVERY;
+/// Ceiling on the relative mirroring overhead
+/// (`unmirrored_pps / mirrored_pps − 1`). The compiled simulator runs
+/// at roughly 1/6 the native kernel's in-service speed, so 1/16
+/// sampling predicts ~0.38; the bound leaves headroom for scheduler
+/// jitter while still catching a regression to interpreted-tier
+/// economics (which would land well above 1.0 at this rate).
+const MIRROR_OVERHEAD_BOUND: f64 = 0.60;
 /// Acceptance floor for the native tier through the full service stack:
 /// it must beat the sequential-reference wall throughput recorded when
 /// the tier was introduced (≈725 k perm/s on the growth host).
@@ -165,7 +179,8 @@ fn main() -> std::io::Result<()> {
     let native = run_native_loop(&options, config);
     println!(
         "native loop: {} requests × {} perms → {:.0} perm/s service vs {:.0} perm/s \
-         reference-direct ({:.2}x), mirrored {} ({} mismatches), e2e p99 {:.2} ms",
+         reference-direct ({:.2}x), mirrored {} ({} mismatches, {:.1} % overhead), \
+         e2e p99 {:.2} ms",
         native.requests,
         native.perms_per_request,
         native.service_pps,
@@ -173,6 +188,7 @@ fn main() -> std::io::Result<()> {
         native.speedup,
         native.metrics.mirrored,
         native.metrics.mirror_mismatches,
+        100.0 * native.mirroring_overhead,
         native.metrics.e2e_ns.p99 as f64 / 1e6,
     );
 
@@ -304,6 +320,8 @@ struct NativeLoopResult {
     requests: u64,
     perms_per_request: u64,
     service_pps: f64,
+    unmirrored_pps: f64,
+    mirroring_overhead: f64,
     reference_pps: f64,
     speedup: f64,
     native_served: u64,
@@ -311,25 +329,16 @@ struct NativeLoopResult {
     metrics: MetricsSnapshot,
 }
 
-/// Native-tier closed loop: the same burst discipline as
-/// [`run_closed_loop`], but the service routes production traffic to
-/// the host-native lane-parallel backend and mirrors one dispatch
-/// group in [`MIRROR_EVERY`] through the simulator as a differential
-/// oracle. Throughput is counted in permutations per second (each
-/// [`NATIVE_MSG_LEN`]-byte SHAKE128 request costs a fixed number of
-/// Keccak-f\[1600\] passes) and compared against a sequential
-/// reference-direct [`hash_batch`] run of the identical workload.
-fn run_native_loop(options: &Options, mut config: ServiceConfig) -> NativeLoopResult {
-    config.tier = TierPolicy::native().with_mirror_every(MIRROR_EVERY);
-    let burst = options.burst_batches * config.batch_slots();
-    let mut rng = Rng::new(options.seed ^ NATIVE_SALT);
-    let bursts: Vec<Vec<Vec<u8>>> = (0..options.rounds)
-        .map(|_| (0..burst).map(|_| rng.bytes(NATIVE_MSG_LEN)).collect())
-        .collect();
-    // Full rate blocks + the padding block; the 32-byte output fits in
-    // the first squeeze, so no extra permutation there.
-    let perms_per_request = (NATIVE_MSG_LEN / SHAKE128_RATE + 1) as u64;
-
+/// One service-side pass of the native-tier closed loop at the given
+/// mirror sampling rate: wall permutations per second plus the per-tier
+/// served counts and final metrics.
+fn native_service_pass(
+    bursts: &[Vec<Vec<u8>>],
+    mut config: ServiceConfig,
+    mirror_every: u32,
+    perms_per_request: u64,
+) -> (f64, u64, u64, MetricsSnapshot) {
+    config.tier = TierPolicy::native().with_mirror_every(mirror_every);
     let service = Service::start(config);
     let warmup: Vec<_> = bursts[0]
         .iter()
@@ -339,7 +348,7 @@ fn run_native_loop(options: &Options, mut config: ServiceConfig) -> NativeLoopRe
     let started = Instant::now();
     let mut native_served = 0u64;
     let mut simulator_served = 0u64;
-    for messages in &bursts {
+    for messages in bursts {
         let tickets: Vec<_> = messages
             .iter()
             .map(|m| service.submit(request(m)).expect("native loop fits queue"))
@@ -348,14 +357,44 @@ fn run_native_loop(options: &Options, mut config: ServiceConfig) -> NativeLoopRe
         simulator_served += sim;
         native_served += native;
     }
-    let service_elapsed = started.elapsed();
+    let elapsed = started.elapsed();
     let metrics = service.shutdown();
-    let requests = (options.rounds * burst) as u64;
-    let permutations = (requests * perms_per_request) as f64;
-    let service_pps = permutations / service_elapsed.as_secs_f64();
+    let permutations = (bursts.len() as u64 * bursts[0].len() as u64 * perms_per_request) as f64;
+    let pps = permutations / elapsed.as_secs_f64();
+    (pps, native_served, simulator_served, metrics)
+}
+
+/// Native-tier closed loop: the same burst discipline as
+/// [`run_closed_loop`], but the service routes production traffic to
+/// the host-native lane-parallel backend and mirrors one dispatch
+/// group in [`MIRROR_EVERY`] through the simulator as a differential
+/// oracle. Throughput is counted in permutations per second (each
+/// [`NATIVE_MSG_LEN`]-byte SHAKE128 request costs a fixed number of
+/// Keccak-f\[1600\] passes) and compared against a sequential
+/// reference-direct [`hash_batch`] run of the identical workload. The
+/// identical workload also runs once with mirroring off, putting a
+/// measured number on the oracle's overhead.
+fn run_native_loop(options: &Options, config: ServiceConfig) -> NativeLoopResult {
+    let burst = options.burst_batches * config.batch_slots();
+    let mut rng = Rng::new(options.seed ^ NATIVE_SALT);
+    let bursts: Vec<Vec<Vec<u8>>> = (0..options.rounds)
+        .map(|_| (0..burst).map(|_| rng.bytes(NATIVE_MSG_LEN)).collect())
+        .collect();
+    // Full rate blocks + the padding block; the 32-byte output fits in
+    // the first squeeze, so no extra permutation there.
+    let perms_per_request = (NATIVE_MSG_LEN / SHAKE128_RATE + 1) as u64;
+
+    let (service_pps, native_served, simulator_served, metrics) =
+        native_service_pass(&bursts, config, MIRROR_EVERY, perms_per_request);
+    // The same workload with the oracle off: the throughput delta is
+    // the price of mirroring.
+    let (unmirrored_pps, _, _, _) = native_service_pass(&bursts, config, 0, perms_per_request);
+    let mirroring_overhead = (unmirrored_pps / service_pps - 1.0).max(0.0);
 
     // Reference-direct: the identical workload through the sequential
     // software reference, no queue, no scheduler, no mirroring.
+    let requests = (options.rounds * burst) as u64;
+    let permutations = (requests * perms_per_request) as f64;
     let mut reference = ReferenceBackend::new();
     let warm: Vec<BatchRequest<'_>> = bursts[0]
         .iter()
@@ -377,6 +416,8 @@ fn run_native_loop(options: &Options, mut config: ServiceConfig) -> NativeLoopRe
         requests,
         perms_per_request,
         service_pps,
+        unmirrored_pps,
+        mirroring_overhead,
         reference_pps,
         speedup: service_pps / reference_pps,
         native_served,
@@ -533,6 +574,16 @@ fn render_json(
         "    \"speedup_vs_reference_direct\": {:.3},",
         native.speedup
     );
+    let _ = writeln!(
+        json,
+        "    \"unmirrored_permutations_per_sec\": {:.1},",
+        native.unmirrored_pps
+    );
+    let _ = writeln!(
+        json,
+        "    \"mirroring_overhead\": {:.3},",
+        native.mirroring_overhead
+    );
     let _ = writeln!(json, "    \"native_served\": {},", native.native_served);
     let _ = writeln!(
         json,
@@ -623,6 +674,7 @@ const SCHEMA_KEYS: &[&str] = &[
     "\"simulator_served\":",
     "\"mirrored\":",
     "\"mirror_mismatches\":",
+    "\"mirroring_overhead\":",
     "\"open_loop\":",
     "\"offered_requests_per_sec\":",
     "\"timeouts\":",
@@ -670,6 +722,13 @@ fn assert_healthy(closed: &ClosedLoopResult, native: &NativeLoopResult, open: &O
     assert_eq!(
         native.metrics.mirror_mismatches, 0,
         "the simulator oracle disagreed with the native tier"
+    );
+    assert!(
+        native.mirroring_overhead <= MIRROR_OVERHEAD_BOUND,
+        "mirroring 1/{MIRROR_EVERY} of dispatch groups cost {:.1} % of native wall time \
+         (bound {:.0} %) — the simulator tier has gotten too expensive to sample at this rate",
+        100.0 * native.mirroring_overhead,
+        100.0 * MIRROR_OVERHEAD_BOUND
     );
     assert!(
         native.service_pps >= NATIVE_PERM_FLOOR,

@@ -1,0 +1,242 @@
+//! Compiled-tier differential oracle: every random program family runs
+//! through *three* execution paths of the same simulator — the compiled
+//! tier ([`Processor::set_compiled`]), the fused macro-op interpreter,
+//! and the per-instruction stepper — and all three must agree on the
+//! full machine state: halt/trap outcome, cycle count, retired
+//! counters, PC, every scalar and vector register, and all of data
+//! memory.
+//!
+//! The compiled tier lowers straight-line regions to specialized native
+//! transfer functions and overlays fused idioms on the Keccak θ and χ
+//! sequences (DESIGN.md §16); its timing-exactness argument leans on
+//! trap-time prefix retirement and budget-limited early exits. This
+//! layer re-runs the fast-path program families (shared with
+//! [`crate::fastpath`], including the mid-block-trap and
+//! tight-cycle-budget families) through the third path, and adds two
+//! families of its own that the random generators cannot produce: the
+//! verbatim θ/χ idiom sequences of the real kernels — sometimes
+//! perturbed so near-miss sequences keep taking the unfused path — and
+//! the same sequences under budgets that expire inside an idiom span.
+//!
+//! [`Processor::set_compiled`]: krv_vproc::Processor::set_compiled
+
+use crate::fastpath::{
+    compare_machines, run_case, ProgramCase, ProgramGen, MAX_CYCLES, PROGRAM_FAMILIES, STAGE_BYTES,
+};
+use krv_testkit::{CaseReport, Rng};
+
+/// The outcome of one compiled-tier scenario.
+#[derive(Debug, Clone)]
+pub struct CompiledTierOutcome {
+    /// Program-shape scenario under test.
+    pub scenario: &'static str,
+    /// Random cases executed.
+    pub cases: usize,
+    /// Divergences between the compiled, fused and stepped paths.
+    pub failures: Vec<CaseReport>,
+}
+
+impl CompiledTierOutcome {
+    /// Whether all three paths agreed on every case.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// The idiom-heavy families only this layer runs (the shared families
+/// come from [`crate::fastpath::PROGRAM_FAMILIES`]).
+const IDIOM_FAMILIES: [(&str, ProgramGen); 2] = [
+    ("keccak theta/chi idiom blocks (m1+m8)", gen_keccak_idioms),
+    ("budget expiring inside idiom blocks", gen_idiom_budget),
+];
+
+/// Runs every scenario — the six shared program families plus the two
+/// idiom families — for `cases_per_scenario` random programs each.
+/// Seeds are split per (scenario, case), offset away from the other
+/// layers' splits, so any failure reproduces in isolation.
+pub fn run_compiledtier(cases_per_scenario: usize, seed: u64) -> Vec<CompiledTierOutcome> {
+    PROGRAM_FAMILIES
+        .iter()
+        .chain(IDIOM_FAMILIES.iter())
+        .enumerate()
+        .map(|(index, (scenario, generate))| {
+            let mut failures = Vec::new();
+            for case in 0..cases_per_scenario {
+                let case_seed = seed
+                    ^ ((0x40 + index as u64) << 48)
+                    ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                if let Err(detail) = diff3(&generate(&mut Rng::new(case_seed))) {
+                    failures.push(CaseReport::new(
+                        format!("compiledtier/{scenario}"),
+                        case_seed,
+                        detail,
+                    ));
+                }
+            }
+            CompiledTierOutcome {
+                scenario,
+                cases: cases_per_scenario,
+                failures,
+            }
+        })
+        .collect()
+}
+
+/// Runs `case` through the compiled, fused and stepped paths and
+/// reports the first observable divergence (the stepped path is the
+/// reference for both comparisons).
+fn diff3(case: &ProgramCase) -> Result<(), String> {
+    let (compiled, compiled_result) = run_case(case, |p| p.set_compiled(true))?;
+    let (fused, fused_result) = run_case(case, |_| {})?;
+    let (stepped, stepped_result) = run_case(case, |p| p.set_fusion(false))?;
+    if compiled_result != stepped_result {
+        return Err(format!(
+            "outcome diverged: compiled {compiled_result:?}, reference {stepped_result:?}"
+        ));
+    }
+    if fused_result != stepped_result {
+        return Err(format!(
+            "outcome diverged: fused {fused_result:?}, reference {stepped_result:?}"
+        ));
+    }
+    compare_machines("compiled", &compiled, &stepped)?;
+    compare_machines("fused", &fused, &stepped)
+}
+
+// ---------------------------------------------------------------------
+// Idiom-sequence generators.
+// ---------------------------------------------------------------------
+
+/// Emits the θ and χ sequences of the real E64/LMUL kernels over random
+/// data: five m1 plane loads, the 13-instruction θ idiom at `vl = n1`,
+/// then an m8 reconfiguration and the 5-instruction χ idiom at
+/// `vl = n8`. With probability ~1/4 the sequence is perturbed — slide
+/// offsets, the rotate amount, or an op inserted mid-idiom — so the
+/// fuse-time matcher's rejects are exercised alongside its accepts.
+fn idiom_source(rng: &mut Rng) -> String {
+    let n1 = if rng.below(4) == 0 { 5 } else { 10 };
+    let n8 = [25, 50, 75][rng.below(3)];
+    let perturb = rng.below(4) == 0;
+    let (up_off, down_off, rot_amt) = if perturb {
+        (rng.below(5), rng.below(5), rng.below(32))
+    } else {
+        (1, 1, 1)
+    };
+    let (chi_off1, chi_off2) = if perturb {
+        (rng.below(5), rng.below(5))
+    } else {
+        (1, 2)
+    };
+    let insert_break = perturb && rng.below(2) == 0;
+
+    let mut source = String::new();
+    source.push_str(&format!("li s2, -1\nli t0, {n1}\nli t1, {n8}\n"));
+    for y in 0..5 {
+        source.push_str(&format!("li a{y}, {}\n", 96 * y));
+    }
+    source.push_str("li a5, 512\nli a6, 1200\n");
+    source.push_str("vsetvli x0, t0, e64, m1, tu, mu\n");
+    for y in 0..5 {
+        source.push_str(&format!("vle64.v v{y}, (a{y})\n"));
+    }
+    // θ: column parities, D = C<<<pos ^ rot(C>>>pos), five plane XORs.
+    source.push_str(
+        "vxor.vv v5, v3, v4\n\
+         vxor.vv v6, v1, v2\n\
+         vxor.vv v7, v0, v6\n\
+         vxor.vv v5, v5, v7\n",
+    );
+    source.push_str(&format!(
+        "vslideupm.vi v6, v5, {up_off}\n\
+         vslidedownm.vi v7, v5, {down_off}\n\
+         vrotup.vi v7, v7, {rot_amt}\n"
+    ));
+    if insert_break {
+        // A stray op mid-idiom: still a valid program, never a match.
+        source.push_str("vor.vv v6, v6, v6\n");
+    }
+    source.push_str(
+        "vxor.vv v5, v6, v7\n\
+         vxor.vv v0, v0, v5\n\
+         vxor.vv v1, v1, v5\n\
+         vxor.vv v2, v2, v5\n\
+         vxor.vv v3, v3, v5\n\
+         vxor.vv v4, v4, v5\n",
+    );
+    // χ on a freshly loaded m8 group: ¬A[x+1] & A[x+2] ^ A[x].
+    source.push_str("vsetvli x0, t1, e64, m8, tu, mu\nvle64.v v8, (a5)\n");
+    source.push_str(&format!(
+        "vslidedownm.vi v16, v8, {chi_off1}\n\
+         vxor.vx v16, v16, s2\n\
+         vslidedownm.vi v24, v8, {chi_off2}\n\
+         vand.vv v16, v16, v24\n\
+         vxor.vv v0, v8, v16\n"
+    ));
+    source.push_str("vse64.v v0, (a6)\necall\n");
+    source
+}
+
+fn gen_keccak_idioms(rng: &mut Rng) -> ProgramCase {
+    let image = rng.bytes(STAGE_BYTES);
+    ProgramCase {
+        elenum: 10,
+        source: idiom_source(rng),
+        image,
+        max_cycles: MAX_CYCLES,
+    }
+}
+
+fn gen_idiom_budget(rng: &mut Rng) -> ProgramCase {
+    let image = rng.bytes(STAGE_BYTES);
+    let source = idiom_source(rng);
+    // Budgets sized to the program's few-hundred-cycle cost, so the run
+    // regularly stops inside a compiled block — often inside a fused
+    // span, forcing the member-op prefix fallback.
+    let budget = 1 + rng.below(400) as u64;
+    ProgramCase {
+        elenum: 10,
+        source,
+        image,
+        max_cycles: budget,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scenario_passes_a_few_cases() {
+        for outcome in run_compiledtier(3, 0xC0DE_0000) {
+            assert!(
+                outcome.passed(),
+                "{}: {:?}",
+                outcome.scenario,
+                outcome.failures
+            );
+            assert_eq!(outcome.cases, 3);
+        }
+    }
+
+    #[test]
+    fn idiom_programs_assemble_for_many_seeds() {
+        for seed in 0..24 {
+            let case = gen_keccak_idioms(&mut Rng::new(seed * 0x9A3F + 5));
+            krv_asm::assemble(&case.source).unwrap_or_else(|e| {
+                panic!(
+                    "seed {seed}: assembler rejected:\n{e}\n---\n{}",
+                    case.source
+                )
+            });
+        }
+    }
+
+    #[test]
+    fn scenario_count_covers_shared_and_idiom_families() {
+        let outcomes = run_compiledtier(1, 1);
+        assert_eq!(
+            outcomes.len(),
+            PROGRAM_FAMILIES.len() + IDIOM_FAMILIES.len()
+        );
+    }
+}

@@ -14,6 +14,11 @@
 //! reconfiguration, back-edges into block interiors, and cycle budgets
 //! that expire mid-block.
 //!
+//! The random program families live here as reusable generators
+//! (`ProgramCase`) because the compiled-tier differential
+//! ([`crate::compiledtier`]) runs the same families through a third
+//! execution path.
+//!
 //! [`Processor::run`]: krv_vproc::Processor::run
 
 use krv_isa::{VReg, XReg};
@@ -21,12 +26,25 @@ use krv_testkit::{CaseReport, Rng};
 use krv_vproc::{Processor, ProcessorConfig};
 
 /// Cycle budget for programs that are expected to halt on their own.
-const MAX_CYCLES: u64 = 100_000;
+pub(crate) const MAX_CYCLES: u64 = 100_000;
 
 /// Bytes of data memory pre-staged with random contents so loads see
 /// interesting values. Programs keep their addresses inside this window
 /// (except the deliberate-fault scenario).
-const STAGE_BYTES: usize = 2048;
+pub(crate) const STAGE_BYTES: usize = 2048;
+
+/// One randomly generated differential case: a program, the memory
+/// image it starts from, and the cycle budget it runs under.
+pub(crate) struct ProgramCase {
+    /// Per-register element count of the vector configuration.
+    pub elenum: usize,
+    /// Assembly source (must assemble; a rejection is itself a failure).
+    pub source: String,
+    /// Initial data-memory image, staged identically into every path.
+    pub image: Vec<u8>,
+    /// Cycle budget; small values deliberately expire mid-run.
+    pub max_cycles: u64,
+}
 
 /// The outcome of one fast-path scenario.
 #[derive(Debug, Clone)]
@@ -46,33 +64,34 @@ impl FastpathOutcome {
     }
 }
 
-/// One scenario check: a random program in, a divergence out.
-type ScenarioCheck = fn(&mut Rng) -> Result<(), String>;
+/// One program-family generator: a seeded RNG in, a runnable case out.
+pub(crate) type ProgramGen = fn(&mut Rng) -> ProgramCase;
 
-/// The program shapes the differential covers, as data.
-const SCENARIOS: [(&str, ScenarioCheck); 6] = [
-    ("scalar straight-line", check_scalar_straight_line),
-    ("scalar loop + memory", check_scalar_loop),
-    ("vector kernel (e64/m1)", check_vector_m1),
-    ("vsetvli reconfiguration (m1/m8)", check_reconfiguration),
-    ("mid-block trap", check_mid_block_trap),
-    ("tight cycle budget", check_cycle_budget),
+/// The program shapes the differential covers, as data. Shared with the
+/// compiled-tier layer, which appends its own idiom-heavy families.
+pub(crate) const PROGRAM_FAMILIES: [(&str, ProgramGen); 6] = [
+    ("scalar straight-line", gen_scalar_straight_line),
+    ("scalar loop + memory", gen_scalar_loop),
+    ("vector kernel (e64/m1)", gen_vector_m1),
+    ("vsetvli reconfiguration (m1/m8)", gen_reconfiguration),
+    ("mid-block trap", gen_mid_block_trap),
+    ("tight cycle budget", gen_cycle_budget),
 ];
 
 /// Runs every scenario for `cases_per_scenario` random programs each.
 /// Seeds are split per (scenario, case) — offset away from the
 /// instruction oracle's split — so any failure reproduces in isolation.
 pub fn run_fastpath(cases_per_scenario: usize, seed: u64) -> Vec<FastpathOutcome> {
-    SCENARIOS
+    PROGRAM_FAMILIES
         .iter()
         .enumerate()
-        .map(|(index, (scenario, check))| {
+        .map(|(index, (scenario, generate))| {
             let mut failures = Vec::new();
             for case in 0..cases_per_scenario {
                 let case_seed = seed
                     ^ ((0x20 + index as u64) << 48)
                     ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                if let Err(detail) = check(&mut Rng::new(case_seed)) {
+                if let Err(detail) = diff_run(&generate(&mut Rng::new(case_seed))) {
                     failures.push(CaseReport::new(
                         format!("fastpath/{scenario}"),
                         case_seed,
@@ -93,93 +112,114 @@ pub fn run_fastpath(cases_per_scenario: usize, seed: u64) -> Vec<FastpathOutcome
 // Harness: run the same program fused and stepped, compare everything.
 // ---------------------------------------------------------------------
 
-/// Assembles `source`, stages the same random memory image into two
-/// processors — fusion on and fusion off — runs both for `max_cycles`,
-/// and reports the first observable divergence.
-fn diff_run(elenum: usize, source: &str, image: &[u8], max_cycles: u64) -> Result<(), String> {
-    let program = krv_asm::assemble(source)
-        .map_err(|e| format!("assembler rejected generated program: {e}\n---\n{source}"))?;
-    let mut fused = Processor::new(ProcessorConfig::elen64(elenum));
-    let mut stepped = Processor::new(ProcessorConfig::elen64(elenum));
-    stepped.set_fusion(false);
-    for processor in [&mut fused, &mut stepped] {
-        processor
-            .dmem_mut()
-            .write_bytes(0, image)
-            .expect("staging inside dmem");
-        processor.load_program(program.instructions());
+/// Compares every architectural observable of two processors that ran
+/// the same program: cycle and retired counters, PC, scalar registers,
+/// `vl`, vector registers, and all of data memory. `label` names the
+/// left-hand path in failure messages (the right-hand side is always
+/// the stepped reference).
+pub(crate) fn compare_machines(
+    label: &str,
+    got: &Processor,
+    reference: &Processor,
+) -> Result<(), String> {
+    if got.cycles() != reference.cycles() {
+        return Err(format!(
+            "cycle count diverged: {label} {}, reference {}",
+            got.cycles(),
+            reference.cycles()
+        ));
     }
+    if got.retired() != reference.retired() {
+        return Err(format!(
+            "retired count diverged: {label} {}, reference {}",
+            got.retired(),
+            reference.retired()
+        ));
+    }
+    if got.retired_vector() != reference.retired_vector() {
+        return Err(format!(
+            "vector retired count diverged: {label} {}, reference {}",
+            got.retired_vector(),
+            reference.retired_vector()
+        ));
+    }
+    if got.pc() != reference.pc() {
+        return Err(format!(
+            "final PC diverged: {label} {:#x}, reference {:#x}",
+            got.pc(),
+            reference.pc()
+        ));
+    }
+    for index in 0..32 {
+        let reg = XReg::from_index(index);
+        if got.xreg(reg) != reference.xreg(reg) {
+            return Err(format!(
+                "x{index} diverged: {label} {:#010x}, reference {:#010x}",
+                got.xreg(reg),
+                reference.xreg(reg)
+            ));
+        }
+    }
+    if got.vector_unit().vl() != reference.vector_unit().vl() {
+        return Err(format!(
+            "vl diverged: {label} {}, reference {}",
+            got.vector_unit().vl(),
+            reference.vector_unit().vl()
+        ));
+    }
+    for index in 0..32 {
+        let reg = VReg::from_index(index);
+        if got.vector_unit().register_bytes(reg) != reference.vector_unit().register_bytes(reg) {
+            return Err(format!("v{index} contents diverged ({label} vs reference)"));
+        }
+    }
+    let len = got.dmem().len();
+    let got_mem = got.dmem().read_bytes(0, len).expect("dmem read-back");
+    let ref_mem = reference.dmem().read_bytes(0, len).expect("dmem read-back");
+    if let Some(addr) = got_mem.iter().zip(&ref_mem).position(|(a, b)| a != b) {
+        return Err(format!(
+            "dmem diverged at {addr:#x}: {label} {:#04x}, reference {:#04x}",
+            got_mem[addr], ref_mem[addr]
+        ));
+    }
+    Ok(())
+}
 
-    let fused_result = fused.run(max_cycles);
-    let stepped_result = stepped.run(max_cycles);
+/// Assembles a case, stages the same memory image into a fresh
+/// processor, and runs it. `configure` tweaks execution tiers before
+/// the program loads.
+pub(crate) fn run_case(
+    case: &ProgramCase,
+    configure: impl FnOnce(&mut Processor),
+) -> Result<(Processor, Result<krv_vproc::RunSummary, krv_vproc::Trap>), String> {
+    let program = krv_asm::assemble(&case.source).map_err(|e| {
+        format!(
+            "assembler rejected generated program: {e}\n---\n{}",
+            case.source
+        )
+    })?;
+    let mut processor = Processor::new(ProcessorConfig::elen64(case.elenum));
+    configure(&mut processor);
+    processor
+        .dmem_mut()
+        .write_bytes(0, &case.image)
+        .expect("staging inside dmem");
+    processor.load_program(program.instructions());
+    let outcome = processor.run(case.max_cycles);
+    Ok((processor, outcome))
+}
+
+/// Runs `case` fused and stepped, and reports the first observable
+/// divergence.
+fn diff_run(case: &ProgramCase) -> Result<(), String> {
+    let (fused, fused_result) = run_case(case, |_| {})?;
+    let (stepped, stepped_result) = run_case(case, |p| p.set_fusion(false))?;
     if fused_result != stepped_result {
         return Err(format!(
             "outcome diverged: fused {fused_result:?}, reference {stepped_result:?}"
         ));
     }
-    if fused.cycles() != stepped.cycles() {
-        return Err(format!(
-            "cycle count diverged: fused {}, reference {}",
-            fused.cycles(),
-            stepped.cycles()
-        ));
-    }
-    if fused.retired() != stepped.retired() {
-        return Err(format!(
-            "retired count diverged: fused {}, reference {}",
-            fused.retired(),
-            stepped.retired()
-        ));
-    }
-    if fused.retired_vector() != stepped.retired_vector() {
-        return Err(format!(
-            "vector retired count diverged: fused {}, reference {}",
-            fused.retired_vector(),
-            stepped.retired_vector()
-        ));
-    }
-    if fused.pc() != stepped.pc() {
-        return Err(format!(
-            "final PC diverged: fused {:#x}, reference {:#x}",
-            fused.pc(),
-            stepped.pc()
-        ));
-    }
-    for index in 0..32 {
-        let reg = XReg::from_index(index);
-        if fused.xreg(reg) != stepped.xreg(reg) {
-            return Err(format!(
-                "x{index} diverged: fused {:#010x}, reference {:#010x}",
-                fused.xreg(reg),
-                stepped.xreg(reg)
-            ));
-        }
-    }
-    if fused.vector_unit().vl() != stepped.vector_unit().vl() {
-        return Err(format!(
-            "vl diverged: fused {}, reference {}",
-            fused.vector_unit().vl(),
-            stepped.vector_unit().vl()
-        ));
-    }
-    for index in 0..32 {
-        let reg = VReg::from_index(index);
-        let fused_bytes = fused.vector_unit().register_bytes(reg);
-        let stepped_bytes = stepped.vector_unit().register_bytes(reg);
-        if fused_bytes != stepped_bytes {
-            return Err(format!("v{index} contents diverged"));
-        }
-    }
-    let len = fused.dmem().len();
-    let fused_mem = fused.dmem().read_bytes(0, len).expect("dmem read-back");
-    let stepped_mem = stepped.dmem().read_bytes(0, len).expect("dmem read-back");
-    if let Some(addr) = fused_mem.iter().zip(&stepped_mem).position(|(a, b)| a != b) {
-        return Err(format!(
-            "dmem diverged at {addr:#x}: fused {:#04x}, reference {:#04x}",
-            fused_mem[addr], stepped_mem[addr]
-        ));
-    }
-    Ok(())
+    compare_machines("fused", &fused, &stepped)
 }
 
 // ---------------------------------------------------------------------
@@ -233,7 +273,7 @@ fn aligned_offset(rng: &mut Rng) -> usize {
     rng.below(STAGE_BYTES / 4) * 4
 }
 
-fn check_scalar_straight_line(rng: &mut Rng) -> Result<(), String> {
+fn gen_scalar_straight_line(rng: &mut Rng) -> ProgramCase {
     let image = rng.bytes(STAGE_BYTES);
     let mut source = String::new();
     seed_regs(rng, &mut source);
@@ -250,10 +290,15 @@ fn check_scalar_straight_line(rng: &mut Rng) -> Result<(), String> {
         }
     }
     source.push_str("ecall\n");
-    diff_run(10, &source, &image, MAX_CYCLES)
+    ProgramCase {
+        elenum: 10,
+        source,
+        image,
+        max_cycles: MAX_CYCLES,
+    }
 }
 
-fn check_scalar_loop(rng: &mut Rng) -> Result<(), String> {
+fn gen_scalar_loop(rng: &mut Rng) -> ProgramCase {
     let image = rng.bytes(STAGE_BYTES);
     let iterations = 1 + rng.below(8);
     let mut source = String::new();
@@ -268,7 +313,12 @@ fn check_scalar_loop(rng: &mut Rng) -> Result<(), String> {
     source.push_str(&format!("sw {}, {offset}(x0)\n", reg(rng)));
     source.push_str(&format!("lw {}, {offset}(x0)\n", reg(rng)));
     source.push_str("addi t0, t0, 1\nblt t0, t1, loop\necall\n");
-    diff_run(10, &source, &image, MAX_CYCLES)
+    ProgramCase {
+        elenum: 10,
+        source,
+        image,
+        max_cycles: MAX_CYCLES,
+    }
 }
 
 /// One random vector instruction over registers `v1..=v6` (e64, m1).
@@ -292,7 +342,7 @@ fn vector_line_m1(rng: &mut Rng, out: &mut String) {
     }
 }
 
-fn check_vector_m1(rng: &mut Rng) -> Result<(), String> {
+fn gen_vector_m1(rng: &mut Rng) -> ProgramCase {
     let image = rng.bytes(STAGE_BYTES);
     // vl = 5 or 10 keeps the custom ops' five-lane row structure valid;
     // the occasional ragged vl exercises the partial-group cost rule.
@@ -312,10 +362,15 @@ fn check_vector_m1(rng: &mut Rng) -> Result<(), String> {
     }
     let stored = 1 + rng.below(6);
     source.push_str(&format!("vse64.v v{stored}, (a2)\necall\n"));
-    diff_run(10, &source, &image, MAX_CYCLES)
+    ProgramCase {
+        elenum: 10,
+        source,
+        image,
+        max_cycles: MAX_CYCLES,
+    }
 }
 
-fn check_reconfiguration(rng: &mut Rng) -> Result<(), String> {
+fn gen_reconfiguration(rng: &mut Rng) -> ProgramCase {
     let image = rng.bytes(STAGE_BYTES);
     // EleNum = 5: m1 holds one row, m8 holds a whole 25-lane state.
     // vsetvli is a fusion barrier, so each reconfiguration splits the
@@ -343,10 +398,15 @@ fn check_reconfiguration(rng: &mut Rng) -> Result<(), String> {
         "vsetvli x0, t0, e64, m1, tu, mu\n\
          vse64.v v8, (a2)\necall\n",
     );
-    diff_run(5, &source, &image, MAX_CYCLES)
+    ProgramCase {
+        elenum: 5,
+        source,
+        image,
+        max_cycles: MAX_CYCLES,
+    }
 }
 
-fn check_mid_block_trap(rng: &mut Rng) -> Result<(), String> {
+fn gen_mid_block_trap(rng: &mut Rng) -> ProgramCase {
     let image = rng.bytes(STAGE_BYTES);
     let mut source = String::new();
     seed_regs(rng, &mut source);
@@ -381,10 +441,15 @@ fn check_mid_block_trap(rng: &mut Rng) -> Result<(), String> {
         scalar_line(rng, &mut source);
     }
     source.push_str("ecall\n");
-    diff_run(10, &source, &image, MAX_CYCLES)
+    ProgramCase {
+        elenum: 10,
+        source,
+        image,
+        max_cycles: MAX_CYCLES,
+    }
 }
 
-fn check_cycle_budget(rng: &mut Rng) -> Result<(), String> {
+fn gen_cycle_budget(rng: &mut Rng) -> ProgramCase {
     let image = rng.bytes(STAGE_BYTES);
     let iterations = 2 + rng.below(6);
     let mut source = String::new();
@@ -397,7 +462,12 @@ fn check_cycle_budget(rng: &mut Rng) -> Result<(), String> {
     // A budget that usually expires mid-run — often mid-block — so both
     // paths must stop at the same instruction with the same counters.
     let budget = 1 + rng.below(80) as u64;
-    diff_run(10, &source, &image, budget)
+    ProgramCase {
+        elenum: 10,
+        source,
+        image,
+        max_cycles: budget,
+    }
 }
 
 #[cfg(test)]
@@ -419,10 +489,10 @@ mod tests {
 
     #[test]
     fn scenario_names_are_unique() {
-        let mut names: Vec<&str> = SCENARIOS.iter().map(|(n, _)| *n).collect();
+        let mut names: Vec<&str> = PROGRAM_FAMILIES.iter().map(|(n, _)| *n).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), SCENARIOS.len());
+        assert_eq!(names.len(), PROGRAM_FAMILIES.len());
     }
 
     #[test]

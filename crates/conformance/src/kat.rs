@@ -560,6 +560,9 @@ pub fn backend_states(kind: &BackendKind) -> usize {
     match kind {
         BackendKind::Reference => 1,
         BackendKind::Engine(_) => 3,
+        // A different packing than the compiled rows, so the tier pair
+        // also crosses two staging shapes.
+        BackendKind::Interpreted(_) => 2,
         BackendKind::Session(_) | BackendKind::Pool { .. } => 2,
         // The native backend's group width is fixed by its LaneWidth;
         // the `sn` argument is ignored by `instantiate`.

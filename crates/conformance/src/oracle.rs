@@ -15,6 +15,11 @@
 //! Data moves through simulated memory exactly like the real kernels:
 //! inputs are staged with `vle64.v`/`vle32.v`, results come back with
 //! `vse64.v`/`vse32.v`, and the program halts on `ecall`.
+//!
+//! Every scenario runs twice — once on the per-instruction interpreter
+//! and once with the compiled execution tier enabled — so the lowered
+//! native transfer function of each custom op is held to the same
+//! mathematical model as the interpreter it replaces.
 
 use krv_keccak::constants::{RC, RHO_OFFSETS};
 use krv_keccak::{steps, KeccakState};
@@ -33,6 +38,8 @@ const MAX_CYCLES: u64 = 100_000;
 pub struct OracleOutcome {
     /// Instruction (or instruction pair) under test.
     pub op: &'static str,
+    /// Execution tier the cases ran on (`interpreted` or `compiled`).
+    pub tier: &'static str,
     /// Random cases executed.
     pub cases: usize,
     /// Divergences between simulator and model (empty on a clean run).
@@ -46,8 +53,9 @@ impl OracleOutcome {
     }
 }
 
-/// One scenario check: random inputs in, a mismatch description out.
-type ScenarioCheck = fn(&mut Rng) -> Result<(), String>;
+/// One scenario check: random inputs in (plus the execution tier to
+/// run on), a mismatch description out.
+type ScenarioCheck = fn(&mut Rng, bool) -> Result<(), String>;
 
 /// The instruction scenarios the oracle covers, as data.
 const SCENARIOS: [(&str, ScenarioCheck); 12] = [
@@ -66,27 +74,36 @@ const SCENARIOS: [(&str, ScenarioCheck); 12] = [
 ];
 
 /// Runs every instruction scenario for `cases_per_op` random register
-/// states each. Seeds are split per (scenario, case), so any failure is
+/// states each, once per execution tier. Seeds are split per
+/// (scenario, case) and shared between the tiers, so the compiled row
+/// replays exactly the interpreted row's inputs and any failure is
 /// reproducible in isolation.
 pub fn run_oracle(cases_per_op: usize, seed: u64) -> Vec<OracleOutcome> {
     SCENARIOS
         .iter()
         .enumerate()
-        .map(|(index, (op, check))| {
-            let mut failures = Vec::new();
-            for case in 0..cases_per_op {
-                let case_seed = seed
-                    ^ ((index as u64) << 48)
-                    ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                if let Err(detail) = check(&mut Rng::new(case_seed)) {
-                    failures.push(CaseReport::new(format!("oracle/{op}"), case_seed, detail));
+        .flat_map(|(index, (op, check))| {
+            [(false, "interpreted"), (true, "compiled")].map(|(compiled, tier)| {
+                let mut failures = Vec::new();
+                for case in 0..cases_per_op {
+                    let case_seed = seed
+                        ^ ((index as u64) << 48)
+                        ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    if let Err(detail) = check(&mut Rng::new(case_seed), compiled) {
+                        failures.push(CaseReport::new(
+                            format!("oracle/{op}[{tier}]"),
+                            case_seed,
+                            detail,
+                        ));
+                    }
                 }
-            }
-            OracleOutcome {
-                op,
-                cases: cases_per_op,
-                failures,
-            }
+                OracleOutcome {
+                    op,
+                    tier,
+                    cases: cases_per_op,
+                    failures,
+                }
+            })
         })
         .collect()
 }
@@ -96,14 +113,17 @@ pub fn run_oracle(cases_per_op: usize, seed: u64) -> Vec<OracleOutcome> {
 // ---------------------------------------------------------------------
 
 /// Assembles `source` and runs it to the halting `ecall` on a fresh
-/// processor whose data memory was pre-staged by `stage`.
+/// processor whose data memory was pre-staged by `stage`. `compiled`
+/// selects the execution tier.
 fn run_program(
     config: ProcessorConfig,
+    compiled: bool,
     source: &str,
     stage: impl FnOnce(&mut Processor),
 ) -> Result<Processor, String> {
     let program = krv_asm::assemble(source).map_err(|e| format!("assembler rejected: {e}"))?;
     let mut processor = Processor::new(config);
+    processor.set_compiled(compiled);
     stage(&mut processor);
     processor.load_program(program.instructions());
     processor
@@ -202,7 +222,7 @@ fn random_lanes<const N: usize>(rng: &mut Rng) -> [u64; N] {
 
 /// Runs `{op} v2, v1, {imm}` over ten random 64-bit elements and
 /// returns what came back.
-fn single_op_e64(op_line: &str, input: &[u64; 10]) -> Result<Vec<u64>, String> {
+fn single_op_e64(op_line: &str, compiled: bool, input: &[u64; 10]) -> Result<Vec<u64>, String> {
     let source = format!(
         "li a0, {IN_ADDR}\n\
          li a1, {OUT_ADDR}\n\
@@ -213,16 +233,20 @@ fn single_op_e64(op_line: &str, input: &[u64; 10]) -> Result<Vec<u64>, String> {
          vse64.v v2, (a1)\n\
          ecall\n"
     );
-    let processor = run_program(ProcessorConfig::elen64(10), &source, |p| {
+    let processor = run_program(ProcessorConfig::elen64(10), compiled, &source, |p| {
         write_u64s(p, IN_ADDR, input);
     })?;
     Ok(read_u64s(&processor, OUT_ADDR, 10))
 }
 
-fn check_slidedownm(rng: &mut Rng) -> Result<(), String> {
+fn check_slidedownm(rng: &mut Rng, compiled: bool) -> Result<(), String> {
     let input: [u64; 10] = random_lanes(rng);
     let offset = rng.below(5);
-    let got = single_op_e64(&format!("vslidedownm.vi v2, v1, {offset}"), &input)?;
+    let got = single_op_e64(
+        &format!("vslidedownm.vi v2, v1, {offset}"),
+        compiled,
+        &input,
+    )?;
     // Model (paper Figure 7): vd[5i+j] = vs2[5i + (j + k) mod 5].
     let expected: Vec<u64> = (0..10)
         .map(|g| input[5 * (g / 5) + (g % 5 + offset) % 5])
@@ -230,10 +254,10 @@ fn check_slidedownm(rng: &mut Rng) -> Result<(), String> {
     diff_u64(&format!("vslidedownm k={offset}"), &got, &expected)
 }
 
-fn check_slideupm(rng: &mut Rng) -> Result<(), String> {
+fn check_slideupm(rng: &mut Rng, compiled: bool) -> Result<(), String> {
     let input: [u64; 10] = random_lanes(rng);
     let offset = rng.below(5);
-    let got = single_op_e64(&format!("vslideupm.vi v2, v1, {offset}"), &input)?;
+    let got = single_op_e64(&format!("vslideupm.vi v2, v1, {offset}"), compiled, &input)?;
     // Model: vd[5i+j] = vs2[5i + (j − k) mod 5].
     let expected: Vec<u64> = (0..10)
         .map(|g| input[5 * (g / 5) + (g % 5 + 5 - offset) % 5])
@@ -241,18 +265,18 @@ fn check_slideupm(rng: &mut Rng) -> Result<(), String> {
     diff_u64(&format!("vslideupm k={offset}"), &got, &expected)
 }
 
-fn check_vrotup(rng: &mut Rng) -> Result<(), String> {
+fn check_vrotup(rng: &mut Rng, compiled: bool) -> Result<(), String> {
     let input: [u64; 10] = random_lanes(rng);
     let amount = rng.below(32) as u32; // uimm field is 5 bits
-    let got = single_op_e64(&format!("vrotup.vi v2, v1, {amount}"), &input)?;
+    let got = single_op_e64(&format!("vrotup.vi v2, v1, {amount}"), compiled, &input)?;
     let expected: Vec<u64> = input.iter().map(|v| v.rotate_left(amount)).collect();
     diff_u64(&format!("vrotup k={amount}"), &got, &expected)
 }
 
-fn check_rho64_row(rng: &mut Rng) -> Result<(), String> {
+fn check_rho64_row(rng: &mut Rng, compiled: bool) -> Result<(), String> {
     let input: [u64; 10] = random_lanes(rng);
     let row = rng.below(5);
-    let got = single_op_e64(&format!("v64rho.vi v2, v1, {row}"), &input)?;
+    let got = single_op_e64(&format!("v64rho.vi v2, v1, {row}"), compiled, &input)?;
     // Model (paper Table 2): lane x of row r rotates by ρ-offset [r][x].
     let expected: Vec<u64> = (0..10)
         .map(|g| input[g].rotate_left(RHO_OFFSETS[row][g % 5]))
@@ -260,7 +284,7 @@ fn check_rho64_row(rng: &mut Rng) -> Result<(), String> {
     diff_u64(&format!("v64rho row={row}"), &got, &expected)
 }
 
-fn check_iota64(rng: &mut Rng) -> Result<(), String> {
+fn check_iota64(rng: &mut Rng, compiled: bool) -> Result<(), String> {
     let input: [u64; 10] = random_lanes(rng);
     let round = rng.below(24);
     let source = format!(
@@ -274,7 +298,7 @@ fn check_iota64(rng: &mut Rng) -> Result<(), String> {
          vse64.v v2, (a1)\n\
          ecall\n"
     );
-    let processor = run_program(ProcessorConfig::elen64(10), &source, |p| {
+    let processor = run_program(ProcessorConfig::elen64(10), compiled, &source, |p| {
         write_u64s(p, IN_ADDR, &input);
     })?;
     let got = read_u64s(&processor, OUT_ADDR, 10);
@@ -299,7 +323,12 @@ fn check_iota64(rng: &mut Rng) -> Result<(), String> {
 /// Runs a whole-state LMUL=8 op (source group `v0`, `{op_line}` between
 /// the vsetvli pair) and reads the result back from the `dest` register
 /// group, as planes.
-fn whole_state_e64(op_line: &str, dest: usize, state: &KeccakState) -> Result<KeccakState, String> {
+fn whole_state_e64(
+    op_line: &str,
+    compiled: bool,
+    dest: usize,
+    state: &KeccakState,
+) -> Result<KeccakState, String> {
     let mut source = String::new();
     source.push_str("li t0, 5\nli t1, 25\n");
     for y in 0..5 {
@@ -323,7 +352,7 @@ fn whole_state_e64(op_line: &str, dest: usize, state: &KeccakState) -> Result<Ke
     let planes: Vec<[u64; 5]> = (0..5)
         .map(|y| [0, 1, 2, 3, 4].map(|x| state.lane(x, y)))
         .collect();
-    let processor = run_program(ProcessorConfig::elen64(5), &source, |p| {
+    let processor = run_program(ProcessorConfig::elen64(5), compiled, &source, |p| {
         for (y, plane) in planes.iter().enumerate() {
             write_u64s(p, IN_ADDR + 40 * y as u32, plane);
         }
@@ -359,28 +388,28 @@ fn diff_state(op: &str, got: &KeccakState, expected: &KeccakState) -> Result<(),
     ))
 }
 
-fn check_rho64_all(rng: &mut Rng) -> Result<(), String> {
+fn check_rho64_all(rng: &mut Rng, compiled: bool) -> Result<(), String> {
     let state = KeccakState::from_lanes(random_lanes(rng));
-    let got = whole_state_e64("v64rho.vi v0, v0, -1", 0, &state)?;
+    let got = whole_state_e64("v64rho.vi v0, v0, -1", compiled, 0, &state)?;
     diff_state("v64rho all-rows vs steps::rho", &got, &steps::rho(&state))
 }
 
-fn check_pi_all(rng: &mut Rng) -> Result<(), String> {
+fn check_pi_all(rng: &mut Rng, compiled: bool) -> Result<(), String> {
     let state = KeccakState::from_lanes(random_lanes(rng));
-    let got = whole_state_e64("vpi.vi v8, v0, -1", 8, &state)?;
+    let got = whole_state_e64("vpi.vi v8, v0, -1", compiled, 8, &state)?;
     diff_state("vpi all-rows vs steps::pi", &got, &steps::pi(&state))
 }
 
-fn check_rhopi_all(rng: &mut Rng) -> Result<(), String> {
+fn check_rhopi_all(rng: &mut Rng, compiled: bool) -> Result<(), String> {
     let state = KeccakState::from_lanes(random_lanes(rng));
-    let got = whole_state_e64("vrhopi.vi v8, v0, -1", 8, &state)?;
+    let got = whole_state_e64("vrhopi.vi v8, v0, -1", compiled, 8, &state)?;
     let expected = steps::pi(&steps::rho(&state));
     diff_state("vrhopi all-rows vs steps::pi∘rho", &got, &expected)
 }
 
 /// The five single-row `vpi` form, as the LMUL=1 kernel issues it
 /// (paper Algorithm 2, lines 24–28), on two resident states at once.
-fn check_pi_rows(rng: &mut Rng) -> Result<(), String> {
+fn check_pi_rows(rng: &mut Rng, compiled: bool) -> Result<(), String> {
     let states = [
         KeccakState::from_lanes(random_lanes(rng)),
         KeccakState::from_lanes(random_lanes(rng)),
@@ -406,7 +435,7 @@ fn check_pi_rows(rng: &mut Rng) -> Result<(), String> {
     }
     source.push_str("ecall\n");
 
-    let processor = run_program(ProcessorConfig::elen64(10), &source, |p| {
+    let processor = run_program(ProcessorConfig::elen64(10), compiled, &source, |p| {
         for y in 0..5 {
             let row: Vec<u64> = (0..10).map(|g| states[g / 5].lane(g % 5, y)).collect();
             write_u64s(p, IN_ADDR + 80 * y as u32, &row);
@@ -433,7 +462,7 @@ fn check_pi_rows(rng: &mut Rng) -> Result<(), String> {
 // 32-bit architecture scenarios: lanes split into low/high words.
 // ---------------------------------------------------------------------
 
-fn check_rot32_pair(rng: &mut Rng) -> Result<(), String> {
+fn check_rot32_pair(rng: &mut Rng, compiled: bool) -> Result<(), String> {
     let lanes: [u64; 10] = random_lanes(rng);
     let low: Vec<u32> = lanes.iter().map(|l| *l as u32).collect();
     let high: Vec<u32> = lanes.iter().map(|l| (*l >> 32) as u32).collect();
@@ -454,7 +483,7 @@ fn check_rot32_pair(rng: &mut Rng) -> Result<(), String> {
         IN_ADDR + 64,
         OUT_ADDR + 64,
     );
-    let processor = run_program(ProcessorConfig::elen32(10), &source, |p| {
+    let processor = run_program(ProcessorConfig::elen32(10), compiled, &source, |p| {
         write_u32s(p, IN_ADDR, &low);
         write_u32s(p, IN_ADDR + 64, &high);
     })?;
@@ -468,7 +497,7 @@ fn check_rot32_pair(rng: &mut Rng) -> Result<(), String> {
     diff_u32("v32hrotup", &got_high, &exp_high)
 }
 
-fn check_rho32_all(rng: &mut Rng) -> Result<(), String> {
+fn check_rho32_all(rng: &mut Rng, compiled: bool) -> Result<(), String> {
     let state = KeccakState::from_lanes(random_lanes(rng));
     let mut source = String::new();
     source.push_str("li t0, 5\nli t1, 25\n");
@@ -506,7 +535,7 @@ fn check_rho32_all(rng: &mut Rng) -> Result<(), String> {
     }
     source.push_str("ecall\n");
 
-    let processor = run_program(ProcessorConfig::elen32(5), &source, |p| {
+    let processor = run_program(ProcessorConfig::elen32(5), compiled, &source, |p| {
         for y in 0..5 {
             let low: Vec<u32> = (0..5).map(|x| state.lane(x, y) as u32).collect();
             let high: Vec<u32> = (0..5).map(|x| (state.lane(x, y) >> 32) as u32).collect();
@@ -531,7 +560,7 @@ fn check_rho32_all(rng: &mut Rng) -> Result<(), String> {
     Ok(())
 }
 
-fn check_iota32(rng: &mut Rng) -> Result<(), String> {
+fn check_iota32(rng: &mut Rng, compiled: bool) -> Result<(), String> {
     let input: [u64; 5] = random_lanes(rng);
     let low: Vec<u32> = input.iter().map(|l| *l as u32).collect();
     let round = rng.below(24);
@@ -554,7 +583,7 @@ fn check_iota32(rng: &mut Rng) -> Result<(), String> {
         OUT_ADDR + 64,
         24 + round,
     );
-    let processor = run_program(ProcessorConfig::elen32(5), &source, |p| {
+    let processor = run_program(ProcessorConfig::elen32(5), compiled, &source, |p| {
         write_u32s(p, IN_ADDR, &low);
     })?;
     let got_low = read_u32s(&processor, OUT_ADDR, 5);
@@ -586,9 +615,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn every_scenario_passes_a_few_cases() {
-        for outcome in run_oracle(2, 0xDECAF) {
-            assert!(outcome.passed(), "{}: {:?}", outcome.op, outcome.failures);
+    fn every_scenario_passes_a_few_cases_on_both_tiers() {
+        let outcomes = run_oracle(2, 0xDECAF);
+        assert_eq!(outcomes.len(), 2 * SCENARIOS.len());
+        for outcome in outcomes {
+            assert!(
+                outcome.passed(),
+                "{} [{}]: {:?}",
+                outcome.op,
+                outcome.tier,
+                outcome.failures
+            );
             assert_eq!(outcome.cases, 2);
         }
     }

@@ -2,6 +2,7 @@
 //! rendered as fixed-width text for the `conformance` binary and the
 //! experiment log.
 
+use crate::compiledtier::CompiledTierOutcome;
 use crate::diff::FuzzReport;
 use crate::fastpath::FastpathOutcome;
 use crate::kat::KatOutcome;
@@ -120,7 +121,8 @@ pub fn render_fuzz(reports: &[FuzzReport]) -> String {
     out
 }
 
-/// Renders the instruction-oracle summary table.
+/// Renders the instruction-oracle summary table (one row per
+/// instruction × execution tier).
 pub fn render_oracle(outcomes: &[OracleOutcome]) -> String {
     let width = outcomes
         .iter()
@@ -128,7 +130,39 @@ pub fn render_oracle(outcomes: &[OracleOutcome]) -> String {
         .max()
         .unwrap_or(0)
         .max("instruction".len());
-    let mut out = format!("{:<width$}  {:>7}  result\n", "instruction", "cases");
+    let tier_width = outcomes
+        .iter()
+        .map(|o| o.tier.len())
+        .max()
+        .unwrap_or(0)
+        .max("tier".len());
+    let mut out = format!(
+        "{:<width$}  {:<tier_width$}  {:>7}  result\n",
+        "instruction", "tier", "cases"
+    );
+    for outcome in outcomes {
+        let result = if outcome.passed() {
+            "pass".to_string()
+        } else {
+            format!("FAIL ({} divergences)", outcome.failures.len())
+        };
+        out.push_str(&format!(
+            "{:<width$}  {:<tier_width$}  {:>7}  {result}\n",
+            outcome.op, outcome.tier, outcome.cases
+        ));
+    }
+    out
+}
+
+/// Renders the fast-path differential summary table.
+pub fn render_fastpath(outcomes: &[FastpathOutcome]) -> String {
+    let width = outcomes
+        .iter()
+        .map(|o| o.scenario.len())
+        .max()
+        .unwrap_or(0)
+        .max("scenario".len());
+    let mut out = format!("{:<width$}  {:>7}  result\n", "scenario", "cases");
     for outcome in outcomes {
         let result = if outcome.passed() {
             "pass".to_string()
@@ -137,14 +171,14 @@ pub fn render_oracle(outcomes: &[OracleOutcome]) -> String {
         };
         out.push_str(&format!(
             "{:<width$}  {:>7}  {result}\n",
-            outcome.op, outcome.cases
+            outcome.scenario, outcome.cases
         ));
     }
     out
 }
 
-/// Renders the fast-path differential summary table.
-pub fn render_fastpath(outcomes: &[FastpathOutcome]) -> String {
+/// Renders the compiled-tier differential summary table.
+pub fn render_compiledtier(outcomes: &[CompiledTierOutcome]) -> String {
     let width = outcomes
         .iter()
         .map(|o| o.scenario.len())
@@ -217,6 +251,7 @@ mod tests {
         assert!(render_fuzz(&fuzz).contains("pass"));
         let oracle = vec![OracleOutcome {
             op: "vpi.vi (all)",
+            tier: "compiled",
             cases: 5,
             failures: vec![CaseReport::new("oracle", 1, "bad lane")],
         }];
@@ -228,5 +263,12 @@ mod tests {
         }];
         let text = render_fastpath(&fastpath);
         assert!(text.contains("scalar loop + memory") && text.contains("pass"));
+        let compiled = vec![CompiledTierOutcome {
+            scenario: "keccak theta/chi idiom blocks (m1+m8)",
+            cases: 8,
+            failures: Vec::new(),
+        }];
+        let text = render_compiledtier(&compiled);
+        assert!(text.contains("idiom blocks") && text.contains("pass"));
     }
 }

@@ -1,13 +1,15 @@
 //! Backend enumeration: every way this workspace can run Keccak-f\[1600\].
 //!
-//! After the pooled/pre-decoded restructuring the repo has five distinct
-//! execution paths for the permutation — the scalar reference, the three
-//! vector kernels through [`VectorKeccakEngine::permute_slice`], the
-//! device-resident [`EngineSession`](crate::EngineSession) path, and the
-//! multi-worker [`EnginePool`]. The conformance tooling needs to hold
-//! *all* of them to the same correctness bar, so this module gives each
-//! variant a name ([`BackendKind`]) and a uniform constructor
-//! ([`BackendKind::instantiate`]) returning a boxed
+//! After the pooled/pre-decoded restructuring the repo has several
+//! distinct execution paths for the permutation — the scalar reference,
+//! the vector kernels through [`VectorKeccakEngine::permute_slice`]
+//! (each reachable through the compiled tier *and* the per-instruction
+//! interpreter), the device-resident
+//! [`EngineSession`](crate::EngineSession) path, the multi-worker
+//! [`EnginePool`], and the host-native kernel. The conformance tooling
+//! needs to hold *all* of them to the same correctness bar, so this
+//! module gives each variant a name ([`BackendKind`]) and a uniform
+//! constructor ([`BackendKind::instantiate`]) returning a boxed
 //! [`PermutationBackend`].
 //!
 //! [`SessionBackend`] adapts the session API (load once, permute, read
@@ -72,8 +74,14 @@ impl PermutationBackend for SessionBackend {
 pub enum BackendKind {
     /// The sequential software reference ([`ReferenceBackend`]).
     Reference,
-    /// A single [`VectorKeccakEngine`] driven through `permute_slice`.
+    /// A single [`VectorKeccakEngine`] driven through `permute_slice`
+    /// with the compiled execution tier enabled (the default).
     Engine(KernelKind),
+    /// A single engine pinned to the per-instruction interpreter
+    /// (`KRV_COMPILED=0` semantics). Paired with [`BackendKind::Engine`]
+    /// this puts both execution tiers of the same kernel in the matrix,
+    /// so a compiled-tier bug shows up as a row disagreement.
+    Interpreted(KernelKind),
     /// A single engine driven through the device-resident session path.
     Session(KernelKind),
     /// An [`EnginePool`] with the given worker count.
@@ -89,15 +97,18 @@ pub enum BackendKind {
 }
 
 impl BackendKind {
-    /// The conformance roster: the scalar reference, the paper's three
-    /// vector kernels, the session path, pools at 1, 2 and 4 workers,
-    /// and the host-native kernel at every compiled lane width. Every
-    /// variant in this list must produce bit-identical output for every
-    /// input.
+    /// The conformance roster: the scalar reference, the paper's vector
+    /// kernels through both execution tiers (compiled and interpreted),
+    /// the session path, pools at 1, 2 and 4 workers, and the
+    /// host-native kernel at every compiled lane width. Every variant in
+    /// this list must produce bit-identical output for every input.
     pub fn conformance_roster() -> Vec<BackendKind> {
         let mut roster = vec![BackendKind::Reference];
         for kind in KernelKind::ALL {
             roster.push(BackendKind::Engine(kind));
+        }
+        for kind in KernelKind::ALL {
+            roster.push(BackendKind::Interpreted(kind));
         }
         roster.push(BackendKind::Session(KernelKind::E64Lmul8));
         for workers in [1, 2, 4] {
@@ -117,6 +128,7 @@ impl BackendKind {
         match self {
             BackendKind::Reference => "reference".to_string(),
             BackendKind::Engine(kind) => format!("engine/{}", kind_tag(*kind)),
+            BackendKind::Interpreted(kind) => format!("interp/{}", kind_tag(*kind)),
             BackendKind::Session(kind) => format!("session/{}", kind_tag(*kind)),
             BackendKind::Pool { kind, workers } => {
                 format!("pool/{}x{workers}", kind_tag(*kind))
@@ -136,6 +148,9 @@ impl BackendKind {
         match *self {
             BackendKind::Reference => Box::new(ReferenceBackend::new()),
             BackendKind::Engine(kind) => Box::new(VectorKeccakEngine::new(kind, sn)),
+            BackendKind::Interpreted(kind) => {
+                Box::new(VectorKeccakEngine::with_compiled(kind, sn, false))
+            }
             BackendKind::Session(kind) => Box::new(SessionBackend::new(kind, sn)),
             BackendKind::Pool { kind, workers } => Box::new(EnginePool::new(kind, sn, workers)),
             BackendKind::Native(width) => Box::new(NativeBackend::with_width(width)),
@@ -193,6 +208,7 @@ mod tests {
         assert!(roster.contains(&BackendKind::Reference));
         for kind in KernelKind::ALL {
             assert!(roster.contains(&BackendKind::Engine(kind)), "{kind}");
+            assert!(roster.contains(&BackendKind::Interpreted(kind)), "{kind}");
         }
         assert!(roster.contains(&BackendKind::Session(KernelKind::E64Lmul8)));
         for workers in [1, 2, 4] {

@@ -22,7 +22,7 @@
 
 use crate::engine::KernelKind;
 use crate::programs::KernelProgram;
-use krv_vproc::DecodedProgram;
+use krv_vproc::{CompiledProgram, DecodedProgram};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -35,6 +35,11 @@ pub struct PreparedKernel {
     /// The program pre-decoded against the paper timing model, shareable
     /// across processors.
     pub decoded: Arc<DecodedProgram>,
+    /// The compiled-tier view of the same program. Blocks lower lazily,
+    /// per vector configuration, on first dispatch — and because this
+    /// handle is cached per `(kind, EleNum)`, every engine and pool
+    /// worker for that key shares one compiled block pool.
+    pub compiled: Arc<CompiledProgram>,
 }
 
 type CacheKey = (KernelKind, usize);
@@ -61,7 +66,12 @@ pub fn prepared_kernel(kind: KernelKind, elenum: usize) -> Arc<PreparedKernel> {
             kernel.program.instructions(),
             &timing,
         ));
-        Arc::new(PreparedKernel { kernel, decoded })
+        let compiled = Arc::new(CompiledProgram::new(Arc::clone(&decoded)));
+        Arc::new(PreparedKernel {
+            kernel,
+            decoded,
+            compiled,
+        })
     }))
 }
 

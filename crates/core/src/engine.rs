@@ -11,7 +11,18 @@ use krv_keccak::KeccakState;
 use krv_sha3::PermutationBackend;
 use krv_vproc::{Processor, ProcessorConfig, Trap};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Whether engines default to the compiled execution tier.
+///
+/// The compiled tier (see [`krv_vproc::CompiledProgram`]) is on by
+/// default; setting `KRV_COMPILED=0` in the environment forces the
+/// interpreted fused path everywhere, as an escape hatch for debugging
+/// or A/B measurement. The variable is read once per process.
+pub fn compiled_default() -> bool {
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| std::env::var("KRV_COMPILED").map_or(true, |v| v != "0"))
+}
 
 /// Which architecture/kernel combination the engine runs
 /// (the three rows families of paper Tables 7 and 8).
@@ -139,11 +150,28 @@ impl VectorKeccakEngine {
     ///
     /// Panics if `sn` is zero.
     pub fn new(kind: KernelKind, sn: usize) -> Self {
+        Self::with_compiled(kind, sn, compiled_default())
+    }
+
+    /// Creates an engine with the execution tier pinned explicitly:
+    /// `compiled = true` dispatches through the shared
+    /// [`krv_vproc::CompiledProgram`] of the cached kernel, `false`
+    /// forces the interpreted fused path. [`VectorKeccakEngine::new`]
+    /// picks the process default (see [`compiled_default`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sn` is zero.
+    pub fn with_compiled(kind: KernelKind, sn: usize, compiled: bool) -> Self {
         assert!(sn > 0, "the engine needs at least one state slot");
         let elenum = 5 * sn;
         let prepared = prepared_kernel(kind, elenum);
         let mut cpu = Processor::new(kind.processor_config(elenum));
-        cpu.load_decoded(Arc::clone(&prepared.decoded));
+        if compiled {
+            cpu.load_compiled(Arc::clone(&prepared.compiled));
+        } else {
+            cpu.load_decoded(Arc::clone(&prepared.decoded));
+        }
         Self {
             kind,
             states: sn,
@@ -182,6 +210,11 @@ impl VectorKeccakEngine {
     /// Read access to the underlying processor (diagnostics).
     pub fn processor(&self) -> &Processor {
         &self.cpu
+    }
+
+    /// Whether this engine dispatches through the compiled tier.
+    pub fn compiled(&self) -> bool {
+        self.cpu.compiled()
     }
 
     /// Permutes every state in `states`, in chunks of [`Self::capacity`].
@@ -280,18 +313,16 @@ impl VectorKeccakEngine {
     /// Reads the permuted states back from data memory into `states`.
     fn read_back(&mut self, states: &mut [KeccakState]) -> Result<(), Trap> {
         let elenum = self.prepared.kernel.elenum;
-        let results = match self.kind {
-            KernelKind::E32Lmul8 => layout::read_states_32(
+        match self.kind {
+            KernelKind::E32Lmul8 => layout::read_states_32_into(
                 self.cpu.dmem(),
                 STATE_BASE,
                 STATE_BASE_HI,
                 elenum,
-                states.len(),
-            )?,
-            _ => layout::read_states_64(self.cpu.dmem(), STATE_BASE, elenum, states.len())?,
-        };
-        states.copy_from_slice(&results);
-        Ok(())
+                states,
+            ),
+            _ => layout::read_states_64_into(self.cpu.dmem(), STATE_BASE, elenum, states),
+        }
     }
 }
 

@@ -32,16 +32,19 @@ pub fn write_states_64(
     states: &[KeccakState],
 ) -> Result<(), Trap> {
     assert!(states.len() * 5 <= elenum, "too many states for EleNum");
+    // Assemble the whole plane-major image and move it in one block —
+    // staging runs once per hardware pass, so one bounds check per lane
+    // is measurable against the compiled kernel's pass time.
+    let mut image = vec![0u64; 5 * elenum];
     for y in 0..5 {
         for slot in 0..elenum / 5 {
             for x in 0..5 {
                 let lane = states.get(slot).map_or(0, |s| s.lane(x, y));
-                let addr = base + 8 * (y * elenum + 5 * slot + x) as u32;
-                mem.write(addr, 8, lane)?;
+                image[y * elenum + 5 * slot + x] = lane;
             }
         }
     }
-    Ok(())
+    mem.write_block64(base, &image)
 }
 
 /// Reads `count` states back from the 64-bit layout.
@@ -55,17 +58,35 @@ pub fn read_states_64(
     elenum: usize,
     count: usize,
 ) -> Result<Vec<KeccakState>, Trap> {
-    assert!(count * 5 <= elenum, "too many states for EleNum");
     let mut states = vec![KeccakState::new(); count];
+    read_states_64_into(mem, base, elenum, &mut states)?;
+    Ok(states)
+}
+
+/// Reads states back from the 64-bit layout directly into `out`
+/// (the allocation-free form [`read_states_64`] wraps — the engine's
+/// per-pass read-back uses this one).
+///
+/// # Errors
+///
+/// Traps if the region exceeds the memory.
+pub fn read_states_64_into(
+    mem: &DataMemory,
+    base: u32,
+    elenum: usize,
+    out: &mut [KeccakState],
+) -> Result<(), Trap> {
+    assert!(out.len() * 5 <= elenum, "too many states for EleNum");
+    let mut image = vec![0u64; 5 * elenum];
+    mem.read_block64(base, &mut image)?;
     for y in 0..5 {
-        for (slot, state) in states.iter_mut().enumerate() {
+        for (slot, state) in out.iter_mut().enumerate() {
             for x in 0..5 {
-                let addr = base + 8 * (y * elenum + 5 * slot + x) as u32;
-                state.set_lane(x, y, mem.read(addr, 8)?);
+                state.set_lane(x, y, image[y * elenum + 5 * slot + x]);
             }
         }
     }
-    Ok(states)
+    Ok(())
 }
 
 /// Writes `states` into memory in the 32-bit high/low-split layout of
@@ -108,10 +129,27 @@ pub fn read_states_32(
     elenum: usize,
     count: usize,
 ) -> Result<Vec<KeccakState>, Trap> {
-    assert!(count * 5 <= elenum, "too many states for EleNum");
     let mut states = vec![KeccakState::new(); count];
+    read_states_32_into(mem, base_lo, base_hi, elenum, &mut states)?;
+    Ok(states)
+}
+
+/// Reads states back from the 32-bit split layout directly into `out`
+/// (the allocation-free form [`read_states_32`] wraps).
+///
+/// # Errors
+///
+/// Traps if either region exceeds the memory.
+pub fn read_states_32_into(
+    mem: &DataMemory,
+    base_lo: u32,
+    base_hi: u32,
+    elenum: usize,
+    out: &mut [KeccakState],
+) -> Result<(), Trap> {
+    assert!(out.len() * 5 <= elenum, "too many states for EleNum");
     for y in 0..5 {
-        for (slot, state) in states.iter_mut().enumerate() {
+        for (slot, state) in out.iter_mut().enumerate() {
             for x in 0..5 {
                 let offset = 4 * (y * elenum + 5 * slot + x) as u32;
                 let lo = mem.read(base_lo + offset, 4)? as u32;
@@ -120,7 +158,7 @@ pub fn read_states_32(
             }
         }
     }
-    Ok(states)
+    Ok(())
 }
 
 /// Renders the 64-bit register-file occupancy as ASCII art in the style

@@ -170,14 +170,14 @@ struct Worker {
     thread: JoinHandle<()>,
 }
 
-fn spawn_worker(kind: KernelKind, sn: usize) -> Worker {
+fn spawn_worker(kind: KernelKind, sn: usize, compiled: bool) -> Worker {
     let (job_tx, job_rx) = channel::<WorkerJob>();
     let (reply_tx, reply_rx) = channel::<WorkerReply>();
     let thread = std::thread::spawn(move || {
         // The engine lives on the worker thread for the pool's whole
         // lifetime; the kernel image comes pre-decoded from the
         // process-wide cache, so spawning is cheap.
-        let mut engine = VectorKeccakEngine::new(kind, sn);
+        let mut engine = VectorKeccakEngine::with_compiled(kind, sn, compiled);
         while let Ok(job) = job_rx.recv() {
             let mut chunks = match job {
                 WorkerJob::Batch(chunks) => chunks,
@@ -243,6 +243,8 @@ fn spawn_worker(kind: KernelKind, sn: usize) -> Worker {
 pub struct EnginePool {
     kind: KernelKind,
     sn: usize,
+    /// Whether worker engines dispatch through the compiled tier.
+    compiled: bool,
     workers: Vec<Option<Worker>>,
     /// Which worker slots still have live "hardware": a slot goes (and
     /// stays) `false` once a dispatch observes its death.
@@ -271,11 +273,23 @@ impl EnginePool {
     ///
     /// Panics if `sn` or `workers` is zero.
     pub fn new(kind: KernelKind, sn: usize, workers: usize) -> Self {
+        Self::with_compiled(kind, sn, workers, crate::engine::compiled_default())
+    }
+
+    /// Creates a pool with every worker's execution tier pinned
+    /// explicitly (see [`VectorKeccakEngine::with_compiled`]);
+    /// [`EnginePool::new`] picks the process default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sn` or `workers` is zero.
+    pub fn with_compiled(kind: KernelKind, sn: usize, workers: usize, compiled: bool) -> Self {
         assert!(workers > 0, "the pool needs at least one worker");
         assert!(sn > 0, "each engine needs at least one state slot");
         Self {
             kind,
             sn,
+            compiled,
             workers: (0..workers).map(|_| None).collect(),
             alive: vec![true; workers],
             killed: vec![false; workers],
@@ -424,7 +438,7 @@ impl EnginePool {
                 continue;
             }
             if self.workers[index].is_none() {
-                self.workers[index] = Some(spawn_worker(self.kind, self.sn));
+                self.workers[index] = Some(spawn_worker(self.kind, self.sn, self.compiled));
             }
             let worker = self.workers[index].as_ref().expect("just spawned");
             if worker.tx.send(WorkerJob::Batch(chunks)).is_err() {
@@ -494,9 +508,13 @@ impl EnginePool {
         active: usize,
     ) -> Result<(), PoolError> {
         let worker_count = self.workers.len();
-        let engine = self
-            .inline_engine
-            .get_or_insert_with(|| Box::new(VectorKeccakEngine::new(self.kind, self.sn)));
+        let engine = self.inline_engine.get_or_insert_with(|| {
+            Box::new(VectorKeccakEngine::with_compiled(
+                self.kind,
+                self.sn,
+                self.compiled,
+            ))
+        });
         let mut per_engine = vec![EngineLoad::default(); worker_count];
         let mut bucket_trap: Vec<Option<Trap>> = vec![None; worker_count];
         let mut lost: Option<usize> = None;

@@ -16,6 +16,18 @@
 //! [`MetricsSnapshot::mirror_mismatches`](crate::MetricsSnapshot::mirror_mismatches)
 //! — the production analogue of the offline conformance matrix, catching
 //! drift between the tiers while real traffic flows.
+//!
+//! The affordable sampling rate is set by the cost ratio between the
+//! tiers. With the interpreted simulator (~10× slower per permutation
+//! than the native kernel), mirroring one group in 32 already cost
+//! roughly a third of the native wall time. The compiled execution
+//! tier (DESIGN.md §16) cuts the simulator's cost by ~3.5×, so the
+//! same budget now buys roughly twice the coverage:
+//! [`TierPolicy::RECOMMENDED_MIRROR_EVERY`] samples one group in 16,
+//! which lands the expected overhead back near a third of native wall
+//! time — verified by the `loadgen` bench, which measures the
+//! mirrored/unmirrored throughput ratio and asserts the overhead stays
+//! under its bound.
 
 /// An execution tier the service can route permutation work to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -75,6 +87,15 @@ impl Default for TierPolicy {
 }
 
 impl TierPolicy {
+    /// The recommended mirror sampling rate for native-primary
+    /// deployments: one dispatch group in 16. Sized to the compiled
+    /// simulator tier — ~3.5× cheaper per permutation than the
+    /// interpreted one, so twice the interpreted tier's 1/32 coverage
+    /// now fits in the same overhead budget (roughly a third of native
+    /// wall time). Group 0 is always sampled, so even short runs
+    /// exercise the oracle at least once.
+    pub const RECOMMENDED_MIRROR_EVERY: u32 = 16;
+
     /// Native-primary routing with mirroring off.
     pub const fn native() -> Self {
         Self {
@@ -126,6 +147,14 @@ mod tests {
         assert_eq!(policy.primary, TierKind::Simulator);
         assert_eq!(policy.mirror_every, 0);
         assert!(!policy.mirrors(0), "mirroring disabled by default");
+    }
+
+    #[test]
+    fn recommended_rate_samples_group_zero() {
+        let policy = TierPolicy::native().with_mirror_every(TierPolicy::RECOMMENDED_MIRROR_EVERY);
+        assert!(policy.mirrors(0), "short runs must exercise the oracle");
+        assert!(!policy.mirrors(1));
+        assert!(policy.mirrors(u64::from(TierPolicy::RECOMMENDED_MIRROR_EVERY)));
     }
 
     #[test]

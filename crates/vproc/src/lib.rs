@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod config;
 pub mod decoded;
 pub mod exec;
@@ -41,6 +42,7 @@ pub mod trace;
 pub mod trap;
 pub mod vector;
 
+pub use compiled::CompiledProgram;
 pub use config::{Elen, ProcessorConfig};
 pub use decoded::{DecodedInstr, DecodedProgram, FusedBlock, TimingClass};
 pub use memory::DataMemory;

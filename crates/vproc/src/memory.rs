@@ -73,6 +73,86 @@ impl DataMemory {
         Ok(())
     }
 
+    /// Bulk little-endian read of `out.len()` aligned 64-bit words
+    /// starting at `addr`, for the compiled-tier fast path. Returns
+    /// `false` without touching `out` if the region is misaligned or out
+    /// of bounds — for unit-stride 8-byte accesses that predicate is
+    /// exactly "every element-wise access would succeed", so callers can
+    /// fall back to the element-serial path for identical trap behaviour.
+    pub(crate) fn read_words64(&self, addr: u32, out: &mut [u64]) -> bool {
+        if out.is_empty() {
+            return true;
+        }
+        let base = addr as usize;
+        if !addr.is_multiple_of(8) || base + 8 * out.len() > self.bytes.len() {
+            return false;
+        }
+        for (chunk, word) in self.bytes[base..base + 8 * out.len()]
+            .chunks_exact(8)
+            .zip(out.iter_mut())
+        {
+            *word = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        true
+    }
+
+    /// Bulk little-endian write of aligned 64-bit words at `addr`
+    /// (counterpart of [`DataMemory::read_words64`]). Returns `false`
+    /// without writing anything if the region is misaligned or out of
+    /// bounds.
+    pub(crate) fn write_words64(&mut self, addr: u32, src: &[u64]) -> bool {
+        if src.is_empty() {
+            return true;
+        }
+        let base = addr as usize;
+        if !addr.is_multiple_of(8) || base + 8 * src.len() > self.bytes.len() {
+            return false;
+        }
+        for (chunk, word) in self.bytes[base..base + 8 * src.len()]
+            .chunks_exact_mut(8)
+            .zip(src.iter())
+        {
+            chunk.copy_from_slice(&word.to_le_bytes());
+        }
+        true
+    }
+
+    /// Bulk little-endian read of `out.len()` aligned 64-bit words at
+    /// `addr` — the public staging counterpart of the compiled tier's
+    /// fast path, so hosts can move whole state blocks without one
+    /// bounds-checked call per lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] if the region is misaligned or out of bounds.
+    pub fn read_block64(&self, addr: u32, out: &mut [u64]) -> Result<(), Trap> {
+        if self.read_words64(addr, out) {
+            Ok(())
+        } else {
+            Err(Trap::MemoryAccess {
+                addr,
+                size: (8 * out.len()) as u32,
+            })
+        }
+    }
+
+    /// Bulk little-endian write of aligned 64-bit words at `addr`
+    /// (counterpart of [`DataMemory::read_block64`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] if the region is misaligned or out of bounds.
+    pub fn write_block64(&mut self, addr: u32, src: &[u64]) -> Result<(), Trap> {
+        if self.write_words64(addr, src) {
+            Ok(())
+        } else {
+            Err(Trap::MemoryAccess {
+                addr,
+                size: (8 * src.len()) as u32,
+            })
+        }
+    }
+
     /// Copies a byte slice into memory at `addr` (no alignment required).
     ///
     /// # Errors

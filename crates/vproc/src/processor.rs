@@ -1,5 +1,8 @@
 //! The processor: scalar core + vector unit + memories + cycle counter.
 
+use crate::compiled::{
+    self, BlockCtx, CompiledBlock, CompiledProgram, CompiledSlot, FusedOp, Geometry, Op, OpExit,
+};
 use crate::config::ProcessorConfig;
 use crate::decoded::{DecodedInstr, DecodedProgram};
 use crate::exec::{custom, standard};
@@ -8,7 +11,10 @@ use crate::timing::TimingContext;
 use crate::trace::Tracer;
 use crate::trap::Trap;
 use crate::vector::VectorUnit;
-use krv_isa::{BranchKind, Instruction, LoadKind, OpImmKind, OpKind, StoreKind, VReg, XReg};
+use krv_isa::{
+    BranchKind, Instruction, LoadKind, MemMode, OpImmKind, OpKind, Sew, StoreKind, VReg, XReg,
+};
+use krv_keccak::constants::RC;
 use std::sync::Arc;
 
 /// Why the processor stopped.
@@ -63,6 +69,10 @@ pub struct Processor {
     halted: Option<HaltCause>,
     tracer: Tracer,
     fusion: bool,
+    compiled_on: bool,
+    shared_compiled: Option<Arc<CompiledProgram>>,
+    compiled_cache: Vec<CompiledSlot>,
+    compiled_dispatches: u64,
 }
 
 impl Processor {
@@ -85,6 +95,10 @@ impl Processor {
             halted: None,
             tracer,
             fusion: true,
+            compiled_on: false,
+            shared_compiled: None,
+            compiled_cache: Vec::new(),
+            compiled_dispatches: 0,
         }
     }
 
@@ -121,6 +135,25 @@ impl Processor {
         self.program = program;
         self.pc = 0;
         self.halted = None;
+        self.shared_compiled = None;
+        self.compiled_cache.clear();
+    }
+
+    /// Loads a shared compiled program (and the decoded program it
+    /// wraps) and enables the compiled execution tier.
+    ///
+    /// Sharing one [`CompiledProgram`] between processors shares the
+    /// per-configuration compiled blocks too — each processor keeps only
+    /// a small lock-free dispatch cache of its own.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same timing-model mismatch condition as
+    /// [`Processor::load_decoded`].
+    pub fn load_compiled(&mut self, program: Arc<CompiledProgram>) {
+        self.load_decoded(program.decoded());
+        self.shared_compiled = Some(program);
+        self.compiled_on = true;
     }
 
     /// The currently loaded pre-decoded program (shareable with other
@@ -247,6 +280,34 @@ impl Processor {
     /// conformance fast-path oracle uses as its baseline.
     pub fn set_fusion(&mut self, fusion: bool) {
         self.fusion = fusion;
+    }
+
+    /// Whether the compiled execution tier is enabled (see
+    /// [`Processor::set_compiled`]).
+    pub fn compiled(&self) -> bool {
+        self.compiled_on
+    }
+
+    /// Enables or disables the compiled execution tier in
+    /// [`Processor::run`] and [`Processor::run_until_pc`].
+    ///
+    /// Off by default; [`Processor::load_compiled`] turns it on. Like
+    /// fusion it is an execution fast path only: blocks are lowered to
+    /// native word ops per vector configuration, any block that cannot
+    /// be proven bit-identical falls back to the interpreted fused path,
+    /// and the per-block cycle ledger keeps all counter, trap and budget
+    /// behaviour exact (see [`crate::compiled`]). The tier additionally
+    /// dispatches *single* vector instructions outside fused blocks
+    /// (fusion never forms one-instruction blocks, but a lone `vle64.v`
+    /// still profits from the bulk word path).
+    pub fn set_compiled(&mut self, compiled: bool) {
+        self.compiled_on = compiled;
+    }
+
+    /// How many compiled blocks have been dispatched so far (diagnostic;
+    /// not reset by [`Processor::reset_counters`]).
+    pub fn compiled_dispatches(&self) -> u64 {
+        self.compiled_dispatches
     }
 
     /// Executes one instruction.
@@ -586,6 +647,449 @@ impl Processor {
         Ok(())
     }
 
+    /// The machine geometry compiled blocks must be proven against.
+    fn geometry(&self) -> Geometry {
+        Geometry {
+            elenum: self.vu.elenum(),
+            words_len: self.vu.words_len(),
+            elen64: self.vu.elen().bits() == 64,
+        }
+    }
+
+    /// Attempts to execute the compiled region anchored at the current
+    /// PC.
+    ///
+    /// Returns `Ok(true)` when it retired (fully, up to an interior
+    /// `stop_pc`, or up to a `vsetvli` guard exit), `Ok(false)` to fall
+    /// back to [`Processor::try_fused`] / [`Processor::step`]. The
+    /// guards keep the fast path observationally identical to stepping:
+    /// tracing forces the per-instruction path; a `stop_pc` at an
+    /// interior instruction boundary runs the exact ledger prefix and
+    /// parks the PC there; and the region only runs when its worst-case
+    /// cost (or the prefix cost up to `stop_pc`) fits the cycle budget —
+    /// since every instruction costs ≥ 1 cycle, all interior prefixes
+    /// then stay strictly below the budget, exactly the condition under
+    /// which the stepping loop would have retired the same instructions.
+    fn try_compiled(&mut self, max_cycles: u64, stop_pc: Option<u32>) -> Result<bool, Trap> {
+        if !self.compiled_on
+            || !self.fusion
+            || self.tracer.is_enabled()
+            || !self.pc.is_multiple_of(4)
+        {
+            return Ok(false);
+        }
+        let start = (self.pc / 4) as usize;
+        if start >= self.program.len() {
+            return Ok(false);
+        }
+        if self.compiled_cache.len() != self.program.len() {
+            self.compiled_cache = vec![CompiledSlot::Empty; self.program.len()];
+        }
+        let ctx = BlockCtx::of(&self.vu);
+        let block = match &self.compiled_cache[start] {
+            CompiledSlot::Ready(block) if block.ctx == ctx => Arc::clone(block),
+            CompiledSlot::Refused(refused) if *refused == ctx => return Ok(false),
+            _ => {
+                let geometry = self.geometry();
+                let block = match &self.shared_compiled {
+                    Some(shared) => shared.block_for(start, ctx, geometry, &self.xregs),
+                    None => {
+                        compiled::compile_region(&self.program, start, ctx, geometry, &self.xregs)
+                            .map(Arc::new)
+                    }
+                };
+                match block {
+                    Some(block) => {
+                        self.compiled_cache[start] = CompiledSlot::Ready(Arc::clone(&block));
+                        block
+                    }
+                    None => {
+                        self.compiled_cache[start] = CompiledSlot::Refused(ctx);
+                        return Ok(false);
+                    }
+                }
+            }
+        };
+        let mut stop_at = None;
+        if let Some(stop) = stop_pc {
+            if stop > self.pc && stop < ((start + block.len) as u32) * 4 {
+                if !stop.is_multiple_of(4) {
+                    return Ok(false);
+                }
+                stop_at = Some((stop / 4) as usize - start);
+            }
+        }
+        let cost = match stop_at {
+            Some(t) => block.ledger[t].prefix_cycles,
+            None => block.worst_cost(),
+        };
+        if self.cycles + cost > max_cycles {
+            return Ok(false);
+        }
+        self.run_compiled(start, &block, stop_at)?;
+        Ok(true)
+    }
+
+    /// Executes a compiled region's micro-ops back to back, stopping
+    /// after `stop_at` ops if given (an interior `run_until_pc` target).
+    ///
+    /// Counters are committed from the precomputed ledger: the full
+    /// totals on success, the exact prefix at an interior stop or
+    /// `vsetvli` guard exit, or the prefix up to a trapping op with the
+    /// PC parked on the faulting instruction — bit-identical to what
+    /// repeated stepping would leave. A terminal branch commits its
+    /// direction-dependent cost and target itself.
+    fn run_compiled(
+        &mut self,
+        start: usize,
+        block: &CompiledBlock,
+        stop_at: Option<usize>,
+    ) -> Result<(), Trap> {
+        let limit = stop_at.unwrap_or(block.len);
+        // A branch is always the region's LAST op, so the body loop
+        // below never sees one — it runs branch-free and the terminal
+        // direction is resolved once afterwards.
+        let body = if block.branch_costs.is_some() && limit == block.len {
+            limit - 1
+        } else {
+            limit
+        };
+        let mut k = 0;
+        while k < body {
+            // A fused idiom fully inside the body runs as one pass;
+            // a stop landing inside the span falls through to the
+            // member ops, which are still in place.
+            if let Some(span) = block.fused_span(k) {
+                if k + span.len <= body {
+                    self.exec_fused_op(&span.op);
+                    k += span.len;
+                    continue;
+                }
+            }
+            let op = &block.ops[k];
+            match self.exec_compiled_op(op) {
+                Ok(OpExit::Next) => {}
+                Ok(OpExit::ExitAfter) => {
+                    let (cycles, vector) = block.prefix_after(k);
+                    self.cycles += cycles;
+                    self.retired += (k + 1) as u64;
+                    self.retired_vector += vector;
+                    self.pc = ((start + k + 1) as u32) * 4;
+                    self.compiled_dispatches += 1;
+                    return Ok(());
+                }
+                Err(trap) => {
+                    let ledger = block.ledger[k];
+                    self.cycles += ledger.prefix_cycles;
+                    self.retired += k as u64;
+                    self.retired_vector += ledger.prefix_vector;
+                    self.pc = ((start + k) as u32) * 4;
+                    return Err(trap);
+                }
+            }
+            k += 1;
+        }
+        if body < limit {
+            let k = limit - 1;
+            let &Op::Branch {
+                kind,
+                rs1,
+                rs2,
+                target,
+                taken_cost,
+                not_cost,
+            } = &block.ops[k]
+            else {
+                unreachable!("branch_costs is only set for a terminal branch")
+            };
+            let (a, b) = (self.xregs[rs1], self.xregs[rs2]);
+            let taken = match kind {
+                BranchKind::Beq => a == b,
+                BranchKind::Bne => a != b,
+                BranchKind::Blt => (a as i32) < (b as i32),
+                BranchKind::Bge => (a as i32) >= (b as i32),
+                BranchKind::Bltu => a < b,
+                BranchKind::Bgeu => a >= b,
+            };
+            self.cycles +=
+                block.ledger[k].prefix_cycles + if taken { taken_cost } else { not_cost };
+            self.retired += (k + 1) as u64;
+            self.retired_vector += block.ledger[k].prefix_vector;
+            self.pc = if taken {
+                target
+            } else {
+                ((start + k + 1) as u32) * 4
+            };
+            self.compiled_dispatches += 1;
+            return Ok(());
+        }
+        match stop_at {
+            Some(t) => {
+                let ledger = block.ledger[t];
+                self.cycles += ledger.prefix_cycles;
+                self.retired += t as u64;
+                self.retired_vector += ledger.prefix_vector;
+                self.pc = ((start + t) as u32) * 4;
+            }
+            None => {
+                self.cycles += block.total_cycles;
+                self.retired += block.len as u64;
+                self.retired_vector += block.total_vector;
+                self.pc = ((start + block.len) as u32) * 4;
+            }
+        }
+        self.compiled_dispatches += 1;
+        Ok(())
+    }
+
+    /// Executes one fused idiom — architecturally identical to running
+    /// its member ops back to back (see [`FusedOp`]). Infallible:
+    /// operand windows and disjointness were proven when the span was
+    /// built, and no member op can trap or exit.
+    fn exec_fused_op(&mut self, op: &FusedOp) {
+        match op {
+            FusedOp::Theta {
+                planes,
+                c,
+                up,
+                rot,
+                j_up,
+                j_rot,
+                amount,
+                n,
+            } => {
+                compiled::exec_theta(
+                    self.vu.words64_mut(),
+                    planes,
+                    *c,
+                    *up,
+                    *rot,
+                    j_up,
+                    j_rot,
+                    *amount,
+                    *n,
+                );
+            }
+            FusedOp::Chi {
+                s,
+                t1,
+                t2,
+                d,
+                rs1,
+                j1,
+                j2,
+                n,
+            } => {
+                let y = self.xregs[*rs1] as i32 as i64 as u64;
+                compiled::exec_chi(self.vu.words64_mut(), *s, *t1, *t2, *d, y, j1, j2, *n);
+            }
+        }
+    }
+
+    /// Executes one compiled micro-op. Counters are untouched here (the
+    /// caller commits them from the ledger), which is exactly why the
+    /// `CsrCycle`/`CsrInstret` ops add their prefixes to the block-entry
+    /// counter values.
+    fn exec_compiled_op(&mut self, op: &Op) -> Result<OpExit, Trap> {
+        match op {
+            &Op::Interp { index } => {
+                let slot = *self
+                    .program
+                    .get(index)
+                    .expect("compiled ops lie inside the program");
+                // Scalar instructions only: `groups` is irrelevant to
+                // their semantics and the returned cost is discarded (the
+                // ledger already accounts it).
+                self.execute_slot(&slot, (index as u32) * 4, 1)?;
+                Ok(OpExit::Next)
+            }
+            &Op::XConst { rd, value } => {
+                self.set_xreg(rd, value);
+                Ok(OpExit::Next)
+            }
+            &Op::CsrCycle { rd, prefix } => {
+                self.set_xreg(rd, (self.cycles + prefix) as u32);
+                Ok(OpExit::Next)
+            }
+            &Op::CsrInstret { rd, offset } => {
+                self.set_xreg(rd, (self.retired + offset) as u32);
+                Ok(OpExit::Next)
+            }
+            &Op::Vsetvli {
+                rd,
+                rs1,
+                vtype,
+                expected_vl,
+                expected_vtype,
+            } => {
+                // Same AVL selection as the interpreter's `Vsetvli` arm;
+                // the trap condition depends only on `vtype`, which the
+                // lowering already proved non-trapping, so the `?` is
+                // defensive.
+                let avl = if rs1 != XReg::X0 {
+                    self.xreg(rs1)
+                } else if rd != XReg::X0 {
+                    u32::MAX
+                } else {
+                    self.vu.vl()
+                };
+                let granted = self.vu.set_config(avl, vtype)?;
+                self.set_xreg(rd, granted);
+                // Downstream ops were lowered for the predicted
+                // configuration; a different grant exits the region with
+                // this op retired and the interpreter takes over.
+                if granted == expected_vl && self.vu.vtype().zimm() == expected_vtype {
+                    Ok(OpExit::Next)
+                } else {
+                    Ok(OpExit::ExitAfter)
+                }
+            }
+            &Op::ScalarImm { kind, rd, rs1, imm } => {
+                let a = self.xreg(rs1);
+                let b = imm as u32;
+                let value = match kind {
+                    OpImmKind::Addi => a.wrapping_add(b),
+                    OpImmKind::Slti => ((a as i32) < (b as i32)) as u32,
+                    OpImmKind::Sltiu => (a < b) as u32,
+                    OpImmKind::Xori => a ^ b,
+                    OpImmKind::Ori => a | b,
+                    OpImmKind::Andi => a & b,
+                    OpImmKind::Slli => a.wrapping_shl(b & 31),
+                    OpImmKind::Srli => a.wrapping_shr(b & 31),
+                    OpImmKind::Srai => ((a as i32) >> (b & 31)) as u32,
+                };
+                self.set_xreg(rd, value);
+                Ok(OpExit::Next)
+            }
+            Op::Branch { .. } => unreachable!("terminal branches are handled by run_compiled"),
+            &Op::BinVV { kind, d, a, b, len } => {
+                compiled::exec_bin_vv(self.vu.words64_mut(), kind, d, a, b, len);
+                Ok(OpExit::Next)
+            }
+            &Op::BinVX {
+                kind,
+                d,
+                a,
+                rs1,
+                len,
+            } => {
+                let y = self.xregs[rs1] as i32 as i64 as u64;
+                compiled::exec_bin_vs(self.vu.words64_mut(), kind, d, a, y, len);
+                Ok(OpExit::Next)
+            }
+            &Op::BinVI {
+                kind,
+                d,
+                a,
+                imm,
+                len,
+            } => {
+                compiled::exec_bin_vs(self.vu.words64_mut(), kind, d, a, imm, len);
+                Ok(OpExit::Next)
+            }
+            &Op::SlideMod5 {
+                d,
+                s,
+                blocks,
+                ref src_j,
+            } => {
+                compiled::exec_slide(self.vu.words64_mut(), d, s, blocks, src_j);
+                Ok(OpExit::Next)
+            }
+            &Op::RotConst { d, s, len, amount } => {
+                compiled::exec_rot(self.vu.words64_mut(), d, s, len, amount);
+                Ok(OpExit::Next)
+            }
+            Op::RhoTable { d, s, rots } => {
+                compiled::exec_rho(self.vu.words64_mut(), *d, *s, rots);
+                Ok(OpExit::Next)
+            }
+            Op::Pi {
+                d,
+                d_len,
+                s,
+                s_len,
+                segs,
+                states,
+            } => {
+                compiled::exec_pi(self.vu.words64_mut(), *d, *d_len, *s, *s_len, segs, *states);
+                Ok(OpExit::Next)
+            }
+            Op::PiPlanes {
+                d,
+                elenum,
+                s,
+                s_len,
+                spec,
+                states,
+            } => {
+                compiled::exec_pi_planes(
+                    self.vu.words64_mut(),
+                    *d,
+                    *elenum,
+                    *s,
+                    *s_len,
+                    spec,
+                    *states,
+                );
+                Ok(OpExit::Next)
+            }
+            &Op::Iota { d, s, len, rs1 } => {
+                let index = self.xregs[rs1];
+                let rc = *RC
+                    .get(index as usize)
+                    .ok_or(Trap::RoundConstantIndex { index })?;
+                compiled::exec_iota(self.vu.words64_mut(), d, s, len, rc);
+                Ok(OpExit::Next)
+            }
+            &Op::VLoad64 { d, len, vd, rs1 } => {
+                let base = self.xregs[rs1.index()];
+                if self
+                    .dmem
+                    .read_words64(base, &mut self.vu.words64_mut()[d..d + len])
+                {
+                    Ok(OpExit::Next)
+                } else {
+                    // Misaligned or out of bounds: the element-serial
+                    // interpreter reproduces the exact partial writes and
+                    // trap of the uncompiled instruction.
+                    standard::vload(
+                        &mut self.vu,
+                        &self.dmem,
+                        Sew::E64,
+                        vd,
+                        rs1,
+                        MemMode::UnitStride,
+                        true,
+                        &self.xregs,
+                    )
+                    .map(|()| OpExit::Next)
+                }
+            }
+            &Op::VStore64 { s, len, vs3, rs1 } => {
+                let base = self.xregs[rs1.index()];
+                if self
+                    .dmem
+                    .write_words64(base, &self.vu.words64()[s..s + len])
+                {
+                    Ok(OpExit::Next)
+                } else {
+                    standard::vstore(
+                        &self.vu,
+                        &mut self.dmem,
+                        Sew::E64,
+                        vs3,
+                        rs1,
+                        MemMode::UnitStride,
+                        true,
+                        &self.xregs,
+                    )
+                    .map(|()| OpExit::Next)
+                }
+            }
+        }
+    }
+
     /// Runs until the program halts via `ecall`/`ebreak`.
     ///
     /// # Errors
@@ -596,6 +1100,9 @@ impl Processor {
         while self.halted.is_none() {
             if self.cycles >= max_cycles {
                 return Err(Trap::CycleLimit { limit: max_cycles });
+            }
+            if self.try_compiled(max_cycles, None)? {
+                continue;
             }
             if self.try_fused(max_cycles, None)? {
                 continue;
@@ -623,6 +1130,9 @@ impl Processor {
             }
             if self.halted.is_some() {
                 return Err(Trap::InstructionFetch { pc: self.pc });
+            }
+            if self.try_compiled(max_cycles, Some(target))? {
+                continue;
             }
             if self.try_fused(max_cycles, Some(target))? {
                 continue;
@@ -934,6 +1444,207 @@ mod tests {
             assert_eq!(fused.cycles(), stepped.cycles(), "limit {limit}");
             assert_eq!(fused.pc(), stepped.pc(), "limit {limit}");
         }
+    }
+
+    /// Runs `source` three ways — compiled, interpreted-fused and
+    /// stepped — and asserts the observable outcomes are identical.
+    /// Returns the compiled processor for extra per-test assertions.
+    fn assert_compiled_transparent(source: &str) -> Processor {
+        let program = assemble(source).expect("assembles");
+        let mut compiled = Processor::new(ProcessorConfig::elen64(10));
+        compiled.set_compiled(true);
+        let mut fused = Processor::new(ProcessorConfig::elen64(10));
+        let mut stepped = Processor::new(ProcessorConfig::elen64(10));
+        stepped.set_fusion(false);
+        for cpu in [&mut compiled, &mut fused, &mut stepped] {
+            cpu.load_program(program.instructions());
+        }
+        let compiled_result = compiled.run(100_000);
+        let fused_result = fused.run(100_000);
+        let stepped_result = stepped.run(100_000);
+        assert_eq!(compiled_result, stepped_result, "halt/trap outcome");
+        assert_eq!(compiled_result, fused_result, "halt/trap outcome (fused)");
+        for (label, other) in [("fused", &fused), ("stepped", &stepped)] {
+            assert_eq!(compiled.cycles(), other.cycles(), "cycles vs {label}");
+            assert_eq!(compiled.retired(), other.retired(), "retired vs {label}");
+            assert_eq!(
+                compiled.retired_vector(),
+                other.retired_vector(),
+                "vector retired vs {label}"
+            );
+            assert_eq!(compiled.pc(), other.pc(), "final PC vs {label}");
+            for index in 0..32 {
+                let reg = XReg::from_index(index);
+                assert_eq!(compiled.xreg(reg), other.xreg(reg), "x{index} vs {label}");
+            }
+            for index in 0..32 {
+                let reg = VReg::from_index(index);
+                assert_eq!(
+                    compiled.vector_unit().register_bytes(reg),
+                    other.vector_unit().register_bytes(reg),
+                    "v{index} vs {label}"
+                );
+            }
+            for addr in (0..compiled.dmem().len() as u32).step_by(8) {
+                assert_eq!(
+                    compiled.dmem().read(addr, 8),
+                    other.dmem().read(addr, 8),
+                    "dmem at {addr} vs {label}"
+                );
+            }
+        }
+        compiled
+    }
+
+    #[test]
+    fn compiled_is_transparent_for_scalar_loops() {
+        let cpu = assert_compiled_transparent(
+            "li t0, 0\nli t1, 25\nli a0, 7\nloop:\naddi a0, a0, 3\nslli a1, a0, 1\nxor a2, a1, a0\nsw a2, 128(t0)\nlw a3, 128(t0)\naddi t0, t0, 4\nblt t0, t1, loop\necall",
+        );
+        assert!(cpu.compiled_dispatches() > 0, "blocks actually compiled");
+    }
+
+    #[test]
+    fn compiled_is_transparent_for_vector_kernels() {
+        let cpu = assert_compiled_transparent(
+            "li s1, 10\nvsetvli x0, s1, e64, m1, tu, mu\nli a0, 0\nli a1, 512\nvle64.v v1, (a0)\nvadd.vi v1, v1, 5\nvxor.vv v2, v1, v1\nvse64.v v1, (a1)\nvle64.v v3, (a1)\necall",
+        );
+        assert!(cpu.compiled_dispatches() > 0, "blocks actually compiled");
+    }
+
+    #[test]
+    fn compiled_is_transparent_for_custom_keccak_ops() {
+        // A θ/ρπ-shaped sequence over one 5-lane state plus a two-round
+        // ι loop: slides, rotates, ρ, π and `viota` all inside fused
+        // blocks, with `csrr` sampling the counters mid-way.
+        let cpu = assert_compiled_transparent(
+            "li s1, 10\nvsetvli x0, s1, e64, m1, tu, mu\n\
+             li a0, 0\nvle64.v v1, (a0)\n\
+             vslidedownm.vi v6, v1, 1\nvslideupm.vi v7, v1, 1\n\
+             vrotup.vi v7, v7, 1\nvxor.vv v6, v6, v7\n\
+             v64rho.vi v2, v1, 0\nvpi.vi v10, v2, 0\nvrhopi.vi v10, v2, 1\n\
+             li s3, 0\nli s4, 2\n\
+             round:\nviota.vx v6, v6, s3\ncsrr a2, cycle\ncsrr a3, instret\n\
+             addi s3, s3, 1\nblt s3, s4, round\n\
+             li a1, 512\nvse64.v v6, (a1)\necall",
+        );
+        assert!(cpu.compiled_dispatches() > 0, "blocks actually compiled");
+    }
+
+    #[test]
+    fn compiled_is_transparent_for_mid_block_traps() {
+        // Scalar store fault inside a block: exact prefix retirement.
+        assert_compiled_transparent("li t0, 1\nli t1, 8\nsw t0, 0(t1)\nsw t0, 1(t1)\necall");
+        // Vector load past the end of memory after compiled iterations:
+        // the bulk path must defer to the element-serial trap.
+        assert_compiled_transparent(
+            "li s1, 10\nvsetvli x0, s1, e64, m1, tu, mu\nli a0, 100000\nli a1, 1\nvle64.v v1, (a0)\necall",
+        );
+        // Misaligned base: same story through the store side.
+        assert_compiled_transparent(
+            "li s1, 10\nvsetvli x0, s1, e64, m1, tu, mu\nli a0, 4\nli a1, 1\nvse64.v v1, (a0)\necall",
+        );
+        // `viota` round index outside the ROM traps identically.
+        assert_compiled_transparent(
+            "li s1, 10\nvsetvli x0, s1, e64, m1, tu, mu\nli a0, 3\nli s3, 99\nviota.vx v1, v1, s3\necall",
+        );
+    }
+
+    #[test]
+    fn compiled_run_until_pc_stops_inside_a_block() {
+        let program = assemble("li a0, 1\nli a0, 2\nli a0, 3\nli a0, 4\necall").unwrap();
+        let mut cpu = Processor::new(ProcessorConfig::elen64(5));
+        cpu.set_compiled(true);
+        cpu.load_program(program.instructions());
+        cpu.run_until_pc(8, 100).unwrap();
+        assert_eq!(cpu.pc(), 8);
+        assert_eq!(cpu.xreg(XReg::X10), 2);
+    }
+
+    #[test]
+    fn compiled_run_respects_the_cycle_limit() {
+        let program = assemble(
+            "li s1, 10\nvsetvli x0, s1, e64, m1, tu, mu\nvxor.vv v1, v2, v3\nvadd.vi v1, v1, 1\nli a0, 4\necall",
+        )
+        .unwrap();
+        for limit in 0..12 {
+            let mut compiled = Processor::new(ProcessorConfig::elen64(10));
+            compiled.set_compiled(true);
+            let mut stepped = Processor::new(ProcessorConfig::elen64(10));
+            stepped.set_fusion(false);
+            compiled.load_program(program.instructions());
+            stepped.load_program(program.instructions());
+            let compiled_result = compiled.run(limit);
+            let stepped_result = stepped.run(limit);
+            assert_eq!(compiled_result, stepped_result, "limit {limit}");
+            assert_eq!(compiled.cycles(), stepped.cycles(), "limit {limit}");
+            assert_eq!(compiled.pc(), stepped.pc(), "limit {limit}");
+        }
+    }
+
+    #[test]
+    fn compiled_blocks_recompile_per_configuration() {
+        // The same block body runs under VL=10 and then VL=5: the cached
+        // lowering must be rejected on configuration change and both
+        // passes must match the stepped processor.
+        assert_compiled_transparent(
+            "li s1, 10\nli s2, 5\nli a0, 0\n\
+             vsetvli x0, s1, e64, m1, tu, mu\nvle64.v v1, (a0)\nvadd.vi v1, v1, 1\nvxor.vv v2, v1, v1\n\
+             vsetvli x0, s2, e64, m1, tu, mu\nvle64.v v1, (a0)\nvadd.vi v1, v1, 1\nvxor.vv v2, v1, v1\n\
+             ecall",
+        );
+    }
+
+    #[test]
+    fn shared_compiled_program_is_reused_across_processors() {
+        let program = assemble(
+            "li s1, 10\nvsetvli x0, s1, e64, m1, tu, mu\nvadd.vi v1, v1, 3\nvxor.vv v2, v1, v1\necall",
+        )
+        .unwrap();
+        let decoded = Arc::new(DecodedProgram::compile(
+            program.instructions(),
+            &ProcessorConfig::elen64(10).timing,
+        ));
+        let shared = Arc::new(CompiledProgram::new(decoded));
+        let mut first = Processor::new(ProcessorConfig::elen64(10));
+        first.load_compiled(Arc::clone(&shared));
+        first.run(1_000).unwrap();
+        let after_first = shared.compiled_blocks();
+        assert!(after_first > 0, "first processor populated the pool");
+        let mut second = Processor::new(ProcessorConfig::elen64(10));
+        second.load_compiled(Arc::clone(&shared));
+        second.run(1_000).unwrap();
+        assert_eq!(
+            shared.compiled_blocks(),
+            after_first,
+            "second processor reused the pool"
+        );
+        assert_eq!(first.cycles(), second.cycles());
+        for index in 0..32 {
+            let reg = VReg::from_index(index);
+            assert_eq!(
+                first.vector_unit().register_bytes(reg),
+                second.vector_unit().register_bytes(reg),
+            );
+        }
+    }
+
+    #[test]
+    fn lone_vector_instructions_dispatch_compiled() {
+        // `vxor` between two branch targets never fuses (runs of one);
+        // the compiled tier must still pick it up as a singleton.
+        let program = assemble(
+            "li s1, 10\nvsetvli x0, s1, e64, m1, tu, mu\nbeq x0, x0, skip\nnop\nskip:\nvxor.vv v1, v2, v3\nbeq x0, x0, done\nnop\ndone:\necall",
+        )
+        .unwrap();
+        let mut cpu = Processor::new(ProcessorConfig::elen64(10));
+        cpu.set_compiled(true);
+        cpu.load_program(program.instructions());
+        cpu.run(1_000).unwrap();
+        assert!(
+            cpu.compiled_dispatches() > 0,
+            "singleton vector op went through the compiled tier"
+        );
     }
 
     #[test]

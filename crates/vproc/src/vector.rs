@@ -209,6 +209,21 @@ impl VectorUnit {
         &mut self.words
     }
 
+    /// Shared view of the raw word storage for executor fast paths in
+    /// this crate (64-bit architecture only — one lane per storage word).
+    #[inline]
+    pub(crate) fn words64(&self) -> &[u64] {
+        debug_assert_eq!(self.elen, Elen::Bits64, "words64 needs ELEN=64");
+        &self.words
+    }
+
+    /// Total number of 64-bit storage words in the register file (valid
+    /// on either architecture; used for compile-time bounds proofs).
+    #[inline]
+    pub(crate) fn words_len(&self) -> usize {
+        self.words.len()
+    }
+
     /// First storage-word index of `reg`'s group (64-bit architecture).
     #[inline]
     pub(crate) fn lane_base(&self, reg: VReg) -> usize {

@@ -1,13 +1,16 @@
 //! Failure-injection tests: every trap path of the simulator, driven by
-//! real assembled programs — through both program-loading paths.
+//! real assembled programs — through every program-loading and
+//! execution path.
 //!
-//! Every scenario executes twice: once via [`Processor::load_program`]
-//! (decode at load) and once via an explicitly compiled, shared
-//! [`DecodedProgram`] handed to [`Processor::load_decoded`] — the path
-//! the engine pool uses to share one pre-decoded kernel across workers.
-//! Both must produce the identical trap: pre-decoding is a pure caching
-//! layer and must never change architectural behaviour, least of all on
-//! the error paths.
+//! Every scenario executes three times: once via
+//! [`Processor::load_program`] (decode at load), once via an explicitly
+//! compiled, shared [`DecodedProgram`] handed to
+//! [`Processor::load_decoded`] — the path the engine pool uses to share
+//! one pre-decoded kernel across workers — and once with the compiled
+//! execution tier enabled on top. All three must produce the identical
+//! trap: pre-decoding and compiled-tier lowering are pure caching
+//! layers and must never change architectural behaviour, least of all
+//! on the error paths.
 
 use std::sync::Arc;
 
@@ -27,13 +30,24 @@ fn run(source: &str, config: ProcessorConfig) -> Result<(), Trap> {
         program.instructions(),
         &config.timing,
     ));
-    let mut cpu = Processor::new(config);
+    let mut cpu = Processor::new(config.clone());
     cpu.load_decoded(decoded);
     let predecoded = cpu.run(100_000).map(|_| ());
+
+    // Path 3: compiled execution tier (lowered regions with interpreter
+    // fallback on the unlowerable suffix).
+    let mut cpu = Processor::new(config);
+    cpu.load_program(program.instructions());
+    cpu.set_compiled(true);
+    let compiled = cpu.run(100_000).map(|_| ());
 
     assert_eq!(
         undecoded, predecoded,
         "pre-decoded execution must trap (or halt) identically"
+    );
+    assert_eq!(
+        undecoded, compiled,
+        "compiled-tier execution must trap (or halt) identically"
     );
     undecoded
 }
@@ -238,6 +252,154 @@ fn decoded_cycle_limit_matches_undecoded() {
     // shared `run` helper asserting equality, spot-checked here).
     let err = run("spin:\nj spin", ProcessorConfig::elen64(5)).unwrap_err();
     assert_eq!(err, Trap::CycleLimit { limit: 100_000 });
+}
+
+// ---------------------------------------------------------------------
+// Compiled-tier trap/budget semantics.
+//
+// The compiled tier retires whole lowered regions at once; its timing
+// contract says a trap or an expiring cycle budget must still surface
+// with exactly the per-instruction prefix retired. These tests pin that
+// down against the stepper on programs containing the verbatim Keccak θ
+// idiom, which the tier additionally collapses into one fused span.
+// ---------------------------------------------------------------------
+
+/// The 13-instruction θ idiom over five derived planes, run twice via a
+/// scalar loop. `vid.v`/shifts make the plane data nonzero so a wrong
+/// fused dataflow cannot hide behind all-zero registers.
+const THETA_LOOP: &str = r"
+    li t0, 10
+    vsetvli x0, t0, e64, m1, tu, mu
+    vid.v v0
+    vsll.vi v1, v0, 7
+    vxor.vv v2, v1, v0
+    vadd.vv v3, v2, v1
+    vsll.vi v4, v3, 3
+    li t2, 2
+loop:
+    vxor.vv v5, v3, v4
+    vxor.vv v6, v1, v2
+    vxor.vv v7, v0, v6
+    vxor.vv v5, v5, v7
+    vslideupm.vi v6, v5, 1
+    vslidedownm.vi v7, v5, 1
+    vrotup.vi v7, v7, 1
+    vxor.vv v5, v6, v7
+    vxor.vv v0, v0, v5
+    vxor.vv v1, v1, v5
+    vxor.vv v2, v2, v5
+    vxor.vv v3, v3, v5
+    vxor.vv v4, v4, v5
+    addi t2, t2, -1
+    bnez t2, loop
+    ecall
+";
+
+/// Full architectural-state equality between the compiled tier and the
+/// per-instruction stepper (counters, PC, scalar and vector registers).
+fn assert_same_state(context: &str, compiled: &Processor, stepped: &Processor) {
+    use krv_isa::{Sew, VReg, XReg};
+    assert_eq!(compiled.cycles(), stepped.cycles(), "{context}: cycles");
+    assert_eq!(compiled.retired(), stepped.retired(), "{context}: retired");
+    assert_eq!(
+        compiled.retired_vector(),
+        stepped.retired_vector(),
+        "{context}: retired_vector"
+    );
+    assert_eq!(compiled.pc(), stepped.pc(), "{context}: pc");
+    for index in 0..32 {
+        let reg = XReg::from_index(index);
+        assert_eq!(compiled.xreg(reg), stepped.xreg(reg), "{context}: x{index}");
+    }
+    let (cv, sv) = (compiled.vector_unit(), stepped.vector_unit());
+    assert_eq!(cv.vl(), sv.vl(), "{context}: vl");
+    for reg in 0..32u8 {
+        let vreg = VReg::from_index(reg as usize);
+        for elem in 0..10 {
+            assert_eq!(
+                cv.read_elem_sew(vreg, elem, Sew::E64),
+                sv.read_elem_sew(vreg, elem, Sew::E64),
+                "{context}: v{reg}[{elem}]"
+            );
+        }
+    }
+}
+
+/// Runs `THETA_LOOP` on a fresh processor; `configure` picks the tier.
+fn theta_processor(configure: impl FnOnce(&mut Processor)) -> Processor {
+    let program = assemble(THETA_LOOP).expect("theta loop assembles");
+    let mut cpu = Processor::new(ProcessorConfig::elen64(10));
+    cpu.load_program(program.instructions());
+    configure(&mut cpu);
+    cpu
+}
+
+#[test]
+fn compiled_trap_retires_the_same_prefix() {
+    // An out-of-bounds vector load after real vector work: the compiled
+    // tier must report the trap with the identical prefix retired.
+    let source = "li s1, 10\n\
+                  vsetvli x0, s1, e64, m1, tu, mu\n\
+                  vid.v v1\n\
+                  vxor.vv v2, v1, v1\n\
+                  li a0, 65528\n\
+                  vle64.v v3, (a0)\n\
+                  ecall";
+    let program = assemble(source).unwrap();
+
+    let mut compiled = Processor::new(ProcessorConfig::elen64(10));
+    compiled.load_program(program.instructions());
+    compiled.set_compiled(true);
+    let compiled_err = compiled.run(100_000).unwrap_err();
+
+    let mut stepped = Processor::new(ProcessorConfig::elen64(10));
+    stepped.load_program(program.instructions());
+    stepped.set_fusion(false);
+    let stepped_err = stepped.run(100_000).unwrap_err();
+
+    assert_eq!(compiled_err, stepped_err);
+    assert!(matches!(compiled_err, Trap::MemoryAccess { .. }));
+    assert_same_state("trap prefix", &compiled, &stepped);
+}
+
+#[test]
+fn compiled_budget_expiry_is_bit_identical_at_every_limit() {
+    // Total cost of the θ loop, measured once on the stepper.
+    let total = {
+        let mut cpu = theta_processor(|p| p.set_fusion(false));
+        cpu.run(100_000).expect("loop halts");
+        cpu.cycles()
+    };
+    // Every possible budget, including 0 and the exact halt cycle: the
+    // compiled tier must stop on the same instruction with the same
+    // partial state — even when the budget dies inside the fused θ span.
+    for limit in 0..=total {
+        let mut compiled = theta_processor(|p| p.set_compiled(true));
+        let compiled_result = compiled.run(limit).map(|_| ());
+        let mut stepped = theta_processor(|p| p.set_fusion(false));
+        let stepped_result = stepped.run(limit).map(|_| ());
+        assert_eq!(compiled_result, stepped_result, "limit {limit}");
+        assert_same_state(&format!("budget limit {limit}"), &compiled, &stepped);
+    }
+}
+
+#[test]
+fn compiled_run_until_pc_stops_at_every_boundary() {
+    // Single-stepping by PC target across the whole program: every
+    // instruction boundary is a legal stop point, including ones in the
+    // middle of the fused θ span, where the compiled tier must fall
+    // back to member-op execution to honour the early exit.
+    let instructions = assemble(THETA_LOOP).unwrap().instructions().len();
+    for target_index in 1..instructions {
+        let target = (target_index * 4) as u32;
+        let mut compiled = theta_processor(|p| p.set_compiled(true));
+        let compiled_result = compiled.run_until_pc(target, 100_000);
+        let mut stepped = theta_processor(|p| p.set_fusion(false));
+        let stepped_result = stepped.run_until_pc(target, 100_000);
+        assert_eq!(compiled_result, stepped_result, "target {target:#x}");
+        assert_eq!(compiled.pc(), target, "stops exactly at {target:#x}");
+        assert_same_state(&format!("run_until_pc {target:#x}"), &compiled, &stepped);
+    }
 }
 
 #[test]
