@@ -15,6 +15,12 @@
 //!   Measures wall permutations per second against a *reference-direct*
 //!   [`hash_batch`] run of the identical workload, and asserts the
 //!   oracle sampled without a single mismatch.
+//! * **tree loop** — bursts of KRV tree-hash messages where every
+//!   4096-byte leaf travels as its own service request (packing the
+//!   batch scheduler) and a root request absorbs the leaf digests.
+//!   Measured against direct pooled [`TreeMode::digest`] calls of the
+//!   identical workload, with every digest cross-checked between the
+//!   two paths and anchored to the scalar reference.
 //! * **open loop** — Poisson arrivals at a configured rate, submitted
 //!   with a deadline, regardless of completions. Measures tail latency
 //!   under load the way a real front-end would experience it.
@@ -43,6 +49,7 @@ use krv_core::EnginePool;
 use krv_service::{
     HashRequest, MetricsSnapshot, QuantileSummary, Service, ServiceConfig, TierKind, TierPolicy,
 };
+use krv_sha3::tree::{krv_tree_hash256, TreeMode};
 use krv_sha3::{hash_batch, BatchRequest, ReferenceBackend, SpongeParams};
 use krv_testkit::Rng;
 use std::fmt::Write as _;
@@ -66,6 +73,12 @@ const DEFAULT_SEED: u64 = 0x10AD_0001;
 const OPEN_LOOP_SALT: u64 = 0x04E4_A221;
 /// XOR'd into the seed for the native-tier phase, for the same reason.
 const NATIVE_SALT: u64 = 0x0A71_0E17;
+/// XOR'd into the seed for the tree-hash phase, for the same reason.
+const TREE_SALT: u64 = 0x07EE_0001;
+/// Tree-loop message length: sixteen full 4096-byte KRV tree blocks, so
+/// every message fans out into sixteen leaf requests plus one root —
+/// two full dispatch waves through the batch scheduler per burst.
+const TREE_MSG_LEN: usize = 16 * 4096;
 /// Native-loop message length: 25 full SHAKE128 rate blocks, so padding
 /// adds a 26th and each request costs 26 permutations. Long messages
 /// amortize the per-request queue/ticket overhead, putting the
@@ -192,6 +205,19 @@ fn main() -> std::io::Result<()> {
         native.metrics.e2e_ns.p99 as f64 / 1e6,
     );
 
+    let tree = run_tree_loop(&options, config);
+    println!(
+        "tree loop: {} messages × {} leaves → {:.1} MiB/s service vs {:.1} MiB/s direct \
+         ({:.1} %), {} digests cross-checked, e2e p99 {:.2} ms",
+        tree.messages,
+        tree.leaves_per_message,
+        tree.service_mibps,
+        tree.direct_mibps,
+        100.0 * tree.ratio,
+        tree.digest_checks,
+        tree.metrics.e2e_ns.p99 as f64 / 1e6,
+    );
+
     let open_rate = options
         .open_rate
         .unwrap_or_else(|| (closed.service_rps * 0.3).clamp(200.0, 2000.0));
@@ -207,13 +233,13 @@ fn main() -> std::io::Result<()> {
         open.metrics.e2e_ns.p99 as f64 / 1e6,
     );
 
-    let json = render_json(&options, config, &closed, &native, &open);
+    let json = render_json(&options, config, &closed, &native, &tree, &open);
     std::fs::write("BENCH_service.json", &json)?;
     println!("wrote BENCH_service.json");
 
     check_schema(&json);
     if options.smoke {
-        assert_healthy(&closed, &native, &open);
+        assert_healthy(&closed, &native, &tree, &open);
         println!("smoke: healthy (no timeouts, rejections, worker failures or mirror mismatches)");
     }
     Ok(())
@@ -426,6 +452,152 @@ fn run_native_loop(options: &Options, config: ServiceConfig) -> NativeLoopResult
     }
 }
 
+struct TreeLoopResult {
+    messages: u64,
+    leaves_per_message: u64,
+    service_mibps: f64,
+    direct_mibps: f64,
+    ratio: f64,
+    digest_checks: u64,
+    simulator_served: u64,
+    native_served: u64,
+    metrics: MetricsSnapshot,
+}
+
+/// Waits for every ticket, returning the digests in submission order
+/// plus the per-tier served counts.
+fn drain_digests(tickets: Vec<krv_service::Ticket>, context: &str) -> (Vec<Vec<u8>>, u64, u64) {
+    let mut digests = Vec::with_capacity(tickets.len());
+    let mut simulator = 0u64;
+    let mut native = 0u64;
+    for ticket in tickets {
+        let completion = ticket.wait();
+        let digest = completion
+            .result
+            .unwrap_or_else(|err| panic!("{context} request failed: {err}"));
+        match completion.timing.tier {
+            TierKind::Simulator => simulator += 1,
+            TierKind::Native => native += 1,
+        }
+        digests.push(digest);
+    }
+    (digests, simulator, native)
+}
+
+/// Tree-hash closed loop: bursts of [`TREE_MSG_LEN`]-byte messages,
+/// each hashed under the KRV tree mode *through the service* — every
+/// leaf travels as its own [`HashRequest`] (so the burst's leaves pack
+/// the batch scheduler), then one root request absorbs the cSHAKE
+/// prefix ‖ leaf digests ‖ suffix. The identical workload runs as
+/// direct pooled [`TreeMode::digest`] calls for the overhead
+/// comparison, and every service digest is checked against its direct
+/// twin (the first also against the scalar reference).
+fn run_tree_loop(options: &Options, config: ServiceConfig) -> TreeLoopResult {
+    let mode = TreeMode::krv_tree256();
+    let burst = options.burst_batches;
+    let mut rng = Rng::new(options.seed ^ TREE_SALT);
+    let bursts: Vec<Vec<Vec<u8>>> = (0..options.rounds)
+        .map(|_| (0..burst).map(|_| rng.bytes(TREE_MSG_LEN)).collect())
+        .collect();
+    let leaves_per_message = mode.leaf_count(TREE_MSG_LEN) as u64;
+
+    // One burst through the service: wave 1 submits every leaf of every
+    // message (burst × leaf_count requests in flight at once), wave 2
+    // submits the roots built from the returned leaf digests.
+    let tree_burst = |service: &Service, messages: &[Vec<u8>]| -> (Vec<Vec<u8>>, u64, u64) {
+        let leaf_tickets: Vec<_> = messages
+            .iter()
+            .flat_map(|message| message.chunks(mode.block_size()))
+            .map(|chunk| {
+                let request = HashRequest::new(chunk, mode.leaf_params(), mode.leaf_len())
+                    .with_deadline(DEADLINE);
+                service.submit(request).expect("leaf burst fits queue")
+            })
+            .collect();
+        let (leaves, mut simulator, mut native) = drain_digests(leaf_tickets, "tree-leaf");
+        let root_tickets: Vec<_> = leaves
+            .chunks(leaves_per_message as usize)
+            .map(|message_leaves| {
+                let mut root = mode.root_prefix(b"");
+                for leaf in message_leaves {
+                    root.extend_from_slice(leaf);
+                }
+                root.extend(mode.root_suffix(message_leaves.len() as u64, OUTPUT_LEN));
+                let request =
+                    HashRequest::new(root, mode.root_params(), OUTPUT_LEN).with_deadline(DEADLINE);
+                service.submit(request).expect("root burst fits queue")
+            })
+            .collect();
+        let (digests, sim, nat) = drain_digests(root_tickets, "tree-root");
+        simulator += sim;
+        native += nat;
+        (digests, simulator, native)
+    };
+
+    let service = Service::start(config);
+    tree_burst(&service, &bursts[0]); // warm-up
+    let started = Instant::now();
+    let mut service_digests = Vec::new();
+    let mut simulator_served = 0u64;
+    let mut native_served = 0u64;
+    for messages in &bursts {
+        let (digests, sim, native) = tree_burst(&service, messages);
+        service_digests.extend(digests);
+        simulator_served += sim;
+        native_served += native;
+    }
+    let service_elapsed = started.elapsed();
+    let metrics = service.shutdown();
+
+    // Direct path: the same messages through pooled `TreeMode::digest`
+    // — the leaves still ride `hash_batch`, but with no queue, tickets
+    // or scheduler thread between them and the pool.
+    let mut pool = EnginePool::new(config.kernel, config.sn, config.workers);
+    mode.digest(&mut pool, &bursts[0][0], b"", OUTPUT_LEN); // warm-up
+    let started = Instant::now();
+    let direct_digests: Vec<Vec<u8>> = bursts
+        .iter()
+        .flat_map(|messages| messages.iter())
+        .map(|message| mode.digest(&mut pool, message, b"", OUTPUT_LEN))
+        .collect();
+    let direct_elapsed = started.elapsed();
+
+    // Correctness: the per-leaf service assembly, the pooled one-shot
+    // and the scalar reference all agree.
+    assert_eq!(service_digests.len(), direct_digests.len());
+    let mut digest_checks = 0u64;
+    for (index, (service_digest, direct_digest)) in
+        service_digests.iter().zip(&direct_digests).enumerate()
+    {
+        assert_eq!(
+            service_digest, direct_digest,
+            "tree digest mismatch between service and direct paths at message {index}"
+        );
+        digest_checks += 1;
+    }
+    assert_eq!(
+        service_digests[0],
+        krv_tree_hash256(&bursts[0][0], OUTPUT_LEN, b""),
+        "pooled tree digest disagrees with the scalar reference"
+    );
+
+    let messages = service_digests.len() as u64;
+    let mib = (messages * TREE_MSG_LEN as u64) as f64 / (1u64 << 20) as f64;
+    let service_mibps = mib / service_elapsed.as_secs_f64();
+    let direct_mibps = mib / direct_elapsed.as_secs_f64();
+    TreeLoopResult {
+        messages,
+        leaves_per_message,
+        service_mibps,
+        direct_mibps,
+        ratio: service_mibps / direct_mibps,
+        digest_checks,
+        simulator_served,
+        native_served,
+        metrics,
+    }
+}
+
 struct OpenLoopResult {
     offered_rps: f64,
     submitted: u64,
@@ -490,6 +662,7 @@ fn render_json(
     config: ServiceConfig,
     closed: &ClosedLoopResult,
     native: &NativeLoopResult,
+    tree: &TreeLoopResult,
     open: &OpenLoopResult,
 ) -> String {
     let mut json = String::from("{\n");
@@ -609,6 +782,41 @@ fn render_json(
         quantiles_json("e2e_latency", &native.metrics.e2e_ns)
     );
     let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"tree_loop\": {{");
+    let _ = writeln!(json, "    \"messages\": {},", tree.messages);
+    let _ = writeln!(json, "    \"message_len\": {TREE_MSG_LEN},");
+    let _ = writeln!(
+        json,
+        "    \"leaves_per_message\": {},",
+        tree.leaves_per_message
+    );
+    let _ = writeln!(
+        json,
+        "    \"service_mib_per_sec\": {:.2},",
+        tree.service_mibps
+    );
+    let _ = writeln!(
+        json,
+        "    \"direct_mib_per_sec\": {:.2},",
+        tree.direct_mibps
+    );
+    let _ = writeln!(json, "    \"service_vs_direct\": {:.3},", tree.ratio);
+    let _ = writeln!(json, "    \"digest_checks\": {},", tree.digest_checks);
+    let _ = writeln!(
+        json,
+        "    \"mean_batch_fill\": {:.3},",
+        tree.metrics.mean_batch_fill
+    );
+    let _ = writeln!(json, "    \"timeouts\": {},", tree.metrics.timeouts);
+    let _ = writeln!(json, "    \"rejected\": {},", tree.metrics.rejected);
+    let _ = writeln!(json, "    \"native_served\": {},", tree.native_served);
+    let _ = writeln!(json, "    \"simulator_served\": {},", tree.simulator_served);
+    let _ = writeln!(
+        json,
+        "    {}",
+        quantiles_json("e2e_latency", &tree.metrics.e2e_ns)
+    );
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"open_loop\": {{");
     let _ = writeln!(
         json,
@@ -675,6 +883,11 @@ const SCHEMA_KEYS: &[&str] = &[
     "\"mirrored\":",
     "\"mirror_mismatches\":",
     "\"mirroring_overhead\":",
+    "\"tree_loop\":",
+    "\"leaves_per_message\":",
+    "\"service_mib_per_sec\":",
+    "\"direct_mib_per_sec\":",
+    "\"digest_checks\":",
     "\"open_loop\":",
     "\"offered_requests_per_sec\":",
     "\"timeouts\":",
@@ -692,7 +905,12 @@ fn check_schema(json: &str) {
     println!("schema: all {} required keys present", SCHEMA_KEYS.len());
 }
 
-fn assert_healthy(closed: &ClosedLoopResult, native: &NativeLoopResult, open: &OpenLoopResult) {
+fn assert_healthy(
+    closed: &ClosedLoopResult,
+    native: &NativeLoopResult,
+    tree: &TreeLoopResult,
+    open: &OpenLoopResult,
+) {
     assert_eq!(closed.metrics.timeouts, 0, "closed-loop deadline misses");
     assert_eq!(closed.metrics.rejected, 0, "closed-loop rejections");
     assert_eq!(closed.metrics.worker_failures, 0, "closed-loop failures");
@@ -729,6 +947,22 @@ fn assert_healthy(closed: &ClosedLoopResult, native: &NativeLoopResult, open: &O
          (bound {:.0} %) — the simulator tier has gotten too expensive to sample at this rate",
         100.0 * native.mirroring_overhead,
         100.0 * MIRROR_OVERHEAD_BOUND
+    );
+    assert_eq!(tree.metrics.timeouts, 0, "tree-loop deadline misses");
+    assert_eq!(tree.metrics.rejected, 0, "tree-loop rejections");
+    assert_eq!(tree.metrics.worker_failures, 0, "tree-loop failures");
+    assert_eq!(tree.digest_checks, tree.messages, "tree digests unchecked");
+    assert_eq!(
+        tree.simulator_served,
+        tree.messages * (tree.leaves_per_message + 1),
+        "every leaf and root must ride the default simulator tier"
+    );
+    // Per-leaf tickets and the leaf→root barrier cost something over
+    // the fused direct call; the scheduler must still keep most of it.
+    assert!(
+        tree.ratio >= 0.40,
+        "tree loop sustained only {:.1} % of the direct pooled throughput",
+        100.0 * tree.ratio
     );
     assert!(
         native.service_pps >= NATIVE_PERM_FLOOR,

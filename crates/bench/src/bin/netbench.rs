@@ -20,7 +20,13 @@
 //! response frame, and the per-connection
 //! [`krv_testkit::LatencyHistogram`]s are merged for the quantiles.
 //!
-//! After the two disciplines, a **connection sweep** scales the open
+//! A **streaming phase** then sizes the session protocol: 1 MiB →
+//! 1 GiB messages streamed through SHAKE256 wire sessions, the
+//! in-process streaming lane (the no-socket baseline) and KRV
+//! tree-hash wire sessions, with every digest cross-checked and the
+//! small sizes anchored to one-shot references.
+//!
+//! After that, a **connection sweep** scales the open
 //! connection count (10 → 10 000 in the full run) against a sharded
 //! event-loop daemon. The daemon's thread count is fixed at bind time,
 //! so the sweep is the direct test of the multiplexed I/O pool: ten
@@ -48,8 +54,12 @@
 //! Run with: `cargo run --release -p krv-bench --bin netbench`
 
 use krv_server::protocol::{write_frame, DEFAULT_MAX_FRAME};
-use krv_server::{Client, Reply, Request, Response, Server, ServerConfig, WireAlgorithm};
-use krv_service::{HashRequest, Service, ServiceConfig};
+use krv_server::{
+    AlgorithmParams, Client, Reply, Request, Response, Server, ServerConfig, WireAlgorithm,
+};
+use krv_service::{HashRequest, Service, ServiceConfig, StreamRequest};
+use krv_sha3::tree::krv_tree_hash256;
+use krv_sha3::{Shake256, SpongeParams, SpongeState};
 use krv_testkit::{LatencyHistogram, Rng};
 use std::fmt::Write as _;
 use std::io::{Read as _, Write as _};
@@ -66,6 +76,11 @@ const DEADLINE: Duration = Duration::from_millis(500);
 const DEFAULT_SEED: u64 = 0x4E7_0001;
 /// XOR'd into the seed for the open-loop phase.
 const OPEN_LOOP_SALT: u64 = 0x0A11_04D5;
+/// XOR'd into the seed for the streaming phase.
+const STREAM_SALT: u64 = 0x57E4_0001;
+/// Absorb granularity of the streaming phase: 1 MiB per client call
+/// (the client splits each at the wire's `MAX_CHUNK_LEN`).
+const STREAM_CHUNK: usize = 1 << 20;
 
 struct Options {
     smoke: bool,
@@ -179,6 +194,8 @@ fn main() -> std::io::Result<()> {
         open.latency.percentile(0.99) as f64 / 1e6,
     );
 
+    let streaming = run_streaming_phase(&options, service_config);
+
     let sweep_points: &[usize] = if options.smoke {
         &[64, 256]
     } else {
@@ -189,13 +206,13 @@ fn main() -> std::io::Result<()> {
         .map(|&connections| run_sweep_point(&options, connections))
         .collect();
 
-    let json = render_json(&options, service_config, &closed, &open, &sweep);
+    let json = render_json(&options, service_config, &closed, &open, &streaming, &sweep);
     std::fs::write("BENCH_net.json", &json)?;
     println!("wrote BENCH_net.json");
 
     check_schema(&json);
     if options.smoke {
-        assert_healthy(&closed, &open);
+        assert_healthy(&closed, &open, &streaming);
         println!("smoke: healthy (wire overhead within bounds, no failures)");
     }
     Ok(())
@@ -456,7 +473,7 @@ fn run_open_loop(options: &Options, service_config: ServiceConfig, rate: f64) ->
                     krv_server::ErrorCode::Deadline => deadline_misses += 1,
                     _ => transport_failures += 1,
                 },
-                Response::Stats { .. } => transport_failures += 1,
+                _ => transport_failures += 1,
             },
             Err(_) => transport_failures += 1,
         }
@@ -472,6 +489,148 @@ fn run_open_loop(options: &Options, service_config: ServiceConfig, rate: f64) ->
         transport_failures,
         latency,
     }
+}
+
+/// One message size of the streaming phase.
+struct StreamPoint {
+    mib: usize,
+    /// Streamed session over TCP (SHAKE256), MiB absorbed per second.
+    wire_mibps: f64,
+    /// The identical chunks through the in-process streaming lane.
+    direct_mibps: f64,
+    ratio: f64,
+    /// Streamed KRV tree-hash session over TCP: the same bytes, but the
+    /// leaves fan out through `hash_batch` micro-batches.
+    tree_mibps: f64,
+}
+
+/// Streaming sessions vs one-shots, 1 MiB → 1 GiB. Each size streams
+/// the same 1 MiB chunk sequence three ways — a SHAKE256 wire session,
+/// the in-process streaming lane (the no-socket baseline), and a KRV
+/// tree-hash wire session — and cross-checks the digests. The smallest
+/// sizes are additionally anchored to the one-shot reference, so the
+/// phase is also an end-to-end correctness gate.
+fn run_streaming_phase(options: &Options, service_config: ServiceConfig) -> Vec<StreamPoint> {
+    let sizes: &[usize] = if options.smoke {
+        &[1, 4, 16]
+    } else {
+        &[1, 4, 16, 64, 256, 1024]
+    };
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            service: service_config,
+            shards: 1,
+            io_threads: options.io_threads,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind streaming daemon");
+    let service = Service::start(service_config);
+    let mut rng = Rng::new(options.seed ^ STREAM_SALT);
+    let chunk = rng.bytes(STREAM_CHUNK);
+
+    let mut points = Vec::new();
+    for &mib in sizes {
+        // A fresh connection per size: the in-process baseline below
+        // takes minutes at the top sizes, far past the daemon's 30 s
+        // connection idle timeout — exactly how a real client would be
+        // treated, so the bench reconnects rather than idling through.
+        let client = Client::connect(server.local_addr()).expect("connect");
+
+        // Wire session: SHAKE256, 1 MiB per absorb call (split at the
+        // wire chunk cap by the client), squeeze streamed at the end.
+        let started = Instant::now();
+        let session = client
+            .open_session(WireAlgorithm::Shake256, AlgorithmParams::none())
+            .expect("open wire session");
+        for _ in 0..mib {
+            session.absorb(&chunk).expect("absorb");
+        }
+        session.finalize(0).expect("finalize");
+        let wire_digest = session.squeeze(32).expect("squeeze");
+        session.close().expect("close");
+        let wire_elapsed = started.elapsed();
+
+        // Tree session: same bytes, leaves riding hash_batch.
+        let started = Instant::now();
+        let session = client
+            .open_session(WireAlgorithm::TreeHash256, AlgorithmParams::none())
+            .expect("open tree session");
+        for _ in 0..mib {
+            session.absorb(&chunk).expect("absorb");
+        }
+        session.finalize(32).expect("finalize");
+        let tree_digest = session.squeeze(32).expect("squeeze");
+        session.close().expect("close");
+        let tree_elapsed = started.elapsed();
+        drop(client);
+
+        // The no-socket baseline: the identical chunks through the
+        // in-process streaming lane, state carried between micro-batches
+        // exactly as the daemon carries it.
+        let started = Instant::now();
+        let mut state = Box::new(SpongeState::new(SpongeParams::shake(256)));
+        for _ in 0..mib {
+            let done = service
+                .submit_stream(StreamRequest::absorb(state, &chunk[..]))
+                .expect("stream admitted")
+                .wait();
+            state = done.result.expect("absorb completes").state;
+        }
+        let done = service
+            .submit_stream(StreamRequest::finalize(state, Vec::new(), 32))
+            .expect("stream admitted")
+            .wait();
+        let direct_digest = done.result.expect("finalize completes").output;
+        let direct_elapsed = started.elapsed();
+        assert_eq!(
+            wire_digest, direct_digest,
+            "wire and in-process streams disagree at {mib} MiB"
+        );
+
+        // Small sizes double as one-shot ground truth (the larger ones
+        // are transitively anchored: every size shares the same chunks).
+        if mib <= 16 {
+            let full: Vec<u8> = chunk
+                .iter()
+                .copied()
+                .cycle()
+                .take(mib * STREAM_CHUNK)
+                .collect();
+            assert_eq!(
+                wire_digest,
+                Shake256::digest(&full, 32),
+                "streamed SHAKE256 differs from the one-shot at {mib} MiB"
+            );
+            assert_eq!(
+                tree_digest,
+                krv_tree_hash256(&full, 32, b""),
+                "streamed tree-hash differs from the one-shot at {mib} MiB"
+            );
+        }
+
+        let point = StreamPoint {
+            mib,
+            wire_mibps: mib as f64 / wire_elapsed.as_secs_f64(),
+            direct_mibps: mib as f64 / direct_elapsed.as_secs_f64(),
+            ratio: direct_elapsed.as_secs_f64() / wire_elapsed.as_secs_f64(),
+            tree_mibps: mib as f64 / tree_elapsed.as_secs_f64(),
+        };
+        println!(
+            "streaming {:>5} MiB: wire {:.1} MiB/s vs direct {:.1} MiB/s ({:.1} %), \
+             tree {:.1} MiB/s",
+            point.mib,
+            point.wire_mibps,
+            point.direct_mibps,
+            100.0 * point.ratio,
+            point.tree_mibps,
+        );
+        points.push(point);
+    }
+    server.shutdown();
+    service.shutdown();
+    points
 }
 
 /// One point of the connection sweep.
@@ -728,6 +887,7 @@ impl DriveConn {
             algorithm: WireAlgorithm::Shake128,
             output_len: OUTPUT_LEN,
             deadline: None,
+            params: krv_server::AlgorithmParams::none(),
             payload: message,
         }
         .encode();
@@ -819,7 +979,7 @@ impl DriveConn {
                     self.retried += 1;
                     self.fresh_submitted -= 1;
                 }
-                Response::Stats { .. } => panic!("unsolicited STATS response"),
+                other => panic!("unsolicited response: {other:?}"),
             }
         }
         self.read_buf.drain(..at);
@@ -919,6 +1079,7 @@ fn render_json(
     config: ServiceConfig,
     closed: &ClosedLoopResult,
     open: &OpenLoopResult,
+    streaming: &[StreamPoint],
     sweep: &[SweepPoint],
 ) -> String {
     let mut json = String::from("{\n");
@@ -972,6 +1133,21 @@ fn render_json(
     );
     let _ = writeln!(json, "    {}", histogram_json("e2e_latency", &open.latency));
     let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"streaming\": [");
+    for (i, point) in streaming.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{ \"mib\": {}, \"wire_mib_per_sec\": {:.2}, \"direct_mib_per_sec\": {:.2}, \
+             \"wire_vs_direct\": {:.3}, \"tree_mib_per_sec\": {:.2} }}{}",
+            point.mib,
+            point.wire_mibps,
+            point.direct_mibps,
+            point.ratio,
+            point.tree_mibps,
+            if i + 1 == streaming.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"connection_sweep\": [");
     for (i, point) in sweep.iter().enumerate() {
         let shard_list = point
@@ -1035,6 +1211,11 @@ const SCHEMA_KEYS: &[&str] = &[
     "\"transport_failures\":",
     "\"io_threads\":",
     "\"shards\":",
+    "\"streaming\":",
+    "\"wire_mib_per_sec\":",
+    "\"direct_mib_per_sec\":",
+    "\"wire_vs_direct\":",
+    "\"tree_mib_per_sec\":",
     "\"connection_sweep\":",
     "\"requests_per_sec\":",
     "\"server_threads\":",
@@ -1053,7 +1234,7 @@ fn check_schema(json: &str) {
     println!("schema: all {} required keys present", SCHEMA_KEYS.len());
 }
 
-fn assert_healthy(closed: &ClosedLoopResult, open: &OpenLoopResult) {
+fn assert_healthy(closed: &ClosedLoopResult, open: &OpenLoopResult, streaming: &[StreamPoint]) {
     assert_eq!(
         closed.latency.count(),
         closed.requests,
@@ -1065,4 +1246,15 @@ fn assert_healthy(closed: &ClosedLoopResult, open: &OpenLoopResult) {
         "loopback daemon sustained only {:.1} % of the in-process service throughput",
         100.0 * closed.ratio
     );
+    // Streaming digests are hard-asserted inside the phase; here only
+    // the overhead bound: a 1 MiB-chunked wire session must hold a
+    // decent fraction of the in-process streaming lane on loopback.
+    for point in streaming {
+        assert!(
+            point.ratio >= 0.40,
+            "streamed session at {} MiB sustained only {:.1} % of the in-process lane",
+            point.mib,
+            100.0 * point.ratio
+        );
+    }
 }

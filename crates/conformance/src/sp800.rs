@@ -1,0 +1,617 @@
+//! SP 800-185 known-answer tests: cSHAKE, KMAC, TupleHash,
+//! ParallelHash and the KRV tree-hash over every backend tier.
+//!
+//! Anchoring is two-layered: one official NIST SP 800-185 sample per
+//! family pins the construction to external ground truth, and a set of
+//! deterministic pattern-message vectors — generated once from the
+//! scalar reference implementation and embedded as hex — pins every
+//! other backend (and every future change) to that anchored reference.
+//!
+//! Each flat vector is checked through two paths per backend: the
+//! incremental sponge path absorbing the SP 800-185 framing exactly as
+//! a streamed wire session would (prefix, entry framing, output-length
+//! suffix), and the scheduled [`hash_batch`] path over the same framed
+//! message. Tree vectors run [`TreeMode::digest`], whose leaves ride
+//! `hash_batch` on the backend under test.
+
+use crate::kat::{KatMessage, KatOutcome};
+use krv_core::BackendKind;
+use krv_sha3::sp800_185::{
+    cshake_params, cshake_stream_prefix, kmac_stream_prefix, output_length_suffix,
+    tuple_entry_prefix,
+};
+use krv_sha3::tree::TreeMode;
+use krv_sha3::{hash_batch, hex, BatchRequest, PermutationBackend, Sponge, SpongeParams};
+use krv_testkit::CaseReport;
+
+/// The SP 800-185 derived functions plus the KRV tree-hash, as data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DerivedAlgorithm {
+    /// cSHAKE128 (§3).
+    CShake128,
+    /// cSHAKE256 (§3).
+    CShake256,
+    /// KMAC128 (§4).
+    Kmac128,
+    /// KMAC256 (§4).
+    Kmac256,
+    /// TupleHash128 (§5).
+    TupleHash128,
+    /// TupleHash256 (§5).
+    TupleHash256,
+    /// ParallelHash128 (§6).
+    ParallelHash128,
+    /// ParallelHash256 (§6).
+    ParallelHash256,
+    /// The KRV tree-hash (ParallelHash-shaped, B = 4096, 32-byte
+    /// SHAKE256 leaves).
+    KrvTree256,
+}
+
+impl DerivedAlgorithm {
+    /// Every derived function, in SP 800-185 presentation order.
+    pub const ALL: [DerivedAlgorithm; 9] = [
+        DerivedAlgorithm::CShake128,
+        DerivedAlgorithm::CShake256,
+        DerivedAlgorithm::Kmac128,
+        DerivedAlgorithm::Kmac256,
+        DerivedAlgorithm::TupleHash128,
+        DerivedAlgorithm::TupleHash256,
+        DerivedAlgorithm::ParallelHash128,
+        DerivedAlgorithm::ParallelHash256,
+        DerivedAlgorithm::KrvTree256,
+    ];
+
+    /// The function's display name (matching the wire protocol's).
+    pub const fn name(self) -> &'static str {
+        match self {
+            DerivedAlgorithm::CShake128 => "cSHAKE128",
+            DerivedAlgorithm::CShake256 => "cSHAKE256",
+            DerivedAlgorithm::Kmac128 => "KMAC128",
+            DerivedAlgorithm::Kmac256 => "KMAC256",
+            DerivedAlgorithm::TupleHash128 => "TupleHash128",
+            DerivedAlgorithm::TupleHash256 => "TupleHash256",
+            DerivedAlgorithm::ParallelHash128 => "ParallelHash128",
+            DerivedAlgorithm::ParallelHash256 => "ParallelHash256",
+            DerivedAlgorithm::KrvTree256 => "KRV-TreeHash256",
+        }
+    }
+
+    /// The security level in bits.
+    pub const fn security_bits(self) -> usize {
+        match self {
+            DerivedAlgorithm::CShake128
+            | DerivedAlgorithm::Kmac128
+            | DerivedAlgorithm::TupleHash128
+            | DerivedAlgorithm::ParallelHash128 => 128,
+            _ => 256,
+        }
+    }
+
+    /// Whether the function is served as a chunked tree.
+    pub const fn is_tree(self) -> bool {
+        matches!(
+            self,
+            DerivedAlgorithm::ParallelHash128
+                | DerivedAlgorithm::ParallelHash256
+                | DerivedAlgorithm::KrvTree256
+        )
+    }
+}
+
+/// One SP 800-185 known-answer vector. Unused fields are empty/zero.
+#[derive(Debug, Clone, Copy)]
+pub struct DerivedVector {
+    /// Which function the vector targets.
+    pub algorithm: DerivedAlgorithm,
+    /// The KMAC key `K`.
+    pub key: &'static [u8],
+    /// The cSHAKE function name `N`.
+    pub name: &'static [u8],
+    /// The customization string `S`.
+    pub customization: &'static [u8],
+    /// The ParallelHash block size `B` (trees only; the KRV tree-hash
+    /// fixes it at 4096).
+    pub block_size: usize,
+    /// The input message.
+    pub message: KatMessage,
+    /// TupleHash entry lengths (must sum to the message length); the
+    /// message is split into entries at these boundaries.
+    pub tuple_splits: &'static [usize],
+    /// Output bytes to squeeze.
+    pub output_len: usize,
+    /// Expected output, lowercase hex.
+    pub digest_hex: &'static str,
+}
+
+/// NIST KMAC sample key: the bytes `0x40..=0x5F`.
+const NIST_KMAC_KEY: [u8; 32] = [
+    0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48, 0x49, 0x4A, 0x4B, 0x4C, 0x4D, 0x4E, 0x4F,
+    0x50, 0x51, 0x52, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59, 0x5A, 0x5B, 0x5C, 0x5D, 0x5E, 0x5F,
+];
+
+/// NIST sample data `00 01 02 03`.
+const NIST_SHORT_DATA: [u8; 4] = [0x00, 0x01, 0x02, 0x03];
+
+/// NIST TupleHash sample tuple, concatenated (`000102`, `101112131415`).
+const NIST_TUPLE_DATA: [u8; 9] = [0x00, 0x01, 0x02, 0x10, 0x11, 0x12, 0x13, 0x14, 0x15];
+
+/// NIST ParallelHash sample message: `00–07, 10–17, 20–27`.
+const NIST_PARALLEL_DATA: [u8; 24] = [
+    0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x10, 0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17,
+    0x20, 0x21, 0x22, 0x23, 0x24, 0x25, 0x26, 0x27,
+];
+
+const EMPTY: &[u8] = b"";
+
+macro_rules! vector {
+    ($alg:ident, $msg:expr, $len:expr, $hex:expr
+     $(, key: $key:expr)? $(, name: $name:expr)? $(, custom: $custom:expr)?
+     $(, block: $block:expr)? $(, splits: $splits:expr)?) => {{
+        #[allow(unused_mut, unused_assignments)]
+        {
+            let mut key: &'static [u8] = EMPTY;
+            let mut name: &'static [u8] = EMPTY;
+            let mut customization: &'static [u8] = EMPTY;
+            let mut block_size = 0usize;
+            let mut tuple_splits: &'static [usize] = &[];
+            $(key = $key;)?
+            $(name = $name;)?
+            $(customization = $custom;)?
+            $(block_size = $block;)?
+            $(tuple_splits = $splits;)?
+            DerivedVector {
+                algorithm: DerivedAlgorithm::$alg,
+                key,
+                name,
+                customization,
+                block_size,
+                message: $msg,
+                tuple_splits,
+                output_len: $len,
+                digest_hex: $hex,
+            }
+        }
+    }};
+}
+
+/// The embedded SP 800-185 vector set: one official NIST sample per
+/// family (`nist-sample` in the comment) plus reference-pinned pattern
+/// vectors covering empty messages, rate boundaries, multi-block
+/// messages and both security levels.
+pub const VECTORS: &[DerivedVector] = &[
+    // cSHAKE128 — NIST SP 800-185 sample #1.
+    vector!(
+        CShake128,
+        KatMessage::Literal(&NIST_SHORT_DATA),
+        32,
+        "c1c36925b6409a04f1b504fcbca9d82b4017277cb5ed2b2065fc1d3814d5aaf5",
+        custom: b"Email Signature"
+    ),
+    vector!(
+        CShake128,
+        KatMessage::Pattern(0),
+        32,
+        "7d9a384cde5d95cbf3cf093f322de5aa946337784fab91c290547aad9557cf93",
+        name: b"KRV",
+        custom: b"conformance"
+    ),
+    vector!(
+        CShake128,
+        KatMessage::Pattern(337),
+        64,
+        "6ea350760cef2f09eb79d0c5a4dd6c449cc175e6a8f3bd4377ff29193469df942246928b85294b07d0effa0e63e54e941d7b2859422d58627cf6793960b0122a",
+        name: b"KRV",
+        custom: b"conformance"
+    ),
+    // cSHAKE256.
+    vector!(
+        CShake256,
+        KatMessage::Pattern(3),
+        32,
+        "a4c3c48bce3fa482c127b51e62ddf35a155253b8513acee0d9ae67651d18b988",
+        name: b"KRV",
+        custom: b"conformance"
+    ),
+    vector!(
+        CShake256,
+        KatMessage::Pattern(136),
+        64,
+        "8e442fdf58157778805b6ebd95890c070d9804ee18d4c3e2c6c72eff0402db16a696e0dd846c7e212d12164d4b27eccd2db845378c33b50c1728a2bb03f8edb8",
+        name: b"KRV"
+    ),
+    vector!(
+        CShake256,
+        KatMessage::Pattern(500),
+        32,
+        "f6f569ba6ea46104956818e5536d27df268af67ec6d728cda49ec7e96738f4a9",
+        custom: b"stream"
+    ),
+    // KMAC128 — NIST SP 800-185 sample #1.
+    vector!(
+        Kmac128,
+        KatMessage::Literal(&NIST_SHORT_DATA),
+        32,
+        "e5780b0d3ea6f7d3a429c5706aa43a00fadbd7d49628839e3187243f456ee14e",
+        key: &NIST_KMAC_KEY
+    ),
+    vector!(
+        Kmac128,
+        KatMessage::Pattern(200),
+        32,
+        "729c19b4922349534b2e0f76f0ab814eae7176fe6de3709e835d48713cb8d485",
+        key: b"krv kmac key",
+        custom: b"ctx"
+    ),
+    // KMAC256.
+    vector!(
+        Kmac256,
+        KatMessage::Pattern(0),
+        64,
+        "cc508ff266ba554866adc16c7058d23a65cfeab0925665cac224a49d21e25a9d7e0fa66b180b94096aed093fa47c824c26faf13a302d74c586e9d22072453a72",
+        key: b"krv kmac key"
+    ),
+    vector!(
+        Kmac256,
+        KatMessage::Pattern(337),
+        32,
+        "c25b5cda0f67c929b0c9c9b47f5b4ca349eb412ce48b8263f9bace9c0e01d611",
+        key: b"another key 1234",
+        custom: b"ctx"
+    ),
+    // TupleHash128 — NIST SP 800-185 sample #1.
+    vector!(
+        TupleHash128,
+        KatMessage::Literal(&NIST_TUPLE_DATA),
+        32,
+        "c5d8786c1afb9b82111ab34b65b2c0048fa64e6d48e263264ce1707d3ffc8ed1",
+        splits: &[3, 6]
+    ),
+    vector!(
+        TupleHash128,
+        KatMessage::Pattern(100),
+        32,
+        "af17fe96447b818b05013cc51865b341f000e3e568ecc35cf716e556f3a31431",
+        custom: b"tuple",
+        splits: &[0, 50, 50]
+    ),
+    // TupleHash256.
+    vector!(
+        TupleHash256,
+        KatMessage::Pattern(64),
+        64,
+        "f7bbc9fd927444a2195862475da578d8516a3f51a038cc1860c2cd81792ef5e524786743a7d1b47ad09e0867c2eee10adc7ebc0a64199d007266527900e2824f",
+        splits: &[64]
+    ),
+    vector!(
+        TupleHash256,
+        KatMessage::Pattern(200),
+        32,
+        "c3f78626938039ef23ba6be797932d534b44cfd03830393b349738e16e7d3a55",
+        custom: b"ctx",
+        splits: &[1, 2, 197]
+    ),
+    // ParallelHash128 — NIST SP 800-185 sample #1.
+    vector!(
+        ParallelHash128,
+        KatMessage::Literal(&NIST_PARALLEL_DATA),
+        32,
+        "ba8dc1d1d979331d3f813603c67f72609ab5e44b94a0b8f9af46514454a2b4f5",
+        block: 8
+    ),
+    vector!(
+        ParallelHash128,
+        KatMessage::Pattern(1000),
+        32,
+        "b2dbedc3ccc6bd709b4075d605bb7701abe5b0eea357bdf98a393b12750e6232",
+        custom: b"par",
+        block: 64
+    ),
+    // ParallelHash256.
+    vector!(
+        ParallelHash256,
+        KatMessage::Pattern(0),
+        64,
+        "de133e3e881658ea15037a8ffb005193fc07611a1699a4a7c6e9c53d3972df0f638bc1a6bf539885198f272a08d22301daa19b4bbcb349dee45e934358c995ea",
+        block: 128
+    ),
+    vector!(
+        ParallelHash256,
+        KatMessage::Pattern(5000),
+        32,
+        "bebb578a2c592e298e0db735faf3b5937dbf1dcd0ff3a846ec62283dcfdaeb12",
+        custom: b"ctx",
+        block: 512
+    ),
+    // KRV tree-hash (B fixed at 4096, 32-byte SHAKE256 leaves).
+    vector!(
+        KrvTree256,
+        KatMessage::Pattern(0),
+        32,
+        "7c2755977ef7ed8aeb47655786cc5c30206360340454128cbabfd522d944efaf"
+    ),
+    vector!(
+        KrvTree256,
+        KatMessage::Pattern(4096),
+        64,
+        "951bb16e69ac2f20f3ee610fd8f0b088d68aa4e3fdcebd5fac090ccd8f96982dfd1a55e1345453094d6880778a27b8e2daed5a9fa7113c837bf804a6a2e13315",
+        custom: b"tree"
+    ),
+    vector!(
+        KrvTree256,
+        KatMessage::Pattern(10000),
+        32,
+        "c1f5377d21d65858f2d76ef7251c4577ac910fd68791434bc40e7943518760cd"
+    ),
+];
+
+/// The sponge parameters a flat vector's framed message hashes under.
+fn flat_params(vector: &DerivedVector) -> SpongeParams {
+    let bits = vector.algorithm.security_bits();
+    match vector.algorithm {
+        DerivedAlgorithm::CShake128 | DerivedAlgorithm::CShake256 => {
+            cshake_params(bits, vector.name, vector.customization)
+        }
+        DerivedAlgorithm::Kmac128 | DerivedAlgorithm::Kmac256 => {
+            cshake_params(bits, b"KMAC", vector.customization)
+        }
+        DerivedAlgorithm::TupleHash128 | DerivedAlgorithm::TupleHash256 => {
+            cshake_params(bits, b"TupleHash", vector.customization)
+        }
+        _ => unreachable!("tree vectors do not hash flat"),
+    }
+}
+
+/// The fully framed flat message: SP 800-185 prefix, the (entry-framed)
+/// payload, and the output-length suffix — byte-identical to what a
+/// streamed wire session absorbs.
+fn flat_message(vector: &DerivedVector) -> Vec<u8> {
+    let bits = vector.algorithm.security_bits();
+    let payload = vector.message.bytes();
+    let mut message = match vector.algorithm {
+        DerivedAlgorithm::CShake128 | DerivedAlgorithm::CShake256 => {
+            cshake_stream_prefix(bits, vector.name, vector.customization)
+        }
+        DerivedAlgorithm::Kmac128 | DerivedAlgorithm::Kmac256 => {
+            kmac_stream_prefix(bits, vector.key, vector.customization)
+        }
+        DerivedAlgorithm::TupleHash128 | DerivedAlgorithm::TupleHash256 => {
+            cshake_stream_prefix(bits, b"TupleHash", vector.customization)
+        }
+        _ => unreachable!("tree vectors do not hash flat"),
+    };
+    match vector.algorithm {
+        DerivedAlgorithm::TupleHash128 | DerivedAlgorithm::TupleHash256 => {
+            let mut at = 0;
+            for &len in vector.tuple_splits {
+                message.extend_from_slice(&tuple_entry_prefix(len));
+                message.extend_from_slice(&payload[at..at + len]);
+                at += len;
+            }
+            assert_eq!(at, payload.len(), "tuple splits must cover the message");
+            message.extend_from_slice(&output_length_suffix(vector.output_len));
+        }
+        DerivedAlgorithm::Kmac128 | DerivedAlgorithm::Kmac256 => {
+            message.extend_from_slice(&payload);
+            message.extend_from_slice(&output_length_suffix(vector.output_len));
+        }
+        _ => message.extend_from_slice(&payload),
+    }
+    message
+}
+
+/// The tree mode a tree vector hashes under.
+fn tree_mode(vector: &DerivedVector) -> TreeMode {
+    match vector.algorithm {
+        DerivedAlgorithm::ParallelHash128 | DerivedAlgorithm::ParallelHash256 => {
+            TreeMode::parallel_hash(vector.algorithm.security_bits(), vector.block_size)
+        }
+        DerivedAlgorithm::KrvTree256 => TreeMode::krv_tree256(),
+        _ => unreachable!("flat vectors have no tree mode"),
+    }
+}
+
+/// Computes a vector on `backend`, through `path`:
+/// `"digest"` is the incremental sponge (or [`TreeMode::digest`]),
+/// `"batch"` the scheduled [`hash_batch`] over the framed message (for
+/// trees the two coincide — the leaves already ride `hash_batch`).
+fn compute(vector: &DerivedVector, backend: &mut dyn PermutationBackend, batch: bool) -> Vec<u8> {
+    if vector.algorithm.is_tree() {
+        return tree_mode(vector).digest(
+            backend,
+            &vector.message.bytes(),
+            vector.customization,
+            vector.output_len,
+        );
+    }
+    let message = flat_message(vector);
+    let params = flat_params(vector);
+    if batch {
+        hash_batch(
+            params,
+            backend,
+            &[BatchRequest::new(&message, vector.output_len)],
+        )
+        .pop()
+        .expect("one request, one output")
+    } else {
+        let mut sponge = Sponge::new(params, backend);
+        sponge.absorb(&message);
+        sponge.squeeze(vector.output_len)
+    }
+}
+
+/// Runs every vector of one derived function on one backend.
+pub fn run_derived_suite(kind: &BackendKind, algorithm: DerivedAlgorithm) -> KatOutcome {
+    let mut backend = kind.instantiate(crate::kat::backend_states(kind));
+    let mut failures = Vec::new();
+    let mut cases = 0;
+    for vector in VECTORS.iter().filter(|v| v.algorithm == algorithm) {
+        let paths: &[bool] = if algorithm.is_tree() {
+            &[false]
+        } else {
+            &[false, true]
+        };
+        for &batch in paths {
+            let got = compute(vector, backend.as_mut(), batch);
+            cases += 1;
+            if hex(&got) != vector.digest_hex {
+                failures.push(CaseReport::new(
+                    format!(
+                        "sp800/{}/{}",
+                        algorithm.name(),
+                        if batch { "batch" } else { "digest" }
+                    ),
+                    vector.message.len() as u64,
+                    format!(
+                        "message len {} → {} != expected {}",
+                        vector.message.len(),
+                        hex(&got),
+                        vector.digest_hex
+                    ),
+                ));
+            }
+        }
+    }
+    KatOutcome {
+        backend: kind.label(),
+        algorithm: algorithm.name(),
+        cases,
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krv_sha3::sp800_185::{
+        kmac128, kmac256, tuple_hash128, tuple_hash256, CShake128, CShake256,
+    };
+    use krv_sha3::tree::{krv_tree_hash256, parallel_hash128, parallel_hash256};
+    use krv_sha3::ReferenceBackend;
+
+    /// The scalar one-shot the vector set was generated from.
+    fn oneshot(vector: &DerivedVector) -> Vec<u8> {
+        let payload = vector.message.bytes();
+        let entries: Vec<&[u8]> = {
+            let mut at = 0;
+            vector
+                .tuple_splits
+                .iter()
+                .map(|&len| {
+                    let entry = &payload[at..at + len];
+                    at += len;
+                    entry
+                })
+                .collect()
+        };
+        match vector.algorithm {
+            DerivedAlgorithm::CShake128 => CShake128::digest(
+                vector.name,
+                vector.customization,
+                &payload,
+                vector.output_len,
+            ),
+            DerivedAlgorithm::CShake256 => CShake256::digest(
+                vector.name,
+                vector.customization,
+                &payload,
+                vector.output_len,
+            ),
+            DerivedAlgorithm::Kmac128 => kmac128(
+                vector.key,
+                &payload,
+                vector.output_len,
+                vector.customization,
+            ),
+            DerivedAlgorithm::Kmac256 => kmac256(
+                vector.key,
+                &payload,
+                vector.output_len,
+                vector.customization,
+            ),
+            DerivedAlgorithm::TupleHash128 => {
+                tuple_hash128(&entries, vector.output_len, vector.customization)
+            }
+            DerivedAlgorithm::TupleHash256 => {
+                tuple_hash256(&entries, vector.output_len, vector.customization)
+            }
+            DerivedAlgorithm::ParallelHash128 => parallel_hash128(
+                &payload,
+                vector.block_size,
+                vector.output_len,
+                vector.customization,
+            ),
+            DerivedAlgorithm::ParallelHash256 => parallel_hash256(
+                &payload,
+                vector.block_size,
+                vector.output_len,
+                vector.customization,
+            ),
+            DerivedAlgorithm::KrvTree256 => {
+                krv_tree_hash256(&payload, vector.output_len, vector.customization)
+            }
+        }
+    }
+
+    #[test]
+    fn embedded_hex_matches_the_reference_oneshots() {
+        // Regenerate every expected digest from the scalar reference:
+        // a mismatch means either the vector table or the reference
+        // drifted. (The NIST samples anchor the reference itself.)
+        for vector in VECTORS {
+            assert_eq!(
+                hex(&oneshot(vector)),
+                vector.digest_hex,
+                "{} vector, message len {}",
+                vector.algorithm.name(),
+                vector.message.len()
+            );
+        }
+    }
+
+    #[test]
+    fn framed_flat_path_matches_the_oneshots() {
+        // The streamed-framing identity: prefix ‖ framed payload ‖
+        // suffix through a plain sponge equals the one-shot for every
+        // flat vector.
+        for vector in VECTORS.iter().filter(|v| !v.algorithm.is_tree()) {
+            let mut backend = ReferenceBackend::new();
+            let got = compute(vector, &mut backend, false);
+            assert_eq!(
+                got,
+                oneshot(vector),
+                "{} framed flat path",
+                vector.algorithm.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_algorithm_has_vectors_and_passes_on_the_reference() {
+        for algorithm in DerivedAlgorithm::ALL {
+            let outcome = run_derived_suite(&BackendKind::Reference, algorithm);
+            assert!(outcome.cases >= 2, "{} has vectors", algorithm.name());
+            assert!(
+                outcome.passed(),
+                "{}: {:?}",
+                algorithm.name(),
+                outcome.failures
+            );
+        }
+    }
+
+    #[test]
+    #[ignore = "generator: prints reference digests for new vectors"]
+    fn print_generated_hex() {
+        for vector in VECTORS {
+            println!(
+                "{} len={} L={} → {}",
+                vector.algorithm.name(),
+                vector.message.len(),
+                vector.output_len,
+                hex(&oneshot(vector))
+            );
+        }
+    }
+}

@@ -10,16 +10,23 @@
 //! even when [`PendingReply::wait`] is called much later.
 
 use crate::protocol::{
-    read_frame, write_frame, ErrorCode, ProtocolError, Request, Response, WireAlgorithm,
-    DEFAULT_MAX_FRAME,
+    read_frame, write_frame, AlgorithmParams, ErrorCode, ProtocolError, Request, Response,
+    WireAlgorithm, DEFAULT_MAX_FRAME, MAX_CHUNK_LEN, MAX_OUTPUT_LEN,
 };
 use krv_service::MetricsSnapshot;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufWriter, Write};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Most un-acked ABSORB frames [`StreamingSession::absorb`] keeps in
+/// flight. Below the server's default 128-request window, so a
+/// cooperating client never draws `BUSY`, while still pipelining deeply
+/// enough to keep the link and the service full.
+const ABSORB_WINDOW: usize = 64;
 
 /// An error response from the server, as the caller sees it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -158,7 +165,7 @@ impl PendingReply {
             Response::Error { code, detail, .. } => {
                 Err(ClientError::Remote(RemoteError { code, detail }))
             }
-            Response::Stats { .. } => Err(ClientError::UnexpectedResponse),
+            _ => Err(ClientError::UnexpectedResponse),
         }
     }
 }
@@ -180,6 +187,7 @@ pub struct Client {
     shared: Arc<SharedState>,
     reader: Option<JoinHandle<()>>,
     stream: TcpStream,
+    next_session: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -220,6 +228,7 @@ impl Client {
             shared,
             reader: Some(reader),
             stream,
+            next_session: AtomicU64::new(1),
         })
     }
 
@@ -235,11 +244,36 @@ impl Client {
         output_len: usize,
         deadline: Option<Duration>,
     ) -> Result<PendingReply, ClientError> {
+        self.submit_with(
+            algorithm,
+            AlgorithmParams::none(),
+            message,
+            output_len,
+            deadline,
+        )
+    }
+
+    /// [`Self::submit`] with an SP 800-185 parameter block (function
+    /// name, key, customization, block size — whatever the algorithm
+    /// takes).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors writing the frame.
+    pub fn submit_with(
+        &self,
+        algorithm: WireAlgorithm,
+        params: AlgorithmParams,
+        message: &[u8],
+        output_len: usize,
+        deadline: Option<Duration>,
+    ) -> Result<PendingReply, ClientError> {
         let request = |id| Request::Hash {
             id,
             algorithm,
             output_len,
             deadline,
+            params,
             payload: message.to_vec(),
         };
         self.send(request)
@@ -305,6 +339,23 @@ impl Client {
             .wait_digest()
     }
 
+    /// One blocking parameterized hash — the SP 800-185 one-shot.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Self::submit_with`] and
+    /// [`PendingReply::wait_digest`] can fail with.
+    pub fn hash_with(
+        &self,
+        algorithm: WireAlgorithm,
+        params: AlgorithmParams,
+        message: &[u8],
+        output_len: usize,
+    ) -> Result<Vec<u8>, ClientError> {
+        self.submit_with(algorithm, params, message, output_len, None)?
+            .wait_digest()
+    }
+
     /// One blocking digest at the algorithm's natural output length (the
     /// fixed digest length, or 32 bytes for the XOFs).
     ///
@@ -328,8 +379,186 @@ impl Client {
             Response::Error { code, detail, .. } => {
                 Err(ClientError::Remote(RemoteError { code, detail }))
             }
-            Response::Digest { .. } => Err(ClientError::UnexpectedResponse),
+            _ => Err(ClientError::UnexpectedResponse),
         }
+    }
+
+    /// Opens a streaming session: `OPEN` now, then `ABSORB`/`FINALIZE`/
+    /// `SQUEEZE`/`CLOSE` through the returned handle. The session id is
+    /// client-assigned and unique per connection.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, the server's `SESSION_LIMIT` refusal, and
+    /// [`ClientError::UnexpectedResponse`] for a non-ack reply.
+    pub fn open_session(
+        &self,
+        algorithm: WireAlgorithm,
+        params: AlgorithmParams,
+    ) -> Result<StreamingSession<'_>, ClientError> {
+        let session = self.next_session.fetch_add(1, Ordering::Relaxed);
+        let pending = self.send(|id| Request::Open {
+            id,
+            session,
+            algorithm,
+            params,
+        })?;
+        expect_ack(pending)?;
+        Ok(StreamingSession {
+            client: self,
+            session,
+        })
+    }
+}
+
+/// Waits for a session ack (`OPENED`/`ABSORBED`/`FINALIZED`/`CLOSED`),
+/// surfacing server errors.
+fn expect_ack(pending: PendingReply) -> Result<(), ClientError> {
+    match pending.wait()?.response {
+        Response::Opened { .. }
+        | Response::Absorbed { .. }
+        | Response::Finalized { .. }
+        | Response::Closed { .. } => Ok(()),
+        Response::Error { code, detail, .. } => {
+            Err(ClientError::Remote(RemoteError { code, detail }))
+        }
+        _ => Err(ClientError::UnexpectedResponse),
+    }
+}
+
+/// One open streaming session: absorb any number of chunks, finalize,
+/// squeeze, close — the message never exists whole on either end.
+///
+/// [`Self::absorb`] splits its input at the protocol's
+/// [`MAX_CHUNK_LEN`] and pipelines the chunks (`ABSORB_WINDOW` acks
+/// outstanding), so arbitrarily large messages stream through bounded
+/// client memory; [`Self::squeeze`] likewise splits at
+/// [`MAX_OUTPUT_LEN`]. Dropping the handle without [`Self::close`]
+/// leaves the session to the server's idle reaper.
+///
+/// # Example
+///
+/// ```no_run
+/// use krv_server::{AlgorithmParams, Client, WireAlgorithm};
+///
+/// let client = Client::connect("127.0.0.1:4117").unwrap();
+/// let session = client
+///     .open_session(WireAlgorithm::Shake256, AlgorithmParams::none())
+///     .unwrap();
+/// session.absorb(b"streamed in ").unwrap();
+/// session.absorb(b"two chunks").unwrap();
+/// session.finalize(0).unwrap();
+/// let digest = session.squeeze(64).unwrap();
+/// session.close().unwrap();
+/// assert_eq!(digest.len(), 64);
+/// ```
+#[derive(Debug)]
+pub struct StreamingSession<'a> {
+    client: &'a Client,
+    session: u64,
+}
+
+impl StreamingSession<'_> {
+    /// The wire session id.
+    pub fn id(&self) -> u64 {
+        self.session
+    }
+
+    /// Submits one `ABSORB` frame without waiting for its ack — the
+    /// streaming pipelining primitive.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::OversizedChunk`] (client-side, nothing is sent)
+    /// if the chunk exceeds [`MAX_CHUNK_LEN`], plus transport errors.
+    pub fn submit_absorb(&self, chunk: &[u8]) -> Result<PendingReply, ClientError> {
+        if chunk.len() > MAX_CHUNK_LEN {
+            return Err(ClientError::Protocol(ProtocolError::OversizedChunk {
+                len: chunk.len(),
+            }));
+        }
+        let session = self.session;
+        let chunk = chunk.to_vec();
+        self.client
+            .send(move |id| Request::Absorb { id, session, chunk })
+    }
+
+    /// Absorbs `data`, splitting it at [`MAX_CHUNK_LEN`] and keeping up
+    /// to `ABSORB_WINDOW` (64) chunk acks in flight. For TupleHash
+    /// sessions each call is one tuple entry, so `data` must fit a
+    /// single chunk.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, and the server's error reply if the session
+    /// has failed.
+    pub fn absorb(&self, data: &[u8]) -> Result<(), ClientError> {
+        let mut pending: VecDeque<PendingReply> = VecDeque::new();
+        for chunk in data.chunks(MAX_CHUNK_LEN) {
+            pending.push_back(self.submit_absorb(chunk)?);
+            if pending.len() >= ABSORB_WINDOW {
+                expect_ack(pending.pop_front().expect("window is non-empty"))?;
+            }
+        }
+        for ack in pending {
+            expect_ack(ack)?;
+        }
+        Ok(())
+    }
+
+    /// Finalizes the message, declaring the total output length
+    /// (`0` = unbounded XOF squeezing, where the algorithm allows it).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors and server error replies.
+    pub fn finalize(&self, output_len: usize) -> Result<(), ClientError> {
+        let session = self.session;
+        expect_ack(self.client.send(|id| Request::Finalize {
+            id,
+            session,
+            output_len,
+        })?)
+    }
+
+    /// Squeezes `len` output bytes, splitting the request at
+    /// [`MAX_OUTPUT_LEN`]. Sequential calls continue the output stream.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, server error replies, and
+    /// [`ClientError::UnexpectedResponse`] for a non-`SQUEEZED` reply.
+    pub fn squeeze(&self, len: usize) -> Result<Vec<u8>, ClientError> {
+        let mut out = Vec::with_capacity(len);
+        let mut remaining = len;
+        while remaining > 0 {
+            let take = remaining.min(MAX_OUTPUT_LEN);
+            let session = self.session;
+            let pending = self.client.send(|id| Request::Squeeze {
+                id,
+                session,
+                len: take,
+            })?;
+            match pending.wait()?.response {
+                Response::Squeezed { bytes, .. } => out.extend_from_slice(&bytes),
+                Response::Error { code, detail, .. } => {
+                    return Err(ClientError::Remote(RemoteError { code, detail }))
+                }
+                _ => return Err(ClientError::UnexpectedResponse),
+            }
+            remaining -= take;
+        }
+        Ok(out)
+    }
+
+    /// Closes the session, freeing its id on the server.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors and server error replies.
+    pub fn close(self) -> Result<(), ClientError> {
+        let session = self.session;
+        expect_ack(self.client.send(|id| Request::Close { id, session })?)
     }
 }
 

@@ -23,8 +23,10 @@
 //! (no bytes received for the idle timeout) end a connection the same
 //! graceful way.
 
+use crate::plan::{self, ServePlan};
 use crate::poll::IoCtx;
 use crate::protocol::{ErrorCode, Request, Response};
+use crate::session::{ConnIo, SessionEvent, SessionTable, Violation};
 use krv_service::{HashRequest, RequestError, SubmitError};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
@@ -71,6 +73,9 @@ pub(crate) struct Connection {
     /// `false` once EOF, a violation, idleness or daemon shutdown ends
     /// the inbound side; the connection then drains and closes.
     reading: bool,
+    /// This connection's streaming sessions (wire-opened and implicit
+    /// one-shot trees); dies with the connection.
+    sessions: SessionTable,
     /// A hard transport failure: the connection is removed immediately,
     /// without draining.
     pub dead: bool,
@@ -96,6 +101,7 @@ impl Connection {
             in_flight: Arc::new(AtomicUsize::new(0)),
             idle_deadline: Instant::now() + ctx.config.idle_timeout,
             reading: true,
+            sessions: SessionTable::new(),
             dead: false,
         })
     }
@@ -144,7 +150,27 @@ impl Connection {
             // sends no bytes (and no FIN), so its connection ends here.
             self.start_drain();
         }
-        progress | self.pump_read(ctx, scratch)
+        let progress = progress | self.pump_read(ctx, scratch);
+        // Retry session operations parked on backpressure and reap idle
+        // wire sessions.
+        let mut io = ConnIo {
+            token: self.token,
+            outbound: &mut self.outbound,
+            in_flight: &self.in_flight,
+        };
+        self.sessions.tick(now, ctx, &mut io);
+        progress
+    }
+
+    /// Routes a session completion into this connection's table.
+    pub fn on_event(&mut self, event: SessionEvent, ctx: &IoCtx) {
+        let mut io = ConnIo {
+            token: self.token,
+            outbound: &mut self.outbound,
+            in_flight: &self.in_flight,
+        };
+        self.sessions
+            .on_event(event.key, event.payload, ctx, &mut io);
     }
 
     /// Writes queued frames until the socket would block.
@@ -241,6 +267,11 @@ impl Connection {
                     return;
                 }
             }
+            if self.read_buf.len() < at {
+                // A session-state violation inside handle() started the
+                // drain and cleared the buffer; `at` is stale.
+                return;
+            }
         }
         self.read_buf.drain(..at);
     }
@@ -259,21 +290,42 @@ impl Connection {
                 algorithm,
                 output_len,
                 deadline,
+                params,
                 payload,
             } => {
-                if self.in_flight.load(Ordering::Acquire) >= ctx.config.max_in_flight {
-                    let response = Response::Error {
-                        id,
-                        code: ErrorCode::Busy,
-                        detail: format!(
-                            "connection window full at {} in-flight requests",
-                            ctx.config.max_in_flight
-                        ),
-                    };
-                    self.push_frame(wire(&response.encode()));
+                if self.window_full(id, ctx) {
                     return;
                 }
-                let mut hash_request = HashRequest::new(payload, algorithm.params(), output_len);
+                if algorithm.is_tree() {
+                    // Tree algorithms serve through an implicit session:
+                    // the payload is chunked into leaf blocks that ride
+                    // the batch lane, and the session answers with one
+                    // DIGEST frame.
+                    self.in_flight.fetch_add(1, Ordering::AcqRel);
+                    let mut io = ConnIo {
+                        token: self.token,
+                        outbound: &mut self.outbound,
+                        in_flight: &self.in_flight,
+                    };
+                    self.sessions.one_shot_tree(
+                        id, algorithm, &params, output_len, deadline, &payload, ctx, &mut io,
+                    );
+                    return;
+                }
+                let (message, sponge_params) = if algorithm.is_fips() {
+                    // FIPS 202 algorithms absorb the payload as-is.
+                    (payload, algorithm.params())
+                } else {
+                    // SP 800-185 algorithms absorb their framing around
+                    // it; one flat message serves through the same batch
+                    // lane as everything else.
+                    let ServePlan::Flat(flat) = plan::plan(algorithm, &params) else {
+                        unreachable!("non-tree algorithms plan flat")
+                    };
+                    let message = plan::flat_message(&flat, algorithm, &payload, output_len);
+                    (message, flat.params)
+                };
+                let mut hash_request = HashRequest::new(message, sponge_params, output_len);
                 hash_request.deadline = deadline;
                 self.in_flight.fetch_add(1, Ordering::AcqRel);
                 match ctx.service.submit_as(self.token, hash_request) {
@@ -321,6 +373,110 @@ impl Connection {
                     }
                 }
             }
+            Request::Open {
+                id,
+                session,
+                algorithm,
+                params,
+            } => {
+                let mut io = ConnIo {
+                    token: self.token,
+                    outbound: &mut self.outbound,
+                    in_flight: &self.in_flight,
+                };
+                let outcome = self
+                    .sessions
+                    .open(id, session, algorithm, &params, ctx, &mut io);
+                self.check_violation(id, outcome);
+            }
+            Request::Absorb { id, session, chunk } => {
+                if self.window_full(id, ctx) {
+                    return;
+                }
+                let mut io = ConnIo {
+                    token: self.token,
+                    outbound: &mut self.outbound,
+                    in_flight: &self.in_flight,
+                };
+                let outcome = self.sessions.absorb(id, session, chunk, ctx, &mut io);
+                self.check_violation(id, outcome);
+            }
+            Request::Finalize {
+                id,
+                session,
+                output_len,
+            } => {
+                if self.window_full(id, ctx) {
+                    return;
+                }
+                let mut io = ConnIo {
+                    token: self.token,
+                    outbound: &mut self.outbound,
+                    in_flight: &self.in_flight,
+                };
+                let outcome = self
+                    .sessions
+                    .finalize(id, session, output_len, ctx, &mut io);
+                self.check_violation(id, outcome);
+            }
+            Request::Squeeze { id, session, len } => {
+                if self.window_full(id, ctx) {
+                    return;
+                }
+                let mut io = ConnIo {
+                    token: self.token,
+                    outbound: &mut self.outbound,
+                    in_flight: &self.in_flight,
+                };
+                let outcome = self.sessions.squeeze(id, session, len, ctx, &mut io);
+                self.check_violation(id, outcome);
+            }
+            Request::Close { id, session } => {
+                if self.window_full(id, ctx) {
+                    return;
+                }
+                let mut io = ConnIo {
+                    token: self.token,
+                    outbound: &mut self.outbound,
+                    in_flight: &self.in_flight,
+                };
+                let outcome = self.sessions.close(id, session, ctx, &mut io);
+                self.check_violation(id, outcome);
+            }
+        }
+    }
+
+    /// Answers `BUSY` if the pipeline window is full. Session frames
+    /// each hold one window slot exactly like hash requests, so a
+    /// connection's total queued work stays bounded by
+    /// [`crate::ServerConfig::max_in_flight`].
+    fn window_full(&mut self, id: u64, ctx: &IoCtx) -> bool {
+        if self.in_flight.load(Ordering::Acquire) < ctx.config.max_in_flight {
+            return false;
+        }
+        let response = Response::Error {
+            id,
+            code: ErrorCode::Busy,
+            detail: format!(
+                "connection window full at {} in-flight requests",
+                ctx.config.max_in_flight
+            ),
+        };
+        self.push_frame(wire(&response.encode()));
+        true
+    }
+
+    /// A session-state violation is connection-fatal: answer the typed
+    /// error, then drain exactly like a framing violation.
+    fn check_violation(&mut self, id: u64, outcome: Result<(), Violation>) {
+        if let Err(violation) = outcome {
+            let response = Response::Error {
+                id,
+                code: violation.code,
+                detail: violation.detail,
+            };
+            self.push_frame(wire(&response.encode()));
+            self.start_drain();
         }
     }
 }

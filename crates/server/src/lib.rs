@@ -10,9 +10,14 @@
 //!
 //! * [`protocol`] — a versioned binary wire protocol: length-prefixed
 //!   frames, magic/version header, per-request ids, one-byte algorithm
-//!   ids covering all six FIPS 202 functions (plus XOF output length),
-//!   optional deadlines, and strict decoding whose every failure is a
-//!   typed [`ProtocolError`].
+//!   ids covering all six FIPS 202 functions, the SP 800-185 derived
+//!   functions (cSHAKE/KMAC/TupleHash/ParallelHash at both security
+//!   levels) and the KRV tree hash — each with its per-algorithm
+//!   parameter block (key, function name, customization, block size) —
+//!   plus XOF output lengths, optional deadlines, **stateful streaming
+//!   sessions** (`OPEN → ABSORB* → FINALIZE → SQUEEZE* → CLOSE` for
+//!   chunked input and chunked XOF output), and strict decoding whose
+//!   every failure is a typed [`ProtocolError`].
 //! * [`Server`] — the daemon: an accept loop feeding a **fixed pool of
 //!   I/O threads** that multiplex every connection over non-blocking
 //!   sockets (std-only readiness loop — see the `poll` module), in
@@ -24,8 +29,17 @@
 //!   `DEADLINE`, `WorkerFailure` → `INTERNAL`); protocol violations
 //!   close the offending connection and nothing else; shutdown stops
 //!   accepting, drains every in-flight request, then closes.
+//!   Per-connection **session tables** enforce the streaming state
+//!   machine (out-of-order frames are connection-fatal typed errors,
+//!   like framing violations), cap live sessions per connection, reap
+//!   idle sessions, carry flat sessions through the service's streaming
+//!   lane as a live sponge state, and stream tree leaves through the
+//!   batch lane under a bounded dispatch window — a session never holds
+//!   the whole message.
 //! * [`Client`] — the matching blocking/pipelining client used by the
-//!   tests, the `remote_digest` example and the `netbench` load harness.
+//!   tests, the `remote_digest` example and the `netbench` load
+//!   harness, plus [`StreamingSession`] for incremental absorb/squeeze
+//!   over a session.
 //!
 //! # Example
 //!
@@ -47,10 +61,12 @@
 
 mod client;
 mod conn;
+mod plan;
 mod poll;
 pub mod protocol;
 mod server;
+mod session;
 
-pub use client::{Client, ClientError, PendingReply, RemoteError, Reply};
-pub use protocol::{ErrorCode, ProtocolError, Request, Response, WireAlgorithm};
+pub use client::{Client, ClientError, PendingReply, RemoteError, Reply, StreamingSession};
+pub use protocol::{AlgorithmParams, ErrorCode, ProtocolError, Request, Response, WireAlgorithm};
 pub use server::{Server, ServerConfig};

@@ -23,6 +23,7 @@
 //! proves every response reached the socket.
 
 use crate::conn::Connection;
+use crate::session::SessionEvent;
 use crate::ServerConfig;
 use krv_service::ShardedService;
 use std::collections::{HashMap, HashSet};
@@ -56,6 +57,9 @@ struct Inbox {
     conns: Vec<(u64, TcpStream)>,
     /// Encoded response frames (wire bytes) routed by token.
     frames: Vec<(u64, Vec<u8>)>,
+    /// Session completions (stream ops, tree leaves, tree roots) routed
+    /// by token to the owning connection's session table.
+    events: Vec<SessionEvent>,
     /// Set once; the thread drains every connection and exits.
     shutdown: bool,
 }
@@ -94,6 +98,14 @@ impl IoShared {
         self.wake.notify_one();
     }
 
+    /// Posts a session completion for `event.token`'s connection.
+    /// Called from scheduler threads (ticket callbacks); never blocks
+    /// on I/O.
+    pub fn post_event(&self, event: SessionEvent) {
+        self.inbox.lock().expect("io inbox").events.push(event);
+        self.wake.notify_one();
+    }
+
     /// Tells the thread to drain its connections and exit.
     pub fn begin_shutdown(&self) {
         self.inbox.lock().expect("io inbox").shutdown = true;
@@ -106,12 +118,18 @@ impl IoShared {
     /// made no progress parks).
     fn take(&self, park: bool) -> Inbox {
         let mut inbox = self.inbox.lock().expect("io inbox");
-        if park && inbox.conns.is_empty() && inbox.frames.is_empty() && !inbox.shutdown {
+        if park
+            && inbox.conns.is_empty()
+            && inbox.frames.is_empty()
+            && inbox.events.is_empty()
+            && !inbox.shutdown
+        {
             inbox = self.wake.wait_timeout(inbox, PARK).expect("io inbox").0;
         }
         Inbox {
             conns: std::mem::take(&mut inbox.conns),
             frames: std::mem::take(&mut inbox.frames),
+            events: std::mem::take(&mut inbox.events),
             shutdown: inbox.shutdown,
         }
     }
@@ -137,6 +155,7 @@ pub(crate) fn run(ctx: IoCtx) {
         let Inbox {
             conns: new_conns,
             frames,
+            events,
             shutdown,
         } = ctx.shared.take(park);
         let mut progress = false;
@@ -161,6 +180,14 @@ pub(crate) fn run(ctx: IoCtx) {
             // requests in flight) are dropped here.
             if let Some(conn) = conns.get_mut(&token) {
                 conn.push_frame(frame);
+                progress = true;
+            }
+        }
+        for event in events {
+            // Same routing for session completions: a vanished
+            // connection's events fall on the floor with it.
+            if let Some(conn) = conns.get_mut(&event.token) {
+                conn.on_event(event, &ctx);
                 progress = true;
             }
         }

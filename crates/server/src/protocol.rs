@@ -8,11 +8,35 @@
 //!
 //! | kind | direction | payload |
 //! |---|---|---|
-//! | `0x01` HASH | request | algorithm `u8`, output len `u32`, deadline µs `u64` (0 = none), payload len `u32`, payload bytes |
+//! | `0x01` HASH | request | algorithm `u8`, output len `u32`, deadline µs `u64` (0 = none), params block, payload len `u32`, payload bytes |
 //! | `0x02` STATS | request | empty |
+//! | `0x03` OPEN | request | session `u64`, algorithm `u8`, params block |
+//! | `0x04` ABSORB | request | session `u64`, chunk len `u32`, chunk bytes |
+//! | `0x05` FINALIZE | request | session `u64`, output len `u32` (0 = unbounded XOF) |
+//! | `0x06` SQUEEZE | request | session `u64`, len `u32` |
+//! | `0x07` CLOSE | request | session `u64` |
 //! | `0x81` DIGEST | response | digest len `u32`, digest bytes |
 //! | `0x82` ERROR | response | code `u8`, detail len `u16`, UTF-8 detail |
 //! | `0x83` STATS | response | fixed-width [`MetricsSnapshot`] encoding |
+//! | `0x84` OPENED | response | session `u64` |
+//! | `0x85` ABSORBED | response | session `u64` |
+//! | `0x86` FINALIZED | response | session `u64` |
+//! | `0x87` SQUEEZED | response | session `u64`, len `u32`, output bytes |
+//! | `0x88` CLOSED | response | session `u64` |
+//!
+//! The **params block** (HASH and OPEN) carries the SP 800-185
+//! parameters: function name len `u32` + bytes, key len `u32` + bytes,
+//! customization len `u32` + bytes, block size `u32`. Every field an
+//! algorithm does not use must be empty/zero — see
+//! [`AlgorithmParams::validate`].
+//!
+//! Streaming sessions follow a strict per-session state machine,
+//! `OPEN → ABSORB* → FINALIZE → SQUEEZE* → CLOSE`, with session ids
+//! chosen by the client and scoped to the connection. Out-of-order
+//! session frames are answered with a typed error
+//! ([`ErrorCode::SessionState`] / [`ErrorCode::BadSession`]) and close
+//! the offending connection; quota errors
+//! ([`ErrorCode::SessionLimit`]) are survivable.
 //!
 //! All integers are little-endian. Decoding is **strict**: unknown
 //! magic, version, kind, algorithm or error code, truncated or trailing
@@ -32,27 +56,57 @@ pub const MAGIC: [u8; 4] = *b"KRVH";
 /// Protocol version this implementation speaks. Version 2 grew the
 /// STATS reply by the tier counters (`native_served`,
 /// `simulator_served`, `mirrored`, `mirror_mismatches`); version 3
-/// added the fair-share `throttled` counter. Older peers are rejected
-/// rather than mis-decoded.
-pub const VERSION: u8 = 3;
+/// added the fair-share `throttled` counter; version 4 added streaming
+/// sessions (OPEN/ABSORB/FINALIZE/SQUEEZE/CLOSE), the SP 800-185
+/// algorithm ids with their params block, and the stream counters in
+/// the STATS reply. Older peers are rejected rather than mis-decoded.
+pub const VERSION: u8 = 4;
 
 /// Fixed header length of every frame body: magic, version, kind, id.
 pub const HEADER_LEN: usize = 4 + 1 + 1 + 8;
 
-/// Default upper bound on one frame body; larger declared lengths are
-/// rejected before any allocation.
+/// The protocol's frame-size limit: the largest frame body either side
+/// accepts, **shared by client and server** (both sides read with this
+/// bound and size their requests against it). A larger declared length
+/// is rejected before any allocation. [`MAX_CHUNK_LEN`] and
+/// [`MAX_OUTPUT_LEN`] are derived to always fit inside it.
 pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
 
-/// Upper bound on the requested XOF output length (64 KiB). Far above
-/// any digest, far below anything that could amplify a small request
-/// into an unbounded response.
+/// The largest ABSORB chunk the protocol carries: [`DEFAULT_MAX_FRAME`]
+/// minus the frame header, session id and length field (rounded down to
+/// a comfortable 64-byte margin), so a maximal chunk's frame never
+/// trips the frame limit. A larger declared chunk is rejected with the
+/// typed [`ProtocolError::OversizedChunk`] — by the client before it
+/// writes, and by the server's strict decoder if a client writes one
+/// anyway. Streaming a longer message is what multiple ABSORB frames
+/// are for.
+pub const MAX_CHUNK_LEN: usize = DEFAULT_MAX_FRAME - 64;
+
+/// Upper bound on the requested output length (64 KiB): a HASH
+/// request's digest, a FINALIZE's declared total, and each SQUEEZE's
+/// slice. Far above any digest, far below anything that could amplify
+/// a small request into an unbounded response.
 pub const MAX_OUTPUT_LEN: usize = 1 << 16;
+
+/// Upper bound on each SP 800-185 parameter string (function name, key,
+/// customization) in a params block.
+pub const MAX_PARAM_LEN: usize = 1 << 16;
 
 const KIND_HASH: u8 = 0x01;
 const KIND_STATS: u8 = 0x02;
+const KIND_OPEN: u8 = 0x03;
+const KIND_ABSORB: u8 = 0x04;
+const KIND_FINALIZE: u8 = 0x05;
+const KIND_SQUEEZE: u8 = 0x06;
+const KIND_CLOSE: u8 = 0x07;
 const KIND_DIGEST: u8 = 0x81;
 const KIND_ERROR: u8 = 0x82;
 const KIND_STATS_REPLY: u8 = 0x83;
+const KIND_OPENED: u8 = 0x84;
+const KIND_ABSORBED: u8 = 0x85;
+const KIND_FINALIZED: u8 = 0x86;
+const KIND_SQUEEZED: u8 = 0x87;
+const KIND_CLOSED: u8 = 0x88;
 
 /// Why a frame failed strict decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -102,6 +156,11 @@ pub enum ProtocolError {
         /// The limit in force.
         max: usize,
     },
+    /// An ABSORB chunk above [`MAX_CHUNK_LEN`].
+    OversizedChunk {
+        /// Declared chunk length.
+        len: usize,
+    },
     /// A requested output length above [`MAX_OUTPUT_LEN`].
     OversizedOutput {
         /// Requested output length.
@@ -116,6 +175,17 @@ pub enum ProtocolError {
         /// The length requested instead.
         got: usize,
     },
+    /// A params block that is invalid for its algorithm (a key on a
+    /// keyless function, a missing block size, an over-long string, …).
+    BadParams {
+        /// The algorithm the params were for.
+        algorithm: WireAlgorithm,
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// A TupleHash one-shot payload whose entry framing (`u32` length
+    /// before each entry) does not cover the payload exactly.
+    BadTuplePayload,
     /// Bytes left over after the last declared field.
     TrailingBytes {
         /// How many bytes remained.
@@ -142,6 +212,12 @@ impl std::fmt::Display for ProtocolError {
             ProtocolError::OversizedFrame { len, max } => {
                 write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
             }
+            ProtocolError::OversizedChunk { len } => {
+                write!(
+                    f,
+                    "ABSORB chunk of {len} bytes exceeds the {MAX_CHUNK_LEN}-byte limit"
+                )
+            }
             ProtocolError::OversizedOutput { len } => {
                 write!(
                     f,
@@ -157,6 +233,12 @@ impl std::fmt::Display for ProtocolError {
                 "{} produces {expected} bytes, request asked for {got}",
                 algorithm.name()
             ),
+            ProtocolError::BadParams { algorithm, reason } => {
+                write!(f, "bad params for {}: {reason}", algorithm.name())
+            }
+            ProtocolError::BadTuplePayload => {
+                write!(f, "TupleHash payload entry framing does not add up")
+            }
             ProtocolError::TrailingBytes { extra } => {
                 write!(f, "{extra} trailing bytes after the last field")
             }
@@ -167,10 +249,14 @@ impl std::fmt::Display for ProtocolError {
 
 impl std::error::Error for ProtocolError {}
 
-/// The six FIPS 202 functions as one-byte wire ids.
+/// The wire algorithms: the six FIPS 202 functions plus the SP 800-185
+/// derived functions and the KRV tree-hash, as one-byte wire ids.
 ///
 /// Ids are part of the protocol: they never change meaning across
-/// versions, and every id round-trips through [`Self::from_id`].
+/// versions, and every id round-trips through [`Self::from_id`]. Ids
+/// `7..=15` (the SP 800-185 family) carry their parameters — function
+/// name, key, customization, block size — in the request's params
+/// block; see [`AlgorithmParams`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum WireAlgorithm {
@@ -186,11 +272,56 @@ pub enum WireAlgorithm {
     Shake128 = 5,
     /// SHAKE256, id 6.
     Shake256 = 6,
+    /// cSHAKE128 (SP 800-185 §3), id 7. Params: function name `N`,
+    /// customization `S`. Both empty degenerates to SHAKE128 (§3.3).
+    CShake128 = 7,
+    /// cSHAKE256 (SP 800-185 §3), id 8.
+    CShake256 = 8,
+    /// KMAC128 (SP 800-185 §4), id 9. Params: key `K`, customization
+    /// `S`. Output length 0 selects the KMACXOF variant.
+    Kmac128 = 9,
+    /// KMAC256 (SP 800-185 §4), id 10.
+    Kmac256 = 10,
+    /// TupleHash128 (SP 800-185 §5), id 11. Params: customization `S`.
+    /// A one-shot payload carries `u32`-length-framed entries; each
+    /// streamed ABSORB chunk is one whole tuple entry.
+    TupleHash128 = 11,
+    /// TupleHash256 (SP 800-185 §5), id 12.
+    TupleHash256 = 12,
+    /// ParallelHash128 (SP 800-185 §6), id 13. Params: customization
+    /// `S`, block size `B` (required nonzero). Served as a chunked
+    /// tree: the leaves ride the service's batch lane.
+    ParallelHash128 = 13,
+    /// ParallelHash256 (SP 800-185 §6), id 14.
+    ParallelHash256 = 14,
+    /// The KRV tree-hash, id 15: 32-byte SHAKE256 leaves over fixed
+    /// 4 KiB chunks, `cSHAKE256("KRV-TreeHash", S)` root. Params:
+    /// customization `S`; block size 0 or 4096.
+    TreeHash256 = 15,
 }
 
 impl WireAlgorithm {
     /// Every algorithm, in wire-id order.
-    pub const ALL: [WireAlgorithm; 6] = [
+    pub const ALL: [WireAlgorithm; 15] = [
+        WireAlgorithm::Sha3_224,
+        WireAlgorithm::Sha3_256,
+        WireAlgorithm::Sha3_384,
+        WireAlgorithm::Sha3_512,
+        WireAlgorithm::Shake128,
+        WireAlgorithm::Shake256,
+        WireAlgorithm::CShake128,
+        WireAlgorithm::CShake256,
+        WireAlgorithm::Kmac128,
+        WireAlgorithm::Kmac256,
+        WireAlgorithm::TupleHash128,
+        WireAlgorithm::TupleHash256,
+        WireAlgorithm::ParallelHash128,
+        WireAlgorithm::ParallelHash256,
+        WireAlgorithm::TreeHash256,
+    ];
+
+    /// The six FIPS 202 ids (no params block fields in use).
+    pub const FIPS: [WireAlgorithm; 6] = [
         WireAlgorithm::Sha3_224,
         WireAlgorithm::Sha3_256,
         WireAlgorithm::Sha3_384,
@@ -208,7 +339,7 @@ impl WireAlgorithm {
     ///
     /// # Errors
     ///
-    /// [`ProtocolError::UnknownAlgorithm`] for an id outside `1..=6`.
+    /// [`ProtocolError::UnknownAlgorithm`] for an id outside `1..=15`.
     pub fn from_id(id: u8) -> Result<Self, ProtocolError> {
         match id {
             1 => Ok(WireAlgorithm::Sha3_224),
@@ -217,6 +348,15 @@ impl WireAlgorithm {
             4 => Ok(WireAlgorithm::Sha3_512),
             5 => Ok(WireAlgorithm::Shake128),
             6 => Ok(WireAlgorithm::Shake256),
+            7 => Ok(WireAlgorithm::CShake128),
+            8 => Ok(WireAlgorithm::CShake256),
+            9 => Ok(WireAlgorithm::Kmac128),
+            10 => Ok(WireAlgorithm::Kmac256),
+            11 => Ok(WireAlgorithm::TupleHash128),
+            12 => Ok(WireAlgorithm::TupleHash256),
+            13 => Ok(WireAlgorithm::ParallelHash128),
+            14 => Ok(WireAlgorithm::ParallelHash256),
+            15 => Ok(WireAlgorithm::TreeHash256),
             got => Err(ProtocolError::UnknownAlgorithm { got }),
         }
     }
@@ -230,10 +370,64 @@ impl WireAlgorithm {
             WireAlgorithm::Sha3_512 => "SHA3-512",
             WireAlgorithm::Shake128 => "SHAKE128",
             WireAlgorithm::Shake256 => "SHAKE256",
+            WireAlgorithm::CShake128 => "cSHAKE128",
+            WireAlgorithm::CShake256 => "cSHAKE256",
+            WireAlgorithm::Kmac128 => "KMAC128",
+            WireAlgorithm::Kmac256 => "KMAC256",
+            WireAlgorithm::TupleHash128 => "TupleHash128",
+            WireAlgorithm::TupleHash256 => "TupleHash256",
+            WireAlgorithm::ParallelHash128 => "ParallelHash128",
+            WireAlgorithm::ParallelHash256 => "ParallelHash256",
+            WireAlgorithm::TreeHash256 => "KRV-TreeHash256",
         }
     }
 
-    /// The sponge parameters the service hashes this algorithm with.
+    /// Whether this is one of the six FIPS 202 ids (params-free).
+    pub const fn is_fips(self) -> bool {
+        (self as u8) <= 6
+    }
+
+    /// Whether this algorithm is served as a chunked tree (leaves
+    /// dispatched through the batch lane): ParallelHash and the KRV
+    /// tree-hash.
+    pub const fn is_tree(self) -> bool {
+        matches!(
+            self,
+            WireAlgorithm::ParallelHash128
+                | WireAlgorithm::ParallelHash256
+                | WireAlgorithm::TreeHash256
+        )
+    }
+
+    /// The security level in bits (the Keccak capacity is twice this).
+    pub const fn security_bits(self) -> usize {
+        match self {
+            WireAlgorithm::Sha3_224 => 224,
+            WireAlgorithm::Sha3_256 | WireAlgorithm::Sha3_384 | WireAlgorithm::Sha3_512 => {
+                match self {
+                    WireAlgorithm::Sha3_384 => 384,
+                    WireAlgorithm::Sha3_512 => 512,
+                    _ => 256,
+                }
+            }
+            WireAlgorithm::Shake128
+            | WireAlgorithm::CShake128
+            | WireAlgorithm::Kmac128
+            | WireAlgorithm::TupleHash128
+            | WireAlgorithm::ParallelHash128 => 128,
+            _ => 256,
+        }
+    }
+
+    /// The sponge parameters the service hashes a FIPS 202 algorithm
+    /// with.
+    ///
+    /// # Panics
+    ///
+    /// Panics for the SP 800-185 ids (`7..=15`): their sponge
+    /// parameters depend on the request's [`AlgorithmParams`] (empty
+    /// `N`/`S` degenerates cSHAKE to SHAKE), so the serving layer
+    /// derives them from the params block instead.
     pub fn params(self) -> SpongeParams {
         match self {
             WireAlgorithm::Sha3_224 => SpongeParams::sha3(224),
@@ -242,19 +436,160 @@ impl WireAlgorithm {
             WireAlgorithm::Sha3_512 => SpongeParams::sha3(512),
             WireAlgorithm::Shake128 => SpongeParams::shake(128),
             WireAlgorithm::Shake256 => SpongeParams::shake(256),
+            other => panic!(
+                "{} derives its sponge from AlgorithmParams, not WireAlgorithm::params",
+                other.name()
+            ),
         }
     }
 
     /// The fixed digest length of the hash functions, `None` for the
-    /// XOFs (whose output length travels in the request).
+    /// XOFs and the SP 800-185 family (whose output length travels in
+    /// the request).
     pub const fn fixed_output_len(self) -> Option<usize> {
         match self {
             WireAlgorithm::Sha3_224 => Some(28),
             WireAlgorithm::Sha3_256 => Some(32),
             WireAlgorithm::Sha3_384 => Some(48),
             WireAlgorithm::Sha3_512 => Some(64),
-            WireAlgorithm::Shake128 | WireAlgorithm::Shake256 => None,
+            _ => None,
         }
+    }
+}
+
+/// The SP 800-185 parameters of a HASH or OPEN request: one uniform
+/// block on the wire, with every unused field required empty/zero.
+///
+/// | field | used by |
+/// |---|---|
+/// | `name` (`N`) | cSHAKE only (KMAC/TupleHash/ParallelHash fix it) |
+/// | `key` (`K`) | KMAC only |
+/// | `customization` (`S`) | every SP 800-185 id |
+/// | `block_size` (`B`) | ParallelHash (required), TreeHash256 (0 or 4096) |
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AlgorithmParams {
+    /// The cSHAKE function name `N`.
+    pub name: Vec<u8>,
+    /// The KMAC key `K`.
+    pub key: Vec<u8>,
+    /// The customization string `S`.
+    pub customization: Vec<u8>,
+    /// The ParallelHash/tree block size `B` in bytes.
+    pub block_size: u32,
+}
+
+impl AlgorithmParams {
+    /// The empty params block every FIPS 202 request carries.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Params for cSHAKE: function name `N` and customization `S`.
+    pub fn cshake(name: impl Into<Vec<u8>>, customization: impl Into<Vec<u8>>) -> Self {
+        Self {
+            name: name.into(),
+            customization: customization.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Params for KMAC: key `K` and customization `S`.
+    pub fn kmac(key: impl Into<Vec<u8>>, customization: impl Into<Vec<u8>>) -> Self {
+        Self {
+            key: key.into(),
+            customization: customization.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Params for TupleHash and the KRV tree-hash: customization `S`.
+    pub fn customization(customization: impl Into<Vec<u8>>) -> Self {
+        Self {
+            customization: customization.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Params for ParallelHash: block size `B` and customization `S`.
+    pub fn parallel_hash(block_size: u32, customization: impl Into<Vec<u8>>) -> Self {
+        Self {
+            customization: customization.into(),
+            block_size,
+            ..Self::default()
+        }
+    }
+
+    /// Checks the block against its algorithm: unused fields must be
+    /// empty/zero, used strings at most [`MAX_PARAM_LEN`] bytes,
+    /// ParallelHash's block size nonzero, TreeHash256's 0 or 4096.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadParams`] naming the first violated rule.
+    pub fn validate(&self, algorithm: WireAlgorithm) -> Result<(), ProtocolError> {
+        let fail = |reason| Err(ProtocolError::BadParams { algorithm, reason });
+        let uses_name = matches!(
+            algorithm,
+            WireAlgorithm::CShake128 | WireAlgorithm::CShake256
+        );
+        let uses_key = matches!(algorithm, WireAlgorithm::Kmac128 | WireAlgorithm::Kmac256);
+        if !uses_name && !self.name.is_empty() {
+            return fail("function name is only a cSHAKE parameter");
+        }
+        if !uses_key && !self.key.is_empty() {
+            return fail("key is only a KMAC parameter");
+        }
+        if algorithm.is_fips() && !self.customization.is_empty() {
+            return fail("FIPS 202 functions take no customization");
+        }
+        for (field, reason) in [
+            (&self.name, "function name exceeds MAX_PARAM_LEN"),
+            (&self.key, "key exceeds MAX_PARAM_LEN"),
+            (&self.customization, "customization exceeds MAX_PARAM_LEN"),
+        ] {
+            if field.len() > MAX_PARAM_LEN {
+                return fail(reason);
+            }
+        }
+        match algorithm {
+            WireAlgorithm::ParallelHash128 | WireAlgorithm::ParallelHash256 => {
+                if self.block_size == 0 {
+                    return fail("ParallelHash requires a nonzero block size");
+                }
+            }
+            WireAlgorithm::TreeHash256 => {
+                if self.block_size != 0 && self.block_size != 4096 {
+                    return fail("the KRV tree-hash block size is fixed at 4096");
+                }
+            }
+            _ => {
+                if self.block_size != 0 {
+                    return fail("block size is only a tree parameter");
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn encode_into(&self, body: &mut Vec<u8>) {
+        for field in [&self.name, &self.key, &self.customization] {
+            body.extend_from_slice(&(field.len() as u32).to_le_bytes());
+            body.extend_from_slice(field);
+        }
+        body.extend_from_slice(&self.block_size.to_le_bytes());
+    }
+
+    fn encoded_len(&self) -> usize {
+        3 * 4 + self.name.len() + self.key.len() + self.customization.len() + 4
+    }
+
+    fn decode(cursor: &mut Cursor<'_>) -> Result<Self, ProtocolError> {
+        Ok(Self {
+            name: cursor.bytes_u32_len()?,
+            key: cursor.bytes_u32_len()?,
+            customization: cursor.bytes_u32_len()?,
+            block_size: cursor.u32()?,
+        })
     }
 }
 
@@ -271,6 +606,17 @@ pub enum ErrorCode {
     Internal = 3,
     /// The daemon is draining; no new requests are admitted.
     ShuttingDown = 4,
+    /// A session frame named a session this connection does not hold
+    /// (never opened, already closed, or reaped for idleness) — or an
+    /// OPEN reused a live session id. Fatal to the connection.
+    BadSession = 5,
+    /// A session frame out of order: ABSORB after FINALIZE, SQUEEZE
+    /// before it, a second FINALIZE, squeezing past the declared output
+    /// length, … Fatal to the connection.
+    SessionState = 6,
+    /// A session quota: too many open sessions on the connection, or a
+    /// tree session past the server's leaf cap.
+    SessionLimit = 7,
 }
 
 impl ErrorCode {
@@ -278,13 +624,16 @@ impl ErrorCode {
     ///
     /// # Errors
     ///
-    /// [`ProtocolError::UnknownErrorCode`] outside `1..=4`.
+    /// [`ProtocolError::UnknownErrorCode`] outside `1..=7`.
     pub fn from_byte(byte: u8) -> Result<Self, ProtocolError> {
         match byte {
             1 => Ok(ErrorCode::Busy),
             2 => Ok(ErrorCode::Deadline),
             3 => Ok(ErrorCode::Internal),
             4 => Ok(ErrorCode::ShuttingDown),
+            5 => Ok(ErrorCode::BadSession),
+            6 => Ok(ErrorCode::SessionState),
+            7 => Ok(ErrorCode::SessionLimit),
             got => Err(ProtocolError::UnknownErrorCode { got }),
         }
     }
@@ -296,6 +645,9 @@ impl ErrorCode {
             ErrorCode::Deadline => "DEADLINE",
             ErrorCode::Internal => "INTERNAL",
             ErrorCode::ShuttingDown => "SHUTTING_DOWN",
+            ErrorCode::BadSession => "BAD_SESSION",
+            ErrorCode::SessionState => "SESSION_STATE",
+            ErrorCode::SessionLimit => "SESSION_LIMIT",
         }
     }
 }
@@ -309,18 +661,22 @@ impl std::fmt::Display for ErrorCode {
 /// A client → server frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
-    /// Hash `payload` and respond with the squeezed output.
+    /// Hash `payload` one-shot and respond with the squeezed output.
     Hash {
         /// Caller-chosen id echoed in the response.
         id: u64,
-        /// Which FIPS 202 function to run.
+        /// Which wire algorithm to run.
         algorithm: WireAlgorithm,
         /// Output bytes to squeeze (the digest length for the hash
-        /// functions, caller-chosen for the XOFs).
+        /// functions, caller-chosen for the XOFs and SP 800-185
+        /// functions).
         output_len: usize,
         /// Deadline relative to admission; `None` waits indefinitely.
         deadline: Option<Duration>,
-        /// The message to hash.
+        /// The SP 800-185 parameters (empty for FIPS 202).
+        params: AlgorithmParams,
+        /// The message to hash. For TupleHash this is the
+        /// `u32`-length-framed entry sequence.
         payload: Vec<u8>,
     },
     /// Return the service's [`MetricsSnapshot`].
@@ -328,13 +684,67 @@ pub enum Request {
         /// Caller-chosen id echoed in the response.
         id: u64,
     },
+    /// Open a streaming session under a client-chosen session id.
+    Open {
+        /// Caller-chosen id echoed in the response.
+        id: u64,
+        /// The session id, scoped to this connection.
+        session: u64,
+        /// Which wire algorithm the session runs.
+        algorithm: WireAlgorithm,
+        /// The SP 800-185 parameters (empty for FIPS 202).
+        params: AlgorithmParams,
+    },
+    /// Absorb one chunk into a session (one tuple entry for TupleHash).
+    Absorb {
+        /// Caller-chosen id echoed in the response.
+        id: u64,
+        /// The session to absorb into.
+        session: u64,
+        /// The chunk, at most [`MAX_CHUNK_LEN`] bytes.
+        chunk: Vec<u8>,
+    },
+    /// End a session's absorb phase and bind its output length.
+    Finalize {
+        /// Caller-chosen id echoed in the response.
+        id: u64,
+        /// The session to finalize.
+        session: u64,
+        /// The declared total output length: required for the tree
+        /// algorithms, bound into KMAC/TupleHash (0 selects their XOF
+        /// variants), 0 for the plain XOFs, and 0 or the fixed digest
+        /// length for SHA-3.
+        output_len: usize,
+    },
+    /// Squeeze the next `len` output bytes from a finalized session.
+    Squeeze {
+        /// Caller-chosen id echoed in the response.
+        id: u64,
+        /// The session to squeeze.
+        session: u64,
+        /// Output bytes wanted, at most [`MAX_OUTPUT_LEN`] per frame.
+        len: usize,
+    },
+    /// Close a session, releasing its state at any phase.
+    Close {
+        /// Caller-chosen id echoed in the response.
+        id: u64,
+        /// The session to close.
+        session: u64,
+    },
 }
 
 impl Request {
     /// The request id.
     pub fn id(&self) -> u64 {
         match self {
-            Request::Hash { id, .. } | Request::Stats { id } => *id,
+            Request::Hash { id, .. }
+            | Request::Stats { id }
+            | Request::Open { id, .. }
+            | Request::Absorb { id, .. }
+            | Request::Finalize { id, .. }
+            | Request::Squeeze { id, .. }
+            | Request::Close { id, .. } => *id,
         }
     }
 
@@ -346,19 +756,65 @@ impl Request {
                 algorithm,
                 output_len,
                 deadline,
+                params,
                 payload,
             } => {
-                let mut body = header(KIND_HASH, *id, 1 + 4 + 8 + 4 + payload.len());
+                let mut body = header(
+                    KIND_HASH,
+                    *id,
+                    1 + 4 + 8 + params.encoded_len() + 4 + payload.len(),
+                );
                 body.push(algorithm.id());
                 body.extend_from_slice(&(*output_len as u32).to_le_bytes());
                 let deadline_us =
                     deadline.map_or(0, |d| d.as_micros().min(u128::from(u64::MAX)) as u64);
                 body.extend_from_slice(&deadline_us.to_le_bytes());
+                params.encode_into(&mut body);
                 body.extend_from_slice(&(payload.len() as u32).to_le_bytes());
                 body.extend_from_slice(payload);
                 body
             }
             Request::Stats { id } => header(KIND_STATS, *id, 0),
+            Request::Open {
+                id,
+                session,
+                algorithm,
+                params,
+            } => {
+                let mut body = header(KIND_OPEN, *id, 8 + 1 + params.encoded_len());
+                body.extend_from_slice(&session.to_le_bytes());
+                body.push(algorithm.id());
+                params.encode_into(&mut body);
+                body
+            }
+            Request::Absorb { id, session, chunk } => {
+                let mut body = header(KIND_ABSORB, *id, 8 + 4 + chunk.len());
+                body.extend_from_slice(&session.to_le_bytes());
+                body.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
+                body.extend_from_slice(chunk);
+                body
+            }
+            Request::Finalize {
+                id,
+                session,
+                output_len,
+            } => {
+                let mut body = header(KIND_FINALIZE, *id, 8 + 4);
+                body.extend_from_slice(&session.to_le_bytes());
+                body.extend_from_slice(&(*output_len as u32).to_le_bytes());
+                body
+            }
+            Request::Squeeze { id, session, len } => {
+                let mut body = header(KIND_SQUEEZE, *id, 8 + 4);
+                body.extend_from_slice(&session.to_le_bytes());
+                body.extend_from_slice(&(*len as u32).to_le_bytes());
+                body
+            }
+            Request::Close { id, session } => {
+                let mut body = header(KIND_CLOSE, *id, 8);
+                body.extend_from_slice(&session.to_le_bytes());
+                body
+            }
         }
     }
 
@@ -367,7 +823,9 @@ impl Request {
     /// # Errors
     ///
     /// Any [`ProtocolError`]; see the module table for the layout every
-    /// field is checked against.
+    /// field is checked against. Params blocks are validated against
+    /// their algorithm, ABSORB chunks against [`MAX_CHUNK_LEN`], and a
+    /// TupleHash one-shot payload against its entry framing.
     pub fn decode(body: &[u8]) -> Result<Self, ProtocolError> {
         let mut cursor = Cursor::new(body);
         let (kind, id) = cursor.header()?;
@@ -388,17 +846,72 @@ impl Request {
                     }
                 }
                 let deadline_us = cursor.u64()?;
+                let params = AlgorithmParams::decode(&mut cursor)?;
+                params.validate(algorithm)?;
                 let payload = cursor.bytes_u32_len()?;
+                if matches!(
+                    algorithm,
+                    WireAlgorithm::TupleHash128 | WireAlgorithm::TupleHash256
+                ) {
+                    validate_tuple_framing(&payload)?;
+                }
                 Request::Hash {
                     id,
                     algorithm,
                     output_len,
                     deadline: (deadline_us > 0).then(|| Duration::from_micros(deadline_us)),
+                    params,
                     payload,
                 }
             }
             KIND_STATS => Request::Stats { id },
-            KIND_DIGEST | KIND_ERROR | KIND_STATS_REPLY => {
+            KIND_OPEN => {
+                let session = cursor.u64()?;
+                let algorithm = WireAlgorithm::from_id(cursor.u8()?)?;
+                let params = AlgorithmParams::decode(&mut cursor)?;
+                params.validate(algorithm)?;
+                Request::Open {
+                    id,
+                    session,
+                    algorithm,
+                    params,
+                }
+            }
+            KIND_ABSORB => {
+                let session = cursor.u64()?;
+                let declared = cursor.u32()? as usize;
+                if declared > MAX_CHUNK_LEN {
+                    return Err(ProtocolError::OversizedChunk { len: declared });
+                }
+                let chunk = cursor.take(declared)?.to_vec();
+                Request::Absorb { id, session, chunk }
+            }
+            KIND_FINALIZE => {
+                let session = cursor.u64()?;
+                let output_len = cursor.u32()? as usize;
+                if output_len > MAX_OUTPUT_LEN {
+                    return Err(ProtocolError::OversizedOutput { len: output_len });
+                }
+                Request::Finalize {
+                    id,
+                    session,
+                    output_len,
+                }
+            }
+            KIND_SQUEEZE => {
+                let session = cursor.u64()?;
+                let len = cursor.u32()? as usize;
+                if len > MAX_OUTPUT_LEN {
+                    return Err(ProtocolError::OversizedOutput { len });
+                }
+                Request::Squeeze { id, session, len }
+            }
+            KIND_CLOSE => Request::Close {
+                id,
+                session: cursor.u64()?,
+            },
+            KIND_DIGEST | KIND_ERROR | KIND_STATS_REPLY | KIND_OPENED | KIND_ABSORBED
+            | KIND_FINALIZED | KIND_SQUEEZED | KIND_CLOSED => {
                 return Err(ProtocolError::UnexpectedKind { got: kind })
             }
             got => return Err(ProtocolError::UnknownKind { got }),
@@ -406,6 +919,50 @@ impl Request {
         cursor.finish()?;
         Ok(request)
     }
+}
+
+/// Checks that a TupleHash one-shot payload is exactly a sequence of
+/// `u32`-length-prefixed entries.
+fn validate_tuple_framing(payload: &[u8]) -> Result<(), ProtocolError> {
+    let mut at = 0;
+    while at < payload.len() {
+        if payload.len() - at < 4 {
+            return Err(ProtocolError::BadTuplePayload);
+        }
+        let len = u32::from_le_bytes(payload[at..at + 4].try_into().expect("len 4")) as usize;
+        at += 4;
+        if payload.len() - at < len {
+            return Err(ProtocolError::BadTuplePayload);
+        }
+        at += len;
+    }
+    Ok(())
+}
+
+/// Iterates the entries of a valid TupleHash one-shot payload (framing
+/// previously checked by [`Request::decode`]).
+pub fn tuple_entries(payload: &[u8]) -> impl Iterator<Item = &[u8]> {
+    let mut at = 0;
+    std::iter::from_fn(move || {
+        if at >= payload.len() {
+            return None;
+        }
+        let len = u32::from_le_bytes(payload[at..at + 4].try_into().expect("len 4")) as usize;
+        at += 4;
+        let entry = &payload[at..at + len];
+        at += len;
+        Some(entry)
+    })
+}
+
+/// Frames `entries` into a TupleHash one-shot payload.
+pub fn encode_tuple_payload(entries: &[&[u8]]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for entry in entries {
+        out.extend_from_slice(&(entry.len() as u32).to_le_bytes());
+        out.extend_from_slice(entry);
+    }
+    out
 }
 
 /// A server → client frame.
@@ -435,6 +992,43 @@ pub enum Response {
         /// the common digest/error variants stay small.
         snapshot: Box<MetricsSnapshot>,
     },
+    /// A session is open and ready to absorb.
+    Opened {
+        /// The request id this answers.
+        id: u64,
+        /// The session id echoed back.
+        session: u64,
+    },
+    /// An ABSORB chunk has been absorbed into the session state.
+    Absorbed {
+        /// The request id this answers.
+        id: u64,
+        /// The session id echoed back.
+        session: u64,
+    },
+    /// The session is finalized and ready to squeeze.
+    Finalized {
+        /// The request id this answers.
+        id: u64,
+        /// The session id echoed back.
+        session: u64,
+    },
+    /// The next output bytes of a finalized session.
+    Squeezed {
+        /// The request id this answers.
+        id: u64,
+        /// The session id echoed back.
+        session: u64,
+        /// The squeezed bytes, exactly the requested length.
+        bytes: Vec<u8>,
+    },
+    /// The session is closed and its id free for reuse.
+    Closed {
+        /// The request id this answers.
+        id: u64,
+        /// The session id echoed back.
+        session: u64,
+    },
 }
 
 impl Response {
@@ -443,7 +1037,12 @@ impl Response {
         match self {
             Response::Digest { id, .. }
             | Response::Error { id, .. }
-            | Response::Stats { id, .. } => *id,
+            | Response::Stats { id, .. }
+            | Response::Opened { id, .. }
+            | Response::Absorbed { id, .. }
+            | Response::Finalized { id, .. }
+            | Response::Squeezed { id, .. }
+            | Response::Closed { id, .. } => *id,
         }
     }
 
@@ -469,6 +1068,17 @@ impl Response {
                 encode_snapshot(snapshot, &mut body);
                 body
             }
+            Response::Opened { id, session } => session_ack(KIND_OPENED, *id, *session),
+            Response::Absorbed { id, session } => session_ack(KIND_ABSORBED, *id, *session),
+            Response::Finalized { id, session } => session_ack(KIND_FINALIZED, *id, *session),
+            Response::Squeezed { id, session, bytes } => {
+                let mut body = header(KIND_SQUEEZED, *id, 8 + 4 + bytes.len());
+                body.extend_from_slice(&session.to_le_bytes());
+                body.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                body.extend_from_slice(bytes);
+                body
+            }
+            Response::Closed { id, session } => session_ack(KIND_CLOSED, *id, *session),
         }
     }
 
@@ -497,7 +1107,29 @@ impl Response {
                 id,
                 snapshot: Box::new(decode_snapshot(&mut cursor)?),
             },
-            KIND_HASH | KIND_STATS => return Err(ProtocolError::UnexpectedKind { got: kind }),
+            KIND_OPENED => Response::Opened {
+                id,
+                session: cursor.u64()?,
+            },
+            KIND_ABSORBED => Response::Absorbed {
+                id,
+                session: cursor.u64()?,
+            },
+            KIND_FINALIZED => Response::Finalized {
+                id,
+                session: cursor.u64()?,
+            },
+            KIND_SQUEEZED => {
+                let session = cursor.u64()?;
+                let bytes = cursor.bytes_u32_len()?;
+                Response::Squeezed { id, session, bytes }
+            }
+            KIND_CLOSED => Response::Closed {
+                id,
+                session: cursor.u64()?,
+            },
+            KIND_HASH | KIND_STATS | KIND_OPEN | KIND_ABSORB | KIND_FINALIZE | KIND_SQUEEZE
+            | KIND_CLOSE => return Err(ProtocolError::UnexpectedKind { got: kind }),
             got => return Err(ProtocolError::UnknownKind { got }),
         };
         cursor.finish()?;
@@ -514,9 +1146,16 @@ fn header(kind: u8, id: u64, payload_len: usize) -> Vec<u8> {
     body
 }
 
-/// Fixed encoded length of a [`MetricsSnapshot`]: 16 `u64`-width fields
+/// A session acknowledgement body: just the session id.
+fn session_ack(kind: u8, id: u64, session: u64) -> Vec<u8> {
+    let mut body = header(kind, id, 8);
+    body.extend_from_slice(&session.to_le_bytes());
+    body
+}
+
+/// Fixed encoded length of a [`MetricsSnapshot`]: 19 `u64`-width fields
 /// plus three six-field [`QuantileSummary`] blocks.
-const SNAPSHOT_LEN: usize = 16 * 8 + 3 * 6 * 8;
+const SNAPSHOT_LEN: usize = 19 * 8 + 3 * 6 * 8;
 
 fn encode_snapshot(snapshot: &MetricsSnapshot, out: &mut Vec<u8>) {
     for value in [
@@ -532,6 +1171,9 @@ fn encode_snapshot(snapshot: &MetricsSnapshot, out: &mut Vec<u8>) {
         snapshot.simulator_served,
         snapshot.mirrored,
         snapshot.mirror_mismatches,
+        snapshot.stream_ops,
+        snapshot.stream_absorbed,
+        snapshot.stream_squeezed,
         snapshot.queue_depth as u64,
         snapshot.mean_batch_fill.to_bits(),
         snapshot.alive_workers as u64,
@@ -554,8 +1196,8 @@ fn encode_snapshot(snapshot: &MetricsSnapshot, out: &mut Vec<u8>) {
 }
 
 fn decode_snapshot(cursor: &mut Cursor<'_>) -> Result<MetricsSnapshot, ProtocolError> {
-    let u64s = |cursor: &mut Cursor<'_>| -> Result<[u64; 16], ProtocolError> {
-        let mut values = [0u64; 16];
+    let u64s = |cursor: &mut Cursor<'_>| -> Result<[u64; 19], ProtocolError> {
+        let mut values = [0u64; 19];
         for value in &mut values {
             *value = cursor.u64()?;
         }
@@ -585,10 +1227,13 @@ fn decode_snapshot(cursor: &mut Cursor<'_>) -> Result<MetricsSnapshot, ProtocolE
         simulator_served: counters[9],
         mirrored: counters[10],
         mirror_mismatches: counters[11],
-        queue_depth: counters[12] as usize,
-        mean_batch_fill: f64::from_bits(counters[13]),
-        alive_workers: counters[14] as usize,
-        batch_slots: counters[15] as usize,
+        stream_ops: counters[12],
+        stream_absorbed: counters[13],
+        stream_squeezed: counters[14],
+        queue_depth: counters[15] as usize,
+        mean_batch_fill: f64::from_bits(counters[16]),
+        alive_workers: counters[17] as usize,
+        batch_slots: counters[18] as usize,
         queue_ns: quantiles(cursor)?,
         service_ns: quantiles(cursor)?,
         e2e_ns: quantiles(cursor)?,
@@ -744,6 +1389,9 @@ mod tests {
             simulator_served: 30,
             mirrored: 12,
             mirror_mismatches: 1,
+            stream_ops: 17,
+            stream_absorbed: 4096,
+            stream_squeezed: 96,
             queue_depth: 7,
             mean_batch_fill: 0.875,
             alive_workers: 2,
@@ -762,6 +1410,7 @@ mod tests {
                 algorithm: WireAlgorithm::Sha3_256,
                 output_len: 32,
                 deadline: Some(Duration::from_micros(1500)),
+                params: AlgorithmParams::none(),
                 payload: b"the message".to_vec(),
             },
             Request::Hash {
@@ -769,9 +1418,59 @@ mod tests {
                 algorithm: WireAlgorithm::Shake128,
                 output_len: 133,
                 deadline: None,
+                params: AlgorithmParams::none(),
                 payload: Vec::new(),
             },
+            Request::Hash {
+                id: 3,
+                algorithm: WireAlgorithm::Kmac256,
+                output_len: 64,
+                deadline: None,
+                params: AlgorithmParams::kmac(&b"a key"[..], &b"a context"[..]),
+                payload: b"authenticated".to_vec(),
+            },
+            Request::Hash {
+                id: 4,
+                algorithm: WireAlgorithm::TupleHash128,
+                output_len: 32,
+                deadline: None,
+                params: AlgorithmParams::customization(&b"tuple ctx"[..]),
+                payload: encode_tuple_payload(&[b"one", b"", b"three"]),
+            },
+            Request::Hash {
+                id: 5,
+                algorithm: WireAlgorithm::ParallelHash256,
+                output_len: 64,
+                deadline: None,
+                params: AlgorithmParams::parallel_hash(8, &b""[..]),
+                payload: vec![0x5A; 100],
+            },
             Request::Stats { id: 7 },
+            Request::Open {
+                id: 8,
+                session: 0xBEEF,
+                algorithm: WireAlgorithm::CShake256,
+                params: AlgorithmParams::cshake(&b"Email Signature"[..], &b""[..]),
+            },
+            Request::Absorb {
+                id: 9,
+                session: 0xBEEF,
+                chunk: vec![1, 2, 3],
+            },
+            Request::Finalize {
+                id: 10,
+                session: 0xBEEF,
+                output_len: 0,
+            },
+            Request::Squeeze {
+                id: 11,
+                session: 0xBEEF,
+                len: 64,
+            },
+            Request::Close {
+                id: 12,
+                session: 0xBEEF,
+            },
         ];
         for request in requests {
             let decoded = Request::decode(&request.encode()).expect("round trip");
@@ -791,10 +1490,24 @@ mod tests {
                 code: ErrorCode::Busy,
                 detail: "queue full at depth 1024".into(),
             },
+            Response::Error {
+                id: 13,
+                code: ErrorCode::SessionState,
+                detail: "SQUEEZE before FINALIZE".into(),
+            },
             Response::Stats {
                 id: 11,
                 snapshot: Box::new(sample_snapshot()),
             },
+            Response::Opened { id: 1, session: 2 },
+            Response::Absorbed { id: 3, session: 2 },
+            Response::Finalized { id: 4, session: 2 },
+            Response::Squeezed {
+                id: 5,
+                session: 2,
+                bytes: vec![0xCD; 32],
+            },
+            Response::Closed { id: 6, session: 2 },
         ];
         for response in responses {
             let decoded = Response::decode(&response.encode()).expect("round trip");
@@ -817,8 +1530,95 @@ mod tests {
             Err(ProtocolError::UnknownAlgorithm { got: 0 })
         );
         assert_eq!(
-            WireAlgorithm::from_id(7),
-            Err(ProtocolError::UnknownAlgorithm { got: 7 })
+            WireAlgorithm::from_id(16),
+            Err(ProtocolError::UnknownAlgorithm { got: 16 })
+        );
+        for algorithm in WireAlgorithm::FIPS {
+            assert!(algorithm.is_fips());
+            assert!(!algorithm.is_tree());
+        }
+        assert!(WireAlgorithm::TreeHash256.is_tree());
+        assert!(WireAlgorithm::ParallelHash128.is_tree());
+        assert!(!WireAlgorithm::Kmac256.is_tree());
+        assert_eq!(WireAlgorithm::CShake128.security_bits(), 128);
+        assert_eq!(WireAlgorithm::Sha3_384.security_bits(), 384);
+        assert_eq!(WireAlgorithm::TreeHash256.security_bits(), 256);
+    }
+
+    #[test]
+    fn params_validation_enforces_per_algorithm_rules() {
+        // FIPS 202: everything empty.
+        assert!(AlgorithmParams::none()
+            .validate(WireAlgorithm::Sha3_256)
+            .is_ok());
+        assert!(matches!(
+            AlgorithmParams::customization(&b"ctx"[..]).validate(WireAlgorithm::Sha3_256),
+            Err(ProtocolError::BadParams { .. })
+        ));
+        // Keys only for KMAC.
+        assert!(AlgorithmParams::kmac(&b"k"[..], &b""[..])
+            .validate(WireAlgorithm::Kmac128)
+            .is_ok());
+        assert!(matches!(
+            AlgorithmParams::kmac(&b"k"[..], &b""[..]).validate(WireAlgorithm::CShake128),
+            Err(ProtocolError::BadParams { .. })
+        ));
+        // Function names only for cSHAKE.
+        assert!(matches!(
+            AlgorithmParams::cshake(&b"N"[..], &b""[..]).validate(WireAlgorithm::TupleHash128),
+            Err(ProtocolError::BadParams { .. })
+        ));
+        // ParallelHash needs a block size; others must not carry one.
+        assert!(matches!(
+            AlgorithmParams::customization(&b""[..]).validate(WireAlgorithm::ParallelHash128),
+            Err(ProtocolError::BadParams { .. })
+        ));
+        assert!(AlgorithmParams::parallel_hash(8, &b""[..])
+            .validate(WireAlgorithm::ParallelHash128)
+            .is_ok());
+        assert!(matches!(
+            AlgorithmParams::parallel_hash(8, &b""[..]).validate(WireAlgorithm::Kmac128),
+            Err(ProtocolError::BadParams { .. })
+        ));
+        // The KRV tree block size is fixed.
+        assert!(AlgorithmParams::customization(&b""[..])
+            .validate(WireAlgorithm::TreeHash256)
+            .is_ok());
+        assert!(AlgorithmParams::parallel_hash(4096, &b""[..])
+            .validate(WireAlgorithm::TreeHash256)
+            .is_ok());
+        assert!(matches!(
+            AlgorithmParams::parallel_hash(512, &b""[..]).validate(WireAlgorithm::TreeHash256),
+            Err(ProtocolError::BadParams { .. })
+        ));
+        // Oversized strings are rejected.
+        let oversized = AlgorithmParams::customization(vec![0u8; MAX_PARAM_LEN + 1]);
+        assert!(matches!(
+            oversized.validate(WireAlgorithm::CShake256),
+            Err(ProtocolError::BadParams { .. })
+        ));
+    }
+
+    #[test]
+    fn tuple_payload_framing_round_trips_and_rejects_mismatches() {
+        let entries: [&[u8]; 3] = [b"abc", b"", b"01234567"];
+        let payload = encode_tuple_payload(&entries);
+        assert!(validate_tuple_framing(&payload).is_ok());
+        let decoded: Vec<&[u8]> = tuple_entries(&payload).collect();
+        assert_eq!(decoded, entries);
+        // A truncated or over-declared framing fails.
+        assert_eq!(
+            validate_tuple_framing(&payload[..payload.len() - 1]),
+            Err(ProtocolError::BadTuplePayload)
+        );
+        assert_eq!(
+            validate_tuple_framing(&[0xFF, 0xFF, 0xFF]),
+            Err(ProtocolError::BadTuplePayload)
+        );
+        let over_declared = encode_tuple_payload(&[b"abc"])[..5].to_vec();
+        assert_eq!(
+            validate_tuple_framing(&over_declared),
+            Err(ProtocolError::BadTuplePayload)
         );
     }
 
@@ -829,6 +1629,7 @@ mod tests {
             algorithm: WireAlgorithm::Sha3_256,
             output_len: 32,
             deadline: None,
+            params: AlgorithmParams::none(),
             payload: b"abc".to_vec(),
         }
         .encode();
@@ -883,6 +1684,7 @@ mod tests {
             algorithm: WireAlgorithm::Sha3_512,
             output_len: 32,
             deadline: None,
+            params: AlgorithmParams::none(),
             payload: Vec::new(),
         }
         .encode();
@@ -900,6 +1702,7 @@ mod tests {
             algorithm: WireAlgorithm::Shake256,
             output_len: MAX_OUTPUT_LEN + 1,
             deadline: None,
+            params: AlgorithmParams::none(),
             payload: Vec::new(),
         }
         .encode();
@@ -909,6 +1712,86 @@ mod tests {
                 len: MAX_OUTPUT_LEN + 1
             })
         );
+
+        // A params block the algorithm does not allow.
+        let bad_params = Request::Hash {
+            id: 1,
+            algorithm: WireAlgorithm::Sha3_256,
+            output_len: 32,
+            deadline: None,
+            params: AlgorithmParams::customization(&b"nope"[..]),
+            payload: Vec::new(),
+        }
+        .encode();
+        assert!(matches!(
+            Request::decode(&bad_params),
+            Err(ProtocolError::BadParams { .. })
+        ));
+
+        // An ABSORB chunk over the named protocol limit. The declared
+        // length is checked before the bytes, exactly like the frame
+        // limit, so build the frame by hand.
+        let mut oversized_chunk = header(KIND_ABSORB, 1, 12);
+        oversized_chunk.extend_from_slice(&7u64.to_le_bytes());
+        oversized_chunk.extend_from_slice(&((MAX_CHUNK_LEN + 1) as u32).to_le_bytes());
+        assert_eq!(
+            Request::decode(&oversized_chunk),
+            Err(ProtocolError::OversizedChunk {
+                len: MAX_CHUNK_LEN + 1
+            })
+        );
+
+        // A SQUEEZE over the output cap.
+        let oversized_squeeze = Request::Squeeze {
+            id: 1,
+            session: 7,
+            len: MAX_OUTPUT_LEN + 1,
+        }
+        .encode();
+        assert_eq!(
+            Request::decode(&oversized_squeeze),
+            Err(ProtocolError::OversizedOutput {
+                len: MAX_OUTPUT_LEN + 1
+            })
+        );
+
+        // A malformed TupleHash one-shot payload.
+        let bad_tuple = Request::Hash {
+            id: 1,
+            algorithm: WireAlgorithm::TupleHash256,
+            output_len: 64,
+            deadline: None,
+            params: AlgorithmParams::none(),
+            payload: vec![0xFF; 3],
+        }
+        .encode();
+        assert_eq!(
+            Request::decode(&bad_tuple),
+            Err(ProtocolError::BadTuplePayload)
+        );
+    }
+
+    #[test]
+    fn max_chunk_frames_fit_the_shared_frame_limit() {
+        // The named limits are consistent by construction: a maximal
+        // ABSORB chunk's whole frame body stays within the frame limit
+        // both sides read with.
+        let frame = Request::Absorb {
+            id: u64::MAX,
+            session: u64::MAX,
+            chunk: vec![0u8; MAX_CHUNK_LEN],
+        }
+        .encode();
+        assert!(frame.len() <= DEFAULT_MAX_FRAME, "{}", frame.len());
+        assert!(Request::decode(&frame).is_ok());
+        // And the largest SQUEEZED response fits too.
+        let response = Response::Squeezed {
+            id: u64::MAX,
+            session: u64::MAX,
+            bytes: vec![0u8; MAX_OUTPUT_LEN],
+        }
+        .encode();
+        assert!(response.len() <= DEFAULT_MAX_FRAME);
     }
 
     #[test]
@@ -959,12 +1842,22 @@ mod tests {
     fn errors_and_codes_format_human_readably() {
         assert_eq!(ErrorCode::Busy.to_string(), "BUSY");
         assert_eq!(ErrorCode::from_byte(2), Ok(ErrorCode::Deadline));
+        assert_eq!(ErrorCode::from_byte(5), Ok(ErrorCode::BadSession));
+        assert_eq!(ErrorCode::from_byte(6), Ok(ErrorCode::SessionState));
+        assert_eq!(ErrorCode::from_byte(7), Ok(ErrorCode::SessionLimit));
         assert_eq!(
             ErrorCode::from_byte(0),
             Err(ProtocolError::UnknownErrorCode { got: 0 })
         );
+        assert_eq!(
+            ErrorCode::from_byte(8),
+            Err(ProtocolError::UnknownErrorCode { got: 8 })
+        );
         let text = ProtocolError::OversizedFrame { len: 10, max: 5 }.to_string();
         assert!(text.contains("10") && text.contains("5"), "{text}");
         assert!(ProtocolError::BadUtf8.to_string().contains("UTF-8"));
+        assert!(ProtocolError::OversizedChunk { len: 1 }
+            .to_string()
+            .contains("ABSORB"));
     }
 }

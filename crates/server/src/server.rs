@@ -44,6 +44,18 @@ pub struct ServerConfig {
     /// (after draining whatever it already has in flight) — this is
     /// also what reaps half-open peers that vanished without a FIN.
     pub idle_timeout: Duration,
+    /// Most streaming sessions one connection may hold open at once;
+    /// an `OPEN` past the cap is answered `SESSION_LIMIT` (survivable —
+    /// the connection keeps serving).
+    pub max_sessions: usize,
+    /// A wire session touched by no frame or completion for this long
+    /// is reaped; later frames for its id answer `BAD_SESSION`.
+    pub session_idle_timeout: Duration,
+    /// Most leaf blocks one tree session (or one-shot tree request) may
+    /// produce — the bound on buffered leaf digests, hence on session
+    /// memory. The default covers a 1 GiB message at the 4 KiB KRV
+    /// block size.
+    pub max_tree_leaves: usize,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +70,9 @@ impl Default for ServerConfig {
             max_frame: crate::protocol::DEFAULT_MAX_FRAME,
             max_in_flight: 128,
             idle_timeout: Duration::from_secs(30),
+            max_sessions: 16,
+            session_idle_timeout: Duration::from_secs(30),
+            max_tree_leaves: 1 << 18,
         }
     }
 }

@@ -11,7 +11,7 @@
 //! shutdown drains cleanly.
 
 use krv_server::protocol::{read_frame, write_frame, DEFAULT_MAX_FRAME};
-use krv_server::{Client, Request, Server, ServerConfig, WireAlgorithm};
+use krv_server::{AlgorithmParams, Client, Request, Server, ServerConfig, WireAlgorithm};
 use krv_service::ServiceConfig;
 use krv_sha3::Sha3_256;
 use krv_testkit::Rng;
@@ -37,6 +37,7 @@ fn rude_round(addr: std::net::SocketAddr, rng: &mut Rng, burst: usize, style: u6
             algorithm: WireAlgorithm::Sha3_256,
             output_len: 32,
             deadline: None,
+            params: AlgorithmParams::none(),
             payload: rng.bytes(payload_len),
         };
         write_frame(&mut wire, &request.encode()).expect("frame");
@@ -120,6 +121,7 @@ fn churn_soak_leaks_nothing_and_drains_clean() {
                 algorithm: WireAlgorithm::Sha3_256,
                 output_len: 32,
                 deadline: None,
+                params: AlgorithmParams::none(),
                 payload: b"then silence".to_vec(),
             }
             .encode(),

@@ -14,15 +14,38 @@
 //! A failing case shrinks via `krv_testkit::shrink` to a minimal byte
 //! string before it is reported.
 
-use krv_server::protocol::{read_frame, write_frame, DEFAULT_MAX_FRAME};
-use krv_server::{Client, Request, Response, Server, ServerConfig, WireAlgorithm};
+use krv_server::protocol::{
+    encode_tuple_payload, read_frame, write_frame, DEFAULT_MAX_FRAME, MAX_CHUNK_LEN,
+};
+use krv_server::{
+    AlgorithmParams, Client, ErrorCode, Request, Response, Server, ServerConfig, WireAlgorithm,
+};
 use krv_service::ServiceConfig;
-use krv_sha3::Sha3_256;
+use krv_sha3::{Sha3_256, Shake256};
 use krv_testkit::{shrink, CaseReport, Rng};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
+
+/// A well-formed params block for an algorithm (FIPS ids take none).
+fn valid_params(algorithm: WireAlgorithm) -> AlgorithmParams {
+    match algorithm {
+        WireAlgorithm::CShake128 | WireAlgorithm::CShake256 => {
+            AlgorithmParams::cshake(&b"Fuzz"[..], &b"ctx"[..])
+        }
+        WireAlgorithm::Kmac128 | WireAlgorithm::Kmac256 => {
+            AlgorithmParams::kmac(&b"fuzz key material"[..], &b""[..])
+        }
+        WireAlgorithm::TupleHash128 | WireAlgorithm::TupleHash256 => {
+            AlgorithmParams::customization(&b""[..])
+        }
+        WireAlgorithm::ParallelHash128 | WireAlgorithm::ParallelHash256 => {
+            AlgorithmParams::parallel_hash(1024, &b""[..])
+        }
+        _ => AlgorithmParams::none(),
+    }
+}
 
 /// A random but well-formed request frame body.
 fn valid_body(rng: &mut Rng) -> Vec<u8> {
@@ -34,12 +57,21 @@ fn valid_body(rng: &mut Rng) -> Vec<u8> {
         .fixed_output_len()
         .unwrap_or_else(|| 1 + rng.below(200));
     let payload_len = rng.below(300);
+    let payload = match algorithm {
+        // TupleHash payloads carry entry framing of their own.
+        WireAlgorithm::TupleHash128 | WireAlgorithm::TupleHash256 => {
+            let entry = rng.bytes(payload_len);
+            encode_tuple_payload(&[&entry])
+        }
+        _ => rng.bytes(payload_len),
+    };
     Request::Hash {
         id: rng.next_u64(),
         algorithm,
         output_len,
         deadline: rng.next_bool().then(|| Duration::from_millis(500)),
-        payload: rng.bytes(payload_len),
+        params: valid_params(algorithm),
+        payload,
     }
     .encode()
 }
@@ -285,6 +317,7 @@ fn live_daemon_survives_malformed_frames_without_hanging_or_dying() {
         algorithm: WireAlgorithm::Sha3_256,
         output_len: 32,
         deadline: None,
+        params: AlgorithmParams::none(),
         payload: b"still served".to_vec(),
     };
     let mut wire = Vec::new();
@@ -305,6 +338,258 @@ fn live_daemon_survives_malformed_frames_without_hanging_or_dying() {
         Sha3_256::digest(b"alive")
     );
     drop(client);
+    server.shutdown();
+}
+
+/// Writes a batch of request frames to a fresh connection and collects
+/// every response the server sends before *it* closes the connection.
+/// Panics if the server hangs instead of closing.
+fn session_probe(addr: std::net::SocketAddr, frames: &[Request]) -> Vec<Response> {
+    let mut stream = TcpStream::connect(addr).expect("connect session probe");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let mut wire = Vec::new();
+    for frame in frames {
+        write_frame(&mut wire, &frame.encode()).expect("frame");
+    }
+    stream.write_all(&wire).expect("write");
+    stream.flush().expect("flush");
+    // Deliberately keep the write half open: a session-state violation
+    // must make the *server* close the connection.
+    let mut out = Vec::new();
+    loop {
+        match read_frame(&mut stream, DEFAULT_MAX_FRAME) {
+            Ok(Some(Ok(body))) => out.push(Response::decode(&body).expect("valid response")),
+            Ok(Some(Err(oversized))) => panic!("oversized response: {oversized:?}"),
+            Ok(None) => break,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                panic!("daemon hung instead of closing a violating connection")
+            }
+            Err(_) => break,
+        }
+    }
+    out
+}
+
+/// The typed error codes in a response batch.
+fn error_codes(responses: &[Response]) -> Vec<ErrorCode> {
+    responses
+        .iter()
+        .filter_map(|response| match response {
+            Response::Error { code, .. } => Some(*code),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Session-state mutation families: every out-of-order, unknown-id,
+/// duplicate-id, over-budget, truncated or oversized session frame must
+/// draw a typed error (or a protocol-level close), kill **only** the
+/// offending connection, and leave sessions on other connections — and
+/// the daemon itself — fully alive.
+#[test]
+fn session_state_violations_kill_only_the_offending_connection() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            service: ServiceConfig {
+                max_wait: Duration::from_micros(200),
+                ..ServiceConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // A healthy streaming session on its own connection: it must ride
+    // out every violation below untouched.
+    let survivor_client = Client::connect(addr).expect("survivor connect");
+    let survivor = survivor_client
+        .open_session(WireAlgorithm::Shake256, AlgorithmParams::none())
+        .expect("survivor open");
+    let survivor_message = b"the survivor session outlives every violating neighbour";
+    let (head, tail) = survivor_message.split_at(20);
+    survivor.absorb(head).expect("survivor absorb");
+
+    let shake = WireAlgorithm::Shake256;
+    let none = AlgorithmParams::none;
+    let open = |id, session| Request::Open {
+        id,
+        session,
+        algorithm: shake,
+        params: none(),
+    };
+    // (family name, frames, expected typed error code; None means the
+    // violation is caught at decode time and closed without a reply)
+    let families: Vec<(&str, Vec<Request>, Option<ErrorCode>)> = vec![
+        (
+            "absorb to a never-opened session",
+            vec![Request::Absorb {
+                id: 1,
+                session: 99,
+                chunk: b"orphan".to_vec(),
+            }],
+            Some(ErrorCode::BadSession),
+        ),
+        (
+            "squeeze before finalize",
+            vec![
+                open(1, 7),
+                Request::Absorb {
+                    id: 2,
+                    session: 7,
+                    chunk: b"data".to_vec(),
+                },
+                Request::Squeeze {
+                    id: 3,
+                    session: 7,
+                    len: 32,
+                },
+            ],
+            Some(ErrorCode::SessionState),
+        ),
+        (
+            "absorb after finalize",
+            vec![
+                open(1, 7),
+                Request::Finalize {
+                    id: 2,
+                    session: 7,
+                    output_len: 0,
+                },
+                Request::Absorb {
+                    id: 3,
+                    session: 7,
+                    chunk: b"late".to_vec(),
+                },
+            ],
+            Some(ErrorCode::SessionState),
+        ),
+        (
+            "duplicate open of a live session id",
+            vec![open(1, 5), open(2, 5)],
+            Some(ErrorCode::BadSession),
+        ),
+        (
+            "close of an unknown session",
+            vec![Request::Close { id: 1, session: 42 }],
+            Some(ErrorCode::BadSession),
+        ),
+        (
+            "squeeze past the finalize budget",
+            vec![
+                Request::Open {
+                    id: 1,
+                    session: 7,
+                    algorithm: WireAlgorithm::Sha3_256,
+                    params: none(),
+                },
+                Request::Finalize {
+                    id: 2,
+                    session: 7,
+                    output_len: 32,
+                },
+                Request::Squeeze {
+                    id: 3,
+                    session: 7,
+                    len: 33,
+                },
+            ],
+            Some(ErrorCode::SessionState),
+        ),
+        (
+            "interleaved sessions with one violating",
+            vec![
+                open(1, 10),
+                open(2, 11),
+                Request::Absorb {
+                    id: 3,
+                    session: 10,
+                    chunk: b"fine".to_vec(),
+                },
+                Request::Squeeze {
+                    id: 4,
+                    session: 11,
+                    len: 8,
+                },
+            ],
+            Some(ErrorCode::SessionState),
+        ),
+    ];
+
+    for (family, frames, expected) in families {
+        let responses = session_probe(addr, &frames);
+        let codes = error_codes(&responses);
+        let code = expected.expect("typed families carry a code");
+        assert_eq!(
+            codes,
+            vec![code],
+            "{family}: expected exactly one {code:?} error, got {responses:?}"
+        );
+    }
+
+    // Truncated chunk: the ABSORB body ends before its declared chunk
+    // does. Caught at decode time; the connection closes, typed reply
+    // optional (the OPEN before it is still answered).
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &open(1, 3).encode()).expect("frame");
+    let absorb = Request::Absorb {
+        id: 2,
+        session: 3,
+        chunk: vec![0xAA; 64],
+    }
+    .encode();
+    write_frame(&mut wire, &absorb[..absorb.len() - 10]).expect("frame");
+    assert_ne!(
+        probe(addr, &wire),
+        Probe::Hung,
+        "truncated chunk must close, not hang"
+    );
+
+    // Oversized chunk: one byte past MAX_CHUNK_LEN still fits the frame
+    // cap, so it reaches the session decoder and dies there.
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &open(1, 3).encode()).expect("frame");
+    write_frame(
+        &mut wire,
+        &Request::Absorb {
+            id: 2,
+            session: 3,
+            chunk: vec![0xBB; MAX_CHUNK_LEN + 1],
+        }
+        .encode(),
+    )
+    .expect("frame");
+    assert_ne!(
+        probe(addr, &wire),
+        Probe::Hung,
+        "oversized chunk must close, not hang"
+    );
+
+    // The survivor session never noticed any of it.
+    survivor.absorb(tail).expect("survivor absorb tail");
+    survivor.finalize(0).expect("survivor finalize");
+    let digest = survivor.squeeze(32).expect("survivor squeeze");
+    survivor.close().expect("survivor close");
+    assert_eq!(digest, Shake256::digest(survivor_message, 32));
+
+    // And the daemon still serves fresh connections.
+    let client = Client::connect(addr).expect("fresh connection");
+    assert_eq!(
+        client
+            .digest(WireAlgorithm::Sha3_256, b"alive")
+            .expect("daemon survived the session fuzz"),
+        Sha3_256::digest(b"alive")
+    );
+    drop(client);
+    drop(survivor_client);
     server.shutdown();
 }
 
@@ -338,6 +623,7 @@ fn byte_dribble_delivery_parses_identically() {
         algorithm: WireAlgorithm::Sha3_256,
         output_len: 32,
         deadline: None,
+        params: AlgorithmParams::none(),
         payload: b"dribbled one byte at a time".to_vec(),
     };
     let mut wire = Vec::new();
@@ -385,6 +671,7 @@ fn random_chunk_splits_never_desync_framing() {
                 algorithm: WireAlgorithm::Sha3_256,
                 output_len: 32,
                 deadline: None,
+                params: AlgorithmParams::none(),
                 payload: payload.clone(),
             };
             write_frame(&mut wire, &request.encode()).expect("frame");

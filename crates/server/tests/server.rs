@@ -69,7 +69,7 @@ fn every_algorithm_round_trips_against_the_reference() {
     let server = quick_server(quick_config());
     let client = Client::connect(server.local_addr()).expect("connect");
     let message = b"the six FIPS 202 functions over the wire";
-    for algorithm in WireAlgorithm::ALL {
+    for algorithm in WireAlgorithm::FIPS {
         let digest = client.digest(algorithm, message).expect("digest");
         let expected = match algorithm {
             WireAlgorithm::Sha3_224 => krv_sha3::Sha3_224::digest(message).to_vec(),
@@ -78,6 +78,7 @@ fn every_algorithm_round_trips_against_the_reference() {
             WireAlgorithm::Sha3_512 => Sha3_512::digest(message).to_vec(),
             WireAlgorithm::Shake128 => Shake128::digest(message, 32),
             WireAlgorithm::Shake256 => Shake256::digest(message, 32),
+            other => unreachable!("{} is not FIPS", other.name()),
         };
         assert_eq!(digest, expected, "{}", algorithm.name());
     }

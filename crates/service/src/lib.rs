@@ -56,11 +56,13 @@ mod tier;
 
 pub use metrics::{MetricsSnapshot, QuantileSummary, ShardMetrics};
 pub use shard::{ShardConfig, ShardedService};
-pub use ticket::{Completion, RequestError, RequestTiming, Ticket};
+pub use ticket::{
+    Completion, RequestError, RequestTiming, StreamCompletion, StreamOutput, StreamTicket, Ticket,
+};
 pub use tier::{TierKind, TierPolicy};
 
 use krv_core::KernelKind;
-use krv_sha3::SpongeParams;
+use krv_sha3::{SpongeParams, SpongeState};
 use scheduler::{Scheduler, Shared};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -83,11 +85,14 @@ pub struct ServiceConfig {
     /// Which tier serves traffic and how often it is mirrored through
     /// the other tier as a differential oracle.
     pub tier: TierPolicy,
-    /// Per-client fair-share cap: the most queue slots one client id
-    /// (see [`Service::submit_as`]) may hold at once. A client at its
-    /// cap is refused with [`SubmitError::ClientThrottled`] even while
-    /// the queue has room, so one flooding client cannot starve the
-    /// rest. `None` (the default) disables per-client accounting limits.
+    /// Per-client fair-share cap: the most admission units one client id
+    /// (see [`Service::submit_as`]) may hold at once. A one-shot request
+    /// holds one unit; a streaming operation holds
+    /// [`StreamRequest::fair_share_cost`] units, so session traffic is
+    /// weighed by its bytes. A client at or above its cap is refused
+    /// with [`SubmitError::ClientThrottled`] even while the queue has
+    /// room, so one flooding client cannot starve the rest. `None` (the
+    /// default) disables per-client accounting limits.
     pub fair_share: Option<usize>,
 }
 
@@ -159,6 +164,102 @@ impl HashRequest {
     }
 }
 
+/// One bounded operation of a streaming hash session: absorb a chunk,
+/// optionally pad, then squeeze a window — carried through the same
+/// admission queue and micro-batches as one-shot [`HashRequest`]s.
+///
+/// A session is a [`SpongeState`] that lives outside the service (in a
+/// server's session table, say) between operations: the caller submits
+/// the state with each operation and receives it back, advanced, in the
+/// [`StreamOutput`]. The scheduler drives every live stream operation of
+/// a batch through shared permutation rounds
+/// ([`krv_sha3::drive_stream`]), so a hundred slow-trickling sessions
+/// cost hardware passes like one busy one.
+///
+/// The service is lifecycle-lenient only to the extent
+/// [`krv_sha3::StreamOp`] is: absorbing into a squeezing state,
+/// double-finalizing, or squeezing an unfinalized state panics the
+/// scheduler. Callers (the server's session table) must enforce the
+/// `ABSORB* → FINALIZE → SQUEEZE*` order *before* submitting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamRequest {
+    /// The session's sponge state, consumed by the operation and handed
+    /// back (advanced) in the completion.
+    pub state: Box<SpongeState>,
+    /// Message bytes to absorb first (may be empty). Algorithm framing
+    /// bytes ride here too: a cSHAKE prefix in the first operation, a
+    /// KMAC `right_encode(L·8)` suffix in the finalizing one.
+    pub absorb: Vec<u8>,
+    /// Whether to apply domain separation + pad10*1 after absorbing.
+    pub finalize: bool,
+    /// Output bytes to squeeze after padding (0 for a pure absorb).
+    pub squeeze_len: usize,
+    /// Deadline relative to admission, as for [`HashRequest::deadline`].
+    /// An expired stream operation completes as
+    /// [`RequestError::TimedOut`] and its state is lost — the session
+    /// must be abandoned.
+    pub deadline: Option<Duration>,
+}
+
+impl StreamRequest {
+    /// Fair-share accounting granularity: a stream operation holds
+    /// `1 + absorb.len() / FAIR_SHARE_UNIT` units of its client's
+    /// [`ServiceConfig::fair_share`] quota while queued, so session
+    /// traffic is throttled by *bytes*, not frames — a client cannot
+    /// dodge the cap by packing huge chunks into few operations.
+    pub const FAIR_SHARE_UNIT: usize = 64 * 1024;
+
+    /// An absorb-only operation.
+    pub fn absorb(state: Box<SpongeState>, chunk: impl Into<Vec<u8>>) -> Self {
+        Self {
+            state,
+            absorb: chunk.into(),
+            finalize: false,
+            squeeze_len: 0,
+            deadline: None,
+        }
+    }
+
+    /// A finalizing operation: absorb `suffix` (algorithm framing such
+    /// as KMAC's `right_encode(L·8)`; empty for plain SHA-3/SHAKE), then
+    /// pad, then squeeze `squeeze_len` bytes.
+    pub fn finalize(
+        state: Box<SpongeState>,
+        suffix: impl Into<Vec<u8>>,
+        squeeze_len: usize,
+    ) -> Self {
+        Self {
+            state,
+            absorb: suffix.into(),
+            finalize: true,
+            squeeze_len,
+            deadline: None,
+        }
+    }
+
+    /// A squeeze-only operation on an already-finalized state.
+    pub fn squeeze(state: Box<SpongeState>, squeeze_len: usize) -> Self {
+        Self {
+            state,
+            absorb: Vec::new(),
+            finalize: false,
+            squeeze_len,
+            deadline: None,
+        }
+    }
+
+    /// Attaches a deadline (relative to admission).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The fair-share units this operation holds while queued.
+    pub fn fair_share_cost(&self) -> usize {
+        1 + self.absorb.len() / Self::FAIR_SHARE_UNIT
+    }
+}
+
 /// Why a submission was refused at admission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SubmitError {
@@ -168,13 +269,13 @@ pub enum SubmitError {
         /// Queue depth at the time of rejection.
         depth: usize,
     },
-    /// The submitting client already holds its fair share of queue
-    /// slots ([`ServiceConfig::fair_share`]); backpressure aimed at one
+    /// The submitting client already holds its fair share of admission
+    /// units ([`ServiceConfig::fair_share`]); backpressure aimed at one
     /// hot client while the queue stays open for everyone else.
     ClientThrottled {
         /// The client id that hit its cap.
         client: u64,
-        /// Queue slots the client held at the time of rejection.
+        /// Admission units the client held at the time of rejection.
         held: usize,
     },
     /// The service is draining; no new requests are admitted.
@@ -254,7 +355,7 @@ impl Service {
     /// [`SubmitError::ClientThrottled`] when client 0 holds its fair
     /// share, [`SubmitError::ShuttingDown`] once draining has begun.
     pub fn submit(&self, request: HashRequest) -> Result<Ticket, SubmitError> {
-        self.shared.submit(0, request)
+        self.submit_as(0, request)
     }
 
     /// Submits a request on behalf of `client`, the id fair-share
@@ -267,7 +368,70 @@ impl Service {
     /// [`ServiceConfig::fair_share`] queue slots, plus everything
     /// [`Self::submit`] can return.
     pub fn submit_as(&self, client: u64, request: HashRequest) -> Result<Ticket, SubmitError> {
+        self.try_submit_as(client, request).map_err(|(_, e)| e)
+    }
+
+    /// [`Self::submit_as`], except a refusal hands the request back
+    /// alongside the error instead of dropping it — the retry primitive
+    /// for callers (a server's session table) that must not lose the
+    /// message bytes on backpressure.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`Self::submit_as`]'s errors, paired with the refused
+    /// request.
+    pub fn try_submit_as(
+        &self,
+        client: u64,
+        request: HashRequest,
+    ) -> Result<Ticket, (HashRequest, SubmitError)> {
         self.shared.submit(client, request)
+    }
+
+    /// Submits one streaming operation for the anonymous client (id 0).
+    ///
+    /// The operation rides the same admission queue and micro-batches as
+    /// one-shot traffic; its completion hands the advanced
+    /// [`SpongeState`] back for the session's next operation.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`Self::submit`]'s errors; fair-share holds are counted
+    /// in byte-weighted units ([`StreamRequest::fair_share_cost`]).
+    pub fn submit_stream(&self, request: StreamRequest) -> Result<StreamTicket, SubmitError> {
+        self.submit_stream_as(0, request)
+    }
+
+    /// Submits one streaming operation on behalf of `client` (see
+    /// [`Self::submit_as`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::submit_stream`].
+    pub fn submit_stream_as(
+        &self,
+        client: u64,
+        request: StreamRequest,
+    ) -> Result<StreamTicket, SubmitError> {
+        self.try_submit_stream_as(client, request)
+            .map_err(|(_, e)| e)
+    }
+
+    /// [`Self::submit_stream_as`], except a refusal hands the operation
+    /// back — sponge state and chunk bytes included — so a streaming
+    /// session survives backpressure and can resubmit the identical
+    /// operation later.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`Self::submit_stream_as`]'s errors, paired with the
+    /// refused operation.
+    pub fn try_submit_stream_as(
+        &self,
+        client: u64,
+        request: StreamRequest,
+    ) -> Result<StreamTicket, (StreamRequest, SubmitError)> {
+        self.shared.submit_stream(client, request)
     }
 
     /// A point-in-time snapshot of the service's instrumentation.

@@ -85,6 +85,14 @@ pub(crate) struct ServiceStats {
     /// Mirrored requests whose tier digests disagreed (latched; never
     /// reset while the service runs).
     pub mirror_mismatches: u64,
+    /// Streaming operations completed (each is one ABSORB / FINALIZE /
+    /// SQUEEZE micro-op carried through the batch lane; also counted in
+    /// `completed`).
+    pub stream_ops: u64,
+    /// Message bytes absorbed by completed streaming operations.
+    pub stream_absorbed: u64,
+    /// Output bytes squeezed by completed streaming operations.
+    pub stream_squeezed: u64,
     /// Sum of per-batch fill ratios (`batch_size / batch_slots`).
     pub fill_sum: f64,
     /// Pool workers alive as of the last dispatched batch.
@@ -114,6 +122,9 @@ impl ServiceStats {
             simulator_served: 0,
             mirrored: 0,
             mirror_mismatches: 0,
+            stream_ops: 0,
+            stream_absorbed: 0,
+            stream_squeezed: 0,
             fill_sum: 0.0,
             alive_workers: config.workers,
             batch_slots: config.batch_slots(),
@@ -139,6 +150,9 @@ impl ServiceStats {
             simulator_served: self.simulator_served,
             mirrored: self.mirrored,
             mirror_mismatches: self.mirror_mismatches,
+            stream_ops: self.stream_ops,
+            stream_absorbed: self.stream_absorbed,
+            stream_squeezed: self.stream_squeezed,
             fill_sum: self.fill_sum,
             queue_depth,
             alive_workers: self.alive_workers,
@@ -186,6 +200,12 @@ pub struct ShardMetrics {
     pub mirrored: u64,
     /// Mirrored requests whose tier digests disagreed (latched).
     pub mirror_mismatches: u64,
+    /// Streaming operations completed (also counted in `completed`).
+    pub stream_ops: u64,
+    /// Message bytes absorbed by completed streaming operations.
+    pub stream_absorbed: u64,
+    /// Output bytes squeezed by completed streaming operations.
+    pub stream_squeezed: u64,
     /// Sum of per-batch fill ratios (`batch_size / batch_slots`).
     pub fill_sum: f64,
     /// Requests queued at snapshot time.
@@ -225,6 +245,9 @@ impl ShardMetrics {
             simulator_served: 0,
             mirrored: 0,
             mirror_mismatches: 0,
+            stream_ops: 0,
+            stream_absorbed: 0,
+            stream_squeezed: 0,
             fill_sum: 0.0,
             queue_depth: 0,
             alive_workers: 0,
@@ -252,6 +275,9 @@ impl ShardMetrics {
         self.simulator_served += other.simulator_served;
         self.mirrored += other.mirrored;
         self.mirror_mismatches += other.mirror_mismatches;
+        self.stream_ops += other.stream_ops;
+        self.stream_absorbed += other.stream_absorbed;
+        self.stream_squeezed += other.stream_squeezed;
         self.fill_sum += other.fill_sum;
         self.queue_depth += other.queue_depth;
         self.alive_workers += other.alive_workers;
@@ -277,6 +303,9 @@ impl ShardMetrics {
             simulator_served: self.simulator_served,
             mirrored: self.mirrored,
             mirror_mismatches: self.mirror_mismatches,
+            stream_ops: self.stream_ops,
+            stream_absorbed: self.stream_absorbed,
+            stream_squeezed: self.stream_squeezed,
             queue_depth: self.queue_depth,
             mean_batch_fill: if self.batches == 0 {
                 0.0
@@ -331,6 +360,15 @@ pub struct MetricsSnapshot {
     /// Latched: any nonzero value means the tiers have diverged and the
     /// primary tier's output cannot be trusted until investigated.
     pub mirror_mismatches: u64,
+    /// Streaming operations completed: each OPEN session's ABSORB /
+    /// FINALIZE / SQUEEZE micro-ops carried through the batch lane.
+    /// Stream operations also count in `submitted` / `completed` /
+    /// `timeouts` / `worker_failures`, so those still tie out.
+    pub stream_ops: u64,
+    /// Message bytes absorbed by completed streaming operations.
+    pub stream_absorbed: u64,
+    /// Output bytes squeezed by completed streaming operations.
+    pub stream_squeezed: u64,
     /// Requests queued at snapshot time.
     pub queue_depth: usize,
     /// Mean batch fill ratio (`batch_size / batch_slots`, 1.0 = every

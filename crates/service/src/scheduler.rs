@@ -6,27 +6,52 @@
 //! locked while holding neither.
 
 use crate::metrics::ServiceStats;
-use crate::ticket::{Completion, RequestError, RequestTiming, Ticket, TicketCell};
+use crate::ticket::{
+    Completion, RequestError, RequestTiming, StreamCompletion, StreamOutput, StreamTicket, Ticket,
+    TicketCell,
+};
 use crate::tier::{TierKind, TierPolicy};
-use crate::{HashRequest, ServiceConfig, SubmitError};
+use crate::{HashRequest, ServiceConfig, StreamRequest, SubmitError};
 use krv_core::{EnginePool, PoolError};
 use krv_keccak::KeccakState;
 use krv_native::NativeBackend;
-use krv_sha3::{hash_batch, BatchRequest, PermutationBackend, SpongeParams};
+use krv_sha3::{
+    drive_stream, hash_batch, BatchRequest, PermutationBackend, SpongeParams, SpongeState,
+    StreamItem, StreamOp,
+};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+/// The two kinds of admitted work: a one-shot hash and one streaming
+/// session operation. Both ride the same queue and micro-batches; they
+/// differ in how they dispatch (grouped `hash_batch` vs a shared
+/// `drive_stream` round) and in what their tickets carry back.
+#[derive(Debug)]
+pub(crate) enum Work {
+    Hash {
+        request: HashRequest,
+        ticket: Arc<TicketCell<Completion>>,
+    },
+    Stream {
+        request: StreamRequest,
+        ticket: Arc<TicketCell<StreamCompletion>>,
+    },
+}
+
 /// One admitted request waiting for a batch.
 #[derive(Debug)]
 pub(crate) struct Pending {
-    pub request: HashRequest,
-    pub ticket: Arc<TicketCell>,
+    pub work: Work,
     pub enqueued: Instant,
     /// The client the request was submitted for — the fair-share
     /// accounting key.
     pub client: u64,
+    /// Fair-share units this entry holds while queued: 1 for a one-shot
+    /// hash, byte-weighted ([`StreamRequest::fair_share_cost`]) for a
+    /// stream operation.
+    pub cost: usize,
 }
 
 /// Everything behind the queue mutex.
@@ -53,7 +78,7 @@ impl QueueState {
         let batch: Vec<Pending> = self.queue.drain(..take).collect();
         for pending in &batch {
             if let Some(held) = self.per_client.get_mut(&pending.client) {
-                *held -= 1;
+                *held = held.saturating_sub(pending.cost);
                 if *held == 0 {
                     self.per_client.remove(&pending.client);
                 }
@@ -96,39 +121,87 @@ impl Shared {
         }
     }
 
+    /// Admission of a one-shot hash request (cost: one fair-share unit).
+    /// A refusal hands the request back so the caller can retry it later
+    /// (a server session table parks refused operations instead of
+    /// losing their bytes).
+    pub fn submit(
+        &self,
+        client: u64,
+        request: HashRequest,
+    ) -> Result<Ticket, (HashRequest, SubmitError)> {
+        let cell = Arc::new(TicketCell::default());
+        let work = Work::Hash {
+            request,
+            ticket: Arc::clone(&cell),
+        };
+        match self.admit(client, work, 1) {
+            Ok(()) => Ok(Ticket { cell }),
+            Err((Work::Hash { request, .. }, error)) => Err((request, error)),
+            Err((Work::Stream { .. }, _)) => unreachable!("hash work returns as hash work"),
+        }
+    }
+
+    /// Admission of one streaming operation (byte-weighted cost, so
+    /// fair-share throttling counts session *bytes*, not frames). As for
+    /// [`Self::submit`], a refusal hands the request — sponge state and
+    /// chunk included — back to the caller.
+    pub fn submit_stream(
+        &self,
+        client: u64,
+        request: StreamRequest,
+    ) -> Result<StreamTicket, (StreamRequest, SubmitError)> {
+        let cost = request.fair_share_cost();
+        let cell = Arc::new(TicketCell::default());
+        let work = Work::Stream {
+            request,
+            ticket: Arc::clone(&cell),
+        };
+        match self.admit(client, work, cost) {
+            Ok(()) => Ok(StreamTicket { cell }),
+            Err((Work::Stream { request, .. }, error)) => Err((request, error)),
+            Err((Work::Hash { .. }, _)) => unreachable!("stream work returns as stream work"),
+        }
+    }
+
     /// Admission: bounded, with explicit rejection — the backpressure
     /// half of the service contract. A client already holding its
-    /// fair share of queue slots is throttled before global capacity
-    /// is even consulted, so one hot client cannot starve the rest.
-    pub fn submit(&self, client: u64, request: HashRequest) -> Result<Ticket, SubmitError> {
+    /// fair share of admission units is throttled before global
+    /// capacity is even consulted, so one hot client cannot starve the
+    /// rest. (The threshold is `held >= share`, so a single operation
+    /// costing more than the whole share still admits for an idle
+    /// client — its units then throttle everything after it.)
+    /// A refusal returns the work untouched alongside the error, so no
+    /// request bytes (or stream sponge state) are ever lost to
+    /// backpressure.
+    fn admit(&self, client: u64, work: Work, cost: usize) -> Result<(), (Work, SubmitError)> {
         let mut state = self.state.lock().expect("queue lock");
         if !state.open {
-            return Err(SubmitError::ShuttingDown);
+            return Err((work, SubmitError::ShuttingDown));
         }
         let held = state.per_client.get(&client).copied().unwrap_or(0);
         if let Some(share) = self.fair_share {
             if held >= share {
                 self.stats.lock().expect("stats lock").throttled += 1;
-                return Err(SubmitError::ClientThrottled { client, held });
+                return Err((work, SubmitError::ClientThrottled { client, held }));
             }
         }
         if state.queue.len() >= self.queue_capacity {
             let depth = state.queue.len();
             self.stats.lock().expect("stats lock").rejected += 1;
-            return Err(SubmitError::QueueFull { depth });
+            return Err((work, SubmitError::QueueFull { depth }));
         }
-        let cell = Arc::new(TicketCell::default());
-        state.per_client.insert(client, held + 1);
+        state.per_client.insert(client, held + cost);
         state.queue.push_back(Pending {
-            request,
-            ticket: Arc::clone(&cell),
+            work,
             enqueued: Instant::now(),
             client,
+            cost,
         });
         self.stats.lock().expect("stats lock").submitted += 1;
         drop(state);
         self.arrivals.notify_all();
-        Ok(Ticket { cell })
+        Ok(())
     }
 
     /// Stops admission; the scheduler drains the queue and exits.
@@ -157,6 +230,25 @@ impl Shared {
     pub fn corrupt_native(&self) {
         self.native_corruption.store(true, Ordering::Relaxed);
     }
+}
+
+/// One live (not expired) stream operation of a batch: the request, its
+/// ticket and when it was admitted.
+type StreamPending = (StreamRequest, Arc<TicketCell<StreamCompletion>>, Instant);
+
+/// Per-batch counter accumulators, folded into [`ServiceStats`] under
+/// one stats-lock acquisition after both lanes dispatch.
+#[derive(Default)]
+struct BatchTally {
+    retries: u64,
+    completed: u64,
+    failures: u64,
+    mirrored: u64,
+    mismatches: u64,
+    stream_ops: u64,
+    stream_absorbed: u64,
+    stream_squeezed: u64,
+    samples: Vec<(Duration, Duration, Duration)>,
 }
 
 /// Routes `hash_batch`'s permutation calls to the pool, latching the
@@ -266,9 +358,10 @@ impl Scheduler {
         }
     }
 
-    /// Dispatches one closed batch: expires overdue requests, groups the
-    /// rest by sponge parameters, hashes each group through the pool
-    /// (retrying once on a lost worker) and resolves every ticket.
+    /// Dispatches one closed batch: expires overdue requests, hashes the
+    /// one-shot requests in per-parameter groups, drives every live
+    /// stream operation through one shared `drive_stream` round (each
+    /// lane retrying once on a lost worker) and resolves every ticket.
     fn process_batch(&mut self, batch: Vec<Pending>) {
         let formed = Instant::now();
         let slots = self.pool.capacity().max(1);
@@ -277,25 +370,42 @@ impl Scheduler {
         // Deadline check happens exactly once, at batch formation: an
         // expired request completes as TimedOut without costing a slot.
         let mut timeouts = 0u64;
-        let mut live: Vec<Pending> = Vec::with_capacity(batch_size);
+        let mut hash_live: Vec<(HashRequest, Arc<TicketCell<Completion>>, Instant)> = Vec::new();
+        let mut stream_live: Vec<StreamPending> = Vec::new();
         for pending in batch {
             let waited = formed.duration_since(pending.enqueued);
-            if pending.request.deadline.is_some_and(|d| waited >= d) {
-                pending.ticket.complete(Completion {
-                    result: Err(RequestError::TimedOut),
-                    timing: RequestTiming {
-                        queue: waited,
-                        service: Duration::ZERO,
-                        total: waited,
-                        batch_size,
-                        batch_slots: slots,
-                        tier: self.tier.primary,
-                        retried: false,
-                    },
-                });
-                timeouts += 1;
-            } else {
-                live.push(pending);
+            let expired_timing = RequestTiming {
+                queue: waited,
+                service: Duration::ZERO,
+                total: waited,
+                batch_size,
+                batch_slots: slots,
+                tier: self.tier.primary,
+                retried: false,
+            };
+            match pending.work {
+                Work::Hash { request, ticket } => {
+                    if request.deadline.is_some_and(|d| waited >= d) {
+                        ticket.complete(Completion {
+                            result: Err(RequestError::TimedOut),
+                            timing: expired_timing,
+                        });
+                        timeouts += 1;
+                    } else {
+                        hash_live.push((request, ticket, pending.enqueued));
+                    }
+                }
+                Work::Stream { request, ticket } => {
+                    if request.deadline.is_some_and(|d| waited >= d) {
+                        ticket.complete(StreamCompletion {
+                            result: Err(RequestError::TimedOut),
+                            timing: expired_timing,
+                        });
+                        timeouts += 1;
+                    } else {
+                        stream_live.push((request, ticket, pending.enqueued));
+                    }
+                }
             }
         }
 
@@ -303,26 +413,21 @@ impl Scheduler {
         // dispatches as one group per distinct SpongeParams (order
         // preserved; in practice a handful of FIPS-202 variants).
         let mut groups: Vec<(SpongeParams, Vec<usize>)> = Vec::new();
-        for (i, pending) in live.iter().enumerate() {
+        for (i, (request, _, _)) in hash_live.iter().enumerate() {
             match groups
                 .iter_mut()
-                .find(|(params, _)| *params == pending.request.params)
+                .find(|(params, _)| *params == request.params)
             {
                 Some((_, members)) => members.push(i),
-                None => groups.push((pending.request.params, vec![i])),
+                None => groups.push((request.params, vec![i])),
             }
         }
 
-        let mut retries = 0u64;
-        let mut completed = 0u64;
-        let mut failures = 0u64;
-        let mut mirrored = 0u64;
-        let mut mismatches = 0u64;
-        let mut samples: Vec<(Duration, Duration, Duration)> = Vec::with_capacity(live.len());
+        let mut tally = BatchTally::default();
         for (params, members) in &groups {
             let requests: Vec<BatchRequest<'_>> = members
                 .iter()
-                .map(|&i| BatchRequest::new(&live[i].request.message, live[i].request.output_len))
+                .map(|&i| BatchRequest::new(&hash_live[i].0.message, hash_live[i].0.output_len))
                 .collect();
             let group_index = self.groups_dispatched;
             self.groups_dispatched += 1;
@@ -334,7 +439,7 @@ impl Scheduler {
                 // attempt left only scratch states dirty — requests are
                 // re-hashed from their original messages.
                 retried = true;
-                retries += 1;
+                tally.retries += 1;
                 outcome = self.tier_hash(self.tier.primary, *params, &requests);
             }
             let service = started.elapsed();
@@ -347,8 +452,8 @@ impl Scheduler {
                     if let Ok(mirror) =
                         self.tier_hash(self.tier.primary.other(), *params, &requests)
                     {
-                        mirrored += requests.len() as u64;
-                        mismatches +=
+                        tally.mirrored += requests.len() as u64;
+                        tally.mismatches +=
                             digests.iter().zip(&mirror).filter(|(a, b)| a != b).count() as u64;
                     }
                 }
@@ -356,11 +461,11 @@ impl Scheduler {
             match outcome {
                 Ok(digests) => {
                     for (&i, digest) in members.iter().zip(digests) {
-                        let pending = &live[i];
-                        let queue = formed.duration_since(pending.enqueued);
-                        let total = pending.enqueued.elapsed();
-                        samples.push((queue, service, total));
-                        pending.ticket.complete(Completion {
+                        let (_, ticket, enqueued) = &hash_live[i];
+                        let queue = formed.duration_since(*enqueued);
+                        let total = enqueued.elapsed();
+                        tally.samples.push((queue, service, total));
+                        ticket.complete(Completion {
                             result: Ok(digest),
                             timing: RequestTiming {
                                 queue,
@@ -373,19 +478,19 @@ impl Scheduler {
                             },
                         });
                     }
-                    completed += members.len() as u64;
+                    tally.completed += members.len() as u64;
                 }
                 Err(error) => {
                     for &i in members {
-                        let pending = &live[i];
-                        pending.ticket.complete(Completion {
+                        let (_, ticket, enqueued) = &hash_live[i];
+                        ticket.complete(Completion {
                             result: Err(RequestError::WorkerFailure {
                                 error: error.clone(),
                             }),
                             timing: RequestTiming {
-                                queue: formed.duration_since(pending.enqueued),
+                                queue: formed.duration_since(*enqueued),
                                 service,
-                                total: pending.enqueued.elapsed(),
+                                total: enqueued.elapsed(),
                                 batch_size,
                                 batch_slots: slots,
                                 tier: self.tier.primary,
@@ -393,31 +498,224 @@ impl Scheduler {
                             },
                         });
                     }
-                    failures += members.len() as u64;
+                    tally.failures += members.len() as u64;
                 }
             }
+        }
+
+        if !stream_live.is_empty() {
+            self.dispatch_streams(stream_live, formed, batch_size, slots, &mut tally);
         }
 
         let mut stats = self.shared.stats.lock().expect("stats lock");
         stats.batches += 1;
         stats.fill_sum += batch_size as f64 / slots as f64;
         stats.timeouts += timeouts;
-        stats.retries += retries;
-        stats.completed += completed;
+        stats.retries += tally.retries;
+        stats.completed += tally.completed;
         match self.tier.primary {
-            TierKind::Native => stats.native_served += completed,
-            TierKind::Simulator => stats.simulator_served += completed,
+            TierKind::Native => stats.native_served += tally.completed,
+            TierKind::Simulator => stats.simulator_served += tally.completed,
         }
-        stats.mirrored += mirrored;
-        stats.mirror_mismatches += mismatches;
-        stats.worker_failures += failures;
-        for (queue, service, total) in samples {
+        stats.mirrored += tally.mirrored;
+        stats.mirror_mismatches += tally.mismatches;
+        stats.worker_failures += tally.failures;
+        stats.stream_ops += tally.stream_ops;
+        stats.stream_absorbed += tally.stream_absorbed;
+        stats.stream_squeezed += tally.stream_squeezed;
+        for (queue, service, total) in tally.samples {
             stats.queue_wait.record_duration(queue);
             stats.service_time.record_duration(service);
             stats.e2e.record_duration(total);
         }
         stats.alive_workers = self.pool.alive_workers();
         stats.batch_slots = self.pool.capacity().max(1);
+    }
+
+    /// The streaming lane of one batch: every live stream operation
+    /// advances through a single shared [`drive_stream`] round on the
+    /// primary tier. Operations are rate-agnostic (the permutation does
+    /// not care which rate each state uses), so the whole lane forms one
+    /// dispatch group regardless of how many algorithms it mixes.
+    ///
+    /// States are snapshotted before dispatch: a failed attempt leaves
+    /// garbage mid-stream, so the retry restores every state first, and
+    /// the mirror oracle replays the same snapshots through the other
+    /// tier, diffing both the squeezed bytes and the advanced states.
+    fn dispatch_streams(
+        &mut self,
+        mut stream_live: Vec<StreamPending>,
+        formed: Instant,
+        batch_size: usize,
+        slots: usize,
+        tally: &mut BatchTally,
+    ) {
+        let snapshots: Vec<SpongeState> = stream_live
+            .iter()
+            .map(|(request, _, _)| (*request.state).clone())
+            .collect();
+        let mut outputs: Vec<Vec<u8>> = stream_live
+            .iter()
+            .map(|(request, _, _)| vec![0u8; request.squeeze_len])
+            .collect();
+        let group_index = self.groups_dispatched;
+        self.groups_dispatched += 1;
+        let started = Instant::now();
+        let mut retried = false;
+        let mut outcome = self.tier_stream(self.tier.primary, &mut stream_live, &mut outputs);
+        if outcome.is_err() {
+            retried = true;
+            tally.retries += 1;
+            for ((request, _, _), snapshot) in stream_live.iter_mut().zip(&snapshots) {
+                *request.state = snapshot.clone();
+            }
+            for output in &mut outputs {
+                output.fill(0);
+            }
+            outcome = self.tier_stream(self.tier.primary, &mut stream_live, &mut outputs);
+        }
+        let service = started.elapsed();
+        if outcome.is_ok() && self.tier.mirrors(group_index) {
+            let mut mirror_states = snapshots;
+            let mut mirror_outputs: Vec<Vec<u8>> = stream_live
+                .iter()
+                .map(|(request, _, _)| vec![0u8; request.squeeze_len])
+                .collect();
+            let mirror_outcome = {
+                let mut items: Vec<StreamItem<'_>> = mirror_states
+                    .iter_mut()
+                    .zip(stream_live.iter())
+                    .zip(mirror_outputs.iter_mut())
+                    .map(|((state, (request, _, _)), output)| StreamItem {
+                        state,
+                        op: StreamOp {
+                            absorb: &request.absorb,
+                            finalize: request.finalize,
+                            squeeze: output,
+                        },
+                    })
+                    .collect();
+                self.drive_tier(self.tier.primary.other(), &mut items)
+            };
+            if mirror_outcome.is_ok() {
+                tally.mirrored += stream_live.len() as u64;
+                for (i, (request, _, _)) in stream_live.iter().enumerate() {
+                    if *request.state != mirror_states[i] || outputs[i] != mirror_outputs[i] {
+                        tally.mismatches += 1;
+                    }
+                }
+            }
+        }
+        match outcome {
+            Ok(()) => {
+                for ((request, ticket, enqueued), output) in stream_live.into_iter().zip(outputs) {
+                    let queue = formed.duration_since(enqueued);
+                    let total = enqueued.elapsed();
+                    tally.samples.push((queue, service, total));
+                    tally.completed += 1;
+                    tally.stream_ops += 1;
+                    tally.stream_absorbed += request.absorb.len() as u64;
+                    tally.stream_squeezed += output.len() as u64;
+                    ticket.complete(StreamCompletion {
+                        result: Ok(StreamOutput {
+                            state: request.state,
+                            output,
+                        }),
+                        timing: RequestTiming {
+                            queue,
+                            service,
+                            total,
+                            batch_size,
+                            batch_slots: slots,
+                            tier: self.tier.primary,
+                            retried,
+                        },
+                    });
+                }
+            }
+            Err(error) => {
+                for (_, ticket, enqueued) in stream_live {
+                    ticket.complete(StreamCompletion {
+                        result: Err(RequestError::WorkerFailure {
+                            error: error.clone(),
+                        }),
+                        timing: RequestTiming {
+                            queue: formed.duration_since(enqueued),
+                            service,
+                            total: enqueued.elapsed(),
+                            batch_size,
+                            batch_slots: slots,
+                            tier: self.tier.primary,
+                            retried,
+                        },
+                    });
+                    tally.failures += 1;
+                }
+            }
+        }
+    }
+
+    /// One `drive_stream` attempt over the lane's live operations on the
+    /// chosen tier, writing squeezed bytes into `outputs`.
+    fn tier_stream(
+        &mut self,
+        tier: TierKind,
+        stream_live: &mut [StreamPending],
+        outputs: &mut [Vec<u8>],
+    ) -> Result<(), PoolError> {
+        let mut items: Vec<StreamItem<'_>> = stream_live
+            .iter_mut()
+            .zip(outputs.iter_mut())
+            .map(|(pending, output)| {
+                let request = &mut pending.0;
+                StreamItem {
+                    state: &mut request.state,
+                    op: StreamOp {
+                        absorb: &request.absorb,
+                        finalize: request.finalize,
+                        squeeze: output,
+                    },
+                }
+            })
+            .collect();
+        self.drive_tier(tier, &mut items)
+    }
+
+    /// Drives pre-built stream items through one tier: supervised on the
+    /// simulator pool (errors surface for the retry path), infallible on
+    /// the native kernel — where the corruption drill flips squeezed
+    /// bytes, exactly as it flips one-shot digests, so the stream mirror
+    /// oracle has something to catch.
+    fn drive_tier(
+        &mut self,
+        tier: TierKind,
+        items: &mut [StreamItem<'_>],
+    ) -> Result<(), PoolError> {
+        match tier {
+            TierKind::Simulator => {
+                let mut error = None;
+                let mut backend = SupervisedBackend {
+                    pool: &mut self.pool,
+                    error: &mut error,
+                };
+                drive_stream(&mut backend, items);
+                match error {
+                    None => Ok(()),
+                    Some(error) => Err(error),
+                }
+            }
+            TierKind::Native => {
+                drive_stream(&mut self.native, items);
+                if self.shared.native_corruption.load(Ordering::Relaxed) {
+                    for item in items.iter_mut() {
+                        if let Some(byte) = item.op.squeeze.first_mut() {
+                            *byte ^= 0x80;
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
     }
 
     /// One `hash_batch` attempt on the chosen tier. The simulator tier

@@ -15,7 +15,10 @@
 //! histogram quantization bound as a single shard's.
 
 use crate::metrics::ShardMetrics;
-use crate::{HashRequest, MetricsSnapshot, Service, ServiceConfig, SubmitError, Ticket};
+use crate::{
+    HashRequest, MetricsSnapshot, Service, ServiceConfig, StreamRequest, StreamTicket, SubmitError,
+    Ticket,
+};
 
 /// How a [`ShardedService`] is shaped: the shard count and the
 /// configuration every shard runs.
@@ -108,6 +111,21 @@ impl ShardedService {
         self.shards[self.route(client)].submit_as(client, request)
     }
 
+    /// [`Service::try_submit_as`] on the routed shard: a refusal hands
+    /// the request back for a later retry.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`Self::submit_as`]'s errors, paired with the refused
+    /// request.
+    pub fn try_submit_as(
+        &self,
+        client: u64,
+        request: HashRequest,
+    ) -> Result<Ticket, (HashRequest, SubmitError)> {
+        self.shards[self.route(client)].try_submit_as(client, request)
+    }
+
     /// Submits for the anonymous client 0 (routed like any other id).
     ///
     /// # Errors
@@ -115,6 +133,39 @@ impl ShardedService {
     /// See [`Self::submit_as`].
     pub fn submit(&self, request: HashRequest) -> Result<Ticket, SubmitError> {
         self.submit_as(0, request)
+    }
+
+    /// Submits one streaming operation on behalf of `client` to its
+    /// routed shard. A session's operations all carry the same client
+    /// id, so the whole session stays on one shard and its byte-weighted
+    /// fair-share accounting never splits.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`Service::submit_stream_as`]'s errors, scoped to the
+    /// routed shard.
+    pub fn submit_stream_as(
+        &self,
+        client: u64,
+        request: StreamRequest,
+    ) -> Result<StreamTicket, SubmitError> {
+        self.shards[self.route(client)].submit_stream_as(client, request)
+    }
+
+    /// [`Service::try_submit_stream_as`] on the routed shard: a refusal
+    /// hands the operation (state and bytes included) back for a later
+    /// retry.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`Self::submit_stream_as`]'s errors, paired with the
+    /// refused operation.
+    pub fn try_submit_stream_as(
+        &self,
+        client: u64,
+        request: StreamRequest,
+    ) -> Result<StreamTicket, (StreamRequest, SubmitError)> {
+        self.shards[self.route(client)].try_submit_stream_as(client, request)
     }
 
     /// Direct access to one shard (for per-shard drills such as

@@ -66,23 +66,49 @@ pub struct Completion {
     pub timing: RequestTiming,
 }
 
+/// What a successful streaming operation hands back: the advanced sponge
+/// state (to carry into the session's next operation) and whatever bytes
+/// the operation squeezed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamOutput {
+    /// The session's sponge state after this operation, ready to be
+    /// resubmitted with the next chunk.
+    pub state: Box<krv_sha3::SpongeState>,
+    /// The squeezed bytes ([`StreamRequest::squeeze_len`] of them; empty
+    /// for a pure absorb).
+    ///
+    /// [`StreamRequest::squeeze_len`]: crate::StreamRequest::squeeze_len
+    pub output: Vec<u8>,
+}
+
+/// The outcome of one streaming operation: the advanced state plus
+/// squeezed bytes, or an error (after which the session's state is lost
+/// and the session must be abandoned).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamCompletion {
+    /// The advanced state and squeezed bytes, or why there are none.
+    pub result: Result<StreamOutput, RequestError>,
+    /// Where the operation's latency went.
+    pub timing: RequestTiming,
+}
+
 /// What a ticket's slot currently holds: nothing yet, a completion
 /// nobody has claimed, a registered callback, or proof of delivery.
-enum SlotState {
+enum SlotState<T> {
     /// Neither the scheduler nor the caller has acted yet.
     Pending,
     /// The scheduler completed first; the completion waits for the
     /// caller (a blocking [`Ticket::wait`] or a late
     /// [`Ticket::on_complete`] registration).
-    Completed(Completion),
+    Completed(T),
     /// The caller registered a callback first; the scheduler will run
     /// it on completion.
-    Callback(Box<dyn FnOnce(Completion) + Send>),
+    Callback(Box<dyn FnOnce(T) + Send>),
     /// The completion has been handed to a callback; nothing remains.
     Delivered,
 }
 
-impl std::fmt::Debug for SlotState {
+impl<T: std::fmt::Debug> std::fmt::Debug for SlotState<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SlotState::Pending => write!(f, "Pending"),
@@ -97,14 +123,16 @@ impl std::fmt::Debug for SlotState {
 
 /// The slot a ticket resolves through: the scheduler writes the
 /// completion (or runs the registered callback), the waiting caller is
-/// woken by the condvar.
+/// woken by the condvar. Generic over the completion payload so one-shot
+/// digests ([`Completion`]) and streaming operations
+/// ([`StreamCompletion`]) share the machinery.
 #[derive(Debug)]
-pub(crate) struct TicketCell {
-    slot: Mutex<SlotState>,
+pub(crate) struct TicketCell<T> {
+    slot: Mutex<SlotState<T>>,
     ready: Condvar,
 }
 
-impl Default for TicketCell {
+impl<T> Default for TicketCell<T> {
     fn default() -> Self {
         Self {
             slot: Mutex::new(SlotState::Pending),
@@ -113,11 +141,11 @@ impl Default for TicketCell {
     }
 }
 
-impl TicketCell {
+impl<T> TicketCell<T> {
     /// Publishes the completion: wakes every blocked waiter, or runs the
     /// registered callback (outside the lock — callbacks may take their
     /// own locks).
-    pub(crate) fn complete(&self, completion: Completion) {
+    pub(crate) fn complete(&self, completion: T) {
         let mut slot = self.slot.lock().expect("ticket lock");
         match std::mem::replace(&mut *slot, SlotState::Delivered) {
             SlotState::Pending => {
@@ -137,6 +165,68 @@ impl TicketCell {
     }
 }
 
+/// The shared wait/callback behaviour of a ticket handle, implemented
+/// once over the generic cell.
+macro_rules! ticket_handle {
+    ($ticket:ident, $completion:ty) => {
+        impl $ticket {
+            /// Whether the request has completed (so [`Self::wait`] would
+            /// return immediately).
+            pub fn is_ready(&self) -> bool {
+                matches!(
+                    *self.cell.slot.lock().expect("ticket lock"),
+                    SlotState::Completed(_)
+                )
+            }
+
+            /// Blocks until the request completes and returns its outcome.
+            pub fn wait(self) -> $completion {
+                let mut slot = self.cell.slot.lock().expect("ticket lock");
+                loop {
+                    if let SlotState::Completed(_) = *slot {
+                        match std::mem::replace(&mut *slot, SlotState::Delivered) {
+                            SlotState::Completed(completion) => return completion,
+                            _ => unreachable!("state checked under the same lock"),
+                        }
+                    }
+                    slot = self.cell.ready.wait(slot).expect("ticket lock");
+                }
+            }
+
+            /// Registers `callback` to run with the completion instead of
+            /// blocking for it, consuming the ticket.
+            ///
+            /// If the request has already completed, the callback runs
+            /// immediately on the calling thread; otherwise it runs on the
+            /// scheduler thread when the request resolves (including during
+            /// a shutdown drain — every admitted ticket resolves exactly
+            /// once, so the callback is guaranteed to run eventually).
+            /// Callbacks should be quick and must not block on the service:
+            /// they execute on the thread that dispatches every batch.
+            ///
+            /// This is what lets a network connection multiplex thousands
+            /// of in-flight requests without a waiting thread per ticket.
+            pub fn on_complete(self, callback: impl FnOnce($completion) + Send + 'static) {
+                let mut slot = self.cell.slot.lock().expect("ticket lock");
+                match std::mem::replace(&mut *slot, SlotState::Delivered) {
+                    SlotState::Pending => {
+                        *slot = SlotState::Callback(Box::new(callback));
+                    }
+                    SlotState::Completed(completion) => {
+                        drop(slot);
+                        callback(completion);
+                    }
+                    // `on_complete` consumes the only ticket, so the slot
+                    // cannot already hold a callback or have delivered.
+                    SlotState::Callback(_) | SlotState::Delivered => {
+                        unreachable!("ticket consumed twice")
+                    }
+                }
+            }
+        }
+    };
+}
+
 /// A handle to one in-flight request, returned by
 /// [`Service::submit`](crate::Service::submit).
 ///
@@ -145,61 +235,19 @@ impl TicketCell {
 /// shutdown drain, so [`Ticket::wait`] never blocks forever.
 #[derive(Debug)]
 pub struct Ticket {
-    pub(crate) cell: Arc<TicketCell>,
+    pub(crate) cell: Arc<TicketCell<Completion>>,
 }
 
-impl Ticket {
-    /// Whether the request has completed (so [`Self::wait`] would return
-    /// immediately).
-    pub fn is_ready(&self) -> bool {
-        matches!(
-            *self.cell.slot.lock().expect("ticket lock"),
-            SlotState::Completed(_)
-        )
-    }
+ticket_handle!(Ticket, Completion);
 
-    /// Blocks until the request completes and returns its outcome.
-    pub fn wait(self) -> Completion {
-        let mut slot = self.cell.slot.lock().expect("ticket lock");
-        loop {
-            if let SlotState::Completed(_) = *slot {
-                match std::mem::replace(&mut *slot, SlotState::Delivered) {
-                    SlotState::Completed(completion) => return completion,
-                    _ => unreachable!("state checked under the same lock"),
-                }
-            }
-            slot = self.cell.ready.wait(slot).expect("ticket lock");
-        }
-    }
-
-    /// Registers `callback` to run with the completion instead of
-    /// blocking for it, consuming the ticket.
-    ///
-    /// If the request has already completed, the callback runs
-    /// immediately on the calling thread; otherwise it runs on the
-    /// scheduler thread when the request resolves (including during a
-    /// shutdown drain — every admitted ticket resolves exactly once, so
-    /// the callback is guaranteed to run eventually). Callbacks should
-    /// be quick and must not block on the service: they execute on the
-    /// thread that dispatches every batch.
-    ///
-    /// This is what lets a network connection multiplex thousands of
-    /// in-flight requests without a waiting thread per ticket.
-    pub fn on_complete(self, callback: impl FnOnce(Completion) + Send + 'static) {
-        let mut slot = self.cell.slot.lock().expect("ticket lock");
-        match std::mem::replace(&mut *slot, SlotState::Delivered) {
-            SlotState::Pending => {
-                *slot = SlotState::Callback(Box::new(callback));
-            }
-            SlotState::Completed(completion) => {
-                drop(slot);
-                callback(completion);
-            }
-            // `on_complete` consumes the only Ticket, so the slot cannot
-            // already hold a callback or have delivered.
-            SlotState::Callback(_) | SlotState::Delivered => {
-                unreachable!("ticket consumed twice")
-            }
-        }
-    }
+/// A handle to one in-flight streaming operation, returned by
+/// [`Service::submit_stream`](crate::Service::submit_stream).
+///
+/// Resolves exactly once with a [`StreamCompletion`], under the same
+/// guarantees as [`Ticket`].
+#[derive(Debug)]
+pub struct StreamTicket {
+    pub(crate) cell: Arc<TicketCell<StreamCompletion>>,
 }
+
+ticket_handle!(StreamTicket, StreamCompletion);

@@ -39,13 +39,17 @@ pub mod functions;
 pub mod legacy;
 pub mod sp800_185;
 pub mod sponge;
+pub mod stream;
+pub mod tree;
 
 pub use backend::{
     permute_all_grouped, BatchPermutationBackend, PermutationBackend, ReferenceBackend,
 };
 pub use batch::{hash_batch, BatchRequest, BatchSponge};
 pub use functions::{Sha3_224, Sha3_256, Sha3_384, Sha3_512, Shake128, Shake256, Xof};
-pub use sponge::{DomainSeparator, Sponge, SpongeParams};
+pub use sponge::{DomainSeparator, Sponge, SpongeParams, SpongeState};
+pub use stream::{drive_stream, StreamItem, StreamOp};
+pub use tree::TreeMode;
 
 /// Formats bytes as a lowercase hexadecimal string.
 ///

@@ -1,4 +1,6 @@
-//! NIST SP 800-185 derived functions: cSHAKE and KMAC.
+//! NIST SP 800-185 derived functions: cSHAKE, KMAC and TupleHash
+//! (ParallelHash lives in [`crate::tree`], which generalizes its
+//! chunked-leaf shape).
 //!
 //! These build on the same sponge (and therefore run on any
 //! [`PermutationBackend`], including the simulated vector processor):
@@ -7,6 +9,16 @@
 //!   name `N` and customization string `S`. With both empty, cSHAKE *is*
 //!   SHAKE (SP 800-185 §3.3) — a spec identity the tests assert.
 //! * [`kmac128`] / [`kmac256`] — the Keccak message authentication code.
+//! * [`tuple_hash128`] / [`tuple_hash256`] — unambiguous hashing of a
+//!   *sequence* of strings: every entry is `encode_string`-framed, so
+//!   `("ab", "c")` and `("a", "bc")` hash differently.
+//!
+//! The `*_prefix` / `*_suffix` helpers expose the byte framing each
+//! function wraps around the raw sponge. They exist for the streaming
+//! wire path: a server session absorbs `kmac_stream_prefix` once at
+//! `OPEN`, raw message chunks per `ABSORB`, and
+//! [`output_length_suffix`] at `FINALIZE` — and lands on exactly the
+//! same sponge input as the one-shot functions here (property-tested).
 
 use crate::backend::{PermutationBackend, ReferenceBackend};
 use crate::functions::Xof;
@@ -14,7 +26,7 @@ use crate::sponge::{DomainSeparator, Sponge, SpongeParams};
 
 /// `left_encode(x)` (SP 800-185 §2.3.1): big-endian bytes of `x`
 /// prefixed with their count.
-fn left_encode(value: u64) -> Vec<u8> {
+pub fn left_encode(value: u64) -> Vec<u8> {
     let bytes = value.to_be_bytes();
     let skip = bytes.iter().take_while(|&&b| b == 0).count().min(7);
     let mut out = vec![(8 - skip) as u8];
@@ -24,7 +36,7 @@ fn left_encode(value: u64) -> Vec<u8> {
 
 /// `right_encode(x)` (SP 800-185 §2.3.1): big-endian bytes of `x`
 /// suffixed with their count.
-fn right_encode(value: u64) -> Vec<u8> {
+pub fn right_encode(value: u64) -> Vec<u8> {
     let bytes = value.to_be_bytes();
     let skip = bytes.iter().take_while(|&&b| b == 0).count().min(7);
     let mut out = bytes[skip..].to_vec();
@@ -33,7 +45,7 @@ fn right_encode(value: u64) -> Vec<u8> {
 }
 
 /// `encode_string(S)` (SP 800-185 §2.3.2): bit-length prefix + bytes.
-fn encode_string(s: &[u8]) -> Vec<u8> {
+pub fn encode_string(s: &[u8]) -> Vec<u8> {
     let mut out = left_encode(s.len() as u64 * 8);
     out.extend_from_slice(s);
     out
@@ -41,13 +53,62 @@ fn encode_string(s: &[u8]) -> Vec<u8> {
 
 /// `bytepad(X, w)` (SP 800-185 §2.3.3): length-prefixed and zero-padded
 /// to a multiple of `w`.
-fn bytepad(x: &[u8], w: usize) -> Vec<u8> {
+pub fn bytepad(x: &[u8], w: usize) -> Vec<u8> {
     let mut out = left_encode(w as u64);
     out.extend_from_slice(x);
     while !out.len().is_multiple_of(w) {
         out.push(0);
     }
     out
+}
+
+/// The sponge parameters a cSHAKE instance with function name `n` and
+/// customization `s` uses: SHAKE's rate, with the cSHAKE domain
+/// separator unless both strings are empty (§3.3 — then it *is* SHAKE).
+pub fn cshake_params(security_bits: usize, n: &[u8], s: &[u8]) -> SpongeParams {
+    let rate = SpongeParams::shake(security_bits).rate_bytes();
+    let domain = if n.is_empty() && s.is_empty() {
+        DomainSeparator::Shake
+    } else {
+        DomainSeparator::CShake
+    };
+    SpongeParams::new(rate, domain)
+}
+
+/// The bytes a cSHAKE instance absorbs before the message:
+/// `bytepad(encode_string(N) ‖ encode_string(S), rate)` — empty in the
+/// plain-SHAKE degenerate case.
+pub fn cshake_stream_prefix(security_bits: usize, n: &[u8], s: &[u8]) -> Vec<u8> {
+    if n.is_empty() && s.is_empty() {
+        return Vec::new();
+    }
+    let rate = SpongeParams::shake(security_bits).rate_bytes();
+    let mut body = encode_string(n);
+    body.extend(encode_string(s));
+    bytepad(&body, rate)
+}
+
+/// The bytes a KMAC instance absorbs before the message: the cSHAKE
+/// prefix for `N = "KMAC"` plus the byte-padded key block
+/// (§4.3: `bytepad(encode_string(K), rate)`).
+pub fn kmac_stream_prefix(security_bits: usize, key: &[u8], customization: &[u8]) -> Vec<u8> {
+    let rate = SpongeParams::shake(security_bits).rate_bytes();
+    let mut prefix = cshake_stream_prefix(security_bits, b"KMAC", customization);
+    prefix.extend(bytepad(&encode_string(key), rate));
+    prefix
+}
+
+/// The `encode_string` framing absorbed *before* each TupleHash entry:
+/// `left_encode(len·8)` followed by the entry bytes themselves.
+pub fn tuple_entry_prefix(entry_len: usize) -> Vec<u8> {
+    left_encode(entry_len as u64 * 8)
+}
+
+/// The output-length binding KMAC and TupleHash absorb after the
+/// message: `right_encode(L·8)`. XOF behaviour (length *not* bound into
+/// the result) is requested with `output_len = 0` per §4.3.1/§5.3.1.
+pub fn output_length_suffix(output_len: usize) -> Vec<u8> {
+    right_encode(output_len as u64 * 8)
 }
 
 macro_rules! cshake {
@@ -78,22 +139,10 @@ macro_rules! cshake {
         impl<B: PermutationBackend> $name<B> {
             /// Creates a cSHAKE instance over a custom backend.
             pub fn with_backend(n: &[u8], s: &[u8], backend: B) -> Self {
-                let rate = SpongeParams::shake($bits).rate_bytes();
                 let plain = n.is_empty() && s.is_empty();
-                // cSHAKE appends the bits `00` (padded byte 0x04); with
-                // empty N and S it degenerates to plain SHAKE (§3.3).
-                let domain = if plain {
-                    DomainSeparator::Shake
-                } else {
-                    DomainSeparator::CShake
-                };
-                let params = SpongeParams::new(rate, domain);
+                let params = cshake_params($bits, n, s);
                 let mut sponge = Sponge::new(params, backend);
-                if !plain {
-                    let mut prefix = encode_string(n);
-                    prefix.extend(encode_string(s));
-                    sponge.absorb(&bytepad(&prefix, rate));
-                }
+                sponge.absorb(&cshake_stream_prefix($bits, n, s));
                 Self { sponge, plain }
             }
 
@@ -139,14 +188,25 @@ cshake!(
 );
 
 macro_rules! kmac {
-    ($(#[$doc:meta])* $name:ident, $cshake:ident, $bits:expr) => {
+    ($(#[$doc:meta])* $name:ident, $with_name:ident, $cshake:ident, $bits:expr) => {
         $(#[$doc])*
         pub fn $name(key: &[u8], message: &[u8], output_len: usize, customization: &[u8]) -> Vec<u8> {
+            $with_name(ReferenceBackend::new(), key, message, output_len, customization)
+        }
+
+        /// Same, over a custom permutation backend.
+        pub fn $with_name<B: PermutationBackend>(
+            backend: B,
+            key: &[u8],
+            message: &[u8],
+            output_len: usize,
+            customization: &[u8],
+        ) -> Vec<u8> {
+            let mut xof = $cshake::with_backend(b"KMAC", customization, backend);
             let rate = SpongeParams::shake($bits).rate_bytes();
-            let mut xof = $cshake::new(b"KMAC", customization);
             xof.update(&bytepad(&encode_string(key), rate));
             xof.update(message);
-            xof.update(&right_encode(output_len as u64 * 8));
+            xof.update(&output_length_suffix(output_len));
             xof.squeeze(output_len)
         }
     };
@@ -162,14 +222,65 @@ kmac!(
     /// assert_eq!(tag.len(), 32);
     /// ```
     kmac128,
+    kmac128_with,
     CShake128,
     128
 );
 kmac!(
     /// KMAC256 (SP 800-185 §4).
     kmac256,
+    kmac256_with,
     CShake256,
     256
+);
+
+macro_rules! tuple_hash {
+    ($(#[$doc:meta])* $name:ident, $with_name:ident, $cshake:ident) => {
+        $(#[$doc])*
+        pub fn $name(tuple: &[&[u8]], output_len: usize, customization: &[u8]) -> Vec<u8> {
+            $with_name(ReferenceBackend::new(), tuple, output_len, customization)
+        }
+
+        /// Same, over a custom permutation backend.
+        pub fn $with_name<B: PermutationBackend>(
+            backend: B,
+            tuple: &[&[u8]],
+            output_len: usize,
+            customization: &[u8],
+        ) -> Vec<u8> {
+            let mut xof = $cshake::with_backend(b"TupleHash", customization, backend);
+            for entry in tuple {
+                xof.update(&encode_string(entry));
+            }
+            xof.update(&output_length_suffix(output_len));
+            xof.squeeze(output_len)
+        }
+    };
+}
+
+tuple_hash!(
+    /// TupleHash128 (SP 800-185 §5): hashes a sequence of strings
+    /// unambiguously — every entry is length-framed, so shifting bytes
+    /// between adjacent entries changes the digest.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use krv_sha3::sp800_185::tuple_hash128;
+    ///
+    /// let ab_c = tuple_hash128(&[b"ab", b"c"], 32, b"");
+    /// let a_bc = tuple_hash128(&[b"a", b"bc"], 32, b"");
+    /// assert_ne!(ab_c, a_bc);
+    /// ```
+    tuple_hash128,
+    tuple_hash128_with,
+    CShake128
+);
+tuple_hash!(
+    /// TupleHash256 (SP 800-185 §5).
+    tuple_hash256,
+    tuple_hash256_with,
+    CShake256
 );
 
 #[cfg(test)]
@@ -246,6 +357,29 @@ mod tests {
     }
 
     #[test]
+    fn tuple_hash128_nist_sample_one() {
+        // NIST SP 800-185 sample file, TupleHash128 Sample #1:
+        // tuple = (000102, 101112131415), L = 256, S = "".
+        let out = tuple_hash128(
+            &[&[0x00, 0x01, 0x02], &[0x10, 0x11, 0x12, 0x13, 0x14, 0x15]],
+            32,
+            b"",
+        );
+        assert_eq!(
+            hex(&out),
+            "c5d8786c1afb9b82111ab34b65b2c0048fa64e6d48e263264ce1707d3ffc8ed1"
+        );
+    }
+
+    #[test]
+    fn tuple_hash_entry_framing_is_unambiguous() {
+        let base = tuple_hash256(&[b"ab", b"cd"], 32, b"");
+        assert_ne!(base, tuple_hash256(&[b"abc", b"d"], 32, b""));
+        assert_ne!(base, tuple_hash256(&[b"abcd"], 32, b""));
+        assert_ne!(base, tuple_hash256(&[b"ab", b"cd", b""], 32, b""));
+    }
+
+    #[test]
     fn kmac_distinguishes_keys_messages_and_customization() {
         let base = kmac128(b"key-a", b"message", 32, b"ctx");
         assert_ne!(base, kmac128(b"key-b", b"message", 32, b"ctx"));
@@ -268,5 +402,40 @@ mod tests {
         let mut xof = CShake128::with_backend(b"KRV", b"test", ReferenceBackend::new());
         xof.update(b"data");
         assert_eq!(xof.squeeze(16).len(), 16);
+    }
+
+    #[test]
+    fn stream_framing_matches_oneshot_kmac() {
+        // A session that absorbs kmac_stream_prefix at OPEN, message
+        // chunks per ABSORB and output_length_suffix at FINALIZE lands
+        // on the one-shot kmac256 tag — the wire path's core identity.
+        let key = b"stream key";
+        let custom = b"stream ctx";
+        let msg: Vec<u8> = (0..300u16).map(|i| i as u8).collect();
+        let mut sponge = Sponge::new(cshake_params(256, b"KMAC", custom), ReferenceBackend::new());
+        sponge.absorb(&kmac_stream_prefix(256, key, custom));
+        for chunk in msg.chunks(37) {
+            sponge.absorb(chunk);
+        }
+        sponge.absorb(&output_length_suffix(48));
+        assert_eq!(sponge.squeeze(48), kmac256(key, &msg, 48, custom));
+    }
+
+    #[test]
+    fn stream_framing_matches_oneshot_tuple_hash() {
+        // Per-entry framing: tuple_entry_prefix(len) ‖ entry, exactly
+        // how a streamed TupleHash session absorbs each ABSORB frame.
+        let entries: [&[u8]; 3] = [b"", b"one", b"entry two"];
+        let mut sponge = Sponge::new(
+            cshake_params(128, b"TupleHash", b""),
+            ReferenceBackend::new(),
+        );
+        sponge.absorb(&cshake_stream_prefix(128, b"TupleHash", b""));
+        for entry in entries {
+            sponge.absorb(&tuple_entry_prefix(entry.len()));
+            sponge.absorb(entry);
+        }
+        sponge.absorb(&output_length_suffix(32));
+        assert_eq!(sponge.squeeze(32), tuple_hash128(&entries, 32, b""));
     }
 }

@@ -95,12 +95,212 @@ impl SpongeParams {
     }
 }
 
+/// The backend-free half of a sponge: parameters, Keccak state and
+/// block-phase bookkeeping, with the permutation factored out.
+///
+/// [`Sponge`] pairs one of these with a [`PermutationBackend`] and
+/// permutes eagerly whenever a rate block fills. A `SpongeState` on its
+/// own instead *reports* when it owes a permutation
+/// ([`SpongeState::needs_permute`]) and lets an external driver apply it
+/// — which is what allows many live streaming sessions to share one
+/// `permute_all` round (see [`crate::stream::drive_stream`]): the driver
+/// advances every session's host-side byte work, packs exactly the
+/// states that stalled on a permutation, and permutes them in one
+/// backend call, the same drain-and-refill shape as
+/// [`crate::hash_batch`].
+///
+/// The step methods ([`absorb_step`], [`finalize_pad`],
+/// [`squeeze_step`]) each run until the next block boundary; the `_with`
+/// convenience methods loop them against a borrowed backend and match
+/// [`Sponge`] byte for byte.
+///
+/// [`absorb_step`]: SpongeState::absorb_step
+/// [`finalize_pad`]: SpongeState::finalize_pad
+/// [`squeeze_step`]: SpongeState::squeeze_step
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpongeState {
+    params: SpongeParams,
+    state: KeccakState,
+    /// Bytes absorbed into the current partial block.
+    absorbed: usize,
+    /// Squeeze offset within the current output block; `None` while
+    /// absorbing. `Some(rate)` means the current block is exhausted and
+    /// a permutation is owed before more output can be read.
+    squeeze_offset: Option<usize>,
+}
+
+impl SpongeState {
+    /// Creates an empty sponge state.
+    pub fn new(params: SpongeParams) -> Self {
+        Self {
+            params,
+            state: KeccakState::new(),
+            absorbed: 0,
+            squeeze_offset: None,
+        }
+    }
+
+    /// The sponge parameters.
+    pub fn params(&self) -> SpongeParams {
+        self.params
+    }
+
+    /// Read access to the Keccak state.
+    pub fn state(&self) -> &KeccakState {
+        &self.state
+    }
+
+    /// Mutable access to the Keccak state — this is how an external
+    /// driver applies the permutation the state is waiting for (followed
+    /// by [`SpongeState::note_permuted`]).
+    pub fn state_mut(&mut self) -> &mut KeccakState {
+        &mut self.state
+    }
+
+    /// Whether [`SpongeState::finalize_pad`] has run (the state is in
+    /// its squeeze phase).
+    pub fn squeezing(&self) -> bool {
+        self.squeeze_offset.is_some()
+    }
+
+    /// Whether the state owes a permutation before any further absorb or
+    /// squeeze progress is possible.
+    pub fn needs_permute(&self) -> bool {
+        match self.squeeze_offset {
+            None => self.absorbed == self.params.rate_bytes,
+            Some(offset) => offset == self.params.rate_bytes,
+        }
+    }
+
+    /// Records that the owed permutation has been applied to
+    /// [`SpongeState::state_mut`], resetting the block cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no permutation was owed: "permuted without need" would
+    /// silently corrupt the stream.
+    pub fn note_permuted(&mut self) {
+        assert!(self.needs_permute(), "no permutation was owed");
+        match &mut self.squeeze_offset {
+            None => self.absorbed = 0,
+            Some(offset) => *offset = 0,
+        }
+    }
+
+    /// XORs message bytes into the current rate block, stopping at the
+    /// block boundary. Returns the number of bytes consumed; if the
+    /// block filled, [`SpongeState::needs_permute`] turns true and the
+    /// driver must permute before absorbing the rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if squeezing has started (a FIPS-202 sponge is not duplex)
+    /// or if a permutation is owed.
+    pub fn absorb_step(&mut self, data: &[u8]) -> usize {
+        assert!(
+            self.squeeze_offset.is_none(),
+            "cannot absorb after squeezing has started"
+        );
+        assert!(!self.needs_permute(), "permute before absorbing more");
+        let rate = self.params.rate_bytes;
+        let take = (rate - self.absorbed).min(data.len());
+        let mut block = [0u8; STATE_BYTES];
+        block[self.absorbed..self.absorbed + take].copy_from_slice(&data[..take]);
+        self.state.xor_bytes(&block[..self.absorbed + take]);
+        self.absorbed += take;
+        take
+    }
+
+    /// Applies domain separation and pad10*1, ending the absorb phase.
+    /// The state then owes exactly one permutation, after which squeezing
+    /// can begin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if already finalized or if a permutation is owed.
+    pub fn finalize_pad(&mut self) {
+        assert!(self.squeeze_offset.is_none(), "already finalized");
+        assert!(!self.needs_permute(), "permute before padding");
+        let rate = self.params.rate_bytes;
+        let mut block = vec![0u8; rate];
+        block[self.absorbed] = self.params.domain.first_pad_byte();
+        block[rate - 1] |= 0x80;
+        self.state.xor_bytes(&block);
+        self.absorbed = 0;
+        self.squeeze_offset = Some(rate);
+    }
+
+    /// Copies output bytes from the current squeeze block into `out`,
+    /// stopping at the block boundary. Returns the number of bytes
+    /// written; if the block drained before `out` filled, the driver
+    /// must permute before squeezing the rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`SpongeState::finalize_pad`] has not run or if a
+    /// permutation is owed.
+    pub fn squeeze_step(&mut self, out: &mut [u8]) -> usize {
+        let offset = self.squeeze_offset.expect("finalize_pad before squeezing");
+        assert!(!self.needs_permute(), "permute before squeezing more");
+        let rate = self.params.rate_bytes;
+        let take = (rate - offset).min(out.len());
+        let bytes = self.state.to_bytes();
+        out[..take].copy_from_slice(&bytes[offset..offset + take]);
+        self.squeeze_offset = Some(offset + take);
+        take
+    }
+
+    /// Absorbs all of `data`, permuting through `backend` at each block
+    /// boundary (the synchronous single-state driver).
+    pub fn absorb_with<B: PermutationBackend>(&mut self, backend: &mut B, mut data: &[u8]) {
+        loop {
+            let took = self.absorb_step(data);
+            data = &data[took..];
+            if self.needs_permute() {
+                backend.permute(&mut self.state);
+                self.note_permuted();
+            }
+            if data.is_empty() {
+                break;
+            }
+        }
+    }
+
+    /// Pads and permutes so that squeezing can begin. No-op if already
+    /// finalized.
+    pub fn finalize_with<B: PermutationBackend>(&mut self, backend: &mut B) {
+        if self.squeeze_offset.is_some() {
+            return;
+        }
+        self.finalize_pad();
+        backend.permute(&mut self.state);
+        self.note_permuted();
+    }
+
+    /// Squeezes exactly `out.len()` bytes, finalizing first if needed.
+    pub fn squeeze_into_with<B: PermutationBackend>(&mut self, backend: &mut B, out: &mut [u8]) {
+        self.finalize_with(backend);
+        let mut written = 0;
+        while written < out.len() {
+            if self.needs_permute() {
+                backend.permute(&mut self.state);
+                self.note_permuted();
+            }
+            written += self.squeeze_step(&mut out[written..]);
+        }
+    }
+}
+
 /// An incremental Keccak sponge over a permutation backend.
 ///
 /// Drives the three phases of paper Figure 1: message bytes are absorbed
 /// `rate` bytes at a time (with a permutation between blocks), the final
 /// partial block is padded with pad10*1 plus the domain suffix, and output
 /// is squeezed `rate` bytes per permutation.
+///
+/// Internally this is a [`SpongeState`] (the backend-free core the
+/// streaming lane carries across micro-batches) paired with an owned
+/// backend that permutes eagerly at every block boundary.
 ///
 /// # Example
 ///
@@ -115,36 +315,32 @@ impl SpongeParams {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Sponge<B> {
-    params: SpongeParams,
+    core: SpongeState,
     backend: B,
-    state: KeccakState,
-    /// Bytes absorbed into the current partial block.
-    absorbed: usize,
-    /// Squeeze offset within the current output block; `None` while
-    /// absorbing.
-    squeeze_offset: Option<usize>,
 }
 
 impl<B: PermutationBackend> Sponge<B> {
     /// Creates an empty sponge with the given parameters and backend.
     pub fn new(params: SpongeParams, backend: B) -> Self {
         Self {
-            params,
+            core: SpongeState::new(params),
             backend,
-            state: KeccakState::new(),
-            absorbed: 0,
-            squeeze_offset: None,
         }
+    }
+
+    /// Resumes a sponge from a previously detached [`SpongeState`].
+    pub fn from_state(core: SpongeState, backend: B) -> Self {
+        Self { core, backend }
     }
 
     /// The sponge parameters.
     pub fn params(&self) -> SpongeParams {
-        self.params
+        self.core.params()
     }
 
     /// Read access to the internal state (for tests and diagnostics).
     pub fn state(&self) -> &KeccakState {
-        &self.state
+        self.core.state()
     }
 
     /// Absorbs message bytes.
@@ -153,24 +349,8 @@ impl<B: PermutationBackend> Sponge<B> {
     ///
     /// Panics if called after squeezing has started: a FIPS-202 sponge is
     /// not duplex; absorb-after-squeeze is almost always a bug.
-    pub fn absorb(&mut self, mut data: &[u8]) {
-        assert!(
-            self.squeeze_offset.is_none(),
-            "cannot absorb after squeezing has started"
-        );
-        let rate = self.params.rate_bytes;
-        while !data.is_empty() {
-            let take = (rate - self.absorbed).min(data.len());
-            let mut block = [0u8; STATE_BYTES];
-            block[self.absorbed..self.absorbed + take].copy_from_slice(&data[..take]);
-            self.state.xor_bytes(&block[..self.absorbed + take]);
-            self.absorbed += take;
-            data = &data[take..];
-            if self.absorbed == rate {
-                self.backend.permute(&mut self.state);
-                self.absorbed = 0;
-            }
-        }
+    pub fn absorb(&mut self, data: &[u8]) {
+        self.core.absorb_with(&mut self.backend, data);
     }
 
     /// Applies domain separation and pad10*1, finishing the absorb phase.
@@ -178,17 +358,7 @@ impl<B: PermutationBackend> Sponge<B> {
     /// Called automatically by the first [`Sponge::squeeze`]; exposed for
     /// callers that want to observe the padded pre-squeeze state.
     pub fn finalize_absorb(&mut self) {
-        if self.squeeze_offset.is_some() {
-            return;
-        }
-        let rate = self.params.rate_bytes;
-        let mut block = vec![0u8; rate];
-        block[self.absorbed] = self.params.domain.first_pad_byte();
-        block[rate - 1] |= 0x80;
-        self.state.xor_bytes(&block);
-        self.backend.permute(&mut self.state);
-        self.absorbed = 0;
-        self.squeeze_offset = Some(0);
+        self.core.finalize_with(&mut self.backend);
     }
 
     /// Squeezes `len` output bytes, permuting between rate-sized blocks.
@@ -203,24 +373,12 @@ impl<B: PermutationBackend> Sponge<B> {
 
     /// Squeezes exactly `out.len()` bytes into `out`.
     pub fn squeeze_into(&mut self, out: &mut [u8]) {
-        self.finalize_absorb();
-        let rate = self.params.rate_bytes;
-        let mut offset = self
-            .squeeze_offset
-            .expect("finalize_absorb sets the squeeze offset");
-        let mut written = 0;
-        while written < out.len() {
-            if offset == rate {
-                self.backend.permute(&mut self.state);
-                offset = 0;
-            }
-            let take = (rate - offset).min(out.len() - written);
-            let bytes = self.state.to_bytes();
-            out[written..written + take].copy_from_slice(&bytes[offset..offset + take]);
-            offset += take;
-            written += take;
-        }
-        self.squeeze_offset = Some(offset);
+        self.core.squeeze_into_with(&mut self.backend, out);
+    }
+
+    /// Detaches the backend-free [`SpongeState`], discarding the backend.
+    pub fn into_state(self) -> SpongeState {
+        self.core
     }
 
     /// Consumes the sponge and returns its backend.
@@ -308,5 +466,77 @@ mod tests {
     #[should_panic(expected = "rate must be in 1..200")]
     fn zero_rate_rejected() {
         let _ = SpongeParams::new(0, DomainSeparator::Sha3);
+    }
+
+    #[test]
+    fn state_step_api_matches_sponge() {
+        // Drive a SpongeState manually — absorb_step/finalize_pad/
+        // squeeze_step with explicit permutations — and compare against
+        // the eager Sponge on the same input.
+        let msg: Vec<u8> = (0..400u16).map(|i| (i * 7) as u8).collect();
+        let mut backend = ReferenceBackend::new();
+        let mut state = SpongeState::new(SpongeParams::shake(256));
+        let mut data = &msg[..];
+        while !data.is_empty() {
+            let took = state.absorb_step(data);
+            data = &data[took..];
+            if state.needs_permute() {
+                backend.permute(state.state_mut());
+                state.note_permuted();
+            }
+        }
+        state.finalize_pad();
+        assert!(state.needs_permute(), "pad owes one permutation");
+        backend.permute(state.state_mut());
+        state.note_permuted();
+        let mut out = vec![0u8; 300];
+        let mut written = 0;
+        while written < out.len() {
+            if state.needs_permute() {
+                backend.permute(state.state_mut());
+                state.note_permuted();
+            }
+            written += state.squeeze_step(&mut out[written..]);
+        }
+        let mut sponge = Sponge::new(SpongeParams::shake(256), ReferenceBackend::new());
+        sponge.absorb(&msg);
+        assert_eq!(out, sponge.squeeze(300));
+    }
+
+    #[test]
+    fn detached_state_resumes_mid_stream() {
+        // A sponge detached mid-absorb and resumed elsewhere (the
+        // session table's lifecycle) must lose nothing.
+        let mut sponge = Sponge::new(SpongeParams::sha3(256), ReferenceBackend::new());
+        sponge.absorb(b"carried across ");
+        let state = sponge.into_state();
+        assert!(!state.squeezing());
+        let mut resumed = Sponge::from_state(state, ReferenceBackend::new());
+        resumed.absorb(b"micro-batches");
+        assert_eq!(
+            resumed.squeeze(32),
+            sha3_256_digest(b"carried across micro-batches")
+        );
+    }
+
+    #[test]
+    fn convenience_drivers_match_sponge() {
+        let msg = vec![0x3Cu8; 271];
+        let mut state = SpongeState::new(SpongeParams::shake(128));
+        let mut backend = ReferenceBackend::new();
+        state.absorb_with(&mut backend, &msg);
+        state.absorb_with(&mut backend, b"");
+        let mut out = [0u8; 96];
+        state.squeeze_into_with(&mut backend, &mut out);
+        let mut sponge = Sponge::new(SpongeParams::shake(128), ReferenceBackend::new());
+        sponge.absorb(&msg);
+        assert_eq!(out.to_vec(), sponge.squeeze(96));
+    }
+
+    #[test]
+    #[should_panic(expected = "no permutation was owed")]
+    fn spurious_note_permuted_panics() {
+        let mut state = SpongeState::new(SpongeParams::sha3(256));
+        state.note_permuted();
     }
 }

@@ -1,0 +1,308 @@
+//! Chunked single-level tree hashing: SP 800-185 ParallelHash (§6) and
+//! the KRV tree-hash mode.
+//!
+//! Both functions share one shape — a BLAKE3-style chunked tree of
+//! depth one. The message splits into `block_size`-byte chunks; every
+//! chunk is hashed *independently* to a short leaf digest (plain SHAKE,
+//! because the leaf call is cSHAKE with empty `N`/`S`); the ordered
+//! leaf digests, wrapped in length framing, feed one cSHAKE root call
+//! whose function name separates the modes. Because the leaves are
+//! independent fixed-size one-shot hashes, they are exactly the
+//! workload [`crate::hash_batch`] (and, over the wire, the serving
+//! tier's micro-batch scheduler) packs into `SN`-wide hardware passes —
+//! one large message becomes the paper's register-layout batch.
+//!
+//! The two instances:
+//!
+//! * [`TreeMode::parallel_hash`] — ParallelHash128/256 exactly per
+//!   §6.2/§6.3: leaf output `2·security/8` bytes, root name
+//!   `"ParallelHash"`, caller-chosen block size.
+//! * [`TreeMode::krv_tree256`] — the KRV tree-hash: SHAKE256 leaves
+//!   truncated to 32-byte chaining values (BLAKE3's chain width), a
+//!   fixed 4 KiB chunk, root name `"KRV-TreeHash"`. Structurally it is
+//!   ParallelHash with a different name and leaf width, so the same
+//!   security argument applies, while the fixed chunk makes wire
+//!   sessions unambiguous without negotiating a block size.
+//!
+//! Root input layout (§6.2 step 2–5):
+//! `left_encode(B) ‖ leaf₀ ‖ … ‖ leafₙ₋₁ ‖ right_encode(n) ‖
+//! right_encode(L·8)`, absorbed by `cSHAKE(N, S)`. The
+//! [`TreeMode::root_prefix`]/[`TreeMode::root_suffix`] split exposes
+//! that layout for streamed sessions, which absorb the prefix at
+//! `OPEN`, leaf digests as they complete, and the suffix at `FINALIZE`.
+
+use crate::backend::PermutationBackend;
+use crate::batch::{hash_batch, BatchRequest};
+use crate::sp800_185::{cshake_params, cshake_stream_prefix, left_encode, right_encode};
+use crate::sponge::{Sponge, SpongeParams};
+
+/// One chunked-tree instance: the knobs that separate ParallelHash from
+/// the KRV tree-hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TreeMode {
+    security_bits: usize,
+    block_size: usize,
+    leaf_len: usize,
+    function_name: &'static [u8],
+}
+
+impl TreeMode {
+    /// The KRV tree-hash chunk size: 4 KiB, fixed by the mode.
+    pub const KRV_TREE_CHUNK: usize = 4096;
+
+    /// ParallelHash (SP 800-185 §6) at 128- or 256-bit security with
+    /// the given block size `B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `security_bits` is not 128 or 256, or `block_size` is 0.
+    pub fn parallel_hash(security_bits: usize, block_size: usize) -> Self {
+        assert!(
+            security_bits == 128 || security_bits == 256,
+            "ParallelHash is defined at 128/256-bit security, got {security_bits}"
+        );
+        assert!(block_size > 0, "block size must be positive");
+        Self {
+            security_bits,
+            block_size,
+            // §6.2 step 6: each leaf is cSHAKE(X_i, 2·security, "", "").
+            leaf_len: security_bits / 4,
+            function_name: b"ParallelHash",
+        }
+    }
+
+    /// The KRV tree-hash mode: 256-bit leaves truncated to 32-byte
+    /// chaining values over fixed 4 KiB chunks.
+    pub fn krv_tree256() -> Self {
+        Self {
+            security_bits: 256,
+            block_size: Self::KRV_TREE_CHUNK,
+            leaf_len: 32,
+            function_name: b"KRV-TreeHash",
+        }
+    }
+
+    /// The chunk size `B` in bytes.
+    pub const fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// The per-leaf digest length in bytes.
+    pub const fn leaf_len(&self) -> usize {
+        self.leaf_len
+    }
+
+    /// The root cSHAKE function name (`"ParallelHash"`/`"KRV-TreeHash"`).
+    pub const fn function_name(&self) -> &'static [u8] {
+        self.function_name
+    }
+
+    /// Sponge parameters of a leaf: plain SHAKE at the mode's security
+    /// level (cSHAKE with empty `N`/`S` degenerates to SHAKE, §3.3).
+    pub fn leaf_params(&self) -> SpongeParams {
+        SpongeParams::shake(self.security_bits)
+    }
+
+    /// Sponge parameters of the root cSHAKE call.
+    pub fn root_params(&self) -> SpongeParams {
+        cshake_params(self.security_bits, self.function_name, b"")
+    }
+
+    /// Bytes the root sponge absorbs before any leaf digest: the cSHAKE
+    /// `N`/`S` prefix followed by `left_encode(B)`.
+    pub fn root_prefix(&self, customization: &[u8]) -> Vec<u8> {
+        let mut prefix =
+            cshake_stream_prefix(self.security_bits, self.function_name, customization);
+        prefix.extend(left_encode(self.block_size as u64));
+        prefix
+    }
+
+    /// Bytes the root sponge absorbs after the last leaf digest:
+    /// `right_encode(n) ‖ right_encode(L·8)`.
+    pub fn root_suffix(&self, leaves: u64, output_len: usize) -> Vec<u8> {
+        let mut suffix = right_encode(leaves);
+        suffix.extend(right_encode(output_len as u64 * 8));
+        suffix
+    }
+
+    /// The number of leaves an `len`-byte message produces: `⌈len/B⌉`
+    /// (zero for the empty message, §6.2 step 1).
+    pub const fn leaf_count(&self, len: usize) -> usize {
+        len.div_ceil(self.block_size)
+    }
+
+    /// One-shot digest. The leaves go through [`hash_batch`] — one
+    /// drain-and-refill schedule over all chunks, so a wide backend
+    /// packs them into `⌈n/SN⌉ `hardware passes per round — and the
+    /// root cSHAKE call runs on the same backend afterwards.
+    pub fn digest<B: PermutationBackend>(
+        &self,
+        mut backend: B,
+        message: &[u8],
+        customization: &[u8],
+        output_len: usize,
+    ) -> Vec<u8> {
+        let requests: Vec<BatchRequest<'_>> = message
+            .chunks(self.block_size)
+            .map(|chunk| BatchRequest::new(chunk, self.leaf_len))
+            .collect();
+        let leaves = hash_batch(self.leaf_params(), &mut backend, &requests);
+        let mut root = Sponge::new(self.root_params(), &mut backend);
+        root.absorb(&self.root_prefix(customization));
+        for leaf in &leaves {
+            root.absorb(leaf);
+        }
+        root.absorb(&self.root_suffix(leaves.len() as u64, output_len));
+        root.squeeze(output_len)
+    }
+}
+
+/// ParallelHash128 (SP 800-185 §6) on the reference backend.
+pub fn parallel_hash128(
+    message: &[u8],
+    block_size: usize,
+    output_len: usize,
+    customization: &[u8],
+) -> Vec<u8> {
+    TreeMode::parallel_hash(128, block_size).digest(
+        crate::ReferenceBackend::new(),
+        message,
+        customization,
+        output_len,
+    )
+}
+
+/// ParallelHash256 (SP 800-185 §6) on the reference backend.
+pub fn parallel_hash256(
+    message: &[u8],
+    block_size: usize,
+    output_len: usize,
+    customization: &[u8],
+) -> Vec<u8> {
+    TreeMode::parallel_hash(256, block_size).digest(
+        crate::ReferenceBackend::new(),
+        message,
+        customization,
+        output_len,
+    )
+}
+
+/// The KRV tree-hash on the reference backend: 4 KiB chunks, 32-byte
+/// SHAKE256 leaves, cSHAKE256 root.
+pub fn krv_tree_hash256(message: &[u8], output_len: usize, customization: &[u8]) -> Vec<u8> {
+    TreeMode::krv_tree256().digest(
+        crate::ReferenceBackend::new(),
+        message,
+        customization,
+        output_len,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::ReferenceBackend;
+    use crate::functions::Xof;
+    use crate::hex;
+    use crate::Shake256;
+
+    #[test]
+    fn parallel_hash128_nist_sample_one() {
+        // NIST SP 800-185 sample file, ParallelHash128 Sample #1:
+        // X = 000102030405060710111213141516172021222324252627,
+        // B = 8, L = 256, S = "".
+        let msg: Vec<u8> = [0x00u8, 0x10, 0x20]
+            .iter()
+            .flat_map(|&hi| (0..8).map(move |lo| hi | lo))
+            .collect();
+        let out = parallel_hash128(&msg, 8, 32, b"");
+        assert_eq!(
+            hex(&out),
+            "ba8dc1d1d979331d3f813603c67f72609ab5e44b94a0b8f9af46514454a2b4f5"
+        );
+    }
+
+    #[test]
+    fn leaf_is_plain_shake_of_each_chunk() {
+        // Recompute a two-chunk ParallelHash256 by hand: leaves are
+        // SHAKE256(chunk, 64), the root is cSHAKE256 over the framed
+        // leaf digests.
+        let mode = TreeMode::parallel_hash(256, 16);
+        let msg: Vec<u8> = (0..24u8).collect();
+        let leaf0 = Shake256::digest(&msg[..16], 64);
+        let leaf1 = Shake256::digest(&msg[16..], 64);
+        let mut root = crate::sp800_185::CShake256::new(b"ParallelHash", b"ctx");
+        root.update(&left_encode(16));
+        root.update(&leaf0);
+        root.update(&leaf1);
+        root.update(&right_encode(2));
+        root.update(&right_encode(48 * 8));
+        assert_eq!(
+            root.squeeze(48),
+            mode.digest(ReferenceBackend::new(), &msg, b"ctx", 48)
+        );
+    }
+
+    #[test]
+    fn empty_message_has_zero_leaves() {
+        // §6.2 step 1: n = ⌈0/B⌉ = 0 — the root absorbs no leaves, only
+        // the framing, and still produces a well-defined digest.
+        let mode = TreeMode::parallel_hash(128, 64);
+        assert_eq!(mode.leaf_count(0), 0);
+        let out = mode.digest(ReferenceBackend::new(), b"", b"", 32);
+        assert_eq!(out.len(), 32);
+        assert_ne!(out, parallel_hash128(b"x", 64, 32, b""));
+    }
+
+    #[test]
+    fn chunk_boundaries_change_the_digest() {
+        // Same bytes, different block size → different tree → different
+        // digest (B is bound into the root via left_encode).
+        let msg = vec![0x5Au8; 100];
+        assert_ne!(
+            parallel_hash256(&msg, 32, 32, b""),
+            parallel_hash256(&msg, 64, 32, b"")
+        );
+    }
+
+    #[test]
+    fn krv_tree_matches_manual_recomputation() {
+        // Two full chunks plus a partial tail.
+        let mode = TreeMode::krv_tree256();
+        let msg: Vec<u8> = (0..2 * 4096 + 1000).map(|i| (i * 31) as u8).collect();
+        assert_eq!(mode.leaf_count(msg.len()), 3);
+        let mut root = crate::sp800_185::CShake256::new(b"KRV-TreeHash", b"");
+        root.update(&left_encode(4096));
+        for chunk in msg.chunks(4096) {
+            root.update(&Shake256::digest(chunk, 32));
+        }
+        root.update(&right_encode(3));
+        root.update(&right_encode(32 * 8));
+        assert_eq!(root.squeeze(32), krv_tree_hash256(&msg, 32, b""));
+    }
+
+    #[test]
+    fn krv_tree_differs_from_flat_shake_and_parallel_hash() {
+        let msg = vec![7u8; 5000];
+        let tree = krv_tree_hash256(&msg, 32, b"");
+        assert_ne!(tree, Shake256::digest(&msg, 32));
+        assert_ne!(tree, parallel_hash256(&msg, 4096, 32, b""));
+    }
+
+    #[test]
+    fn root_prefix_and_suffix_reassemble_the_digest() {
+        // The streamed decomposition: prefix at OPEN, leaves as they
+        // complete, suffix at FINALIZE.
+        let mode = TreeMode::krv_tree256();
+        let msg: Vec<u8> = (0..9000u16).map(|i| i as u8).collect();
+        let mut root = Sponge::new(mode.root_params(), ReferenceBackend::new());
+        root.absorb(&mode.root_prefix(b""));
+        let mut leaves = 0u64;
+        for chunk in msg.chunks(mode.block_size()) {
+            root.absorb(&Shake256::digest(chunk, mode.leaf_len()));
+            leaves += 1;
+        }
+        root.absorb(&mode.root_suffix(leaves, 64));
+        assert_eq!(root.squeeze(64), krv_tree_hash256(&msg, 64, b""));
+    }
+}

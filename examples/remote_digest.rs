@@ -13,7 +13,7 @@
 //!
 //! Run with: `cargo run --example remote_digest`
 
-use keccak_rvv::server::{Client, Server, ServerConfig, WireAlgorithm};
+use keccak_rvv::server::{AlgorithmParams, Client, Server, ServerConfig, WireAlgorithm};
 use keccak_rvv::sha3::{hex, Shake128};
 
 fn main() {
@@ -24,9 +24,9 @@ fn main() {
     let client = Client::connect(addr).expect("connect");
     let message = b"maximizing the potential of custom RISC-V vector extensions";
 
-    // One blocking round trip per algorithm, verified locally.
+    // One blocking round trip per FIPS 202 algorithm, verified locally.
     println!("{:<10} digest over the wire", "algorithm");
-    for algorithm in WireAlgorithm::ALL {
+    for algorithm in WireAlgorithm::FIPS {
         let digest = client.digest(algorithm, message).expect("remote digest");
         let expected = match algorithm {
             WireAlgorithm::Sha3_224 => keccak_rvv::sha3::Sha3_224::digest(message).to_vec(),
@@ -35,10 +35,44 @@ fn main() {
             WireAlgorithm::Sha3_512 => keccak_rvv::sha3::Sha3_512::digest(message).to_vec(),
             WireAlgorithm::Shake128 => Shake128::digest(message, 32),
             WireAlgorithm::Shake256 => keccak_rvv::sha3::Shake256::digest(message, 32),
+            other => unreachable!("{} is not FIPS", other.name()),
         };
         assert_eq!(digest, expected, "{}", algorithm.name());
         println!("{:<10} {}", algorithm.name(), hex(&digest));
     }
+
+    // SP 800-185: a keyed MAC one-shot, checked against the local
+    // reference.
+    let kmac = client
+        .hash_with(
+            WireAlgorithm::Kmac256,
+            AlgorithmParams::kmac(&b"a 16-byte demo k"[..], &b"example"[..]),
+            message,
+            32,
+        )
+        .expect("remote KMAC256");
+    let expected =
+        keccak_rvv::sha3::sp800_185::kmac256(b"a 16-byte demo k", message, 32, b"example");
+    assert_eq!(kmac, expected);
+    println!("{:<10} {}", "KMAC256", hex(&kmac));
+
+    // A streaming session: the same message absorbed in two chunks
+    // matches the one-shot digest.
+    let session = client
+        .open_session(WireAlgorithm::Shake256, AlgorithmParams::none())
+        .expect("open session");
+    let (head, tail) = message.split_at(message.len() / 2);
+    session.absorb(head).expect("absorb");
+    session.absorb(tail).expect("absorb");
+    session.finalize(0).expect("finalize");
+    let streamed = session.squeeze(32).expect("squeeze");
+    session.close().expect("close");
+    assert_eq!(streamed, keccak_rvv::sha3::Shake256::digest(message, 32));
+    println!(
+        "{:<10} {} (streamed in 2 chunks)",
+        "SHAKE256",
+        hex(&streamed)
+    );
 
     // A pipelined burst: submit everything, then collect the replies.
     let burst: Vec<Vec<u8>> = (0..16u8).map(|i| vec![i; 100 + 40 * i as usize]).collect();

@@ -8,9 +8,10 @@
 //! or an output-length bug on the wire all land here as a digest
 //! mismatch naming the algorithm and vector.
 
-use keccak_rvv::server::{Client, Server, ServerConfig, WireAlgorithm};
+use keccak_rvv::server::protocol::encode_tuple_payload;
+use keccak_rvv::server::{AlgorithmParams, Client, Server, ServerConfig, WireAlgorithm};
 use keccak_rvv::sha3::hex;
-use krv_conformance::{vectors, Algorithm};
+use krv_conformance::{vectors, Algorithm, DerivedAlgorithm, DerivedVector};
 use krv_service::ServiceConfig;
 use std::time::Duration;
 
@@ -27,6 +28,60 @@ fn wire(algorithm: Algorithm) -> WireAlgorithm {
     }
 }
 
+/// The wire id an SP 800-185 derived function travels as. Exhaustive
+/// for the same reason as [`wire`].
+fn derived_wire(algorithm: DerivedAlgorithm) -> WireAlgorithm {
+    match algorithm {
+        DerivedAlgorithm::CShake128 => WireAlgorithm::CShake128,
+        DerivedAlgorithm::CShake256 => WireAlgorithm::CShake256,
+        DerivedAlgorithm::Kmac128 => WireAlgorithm::Kmac128,
+        DerivedAlgorithm::Kmac256 => WireAlgorithm::Kmac256,
+        DerivedAlgorithm::TupleHash128 => WireAlgorithm::TupleHash128,
+        DerivedAlgorithm::TupleHash256 => WireAlgorithm::TupleHash256,
+        DerivedAlgorithm::ParallelHash128 => WireAlgorithm::ParallelHash128,
+        DerivedAlgorithm::ParallelHash256 => WireAlgorithm::ParallelHash256,
+        DerivedAlgorithm::KrvTree256 => WireAlgorithm::TreeHash256,
+    }
+}
+
+/// The wire parameter block a conformance vector hashes under.
+fn wire_params(vector: &DerivedVector) -> AlgorithmParams {
+    match vector.algorithm {
+        DerivedAlgorithm::CShake128 | DerivedAlgorithm::CShake256 => {
+            AlgorithmParams::cshake(vector.name, vector.customization)
+        }
+        DerivedAlgorithm::Kmac128 | DerivedAlgorithm::Kmac256 => {
+            AlgorithmParams::kmac(vector.key, vector.customization)
+        }
+        DerivedAlgorithm::TupleHash128
+        | DerivedAlgorithm::TupleHash256
+        | DerivedAlgorithm::KrvTree256 => AlgorithmParams::customization(vector.customization),
+        DerivedAlgorithm::ParallelHash128 | DerivedAlgorithm::ParallelHash256 => {
+            AlgorithmParams::parallel_hash(vector.block_size as u32, vector.customization)
+        }
+    }
+}
+
+/// The wire payload for a vector: TupleHash entries travel
+/// length-framed; everything else travels raw.
+fn wire_payload(vector: &DerivedVector) -> Vec<u8> {
+    let message = vector.message.bytes();
+    if vector.tuple_splits.is_empty() {
+        return message;
+    }
+    let mut at = 0;
+    let entries: Vec<&[u8]> = vector
+        .tuple_splits
+        .iter()
+        .map(|&len| {
+            let entry = &message[at..at + len];
+            at += len;
+            entry
+        })
+        .collect();
+    encode_tuple_payload(&entries)
+}
+
 fn quick_config() -> ServerConfig {
     ServerConfig {
         service: ServiceConfig {
@@ -39,7 +94,13 @@ fn quick_config() -> ServerConfig {
 
 #[test]
 fn the_wire_algorithm_ids_cover_the_conformance_roster_exactly() {
-    assert_eq!(Algorithm::ALL.len(), WireAlgorithm::ALL.len());
+    // FIPS 202 ids 1..=6 cover the conformance roster; the SP 800-185
+    // ids 7..=15 cover the derived functions. Together they are ALL.
+    assert_eq!(Algorithm::ALL.len(), WireAlgorithm::FIPS.len());
+    assert_eq!(
+        Algorithm::ALL.len() + DerivedAlgorithm::ALL.len(),
+        WireAlgorithm::ALL.len()
+    );
     for algorithm in Algorithm::ALL {
         let on_wire = wire(algorithm);
         // Ids are stable protocol surface: 1..=6 in FIPS 202 order.
@@ -50,6 +111,39 @@ fn the_wire_algorithm_ids_cover_the_conformance_roster_exactly() {
         assert_eq!(on_wire.id() as usize, position + 1);
         assert_eq!(WireAlgorithm::from_id(on_wire.id()), Ok(on_wire));
     }
+    for (offset, algorithm) in DerivedAlgorithm::ALL.into_iter().enumerate() {
+        let on_wire = derived_wire(algorithm);
+        // 7..=15 in SP 800-185 presentation order, KRV tree last.
+        assert_eq!(on_wire.id() as usize, Algorithm::ALL.len() + offset + 1);
+        assert_eq!(WireAlgorithm::from_id(on_wire.id()), Ok(on_wire));
+        assert!(!on_wire.is_fips());
+    }
+}
+
+#[test]
+fn every_sp800_185_vector_round_trips_over_the_wire() {
+    let server = Server::bind("127.0.0.1:0", quick_config()).expect("bind");
+    let client = Client::connect(server.local_addr()).expect("connect");
+    for vector in krv_conformance::sp800::VECTORS {
+        let algorithm = derived_wire(vector.algorithm);
+        let digest = client
+            .hash_with(
+                algorithm,
+                wire_params(vector),
+                &wire_payload(vector),
+                vector.output_len,
+            )
+            .expect("SP 800-185 digest over the wire");
+        assert_eq!(
+            hex(&digest),
+            vector.digest_hex,
+            "{} KAT, {} byte message",
+            algorithm.name(),
+            vector.message.len()
+        );
+    }
+    let report = server.shutdown();
+    assert_eq!(report.worker_failures, 0);
 }
 
 #[test]
