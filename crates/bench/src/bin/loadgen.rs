@@ -21,6 +21,17 @@
 //!   Measured against direct pooled [`TreeMode::digest`] calls of the
 //!   identical workload, with every digest cross-checked between the
 //!   two paths and anchored to the scalar reference.
+//! * **KEM loop** — bursts of mixed ML-KEM KeyGen/Encaps/Decaps
+//!   operations cycling through all three FIPS 203 parameter sets,
+//!   submitted through the service's KEM lane so concurrent operations'
+//!   SHAKE stages pack into shared dispatch groups. Measured in
+//!   operations per second against the identical sequential workload
+//!   through direct [`krv_kyber`] calls on the same pool, every served
+//!   result cross-checked against its direct twin, and the
+//!   cross-request **batch occupancy** (staged hash jobs per shared
+//!   dispatch) reported — it must exceed 1, the proof that requests
+//!   actually share dispatches. A Poisson open sub-phase then offers
+//!   KEM arrivals with deadlines and counts the BUSY/DEADLINE shed.
 //! * **open loop** — Poisson arrivals at a configured rate, submitted
 //!   with a deadline, regardless of completions. Measures tail latency
 //!   under load the way a real front-end would experience it.
@@ -46,8 +57,10 @@
 //! Run with: `cargo run --release -p krv-bench --bin loadgen`
 
 use krv_core::EnginePool;
+use krv_kyber::{ml_kem_decaps, ml_kem_encaps, ml_kem_keygen, KemOp, KemResult, KyberParams};
 use krv_service::{
-    HashRequest, MetricsSnapshot, QuantileSummary, Service, ServiceConfig, TierKind, TierPolicy,
+    HashRequest, KemRequest, MetricsSnapshot, QuantileSummary, Service, ServiceConfig, TierKind,
+    TierPolicy,
 };
 use krv_sha3::tree::{krv_tree_hash256, TreeMode};
 use krv_sha3::{hash_batch, BatchRequest, ReferenceBackend, SpongeParams};
@@ -75,6 +88,8 @@ const OPEN_LOOP_SALT: u64 = 0x04E4_A221;
 const NATIVE_SALT: u64 = 0x0A71_0E17;
 /// XOR'd into the seed for the tree-hash phase, for the same reason.
 const TREE_SALT: u64 = 0x07EE_0001;
+/// XOR'd into the seed for the ML-KEM phase, for the same reason.
+const KEM_SALT: u64 = 0x04B4_5D01;
 /// Tree-loop message length: sixteen full 4096-byte KRV tree blocks, so
 /// every message fans out into sixteen leaf requests plus one root —
 /// two full dispatch waves through the batch scheduler per burst.
@@ -218,6 +233,27 @@ fn main() -> std::io::Result<()> {
         tree.metrics.e2e_ns.p99 as f64 / 1e6,
     );
 
+    let kem = run_kem_loop(&options, config);
+    println!(
+        "kem loop: {} ops → {:.0} op/s service vs {:.0} op/s direct ({:.1} %), \
+         occupancy {:.2} hash jobs/dispatch, {} results cross-checked, e2e p99 {:.2} ms",
+        kem.operations,
+        kem.service_ops,
+        kem.direct_ops,
+        100.0 * kem.ratio,
+        kem.occupancy,
+        kem.result_checks,
+        kem.metrics.e2e_ns.p99 as f64 / 1e6,
+    );
+    println!(
+        "kem open: offered {:.0} op/s for {:.1} s → {} completed, {} timeouts, {} rejected",
+        kem.open_offered_ops,
+        options.open_seconds,
+        kem.open_metrics.completed,
+        kem.open_metrics.timeouts,
+        kem.open_metrics.rejected,
+    );
+
     let open_rate = options
         .open_rate
         .unwrap_or_else(|| (closed.service_rps * 0.3).clamp(200.0, 2000.0));
@@ -233,13 +269,13 @@ fn main() -> std::io::Result<()> {
         open.metrics.e2e_ns.p99 as f64 / 1e6,
     );
 
-    let json = render_json(&options, config, &closed, &native, &tree, &open);
+    let json = render_json(&options, config, &closed, &native, &tree, &kem, &open);
     std::fs::write("BENCH_service.json", &json)?;
     println!("wrote BENCH_service.json");
 
     check_schema(&json);
     if options.smoke {
-        assert_healthy(&closed, &native, &tree, &open);
+        assert_healthy(&closed, &native, &tree, &kem, &open);
         println!("smoke: healthy (no timeouts, rejections, worker failures or mirror mismatches)");
     }
     Ok(())
@@ -598,6 +634,219 @@ fn run_tree_loop(options: &Options, config: ServiceConfig) -> TreeLoopResult {
     }
 }
 
+struct KemLoopResult {
+    operations: u64,
+    service_ops: f64,
+    direct_ops: f64,
+    ratio: f64,
+    /// Staged hash jobs per shared `hash_batch` dispatch across the
+    /// closed-loop run. Above 1 means concurrent operations' SHAKE
+    /// stages actually merged into shared dispatch groups — the
+    /// cross-request batching the KEM lane exists for.
+    occupancy: f64,
+    result_checks: u64,
+    metrics: MetricsSnapshot,
+    open_offered_ops: f64,
+    open_submitted: u64,
+    open_metrics: MetricsSnapshot,
+}
+
+/// Valid key material for one parameter set, generated once directly so
+/// the load's encaps/decaps operations have real inputs.
+struct KemFixture {
+    ek: Vec<u8>,
+    dk: Vec<u8>,
+    ct: Vec<u8>,
+}
+
+/// A 32-byte seed drawn from the workload stream.
+fn seed32(rng: &mut Rng) -> [u8; 32] {
+    rng.bytes(32).try_into().expect("32 bytes requested")
+}
+
+/// One deterministic KEM operation for slot `index` of a burst: the
+/// parameter sets and the three operation kinds interleave so every
+/// burst mixes all nine (set × kind) combinations and the scheduler's
+/// per-parameter-set packing always has company.
+fn planned_kem_op(index: usize, rng: &mut Rng, fixtures: &[KemFixture]) -> KemRequest {
+    let set = index % KyberParams::ALL.len();
+    let params = KyberParams::ALL[set];
+    let request = match (index / KyberParams::ALL.len()) % 3 {
+        0 => KemRequest::keygen(params, seed32(rng), seed32(rng)),
+        1 => KemRequest::encaps(params, fixtures[set].ek.clone(), seed32(rng)),
+        _ => KemRequest::decaps(params, fixtures[set].dk.clone(), fixtures[set].ct.clone()),
+    };
+    request.with_deadline(DEADLINE)
+}
+
+/// The same operation through the direct library path on `pool` — no
+/// queue, no scheduler, no cross-request packing.
+fn direct_kem(request: &KemRequest, pool: &mut EnginePool) -> KemResult {
+    match &request.op {
+        KemOp::Keygen { d, z } => {
+            let (ek, dk) = ml_kem_keygen(request.params, d, z, &mut *pool);
+            KemResult::Keygen { ek, dk }
+        }
+        KemOp::Encaps { ek, m } => {
+            let (ct, shared_secret) =
+                ml_kem_encaps(request.params, ek, m, &mut *pool).expect("fixture ek is valid");
+            KemResult::Encaps { ct, shared_secret }
+        }
+        KemOp::Decaps { dk, ct } => {
+            let shared_secret =
+                ml_kem_decaps(request.params, dk, ct, &mut *pool).expect("fixture dk/ct are valid");
+            KemResult::Decaps { shared_secret }
+        }
+    }
+}
+
+/// ML-KEM closed loop plus a Poisson open sub-phase.
+///
+/// Closed: `rounds` bursts of mixed KeyGen/Encaps/Decaps operations
+/// over all three parameter sets, each burst fully awaited, measured in
+/// operations per second against the identical sequential workload
+/// through direct `ml_kem_*` calls on an identically-shaped pool. Every
+/// served result must be byte-identical to its direct twin, and the
+/// shutdown metrics yield the cross-request batch occupancy
+/// (`kem_hash_jobs / kem_dispatches`).
+///
+/// Open: Poisson KEM arrivals for `open_seconds` at ~30 % of the
+/// measured closed-loop rate, every operation carrying [`DEADLINE`];
+/// tickets are dropped and the service's own counters record the
+/// completed/DEADLINE/BUSY split.
+fn run_kem_loop(options: &Options, config: ServiceConfig) -> KemLoopResult {
+    let mut rng = Rng::new(options.seed ^ KEM_SALT);
+
+    // Fixtures: one direct keygen + encaps per parameter set gives the
+    // load's encaps ops a valid key and its decaps ops a valid
+    // key/ciphertext pair (and warms the pool's lazy spawn).
+    let mut pool = EnginePool::new(config.kernel, config.sn, config.workers);
+    let fixtures: Vec<KemFixture> = KyberParams::ALL
+        .iter()
+        .map(|&params| {
+            let (d, z, m) = (seed32(&mut rng), seed32(&mut rng), seed32(&mut rng));
+            let (ek, dk) = ml_kem_keygen(params, &d, &z, &mut pool);
+            let (ct, _) = ml_kem_encaps(params, &ek, &m, &mut pool).expect("fresh ek is valid");
+            KemFixture { ek, dk, ct }
+        })
+        .collect();
+
+    let burst = options.burst_batches * config.batch_slots();
+    let bursts: Vec<Vec<KemRequest>> = (0..options.rounds)
+        .map(|_| {
+            (0..burst)
+                .map(|index| planned_kem_op(index, &mut rng, &fixtures))
+                .collect()
+        })
+        .collect();
+
+    // Service path: whole bursts in flight at once, so the lockstep
+    // stage loop has concurrent operations to pack.
+    let service = Service::start(config);
+    let warmup: Vec<_> = bursts[0]
+        .iter()
+        .map(|op| service.submit_kem(op.clone()).expect("warm-up admitted"))
+        .collect();
+    for ticket in warmup {
+        ticket.wait().result.expect("warm-up completes");
+    }
+    let started = Instant::now();
+    let mut service_results = Vec::with_capacity(options.rounds * burst);
+    for ops in &bursts {
+        let tickets: Vec<_> = ops
+            .iter()
+            .map(|op| {
+                service
+                    .submit_kem(op.clone())
+                    .expect("kem burst fits queue")
+            })
+            .collect();
+        for ticket in tickets {
+            let completion = ticket.wait();
+            service_results.push(
+                completion
+                    .result
+                    .unwrap_or_else(|err| panic!("kem-loop operation failed: {err}")),
+            );
+        }
+    }
+    let service_elapsed = started.elapsed();
+    let metrics = service.shutdown();
+    let operations = service_results.len() as u64;
+    let service_ops = operations as f64 / service_elapsed.as_secs_f64();
+
+    // Direct path: the identical operations, sequential, through the
+    // library on the same pool shape. Intra-operation batching still
+    // applies (a keygen's k×k matrix expansion rides one `hash_batch`);
+    // what the service adds on top is the *cross*-operation packing.
+    for op in &bursts[0] {
+        direct_kem(op, &mut pool); // warm-up
+    }
+    let started = Instant::now();
+    let direct_results: Vec<KemResult> = bursts
+        .iter()
+        .flat_map(|ops| ops.iter())
+        .map(|op| direct_kem(op, &mut pool))
+        .collect();
+    let direct_elapsed = started.elapsed();
+    let direct_ops = operations as f64 / direct_elapsed.as_secs_f64();
+
+    // Correctness: the queued, staged, cross-packed path must agree
+    // with the direct library on every operation.
+    assert_eq!(service_results.len(), direct_results.len());
+    let mut result_checks = 0u64;
+    for (index, (served, direct)) in service_results.iter().zip(&direct_results).enumerate() {
+        assert_eq!(
+            served, direct,
+            "KEM result mismatch between service and direct paths at operation {index}"
+        );
+        result_checks += 1;
+    }
+
+    let occupancy = metrics.kem_hash_jobs as f64 / (metrics.kem_dispatches.max(1)) as f64;
+
+    // Open sub-phase: Poisson KEM arrivals with deadlines; the service's
+    // counters record what completed, what timed out (DEADLINE) and
+    // what admission shed (BUSY).
+    let open_rate = (service_ops * 0.3).clamp(10.0, 400.0);
+    let service = Service::start(config);
+    let mut rng = Rng::new(options.seed ^ KEM_SALT ^ OPEN_LOOP_SALT);
+    let started = Instant::now();
+    let horizon = Duration::from_secs_f64(options.open_seconds);
+    let mut next_arrival = Duration::ZERO;
+    let mut open_submitted = 0u64;
+    let mut arrival = 0usize;
+    while next_arrival < horizon {
+        let now = started.elapsed();
+        if now < next_arrival {
+            std::thread::sleep(next_arrival - now);
+        }
+        let request = planned_kem_op(arrival, &mut rng, &fixtures);
+        arrival += 1;
+        // Open loop: a rejection is recorded by the service and the
+        // arrival process keeps going regardless.
+        let _ = service.submit_kem(request);
+        open_submitted += 1;
+        let uniform = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let gap = -(1.0 - uniform).ln() / open_rate;
+        next_arrival += Duration::from_secs_f64(gap);
+    }
+    let open_metrics = service.shutdown();
+
+    KemLoopResult {
+        operations,
+        service_ops,
+        direct_ops,
+        ratio: service_ops / direct_ops,
+        occupancy,
+        result_checks,
+        metrics,
+        open_offered_ops: open_submitted as f64 / options.open_seconds,
+        open_submitted,
+        open_metrics,
+    }
+}
+
 struct OpenLoopResult {
     offered_rps: f64,
     submitted: u64,
@@ -663,6 +912,7 @@ fn render_json(
     closed: &ClosedLoopResult,
     native: &NativeLoopResult,
     tree: &TreeLoopResult,
+    kem: &KemLoopResult,
     open: &OpenLoopResult,
 ) -> String {
     let mut json = String::from("{\n");
@@ -817,6 +1067,72 @@ fn render_json(
         quantiles_json("e2e_latency", &tree.metrics.e2e_ns)
     );
     let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"kem_loop\": {{");
+    let _ = writeln!(json, "    \"operations\": {},", kem.operations);
+    let _ = writeln!(json, "    \"service_ops_per_sec\": {:.1},", kem.service_ops);
+    let _ = writeln!(
+        json,
+        "    \"direct_pooled_ops_per_sec\": {:.1},",
+        kem.direct_ops
+    );
+    let _ = writeln!(json, "    \"service_vs_direct\": {:.3},", kem.ratio);
+    let _ = writeln!(json, "    \"batch_occupancy\": {:.3},", kem.occupancy);
+    let _ = writeln!(
+        json,
+        "    \"kem_hash_jobs\": {},",
+        kem.metrics.kem_hash_jobs
+    );
+    let _ = writeln!(
+        json,
+        "    \"kem_dispatches\": {},",
+        kem.metrics.kem_dispatches
+    );
+    let _ = writeln!(json, "    \"kem_keygen\": {},", kem.metrics.kem_keygen);
+    let _ = writeln!(json, "    \"kem_encaps\": {},", kem.metrics.kem_encaps);
+    let _ = writeln!(json, "    \"kem_decaps\": {},", kem.metrics.kem_decaps);
+    let _ = writeln!(json, "    \"kem_invalid\": {},", kem.metrics.kem_invalid);
+    let _ = writeln!(json, "    \"result_checks\": {},", kem.result_checks);
+    let _ = writeln!(
+        json,
+        "    \"mean_batch_fill\": {:.3},",
+        kem.metrics.mean_batch_fill
+    );
+    let _ = writeln!(json, "    \"timeouts\": {},", kem.metrics.timeouts);
+    let _ = writeln!(json, "    \"rejected\": {},", kem.metrics.rejected);
+    let _ = writeln!(
+        json,
+        "    {},",
+        quantiles_json("e2e_latency", &kem.metrics.e2e_ns)
+    );
+    let _ = writeln!(json, "    \"kem_open\": {{");
+    let _ = writeln!(
+        json,
+        "      \"offered_ops_per_sec\": {:.1},",
+        kem.open_offered_ops
+    );
+    let _ = writeln!(json, "      \"seconds\": {:.1},", options.open_seconds);
+    let _ = writeln!(json, "      \"deadline_ms\": {},", DEADLINE.as_millis());
+    let _ = writeln!(json, "      \"submitted\": {},", kem.open_submitted);
+    let _ = writeln!(json, "      \"completed\": {},", kem.open_metrics.completed);
+    let _ = writeln!(json, "      \"timeouts\": {},", kem.open_metrics.timeouts);
+    let _ = writeln!(json, "      \"rejected\": {},", kem.open_metrics.rejected);
+    let _ = writeln!(
+        json,
+        "      \"worker_failures\": {},",
+        kem.open_metrics.worker_failures
+    );
+    let _ = writeln!(
+        json,
+        "      \"kem_invalid\": {},",
+        kem.open_metrics.kem_invalid
+    );
+    let _ = writeln!(
+        json,
+        "      {}",
+        quantiles_json("e2e_latency", &kem.open_metrics.e2e_ns)
+    );
+    let _ = writeln!(json, "    }}");
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"open_loop\": {{");
     let _ = writeln!(
         json,
@@ -888,6 +1204,15 @@ const SCHEMA_KEYS: &[&str] = &[
     "\"service_mib_per_sec\":",
     "\"direct_mib_per_sec\":",
     "\"digest_checks\":",
+    "\"kem_loop\":",
+    "\"service_ops_per_sec\":",
+    "\"direct_pooled_ops_per_sec\":",
+    "\"batch_occupancy\":",
+    "\"kem_hash_jobs\":",
+    "\"kem_dispatches\":",
+    "\"result_checks\":",
+    "\"kem_open\":",
+    "\"offered_ops_per_sec\":",
     "\"open_loop\":",
     "\"offered_requests_per_sec\":",
     "\"timeouts\":",
@@ -909,6 +1234,7 @@ fn assert_healthy(
     closed: &ClosedLoopResult,
     native: &NativeLoopResult,
     tree: &TreeLoopResult,
+    kem: &KemLoopResult,
     open: &OpenLoopResult,
 ) {
     assert_eq!(closed.metrics.timeouts, 0, "closed-loop deadline misses");
@@ -969,5 +1295,35 @@ fn assert_healthy(
         "native tier sustained only {:.0} perm/s through the service \
          (floor {NATIVE_PERM_FLOOR:.0})",
         native.service_pps
+    );
+    assert_eq!(kem.metrics.timeouts, 0, "kem-loop deadline misses");
+    assert_eq!(kem.metrics.rejected, 0, "kem-loop rejections");
+    assert_eq!(kem.metrics.worker_failures, 0, "kem-loop failures");
+    assert_eq!(kem.metrics.kem_invalid, 0, "kem-loop invalid inputs");
+    assert_eq!(kem.result_checks, kem.operations, "KEM results unchecked");
+    // The KEM lane's whole point: concurrent operations' SHAKE stages
+    // must merge into shared dispatches, so each dispatch group carries
+    // more than one staged hash job on average.
+    assert!(
+        kem.occupancy > 1.0,
+        "cross-request KEM batch occupancy was only {:.2} hash jobs per dispatch — \
+         concurrent operations are not sharing dispatch groups",
+        kem.occupancy
+    );
+    // Admission, staging and ticketing ride on top of the same hash
+    // work the direct path does; cross-request packing must pay for
+    // them.
+    assert!(
+        kem.ratio >= 0.85,
+        "KEM lane sustained only {:.1} % of the direct library throughput",
+        100.0 * kem.ratio
+    );
+    assert_eq!(
+        kem.open_metrics.worker_failures, 0,
+        "kem-open worker failures"
+    );
+    assert_eq!(
+        kem.open_metrics.kem_invalid, 0,
+        "kem-open invalid inputs (fixtures must be valid)"
     );
 }

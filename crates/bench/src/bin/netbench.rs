@@ -20,6 +20,14 @@
 //! response frame, and the per-connection
 //! [`krv_testkit::LatencyHistogram`]s are merged for the quantiles.
 //!
+//! A **KEM phase** drives the protocol-v5 ML-KEM request kinds the same
+//! closed-loop way: pipelined windows of mixed KeyGen/Encaps/Decaps
+//! operations over all three FIPS 203 parameter sets on real sockets,
+//! compared against the identical workload submitted straight into the
+//! in-process service's KEM lane at the same concurrency. Every decaps
+//! rides fixture key material, so its wire answer is checked against
+//! the known shared secret.
+//!
 //! A **streaming phase** then sizes the session protocol: 1 MiB →
 //! 1 GiB messages streamed through SHAKE256 wire sessions, the
 //! in-process streaming lane (the no-socket baseline) and KRV
@@ -53,11 +61,14 @@
 //!
 //! Run with: `cargo run --release -p krv-bench --bin netbench`
 
+use krv_kyber::{ml_kem_encaps, ml_kem_keygen};
+use krv_native::NativeBackend;
 use krv_server::protocol::{write_frame, DEFAULT_MAX_FRAME};
 use krv_server::{
-    AlgorithmParams, Client, Reply, Request, Response, Server, ServerConfig, WireAlgorithm,
+    AlgorithmParams, Client, KemParameterSet, Reply, Request, Response, Server, ServerConfig,
+    WireAlgorithm,
 };
-use krv_service::{HashRequest, Service, ServiceConfig, StreamRequest};
+use krv_service::{HashRequest, KemRequest, Service, ServiceConfig, StreamRequest};
 use krv_sha3::tree::krv_tree_hash256;
 use krv_sha3::{Shake256, SpongeParams, SpongeState};
 use krv_testkit::{LatencyHistogram, Rng};
@@ -78,6 +89,12 @@ const DEFAULT_SEED: u64 = 0x4E7_0001;
 const OPEN_LOOP_SALT: u64 = 0x0A11_04D5;
 /// XOR'd into the seed for the streaming phase.
 const STREAM_SALT: u64 = 0x57E4_0001;
+/// XOR'd into the seed for the ML-KEM phase.
+const KEM_SALT: u64 = 0x04B4_5D02;
+/// In-flight window per KEM connection: smaller than the hash window —
+/// one ML-KEM operation carries dozens of staged hashes, so a modest
+/// window already keeps the scheduler's stage loop packed.
+const KEM_WINDOW: usize = 16;
 /// Absorb granularity of the streaming phase: 1 MiB per client call
 /// (the client splits each at the wire's `MAX_CHUNK_LEN`).
 const STREAM_CHUNK: usize = 1 << 20;
@@ -194,6 +211,18 @@ fn main() -> std::io::Result<()> {
         open.latency.percentile(0.99) as f64 / 1e6,
     );
 
+    let kem = run_kem_phase(&options, service_config);
+    println!(
+        "kem phase: {} ops → {:.0} op/s over TCP vs {:.0} op/s in-process ({:.1} %), \
+         {} decaps secrets checked, e2e p99 {:.2} ms",
+        kem.operations,
+        kem.net_ops,
+        kem.direct_ops,
+        100.0 * kem.ratio,
+        kem.decaps_checks,
+        kem.latency.percentile(0.99) as f64 / 1e6,
+    );
+
     let streaming = run_streaming_phase(&options, service_config);
 
     let sweep_points: &[usize] = if options.smoke {
@@ -206,13 +235,21 @@ fn main() -> std::io::Result<()> {
         .map(|&connections| run_sweep_point(&options, connections))
         .collect();
 
-    let json = render_json(&options, service_config, &closed, &open, &streaming, &sweep);
+    let json = render_json(
+        &options,
+        service_config,
+        &closed,
+        &open,
+        &kem,
+        &streaming,
+        &sweep,
+    );
     std::fs::write("BENCH_net.json", &json)?;
     println!("wrote BENCH_net.json");
 
     check_schema(&json);
     if options.smoke {
-        assert_healthy(&closed, &open, &streaming);
+        assert_healthy(&closed, &open, &kem, &streaming);
         println!("smoke: healthy (wire overhead within bounds, no failures)");
     }
     Ok(())
@@ -487,6 +524,229 @@ fn run_open_loop(options: &Options, service_config: ServiceConfig, rate: f64) ->
         busy,
         deadline_misses,
         transport_failures,
+        latency,
+    }
+}
+
+struct KemPhaseResult {
+    operations: u64,
+    net_ops: f64,
+    direct_ops: f64,
+    ratio: f64,
+    /// Decapsulations whose wire answer matched the fixture's known
+    /// shared secret.
+    decaps_checks: u64,
+    latency: LatencyHistogram,
+}
+
+/// Valid key material for one parameter set, generated once directly so
+/// the KEM phase's encaps/decaps operations have real inputs — and a
+/// known shared secret to check every decapsulation against.
+struct KemFixture {
+    set: KemParameterSet,
+    ek: Vec<u8>,
+    dk: Vec<u8>,
+    ct: Vec<u8>,
+    shared: [u8; 32],
+}
+
+/// A 32-byte seed drawn from the workload stream.
+fn seed32(rng: &mut Rng) -> [u8; 32] {
+    rng.bytes(32).try_into().expect("32 bytes requested")
+}
+
+fn kem_fixtures(seed: u64) -> Vec<KemFixture> {
+    let mut rng = Rng::new(seed);
+    let mut backend = NativeBackend::new();
+    KemParameterSet::ALL
+        .iter()
+        .map(|&set| {
+            let params = set.params();
+            let (d, z, m) = (seed32(&mut rng), seed32(&mut rng), seed32(&mut rng));
+            let (ek, dk) = ml_kem_keygen(params, &d, &z, &mut backend);
+            let (ct, shared) =
+                ml_kem_encaps(params, &ek, &m, &mut backend).expect("fresh ek is valid");
+            KemFixture {
+                set,
+                ek,
+                dk,
+                ct,
+                shared,
+            }
+        })
+        .collect()
+}
+
+/// Which operation slot `index` of a KEM window runs: the parameter
+/// sets and the three kinds interleave so every window mixes all nine
+/// (set × kind) combinations.
+fn kem_plan(index: usize) -> (usize, usize) {
+    (
+        index % KemParameterSet::ALL.len(),
+        (index / KemParameterSet::ALL.len()) % 3,
+    )
+}
+
+/// One closed-loop KEM connection: keep [`KEM_WINDOW`] mixed operations
+/// in flight until `total` have been answered. Returns the client-side
+/// latency histogram and how many decaps answers were checked against
+/// the fixtures' known shared secrets.
+fn drive_kem_connection(
+    addr: SocketAddr,
+    seed: u64,
+    total: usize,
+    fixtures: &[KemFixture],
+) -> (LatencyHistogram, u64) {
+    let client = Client::connect(addr).expect("connect to loopback daemon");
+    let mut rng = Rng::new(seed);
+    let submit = |index: usize, rng: &mut Rng| {
+        let (set_index, kind) = kem_plan(index);
+        let fixture = &fixtures[set_index];
+        match kind {
+            0 => client.submit_kem_keygen(fixture.set, seed32(rng), seed32(rng), None),
+            1 => client.submit_kem_encaps(fixture.set, &fixture.ek, seed32(rng), None),
+            _ => client.submit_kem_decaps(fixture.set, &fixture.dk, &fixture.ct, None),
+        }
+        .expect("kem submit")
+    };
+    // Warm-up window: pool spawn and kernel decode are not steady-state.
+    let warm: Vec<_> = (0..KEM_WINDOW).map(|i| submit(i, &mut rng)).collect();
+    for pending in warm {
+        pending.wait().expect("warm-up kem reply");
+    }
+    let mut latency = LatencyHistogram::new();
+    let mut decaps_checks = 0u64;
+    let mut in_flight = std::collections::VecDeque::with_capacity(KEM_WINDOW);
+    let mut submitted = 0usize;
+    let mut completed = 0usize;
+    while completed < total {
+        while submitted < total && in_flight.len() < KEM_WINDOW {
+            in_flight.push_back((submitted, submit(submitted, &mut rng)));
+            submitted += 1;
+        }
+        let (index, pending) = in_flight.pop_front().expect("window is non-empty");
+        let reply: Reply = pending.wait().expect("kem reply");
+        match reply.response {
+            Response::KemKeys { .. } | Response::KemCiphertext { .. } => {
+                latency.record_duration(reply.elapsed);
+            }
+            Response::KemSecret { shared_secret, .. } => {
+                let (set_index, _) = kem_plan(index);
+                assert_eq!(
+                    shared_secret, fixtures[set_index].shared,
+                    "decapsulation over the wire disagrees with the fixture secret"
+                );
+                decaps_checks += 1;
+                latency.record_duration(reply.elapsed);
+            }
+            other => panic!("kem request failed: {other:?}"),
+        }
+        completed += 1;
+    }
+    (latency, decaps_checks)
+}
+
+/// Closed-loop ML-KEM over TCP vs the in-process KEM lane at the same
+/// concurrency: `connections` clients each pushing `rounds ×`
+/// [`KEM_WINDOW`] mixed operations through a pipelined window. The
+/// direct baseline drives identical windows straight into
+/// [`Service::submit_kem`] — same cross-request packing, no sockets —
+/// so the ratio prices exactly the wire.
+fn run_kem_phase(options: &Options, service_config: ServiceConfig) -> KemPhaseResult {
+    let per_connection = options.rounds * KEM_WINDOW;
+    let operations = (options.connections * per_connection) as u64;
+    let fixtures = std::sync::Arc::new(kem_fixtures(options.seed ^ KEM_SALT));
+
+    // Network pass.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            service: service_config,
+            shards: 1,
+            io_threads: options.io_threads,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback daemon");
+    let addr = server.local_addr();
+    let started = Instant::now();
+    let drivers: Vec<_> = (0..options.connections)
+        .map(|c| {
+            let seed = (options.seed ^ KEM_SALT).wrapping_add(1 + c as u64);
+            let fixtures = std::sync::Arc::clone(&fixtures);
+            std::thread::spawn(move || drive_kem_connection(addr, seed, per_connection, &fixtures))
+        })
+        .collect();
+    let mut latency = LatencyHistogram::new();
+    let mut decaps_checks = 0u64;
+    for driver in drivers {
+        let (conn_latency, conn_checks) = driver.join().expect("kem driver thread");
+        latency.merge(&conn_latency);
+        decaps_checks += conn_checks;
+    }
+    let net_elapsed = started.elapsed();
+    server.shutdown();
+    let net_ops = operations as f64 / net_elapsed.as_secs_f64();
+
+    // Direct pass: identical windows into the in-process KEM lane.
+    let service = std::sync::Arc::new(Service::start(service_config));
+    let started = Instant::now();
+    let drivers: Vec<_> = (0..options.connections)
+        .map(|c| {
+            let service = std::sync::Arc::clone(&service);
+            let fixtures = std::sync::Arc::clone(&fixtures);
+            let seed = (options.seed ^ KEM_SALT).wrapping_add(1 + c as u64);
+            std::thread::spawn(move || {
+                let mut rng = Rng::new(seed);
+                let submit = |index: usize, rng: &mut Rng| {
+                    let (set_index, kind) = kem_plan(index);
+                    let fixture = &fixtures[set_index];
+                    let params = fixture.set.params();
+                    let request = match kind {
+                        0 => KemRequest::keygen(params, seed32(rng), seed32(rng)),
+                        1 => KemRequest::encaps(params, fixture.ek.clone(), seed32(rng)),
+                        _ => KemRequest::decaps(params, fixture.dk.clone(), fixture.ct.clone()),
+                    };
+                    service.submit_kem(request).expect("direct kem admitted")
+                };
+                let warm: Vec<_> = (0..KEM_WINDOW).map(|i| submit(i, &mut rng)).collect();
+                for ticket in warm {
+                    ticket.wait().result.expect("warm-up completes");
+                }
+                let mut in_flight = std::collections::VecDeque::with_capacity(KEM_WINDOW);
+                let mut submitted = 0usize;
+                let mut completed = 0usize;
+                while completed < per_connection {
+                    while submitted < per_connection && in_flight.len() < KEM_WINDOW {
+                        in_flight.push_back(submit(submitted, &mut rng));
+                        submitted += 1;
+                    }
+                    in_flight
+                        .pop_front()
+                        .expect("window is non-empty")
+                        .wait()
+                        .result
+                        .expect("direct kem completes");
+                    completed += 1;
+                }
+            })
+        })
+        .collect();
+    for driver in drivers {
+        driver.join().expect("direct kem driver thread");
+    }
+    let direct_elapsed = started.elapsed();
+    std::sync::Arc::try_unwrap(service)
+        .expect("driver threads joined")
+        .shutdown();
+    let direct_ops = operations as f64 / direct_elapsed.as_secs_f64();
+
+    KemPhaseResult {
+        operations,
+        net_ops,
+        direct_ops,
+        ratio: net_ops / direct_ops,
+        decaps_checks,
         latency,
     }
 }
@@ -1079,6 +1339,7 @@ fn render_json(
     config: ServiceConfig,
     closed: &ClosedLoopResult,
     open: &OpenLoopResult,
+    kem: &KemPhaseResult,
     streaming: &[StreamPoint],
     sweep: &[SweepPoint],
 ) -> String {
@@ -1132,6 +1393,19 @@ fn render_json(
         open.transport_failures
     );
     let _ = writeln!(json, "    {}", histogram_json("e2e_latency", &open.latency));
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"kem_loop\": {{");
+    let _ = writeln!(json, "    \"operations\": {},", kem.operations);
+    let _ = writeln!(json, "    \"kem_window\": {KEM_WINDOW},");
+    let _ = writeln!(json, "    \"net_ops_per_sec\": {:.1},", kem.net_ops);
+    let _ = writeln!(
+        json,
+        "    \"direct_service_ops_per_sec\": {:.1},",
+        kem.direct_ops
+    );
+    let _ = writeln!(json, "    \"net_vs_direct\": {:.3},", kem.ratio);
+    let _ = writeln!(json, "    \"decaps_checks\": {},", kem.decaps_checks);
+    let _ = writeln!(json, "    {}", histogram_json("e2e_latency", &kem.latency));
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"streaming\": [");
     for (i, point) in streaming.iter().enumerate() {
@@ -1211,6 +1485,10 @@ const SCHEMA_KEYS: &[&str] = &[
     "\"transport_failures\":",
     "\"io_threads\":",
     "\"shards\":",
+    "\"kem_loop\":",
+    "\"net_ops_per_sec\":",
+    "\"direct_service_ops_per_sec\":",
+    "\"decaps_checks\":",
     "\"streaming\":",
     "\"wire_mib_per_sec\":",
     "\"direct_mib_per_sec\":",
@@ -1234,7 +1512,12 @@ fn check_schema(json: &str) {
     println!("schema: all {} required keys present", SCHEMA_KEYS.len());
 }
 
-fn assert_healthy(closed: &ClosedLoopResult, open: &OpenLoopResult, streaming: &[StreamPoint]) {
+fn assert_healthy(
+    closed: &ClosedLoopResult,
+    open: &OpenLoopResult,
+    kem: &KemPhaseResult,
+    streaming: &[StreamPoint],
+) {
     assert_eq!(
         closed.latency.count(),
         closed.requests,
@@ -1245,6 +1528,22 @@ fn assert_healthy(closed: &ClosedLoopResult, open: &OpenLoopResult, streaming: &
         closed.ratio >= 0.70,
         "loopback daemon sustained only {:.1} % of the in-process service throughput",
         100.0 * closed.ratio
+    );
+    assert_eq!(
+        kem.latency.count(),
+        kem.operations,
+        "every KEM operation must answer with a typed response"
+    );
+    assert!(
+        kem.decaps_checks > 0,
+        "the KEM phase never checked a decapsulated secret"
+    );
+    // An ML-KEM operation is dozens of staged hashes; the per-operation
+    // wire cost must stay a small fraction of that compute.
+    assert!(
+        kem.ratio >= 0.70,
+        "KEM over loopback sustained only {:.1} % of the in-process KEM lane",
+        100.0 * kem.ratio
     );
     // Streaming digests are hard-asserted inside the phase; here only
     // the overhead bound: a 1 MiB-chunked wire session must hold a

@@ -1,0 +1,317 @@
+#!/usr/bin/env python3
+"""Regenerates src/kem_vectors.rs from an independent ML-KEM implementation.
+
+This file implements FIPS 203 (ML-KEM) from the standard's pseudocode,
+on top of Python hashlib's SHA-3/SHAKE (OpenSSL) — it shares no code
+with the Rust workspace, so the embedded vectors are an external oracle
+for the full KeyGen/Encaps/Decaps pipeline: NTT algebra, rejection and
+CBD sampling, ByteEncode/Compress serialization, and the implicit-
+rejection FO transform.
+
+Every vector is internally checked before emission: Decaps(dk, ct) must
+recover the encapsulated secret, and Decaps over the tampered ciphertext
+must equal J(z ‖ ct') exactly.
+
+Run from crates/conformance:  python3 gen_kem_vectors.py > src/kem_vectors.rs
+"""
+
+import hashlib
+
+Q = 3329
+N = 256
+
+# (name, k, eta1, eta2, du, dv)
+PARAM_SETS = [
+    ("ML-KEM-512", 2, 3, 2, 10, 4),
+    ("ML-KEM-768", 3, 2, 2, 10, 4),
+    ("ML-KEM-1024", 4, 2, 2, 11, 5),
+]
+
+
+def bitrev7(x):
+    return int(f"{x:07b}"[::-1], 2)
+
+
+ZETAS = [pow(17, bitrev7(k), Q) for k in range(128)]
+BASEMUL_ZETAS = [pow(17, 2 * bitrev7(i) + 1, Q) for i in range(128)]
+
+
+def ntt(f):
+    f = list(f)
+    k, length = 1, 128
+    while length >= 2:
+        for start in range(0, N, 2 * length):
+            zeta = ZETAS[k]
+            k += 1
+            for j in range(start, start + length):
+                t = zeta * f[j + length] % Q
+                f[j + length] = (f[j] - t) % Q
+                f[j] = (f[j] + t) % Q
+        length //= 2
+    return f
+
+
+def inv_ntt(f):
+    f = list(f)
+    k, length = 127, 2
+    while length <= 128:
+        for start in range(0, N, 2 * length):
+            zeta = ZETAS[k]
+            k -= 1
+            for j in range(start, start + length):
+                t = f[j]
+                f[j] = (t + f[j + length]) % Q
+                f[j + length] = zeta * (f[j + length] - t) % Q
+        length *= 2
+    return [x * 3303 % Q for x in f]  # 3303 = 128⁻¹ mod q
+
+
+def basemul(a, b):
+    c = [0] * N
+    for i in range(128):
+        a0, a1, b0, b1 = a[2 * i], a[2 * i + 1], b[2 * i], b[2 * i + 1]
+        c[2 * i] = (a0 * b0 + a1 * b1 % Q * BASEMUL_ZETAS[i]) % Q
+        c[2 * i + 1] = (a0 * b1 + a1 * b0) % Q
+    return c
+
+
+def poly_add(a, b):
+    return [(x + y) % Q for x, y in zip(a, b)]
+
+
+def poly_sub(a, b):
+    return [(x - y) % Q for x, y in zip(a, b)]
+
+
+def sample_ntt(rho, j, i):
+    """SampleNTT from SHAKE128(rho ‖ j ‖ i) — Algorithm 7."""
+    blocks = 3
+    while True:
+        stream = hashlib.shake_128(rho + bytes([j, i])).digest(blocks * 168)
+        coeffs = []
+        for off in range(0, len(stream) - 2, 3):
+            d1 = stream[off] | ((stream[off + 1] & 0x0F) << 8)
+            d2 = (stream[off + 1] >> 4) | (stream[off + 2] << 4)
+            for d in (d1, d2):
+                if d < Q and len(coeffs) < N:
+                    coeffs.append(d)
+            if len(coeffs) == N:
+                return coeffs
+        blocks += 1  # prefix-stable: a longer squeeze extends the stream
+
+
+def sample_cbd(stream, eta):
+    bit = lambda idx: (stream[idx // 8] >> (idx % 8)) & 1
+    coeffs = []
+    for i in range(N):
+        x = sum(bit(2 * i * eta + j) for j in range(eta))
+        y = sum(bit(2 * i * eta + eta + j) for j in range(eta))
+        coeffs.append((x - y) % Q)
+    return coeffs
+
+
+def prf(eta, seed, nonce):
+    return hashlib.shake_256(seed + bytes([nonce])).digest(64 * eta)
+
+
+def byte_encode(coeffs, d):
+    out = bytearray(32 * d)
+    for i, value in enumerate(coeffs):
+        for bit in range(d):
+            if (value >> bit) & 1:
+                pos = d * i + bit
+                out[pos // 8] |= 1 << (pos % 8)
+    return bytes(out)
+
+
+def byte_decode(data, d):
+    coeffs = []
+    for i in range(N):
+        value = 0
+        for bit in range(d):
+            pos = d * i + bit
+            value |= ((data[pos // 8] >> (pos % 8)) & 1) << bit
+        coeffs.append(value % Q if d == 12 else value)
+    return coeffs
+
+
+def compress(coeffs, d):
+    return [((x << d) + Q // 2) // Q % (1 << d) for x in coeffs]
+
+
+def decompress(coeffs, d):
+    return [(x * Q + (1 << (d - 1))) >> d for x in coeffs]
+
+
+def expand_matrix(rho, k):
+    return [[sample_ntt(rho, j, i) for j in range(k)] for i in range(k)]
+
+
+def pke_keygen(k, eta1, d_seed):
+    g = hashlib.sha3_512(d_seed + bytes([k])).digest()
+    rho, sigma = g[:32], g[32:]
+    a_hat = expand_matrix(rho, k)
+    s_hat = [ntt(sample_cbd(prf(eta1, sigma, n), eta1)) for n in range(k)]
+    e_hat = [ntt(sample_cbd(prf(eta1, sigma, k + n), eta1)) for n in range(k)]
+    t_hat = []
+    for i in range(k):
+        acc = [0] * N
+        for j in range(k):
+            acc = poly_add(acc, basemul(a_hat[i][j], s_hat[j]))
+        t_hat.append(poly_add(acc, e_hat[i]))
+    ek = b"".join(byte_encode(t, 12) for t in t_hat) + rho
+    dk_pke = b"".join(byte_encode(s, 12) for s in s_hat)
+    return ek, dk_pke
+
+
+def pke_encrypt(k, eta1, eta2, du, dv, ek, m, coins):
+    t_hat = [byte_decode(ek[384 * i : 384 * (i + 1)], 12) for i in range(k)]
+    rho = ek[384 * k :]
+    a_hat = expand_matrix(rho, k)
+    r_hat = [ntt(sample_cbd(prf(eta1, coins, n), eta1)) for n in range(k)]
+    e1 = [sample_cbd(prf(eta2, coins, k + n), eta2) for n in range(k)]
+    e2 = sample_cbd(prf(eta2, coins, 2 * k), eta2)
+    u = []
+    for i in range(k):
+        acc = [0] * N
+        for j in range(k):
+            acc = poly_add(acc, basemul(a_hat[j][i], r_hat[j]))  # transpose
+        u.append(poly_add(inv_ntt(acc), e1[i]))
+    acc = [0] * N
+    for j in range(k):
+        acc = poly_add(acc, basemul(t_hat[j], r_hat[j]))
+    mu = decompress([(m[i // 8] >> (i % 8)) & 1 for i in range(N)], 1)
+    v = poly_add(poly_add(inv_ntt(acc), e2), mu)
+    ct = b"".join(byte_encode(compress(p, du), du) for p in u)
+    return ct + byte_encode(compress(v, dv), dv)
+
+
+def pke_decrypt(k, du, dv, dk_pke, ct):
+    u = [
+        decompress(byte_decode(ct[32 * du * i : 32 * du * (i + 1)], du), du)
+        for i in range(k)
+    ]
+    v = decompress(byte_decode(ct[32 * du * k :], dv), dv)
+    s_hat = [byte_decode(dk_pke[384 * i : 384 * (i + 1)], 12) for i in range(k)]
+    acc = [0] * N
+    for j in range(k):
+        acc = poly_add(acc, basemul(s_hat[j], ntt(u[j])))
+    w = poly_sub(v, inv_ntt(acc))
+    bits = compress(w, 1)
+    m = bytearray(32)
+    for i, b in enumerate(bits):
+        m[i // 8] |= b << (i % 8)
+    return bytes(m)
+
+
+def ml_kem_keygen(k, eta1, d_seed, z):
+    ek, dk_pke = pke_keygen(k, eta1, d_seed)
+    dk = dk_pke + ek + hashlib.sha3_256(ek).digest() + z
+    return ek, dk
+
+
+def ml_kem_encaps(params, ek, m):
+    _, k, eta1, eta2, du, dv = params
+    g = hashlib.sha3_512(m + hashlib.sha3_256(ek).digest()).digest()
+    shared, coins = g[:32], g[32:]
+    ct = pke_encrypt(k, eta1, eta2, du, dv, ek, m, coins)
+    return ct, shared
+
+
+def ml_kem_decaps(params, dk, ct):
+    _, k, eta1, eta2, du, dv = params
+    dk_pke, ek = dk[: 384 * k], dk[384 * k : 768 * k + 32]
+    h, z = dk[768 * k + 32 : 768 * k + 64], dk[768 * k + 64 :]
+    m_prime = pke_decrypt(k, du, dv, dk_pke, ct)
+    g = hashlib.sha3_512(m_prime + h).digest()
+    k_prime, coins = g[:32], g[32:]
+    k_bar = hashlib.shake_256(z + ct).digest(32)
+    ct_prime = pke_encrypt(k, eta1, eta2, du, dv, ek, m_prime, coins)
+    return k_prime if ct_prime == ct else k_bar
+
+
+def seed32(label):
+    """Deterministic, reproducible 32-byte seed from a label."""
+    return hashlib.sha3_256(label.encode()).digest()
+
+
+TAMPER_INDEX = 5  # ct byte flipped (XOR 0x01) for the rejection vector
+
+
+def emit():
+    print("//! Embedded ML-KEM (FIPS 203) known-answer vectors. GENERATED by")
+    print("//! gen_kem_vectors.py — regenerate instead of editing. The vectors")
+    print("//! come from an independent Python implementation of the standard")
+    print("//! (NTT, samplers and serialization written to the FIPS 203")
+    print("//! pseudocode over OpenSSL's SHA-3), so they share no code with")
+    print("//! this workspace.")
+    print()
+    print("/// One deterministic ML-KEM known-answer vector: seeds in, full")
+    print("/// key/ciphertext/secret material out, plus the implicit-rejection")
+    print("/// secret for the same ciphertext with byte `tamper_index` flipped")
+    print("/// (XOR 0x01).")
+    print("#[derive(Debug, Clone, Copy)]")
+    print("pub struct MlKemVector {")
+    print("    /// Parameter-set label (\"ML-KEM-512\" / -768 / -1024).")
+    print("    pub set: &'static str,")
+    print("    /// Module rank k (2, 3 or 4).")
+    print("    pub k: usize,")
+    print("    /// KeyGen randomness d (32 bytes, hex).")
+    print("    pub d_hex: &'static str,")
+    print("    /// Implicit-rejection randomness z (32 bytes, hex).")
+    print("    pub z_hex: &'static str,")
+    print("    /// Encapsulation randomness m (32 bytes, hex).")
+    print("    pub m_hex: &'static str,")
+    print("    /// Expected encapsulation key (384k + 32 bytes, hex).")
+    print("    pub ek_hex: &'static str,")
+    print("    /// Expected decapsulation key (768k + 96 bytes, hex).")
+    print("    pub dk_hex: &'static str,")
+    print("    /// Expected ciphertext (32(du·k + dv) bytes, hex).")
+    print("    pub ct_hex: &'static str,")
+    print("    /// Expected shared secret (32 bytes, hex).")
+    print("    pub shared_hex: &'static str,")
+    print("    /// Ciphertext byte index XORed with 0x01 for the rejection case.")
+    print("    pub tamper_index: usize,")
+    print("    /// Expected implicit-rejection secret J(z ‖ ct′) (32 bytes, hex).")
+    print("    pub rejection_hex: &'static str,")
+    print("}")
+    print()
+    print("/// Two vectors per FIPS 203 parameter set, seeds derived from")
+    print("/// SHA3-256 of a fixed label.")
+    print("pub const ML_KEM_VECTORS: &[MlKemVector] = &[")
+    for params in PARAM_SETS:
+        name, k, eta1, eta2, du, dv = params
+        for index in range(2):
+            d_seed = seed32(f"{name} d {index}")
+            z = seed32(f"{name} z {index}")
+            m = seed32(f"{name} m {index}")
+            ek, dk = ml_kem_keygen(k, eta1, d_seed, z)
+            assert len(ek) == 384 * k + 32 and len(dk) == 768 * k + 96
+            ct, shared = ml_kem_encaps(params, ek, m)
+            assert len(ct) == 32 * (du * k + dv)
+            # Internal consistency before emission.
+            assert ml_kem_decaps(params, dk, ct) == shared, name
+            tampered = bytearray(ct)
+            tampered[TAMPER_INDEX] ^= 0x01
+            tampered = bytes(tampered)
+            rejection = hashlib.shake_256(z + tampered).digest(32)
+            assert ml_kem_decaps(params, dk, tampered) == rejection, name
+            assert rejection != shared, name
+            print("    MlKemVector {")
+            print(f'        set: "{name}",')
+            print(f"        k: {k},")
+            print(f'        d_hex: "{d_seed.hex()}",')
+            print(f'        z_hex: "{z.hex()}",')
+            print(f'        m_hex: "{m.hex()}",')
+            print(f'        ek_hex: "{ek.hex()}",')
+            print(f'        dk_hex: "{dk.hex()}",')
+            print(f'        ct_hex: "{ct.hex()}",')
+            print(f'        shared_hex: "{shared.hex()}",')
+            print(f"        tamper_index: {TAMPER_INDEX},")
+            print(f'        rejection_hex: "{rejection.hex()}",')
+            print("    },")
+    print("];")
+
+
+if __name__ == "__main__":
+    emit()

@@ -1,0 +1,186 @@
+//! FIPS 203 ByteEncode/ByteDecode (Algorithms 5–6): packing polynomial
+//! coefficients into little-endian `d`-bit fields, and the key /
+//! ciphertext serialization built from them.
+//!
+//! Coefficient `i` occupies bits `d·i .. d·(i+1)` of the byte stream,
+//! least-significant bit first — so 256 coefficients always pack into
+//! exactly `32·d` bytes.
+
+use crate::compress::{compress_poly, decompress_poly};
+use crate::poly::{Poly, KYBER_N, KYBER_Q};
+
+/// Packs a polynomial's 256 coefficients into `32·d` little-endian
+/// `d`-bit fields (FIPS 203 Algorithm 5).
+///
+/// # Panics
+///
+/// Panics if `d` is 0 or greater than 12, or (debug builds) if a
+/// coefficient does not fit in `d` bits.
+pub fn byte_encode(poly: &Poly, d: u32) -> Vec<u8> {
+    assert!(
+        (1..=12).contains(&d),
+        "ByteEncode is defined for 1 ≤ d ≤ 12"
+    );
+    let mut out = vec![0u8; 32 * d as usize];
+    for i in 0..KYBER_N {
+        let value = poly.coeff(i);
+        debug_assert!(d == 12 || value < (1 << d), "coefficient over {d} bits");
+        for bit in 0..d as usize {
+            if (value >> bit) & 1 == 1 {
+                let position = d as usize * i + bit;
+                out[position / 8] |= 1 << (position % 8);
+            }
+        }
+    }
+    out
+}
+
+/// Unpacks `32·d` bytes back into a polynomial (FIPS 203 Algorithm 6).
+/// For `d = 12` the raw 12-bit values are reduced mod q, as the
+/// standard's `ByteDecode₁₂` specifies; use [`byte_decode_canonical`]
+/// where FIPS 203's input validation requires rejecting non-canonical
+/// encodings instead.
+///
+/// # Panics
+///
+/// Panics if `d` is out of range or `bytes.len() != 32·d`.
+pub fn byte_decode(bytes: &[u8], d: u32) -> Poly {
+    assert!(
+        (1..=12).contains(&d),
+        "ByteDecode is defined for 1 ≤ d ≤ 12"
+    );
+    assert_eq!(bytes.len(), 32 * d as usize, "ByteDecode needs 32·d bytes");
+    let mut coeffs = [0u16; KYBER_N];
+    for (i, c) in coeffs.iter_mut().enumerate() {
+        let mut value = 0u16;
+        for bit in 0..d as usize {
+            let position = d as usize * i + bit;
+            value |= u16::from((bytes[position / 8] >> (position % 8)) & 1) << bit;
+        }
+        *c = value;
+    }
+    Poly::from_coeffs(coeffs)
+}
+
+/// `ByteDecode₁₂` with FIPS 203 §7.2's modulus check: every 12-bit field
+/// must already be `< q`. Returns the index of the first out-of-range
+/// coefficient on failure — the "type check" a malformed encapsulation
+/// key fails.
+///
+/// # Panics
+///
+/// Panics if `bytes.len() != 384`.
+pub fn byte_decode_canonical(bytes: &[u8]) -> Result<Poly, usize> {
+    assert_eq!(bytes.len(), 384, "ByteDecode₁₂ needs 384 bytes");
+    let mut coeffs = [0u16; KYBER_N];
+    for (i, c) in coeffs.iter_mut().enumerate() {
+        let mut value = 0u16;
+        for bit in 0..12usize {
+            let position = 12 * i + bit;
+            value |= u16::from((bytes[position / 8] >> (position % 8)) & 1) << bit;
+        }
+        if value >= KYBER_Q {
+            return Err(i);
+        }
+        *c = value;
+    }
+    Ok(Poly::from_coeffs(coeffs))
+}
+
+/// Serializes a vector of polynomials as consecutive `ByteEncode_d`
+/// blocks, compressing each coefficient to `d` bits first when `d < 12`.
+pub fn encode_vector(polys: &[Poly], d: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(polys.len() * 32 * d as usize);
+    for poly in polys {
+        let encoded = if d < 12 {
+            byte_encode(&compress_poly(poly, d), d)
+        } else {
+            byte_encode(poly, d)
+        };
+        out.extend_from_slice(&encoded);
+    }
+    out
+}
+
+/// Deserializes consecutive `ByteDecode_d` blocks, decompressing each
+/// coefficient back into `[0, q)` when `d < 12`.
+///
+/// # Panics
+///
+/// Panics if `bytes.len()` is not a multiple of `32·d`.
+pub fn decode_vector(bytes: &[u8], d: u32) -> Vec<Poly> {
+    assert_eq!(bytes.len() % (32 * d as usize), 0, "ragged vector encoding");
+    bytes
+        .chunks_exact(32 * d as usize)
+        .map(|chunk| {
+            let poly = byte_decode(chunk, d);
+            if d < 12 {
+                decompress_poly(&poly, d)
+            } else {
+                poly
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::compress_poly;
+
+    fn sample(seed: u16, bound: u16) -> Poly {
+        let mut coeffs = [0u16; KYBER_N];
+        for (i, c) in coeffs.iter_mut().enumerate() {
+            *c = ((i as u32 * 131 + seed as u32 * 17 + 3) % bound as u32) as u16;
+        }
+        Poly::from_coeffs(coeffs)
+    }
+
+    #[test]
+    fn encode_decode_round_trip_every_width() {
+        for d in 1..=12u32 {
+            let bound = if d == 12 { KYBER_Q } else { 1 << d };
+            let poly = sample(d as u16, bound);
+            let bytes = byte_encode(&poly, d);
+            assert_eq!(bytes.len(), 32 * d as usize, "d={d}");
+            assert_eq!(byte_decode(&bytes, d), poly, "d={d}");
+        }
+    }
+
+    #[test]
+    fn twelve_bit_decode_reduces_mod_q() {
+        // 0xFFF in every field: ByteDecode₁₂ reduces 4095 → 4095 − q.
+        let bytes = vec![0xFF; 384];
+        let poly = byte_decode(&bytes, 12);
+        assert!(poly.coeffs().iter().all(|&c| c == 4095 - KYBER_Q));
+    }
+
+    #[test]
+    fn canonical_decode_rejects_out_of_range_fields() {
+        let poly = sample(7, KYBER_Q);
+        let mut bytes = byte_encode(&poly, 12);
+        assert_eq!(byte_decode_canonical(&bytes), Ok(poly));
+        // Force coefficient 1 (bits 12..24) to 4095 ≥ q.
+        bytes[1] |= 0xF0;
+        bytes[2] = 0xFF;
+        assert_eq!(byte_decode_canonical(&bytes), Err(1));
+    }
+
+    #[test]
+    fn vector_round_trip_is_compress_then_encode() {
+        let polys = vec![sample(1, KYBER_Q), sample(2, KYBER_Q)];
+        for d in [4u32, 5, 10, 11] {
+            let bytes = encode_vector(&polys, d);
+            assert_eq!(bytes.len(), 2 * 32 * d as usize);
+            let back = decode_vector(&bytes, d);
+            let expected: Vec<Poly> = polys
+                .iter()
+                .map(|p| decompress_poly(&compress_poly(p, d), d))
+                .collect();
+            assert_eq!(back, expected, "d={d}");
+        }
+        // d = 12 is exact: encode/decode is the identity.
+        let bytes = encode_vector(&polys, 12);
+        assert_eq!(decode_vector(&bytes, 12), polys);
+    }
+}

@@ -9,7 +9,7 @@ use krv_sha3::{PermutationBackend, Sha3_512};
 /// A K-PKE key pair in the NTT domain.
 ///
 /// `t̂ = Â ∘ ŝ + ê` — the public value; `s_hat` is the secret vector.
-/// (Byte encoding/compression is out of scope; see the crate docs.)
+/// (The byte-encoded FIPS 203 key formats live in [`crate::mlkem`].)
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KeyPair {
     /// The public matrix seed ρ (re-expanded by the verifier).

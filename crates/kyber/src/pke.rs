@@ -13,9 +13,6 @@ use crate::sampling::{expand_matrix, sample_cbd};
 use crate::KyberParams;
 use krv_sha3::{hash_batch, BatchRequest, PermutationBackend, SpongeParams};
 
-/// η₂, the CBD width for the encryption noise (2 for every Kyber set).
-const ETA2: usize = 2;
-
 /// A K-PKE ciphertext: compressed vector `u` and scalar `v`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Ciphertext {
@@ -25,14 +22,6 @@ pub struct Ciphertext {
     pub v: Poly,
     /// The (d_u, d_v) pair used, recorded for decryption.
     pub du_dv: (u32, u32),
-}
-
-/// The ciphertext compression parameters per FIPS 203 Table 2.
-fn du_dv(params: KyberParams) -> (u32, u32) {
-    match params.k {
-        4 => (11, 5),
-        _ => (10, 4),
-    }
 }
 
 /// Encrypts a 32-byte message under `(rho, t̂)` with encryption
@@ -68,7 +57,7 @@ pub fn encrypt<B: PermutationBackend>(
     }
     let v = inv_ntt(&tr).add(&e2).add(&message_to_poly(message));
 
-    let (du, dv) = du_dv(params);
+    let (du, dv) = (params.du, params.dv);
     Ciphertext {
         u: u.iter().map(|p| compress_poly(p, du)).collect(),
         v: compress_poly(&v, dv),
@@ -122,7 +111,7 @@ fn expand_vectors<B: PermutationBackend>(
         .iter()
         .enumerate()
         .map(|(index, input)| {
-            let eta = if index < k { params.eta1 } else { ETA2 };
+            let eta = if index < k { params.eta1 } else { params.eta2 };
             BatchRequest::new(input, 64 * eta)
         })
         .collect();
@@ -133,9 +122,9 @@ fn expand_vectors<B: PermutationBackend>(
         .collect();
     let e1 = streams[k..2 * k]
         .iter()
-        .map(|s| sample_cbd(s, ETA2))
+        .map(|s| sample_cbd(s, params.eta2))
         .collect();
-    let e2 = sample_cbd(&streams[2 * k], ETA2);
+    let e2 = sample_cbd(&streams[2 * k], params.eta2);
     (r, e1, e2)
 }
 

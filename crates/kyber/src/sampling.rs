@@ -50,7 +50,7 @@ pub fn sample_cbd(stream: &[u8], eta: usize) -> Poly {
 }
 
 /// A SHAKE128 output block (168 bytes, the rate).
-const SHAKE128_BLOCK: usize = 168;
+pub const SHAKE128_BLOCK: usize = 168;
 
 /// Expands the k × k public matrix **Â** from `rho` with work-scheduled
 /// SHAKE128 batches — the paper's §1 motivating workload. Entry (i, j)

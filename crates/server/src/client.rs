@@ -10,8 +10,8 @@
 //! even when [`PendingReply::wait`] is called much later.
 
 use crate::protocol::{
-    read_frame, write_frame, AlgorithmParams, ErrorCode, ProtocolError, Request, Response,
-    WireAlgorithm, DEFAULT_MAX_FRAME, MAX_CHUNK_LEN, MAX_OUTPUT_LEN,
+    read_frame, write_frame, AlgorithmParams, ErrorCode, KemParameterSet, ProtocolError, Request,
+    Response, WireAlgorithm, DEFAULT_MAX_FRAME, MAX_CHUNK_LEN, MAX_OUTPUT_LEN,
 };
 use krv_service::MetricsSnapshot;
 use std::collections::{HashMap, VecDeque};
@@ -376,6 +376,141 @@ impl Client {
     pub fn stats(&self) -> Result<MetricsSnapshot, ClientError> {
         match self.submit_stats()?.wait()?.response {
             Response::Stats { snapshot, .. } => Ok(*snapshot),
+            Response::Error { code, detail, .. } => {
+                Err(ClientError::Remote(RemoteError { code, detail }))
+            }
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Submits a `KEM_KEYGEN` request without waiting. The seeds are
+    /// caller-supplied so deterministic test vectors serve unchanged;
+    /// production callers should draw them from a secure RNG.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors writing the frame.
+    pub fn submit_kem_keygen(
+        &self,
+        set: KemParameterSet,
+        d: [u8; 32],
+        z: [u8; 32],
+        deadline: Option<Duration>,
+    ) -> Result<PendingReply, ClientError> {
+        self.send(|id| Request::KemKeygen {
+            id,
+            set,
+            deadline,
+            d,
+            z,
+        })
+    }
+
+    /// Submits a `KEM_ENCAPS` request without waiting.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors writing the frame.
+    pub fn submit_kem_encaps(
+        &self,
+        set: KemParameterSet,
+        ek: &[u8],
+        m: [u8; 32],
+        deadline: Option<Duration>,
+    ) -> Result<PendingReply, ClientError> {
+        let ek = ek.to_vec();
+        self.send(move |id| Request::KemEncaps {
+            id,
+            set,
+            deadline,
+            m,
+            ek,
+        })
+    }
+
+    /// Submits a `KEM_DECAPS` request without waiting.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors writing the frame.
+    pub fn submit_kem_decaps(
+        &self,
+        set: KemParameterSet,
+        dk: &[u8],
+        ct: &[u8],
+        deadline: Option<Duration>,
+    ) -> Result<PendingReply, ClientError> {
+        let dk = dk.to_vec();
+        let ct = ct.to_vec();
+        self.send(move |id| Request::KemDecaps {
+            id,
+            set,
+            deadline,
+            dk,
+            ct,
+        })
+    }
+
+    /// One blocking ML-KEM key generation: returns `(ek, dk)`.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, server error replies (`BAD_KEY`, `BUSY`, …),
+    /// and [`ClientError::UnexpectedResponse`] for a non-`KEM_KEYS`
+    /// reply.
+    pub fn kem_keygen(
+        &self,
+        set: KemParameterSet,
+        d: [u8; 32],
+        z: [u8; 32],
+    ) -> Result<(Vec<u8>, Vec<u8>), ClientError> {
+        match self.submit_kem_keygen(set, d, z, None)?.wait()?.response {
+            Response::KemKeys { ek, dk, .. } => Ok((ek, dk)),
+            Response::Error { code, detail, .. } => {
+                Err(ClientError::Remote(RemoteError { code, detail }))
+            }
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// One blocking ML-KEM encapsulation: returns `(ct, shared_secret)`.
+    ///
+    /// # Errors
+    ///
+    /// Same shape as [`Self::kem_keygen`]; a malformed `ek` comes back
+    /// as a `BAD_KEY` remote error.
+    pub fn kem_encaps(
+        &self,
+        set: KemParameterSet,
+        ek: &[u8],
+        m: [u8; 32],
+    ) -> Result<(Vec<u8>, [u8; 32]), ClientError> {
+        match self.submit_kem_encaps(set, ek, m, None)?.wait()?.response {
+            Response::KemCiphertext {
+                ct, shared_secret, ..
+            } => Ok((ct, shared_secret)),
+            Response::Error { code, detail, .. } => {
+                Err(ClientError::Remote(RemoteError { code, detail }))
+            }
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// One blocking ML-KEM decapsulation: returns the shared secret
+    /// (the implicit-rejection secret for a tampered ciphertext).
+    ///
+    /// # Errors
+    ///
+    /// Same shape as [`Self::kem_keygen`]; a malformed `dk` or `ct`
+    /// comes back as a `BAD_KEY` remote error.
+    pub fn kem_decaps(
+        &self,
+        set: KemParameterSet,
+        dk: &[u8],
+        ct: &[u8],
+    ) -> Result<[u8; 32], ClientError> {
+        match self.submit_kem_decaps(set, dk, ct, None)?.wait()?.response {
+            Response::KemSecret { shared_secret, .. } => Ok(shared_secret),
             Response::Error { code, detail, .. } => {
                 Err(ClientError::Remote(RemoteError { code, detail }))
             }

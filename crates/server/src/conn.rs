@@ -27,7 +27,8 @@ use crate::plan::{self, ServePlan};
 use crate::poll::IoCtx;
 use crate::protocol::{ErrorCode, Request, Response};
 use crate::session::{ConnIo, SessionEvent, SessionTable, Violation};
-use krv_service::{HashRequest, RequestError, SubmitError};
+use krv_kyber::{KemOp, KemResult};
+use krv_service::{HashRequest, KemRequest, KemRequestError, RequestError, SubmitError};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -356,22 +357,52 @@ impl Connection {
                     }
                     Err(refusal) => {
                         self.in_flight.fetch_sub(1, Ordering::AcqRel);
-                        let (code, detail) = match refusal {
-                            SubmitError::QueueFull { depth } => (
-                                ErrorCode::Busy,
-                                format!("admission queue full at depth {depth}"),
-                            ),
-                            SubmitError::ClientThrottled { held, .. } => (
-                                ErrorCode::Busy,
-                                format!("client throttled at its fair share ({held} queued)"),
-                            ),
-                            SubmitError::ShuttingDown => {
-                                (ErrorCode::ShuttingDown, "daemon is draining".into())
-                            }
-                        };
+                        let (code, detail) = refusal_error(refusal);
                         self.push_frame(wire(&Response::Error { id, code, detail }.encode()));
                     }
                 }
+            }
+            Request::KemKeygen {
+                id,
+                set,
+                deadline,
+                d,
+                z,
+            } => {
+                let request = KemRequest {
+                    params: set.params(),
+                    op: KemOp::Keygen { d, z },
+                    deadline,
+                };
+                self.serve_kem(id, request, ctx);
+            }
+            Request::KemEncaps {
+                id,
+                set,
+                deadline,
+                m,
+                ek,
+            } => {
+                let request = KemRequest {
+                    params: set.params(),
+                    op: KemOp::Encaps { ek, m },
+                    deadline,
+                };
+                self.serve_kem(id, request, ctx);
+            }
+            Request::KemDecaps {
+                id,
+                set,
+                deadline,
+                dk,
+                ct,
+            } => {
+                let request = KemRequest {
+                    params: set.params(),
+                    op: KemOp::Decaps { dk, ct },
+                    deadline,
+                };
+                self.serve_kem(id, request, ctx);
             }
             Request::Open {
                 id,
@@ -446,6 +477,61 @@ impl Connection {
         }
     }
 
+    /// Admits one ML-KEM operation through the same window, fair-share
+    /// and callback machinery as a hash request. A malformed key or
+    /// ciphertext comes back as a request-level `BAD_KEY` error — the
+    /// connection survives, unlike a framing violation.
+    fn serve_kem(&mut self, id: u64, request: KemRequest, ctx: &IoCtx) {
+        if self.window_full(id, ctx) {
+            return;
+        }
+        self.in_flight.fetch_add(1, Ordering::AcqRel);
+        match ctx.service.submit_kem_as(self.token, request) {
+            Ok(ticket) => {
+                let shared = Arc::clone(&ctx.shared);
+                let in_flight = Arc::clone(&self.in_flight);
+                let token = self.token;
+                // Same ordering contract as the hash callback: encode,
+                // post, then release the in-flight slot.
+                ticket.on_complete(move |completion| {
+                    let response = match completion.result {
+                        Ok(KemResult::Keygen { ek, dk }) => Response::KemKeys { id, ek, dk },
+                        Ok(KemResult::Encaps { ct, shared_secret }) => Response::KemCiphertext {
+                            id,
+                            ct,
+                            shared_secret,
+                        },
+                        Ok(KemResult::Decaps { shared_secret }) => {
+                            Response::KemSecret { id, shared_secret }
+                        }
+                        Err(KemRequestError::InvalidInput(error)) => Response::Error {
+                            id,
+                            code: ErrorCode::BadKey,
+                            detail: error.to_string(),
+                        },
+                        Err(KemRequestError::TimedOut) => Response::Error {
+                            id,
+                            code: ErrorCode::Deadline,
+                            detail: "deadline elapsed before dispatch".into(),
+                        },
+                        Err(KemRequestError::WorkerFailure { error }) => Response::Error {
+                            id,
+                            code: ErrorCode::Internal,
+                            detail: error.to_string(),
+                        },
+                    };
+                    shared.post_frame(token, wire(&response.encode()));
+                    in_flight.fetch_sub(1, Ordering::AcqRel);
+                });
+            }
+            Err(refusal) => {
+                self.in_flight.fetch_sub(1, Ordering::AcqRel);
+                let (code, detail) = refusal_error(refusal);
+                self.push_frame(wire(&Response::Error { id, code, detail }.encode()));
+            }
+        }
+    }
+
     /// Answers `BUSY` if the pipeline window is full. Session frames
     /// each hold one window slot exactly like hash requests, so a
     /// connection's total queued work stays bounded by
@@ -478,5 +564,20 @@ impl Connection {
             self.push_frame(wire(&response.encode()));
             self.start_drain();
         }
+    }
+}
+
+/// Maps an admission refusal to the wire error answering it.
+fn refusal_error(refusal: SubmitError) -> (ErrorCode, String) {
+    match refusal {
+        SubmitError::QueueFull { depth } => (
+            ErrorCode::Busy,
+            format!("admission queue full at depth {depth}"),
+        ),
+        SubmitError::ClientThrottled { held, .. } => (
+            ErrorCode::Busy,
+            format!("client throttled at its fair share ({held} queued)"),
+        ),
+        SubmitError::ShuttingDown => (ErrorCode::ShuttingDown, "daemon is draining".into()),
     }
 }

@@ -16,8 +16,13 @@
 //!   parameter block (key, function name, customization, block size) —
 //!   plus XOF output lengths, optional deadlines, **stateful streaming
 //!   sessions** (`OPEN → ABSORB* → FINALIZE → SQUEEZE* → CLOSE` for
-//!   chunked input and chunked XOF output), and strict decoding whose
-//!   every failure is a typed [`ProtocolError`].
+//!   chunked input and chunked XOF output), **ML-KEM key exchange**
+//!   (protocol v5: `KEM_KEYGEN`/`KEM_ENCAPS`/`KEM_DECAPS` with typed
+//!   [`KemParameterSet`] ids for all three FIPS 203 parameter sets,
+//!   answered with framed keys, ciphertexts and shared secrets; a
+//!   malformed key is a request-level `BAD_KEY` error, an unknown
+//!   parameter-set id a connection-fatal violation), and strict
+//!   decoding whose every failure is a typed [`ProtocolError`].
 //! * [`Server`] — the daemon: an accept loop feeding a **fixed pool of
 //!   I/O threads** that multiplex every connection over non-blocking
 //!   sockets (std-only readiness loop — see the `poll` module), in
@@ -68,5 +73,7 @@ mod server;
 mod session;
 
 pub use client::{Client, ClientError, PendingReply, RemoteError, Reply, StreamingSession};
-pub use protocol::{AlgorithmParams, ErrorCode, ProtocolError, Request, Response, WireAlgorithm};
+pub use protocol::{
+    AlgorithmParams, ErrorCode, KemParameterSet, ProtocolError, Request, Response, WireAlgorithm,
+};
 pub use server::{Server, ServerConfig};

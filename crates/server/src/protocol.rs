@@ -15,6 +15,9 @@
 //! | `0x05` FINALIZE | request | session `u64`, output len `u32` (0 = unbounded XOF) |
 //! | `0x06` SQUEEZE | request | session `u64`, len `u32` |
 //! | `0x07` CLOSE | request | session `u64` |
+//! | `0x08` KEM_KEYGEN | request | set `u8`, deadline µs `u64`, seed d (32 B), seed z (32 B) |
+//! | `0x09` KEM_ENCAPS | request | set `u8`, deadline µs `u64`, randomness m (32 B), ek len `u32`, ek bytes |
+//! | `0x0A` KEM_DECAPS | request | set `u8`, deadline µs `u64`, dk len `u32`, dk bytes, ct len `u32`, ct bytes |
 //! | `0x81` DIGEST | response | digest len `u32`, digest bytes |
 //! | `0x82` ERROR | response | code `u8`, detail len `u16`, UTF-8 detail |
 //! | `0x83` STATS | response | fixed-width [`MetricsSnapshot`] encoding |
@@ -23,6 +26,18 @@
 //! | `0x86` FINALIZED | response | session `u64` |
 //! | `0x87` SQUEEZED | response | session `u64`, len `u32`, output bytes |
 //! | `0x88` CLOSED | response | session `u64` |
+//! | `0x89` KEM_KEYS | response | ek len `u32`, ek bytes, dk len `u32`, dk bytes |
+//! | `0x8A` KEM_CIPHERTEXT | response | ct len `u32`, ct bytes, shared secret (32 B) |
+//! | `0x8B` KEM_SECRET | response | shared secret (32 B) |
+//!
+//! The KEM kinds serve FIPS 203 ML-KEM under a one-byte **parameter-set
+//! id** ([`KemParameterSet`]: 1 = ML-KEM-512, 2 = ML-KEM-768,
+//! 3 = ML-KEM-1024). The wire API is deterministic — key generation
+//! carries its `(d, z)` seeds and encapsulation its randomness `m` — so
+//! results are reproducible and the caller owns randomness. A key or
+//! ciphertext of the wrong shape for its set is a *request*-level
+//! [`ErrorCode::BadKey`] (the connection survives); an unknown set id is
+//! a fatal [`ProtocolError::UnknownParameterSet`].
 //!
 //! The **params block** (HASH and OPEN) carries the SP 800-185
 //! parameters: function name len `u32` + bytes, key len `u32` + bytes,
@@ -59,8 +74,11 @@ pub const MAGIC: [u8; 4] = *b"KRVH";
 /// added the fair-share `throttled` counter; version 4 added streaming
 /// sessions (OPEN/ABSORB/FINALIZE/SQUEEZE/CLOSE), the SP 800-185
 /// algorithm ids with their params block, and the stream counters in
-/// the STATS reply. Older peers are rejected rather than mis-decoded.
-pub const VERSION: u8 = 4;
+/// the STATS reply; version 5 added the ML-KEM kinds
+/// (KEM_KEYGEN/KEM_ENCAPS/KEM_DECAPS), the `BadKey` error code and the
+/// KEM counters in the STATS reply. Older peers are rejected rather
+/// than mis-decoded.
+pub const VERSION: u8 = 5;
 
 /// Fixed header length of every frame body: magic, version, kind, id.
 pub const HEADER_LEN: usize = 4 + 1 + 1 + 8;
@@ -99,6 +117,9 @@ const KIND_ABSORB: u8 = 0x04;
 const KIND_FINALIZE: u8 = 0x05;
 const KIND_SQUEEZE: u8 = 0x06;
 const KIND_CLOSE: u8 = 0x07;
+const KIND_KEM_KEYGEN: u8 = 0x08;
+const KIND_KEM_ENCAPS: u8 = 0x09;
+const KIND_KEM_DECAPS: u8 = 0x0A;
 const KIND_DIGEST: u8 = 0x81;
 const KIND_ERROR: u8 = 0x82;
 const KIND_STATS_REPLY: u8 = 0x83;
@@ -107,6 +128,9 @@ const KIND_ABSORBED: u8 = 0x85;
 const KIND_FINALIZED: u8 = 0x86;
 const KIND_SQUEEZED: u8 = 0x87;
 const KIND_CLOSED: u8 = 0x88;
+const KIND_KEM_KEYS: u8 = 0x89;
+const KIND_KEM_CIPHERTEXT: u8 = 0x8A;
+const KIND_KEM_SECRET: u8 = 0x8B;
 
 /// Why a frame failed strict decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -147,6 +171,11 @@ pub enum ProtocolError {
     /// An error code outside [`ErrorCode`].
     UnknownErrorCode {
         /// The code byte observed.
+        got: u8,
+    },
+    /// A KEM parameter-set id outside [`KemParameterSet::ALL`].
+    UnknownParameterSet {
+        /// The set byte observed.
         got: u8,
     },
     /// A frame whose declared length exceeds the negotiated limit.
@@ -209,6 +238,9 @@ impl std::fmt::Display for ProtocolError {
             }
             ProtocolError::UnknownAlgorithm { got } => write!(f, "unknown algorithm id {got}"),
             ProtocolError::UnknownErrorCode { got } => write!(f, "unknown error code {got}"),
+            ProtocolError::UnknownParameterSet { got } => {
+                write!(f, "unknown ML-KEM parameter-set id {got}")
+            }
             ProtocolError::OversizedFrame { len, max } => {
                 write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
             }
@@ -457,6 +489,68 @@ impl WireAlgorithm {
     }
 }
 
+/// The ML-KEM parameter sets, as one-byte wire ids.
+///
+/// Ids are part of the protocol and never change meaning across
+/// versions. Each id maps to the [`krv_kyber::KyberParams`] the service
+/// lane runs the operation under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum KemParameterSet {
+    /// ML-KEM-512 (k = 2), id 1.
+    MlKem512 = 1,
+    /// ML-KEM-768 (k = 3), id 2.
+    MlKem768 = 2,
+    /// ML-KEM-1024 (k = 4), id 3.
+    MlKem1024 = 3,
+}
+
+impl KemParameterSet {
+    /// Every parameter set, in wire-id order.
+    pub const ALL: [KemParameterSet; 3] = [
+        KemParameterSet::MlKem512,
+        KemParameterSet::MlKem768,
+        KemParameterSet::MlKem1024,
+    ];
+
+    /// The wire id.
+    pub const fn id(self) -> u8 {
+        self as u8
+    }
+
+    /// The parameter set of a wire id.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::UnknownParameterSet`] for an id outside `1..=3`.
+    pub fn from_id(id: u8) -> Result<Self, ProtocolError> {
+        match id {
+            1 => Ok(KemParameterSet::MlKem512),
+            2 => Ok(KemParameterSet::MlKem768),
+            3 => Ok(KemParameterSet::MlKem1024),
+            got => Err(ProtocolError::UnknownParameterSet { got }),
+        }
+    }
+
+    /// The FIPS 203 parameters the service lane runs this set under.
+    pub const fn params(self) -> krv_kyber::KyberParams {
+        match self {
+            KemParameterSet::MlKem512 => krv_kyber::KyberParams::KYBER512,
+            KemParameterSet::MlKem768 => krv_kyber::KyberParams::KYBER768,
+            KemParameterSet::MlKem1024 => krv_kyber::KyberParams::KYBER1024,
+        }
+    }
+
+    /// The set's display name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            KemParameterSet::MlKem512 => "ML-KEM-512",
+            KemParameterSet::MlKem768 => "ML-KEM-768",
+            KemParameterSet::MlKem1024 => "ML-KEM-1024",
+        }
+    }
+}
+
 /// The SP 800-185 parameters of a HASH or OPEN request: one uniform
 /// block on the wire, with every unused field required empty/zero.
 ///
@@ -617,6 +711,10 @@ pub enum ErrorCode {
     /// A session quota: too many open sessions on the connection, or a
     /// tree session past the server's leaf cap.
     SessionLimit = 7,
+    /// A KEM key or ciphertext failed FIPS 203 input validation (wrong
+    /// length for its parameter set, or a non-canonical encapsulation
+    /// key). A caller error; the connection survives.
+    BadKey = 8,
 }
 
 impl ErrorCode {
@@ -624,7 +722,7 @@ impl ErrorCode {
     ///
     /// # Errors
     ///
-    /// [`ProtocolError::UnknownErrorCode`] outside `1..=7`.
+    /// [`ProtocolError::UnknownErrorCode`] outside `1..=8`.
     pub fn from_byte(byte: u8) -> Result<Self, ProtocolError> {
         match byte {
             1 => Ok(ErrorCode::Busy),
@@ -634,6 +732,7 @@ impl ErrorCode {
             5 => Ok(ErrorCode::BadSession),
             6 => Ok(ErrorCode::SessionState),
             7 => Ok(ErrorCode::SessionLimit),
+            8 => Ok(ErrorCode::BadKey),
             got => Err(ProtocolError::UnknownErrorCode { got }),
         }
     }
@@ -648,6 +747,7 @@ impl ErrorCode {
             ErrorCode::BadSession => "BAD_SESSION",
             ErrorCode::SessionState => "SESSION_STATE",
             ErrorCode::SessionLimit => "SESSION_LIMIT",
+            ErrorCode::BadKey => "BAD_KEY",
         }
     }
 }
@@ -732,6 +832,51 @@ pub enum Request {
         /// The session to close.
         session: u64,
     },
+    /// Generate an ML-KEM key pair from explicit seeds, answered with
+    /// [`Response::KemKeys`].
+    KemKeygen {
+        /// Caller-chosen id echoed in the response.
+        id: u64,
+        /// The parameter set to generate under.
+        set: KemParameterSet,
+        /// Deadline relative to admission; `None` waits indefinitely.
+        deadline: Option<Duration>,
+        /// The 32-byte key-generation seed d.
+        d: [u8; 32],
+        /// The 32-byte implicit-rejection seed z.
+        z: [u8; 32],
+    },
+    /// Encapsulate a shared secret to `ek`, answered with
+    /// [`Response::KemCiphertext`] (or [`ErrorCode::BadKey`] for a
+    /// malformed key).
+    KemEncaps {
+        /// Caller-chosen id echoed in the response.
+        id: u64,
+        /// The parameter set `ek` belongs to.
+        set: KemParameterSet,
+        /// Deadline relative to admission; `None` waits indefinitely.
+        deadline: Option<Duration>,
+        /// The 32-byte encapsulation randomness m.
+        m: [u8; 32],
+        /// The byte-encoded encapsulation key.
+        ek: Vec<u8>,
+    },
+    /// Decapsulate `ct` under `dk`, answered with
+    /// [`Response::KemSecret`] (implicit rejection included — a
+    /// tampered ciphertext still yields a secret, just not the
+    /// encapsulated one).
+    KemDecaps {
+        /// Caller-chosen id echoed in the response.
+        id: u64,
+        /// The parameter set the key and ciphertext belong to.
+        set: KemParameterSet,
+        /// Deadline relative to admission; `None` waits indefinitely.
+        deadline: Option<Duration>,
+        /// The byte-encoded decapsulation key.
+        dk: Vec<u8>,
+        /// The byte-encoded ciphertext.
+        ct: Vec<u8>,
+    },
 }
 
 impl Request {
@@ -744,7 +889,10 @@ impl Request {
             | Request::Absorb { id, .. }
             | Request::Finalize { id, .. }
             | Request::Squeeze { id, .. }
-            | Request::Close { id, .. } => *id,
+            | Request::Close { id, .. }
+            | Request::KemKeygen { id, .. }
+            | Request::KemEncaps { id, .. }
+            | Request::KemDecaps { id, .. } => *id,
         }
     }
 
@@ -813,6 +961,51 @@ impl Request {
             Request::Close { id, session } => {
                 let mut body = header(KIND_CLOSE, *id, 8);
                 body.extend_from_slice(&session.to_le_bytes());
+                body
+            }
+            Request::KemKeygen {
+                id,
+                set,
+                deadline,
+                d,
+                z,
+            } => {
+                let mut body = header(KIND_KEM_KEYGEN, *id, 1 + 8 + 32 + 32);
+                body.push(set.id());
+                body.extend_from_slice(&encode_deadline(*deadline).to_le_bytes());
+                body.extend_from_slice(d);
+                body.extend_from_slice(z);
+                body
+            }
+            Request::KemEncaps {
+                id,
+                set,
+                deadline,
+                m,
+                ek,
+            } => {
+                let mut body = header(KIND_KEM_ENCAPS, *id, 1 + 8 + 32 + 4 + ek.len());
+                body.push(set.id());
+                body.extend_from_slice(&encode_deadline(*deadline).to_le_bytes());
+                body.extend_from_slice(m);
+                body.extend_from_slice(&(ek.len() as u32).to_le_bytes());
+                body.extend_from_slice(ek);
+                body
+            }
+            Request::KemDecaps {
+                id,
+                set,
+                deadline,
+                dk,
+                ct,
+            } => {
+                let mut body = header(KIND_KEM_DECAPS, *id, 1 + 8 + 4 + dk.len() + 4 + ct.len());
+                body.push(set.id());
+                body.extend_from_slice(&encode_deadline(*deadline).to_le_bytes());
+                body.extend_from_slice(&(dk.len() as u32).to_le_bytes());
+                body.extend_from_slice(dk);
+                body.extend_from_slice(&(ct.len() as u32).to_le_bytes());
+                body.extend_from_slice(ct);
                 body
             }
         }
@@ -910,8 +1103,42 @@ impl Request {
                 id,
                 session: cursor.u64()?,
             },
+            KIND_KEM_KEYGEN => {
+                let set = KemParameterSet::from_id(cursor.u8()?)?;
+                let deadline_us = cursor.u64()?;
+                Request::KemKeygen {
+                    id,
+                    set,
+                    deadline: decode_deadline(deadline_us),
+                    d: cursor.array_32()?,
+                    z: cursor.array_32()?,
+                }
+            }
+            KIND_KEM_ENCAPS => {
+                let set = KemParameterSet::from_id(cursor.u8()?)?;
+                let deadline_us = cursor.u64()?;
+                Request::KemEncaps {
+                    id,
+                    set,
+                    deadline: decode_deadline(deadline_us),
+                    m: cursor.array_32()?,
+                    ek: cursor.bytes_u32_len()?,
+                }
+            }
+            KIND_KEM_DECAPS => {
+                let set = KemParameterSet::from_id(cursor.u8()?)?;
+                let deadline_us = cursor.u64()?;
+                Request::KemDecaps {
+                    id,
+                    set,
+                    deadline: decode_deadline(deadline_us),
+                    dk: cursor.bytes_u32_len()?,
+                    ct: cursor.bytes_u32_len()?,
+                }
+            }
             KIND_DIGEST | KIND_ERROR | KIND_STATS_REPLY | KIND_OPENED | KIND_ABSORBED
-            | KIND_FINALIZED | KIND_SQUEEZED | KIND_CLOSED => {
+            | KIND_FINALIZED | KIND_SQUEEZED | KIND_CLOSED | KIND_KEM_KEYS
+            | KIND_KEM_CIPHERTEXT | KIND_KEM_SECRET => {
                 return Err(ProtocolError::UnexpectedKind { got: kind })
             }
             got => return Err(ProtocolError::UnknownKind { got }),
@@ -1029,6 +1256,35 @@ pub enum Response {
         /// The session id echoed back.
         session: u64,
     },
+    /// The freshly derived key pair answering a [`Request::KemKeygen`].
+    KemKeys {
+        /// The request id this answers.
+        id: u64,
+        /// The encapsulation (public) key.
+        ek: Vec<u8>,
+        /// The decapsulation (secret) key.
+        dk: Vec<u8>,
+    },
+    /// The ciphertext and shared secret answering a [`Request::KemEncaps`].
+    KemCiphertext {
+        /// The request id this answers.
+        id: u64,
+        /// The ciphertext to transmit to the key holder.
+        ct: Vec<u8>,
+        /// The 32-byte shared secret established by encapsulation.
+        shared_secret: [u8; 32],
+    },
+    /// The shared secret answering a [`Request::KemDecaps`].
+    ///
+    /// Implicit rejection means a tampered ciphertext still yields a
+    /// secret — just not the one the sender derived — so this response
+    /// carries no validity flag.
+    KemSecret {
+        /// The request id this answers.
+        id: u64,
+        /// The 32-byte decapsulated shared secret.
+        shared_secret: [u8; 32],
+    },
 }
 
 impl Response {
@@ -1042,7 +1298,10 @@ impl Response {
             | Response::Absorbed { id, .. }
             | Response::Finalized { id, .. }
             | Response::Squeezed { id, .. }
-            | Response::Closed { id, .. } => *id,
+            | Response::Closed { id, .. }
+            | Response::KemKeys { id, .. }
+            | Response::KemCiphertext { id, .. }
+            | Response::KemSecret { id, .. } => *id,
         }
     }
 
@@ -1079,6 +1338,30 @@ impl Response {
                 body
             }
             Response::Closed { id, session } => session_ack(KIND_CLOSED, *id, *session),
+            Response::KemKeys { id, ek, dk } => {
+                let mut body = header(KIND_KEM_KEYS, *id, 4 + ek.len() + 4 + dk.len());
+                body.extend_from_slice(&(ek.len() as u32).to_le_bytes());
+                body.extend_from_slice(ek);
+                body.extend_from_slice(&(dk.len() as u32).to_le_bytes());
+                body.extend_from_slice(dk);
+                body
+            }
+            Response::KemCiphertext {
+                id,
+                ct,
+                shared_secret,
+            } => {
+                let mut body = header(KIND_KEM_CIPHERTEXT, *id, 4 + ct.len() + 32);
+                body.extend_from_slice(&(ct.len() as u32).to_le_bytes());
+                body.extend_from_slice(ct);
+                body.extend_from_slice(shared_secret);
+                body
+            }
+            Response::KemSecret { id, shared_secret } => {
+                let mut body = header(KIND_KEM_SECRET, *id, 32);
+                body.extend_from_slice(shared_secret);
+                body
+            }
         }
     }
 
@@ -1128,8 +1411,24 @@ impl Response {
                 id,
                 session: cursor.u64()?,
             },
+            KIND_KEM_KEYS => Response::KemKeys {
+                id,
+                ek: cursor.bytes_u32_len()?,
+                dk: cursor.bytes_u32_len()?,
+            },
+            KIND_KEM_CIPHERTEXT => Response::KemCiphertext {
+                id,
+                ct: cursor.bytes_u32_len()?,
+                shared_secret: cursor.array_32()?,
+            },
+            KIND_KEM_SECRET => Response::KemSecret {
+                id,
+                shared_secret: cursor.array_32()?,
+            },
             KIND_HASH | KIND_STATS | KIND_OPEN | KIND_ABSORB | KIND_FINALIZE | KIND_SQUEEZE
-            | KIND_CLOSE => return Err(ProtocolError::UnexpectedKind { got: kind }),
+            | KIND_CLOSE | KIND_KEM_KEYGEN | KIND_KEM_ENCAPS | KIND_KEM_DECAPS => {
+                return Err(ProtocolError::UnexpectedKind { got: kind })
+            }
             got => return Err(ProtocolError::UnknownKind { got }),
         };
         cursor.finish()?;
@@ -1153,9 +1452,19 @@ fn session_ack(kind: u8, id: u64, session: u64) -> Vec<u8> {
     body
 }
 
-/// Fixed encoded length of a [`MetricsSnapshot`]: 19 `u64`-width fields
+/// Encodes an optional deadline as whole microseconds; zero means "none".
+fn encode_deadline(deadline: Option<Duration>) -> u64 {
+    deadline.map_or(0, |d| d.as_micros().min(u128::from(u64::MAX)) as u64)
+}
+
+/// Inverse of [`encode_deadline`]: zero decodes back to `None`.
+fn decode_deadline(deadline_us: u64) -> Option<Duration> {
+    (deadline_us > 0).then(|| Duration::from_micros(deadline_us))
+}
+
+/// Fixed encoded length of a [`MetricsSnapshot`]: 25 `u64`-width fields
 /// plus three six-field [`QuantileSummary`] blocks.
-const SNAPSHOT_LEN: usize = 19 * 8 + 3 * 6 * 8;
+const SNAPSHOT_LEN: usize = 25 * 8 + 3 * 6 * 8;
 
 fn encode_snapshot(snapshot: &MetricsSnapshot, out: &mut Vec<u8>) {
     for value in [
@@ -1174,6 +1483,12 @@ fn encode_snapshot(snapshot: &MetricsSnapshot, out: &mut Vec<u8>) {
         snapshot.stream_ops,
         snapshot.stream_absorbed,
         snapshot.stream_squeezed,
+        snapshot.kem_keygen,
+        snapshot.kem_encaps,
+        snapshot.kem_decaps,
+        snapshot.kem_hash_jobs,
+        snapshot.kem_dispatches,
+        snapshot.kem_invalid,
         snapshot.queue_depth as u64,
         snapshot.mean_batch_fill.to_bits(),
         snapshot.alive_workers as u64,
@@ -1196,8 +1511,8 @@ fn encode_snapshot(snapshot: &MetricsSnapshot, out: &mut Vec<u8>) {
 }
 
 fn decode_snapshot(cursor: &mut Cursor<'_>) -> Result<MetricsSnapshot, ProtocolError> {
-    let u64s = |cursor: &mut Cursor<'_>| -> Result<[u64; 19], ProtocolError> {
-        let mut values = [0u64; 19];
+    let u64s = |cursor: &mut Cursor<'_>| -> Result<[u64; 25], ProtocolError> {
+        let mut values = [0u64; 25];
         for value in &mut values {
             *value = cursor.u64()?;
         }
@@ -1230,10 +1545,16 @@ fn decode_snapshot(cursor: &mut Cursor<'_>) -> Result<MetricsSnapshot, ProtocolE
         stream_ops: counters[12],
         stream_absorbed: counters[13],
         stream_squeezed: counters[14],
-        queue_depth: counters[15] as usize,
-        mean_batch_fill: f64::from_bits(counters[16]),
-        alive_workers: counters[17] as usize,
-        batch_slots: counters[18] as usize,
+        kem_keygen: counters[15],
+        kem_encaps: counters[16],
+        kem_decaps: counters[17],
+        kem_hash_jobs: counters[18],
+        kem_dispatches: counters[19],
+        kem_invalid: counters[20],
+        queue_depth: counters[21] as usize,
+        mean_batch_fill: f64::from_bits(counters[22]),
+        alive_workers: counters[23] as usize,
+        batch_slots: counters[24] as usize,
         queue_ns: quantiles(cursor)?,
         service_ns: quantiles(cursor)?,
         e2e_ns: quantiles(cursor)?,
@@ -1283,6 +1604,10 @@ impl<'a> Cursor<'a> {
     fn bytes_u32_len(&mut self) -> Result<Vec<u8>, ProtocolError> {
         let len = self.u32()? as usize;
         Ok(self.take(len)?.to_vec())
+    }
+
+    fn array_32(&mut self) -> Result<[u8; 32], ProtocolError> {
+        Ok(self.take(32)?.try_into().expect("len 32"))
     }
 
     /// Checks magic, version, and reads the kind and request id.
@@ -1392,6 +1717,12 @@ mod tests {
             stream_ops: 17,
             stream_absorbed: 4096,
             stream_squeezed: 96,
+            kem_keygen: 6,
+            kem_encaps: 5,
+            kem_decaps: 9,
+            kem_hash_jobs: 40,
+            kem_dispatches: 11,
+            kem_invalid: 2,
             queue_depth: 7,
             mean_batch_fill: 0.875,
             alive_workers: 2,
@@ -1471,6 +1802,27 @@ mod tests {
                 id: 12,
                 session: 0xBEEF,
             },
+            Request::KemKeygen {
+                id: 13,
+                set: KemParameterSet::MlKem768,
+                deadline: Some(Duration::from_micros(2500)),
+                d: [0x11; 32],
+                z: [0x22; 32],
+            },
+            Request::KemEncaps {
+                id: 14,
+                set: KemParameterSet::MlKem512,
+                deadline: None,
+                m: [0x33; 32],
+                ek: vec![0x44; 800],
+            },
+            Request::KemDecaps {
+                id: 15,
+                set: KemParameterSet::MlKem1024,
+                deadline: Some(Duration::from_micros(9)),
+                dk: vec![0x55; 3168],
+                ct: vec![0x66; 1568],
+            },
         ];
         for request in requests {
             let decoded = Request::decode(&request.encode()).expect("round trip");
@@ -1508,11 +1860,68 @@ mod tests {
                 bytes: vec![0xCD; 32],
             },
             Response::Closed { id: 6, session: 2 },
+            Response::KemKeys {
+                id: 13,
+                ek: vec![0xEE; 1184],
+                dk: vec![0xDD; 2400],
+            },
+            Response::KemCiphertext {
+                id: 14,
+                ct: vec![0xCC; 768],
+                shared_secret: [0x77; 32],
+            },
+            Response::KemSecret {
+                id: 15,
+                shared_secret: [0x88; 32],
+            },
+            Response::Error {
+                id: 16,
+                code: ErrorCode::BadKey,
+                detail: "encapsulation key must be 1184 bytes".into(),
+            },
         ];
         for response in responses {
             let decoded = Response::decode(&response.encode()).expect("round trip");
             assert_eq!(decoded, response);
         }
+    }
+
+    #[test]
+    fn kem_parameter_set_ids_are_stable_and_exhaustive() {
+        for (index, set) in KemParameterSet::ALL.into_iter().enumerate() {
+            assert_eq!(set.id() as usize, index + 1, "ids are 1-based and dense");
+            assert_eq!(KemParameterSet::from_id(set.id()), Ok(set));
+        }
+        assert_eq!(KemParameterSet::MlKem512.params().ek_len(), 800);
+        assert_eq!(KemParameterSet::MlKem768.params().ek_len(), 1184);
+        assert_eq!(KemParameterSet::MlKem1024.params().ek_len(), 1568);
+        assert_eq!(KemParameterSet::MlKem512.params().k, 2);
+        assert_eq!(KemParameterSet::MlKem768.params().k, 3);
+        assert_eq!(KemParameterSet::MlKem1024.params().k, 4);
+        assert_eq!(KemParameterSet::MlKem768.name(), "ML-KEM-768");
+        assert_eq!(
+            KemParameterSet::from_id(0),
+            Err(ProtocolError::UnknownParameterSet { got: 0 })
+        );
+        assert_eq!(
+            KemParameterSet::from_id(4),
+            Err(ProtocolError::UnknownParameterSet { got: 4 })
+        );
+        // An unknown set id is connection-fatal at decode time, before
+        // any key material is even read.
+        let mut frame = Request::KemKeygen {
+            id: 1,
+            set: KemParameterSet::MlKem512,
+            deadline: None,
+            d: [0; 32],
+            z: [0; 32],
+        }
+        .encode();
+        frame[HEADER_LEN] = 9;
+        assert_eq!(
+            Request::decode(&frame),
+            Err(ProtocolError::UnknownParameterSet { got: 9 })
+        );
     }
 
     #[test]
@@ -1845,13 +2254,15 @@ mod tests {
         assert_eq!(ErrorCode::from_byte(5), Ok(ErrorCode::BadSession));
         assert_eq!(ErrorCode::from_byte(6), Ok(ErrorCode::SessionState));
         assert_eq!(ErrorCode::from_byte(7), Ok(ErrorCode::SessionLimit));
+        assert_eq!(ErrorCode::from_byte(8), Ok(ErrorCode::BadKey));
+        assert_eq!(ErrorCode::BadKey.to_string(), "BAD_KEY");
         assert_eq!(
             ErrorCode::from_byte(0),
             Err(ProtocolError::UnknownErrorCode { got: 0 })
         );
         assert_eq!(
-            ErrorCode::from_byte(8),
-            Err(ProtocolError::UnknownErrorCode { got: 8 })
+            ErrorCode::from_byte(9),
+            Err(ProtocolError::UnknownErrorCode { got: 9 })
         );
         let text = ProtocolError::OversizedFrame { len: 10, max: 5 }.to_string();
         assert!(text.contains("10") && text.contains("5"), "{text}");

@@ -57,11 +57,13 @@ mod tier;
 pub use metrics::{MetricsSnapshot, QuantileSummary, ShardMetrics};
 pub use shard::{ShardConfig, ShardedService};
 pub use ticket::{
-    Completion, RequestError, RequestTiming, StreamCompletion, StreamOutput, StreamTicket, Ticket,
+    Completion, KemCompletion, KemRequestError, KemTicket, RequestError, RequestTiming,
+    StreamCompletion, StreamOutput, StreamTicket, Ticket,
 };
 pub use tier::{TierKind, TierPolicy};
 
 use krv_core::KernelKind;
+use krv_kyber::{KemOp, KyberParams};
 use krv_sha3::{SpongeParams, SpongeState};
 use scheduler::{Scheduler, Shared};
 use std::sync::Arc;
@@ -260,6 +262,82 @@ impl StreamRequest {
     }
 }
 
+/// One ML-KEM operation — key generation, encapsulation or
+/// decapsulation — carried through the same admission queue and
+/// micro-batches as hashing traffic.
+///
+/// The scheduler lowers each operation to a staged
+/// [`krv_kyber::KemJob`] at batch formation and advances every live
+/// operation of a batch in lockstep, packing the pending Keccak jobs of
+/// *all* of them — matrix-expansion SHAKE128 squeezes, CBD PRFs, the
+/// H/G/J hashes of the FO transform — into shared per-parameter-set
+/// `hash_batch` dispatches. Concurrent KEM clients therefore fill
+/// engine slots a single operation could not: the cross-request
+/// batching this crate exists for, applied to FIPS 203.
+///
+/// The wire-facing API is deterministic: key generation carries its
+/// `(d, z)` seeds and encapsulation its randomness `m` explicitly, so
+/// callers (and the conformance harness) control randomness and results
+/// are reproducible end to end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KemRequest {
+    /// The ML-KEM parameter set the operation runs under.
+    pub params: KyberParams,
+    /// The operation itself, with its seeds / key / ciphertext.
+    pub op: KemOp,
+    /// Deadline relative to admission, as for [`HashRequest::deadline`].
+    /// An expired operation completes as [`KemRequestError::TimedOut`].
+    pub deadline: Option<Duration>,
+}
+
+impl KemRequest {
+    /// A key-generation request from the 32-byte seeds `d` and `z`.
+    pub fn keygen(params: KyberParams, d: [u8; 32], z: [u8; 32]) -> Self {
+        Self {
+            params,
+            op: KemOp::Keygen { d, z },
+            deadline: None,
+        }
+    }
+
+    /// An encapsulation request against the byte-encoded key `ek` with
+    /// randomness `m`.
+    pub fn encaps(params: KyberParams, ek: impl Into<Vec<u8>>, m: [u8; 32]) -> Self {
+        Self {
+            params,
+            op: KemOp::Encaps { ek: ek.into(), m },
+            deadline: None,
+        }
+    }
+
+    /// A decapsulation request of ciphertext `ct` under the byte-encoded
+    /// decapsulation key `dk`.
+    pub fn decaps(params: KyberParams, dk: impl Into<Vec<u8>>, ct: impl Into<Vec<u8>>) -> Self {
+        Self {
+            params,
+            op: KemOp::Decaps {
+                dk: dk.into(),
+                ct: ct.into(),
+            },
+            deadline: None,
+        }
+    }
+
+    /// Attaches a deadline (relative to admission).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The fair-share units this operation holds while queued: the
+    /// parameter set's rank `k`, since the lane's hash work — a `k × k`
+    /// matrix expansion plus `2k + 1`-ish CBD/encode hashes — scales
+    /// with it.
+    pub fn fair_share_cost(&self) -> usize {
+        self.params.k
+    }
+}
+
 /// Why a submission was refused at admission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SubmitError {
@@ -432,6 +510,52 @@ impl Service {
         request: StreamRequest,
     ) -> Result<StreamTicket, (StreamRequest, SubmitError)> {
         self.shared.submit_stream(client, request)
+    }
+
+    /// Submits one ML-KEM operation for the anonymous client (id 0).
+    ///
+    /// The operation rides the same admission queue and micro-batches as
+    /// hashing traffic; all of its Keccak work is packed into shared
+    /// dispatches with every other concurrent KEM operation (see
+    /// [`KemRequest`]).
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`Self::submit`]'s errors; fair-share holds are counted
+    /// in rank-weighted units ([`KemRequest::fair_share_cost`]).
+    pub fn submit_kem(&self, request: KemRequest) -> Result<KemTicket, SubmitError> {
+        self.submit_kem_as(0, request)
+    }
+
+    /// Submits one ML-KEM operation on behalf of `client` (see
+    /// [`Self::submit_as`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::submit_kem`].
+    pub fn submit_kem_as(
+        &self,
+        client: u64,
+        request: KemRequest,
+    ) -> Result<KemTicket, SubmitError> {
+        self.try_submit_kem_as(client, request).map_err(|(_, e)| e)
+    }
+
+    /// [`Self::submit_kem_as`], except a refusal hands the operation
+    /// back — key and ciphertext bytes included — so a caller can
+    /// resubmit the identical operation after backpressure.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`Self::submit_kem_as`]'s errors, paired with the refused
+    /// operation.
+    #[allow(clippy::result_large_err)] // refusals return the operation by value
+    pub fn try_submit_kem_as(
+        &self,
+        client: u64,
+        request: KemRequest,
+    ) -> Result<KemTicket, (KemRequest, SubmitError)> {
+        self.shared.submit_kem(client, request)
     }
 
     /// A point-in-time snapshot of the service's instrumentation.
@@ -732,6 +856,165 @@ mod tests {
         assert_eq!(completion.result.unwrap(), Sha3_256::digest(b"late"));
         let report = service.shutdown();
         assert_eq!(report.completed, 6);
+    }
+
+    #[test]
+    fn served_kem_operations_match_direct_library_calls() {
+        use krv_kyber::{ml_kem_decaps, ml_kem_encaps, ml_kem_keygen, KemResult};
+        let service = Service::start(fast_config());
+        for (set, params) in KyberParams::ALL.iter().enumerate() {
+            let d = [set as u8; 32];
+            let z = [0x5A ^ set as u8; 32];
+            let m = [0xA5 ^ set as u8; 32];
+            // The direct path: the same FIPS 203 pipeline on the
+            // host-native backend, no queue or batching involved.
+            let mut direct = krv_native::NativeBackend::new();
+            let (ek, dk) = ml_kem_keygen(*params, &d, &z, &mut direct);
+            let (ct, shared) = ml_kem_encaps(*params, &ek, &m, &mut direct).expect("valid ek");
+
+            let keygen = service
+                .submit_kem(KemRequest::keygen(*params, d, z))
+                .expect("admitted")
+                .wait();
+            match keygen.result.expect("keygen succeeds") {
+                KemResult::Keygen {
+                    ek: served_ek,
+                    dk: served_dk,
+                } => {
+                    assert_eq!(served_ek, ek, "{}: served ek", params.label());
+                    assert_eq!(served_dk, dk, "{}: served dk", params.label());
+                }
+                other => panic!("keygen returned {other:?}"),
+            }
+
+            let encaps = service
+                .submit_kem(KemRequest::encaps(*params, ek.clone(), m))
+                .expect("admitted")
+                .wait();
+            match encaps.result.expect("encaps succeeds") {
+                KemResult::Encaps {
+                    ct: served_ct,
+                    shared_secret,
+                } => {
+                    assert_eq!(served_ct, ct, "{}: served ct", params.label());
+                    assert_eq!(shared_secret, shared, "{}: encaps secret", params.label());
+                }
+                other => panic!("encaps returned {other:?}"),
+            }
+
+            let decaps = service
+                .submit_kem(KemRequest::decaps(*params, dk.clone(), ct.clone()))
+                .expect("admitted")
+                .wait();
+            match decaps.result.expect("decaps succeeds") {
+                KemResult::Decaps { shared_secret } => {
+                    assert_eq!(shared_secret, shared, "{}: decaps secret", params.label());
+                }
+                other => panic!("decaps returned {other:?}"),
+            }
+
+            // Implicit rejection over the service: a tampered ciphertext
+            // decapsulates to J(z ‖ ct′), never the real secret.
+            let mut tampered = ct.clone();
+            tampered[7] ^= 0x01;
+            let expected_rejection =
+                ml_kem_decaps(*params, &dk, &tampered, &mut direct).expect("valid dk");
+            let rejected = service
+                .submit_kem(KemRequest::decaps(*params, dk.clone(), tampered))
+                .expect("admitted")
+                .wait();
+            match rejected.result.expect("tampered decaps still succeeds") {
+                KemResult::Decaps { shared_secret } => {
+                    assert_ne!(
+                        shared_secret,
+                        shared,
+                        "{}: rejection differs",
+                        params.label()
+                    );
+                    assert_eq!(
+                        shared_secret,
+                        expected_rejection,
+                        "{}: rejection matches the direct path",
+                        params.label()
+                    );
+                }
+                other => panic!("decaps returned {other:?}"),
+            }
+        }
+        let report = service.shutdown();
+        assert_eq!(report.kem_keygen, 3);
+        assert_eq!(report.kem_encaps, 3);
+        assert_eq!(report.kem_decaps, 6);
+        assert_eq!(report.completed, 12, "KEM ops count as completions");
+        assert_eq!(report.kem_invalid, 0);
+        assert!(report.kem_dispatches > 0);
+        assert!(report.kem_hash_jobs >= report.kem_dispatches);
+    }
+
+    #[test]
+    fn malformed_kem_inputs_fail_with_typed_errors() {
+        use krv_kyber::KemError;
+        let service = Service::start(fast_config());
+        let params = KyberParams::ALL[0];
+        let completion = service
+            .submit_kem(KemRequest::encaps(params, vec![0u8; 17], [0u8; 32]))
+            .expect("admitted")
+            .wait();
+        match completion.result {
+            Err(KemRequestError::InvalidInput(KemError::EncapsKeyLength { .. })) => {}
+            other => panic!("expected a typed length error, got {other:?}"),
+        }
+        // An expired KEM deadline resolves as TimedOut, like the other
+        // lanes.
+        let timed_out = service
+            .submit_kem(
+                KemRequest::keygen(params, [1u8; 32], [2u8; 32]).with_deadline(Duration::ZERO),
+            )
+            .expect("admitted")
+            .wait();
+        assert_eq!(timed_out.result, Err(KemRequestError::TimedOut));
+        let report = service.shutdown();
+        assert_eq!(report.kem_invalid, 1);
+        assert_eq!(report.timeouts, 1);
+        assert_eq!(report.completed, 0);
+    }
+
+    #[test]
+    fn concurrent_kem_operations_share_dispatch_batches() {
+        // A wide batching window so a burst of keygens lands in one
+        // micro-batch: their matrix expansions and CBD PRFs must then
+        // pack into shared dispatch groups, pushing mean occupancy
+        // (hash jobs per dispatch) above one.
+        let service = Service::start(ServiceConfig {
+            max_wait: Duration::from_millis(50),
+            ..ServiceConfig::default()
+        });
+        let params = KyberParams::ALL[0];
+        let tickets: Vec<KemTicket> = (0..6u8)
+            .map(|i| {
+                service
+                    .submit_kem_as(
+                        u64::from(i),
+                        KemRequest::keygen(params, [i; 32], [i ^ 0xFF; 32]),
+                    )
+                    .expect("admitted")
+            })
+            .collect();
+        for ticket in tickets {
+            let completion = ticket.wait();
+            assert!(completion.result.is_ok());
+            assert!(completion.timing.batch_size >= 2, "the burst batched");
+        }
+        let report = service.shutdown();
+        assert_eq!(report.kem_keygen, 6);
+        let occupancy = report.kem_hash_jobs as f64 / report.kem_dispatches as f64;
+        assert!(
+            occupancy > 1.0,
+            "cross-request batching packs jobs: occupancy {occupancy:.2} \
+             ({} jobs / {} dispatches)",
+            report.kem_hash_jobs,
+            report.kem_dispatches
+        );
     }
 
     #[test]

@@ -93,6 +93,19 @@ pub(crate) struct ServiceStats {
     pub stream_absorbed: u64,
     /// Output bytes squeezed by completed streaming operations.
     pub stream_squeezed: u64,
+    /// ML-KEM key generations completed (also counted in `completed`).
+    pub kem_keygen: u64,
+    /// ML-KEM encapsulations completed (also counted in `completed`).
+    pub kem_encaps: u64,
+    /// ML-KEM decapsulations completed (also counted in `completed`).
+    pub kem_decaps: u64,
+    /// Keccak jobs dispatched on behalf of KEM operations.
+    pub kem_hash_jobs: u64,
+    /// Dispatch groups those KEM hash jobs were packed into.
+    pub kem_dispatches: u64,
+    /// KEM operations refused at batch formation by FIPS 203 input
+    /// validation (malformed key or ciphertext).
+    pub kem_invalid: u64,
     /// Sum of per-batch fill ratios (`batch_size / batch_slots`).
     pub fill_sum: f64,
     /// Pool workers alive as of the last dispatched batch.
@@ -125,6 +138,12 @@ impl ServiceStats {
             stream_ops: 0,
             stream_absorbed: 0,
             stream_squeezed: 0,
+            kem_keygen: 0,
+            kem_encaps: 0,
+            kem_decaps: 0,
+            kem_hash_jobs: 0,
+            kem_dispatches: 0,
+            kem_invalid: 0,
             fill_sum: 0.0,
             alive_workers: config.workers,
             batch_slots: config.batch_slots(),
@@ -153,6 +172,12 @@ impl ServiceStats {
             stream_ops: self.stream_ops,
             stream_absorbed: self.stream_absorbed,
             stream_squeezed: self.stream_squeezed,
+            kem_keygen: self.kem_keygen,
+            kem_encaps: self.kem_encaps,
+            kem_decaps: self.kem_decaps,
+            kem_hash_jobs: self.kem_hash_jobs,
+            kem_dispatches: self.kem_dispatches,
+            kem_invalid: self.kem_invalid,
             fill_sum: self.fill_sum,
             queue_depth,
             alive_workers: self.alive_workers,
@@ -206,6 +231,18 @@ pub struct ShardMetrics {
     pub stream_absorbed: u64,
     /// Output bytes squeezed by completed streaming operations.
     pub stream_squeezed: u64,
+    /// ML-KEM key generations completed (also counted in `completed`).
+    pub kem_keygen: u64,
+    /// ML-KEM encapsulations completed (also counted in `completed`).
+    pub kem_encaps: u64,
+    /// ML-KEM decapsulations completed (also counted in `completed`).
+    pub kem_decaps: u64,
+    /// Keccak jobs dispatched on behalf of KEM operations.
+    pub kem_hash_jobs: u64,
+    /// Dispatch groups those KEM hash jobs were packed into.
+    pub kem_dispatches: u64,
+    /// KEM operations refused by FIPS 203 input validation.
+    pub kem_invalid: u64,
     /// Sum of per-batch fill ratios (`batch_size / batch_slots`).
     pub fill_sum: f64,
     /// Requests queued at snapshot time.
@@ -248,6 +285,12 @@ impl ShardMetrics {
             stream_ops: 0,
             stream_absorbed: 0,
             stream_squeezed: 0,
+            kem_keygen: 0,
+            kem_encaps: 0,
+            kem_decaps: 0,
+            kem_hash_jobs: 0,
+            kem_dispatches: 0,
+            kem_invalid: 0,
             fill_sum: 0.0,
             queue_depth: 0,
             alive_workers: 0,
@@ -278,6 +321,12 @@ impl ShardMetrics {
         self.stream_ops += other.stream_ops;
         self.stream_absorbed += other.stream_absorbed;
         self.stream_squeezed += other.stream_squeezed;
+        self.kem_keygen += other.kem_keygen;
+        self.kem_encaps += other.kem_encaps;
+        self.kem_decaps += other.kem_decaps;
+        self.kem_hash_jobs += other.kem_hash_jobs;
+        self.kem_dispatches += other.kem_dispatches;
+        self.kem_invalid += other.kem_invalid;
         self.fill_sum += other.fill_sum;
         self.queue_depth += other.queue_depth;
         self.alive_workers += other.alive_workers;
@@ -306,6 +355,12 @@ impl ShardMetrics {
             stream_ops: self.stream_ops,
             stream_absorbed: self.stream_absorbed,
             stream_squeezed: self.stream_squeezed,
+            kem_keygen: self.kem_keygen,
+            kem_encaps: self.kem_encaps,
+            kem_decaps: self.kem_decaps,
+            kem_hash_jobs: self.kem_hash_jobs,
+            kem_dispatches: self.kem_dispatches,
+            kem_invalid: self.kem_invalid,
             queue_depth: self.queue_depth,
             mean_batch_fill: if self.batches == 0 {
                 0.0
@@ -326,9 +381,9 @@ impl ShardMetrics {
 /// of [`Service::shutdown`](crate::Service::shutdown).
 ///
 /// The counters tie out: every admitted request ends in exactly one of
-/// `completed`, `timeouts` or `worker_failures` (or is still queued /
-/// in flight), and `rejected` counts submissions that were never
-/// admitted at all.
+/// `completed`, `timeouts`, `worker_failures` or `kem_invalid` (or is
+/// still queued / in flight), and `rejected` counts submissions that
+/// were never admitted at all.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
     /// Requests admitted into the queue.
@@ -369,6 +424,29 @@ pub struct MetricsSnapshot {
     pub stream_absorbed: u64,
     /// Output bytes squeezed by completed streaming operations.
     pub stream_squeezed: u64,
+    /// ML-KEM key generations completed through the KEM lane. KEM
+    /// operations also count in `submitted` / `completed` / `timeouts` /
+    /// `worker_failures`, so those still tie out (an operation refused
+    /// by input validation counts in `kem_invalid` instead of
+    /// `completed`).
+    pub kem_keygen: u64,
+    /// ML-KEM encapsulations completed through the KEM lane.
+    pub kem_encaps: u64,
+    /// ML-KEM decapsulations completed through the KEM lane.
+    pub kem_decaps: u64,
+    /// Keccak jobs dispatched on behalf of KEM operations: every matrix
+    /// expansion squeeze, CBD PRF, rejection-retry block and H/G/J call
+    /// the lane packed into shared batches.
+    pub kem_hash_jobs: u64,
+    /// Dispatch groups those KEM hash jobs were packed into.
+    /// `kem_hash_jobs / kem_dispatches` is the lane's mean batch
+    /// occupancy — above 1.0 means cross-request batching is packing
+    /// jobs from concurrent operations into shared passes.
+    pub kem_dispatches: u64,
+    /// KEM operations refused at batch formation by FIPS 203 input
+    /// validation (malformed key or ciphertext); these never reach the
+    /// engines.
+    pub kem_invalid: u64,
     /// Requests queued at snapshot time.
     pub queue_depth: usize,
     /// Mean batch fill ratio (`batch_size / batch_slots`, 1.0 = every

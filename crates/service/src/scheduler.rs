@@ -7,13 +7,14 @@
 
 use crate::metrics::ServiceStats;
 use crate::ticket::{
-    Completion, RequestError, RequestTiming, StreamCompletion, StreamOutput, StreamTicket, Ticket,
-    TicketCell,
+    Completion, KemCompletion, KemRequestError, KemTicket, RequestError, RequestTiming,
+    StreamCompletion, StreamOutput, StreamTicket, Ticket, TicketCell,
 };
 use crate::tier::{TierKind, TierPolicy};
-use crate::{HashRequest, ServiceConfig, StreamRequest, SubmitError};
+use crate::{HashRequest, KemRequest, ServiceConfig, StreamRequest, SubmitError};
 use krv_core::{EnginePool, PoolError};
 use krv_keccak::KeccakState;
+use krv_kyber::KemJob;
 use krv_native::NativeBackend;
 use krv_sha3::{
     drive_stream, hash_batch, BatchRequest, PermutationBackend, SpongeParams, SpongeState,
@@ -24,10 +25,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-/// The two kinds of admitted work: a one-shot hash and one streaming
-/// session operation. Both ride the same queue and micro-batches; they
-/// differ in how they dispatch (grouped `hash_batch` vs a shared
-/// `drive_stream` round) and in what their tickets carry back.
+/// The three kinds of admitted work: a one-shot hash, one streaming
+/// session operation, and one ML-KEM operation. All ride the same queue
+/// and micro-batches; they differ in how they dispatch (grouped
+/// `hash_batch`, a shared `drive_stream` round, or the staged KEM
+/// pipeline) and in what their tickets carry back.
 #[derive(Debug)]
 pub(crate) enum Work {
     Hash {
@@ -37,6 +39,10 @@ pub(crate) enum Work {
     Stream {
         request: StreamRequest,
         ticket: Arc<TicketCell<StreamCompletion>>,
+    },
+    Kem {
+        request: KemRequest,
+        ticket: Arc<TicketCell<KemCompletion>>,
     },
 }
 
@@ -138,7 +144,7 @@ impl Shared {
         match self.admit(client, work, 1) {
             Ok(()) => Ok(Ticket { cell }),
             Err((Work::Hash { request, .. }, error)) => Err((request, error)),
-            Err((Work::Stream { .. }, _)) => unreachable!("hash work returns as hash work"),
+            Err(_) => unreachable!("hash work returns as hash work"),
         }
     }
 
@@ -160,7 +166,33 @@ impl Shared {
         match self.admit(client, work, cost) {
             Ok(()) => Ok(StreamTicket { cell }),
             Err((Work::Stream { request, .. }, error)) => Err((request, error)),
-            Err((Work::Hash { .. }, _)) => unreachable!("stream work returns as stream work"),
+            Err(_) => unreachable!("stream work returns as stream work"),
+        }
+    }
+
+    /// Admission of one KEM operation. Cost scales with the parameter
+    /// set's rank `k` ([`KemRequest::fair_share_cost`]): an ML-KEM-1024
+    /// keygen holds twice the admission units of an ML-KEM-512 one,
+    /// matching its share of matrix-expansion hash work. As for
+    /// [`Self::submit`], a refusal hands the request back untouched.
+    // The large Err is the contract: a refusal must return the
+    // operation by value so no key/ciphertext bytes are lost.
+    #[allow(clippy::result_large_err)]
+    pub fn submit_kem(
+        &self,
+        client: u64,
+        request: KemRequest,
+    ) -> Result<KemTicket, (KemRequest, SubmitError)> {
+        let cost = request.fair_share_cost();
+        let cell = Arc::new(TicketCell::default());
+        let work = Work::Kem {
+            request,
+            ticket: Arc::clone(&cell),
+        };
+        match self.admit(client, work, cost) {
+            Ok(()) => Ok(KemTicket { cell }),
+            Err((Work::Kem { request, .. }, error)) => Err((request, error)),
+            Err(_) => unreachable!("kem work returns as kem work"),
         }
     }
 
@@ -174,6 +206,7 @@ impl Shared {
     /// A refusal returns the work untouched alongside the error, so no
     /// request bytes (or stream sponge state) are ever lost to
     /// backpressure.
+    #[allow(clippy::result_large_err)] // refusals return the work by value
     fn admit(&self, client: u64, work: Work, cost: usize) -> Result<(), (Work, SubmitError)> {
         let mut state = self.state.lock().expect("queue lock");
         if !state.open {
@@ -236,8 +269,25 @@ impl Shared {
 /// ticket and when it was admitted.
 type StreamPending = (StreamRequest, Arc<TicketCell<StreamCompletion>>, Instant);
 
+/// One live KEM operation riding a batch through the staged pipeline.
+struct KemLive {
+    /// The staged FIPS 203 state machine driving the operation.
+    job: KemJob,
+    ticket: Arc<TicketCell<KemCompletion>>,
+    enqueued: Instant,
+    /// The operation kind (`keygen` / `encaps` / `decaps`), captured
+    /// before the job consumed the op, for per-kind counters.
+    tag: &'static str,
+    /// A latched stage-dispatch failure: the job stops advancing and
+    /// completes as [`KemRequestError::WorkerFailure`] after the lane
+    /// drains.
+    failed: Option<PoolError>,
+    /// Whether any dispatch group this job rode in was retried.
+    retried: bool,
+}
+
 /// Per-batch counter accumulators, folded into [`ServiceStats`] under
-/// one stats-lock acquisition after both lanes dispatch.
+/// one stats-lock acquisition after all lanes dispatch.
 #[derive(Default)]
 struct BatchTally {
     retries: u64,
@@ -248,6 +298,12 @@ struct BatchTally {
     stream_ops: u64,
     stream_absorbed: u64,
     stream_squeezed: u64,
+    kem_keygen: u64,
+    kem_encaps: u64,
+    kem_decaps: u64,
+    kem_hash_jobs: u64,
+    kem_dispatches: u64,
+    kem_invalid: u64,
     samples: Vec<(Duration, Duration, Duration)>,
 }
 
@@ -370,8 +426,10 @@ impl Scheduler {
         // Deadline check happens exactly once, at batch formation: an
         // expired request completes as TimedOut without costing a slot.
         let mut timeouts = 0u64;
+        let mut tally = BatchTally::default();
         let mut hash_live: Vec<(HashRequest, Arc<TicketCell<Completion>>, Instant)> = Vec::new();
         let mut stream_live: Vec<StreamPending> = Vec::new();
+        let mut kem_live: Vec<KemLive> = Vec::new();
         for pending in batch {
             let waited = formed.duration_since(pending.enqueued);
             let expired_timing = RequestTiming {
@@ -406,6 +464,38 @@ impl Scheduler {
                         stream_live.push((request, ticket, pending.enqueued));
                     }
                 }
+                Work::Kem { request, ticket } => {
+                    if request.deadline.is_some_and(|d| waited >= d) {
+                        ticket.complete(KemCompletion {
+                            result: Err(KemRequestError::TimedOut),
+                            timing: expired_timing,
+                        });
+                        timeouts += 1;
+                    } else {
+                        let tag = request.op.tag();
+                        // FIPS 203 input validation runs here, before
+                        // any hardware dispatch: a malformed key or
+                        // ciphertext is the caller's error and resolves
+                        // immediately without riding the pipeline.
+                        match KemJob::new(request.params, request.op) {
+                            Ok(job) => kem_live.push(KemLive {
+                                job,
+                                ticket,
+                                enqueued: pending.enqueued,
+                                tag,
+                                failed: None,
+                                retried: false,
+                            }),
+                            Err(error) => {
+                                ticket.complete(KemCompletion {
+                                    result: Err(KemRequestError::InvalidInput(error)),
+                                    timing: expired_timing,
+                                });
+                                tally.kem_invalid += 1;
+                            }
+                        }
+                    }
+                }
             }
         }
 
@@ -423,7 +513,6 @@ impl Scheduler {
             }
         }
 
-        let mut tally = BatchTally::default();
         for (params, members) in &groups {
             let requests: Vec<BatchRequest<'_>> = members
                 .iter()
@@ -507,6 +596,10 @@ impl Scheduler {
             self.dispatch_streams(stream_live, formed, batch_size, slots, &mut tally);
         }
 
+        if !kem_live.is_empty() {
+            self.dispatch_kems(kem_live, formed, batch_size, slots, &mut tally);
+        }
+
         let mut stats = self.shared.stats.lock().expect("stats lock");
         stats.batches += 1;
         stats.fill_sum += batch_size as f64 / slots as f64;
@@ -523,6 +616,12 @@ impl Scheduler {
         stats.stream_ops += tally.stream_ops;
         stats.stream_absorbed += tally.stream_absorbed;
         stats.stream_squeezed += tally.stream_squeezed;
+        stats.kem_keygen += tally.kem_keygen;
+        stats.kem_encaps += tally.kem_encaps;
+        stats.kem_decaps += tally.kem_decaps;
+        stats.kem_hash_jobs += tally.kem_hash_jobs;
+        stats.kem_dispatches += tally.kem_dispatches;
+        stats.kem_invalid += tally.kem_invalid;
         for (queue, service, total) in tally.samples {
             stats.queue_wait.record_duration(queue);
             stats.service_time.record_duration(service);
@@ -650,6 +749,161 @@ impl Scheduler {
                         },
                     });
                     tally.failures += 1;
+                }
+            }
+        }
+    }
+
+    /// The KEM lane of one batch: every live operation's staged FIPS 203
+    /// state machine advances in lockstep, and at each round the pending
+    /// Keccak jobs of *all* operations are packed — across requests —
+    /// into shared per-parameter-set dispatch groups. This is where the
+    /// cross-request batching pays off: one client's matrix-expansion
+    /// SHAKE128 squeezes ride the same SN-wide `hash_batch` pass as
+    /// another client's, filling engine slots a single operation could
+    /// not.
+    ///
+    /// Each dispatch group gets the same supervision as the one-shot
+    /// lane: one retry on a lost worker (KEM hash jobs are pure
+    /// functions of their inputs, so a re-dispatch is always safe), and
+    /// the sampled mirror oracle re-hashing the group through the other
+    /// tier. A group that fails twice latches failure onto exactly the
+    /// operations with a job in it; unrelated operations keep advancing.
+    fn dispatch_kems(
+        &mut self,
+        mut kem_live: Vec<KemLive>,
+        formed: Instant,
+        batch_size: usize,
+        slots: usize,
+        tally: &mut BatchTally,
+    ) {
+        let started = Instant::now();
+        loop {
+            // Round formation: every live job's pending hashes, grouped
+            // across jobs by sponge parameters in first-seen order. The
+            // (job, local) indices remember where each output goes.
+            let mut groups: Vec<(SpongeParams, Vec<(usize, usize)>)> = Vec::new();
+            for (j, live) in kem_live.iter().enumerate() {
+                if live.failed.is_some() || live.job.is_done() {
+                    continue;
+                }
+                for (l, hash_job) in live.job.pending().iter().enumerate() {
+                    match groups
+                        .iter_mut()
+                        .find(|(params, _)| *params == hash_job.params)
+                    {
+                        Some((_, members)) => members.push((j, l)),
+                        None => groups.push((hash_job.params, vec![(j, l)])),
+                    }
+                }
+            }
+            if groups.is_empty() {
+                break;
+            }
+
+            let mut round_outputs: Vec<Vec<Option<Vec<u8>>>> = kem_live
+                .iter()
+                .map(|live| vec![None; live.job.pending().len()])
+                .collect();
+            let mut round_failures: Vec<Option<PoolError>> = vec![None; kem_live.len()];
+            let mut round_retried: Vec<bool> = vec![false; kem_live.len()];
+            for (params, members) in &groups {
+                let requests: Vec<BatchRequest<'_>> = members
+                    .iter()
+                    .map(|&(j, l)| {
+                        let hash_job = &kem_live[j].job.pending()[l];
+                        BatchRequest::new(&hash_job.input, hash_job.output_len)
+                    })
+                    .collect();
+                let group_index = self.groups_dispatched;
+                self.groups_dispatched += 1;
+                tally.kem_dispatches += 1;
+                tally.kem_hash_jobs += requests.len() as u64;
+                let mut outcome = self.tier_hash(self.tier.primary, *params, &requests);
+                if outcome.is_err() {
+                    tally.retries += 1;
+                    for &(j, _) in members {
+                        round_retried[j] = true;
+                    }
+                    outcome = self.tier_hash(self.tier.primary, *params, &requests);
+                }
+                if let Ok(outputs) = &outcome {
+                    if self.tier.mirrors(group_index) {
+                        if let Ok(mirror) =
+                            self.tier_hash(self.tier.primary.other(), *params, &requests)
+                        {
+                            tally.mirrored += requests.len() as u64;
+                            tally.mismatches +=
+                                outputs.iter().zip(&mirror).filter(|(a, b)| a != b).count() as u64;
+                        }
+                    }
+                }
+                match outcome {
+                    Ok(outputs) => {
+                        for (&(j, l), output) in members.iter().zip(outputs) {
+                            round_outputs[j][l] = Some(output);
+                        }
+                    }
+                    Err(error) => {
+                        for &(j, _) in members {
+                            round_failures[j] = Some(error.clone());
+                        }
+                    }
+                }
+            }
+
+            // Advance every job whose round came back whole; latch
+            // failure onto the rest.
+            for (j, live) in kem_live.iter_mut().enumerate() {
+                live.retried |= round_retried[j];
+                if live.failed.is_some() || live.job.is_done() {
+                    continue;
+                }
+                if let Some(error) = round_failures[j].take() {
+                    live.failed = Some(error);
+                    continue;
+                }
+                let outputs: Vec<Vec<u8>> = std::mem::take(&mut round_outputs[j])
+                    .into_iter()
+                    .map(|output| output.expect("every pending hash job was dispatched"))
+                    .collect();
+                live.job.advance(outputs);
+            }
+        }
+
+        let service = started.elapsed();
+        for live in kem_live {
+            let queue = formed.duration_since(live.enqueued);
+            let total = live.enqueued.elapsed();
+            let timing = RequestTiming {
+                queue,
+                service,
+                total,
+                batch_size,
+                batch_slots: slots,
+                tier: self.tier.primary,
+                retried: live.retried,
+            };
+            match live.failed {
+                None => {
+                    tally.samples.push((queue, service, total));
+                    tally.completed += 1;
+                    match live.tag {
+                        "keygen" => tally.kem_keygen += 1,
+                        "encaps" => tally.kem_encaps += 1,
+                        _ => tally.kem_decaps += 1,
+                    }
+                    live.ticket.complete(KemCompletion {
+                        result: Ok(live.job.into_result()),
+                        timing,
+                    });
+                }
+                Some(error) => {
+                    tally.failures += 1;
+                    live.ticket.complete(KemCompletion {
+                        result: Err(KemRequestError::WorkerFailure { error }),
+                        timing,
+                    });
                 }
             }
         }

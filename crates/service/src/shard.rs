@@ -16,8 +16,8 @@
 
 use crate::metrics::ShardMetrics;
 use crate::{
-    HashRequest, MetricsSnapshot, Service, ServiceConfig, StreamRequest, StreamTicket, SubmitError,
-    Ticket,
+    HashRequest, KemRequest, KemTicket, MetricsSnapshot, Service, ServiceConfig, StreamRequest,
+    StreamTicket, SubmitError, Ticket,
 };
 
 /// How a [`ShardedService`] is shaped: the shard count and the
@@ -166,6 +166,40 @@ impl ShardedService {
         request: StreamRequest,
     ) -> Result<StreamTicket, (StreamRequest, SubmitError)> {
         self.shards[self.route(client)].try_submit_stream_as(client, request)
+    }
+
+    /// Submits one ML-KEM operation on behalf of `client` to its routed
+    /// shard. KEM operations share the shard's admission queue and
+    /// batch lane with hash traffic, so one client's hashes and KEM
+    /// calls stay under one fair-share account.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`Service::submit_kem_as`]'s errors, scoped to the
+    /// routed shard.
+    pub fn submit_kem_as(
+        &self,
+        client: u64,
+        request: KemRequest,
+    ) -> Result<KemTicket, SubmitError> {
+        self.shards[self.route(client)].submit_kem_as(client, request)
+    }
+
+    /// [`Service::try_submit_kem_as`] on the routed shard: a refusal
+    /// hands the operation (key and ciphertext bytes included) back for
+    /// a later retry.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`Self::submit_kem_as`]'s errors, paired with the
+    /// refused operation.
+    #[allow(clippy::result_large_err)] // refusals return the operation by value
+    pub fn try_submit_kem_as(
+        &self,
+        client: u64,
+        request: KemRequest,
+    ) -> Result<KemTicket, (KemRequest, SubmitError)> {
+        self.shards[self.route(client)].try_submit_kem_as(client, request)
     }
 
     /// Direct access to one shard (for per-shard drills such as

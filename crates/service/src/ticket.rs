@@ -2,6 +2,7 @@
 
 use crate::tier::TierKind;
 use krv_core::PoolError;
+use krv_kyber::{KemError, KemResult};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -88,6 +89,57 @@ pub struct StreamOutput {
 pub struct StreamCompletion {
     /// The advanced state and squeezed bytes, or why there are none.
     pub result: Result<StreamOutput, RequestError>,
+    /// Where the operation's latency went.
+    pub timing: RequestTiming,
+}
+
+/// Why a submitted KEM operation did not produce a [`KemResult`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KemRequestError {
+    /// The operation's deadline elapsed while it was still queued; it
+    /// was dropped at batch formation without occupying an engine slot.
+    TimedOut,
+    /// One of the operation's staged hash dispatches failed on the pool
+    /// and failed again on its single retry.
+    WorkerFailure {
+        /// The pool error reported by the retry.
+        error: PoolError,
+    },
+    /// The operation's key or ciphertext failed FIPS 203 input
+    /// validation — a caller error, detected at batch formation before
+    /// any hardware was dispatched.
+    InvalidInput(KemError),
+}
+
+impl std::fmt::Display for KemRequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KemRequestError::TimedOut => {
+                write!(f, "deadline elapsed before the operation was dispatched")
+            }
+            KemRequestError::WorkerFailure { error } => {
+                write!(f, "staged dispatch failed after retry: {error}")
+            }
+            KemRequestError::InvalidInput(error) => {
+                write!(f, "invalid KEM input: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KemRequestError {}
+
+/// The outcome of one KEM operation: keys, a ciphertext + secret, or a
+/// decapsulated secret — or why there is none — plus its timing.
+///
+/// The timing's `service` span covers the whole staged pipeline: every
+/// hash round the operation's [`krv_kyber::KemJob`] dispatched, plus the
+/// interleaved NTT/encoding work, measured from the formation of the
+/// batch the operation rode in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KemCompletion {
+    /// The finished KEM result, or why there is none.
+    pub result: Result<KemResult, KemRequestError>,
     /// Where the operation's latency went.
     pub timing: RequestTiming,
 }
@@ -251,3 +303,15 @@ pub struct StreamTicket {
 }
 
 ticket_handle!(StreamTicket, StreamCompletion);
+
+/// A handle to one in-flight KEM operation, returned by
+/// [`Service::submit_kem`](crate::Service::submit_kem).
+///
+/// Resolves exactly once with a [`KemCompletion`], under the same
+/// guarantees as [`Ticket`].
+#[derive(Debug)]
+pub struct KemTicket {
+    pub(crate) cell: Arc<TicketCell<KemCompletion>>,
+}
+
+ticket_handle!(KemTicket, KemCompletion);

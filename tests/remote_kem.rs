@@ -1,0 +1,168 @@
+//! Workspace-level remote ML-KEM guard: the daemon's three KEM request
+//! kinds against direct `krv_kyber` library calls, end to end over
+//! loopback.
+//!
+//! Every parameter set keygens, encapsulates and decapsulates over a
+//! real socket from deterministic seeds, and each wire answer must be
+//! byte-identical to the in-process `ml_kem_*` result from the same
+//! seeds — so a framing bug, a parameter-set id mix-up or a staging
+//! bug in the service's KEM lane lands here as a mismatch naming the
+//! parameter set. Malformed keys must come back as request-level
+//! `BAD_KEY` errors that leave the connection serving, and an unknown
+//! parameter-set id must end the connection like any framing violation.
+
+use keccak_rvv::kyber::{ml_kem_decaps, ml_kem_encaps, ml_kem_keygen};
+use keccak_rvv::server::{
+    Client, ClientError, ErrorCode, KemParameterSet, Server, ServerConfig, WireAlgorithm,
+};
+use krv_native::NativeBackend;
+use krv_service::ServiceConfig;
+use std::time::Duration;
+
+fn quick_config() -> ServerConfig {
+    ServerConfig {
+        service: ServiceConfig {
+            max_wait: Duration::from_micros(200),
+            ..ServiceConfig::default()
+        },
+        ..ServerConfig::default()
+    }
+}
+
+/// A distinct, reproducible 32-byte seed per (parameter set, role).
+fn seed(tag: u8, set: KemParameterSet) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    for (i, byte) in out.iter_mut().enumerate() {
+        *byte = tag ^ set.id().wrapping_mul(0x3B) ^ (i as u8).wrapping_mul(0x5D);
+    }
+    out
+}
+
+#[test]
+fn every_parameter_set_serves_the_full_kem_flow_over_the_wire() {
+    let server = Server::bind("127.0.0.1:0", quick_config()).expect("bind");
+    let client = Client::connect(server.local_addr()).expect("connect");
+    let mut direct = NativeBackend::new();
+    for set in KemParameterSet::ALL {
+        let params = set.params();
+        let (d, z, m) = (seed(0x11, set), seed(0x22, set), seed(0x33, set));
+
+        let (ek, dk) = client.kem_keygen(set, d, z).expect("KEM_KEYGEN");
+        assert_eq!(ek.len(), params.ek_len(), "{} ek length", set.name());
+        assert_eq!(dk.len(), params.dk_len(), "{} dk length", set.name());
+        let (direct_ek, direct_dk) = ml_kem_keygen(params, &d, &z, &mut direct);
+        assert_eq!(ek, direct_ek, "{} keygen ek over the wire", set.name());
+        assert_eq!(dk, direct_dk, "{} keygen dk over the wire", set.name());
+
+        let (ct, shared) = client.kem_encaps(set, &ek, m).expect("KEM_ENCAPS");
+        assert_eq!(ct.len(), params.ct_len(), "{} ct length", set.name());
+        let (direct_ct, direct_shared) =
+            ml_kem_encaps(params, &ek, &m, &mut direct).expect("direct encaps");
+        assert_eq!(ct, direct_ct, "{} encaps ct over the wire", set.name());
+        assert_eq!(shared, direct_shared, "{} encaps secret", set.name());
+
+        let decapsed = client.kem_decaps(set, &dk, &ct).expect("KEM_DECAPS");
+        assert_eq!(decapsed, shared, "{} shared secrets agree", set.name());
+
+        // A tampered ciphertext is well-formed on the wire; implicit
+        // rejection answers with the library's rejection secret, not an
+        // error.
+        let mut tampered = ct.clone();
+        tampered[0] ^= 1;
+        let rejected = client
+            .kem_decaps(set, &dk, &tampered)
+            .expect("tampered KEM_DECAPS still answers");
+        assert_ne!(
+            rejected,
+            shared,
+            "{} tampering changes the secret",
+            set.name()
+        );
+        let direct_rejected =
+            ml_kem_decaps(params, &dk, &tampered, &mut direct).expect("direct decaps");
+        assert_eq!(rejected, direct_rejected, "{} rejection secret", set.name());
+    }
+    let report = server.shutdown();
+    // 3 sets x (keygen + encaps + 2 decaps) all completed.
+    assert_eq!(report.completed, 12);
+    assert_eq!(report.worker_failures, 0);
+    assert_eq!(report.kem_keygen, 3);
+    assert_eq!(report.kem_encaps, 3);
+    assert_eq!(report.kem_decaps, 6);
+    assert_eq!(report.kem_invalid, 0);
+    assert!(report.kem_dispatches > 0);
+}
+
+#[test]
+fn malformed_keys_draw_bad_key_and_the_connection_keeps_serving() {
+    let server = Server::bind("127.0.0.1:0", quick_config()).expect("bind");
+    let client = Client::connect(server.local_addr()).expect("connect");
+    let set = KemParameterSet::MlKem768;
+
+    // A wrong-length encapsulation key: request-level BAD_KEY.
+    let outcome = client.kem_encaps(set, &[0u8; 17], [0u8; 32]);
+    match outcome {
+        Err(ClientError::Remote(remote)) => {
+            assert_eq!(remote.code, ErrorCode::BadKey, "detail: {}", remote.detail);
+        }
+        other => panic!("expected a BAD_KEY remote error, got {other:?}"),
+    }
+
+    // A wrong-length decapsulation key draws the same typed error.
+    let outcome = client.kem_decaps(set, &[0u8; 9], &vec![0u8; set.params().ct_len()]);
+    match outcome {
+        Err(ClientError::Remote(remote)) => {
+            assert_eq!(remote.code, ErrorCode::BadKey, "detail: {}", remote.detail);
+        }
+        other => panic!("expected a BAD_KEY remote error, got {other:?}"),
+    }
+
+    // The connection survived both: hashes and KEM ops still serve.
+    let digest = client
+        .digest(WireAlgorithm::Sha3_256, b"still serving")
+        .expect("hash after BAD_KEY");
+    assert_eq!(digest.len(), 32);
+    let (ek, dk) = client
+        .kem_keygen(set, [7u8; 32], [8u8; 32])
+        .expect("keygen after BAD_KEY");
+    assert_eq!(ek.len(), set.params().ek_len());
+    assert_eq!(dk.len(), set.params().dk_len());
+
+    let report = server.shutdown();
+    assert_eq!(report.kem_invalid, 2);
+    assert_eq!(report.kem_keygen, 1);
+}
+
+#[test]
+fn an_unknown_parameter_set_id_is_a_connection_fatal_violation() {
+    use keccak_rvv::server::protocol::{write_frame, Request};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    let server = Server::bind("127.0.0.1:0", quick_config()).expect("bind");
+    let mut socket = TcpStream::connect(server.local_addr()).expect("connect");
+
+    // A well-formed KEM_KEYGEN frame, then the set id byte (first byte
+    // after the header) corrupted to an unassigned value.
+    let mut body = Request::KemKeygen {
+        id: 1,
+        set: KemParameterSet::MlKem512,
+        deadline: None,
+        d: [0u8; 32],
+        z: [0u8; 32],
+    }
+    .encode();
+    let header_len = body.len() - (1 + 8 + 32 + 32);
+    body[header_len] = 0xEE;
+    write_frame(&mut socket, &body).expect("write corrupted frame");
+    socket.flush().expect("flush");
+
+    // The server drains the connection without answering: EOF, not a
+    // response frame.
+    let mut rest = Vec::new();
+    socket
+        .read_to_end(&mut rest)
+        .expect("server closes the socket");
+    assert!(rest.is_empty(), "no response precedes the close: {rest:?}");
+    server.shutdown();
+}
